@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Ablation: input and output selection policies (the knob the
+ * paper's companion study [19] investigates and Section 7 flags as
+ * future work). Negative-first on 16x16 mesh transpose at a
+ * moderately high load, across all policy combinations.
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "core/routing/factory.hpp"
+#include "sim/simulator.hpp"
+#include "topology/mesh.hpp"
+#include "traffic/pattern.hpp"
+#include "util/csv.hpp"
+
+using namespace turnmodel;
+
+int
+main(int argc, char **argv)
+{
+    const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+    NDMesh mesh = NDMesh::mesh2D(16, 16);
+    RoutingPtr routing = makeRouting("negative-first", mesh);
+    PatternPtr pattern = makePattern("transpose", mesh);
+
+    std::cout << "== ablation: selection policies (negative-first, "
+                 "16x16 mesh, transpose) ==\n";
+    std::cout << std::setw(16) << "input" << std::setw(16) << "output"
+              << std::setw(14) << "thruput" << std::setw(13)
+              << "latency(us)" << std::setw(6) << "sat" << '\n';
+
+    struct Row
+    {
+        InputSelection in;
+        OutputSelection out;
+        SimResult result;
+    };
+    std::vector<Row> rows;
+    for (auto in_sel : {InputSelection::Fcfs, InputSelection::Random,
+                        InputSelection::FixedPriority}) {
+        for (auto out_sel :
+             {OutputSelection::LowestDim, OutputSelection::HighestDim,
+              OutputSelection::Random,
+              OutputSelection::StraightFirst}) {
+            SimConfig cfg;
+            cfg.injection_rate = 0.12;
+            cfg.warmup_cycles = quick ? 2000 : 8000;
+            cfg.measure_cycles = quick ? 6000 : 20000;
+            cfg.input_selection = in_sel;
+            cfg.output_selection = out_sel;
+            Simulator sim(*routing, *pattern, cfg);
+            rows.push_back({in_sel, out_sel, sim.run()});
+            const SimResult &r = rows.back().result;
+            std::cout << std::setw(16) << toString(in_sel)
+                      << std::setw(16) << toString(out_sel)
+                      << std::setw(14) << std::fixed
+                      << std::setprecision(2)
+                      << r.throughput_flits_per_us << std::setw(13)
+                      << r.avg_latency_us << std::setw(6)
+                      << (r.saturated ? "yes" : "no") << '\n';
+        }
+    }
+
+    std::cout << "\n-- csv --\n";
+    CsvWriter csv(std::cout);
+    csv.header({"input_selection", "output_selection",
+                "throughput_flits_per_us", "latency_us", "saturated"});
+    for (const Row &row : rows) {
+        csv.beginRow()
+            .field(toString(row.in))
+            .field(toString(row.out))
+            .field(row.result.throughput_flits_per_us)
+            .field(row.result.avg_latency_us)
+            .field(row.result.saturated ? 1 : 0);
+        csv.endRow();
+    }
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Shared scaffolding for the figure benchmarks: a standard sweep
+ * configuration (the paper's Section 6 setup), command-line fidelity
+ * control, and the ratio summary each figure's caption states.
+ */
+
+#ifndef TURNMODEL_BENCH_COMMON_HPP
+#define TURNMODEL_BENCH_COMMON_HPP
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/routing/factory.hpp"
+#include "sim/sweep.hpp"
+#include "traffic/pattern.hpp"
+
+namespace turnmodel {
+namespace bench {
+
+/** Fidelity presets selectable with --quick / --full. */
+struct Fidelity
+{
+    std::uint64_t warmup = 8000;
+    std::uint64_t measure = 20000;
+    int rate_points = 8;
+};
+
+inline Fidelity
+parseFidelity(int argc, char **argv)
+{
+    Fidelity f;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--quick") {
+            f.warmup = 2000;
+            f.measure = 6000;
+            f.rate_points = 5;
+        } else if (arg == "--full") {
+            f.warmup = 20000;
+            f.measure = 60000;
+            f.rate_points = 12;
+        }
+    }
+    return f;
+}
+
+/**
+ * Run one figure: sweep every named algorithm against the pattern
+ * and print the latency/throughput series plus the sustainable-
+ * throughput ratios relative to the named baseline.
+ */
+inline void
+runFigure(const std::string &title, const Topology &topo,
+          const std::string &pattern_name,
+          const std::vector<std::string> &algorithms,
+          const std::string &baseline, double rate_lo, double rate_hi,
+          const Fidelity &fidelity)
+{
+    PatternPtr pattern = makePattern(pattern_name, topo);
+    SweepConfig sweep;
+    sweep.injection_rates =
+        SweepConfig::ladder(rate_lo, rate_hi, fidelity.rate_points);
+    sweep.sim.warmup_cycles = fidelity.warmup;
+    sweep.sim.measure_cycles = fidelity.measure;
+
+    std::vector<SweepSeries> all;
+    for (const std::string &name : algorithms) {
+        RoutingPtr routing = makeRouting(name, topo);
+        all.push_back(runSweep(*routing, *pattern, sweep));
+    }
+    printSeries(std::cout, title, all);
+
+    double base = 0.0;
+    for (const SweepSeries &s : all) {
+        if (s.algorithm == baseline)
+            base = s.maxSustainableThroughput();
+    }
+    std::cout << "-- summary (max sustainable throughput vs "
+              << baseline << ") --\n";
+    for (const SweepSeries &s : all) {
+        const double t = s.maxSustainableThroughput();
+        std::cout << "  " << s.algorithm << ": " << t << " flits/us";
+        if (base > 0.0)
+            std::cout << "  (" << t / base << "x)";
+        std::cout << '\n';
+    }
+    std::cout << std::endl;
+}
+
+} // namespace bench
+} // namespace turnmodel
+
+#endif // TURNMODEL_BENCH_COMMON_HPP

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The paper's announced follow-up ([18], Section 2: "Adding extra
+ * physical or virtual channels to the topologies allows the model to
+ * produce fully adaptive routing algorithms"): the mad-y algorithm
+ * on a 16x16 mesh whose y channels are doubled, against the
+ * partially adaptive and nonadaptive algorithms on the plain mesh.
+ * The virtual channels share physical wire bandwidth, so the
+ * comparison is at equal wiring.
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/adaptiveness.hpp"
+#include "topology/mesh.hpp"
+#include "topology/virtual_channels.hpp"
+
+using namespace turnmodel;
+
+int
+main(int argc, char **argv)
+{
+    const auto fidelity = bench::parseFidelity(argc, argv);
+
+    // Analytic preface: mad-y is *fully* adaptive (mean S/S_f = 1 on
+    // the physical mesh) while the single-channel algorithms are
+    // not.
+    {
+        NDMesh physical = NDMesh::mesh2D(8, 8);
+        VirtualizedMesh vmesh = VirtualizedMesh::doubleY(8, 8);
+        RoutingPtr mady = makeRouting("mad-y", vmesh);
+        RoutingPtr wf = makeRouting("west-first", physical);
+        std::cout << "adaptiveness on an 8x8 mesh (physical shortest "
+                     "paths):\n";
+        std::size_t full = 0, pairs = 0;
+        for (NodeId s = 0; s < physical.numNodes(); ++s) {
+            for (NodeId d = 0; d < physical.numNodes(); ++d) {
+                if (s == d)
+                    continue;
+                ++pairs;
+                // mad-y offers every profitable physical direction
+                // at the source iff the projection matches.
+                const auto offers = mady->route(s, std::nullopt, d);
+                std::vector<bool> seen(4, false);
+                for (Direction dir : offers)
+                    seen[vmesh.physicalDirection(dir).id()] = true;
+                bool all = true;
+                for (Direction dir : minimalDirections(physical, s, d))
+                    all = all && seen[dir.id()];
+                if (all)
+                    ++full;
+            }
+        }
+        std::cout << "  mad-y fully adaptive pairs: " << full << "/"
+                  << pairs << "\n";
+        const auto s = summarizeAdaptiveness(*wf);
+        std::cout << "  west-first mean S/S_f: " << std::fixed
+                  << std::setprecision(3) << s.mean_ratio << "\n\n";
+    }
+
+    VirtualizedMesh vmesh = VirtualizedMesh::doubleY(16, 16);
+    for (const char *pattern : {"uniform", "transpose"}) {
+        bench::runFigure(
+            std::string("fully-adaptive extension: double-y 16x16 / ")
+                + pattern,
+            vmesh, pattern, {"mad-y"}, "mad-y", 0.02, 0.40, fidelity);
+    }
+    NDMesh mesh = NDMesh::mesh2D(16, 16);
+    for (const char *pattern : {"uniform", "transpose"}) {
+        bench::runFigure(
+            std::string("baseline: plain 16x16 / ") + pattern, mesh,
+            pattern, {"xy", "west-first", "negative-first"}, "xy",
+            0.02, 0.40, fidelity);
+    }
+    return 0;
+}

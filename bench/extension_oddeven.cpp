@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Extension study: the odd-even turn model (Chiu 2000), the
+ * best-known descendant of the turn model, against the original
+ * partially adaptive algorithms and xy on the paper's mesh
+ * workloads plus a hotspot pattern. Odd-even's position-dependent
+ * prohibitions spread the surviving adaptiveness evenly across
+ * pairs, which shows up under nonuniform loads.
+ */
+
+#include "bench_common.hpp"
+#include "topology/mesh.hpp"
+
+using namespace turnmodel;
+
+int
+main(int argc, char **argv)
+{
+    const auto fidelity = bench::parseFidelity(argc, argv);
+    NDMesh mesh = NDMesh::mesh2D(16, 16);
+    const std::vector<std::string> algos{"xy", "west-first",
+                                         "negative-first", "odd-even"};
+    bench::runFigure("odd-even extension: 16x16 mesh / uniform", mesh,
+                     "uniform", algos, "xy", 0.02, 0.30, fidelity);
+    bench::runFigure("odd-even extension: 16x16 mesh / transpose",
+                     mesh, "transpose", algos, "xy", 0.02, 0.40,
+                     fidelity);
+    bench::runFigure("odd-even extension: 16x16 mesh / hotspot 10%",
+                     mesh, "hotspot:0.1", algos, "xy", 0.01, 0.20,
+                     fidelity);
+    return 0;
+}

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Figure 13: latency vs. throughput for uniform traffic in a 16x16
+ * mesh, comparing the nonadaptive xy algorithm with the partially
+ * adaptive west-first, north-last, and negative-first algorithms.
+ *
+ * Paper's finding: at low throughput all algorithms perform about
+ * the same; at high throughput the nonadaptive algorithm has the
+ * lower latencies and the highest sustainable throughput, because
+ * dimension-order routing happens to preserve the global evenness of
+ * uniform traffic while adaptive choices based on local information
+ * disturb it.
+ */
+
+#include "bench_common.hpp"
+#include "topology/mesh.hpp"
+
+using namespace turnmodel;
+
+int
+main(int argc, char **argv)
+{
+    const auto fidelity = bench::parseFidelity(argc, argv);
+    NDMesh mesh = NDMesh::mesh2D(16, 16);
+    bench::runFigure("figure-13: 16x16 mesh / uniform", mesh, "uniform",
+                     {"xy", "west-first", "north-last",
+                      "negative-first"},
+                     "xy", 0.02, 0.30, fidelity);
+    return 0;
+}

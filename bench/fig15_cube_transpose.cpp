@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Figure 15: latency vs. throughput for matrix-transpose traffic in
+ * a binary 8-cube, comparing nonadaptive e-cube with the partially
+ * adaptive p-cube (the hypercube negative-first), ABONF, and ABOPL.
+ *
+ * Paper's finding: the partially adaptive algorithms sustain about
+ * twice the throughput of e-cube.
+ */
+
+#include "bench_common.hpp"
+#include "topology/hypercube.hpp"
+
+using namespace turnmodel;
+
+int
+main(int argc, char **argv)
+{
+    const auto fidelity = bench::parseFidelity(argc, argv);
+    Hypercube cube(8);
+    bench::runFigure("figure-15: 8-cube / matrix-transpose", cube,
+                     "transpose",
+                     {"e-cube", "p-cube", "abonf", "abopl"}, "e-cube",
+                     0.02, 0.50, fidelity);
+    return 0;
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Microbenchmarks of routing-decision cost (google-benchmark).
+ * Section 7 notes that adaptive routing "can require more complex
+ * control logic for route selection" — in a software router that
+ * cost is the route() call. Measured over a fixed mix of
+ * source/destination pairs per algorithm, plus the analytical
+ * machinery (CDG construction, path counting).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/adaptiveness.hpp"
+#include "core/channel_dependency.hpp"
+#include "core/routing/factory.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/mesh.hpp"
+#include "util/rng.hpp"
+
+using namespace turnmodel;
+
+namespace {
+
+/** Pre-drawn random (node, dest) pairs to keep rng out of the loop. */
+std::vector<std::pair<NodeId, NodeId>>
+samplePairs(const Topology &topo, std::size_t count)
+{
+    Rng rng(1234);
+    std::vector<std::pair<NodeId, NodeId>> pairs;
+    pairs.reserve(count);
+    while (pairs.size() < count) {
+        const auto a = static_cast<NodeId>(
+            rng.nextBounded(topo.numNodes()));
+        const auto b = static_cast<NodeId>(
+            rng.nextBounded(topo.numNodes()));
+        if (a != b)
+            pairs.emplace_back(a, b);
+    }
+    return pairs;
+}
+
+void
+benchMeshRouting(benchmark::State &state, const char *name)
+{
+    NDMesh mesh = NDMesh::mesh2D(16, 16);
+    RoutingPtr routing = makeRouting(name, mesh);
+    const auto pairs = samplePairs(mesh, 1024);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const auto &[src, dst] = pairs[i++ & 1023];
+        benchmark::DoNotOptimize(
+            routing->route(src, std::nullopt, dst));
+    }
+}
+
+void
+benchCubeRouting(benchmark::State &state, const char *name)
+{
+    Hypercube cube(8);
+    RoutingPtr routing = makeRouting(name, cube);
+    const auto pairs = samplePairs(cube, 1024);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const auto &[src, dst] = pairs[i++ & 1023];
+        benchmark::DoNotOptimize(
+            routing->route(src, std::nullopt, dst));
+    }
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(benchMeshRouting, xy, "xy");
+BENCHMARK_CAPTURE(benchMeshRouting, west_first, "west-first");
+BENCHMARK_CAPTURE(benchMeshRouting, north_last, "north-last");
+BENCHMARK_CAPTURE(benchMeshRouting, negative_first, "negative-first");
+BENCHMARK_CAPTURE(benchMeshRouting, west_first_nonminimal,
+                  "west-first-nonminimal");
+BENCHMARK_CAPTURE(benchCubeRouting, e_cube, "e-cube");
+BENCHMARK_CAPTURE(benchCubeRouting, p_cube, "p-cube");
+BENCHMARK_CAPTURE(benchCubeRouting, abonf, "abonf");
+
+static void
+benchCdgConstruction(benchmark::State &state)
+{
+    NDMesh mesh = NDMesh::mesh2D(8, 8);
+    RoutingPtr routing = makeRouting("west-first", mesh);
+    for (auto _ : state) {
+        ChannelDependencyGraph cdg(*routing);
+        benchmark::DoNotOptimize(cdg.isAcyclic());
+    }
+}
+BENCHMARK(benchCdgConstruction);
+
+static void
+benchPathCounting(benchmark::State &state)
+{
+    NDMesh mesh = NDMesh::mesh2D(16, 16);
+    RoutingPtr routing = makeRouting("negative-first", mesh);
+    const auto pairs = samplePairs(mesh, 64);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const auto &[src, dst] = pairs[i++ & 63];
+        benchmark::DoNotOptimize(
+            countAllowedShortestPaths(*routing, src, dst));
+    }
+}
+BENCHMARK(benchPathCounting);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Adaptiveness tables (Sections 3.4 and 4.1): exhaustive S_p / S_f
+ * over every source-destination pair, for the 2D algorithms on the
+ * paper's 16x16 mesh and the n-dimensional algorithms on the 8-cube.
+ * Verifies the paper's bounds: mean ratio above 1/2 in 2D and above
+ * 1/2^{n-1} on the hypercube, with S_p = 1 for at least half of the
+ * 2D pairs.
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "core/adaptiveness.hpp"
+#include "core/routing/factory.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/mesh.hpp"
+#include "util/csv.hpp"
+
+using namespace turnmodel;
+
+namespace {
+
+struct Row
+{
+    std::string topology;
+    std::string algorithm;
+    AdaptivenessSummary summary;
+};
+
+void
+collect(const Topology &topo, const std::vector<std::string> &names,
+        std::vector<Row> &rows)
+{
+    for (const auto &name : names) {
+        RoutingPtr routing = makeRouting(name, topo);
+        rows.push_back({topo.name(), name,
+                        summarizeAdaptiveness(*routing)});
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    std::vector<Row> rows;
+    NDMesh mesh = NDMesh::mesh2D(16, 16);
+    collect(mesh, {"xy", "west-first", "north-last", "negative-first"},
+            rows);
+    Hypercube cube(8);
+    collect(cube, {"e-cube", "p-cube", "abonf", "abopl"}, rows);
+
+    std::cout << "== adaptiveness: S_p / S_f over all pairs ==\n";
+    std::cout << std::setw(16) << "topology" << std::setw(16)
+              << "algorithm" << std::setw(14) << "mean S_p/S_f"
+              << std::setw(13) << "frac S_p=1" << std::setw(12)
+              << "mean S_p" << '\n';
+    for (const Row &row : rows) {
+        std::cout << std::setw(16) << row.topology << std::setw(16)
+                  << row.algorithm << std::setw(14) << std::fixed
+                  << std::setprecision(4) << row.summary.mean_ratio
+                  << std::setw(13) << row.summary.fraction_single
+                  << std::setw(12) << std::setprecision(2)
+                  << row.summary.mean_paths << '\n';
+    }
+    std::cout << "\npaper bounds: 2D partially adaptive mean ratio > "
+                 "0.5; hypercube > 1/2^(n-1) = "
+              << 1.0 / 128.0 << " for n = 8\n\n";
+
+    std::cout << "-- csv --\n";
+    CsvWriter csv(std::cout);
+    csv.header({"topology", "algorithm", "mean_ratio",
+                "fraction_single", "mean_paths", "pairs"});
+    for (const Row &row : rows) {
+        csv.beginRow()
+            .field(row.topology)
+            .field(row.algorithm)
+            .field(row.summary.mean_ratio)
+            .field(row.summary.fraction_single)
+            .field(row.summary.mean_paths)
+            .field(row.summary.pairs);
+        csv.endRow();
+    }
+    return 0;
+}

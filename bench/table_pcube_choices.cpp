@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The Section 5 table: routing choices at each hop of a p-cube route
+ * from 1011010100 to 0010111001 in a binary 10-cube. The paper
+ * reports 36 shortest paths, choices of 3(+2), 2(+2), 1(+2) in phase
+ * one and 3, 2, 1 in phase two, where (+k) counts the extra
+ * nonminimal options.
+ */
+
+#include <bitset>
+#include <iomanip>
+#include <iostream>
+
+#include "core/adaptiveness.hpp"
+#include "core/routing/pcube.hpp"
+#include "topology/hypercube.hpp"
+#include "util/bitops.hpp"
+#include "util/csv.hpp"
+
+using namespace turnmodel;
+
+int
+main()
+{
+    Hypercube cube(10);
+    PCubeRouting pcube(cube);
+    const NodeId src = 0b1011010100;
+    const NodeId dst = 0b0010111001;
+    // The paper's table takes dimensions 2, 9, 6, 5, 0, 3.
+    const int taken[] = {2, 9, 6, 5, 0, 3};
+
+    std::cout << "== section-5 table: p-cube routing choices in a "
+                 "10-cube ==\n";
+    std::cout << "source      " << std::bitset<10>(src) << '\n';
+    std::cout << "destination " << std::bitset<10>(dst) << '\n';
+    std::cout << "hamming distance h = "
+              << cube.hammingDistance(src, dst) << ", shortest paths "
+              << "allowed by p-cube = " << pcubePathCount(cube, src, dst)
+              << " (fully adaptive: "
+              << factorial(cube.hammingDistance(src, dst)) << ")\n\n";
+
+    std::cout << std::setw(12) << "address" << std::setw(9) << "choices"
+              << std::setw(9) << "(nonmin)" << std::setw(11)
+              << "dim taken" << std::setw(10) << "phase" << '\n';
+
+    struct Row
+    {
+        std::string address;
+        std::size_t choices;
+        std::size_t nonmin;
+        int dim;
+        const char *phase;
+    };
+    std::vector<Row> rows;
+
+    NodeId at = src;
+    for (int dim : taken) {
+        const auto ch = pcube.choices(at, dst);
+        const bool phase1 = (at & complementBits(dst, 10)) != 0;
+        rows.push_back({std::bitset<10>(at).to_string(),
+                        ch.minimal_dims.size(),
+                        ch.nonminimal_dims.size(), dim,
+                        phase1 ? "phase 1" : "phase 2"});
+        at = cube.neighborAcross(at, dim);
+    }
+
+    for (const Row &row : rows) {
+        std::cout << std::setw(12) << row.address << std::setw(9)
+                  << row.choices << std::setw(7) << "(+" << row.nonmin
+                  << ")" << std::setw(10) << row.dim << std::setw(10)
+                  << row.phase << '\n';
+    }
+    std::cout << std::setw(12) << std::bitset<10>(at)
+              << "  destination\n\n";
+
+    std::cout << "-- csv --\n";
+    CsvWriter csv(std::cout);
+    csv.header({"address", "choices", "nonminimal_extra", "dim_taken",
+                "phase"});
+    for (const Row &row : rows) {
+        csv.beginRow()
+            .field(row.address)
+            .field(static_cast<std::uint64_t>(row.choices))
+            .field(static_cast<std::uint64_t>(row.nonmin))
+            .field(row.dim)
+            .field(row.phase);
+        csv.endRow();
+    }
+    return 0;
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The Section 1 background claim, regenerated: "In the absence of
+ * contention, the latencies for store-and-forward are proportional
+ * to the product of packet length and distance to travel. The
+ * latencies for wormhole routing ... are proportional to the sum."
+ * One lone packet per measurement, across distances and lengths, for
+ * both switching techniques.
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "core/routing/factory.hpp"
+#include "sim/network.hpp"
+#include "topology/mesh.hpp"
+#include "util/csv.hpp"
+
+using namespace turnmodel;
+
+namespace {
+
+class SilentPattern : public TrafficPattern
+{
+  public:
+    std::optional<NodeId> destination(NodeId, Rng &) const override
+    {
+        return std::nullopt;
+    }
+    std::string name() const override { return "silent"; }
+    bool isDeterministic() const override { return true; }
+};
+
+double
+lonePacketLatencyCycles(Switching mode, int hops, std::uint32_t length)
+{
+    NDMesh mesh = NDMesh::mesh2D(16, 2);
+    RoutingPtr routing = makeRouting("xy", mesh);
+    SilentPattern silent;
+    SimConfig cfg;
+    cfg.switching = mode;
+    cfg.lengths = PacketLengthDist::fixed(length);
+    if (mode == Switching::StoreAndForward)
+        cfg.buffer_depth = length;
+    Network net(*routing, silent, cfg);
+    net.post(mesh.node({0, 0}), mesh.node({hops, 0}), length);
+    while (net.now() < 1000000) {
+        net.step();
+        const auto done = net.drainCompletions();
+        if (!done.empty())
+            return done.front().delivered - done.front().created;
+    }
+    return -1.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "== section-1: switching technique latency, lone "
+                 "packet (cycles = flit times) ==\n";
+    std::cout << std::setw(6) << "hops" << std::setw(8) << "flits"
+              << std::setw(12) << "wormhole" << std::setw(10) << "L+D"
+              << std::setw(12) << "SAF" << std::setw(10) << "L*D"
+              << '\n';
+
+    struct Row
+    {
+        int hops;
+        std::uint32_t length;
+        double wormhole;
+        double saf;
+    };
+    std::vector<Row> rows;
+    for (int hops : {2, 5, 10, 15}) {
+        for (std::uint32_t length : {10u, 50u, 200u}) {
+            Row row{hops, length,
+                    lonePacketLatencyCycles(Switching::Wormhole, hops,
+                                            length),
+                    lonePacketLatencyCycles(Switching::StoreAndForward,
+                                            hops, length)};
+            rows.push_back(row);
+            std::cout << std::setw(6) << hops << std::setw(8) << length
+                      << std::setw(12) << std::fixed
+                      << std::setprecision(0) << row.wormhole
+                      << std::setw(10) << hops + length
+                      << std::setw(12) << row.saf << std::setw(10)
+                      << hops * length << '\n';
+        }
+    }
+
+    std::cout << "\n-- csv --\n";
+    CsvWriter csv(std::cout);
+    csv.header({"hops", "flits", "wormhole_cycles",
+                "sum_prediction", "saf_cycles", "product_prediction"});
+    for (const Row &row : rows) {
+        csv.beginRow()
+            .field(row.hops)
+            .field(static_cast<std::uint64_t>(row.length))
+            .field(row.wormhole)
+            .field(static_cast<std::uint64_t>(row.hops + row.length))
+            .field(row.saf)
+            .field(static_cast<std::uint64_t>(row.hops * row.length));
+        csv.endRow();
+    }
+    return 0;
+}

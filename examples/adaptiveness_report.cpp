@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Adaptiveness report: reproduces the analytical content of the
+ * paper's Sections 3.4, 4.1 and 5 —
+ *
+ *  - S_p / S_f for the three 2D partially adaptive algorithms,
+ *    exhaustively over all source/destination pairs of a mesh,
+ *    showing the average exceeds 1/2;
+ *  - the same for the n-dimensional algorithms on a hypercube,
+ *    showing the average exceeds 1/2^{n-1}; and
+ *  - the Section 5 worked example: p-cube routing choices hop by hop
+ *    from 1011010100 to 0010111001 in a binary 10-cube.
+ */
+
+#include <bitset>
+#include <iomanip>
+#include <iostream>
+
+#include "core/adaptiveness.hpp"
+#include "core/routing/factory.hpp"
+#include "core/routing/pcube.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/mesh.hpp"
+
+using namespace turnmodel;
+
+namespace {
+
+void
+report(const Topology &topo, const std::vector<std::string> &names)
+{
+    std::cout << "== " << topo.name() << " ==\n";
+    std::cout << std::setw(18) << "algorithm" << std::setw(14)
+              << "mean S_p/S_f" << std::setw(14) << "frac S_p=1"
+              << std::setw(12) << "mean S_p" << '\n';
+    for (const std::string &name : names) {
+        RoutingPtr routing = makeRouting(name, topo);
+        const AdaptivenessSummary s = summarizeAdaptiveness(*routing);
+        std::cout << std::setw(18) << name
+                  << std::setw(14) << std::fixed << std::setprecision(4)
+                  << s.mean_ratio
+                  << std::setw(14) << s.fraction_single
+                  << std::setw(12) << std::setprecision(2)
+                  << s.mean_paths << '\n';
+    }
+    std::cout << '\n';
+}
+
+} // namespace
+
+int
+main()
+{
+    NDMesh mesh = NDMesh::mesh2D(8, 8);
+    report(mesh, {"xy", "west-first", "north-last", "negative-first"});
+
+    Hypercube cube6(6);
+    report(cube6, {"e-cube", "p-cube", "abonf", "abopl"});
+
+    // Section 5 worked example in the binary 10-cube.
+    Hypercube cube10(10);
+    PCubeRouting pcube(cube10);
+    const NodeId src = 0b1011010100;
+    const NodeId dst = 0b0010111001;
+    std::cout << "== p-cube worked example (10-cube) ==\n";
+    std::cout << "src " << std::bitset<10>(src) << "  dst "
+              << std::bitset<10>(dst) << "\n";
+    std::cout << "shortest paths allowed by p-cube: "
+              << pcubePathCount(cube10, src, dst) << " (fully adaptive: "
+              << factorial(cube10.hammingDistance(src, dst)) << ")\n";
+    std::cout << std::setw(14) << "address" << std::setw(10) << "choices"
+              << std::setw(12) << "(nonmin)" << std::setw(6) << "dim"
+              << '\n';
+    NodeId at = src;
+    while (at != dst) {
+        const auto ch = pcube.choices(at, dst);
+        // Follow the paper's table: take the lowest minimal dimension
+        // except where it picks a specific one; lowest is fine for
+        // illustrating the counts.
+        const int dim = ch.minimal_dims.front();
+        std::cout << std::setw(14) << std::bitset<10>(at)
+                  << std::setw(10) << ch.minimal_dims.size()
+                  << std::setw(10) << "(+" << ch.nonminimal_dims.size()
+                  << ")" << std::setw(5) << dim << '\n';
+        at = cube10.neighborAcross(at, dim);
+    }
+    std::cout << std::setw(14) << std::bitset<10>(at)
+              << "  destination\n";
+    return 0;
+}

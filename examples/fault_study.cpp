@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Fault-tolerance walkthrough: break channels in a mesh and watch
+ * the reachability-guarded nonminimal routing steer around them —
+ * the paper's argument (Sections 1, 3.3, 7) that nonminimal routing
+ * buys fault tolerance, made concrete.
+ *
+ * Usage: fault_study [num_faults] [seed]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/channel_dependency.hpp"
+#include "core/routing/turn_table.hpp"
+#include "topology/faults.hpp"
+#include "topology/mesh.hpp"
+
+using namespace turnmodel;
+
+namespace {
+
+double
+connectivity(const RoutingAlgorithm &routing)
+{
+    const Topology &topo = routing.topology();
+    std::size_t good = 0, total = 0;
+    for (NodeId s = 0; s < topo.numNodes(); ++s) {
+        for (NodeId d = 0; d < topo.numNodes(); ++d) {
+            if (s == d)
+                continue;
+            ++total;
+            if (!routing.route(s, std::nullopt, d).empty())
+                ++good;
+        }
+    }
+    return static_cast<double>(good) / static_cast<double>(total);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::size_t num_faults =
+        argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 5;
+    const std::uint64_t seed =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 42;
+
+    NDMesh mesh = NDMesh::mesh2D(8, 8);
+    Rng rng(seed);
+    FaultyTopology faulty =
+        FaultyTopology::withRandomFaults(mesh, num_faults, rng);
+
+    std::cout << faulty.name() << "; failed channels:\n";
+    ChannelSpace space(mesh);
+    for (ChannelId ch : faulty.faults())
+        std::cout << "  " << space.toString(ch) << '\n';
+
+    TurnTableRouting minimal(faulty, TurnSet::westFirst(), true,
+                             "west-first (minimal)");
+    TurnTableRouting nonminimal(faulty, TurnSet::westFirst(), false,
+                                "west-first (nonminimal)");
+
+    for (const RoutingAlgorithm *routing :
+         {static_cast<const RoutingAlgorithm *>(&minimal),
+          static_cast<const RoutingAlgorithm *>(&nonminimal)}) {
+        ChannelDependencyGraph cdg(*routing);
+        std::cout << "\n" << routing->name() << ":\n"
+                  << "  deadlock free: "
+                  << (cdg.isAcyclic() ? "yes" : "NO") << "\n"
+                  << "  connected pairs: " << connectivity(*routing) * 100
+                  << "%\n";
+    }
+
+    // Show one detour in detail: find a pair the minimal variant
+    // lost but the nonminimal one still connects.
+    for (NodeId s = 0; s < mesh.numNodes(); ++s) {
+        for (NodeId d = 0; d < mesh.numNodes(); ++d) {
+            if (s == d)
+                continue;
+            if (!minimal.route(s, std::nullopt, d).empty() ||
+                nonminimal.route(s, std::nullopt, d).empty()) {
+                continue;
+            }
+            std::cout << "\ndetour example "
+                      << coordsToString(mesh.coords(s)) << " -> "
+                      << coordsToString(mesh.coords(d))
+                      << " (minimal routing: stranded):\n ";
+            NodeId at = s;
+            std::optional<Direction> in;
+            int hops = 0;
+            while (at != d && hops < 40) {
+                const auto options = nonminimal.route(at, in, d);
+                const Direction take = options.front();
+                std::cout << " " << directionName(take);
+                at = *faulty.neighbor(at, take);
+                in = take;
+                ++hops;
+            }
+            std::cout << "  (" << hops << " hops, minimal distance "
+                      << mesh.distance(s, d) << ")\n";
+            return 0;
+        }
+    }
+    std::cout << "\nno stranded pairs under minimal routing with this "
+                 "fault draw; rerun with more faults.\n";
+    return 0;
+}

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Command-line traffic study: sweep any set of routing algorithms
+ * against any traffic pattern on a mesh, hypercube, or torus and
+ * print the latency/throughput series. This is the general-purpose
+ * front end to the harness behind the paper's Figures 13-16.
+ *
+ * Usage:
+ *   traffic_study [--topo mesh16x16|cube8|torus8x8|hex8x8|oct8x8|
+ *                         doubley16x16]
+ *                 [--pattern uniform|transpose|reverse-flip|...]
+ *                 [--algos xy,west-first,...] [--rates lo:hi:n]
+ *                 [--warmup N] [--measure N] [--seed S]
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <sstream>
+
+#include "core/routing/factory.hpp"
+#include "sim/sweep.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/mesh.hpp"
+#include "topology/hex.hpp"
+#include "topology/oct.hpp"
+#include "topology/torus.hpp"
+#include "topology/virtual_channels.hpp"
+#include "util/logging.hpp"
+
+using namespace turnmodel;
+
+namespace {
+
+std::pair<int, int>
+parseDims(const std::string &spec, std::size_t base)
+{
+    const std::string dims = spec.substr(base);
+    const auto x = dims.find('x');
+    TM_ASSERT(x != std::string::npos, "expected <m>x<n> in ", spec);
+    return {std::atoi(dims.substr(0, x).c_str()),
+            std::atoi(dims.substr(x + 1).c_str())};
+}
+
+std::unique_ptr<Topology>
+makeTopology(const std::string &spec)
+{
+    if (spec.rfind("cube", 0) == 0)
+        return std::make_unique<Hypercube>(std::atoi(spec.c_str() + 4));
+    if (spec.rfind("torus", 0) == 0) {
+        const auto [m, n] = parseDims(spec, 5);
+        TM_ASSERT(m == n, "tori here are k-ary n-cubes; use k=k");
+        return std::make_unique<KAryNCube>(m, 2);
+    }
+    if (spec.rfind("hex", 0) == 0) {
+        const auto [m, n] = parseDims(spec, 3);
+        return std::make_unique<HexMesh>(m, n);
+    }
+    if (spec.rfind("oct", 0) == 0) {
+        const auto [m, n] = parseDims(spec, 3);
+        return std::make_unique<OctMesh>(m, n);
+    }
+    if (spec.rfind("doubley", 0) == 0) {
+        const auto [m, n] = parseDims(spec, 7);
+        return std::make_unique<VirtualizedMesh>(Shape{m, n},
+                                                 std::vector<int>{1, 2});
+    }
+    if (spec.rfind("mesh", 0) == 0) {
+        const auto [m, n] = parseDims(spec, 4);
+        return std::make_unique<NDMesh>(Shape{m, n});
+    }
+    TM_FATAL("unknown topology '", spec, "'");
+}
+
+std::vector<std::string>
+splitList(const std::string &arg)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(arg);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        out.push_back(item);
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string topo_spec = "mesh16x16";
+    std::string pattern_name = "uniform";
+    std::string algos;
+    double rate_lo = 0.01, rate_hi = 0.5;
+    int rate_points = 8;
+    SweepConfig sweep;
+    sweep.sim.warmup_cycles = 5000;
+    sweep.sim.measure_cycles = 15000;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> const char * {
+            TM_ASSERT(i + 1 < argc, arg, " needs a value");
+            return argv[++i];
+        };
+        if (arg == "--topo") {
+            topo_spec = next();
+        } else if (arg == "--pattern") {
+            pattern_name = next();
+        } else if (arg == "--algos") {
+            algos = next();
+        } else if (arg == "--rates") {
+            const std::string spec = next();
+            std::stringstream ss(spec);
+            std::string part;
+            std::getline(ss, part, ':');
+            rate_lo = std::atof(part.c_str());
+            std::getline(ss, part, ':');
+            rate_hi = std::atof(part.c_str());
+            std::getline(ss, part, ':');
+            rate_points = std::atoi(part.c_str());
+        } else if (arg == "--warmup") {
+            sweep.sim.warmup_cycles = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--measure") {
+            sweep.sim.measure_cycles = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--seed") {
+            sweep.sim.seed = std::strtoull(next(), nullptr, 10);
+        } else {
+            TM_FATAL("unknown option '", arg, "'");
+        }
+    }
+
+    auto topo = makeTopology(topo_spec);
+    auto pattern = makePattern(pattern_name, *topo);
+    const std::vector<std::string> algo_names = algos.empty()
+        ? availableRoutingNames(*topo) : splitList(algos);
+    sweep.injection_rates =
+        SweepConfig::ladder(rate_lo, rate_hi, rate_points);
+
+    std::vector<SweepSeries> all;
+    for (const std::string &name : algo_names) {
+        RoutingPtr routing = makeRouting(name, *topo);
+        TM_INFORM("sweeping ", name, " on ", topo->name(), " under ",
+                  pattern->name());
+        all.push_back(runSweep(*routing, *pattern, sweep));
+    }
+    printSeries(std::cout,
+                topo->name() + " / " + pattern->name(), all);
+    return 0;
+}

@@ -1,0 +1,199 @@
+#include "core/adaptiveness.hpp"
+
+#include <cstdlib>
+#include <unordered_map>
+
+#include "util/bitops.hpp"
+#include "util/logging.hpp"
+
+namespace turnmodel {
+
+std::uint64_t
+binomial(int n, int k)
+{
+    TM_ASSERT(n >= 0 && k >= 0 && k <= n, "binomial domain error");
+    k = std::min(k, n - k);
+    std::uint64_t result = 1;
+    for (int i = 1; i <= k; ++i) {
+        // result * (n - k + i) / i is always integral at this point.
+        const std::uint64_t numer = static_cast<std::uint64_t>(n - k + i);
+        TM_ASSERT(result <= ~0ULL / numer, "binomial overflow");
+        result = result * numer / static_cast<std::uint64_t>(i);
+    }
+    return result;
+}
+
+std::uint64_t
+factorial(int n)
+{
+    TM_ASSERT(n >= 0 && n <= 20, "factorial overflow");
+    std::uint64_t result = 1;
+    for (int i = 2; i <= n; ++i)
+        result *= static_cast<std::uint64_t>(i);
+    return result;
+}
+
+namespace {
+
+/** Per-dimension coordinate offsets dest - src. */
+std::vector<int>
+deltas(const Topology &mesh, NodeId src, NodeId dest)
+{
+    const Coords s = mesh.coords(src);
+    const Coords d = mesh.coords(dest);
+    std::vector<int> out(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i)
+        out[i] = d[i] - s[i];
+    return out;
+}
+
+/** Multinomial (sum |delta_i|)! / prod(|delta_i|!). */
+std::uint64_t
+multinomial(const std::vector<int> &delta)
+{
+    int total = 0;
+    std::uint64_t result = 1;
+    for (int d : delta) {
+        const int a = std::abs(d);
+        total += a;
+        result *= binomial(total, a);
+    }
+    return result;
+}
+
+} // namespace
+
+std::uint64_t
+fullyAdaptivePathCount(const Topology &mesh, NodeId src, NodeId dest)
+{
+    return multinomial(deltas(mesh, src, dest));
+}
+
+std::uint64_t
+westFirstPathCount(const Topology &mesh, NodeId src, NodeId dest)
+{
+    TM_ASSERT(mesh.numDims() == 2, "west-first S is a 2D formula");
+    const auto d = deltas(mesh, src, dest);
+    if (d[0] >= 0)
+        return multinomial(d);
+    return 1;
+}
+
+std::uint64_t
+northLastPathCount(const Topology &mesh, NodeId src, NodeId dest)
+{
+    TM_ASSERT(mesh.numDims() == 2, "north-last S is a 2D formula");
+    const auto d = deltas(mesh, src, dest);
+    if (d[1] <= 0)
+        return multinomial(d);
+    return 1;
+}
+
+std::uint64_t
+negativeFirstPathCount(const Topology &mesh, NodeId src, NodeId dest)
+{
+    const auto delta = deltas(mesh, src, dest);
+    // Shortest paths factor into an adaptive phase over the negative
+    // moves followed by an adaptive phase over the positive moves.
+    std::vector<int> neg, pos;
+    for (int d : delta) {
+        if (d < 0)
+            neg.push_back(d);
+        else if (d > 0)
+            pos.push_back(d);
+    }
+    return multinomial(neg) * multinomial(pos);
+}
+
+std::uint64_t
+pcubePathCount(const Topology &cube, NodeId src, NodeId dest)
+{
+    const int n = cube.numDims();
+    const std::uint64_t s = src;
+    const std::uint64_t d = dest;
+    const int h1 = popcount(s & complementBits(d, n));
+    const int h0 = popcount(complementBits(s, n) & d);
+    return factorial(h1) * factorial(h0);
+}
+
+std::uint64_t
+countAllowedShortestPaths(const RoutingAlgorithm &routing, NodeId src,
+                          NodeId dest)
+{
+    if (src == dest)
+        return 1;
+    const Topology &topo = routing.topology();
+    // Memoized DFS over (node, arrival direction) states; arrival
+    // direction matters only for input-dependent algorithms but is
+    // cheap to key on regardless.
+    std::unordered_map<std::uint64_t, std::uint64_t> memo;
+    const auto key = [&topo](NodeId v, std::optional<Direction> in) {
+        const std::uint64_t state = in ? 1 + in->id() : 0;
+        return static_cast<std::uint64_t>(v)
+            * static_cast<std::uint64_t>(topo.numDirs() + 1) + state;
+    };
+
+    const auto count = [&](auto &&self, NodeId v,
+                           std::optional<Direction> in) -> std::uint64_t {
+        if (v == dest)
+            return 1;
+        const auto it = memo.find(key(v, in));
+        if (it != memo.end())
+            return it->second;
+        std::uint64_t total = 0;
+        for (Direction d : routing.route(v, in, dest)) {
+            const auto next = topo.neighbor(v, d);
+            TM_ASSERT(next, "routing offered a nonexistent hop");
+            // Restrict to shortest paths.
+            if (topo.distance(*next, dest) >= topo.distance(v, dest))
+                continue;
+            total += self(self, *next, d);
+        }
+        memo.emplace(key(v, in), total);
+        return total;
+    };
+    return count(count, src, std::nullopt);
+}
+
+AdaptivenessSummary
+summarizeAdaptiveness(const RoutingAlgorithm &routing)
+{
+    const Topology &topo = routing.topology();
+    // The closed-form S_f is the orthogonal-mesh multinomial; for
+    // topologies whose routing dimensions exceed their coordinate
+    // dimensions (hex, octagonal), compute S_f by exhaustive
+    // counting instead (see the extension benches).
+    TM_ASSERT(topo.numDims() ==
+                  static_cast<int>(topo.shape().size()),
+              "summarizeAdaptiveness requires an orthogonal mesh; "
+              "count S_f exhaustively for other topologies");
+    AdaptivenessSummary summary;
+    double ratio_sum = 0.0;
+    double path_sum = 0.0;
+    std::uint64_t singles = 0;
+    for (NodeId src = 0; src < topo.numNodes(); ++src) {
+        for (NodeId dst = 0; dst < topo.numNodes(); ++dst) {
+            if (src == dst)
+                continue;
+            const std::uint64_t sp =
+                countAllowedShortestPaths(routing, src, dst);
+            const std::uint64_t sf =
+                fullyAdaptivePathCount(topo, src, dst);
+            ratio_sum += static_cast<double>(sp) / static_cast<double>(sf);
+            path_sum += static_cast<double>(sp);
+            if (sp == 1)
+                ++singles;
+            ++summary.pairs;
+        }
+    }
+    if (summary.pairs > 0) {
+        summary.mean_ratio = ratio_sum / static_cast<double>(summary.pairs);
+        summary.mean_paths = path_sum / static_cast<double>(summary.pairs);
+        summary.fraction_single =
+            static_cast<double>(singles) /
+            static_cast<double>(summary.pairs);
+    }
+    return summary;
+}
+
+} // namespace turnmodel

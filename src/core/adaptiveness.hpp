@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Degree-of-adaptiveness metrics (Glass & Ni, Sections 3.4, 4.1 and
+ * 5): S_algorithm, the number of shortest paths an algorithm allows
+ * between a source and destination, the fully adaptive reference S_f,
+ * and the ratio S_p / S_f averaged over all pairs.
+ *
+ * Two independent computations are provided — the paper's closed
+ * forms and an exhaustive dynamic-programming count over the routing
+ * function itself — so each can validate the other.
+ */
+
+#ifndef TURNMODEL_CORE_ADAPTIVENESS_HPP
+#define TURNMODEL_CORE_ADAPTIVENESS_HPP
+
+#include <cstdint>
+
+#include "core/routing.hpp"
+
+namespace turnmodel {
+
+/** Exact binomial coefficient; panics on overflow of 64 bits. */
+std::uint64_t binomial(int n, int k);
+
+/** Exact factorial; panics on overflow of 64 bits. */
+std::uint64_t factorial(int n);
+
+/**
+ * Number of shortest paths between two nodes of a mesh for a fully
+ * adaptive algorithm: the multinomial coefficient
+ * (sum |delta_i|)! / prod |delta_i|!.
+ */
+std::uint64_t fullyAdaptivePathCount(const Topology &mesh, NodeId src,
+                                     NodeId dest);
+
+/**
+ * Closed-form S for the paper's three 2D partially adaptive
+ * algorithms and the n-D negative-first algorithm.
+ * @{
+ */
+std::uint64_t westFirstPathCount(const Topology &mesh, NodeId src,
+                                 NodeId dest);
+std::uint64_t northLastPathCount(const Topology &mesh, NodeId src,
+                                 NodeId dest);
+std::uint64_t negativeFirstPathCount(const Topology &mesh, NodeId src,
+                                     NodeId dest);
+/** @} */
+
+/**
+ * Closed-form S for p-cube routing on a hypercube: h1! * h0! with
+ * h1 = |S & ~D| and h0 = |~S & D| (Section 5).
+ */
+std::uint64_t pcubePathCount(const Topology &cube, NodeId src, NodeId dest);
+
+/**
+ * Exhaustive count of the shortest paths a routing algorithm allows
+ * from src to dest, by memoized enumeration of the routing function
+ * restricted to profitable hops. Works for input-dependent
+ * algorithms as well (the memo is keyed on node and arrival
+ * direction).
+ */
+std::uint64_t countAllowedShortestPaths(const RoutingAlgorithm &routing,
+                                        NodeId src, NodeId dest);
+
+/** Aggregate adaptiveness of an algorithm over all node pairs. */
+struct AdaptivenessSummary
+{
+    double mean_ratio = 0.0;       ///< Average of S_p / S_f over pairs.
+    double fraction_single = 0.0;  ///< Fraction of pairs with S_p == 1.
+    double mean_paths = 0.0;       ///< Average S_p.
+    std::uint64_t pairs = 0;       ///< Ordered pairs counted.
+};
+
+/**
+ * Compute the summary by exhaustive counting over every ordered
+ * source/destination pair of the topology.
+ */
+AdaptivenessSummary
+summarizeAdaptiveness(const RoutingAlgorithm &routing);
+
+} // namespace turnmodel
+
+#endif // TURNMODEL_CORE_ADAPTIVENESS_HPP

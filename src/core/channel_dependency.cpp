@@ -1,0 +1,174 @@
+#include "core/channel_dependency.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/logging.hpp"
+
+namespace turnmodel {
+
+ChannelDependencyGraph::ChannelDependencyGraph(
+        const RoutingAlgorithm &routing)
+    : space_(routing.topology())
+{
+    succ_.assign(space_.idBound(), {});
+    for (NodeId dest = 0; dest < routing.topology().numNodes(); ++dest)
+        addEdgesForDestination(routing, dest);
+    // Deduplicate adjacency lists (edges repeat across destinations).
+    for (auto &list : succ_) {
+        std::sort(list.begin(), list.end());
+        list.erase(std::unique(list.begin(), list.end()), list.end());
+    }
+}
+
+void
+ChannelDependencyGraph::addEdgesForDestination(
+        const RoutingAlgorithm &routing, NodeId dest)
+{
+    const Topology &topo = routing.topology();
+    // Forward exploration of channel states a packet destined to
+    // `dest` can occupy, seeded by every possible injection.
+    std::vector<bool> visited(space_.idBound(), false);
+    std::deque<ChannelId> queue;
+
+    for (NodeId src = 0; src < topo.numNodes(); ++src) {
+        if (src == dest)
+            continue;
+        for (Direction d : routing.route(src, std::nullopt, dest)) {
+            const ChannelId ch = space_.id(src, d);
+            TM_ASSERT(space_.exists(ch),
+                      "routing offered a nonexistent hop ",
+                      space_.toString(ch));
+            if (!visited[ch]) {
+                visited[ch] = true;
+                queue.push_back(ch);
+            }
+        }
+    }
+
+    while (!queue.empty()) {
+        const ChannelId ch = queue.front();
+        queue.pop_front();
+        const NodeId at = space_.destination(ch);
+        if (at == dest)
+            continue;
+        const Direction in_dir = space_.direction(ch);
+        for (Direction d : routing.route(at, in_dir, dest)) {
+            const ChannelId next = space_.id(at, d);
+            TM_ASSERT(space_.exists(next),
+                      "routing offered a nonexistent hop ",
+                      space_.toString(next));
+            succ_[ch].push_back(next);
+            if (!visited[next]) {
+                visited[next] = true;
+                queue.push_back(next);
+            }
+        }
+    }
+}
+
+std::size_t
+ChannelDependencyGraph::numEdges() const
+{
+    std::size_t count = 0;
+    for (const auto &list : succ_)
+        count += list.size();
+    return count;
+}
+
+const std::vector<ChannelId> &
+ChannelDependencyGraph::successors(ChannelId c) const
+{
+    return succ_[c];
+}
+
+bool
+ChannelDependencyGraph::isAcyclic() const
+{
+    return findCycle().empty();
+}
+
+std::vector<ChannelId>
+ChannelDependencyGraph::findCycle() const
+{
+    // Iterative DFS with colors; on finding a back edge, reconstruct
+    // the cycle from the stack.
+    enum class Color : std::uint8_t { White, Gray, Black };
+    std::vector<Color> color(space_.idBound(), Color::White);
+    std::vector<ChannelId> stack;
+    // Frame: (channel, next successor index to try).
+    std::vector<std::pair<ChannelId, std::size_t>> frames;
+
+    for (ChannelId root : space_.channels()) {
+        if (color[root] != Color::White)
+            continue;
+        frames.emplace_back(root, 0);
+        color[root] = Color::Gray;
+        stack.push_back(root);
+        while (!frames.empty()) {
+            auto &[ch, idx] = frames.back();
+            if (idx < succ_[ch].size()) {
+                const ChannelId next = succ_[ch][idx++];
+                if (color[next] == Color::White) {
+                    color[next] = Color::Gray;
+                    stack.push_back(next);
+                    frames.emplace_back(next, 0);
+                } else if (color[next] == Color::Gray) {
+                    // Back edge: the cycle is the stack suffix that
+                    // starts at `next`.
+                    auto it = std::find(stack.begin(), stack.end(), next);
+                    TM_ASSERT(it != stack.end(), "gray node not on stack");
+                    return std::vector<ChannelId>(it, stack.end());
+                }
+            } else {
+                color[ch] = Color::Black;
+                stack.pop_back();
+                frames.pop_back();
+            }
+        }
+    }
+    return {};
+}
+
+std::vector<std::uint32_t>
+ChannelDependencyGraph::topologicalNumbering() const
+{
+    // Kahn's algorithm over the existing channels; dependencies must
+    // strictly *decrease* the assigned number, so number in reverse
+    // topological order.
+    std::vector<std::uint32_t> indegree(space_.idBound(), 0);
+    for (ChannelId ch : space_.channels()) {
+        for (ChannelId next : succ_[ch])
+            ++indegree[next];
+    }
+    std::deque<ChannelId> ready;
+    for (ChannelId ch : space_.channels()) {
+        if (indegree[ch] == 0)
+            ready.push_back(ch);
+    }
+    std::vector<std::uint32_t> number(space_.idBound(), 0);
+    std::uint32_t next_number = static_cast<std::uint32_t>(
+        space_.count());
+    std::size_t assigned = 0;
+    while (!ready.empty()) {
+        const ChannelId ch = ready.front();
+        ready.pop_front();
+        number[ch] = next_number--;
+        ++assigned;
+        for (ChannelId nxt : succ_[ch]) {
+            if (--indegree[nxt] == 0)
+                ready.push_back(nxt);
+        }
+    }
+    if (assigned != space_.count())
+        return {};
+    return number;
+}
+
+bool
+isDeadlockFree(const RoutingAlgorithm &routing)
+{
+    return ChannelDependencyGraph(routing).isAcyclic();
+}
+
+} // namespace turnmodel

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Channel-dependency-graph (CDG) deadlock analysis after Dally &
+ * Seitz: a wormhole routing algorithm is deadlock free iff the graph
+ * whose vertices are the network channels, with an edge c1 -> c2
+ * whenever a packet holding c1 can request c2 next, is acyclic.
+ *
+ * The graph is built from *realizable* dependencies only: for each
+ * destination, channel states are explored forward from every
+ * injection point, so a dependency appears only if some packet can
+ * actually be steered into it. This machine-checks Theorems 2-5 on
+ * concrete networks and demonstrates the Figure 4 counterexamples.
+ */
+
+#ifndef TURNMODEL_CORE_CHANNEL_DEPENDENCY_HPP
+#define TURNMODEL_CORE_CHANNEL_DEPENDENCY_HPP
+
+#include <optional>
+#include <vector>
+
+#include "core/routing.hpp"
+#include "topology/channel.hpp"
+
+namespace turnmodel {
+
+/** The channel dependency graph of one routing algorithm. */
+class ChannelDependencyGraph
+{
+  public:
+    /**
+     * Build the realizable CDG of @p routing over its topology.
+     *
+     * @param routing Routing algorithm to analyze.
+     */
+    explicit ChannelDependencyGraph(const RoutingAlgorithm &routing);
+
+    /** The channel space the graph is indexed by. */
+    const ChannelSpace &channels() const { return space_; }
+
+    /** Number of dependency edges. */
+    std::size_t numEdges() const;
+
+    /** Channels that c directly depends on (may be requested next). */
+    const std::vector<ChannelId> &successors(ChannelId c) const;
+
+    /** Whether the graph is acyclic (= routing is deadlock free). */
+    bool isAcyclic() const;
+
+    /**
+     * A witness cycle when one exists: a sequence of channels
+     * c_0 -> c_1 -> ... -> c_0; empty when the graph is acyclic.
+     */
+    std::vector<ChannelId> findCycle() const;
+
+    /**
+     * A topological numbering of the channels such that every
+     * dependency strictly decreases the number — the existence of
+     * which is exactly the Dally-Seitz deadlock-freedom criterion.
+     * Empty when the graph has a cycle.
+     */
+    std::vector<std::uint32_t> topologicalNumbering() const;
+
+  private:
+    void addEdgesForDestination(const RoutingAlgorithm &routing,
+                                NodeId dest);
+
+    ChannelSpace space_;
+    /** Adjacency (successor) lists indexed by channel id. */
+    std::vector<std::vector<ChannelId>> succ_;
+};
+
+/**
+ * Convenience check: whether a routing algorithm is deadlock free on
+ * its topology per the realizable-CDG criterion.
+ */
+bool isDeadlockFree(const RoutingAlgorithm &routing);
+
+} // namespace turnmodel
+
+#endif // TURNMODEL_CORE_CHANNEL_DEPENDENCY_HPP

@@ -1,0 +1,140 @@
+#include "core/cycle_analysis.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace turnmodel {
+
+std::vector<AbstractCycle>
+abstractCycles(int num_dims)
+{
+    std::vector<AbstractCycle> cycles;
+    for (int i = 0; i < num_dims; ++i) {
+        for (int j = i + 1; j < num_dims; ++j) {
+            const Direction east(static_cast<std::uint8_t>(i), true);
+            const Direction west(static_cast<std::uint8_t>(i), false);
+            const Direction north(static_cast<std::uint8_t>(j), true);
+            const Direction south(static_cast<std::uint8_t>(j), false);
+
+            AbstractCycle cw;
+            cw.dim_low = i;
+            cw.dim_high = j;
+            cw.sense = TurnSense::Clockwise;
+            cw.turns = {Turn(east, south), Turn(south, west),
+                        Turn(west, north), Turn(north, east)};
+            cycles.push_back(cw);
+
+            AbstractCycle ccw;
+            ccw.dim_low = i;
+            ccw.dim_high = j;
+            ccw.sense = TurnSense::Counterclockwise;
+            ccw.turns = {Turn(east, north), Turn(north, west),
+                         Turn(west, south), Turn(south, east)};
+            cycles.push_back(ccw);
+        }
+    }
+    return cycles;
+}
+
+int
+countAbstractCycles(int num_dims)
+{
+    return num_dims * (num_dims - 1);
+}
+
+int
+minimumProhibitedTurns(int num_dims)
+{
+    return num_dims * (num_dims - 1);
+}
+
+bool
+breaksAllAbstractCycles(const TurnSet &set, int num_dims)
+{
+    for (const AbstractCycle &cycle : abstractCycles(num_dims)) {
+        const bool broken = std::any_of(
+            cycle.turns.begin(), cycle.turns.end(),
+            [&set](Turn t) { return !set.isAllowed(t); });
+        if (!broken)
+            return false;
+    }
+    return true;
+}
+
+SquareSymmetry::SquareSymmetry(int index)
+    : rotation_(index % 4), reflect_(index >= 4)
+{
+    TM_ASSERT(index >= 0 && index < groupSize(), "symmetry index 0..7");
+}
+
+Direction
+SquareSymmetry::apply(Direction d) const
+{
+    TM_ASSERT(d.dim < 2, "square symmetries act on 2D directions");
+    // Represent a direction as one of E=0, N=1, W=2, S=3 and rotate
+    // counterclockwise by 90 degrees per rotation step.
+    int quadrant;
+    if (d.dim == 0)
+        quadrant = d.positive ? 0 : 2;
+    else
+        quadrant = d.positive ? 1 : 3;
+    if (reflect_) {
+        // Mirror across the x axis: N <-> S.
+        quadrant = (4 - quadrant) % 4;
+    }
+    quadrant = (quadrant + rotation_) % 4;
+    switch (quadrant) {
+      case 0: return dir2d::East;
+      case 1: return dir2d::North;
+      case 2: return dir2d::West;
+      default: return dir2d::South;
+    }
+}
+
+Turn
+SquareSymmetry::apply(Turn t) const
+{
+    return Turn(apply(t.from), apply(t.to));
+}
+
+TurnSet
+SquareSymmetry::apply(const TurnSet &set) const
+{
+    TM_ASSERT(set.numDims() == 2, "square symmetries act on 2D turn sets");
+    TurnSet out(2);
+    for (Turn t : all90DegreeTurns(2)) {
+        if (set.isAllowed(t))
+            out.allow(apply(t));
+    }
+    for (Direction d : allDirections(2)) {
+        if (set.isAllowed(Turn(d, d)))
+            out.allow(apply(Turn(d, d)));
+        if (set.isAllowed(Turn(d, d.opposite())))
+            out.allow(apply(Turn(d, d.opposite())));
+    }
+    return out;
+}
+
+std::vector<std::size_t>
+symmetryOrbitRepresentatives(const std::vector<TurnSet> &sets)
+{
+    std::vector<bool> covered(sets.size(), false);
+    std::vector<std::size_t> reps;
+    for (std::size_t i = 0; i < sets.size(); ++i) {
+        if (covered[i])
+            continue;
+        reps.push_back(i);
+        // Mark every set equivalent to sets[i] under some symmetry.
+        for (int s = 0; s < SquareSymmetry::groupSize(); ++s) {
+            const TurnSet image = SquareSymmetry(s).apply(sets[i]);
+            for (std::size_t j = i; j < sets.size(); ++j) {
+                if (!covered[j] && sets[j] == image)
+                    covered[j] = true;
+            }
+        }
+    }
+    return reps;
+}
+
+} // namespace turnmodel

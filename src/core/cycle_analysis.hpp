@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Abstract-cycle analysis (Steps 2-4 of the turn model). Each plane
+ * (i, j) of an n-dimensional network contributes two abstract cycles
+ * of four 90-degree turns each — the clockwise and counterclockwise
+ * cycles of Figure 2 — for n(n-1) cycles in total. Breaking one turn
+ * per abstract cycle is necessary for deadlock freedom (Theorem 1)
+ * but not sufficient (Figure 4); sufficiency is established by the
+ * channel-dependency-graph check in channel_dependency.hpp.
+ */
+
+#ifndef TURNMODEL_CORE_CYCLE_ANALYSIS_HPP
+#define TURNMODEL_CORE_CYCLE_ANALYSIS_HPP
+
+#include <array>
+#include <vector>
+
+#include "core/turn_set.hpp"
+
+namespace turnmodel {
+
+/** One of the two four-turn cycles of a plane. */
+struct AbstractCycle
+{
+    int dim_low;        ///< Lower dimension i of the plane (i, j).
+    int dim_high;       ///< Higher dimension j.
+    TurnSense sense;    ///< Rotational sense of the cycle.
+    std::array<Turn, 4> turns;
+};
+
+/** The n(n-1) abstract cycles of an n-dimensional network. */
+std::vector<AbstractCycle> abstractCycles(int num_dims);
+
+/** Count of abstract cycles, n(n-1). */
+int countAbstractCycles(int num_dims);
+
+/**
+ * Theorem 1 lower bound: the minimum number of turns that must be
+ * prohibited to prevent deadlock, n(n-1) — one quarter of the
+ * 4n(n-1) turns.
+ */
+int minimumProhibitedTurns(int num_dims);
+
+/**
+ * True when @p set prohibits at least one turn of every abstract
+ * cycle. Necessary for deadlock freedom; not sufficient (Figure 4).
+ */
+bool breaksAllAbstractCycles(const TurnSet &set, int num_dims);
+
+/**
+ * The symmetry group of the 2D turn diagram: the eight symmetries of
+ * the square act on directions (and hence on turns and turn sets).
+ * Used to reduce the twelve deadlock-free two-turn prohibitions of a
+ * 2D mesh to the paper's three unique algorithms.
+ */
+class SquareSymmetry
+{
+  public:
+    /** @param index Symmetry index in [0, 8): 4 rotations x optional
+     * reflection. */
+    explicit SquareSymmetry(int index);
+
+    /** Number of symmetries in the group. */
+    static constexpr int groupSize() { return 8; }
+
+    Direction apply(Direction d) const;
+    Turn apply(Turn t) const;
+    TurnSet apply(const TurnSet &set) const;
+
+  private:
+    int rotation_;   ///< Quarter turns, 0..3.
+    bool reflect_;   ///< Mirror across the x axis first.
+};
+
+/**
+ * Partition a family of 2D turn sets into orbits under the square's
+ * symmetry group; returns one representative index per orbit.
+ */
+std::vector<std::size_t>
+symmetryOrbitRepresentatives(const std::vector<TurnSet> &sets);
+
+} // namespace turnmodel
+
+#endif // TURNMODEL_CORE_CYCLE_ANALYSIS_HPP

@@ -1,0 +1,80 @@
+#include "core/numbering.hpp"
+
+#include <numeric>
+
+#include "util/logging.hpp"
+
+namespace turnmodel {
+
+ChannelNumbering
+theorem5Numbering(const Topology &mesh)
+{
+    const ChannelSpace space(mesh);
+    const int n = mesh.numDims();
+    const std::int64_t big_k = std::accumulate(
+        mesh.shape().begin(), mesh.shape().end(), std::int64_t{0});
+
+    ChannelNumbering numbering(space.idBound(), 0);
+    for (ChannelId ch : space.channels()) {
+        const Coords c = mesh.coords(space.source(ch));
+        const std::int64_t x = std::accumulate(c.begin(), c.end(),
+                                               std::int64_t{0});
+        const Direction d = space.direction(ch);
+        numbering[ch] = d.positive ? big_k - n + x : big_k - n - x;
+    }
+    return numbering;
+}
+
+ChannelNumbering
+westFirstNumbering(const Topology &mesh)
+{
+    TM_ASSERT(mesh.numDims() == 2,
+              "the Theorem 2 numbering applies to 2D meshes");
+    const ChannelSpace space(mesh);
+    const std::int64_t m = mesh.radix(0);
+    const std::int64_t n = mesh.radix(1);
+
+    ChannelNumbering numbering(space.idBound(), 0);
+    for (ChannelId ch : space.channels()) {
+        const Coords c = mesh.coords(space.source(ch));
+        const std::int64_t x = c[0];
+        const std::int64_t y = c[1];
+        const Direction d = space.direction(ch);
+        std::int64_t a;
+        std::int64_t b = 0;
+        if (d == dir2d::West) {
+            a = 3 * m + x;
+        } else if (d == dir2d::East) {
+            a = 3 * (m - 1 - x);
+        } else if (d == dir2d::North) {
+            a = 3 * (m - 1 - x) + 1;
+            b = n - 1 - y;
+        } else {
+            a = 3 * (m - 1 - x) + 1;
+            b = y;
+        }
+        numbering[ch] = a * n + b;
+    }
+    return numbering;
+}
+
+bool
+verifyMonotone(const RoutingAlgorithm &routing,
+               const ChannelNumbering &numbering, Monotonic direction)
+{
+    const ChannelDependencyGraph cdg(routing);
+    TM_ASSERT(numbering.size() >= cdg.channels().idBound(),
+              "numbering does not cover the channel space");
+    for (ChannelId c1 : cdg.channels().channels()) {
+        for (ChannelId c2 : cdg.successors(c1)) {
+            const bool ok = direction == Monotonic::StrictlyIncreasing
+                ? numbering[c2] > numbering[c1]
+                : numbering[c2] < numbering[c1];
+            if (!ok)
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace turnmodel

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Channel numbering schemes used in the paper's deadlock-freedom
+ * proofs. Dally & Seitz showed a routing algorithm is deadlock free
+ * if the channels can be numbered so every packet is routed along
+ * strictly decreasing (or increasing) numbers. This module provides
+ *
+ *  - the explicit Theorem 5 numbering for negative-first routing on
+ *    n-dimensional meshes (positive channels K-n+X, negative channels
+ *    K-n-X, X the coordinate sum of the source node),
+ *  - a Theorem 2-style two-digit numbering for west-first routing on
+ *    2D meshes, and
+ *  - a verifier that checks a numbering is strictly monotone along
+ *    every realizable dependency of a routing algorithm.
+ */
+
+#ifndef TURNMODEL_CORE_NUMBERING_HPP
+#define TURNMODEL_CORE_NUMBERING_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "core/channel_dependency.hpp"
+#include "core/routing.hpp"
+#include "topology/channel.hpp"
+
+namespace turnmodel {
+
+/** An assignment of a number to every channel, indexed by channel id. */
+using ChannelNumbering = std::vector<std::int64_t>;
+
+/**
+ * Theorem 5 numbering for an n-dimensional mesh: each channel leaving
+ * a node with coordinate sum X in a positive direction is numbered
+ * K - n + X, and in a negative direction K - n - X, where K is the
+ * sum of the radices. Negative-first routing follows strictly
+ * increasing numbers under this scheme.
+ */
+ChannelNumbering theorem5Numbering(const Topology &mesh);
+
+/**
+ * A Theorem 2-style numbering for west-first routing on a 2D mesh:
+ * westward channels get higher numbers the farther east they start
+ * (they are used first, in decreasing order going west), and all
+ * other channels get lower numbers that decrease as routing
+ * progresses. West-first routing follows strictly decreasing numbers.
+ *
+ * Construction (two digits a, b; number = a*n + b): a westward
+ * channel leaving column x has a = 3m + x (above every other
+ * channel, decreasing going west); an eastward channel leaving
+ * column x has a = 3(m-1-x); north/south channels leaving (x, y)
+ * have a = 3(m-1-x) + 1 with b = n-1-y (north) or b = y (south), so
+ * straight runs decrease b while every turn the algorithm allows
+ * strictly decreases a.
+ */
+ChannelNumbering westFirstNumbering(const Topology &mesh);
+
+/** Direction of monotonicity a numbering must satisfy. */
+enum class Monotonic
+{
+    StrictlyIncreasing,
+    StrictlyDecreasing,
+};
+
+/**
+ * Verify that every realizable dependency edge c1 -> c2 of
+ * @p routing satisfies the monotonicity: number[c2] > number[c1]
+ * (increasing) or number[c2] < number[c1] (decreasing).
+ *
+ * @return true when the numbering certifies deadlock freedom.
+ */
+bool verifyMonotone(const RoutingAlgorithm &routing,
+                    const ChannelNumbering &numbering, Monotonic direction);
+
+} // namespace turnmodel
+
+#endif // TURNMODEL_CORE_NUMBERING_HPP

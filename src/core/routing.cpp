@@ -1,0 +1,26 @@
+#include "core/routing.hpp"
+
+namespace turnmodel {
+
+bool
+isProfitable(const Topology &topo, NodeId current, Direction dir,
+             NodeId dest)
+{
+    const auto next = topo.neighbor(current, dir);
+    if (!next)
+        return false;
+    return topo.distance(*next, dest) < topo.distance(current, dest);
+}
+
+std::vector<Direction>
+minimalDirections(const Topology &topo, NodeId current, NodeId dest)
+{
+    std::vector<Direction> dirs;
+    for (Direction d : allDirections(topo.numDims())) {
+        if (isProfitable(topo, current, d, dest))
+            dirs.push_back(d);
+    }
+    return dirs;
+}
+
+} // namespace turnmodel

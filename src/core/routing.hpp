@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The routing-function interface shared by the analytical layer (the
+ * deadlock checker, adaptiveness counters) and the wormhole simulator.
+ * A routing algorithm maps (current node, arrival direction,
+ * destination) to the set of output directions the packet's header may
+ * take; the simulator's output-selection policy picks among them.
+ */
+
+#ifndef TURNMODEL_CORE_ROUTING_HPP
+#define TURNMODEL_CORE_ROUTING_HPP
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "topology/topology.hpp"
+
+namespace turnmodel {
+
+/**
+ * Abstract routing function.
+ *
+ * Contract: route() is never called with current == dest (delivery is
+ * the caller's job), every returned direction corresponds to an
+ * existing hop, and the returned set must be non-empty for every
+ * state the algorithm can actually steer a packet into — otherwise
+ * the algorithm is not routing-complete and the packet would stall
+ * forever.
+ */
+class RoutingAlgorithm
+{
+  public:
+    virtual ~RoutingAlgorithm() = default;
+
+    /**
+     * Candidate output directions.
+     *
+     * @param current Node holding the packet's header flit.
+     * @param in_dir  Direction the packet was travelling when it
+     *                entered @p current; nullopt for a freshly
+     *                injected packet.
+     * @param dest    Destination node.
+     */
+    virtual std::vector<Direction>
+    route(NodeId current, std::optional<Direction> in_dir, NodeId dest)
+        const = 0;
+
+    /** Algorithm name as used in the paper ("xy", "west-first", ...). */
+    virtual std::string name() const = 0;
+
+    /** The topology this instance routes on. */
+    virtual const Topology &topology() const = 0;
+
+    /** Whether every offered hop lies on a shortest path. */
+    virtual bool isMinimal() const = 0;
+
+    /**
+     * Whether route() actually reads in_dir. Input-independent
+     * algorithms admit a simpler shortest-path count (memoized on the
+     * node alone).
+     */
+    virtual bool isInputDependent() const { return false; }
+};
+
+/**
+ * Directions that strictly reduce the distance to @p dest — the
+ * "profitable" hops of minimal routing. For tori both ways around a
+ * ring are returned when they tie.
+ */
+std::vector<Direction>
+minimalDirections(const Topology &topo, NodeId current, NodeId dest);
+
+/** True when moving from @p current along @p dir reduces distance. */
+bool isProfitable(const Topology &topo, NodeId current, Direction dir,
+                  NodeId dest);
+
+using RoutingPtr = std::unique_ptr<RoutingAlgorithm>;
+
+} // namespace turnmodel
+
+#endif // TURNMODEL_CORE_ROUTING_HPP

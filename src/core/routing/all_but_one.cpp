@@ -1,0 +1,76 @@
+#include "core/routing/all_but_one.hpp"
+
+#include "util/logging.hpp"
+
+namespace turnmodel {
+
+AllButOneNegativeFirstRouting::AllButOneNegativeFirstRouting(
+        const Topology &topo)
+    : topo_(topo)
+{
+    TM_ASSERT(topo.numDims() >= 2, "abonf needs at least two dimensions");
+}
+
+std::vector<Direction>
+AllButOneNegativeFirstRouting::route(NodeId current,
+                                     std::optional<Direction>,
+                                     NodeId dest) const
+{
+    const Coords cur = topo_.coords(current);
+    const Coords dst = topo_.coords(dest);
+    const std::size_t last = cur.size() - 1;
+    // Phase one: negative hops in dimensions 0..n-2, adaptively.
+    std::vector<Direction> dirs;
+    for (std::size_t d = 0; d < last; ++d) {
+        if (dst[d] < cur[d])
+            dirs.emplace_back(static_cast<std::uint8_t>(d), false);
+    }
+    if (!dirs.empty())
+        return dirs;
+    // Phase two: every other profitable direction (all positives plus
+    // the negative direction of dimension n-1), adaptively.
+    for (std::size_t d = 0; d < cur.size(); ++d) {
+        if (dst[d] > cur[d])
+            dirs.emplace_back(static_cast<std::uint8_t>(d), true);
+    }
+    if (dst[last] < cur[last])
+        dirs.emplace_back(static_cast<std::uint8_t>(last), false);
+    TM_ASSERT(!dirs.empty(), "route() called with current == dest");
+    return dirs;
+}
+
+AllButOnePositiveLastRouting::AllButOnePositiveLastRouting(
+        const Topology &topo)
+    : topo_(topo)
+{
+    TM_ASSERT(topo.numDims() >= 2, "abopl needs at least two dimensions");
+}
+
+std::vector<Direction>
+AllButOnePositiveLastRouting::route(NodeId current,
+                                    std::optional<Direction>,
+                                    NodeId dest) const
+{
+    const Coords cur = topo_.coords(current);
+    const Coords dst = topo_.coords(dest);
+    // Phase one: all negative directions plus the positive direction
+    // of dimension 0, adaptively.
+    std::vector<Direction> dirs;
+    for (std::size_t d = 0; d < cur.size(); ++d) {
+        if (dst[d] < cur[d])
+            dirs.emplace_back(static_cast<std::uint8_t>(d), false);
+    }
+    if (dst[0] > cur[0])
+        dirs.emplace_back(static_cast<std::uint8_t>(0), true);
+    if (!dirs.empty())
+        return dirs;
+    // Phase two: the remaining positive directions, adaptively.
+    for (std::size_t d = 1; d < cur.size(); ++d) {
+        if (dst[d] > cur[d])
+            dirs.emplace_back(static_cast<std::uint8_t>(d), true);
+    }
+    TM_ASSERT(!dirs.empty(), "route() called with current == dest");
+    return dirs;
+}
+
+} // namespace turnmodel

@@ -1,0 +1,40 @@
+#include "core/routing/dimension_order.hpp"
+
+#include "util/logging.hpp"
+
+namespace turnmodel {
+
+DimensionOrderRouting::DimensionOrderRouting(const Topology &topo)
+    : topo_(topo)
+{
+}
+
+std::vector<Direction>
+DimensionOrderRouting::route(NodeId current, std::optional<Direction>,
+                             NodeId dest) const
+{
+    const Coords cur = topo_.coords(current);
+    const Coords dst = topo_.coords(dest);
+    for (std::size_t d = 0; d < cur.size(); ++d) {
+        if (cur[d] == dst[d])
+            continue;
+        const Direction dir(static_cast<std::uint8_t>(d), dst[d] > cur[d]);
+        TM_ASSERT(topo_.neighbor(current, dir).has_value(),
+                  "dimension-order hop missing from topology");
+        return {dir};
+    }
+    TM_PANIC("route() called with current == dest");
+}
+
+std::string
+DimensionOrderRouting::name() const
+{
+    if (topo_.numDims() == 2)
+        return "xy";
+    bool all_binary = true;
+    for (int d = 0; d < topo_.numDims(); ++d)
+        all_binary = all_binary && topo_.radix(d) == 2;
+    return all_binary ? "e-cube" : "dimension-order";
+}
+
+} // namespace turnmodel

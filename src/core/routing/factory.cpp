@@ -1,0 +1,209 @@
+#include "core/routing/factory.hpp"
+
+#include <memory>
+
+#include "core/routing/all_but_one.hpp"
+#include "core/routing/dimension_order.hpp"
+#include "core/routing/mad_y.hpp"
+#include "topology/hex.hpp"
+#include "topology/oct.hpp"
+#include "core/routing/negative_first.hpp"
+#include "core/routing/north_last.hpp"
+#include "core/routing/odd_even.hpp"
+#include "core/routing/pcube.hpp"
+#include "core/routing/torus_adapters.hpp"
+#include "core/routing/turn_table.hpp"
+#include "core/routing/west_first.hpp"
+#include "core/turn_set.hpp"
+#include "util/logging.hpp"
+
+namespace turnmodel {
+
+namespace {
+
+/**
+ * Owns the companion mesh an inner algorithm routes over, together
+ * with the wraparound-first-hop wrapper itself.
+ */
+class OwningWrapFirstHop : public RoutingAlgorithm
+{
+  public:
+    OwningWrapFirstHop(const KAryNCube &torus,
+                       const std::string &inner_name)
+        : mesh_(std::make_unique<NDMesh>(torus.shape()))
+    {
+        impl_ = std::make_unique<WraparoundFirstHopRouting>(
+            torus, makeRouting(inner_name, *mesh_));
+    }
+
+    std::vector<Direction>
+    route(NodeId current, std::optional<Direction> in_dir, NodeId dest)
+        const override
+    {
+        return impl_->route(current, in_dir, dest);
+    }
+
+    std::string name() const override { return impl_->name(); }
+    const Topology &topology() const override
+    {
+        return impl_->topology();
+    }
+    bool isMinimal() const override { return impl_->isMinimal(); }
+    bool isInputDependent() const override { return true; }
+
+  private:
+    std::unique_ptr<NDMesh> mesh_;
+    std::unique_ptr<WraparoundFirstHopRouting> impl_;
+};
+
+bool
+isBinaryShape(const Topology &topo)
+{
+    for (int d = 0; d < topo.numDims(); ++d) {
+        if (topo.radix(d) != 2)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+RoutingPtr
+makeRouting(const std::string &name, const Topology &topo)
+{
+    const auto *cube = dynamic_cast<const Hypercube *>(&topo);
+    const auto *torus = dynamic_cast<const KAryNCube *>(&topo);
+
+    // Hexagonal meshes route through the generic turn-rule machinery
+    // (their axes are not independent coordinates, so the
+    // coordinate-phase algorithm classes do not apply).
+    if (dynamic_cast<const HexMesh *>(&topo)) {
+        if (name == "negative-first" ||
+            name == "negative-first-nonminimal") {
+            return std::make_unique<TurnTableRouting>(
+                topo, TurnSet::negativeFirst(3),
+                name == "negative-first", name);
+        }
+        if (name == "axis-order" || name == "dimension-order") {
+            return std::make_unique<TurnTableRouting>(
+                topo, TurnSet::dimensionOrder(3), true, "axis-order");
+        }
+        TM_FATAL("hex meshes support axis-order and negative-first; "
+                 "got '", name, "'");
+    }
+    if (dynamic_cast<const OctMesh *>(&topo)) {
+        if (name == "negative-first" ||
+            name == "negative-first-nonminimal") {
+            return std::make_unique<TurnTableRouting>(
+                topo, TurnSet::negativeFirst(4),
+                name == "negative-first", name);
+        }
+        if (name == "axis-order" || name == "dimension-order") {
+            return std::make_unique<TurnTableRouting>(
+                topo, TurnSet::dimensionOrder(4), true, "axis-order");
+        }
+        TM_FATAL("octagonal meshes support axis-order and "
+                 "negative-first; got '", name, "'");
+    }
+
+    if (name == "xy" || name == "dimension-order" || name == "e-cube") {
+        if (cube)
+            return std::make_unique<ECubeRouting>(*cube);
+        return std::make_unique<DimensionOrderRouting>(topo);
+    }
+    if (name == "west-first")
+        return std::make_unique<WestFirstRouting>(topo);
+    if (name == "north-last")
+        return std::make_unique<NorthLastRouting>(topo);
+    if (name == "negative-first")
+        return std::make_unique<NegativeFirstRouting>(topo);
+    if (name == "abonf")
+        return std::make_unique<AllButOneNegativeFirstRouting>(topo);
+    if (name == "abopl")
+        return std::make_unique<AllButOnePositiveLastRouting>(topo);
+    if (name == "p-cube" || name == "p-cube-nonminimal") {
+        if (!cube)
+            TM_FATAL("p-cube routing requires a hypercube topology");
+        return std::make_unique<PCubeRouting>(*cube, name == "p-cube");
+    }
+    if (name == "west-first-nonminimal") {
+        return std::make_unique<TurnTableRouting>(
+            topo, TurnSet::westFirst(), false, "west-first-nonminimal");
+    }
+    if (name == "north-last-nonminimal") {
+        return std::make_unique<TurnTableRouting>(
+            topo, TurnSet::northLast(), false, "north-last-nonminimal");
+    }
+    if (name == "negative-first-nonminimal") {
+        return std::make_unique<TurnTableRouting>(
+            topo, TurnSet::negativeFirst(topo.numDims()), false,
+            "negative-first-nonminimal");
+    }
+    if (name == "odd-even" || name == "odd-even-nonminimal") {
+        return std::make_unique<OddEvenRouting>(topo, name == "odd-even");
+    }
+    if (name == "mad-y" || name == "mad-y-nonminimal") {
+        const auto *vmesh = dynamic_cast<const VirtualizedMesh *>(&topo);
+        if (!vmesh)
+            TM_FATAL("mad-y requires a double-y virtualized mesh");
+        return std::make_unique<MadYRouting>(*vmesh, name == "mad-y");
+    }
+    if (name == "torus-negative-first") {
+        if (!torus)
+            TM_FATAL("torus-negative-first requires a k-ary n-cube");
+        return std::make_unique<TorusNegativeFirstRouting>(*torus);
+    }
+    if (name.rfind("wrap-first-hop:", 0) == 0) {
+        if (!torus)
+            TM_FATAL("wrap-first-hop requires a k-ary n-cube");
+        const std::string inner = name.substr(std::string(
+            "wrap-first-hop:").size());
+        return std::make_unique<OwningWrapFirstHop>(*torus, inner);
+    }
+    TM_FATAL("unknown routing algorithm '", name, "'");
+}
+
+std::vector<std::string>
+availableRoutingNames(const Topology &topo)
+{
+    std::vector<std::string> names;
+    if (dynamic_cast<const HexMesh *>(&topo) ||
+        dynamic_cast<const OctMesh *>(&topo)) {
+        return {"axis-order", "negative-first",
+                "negative-first-nonminimal"};
+    }
+    const bool binary = isBinaryShape(topo);
+    names.push_back(topo.numDims() == 2 && !binary ? "xy"
+                    : binary ? "e-cube" : "dimension-order");
+    if (topo.numDims() == 2) {
+        names.push_back("west-first");
+        names.push_back("north-last");
+        names.push_back("west-first-nonminimal");
+        names.push_back("north-last-nonminimal");
+        names.push_back("odd-even");
+        names.push_back("odd-even-nonminimal");
+    }
+    names.push_back("negative-first");
+    names.push_back("negative-first-nonminimal");
+    if (topo.numDims() >= 2) {
+        names.push_back("abonf");
+        names.push_back("abopl");
+    }
+    if (dynamic_cast<const Hypercube *>(&topo)) {
+        names.push_back("p-cube");
+        names.push_back("p-cube-nonminimal");
+    }
+    if (dynamic_cast<const VirtualizedMesh *>(&topo)) {
+        names.push_back("mad-y");
+        names.push_back("mad-y-nonminimal");
+    }
+    if (const auto *torus = dynamic_cast<const KAryNCube *>(&topo);
+        torus && torus->k() > 2) {
+        names.push_back("torus-negative-first");
+        names.push_back("wrap-first-hop:negative-first");
+        names.push_back("wrap-first-hop:dimension-order");
+    }
+    return names;
+}
+
+} // namespace turnmodel

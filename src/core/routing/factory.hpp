@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Name-based construction of routing algorithms, so that examples,
+ * tests and benchmark harnesses can select algorithms from the
+ * command line with the names used in the paper.
+ */
+
+#ifndef TURNMODEL_CORE_ROUTING_FACTORY_HPP
+#define TURNMODEL_CORE_ROUTING_FACTORY_HPP
+
+#include <string>
+#include <vector>
+
+#include "core/routing.hpp"
+
+namespace turnmodel {
+
+/**
+ * Construct a routing algorithm by name.
+ *
+ * Mesh / hypercube names: "xy" (alias "dimension-order", "e-cube"),
+ * "west-first", "north-last", "negative-first", "abonf", "abopl",
+ * "p-cube" (hypercubes only), and nonminimal variants
+ * "west-first-nonminimal", "north-last-nonminimal",
+ * "negative-first-nonminimal", "p-cube-nonminimal".
+ *
+ * Torus names: "wrap-first-hop:<inner>" (e.g.
+ * "wrap-first-hop:negative-first") and "torus-negative-first".
+ *
+ * @param name Algorithm name.
+ * @param topo Topology; must outlive the returned object.
+ * @return The algorithm; fatal error for unknown names or
+ *         algorithm/topology mismatches.
+ */
+RoutingPtr makeRouting(const std::string &name, const Topology &topo);
+
+/** Names accepted by makeRouting for the given topology. */
+std::vector<std::string> availableRoutingNames(const Topology &topo);
+
+} // namespace turnmodel
+
+#endif // TURNMODEL_CORE_ROUTING_FACTORY_HPP

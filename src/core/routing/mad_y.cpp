@@ -1,0 +1,61 @@
+#include "core/routing/mad_y.hpp"
+
+#include "util/logging.hpp"
+
+namespace turnmodel {
+
+TurnSet
+madYTurnSet()
+{
+    // Virtual dimensions: 0 = x, 1 = y1, 2 = y2.
+    const auto in_a = [](Direction d) {
+        // A = {W, N1, S1}: westward travel plus the first y pair.
+        return (d.dim == 0 && !d.positive) || d.dim == 1;
+    };
+    TurnSet set(3);
+    for (Turn t : all90DegreeTurns(3)) {
+        // Once a packet leaves A (is on E, N2, or S2) it may not
+        // return.
+        if (!(in_a(t.to) && !in_a(t.from)))
+            set.allow(t);
+    }
+    set.allowAllStraight();
+    return set;
+}
+
+MadYRouting::MadYRouting(const VirtualizedMesh &mesh, bool minimal)
+{
+    TM_ASSERT(mesh.numPhysicalDims() == 2 && mesh.vcsOf(0) == 1 &&
+                  mesh.vcsOf(1) == 2,
+              "mad-y requires the double-y virtualized mesh");
+    impl_ = std::make_unique<TurnTableRouting>(
+        mesh, madYTurnSet(), minimal,
+        minimal ? "mad-y" : "mad-y-nonminimal");
+}
+
+std::vector<Direction>
+MadYRouting::route(NodeId current, std::optional<Direction> in_dir,
+                   NodeId dest) const
+{
+    return impl_->route(current, in_dir, dest);
+}
+
+std::string
+MadYRouting::name() const
+{
+    return impl_->name();
+}
+
+const Topology &
+MadYRouting::topology() const
+{
+    return impl_->topology();
+}
+
+bool
+MadYRouting::isMinimal() const
+{
+    return impl_->isMinimal();
+}
+
+} // namespace turnmodel

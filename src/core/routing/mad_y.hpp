@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fully adaptive routing from the turn model plus one extra virtual
+ * channel — the result Glass & Ni announce as forthcoming work [18]
+ * ("Maximally fully adaptive routing in 2D meshes"): double only the
+ * y channels of a 2D mesh and apply the turn model to the six
+ * virtual directions W, E, N1, S1, N2, S2.
+ *
+ * Partition the virtual directions into A = {W, N1, S1} and
+ * B = {E, N2, S2} and prohibit every turn from B back into A. Within
+ * A the abstract cycles of planes (x, y1) lack E, within B those of
+ * (x, y2) lack W, and the (y1, y2) cycles all need a B->A turn, so
+ * every cycle is broken. A packet that still needs westward hops
+ * routes fully adaptively on A; once its westward needs are done it
+ * routes fully adaptively on B — every shortest path of the physical
+ * mesh is available (S = S_f for all pairs), at the cost of one
+ * extra virtual channel per y-dimension wire.
+ */
+
+#ifndef TURNMODEL_CORE_ROUTING_MAD_Y_HPP
+#define TURNMODEL_CORE_ROUTING_MAD_Y_HPP
+
+#include <memory>
+
+#include "core/routing/turn_table.hpp"
+#include "topology/virtual_channels.hpp"
+
+namespace turnmodel {
+
+/**
+ * The allowed-turn set of the mad-y algorithm over the three virtual
+ * dimensions (x, y1, y2) of a double-y mesh.
+ */
+TurnSet madYTurnSet();
+
+/** Fully adaptive mad-y routing on a double-y virtualized 2D mesh. */
+class MadYRouting : public RoutingAlgorithm
+{
+  public:
+    /**
+     * @param mesh    Double-y virtualized mesh (1 x pair, 2 y
+     *                pairs); must outlive this object.
+     * @param minimal Restrict to shortest physical paths.
+     */
+    explicit MadYRouting(const VirtualizedMesh &mesh,
+                         bool minimal = true);
+
+    std::vector<Direction>
+    route(NodeId current, std::optional<Direction> in_dir, NodeId dest)
+        const override;
+    std::string name() const override;
+    const Topology &topology() const override;
+    bool isMinimal() const override;
+    bool isInputDependent() const override { return true; }
+
+  private:
+    std::unique_ptr<TurnTableRouting> impl_;
+};
+
+} // namespace turnmodel
+
+#endif // TURNMODEL_CORE_ROUTING_MAD_Y_HPP

@@ -1,0 +1,36 @@
+#include "core/routing/north_last.hpp"
+
+#include "util/logging.hpp"
+
+namespace turnmodel {
+
+NorthLastRouting::NorthLastRouting(const Topology &topo)
+    : topo_(topo)
+{
+    TM_ASSERT(topo.numDims() == 2, "north-last routing is defined on 2D");
+}
+
+std::vector<Direction>
+NorthLastRouting::route(NodeId current, std::optional<Direction>,
+                        NodeId dest) const
+{
+    const Coords cur = topo_.coords(current);
+    const Coords dst = topo_.coords(dest);
+    // Adaptive phase: west, south, and east while any of them is
+    // profitable. North is deferred because a northbound packet may
+    // not turn again.
+    std::vector<Direction> dirs;
+    if (dst[0] < cur[0])
+        dirs.push_back(dir2d::West);
+    if (dst[1] < cur[1])
+        dirs.push_back(dir2d::South);
+    if (dst[0] > cur[0])
+        dirs.push_back(dir2d::East);
+    if (!dirs.empty())
+        return dirs;
+    // Final phase: a straight northward run.
+    TM_ASSERT(dst[1] > cur[1], "route() called with current == dest");
+    return {dir2d::North};
+}
+
+} // namespace turnmodel

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The odd-even turn model (Chiu, IEEE TPDS 2000) — the best-known
+ * descendant of Glass & Ni's turn model, included here as an
+ * extension. Instead of prohibiting the same turns everywhere (which
+ * concentrates the surviving adaptiveness in particular quadrants),
+ * the odd-even model prohibits turns *by column parity*:
+ *
+ *  - Rule 1: no east->north turn at a node in an even column, and no
+ *    north->west turn at a node in an odd column;
+ *  - Rule 2: no east->south turn at a node in an even column, and no
+ *    south->west turn at a node in an odd column.
+ *
+ * The rightmost turns a packet can make toward west are thereby
+ * staggered so that no two packets can sustain a cycle, while the
+ * degree of adaptiveness is spread far more evenly across
+ * source/destination pairs than west-first's. Deadlock freedom is
+ * machine-checked by the channel-dependency-graph tests rather than
+ * assumed.
+ */
+
+#ifndef TURNMODEL_CORE_ROUTING_ODD_EVEN_HPP
+#define TURNMODEL_CORE_ROUTING_ODD_EVEN_HPP
+
+#include <memory>
+
+#include "core/routing/turn_table.hpp"
+
+namespace turnmodel {
+
+/** The odd-even model's position-dependent turn rule for @p topo. */
+TurnRule oddEvenTurnRule(const Topology &topo);
+
+/** Odd-even turn model routing on a 2D mesh. */
+class OddEvenRouting : public RoutingAlgorithm
+{
+  public:
+    /**
+     * @param topo    2D mesh; must outlive this object.
+     * @param minimal Restrict to shortest paths.
+     */
+    explicit OddEvenRouting(const Topology &topo, bool minimal = true);
+
+    std::vector<Direction>
+    route(NodeId current, std::optional<Direction> in_dir, NodeId dest)
+        const override;
+    std::string name() const override;
+    const Topology &topology() const override;
+    bool isMinimal() const override;
+    bool isInputDependent() const override { return true; }
+
+  private:
+    std::unique_ptr<PositionalTurnRouting> impl_;
+};
+
+} // namespace turnmodel
+
+#endif // TURNMODEL_CORE_ROUTING_ODD_EVEN_HPP

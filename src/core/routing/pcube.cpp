@@ -1,0 +1,92 @@
+#include "core/routing/pcube.hpp"
+
+#include "util/bitops.hpp"
+#include "util/logging.hpp"
+
+namespace turnmodel {
+
+namespace {
+
+/**
+ * Direction of the hop across dimension i from a node whose bit i is
+ * c_i: flipping 1 -> 0 travels negative, 0 -> 1 travels positive.
+ */
+Direction
+hopDirection(std::uint64_t address, int dim)
+{
+    return Direction(static_cast<std::uint8_t>(dim),
+                     !bitOf(address, dim));
+}
+
+} // namespace
+
+ECubeRouting::ECubeRouting(const Hypercube &cube)
+    : cube_(cube)
+{
+}
+
+std::vector<Direction>
+ECubeRouting::route(NodeId current, std::optional<Direction>,
+                    NodeId dest) const
+{
+    const std::uint64_t diff = static_cast<std::uint64_t>(current)
+        ^ static_cast<std::uint64_t>(dest);
+    const int dim = lowestSetBit(diff);
+    TM_ASSERT(dim >= 0, "route() called with current == dest");
+    return {hopDirection(current, dim)};
+}
+
+PCubeRouting::PCubeRouting(const Hypercube &cube, bool minimal)
+    : cube_(cube), minimal_(minimal)
+{
+}
+
+std::string
+PCubeRouting::name() const
+{
+    return minimal_ ? "p-cube" : "p-cube-nonminimal";
+}
+
+PCubeRouting::Choices
+PCubeRouting::choices(NodeId current, NodeId dest) const
+{
+    const std::uint64_t c = current;
+    const std::uint64_t d = dest;
+    const int n = cube_.numDims();
+    Choices out;
+    // Phase one: R = C & ~D (dimensions still to clear).
+    std::uint64_t r = c & complementBits(d, n);
+    std::uint64_t extra = 0;
+    if (r != 0) {
+        // Nonminimal phase one may also flip any other set bit of C.
+        extra = c & d;
+    } else {
+        // Phase two: R = ~C & D.
+        r = complementBits(c, n) & d;
+    }
+    for (int i = 0; i < n; ++i) {
+        if (bitOf(r, i))
+            out.minimal_dims.push_back(i);
+        if (bitOf(extra, i))
+            out.nonminimal_dims.push_back(i);
+    }
+    return out;
+}
+
+std::vector<Direction>
+PCubeRouting::route(NodeId current, std::optional<Direction>,
+                    NodeId dest) const
+{
+    TM_ASSERT(current != dest, "route() called with current == dest");
+    const Choices ch = choices(current, dest);
+    std::vector<Direction> dirs;
+    for (int dim : ch.minimal_dims)
+        dirs.push_back(hopDirection(current, dim));
+    if (!minimal_) {
+        for (int dim : ch.nonminimal_dims)
+            dirs.push_back(hopDirection(current, dim));
+    }
+    return dirs;
+}
+
+} // namespace turnmodel

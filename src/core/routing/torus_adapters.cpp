@@ -1,0 +1,110 @@
+#include "core/routing/torus_adapters.hpp"
+
+#include <cstdlib>
+
+#include "util/logging.hpp"
+
+namespace turnmodel {
+
+WraparoundFirstHopRouting::WraparoundFirstHopRouting(const KAryNCube &torus,
+                                                     RoutingPtr inner)
+    : torus_(torus), inner_(std::move(inner))
+{
+    TM_ASSERT(inner_ != nullptr, "inner routing required");
+    TM_ASSERT(inner_->topology().shape() == torus.shape(),
+              "inner mesh must have the torus's shape");
+}
+
+int
+WraparoundFirstHopRouting::meshDistance(NodeId a, NodeId b) const
+{
+    const Coords ca = torus_.coords(a);
+    const Coords cb = torus_.coords(b);
+    int dist = 0;
+    for (std::size_t d = 0; d < ca.size(); ++d)
+        dist += std::abs(ca[d] - cb[d]);
+    return dist;
+}
+
+std::vector<Direction>
+WraparoundFirstHopRouting::route(NodeId current,
+                                 std::optional<Direction> in_dir,
+                                 NodeId dest) const
+{
+    // After the first hop only mesh channels may be used; the inner
+    // algorithm provides the candidates.
+    std::vector<Direction> dirs =
+        inner_->route(current, in_dir, dest);
+    if (in_dir)
+        return dirs;
+    // First hop: also offer wraparound channels that shorten the
+    // remaining mesh route.
+    const int here = meshDistance(current, dest);
+    for (Direction d : allDirections(torus_.numDims())) {
+        if (!torus_.isWraparound(current, d))
+            continue;
+        const auto next = torus_.neighbor(current, d);
+        if (next && meshDistance(*next, dest) < here)
+            dirs.push_back(d);
+    }
+    return dirs;
+}
+
+std::string
+WraparoundFirstHopRouting::name() const
+{
+    return inner_->name() + "+wrap-first-hop";
+}
+
+TorusNegativeFirstRouting::TorusNegativeFirstRouting(const KAryNCube &torus)
+    : torus_(torus)
+{
+    TM_ASSERT(torus.k() > 2, "classified torus routing needs k > 2");
+}
+
+std::vector<Direction>
+TorusNegativeFirstRouting::route(NodeId current, std::optional<Direction>,
+                                 NodeId dest) const
+{
+    const Coords cur = torus_.coords(current);
+    const Coords dst = torus_.coords(dest);
+    const int n = torus_.numDims();
+
+    // Phase one while any coordinate must decrease. The +dim
+    // wraparound channel out of coordinate k-1 routes packets to
+    // coordinate 0 and is classified as a negative channel; it is
+    // offered when going around is shorter.
+    std::vector<Direction> dirs;
+    bool need_negative = false;
+    for (int d = 0; d < n; ++d) {
+        if (dst[d] < cur[d]) {
+            need_negative = true;
+            dirs.emplace_back(static_cast<std::uint8_t>(d), false);
+            const int k = torus_.radix(d);
+            const bool at_top = cur[d] == k - 1;
+            // Around the top: one wraparound hop plus dst[d] positive
+            // hops later, versus cur[d]-dst[d] mesh hops.
+            if (at_top && 1 + dst[d] < cur[d] - dst[d])
+                dirs.emplace_back(static_cast<std::uint8_t>(d), true);
+        }
+    }
+    if (need_negative)
+        return dirs;
+
+    // Phase two: only classified-positive channels remain legal. The
+    // -dim wraparound out of coordinate 0 reaches k-1 and may be used
+    // only when the destination sits exactly at k-1 (anything past
+    // the destination would need a prohibited negative correction).
+    for (int d = 0; d < n; ++d) {
+        if (dst[d] > cur[d]) {
+            dirs.emplace_back(static_cast<std::uint8_t>(d), true);
+            const int k = torus_.radix(d);
+            if (cur[d] == 0 && dst[d] == k - 1 && k > 2)
+                dirs.emplace_back(static_cast<std::uint8_t>(d), false);
+        }
+    }
+    TM_ASSERT(!dirs.empty(), "route() called with current == dest");
+    return dirs;
+}
+
+} // namespace turnmodel

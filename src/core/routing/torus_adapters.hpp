@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Extensions of the mesh routing algorithms to k-ary n-cubes (Glass &
+ * Ni, Section 4.2). Wraparound channels are incorporated in Step 5 of
+ * the turn model in one of two ways:
+ *
+ *  - WraparoundFirstHopRouting: a packet may take a wraparound
+ *    channel only on its first hop, then follows an inner mesh
+ *    algorithm on the mesh channels;
+ *  - TorusNegativeFirstRouting: each wraparound channel is classified
+ *    by the direction in which it routes packets (the +dim wraparound
+ *    from coordinate k-1 to 0 lowers the coordinate and is therefore
+ *    a *negative* channel), and negative-first routing is applied to
+ *    the classified directions.
+ *
+ * Both are strictly nonminimal in the torus metric, as the paper
+ * notes all deadlock-free torus algorithms without extra channels
+ * must be for k > 4.
+ */
+
+#ifndef TURNMODEL_CORE_ROUTING_TORUS_ADAPTERS_HPP
+#define TURNMODEL_CORE_ROUTING_TORUS_ADAPTERS_HPP
+
+#include <memory>
+
+#include "core/routing.hpp"
+#include "topology/mesh.hpp"
+#include "topology/torus.hpp"
+
+namespace turnmodel {
+
+/**
+ * Torus routing that permits wraparound hops only as a packet's first
+ * hop, after which an inner mesh algorithm takes over.
+ */
+class WraparoundFirstHopRouting : public RoutingAlgorithm
+{
+  public:
+    /**
+     * @param torus Torus topology; must outlive this object.
+     * @param inner Mesh routing over an equal-shape mesh (node ids
+     *              coincide); owned.
+     */
+    WraparoundFirstHopRouting(const KAryNCube &torus, RoutingPtr inner);
+
+    std::vector<Direction>
+    route(NodeId current, std::optional<Direction> in_dir, NodeId dest)
+        const override;
+    std::string name() const override;
+    const Topology &topology() const override { return torus_; }
+    bool isMinimal() const override { return false; }
+    bool isInputDependent() const override { return true; }
+
+  private:
+    /** Mesh distance ignoring wraparound channels. */
+    int meshDistance(NodeId a, NodeId b) const;
+
+    const KAryNCube &torus_;
+    RoutingPtr inner_;
+};
+
+/**
+ * Negative-first routing over a torus with wraparound channels
+ * classified by the direction in which they route packets.
+ */
+class TorusNegativeFirstRouting : public RoutingAlgorithm
+{
+  public:
+    /** @param torus Torus topology; must outlive this object. */
+    explicit TorusNegativeFirstRouting(const KAryNCube &torus);
+
+    std::vector<Direction>
+    route(NodeId current, std::optional<Direction> in_dir, NodeId dest)
+        const override;
+    std::string name() const override { return "torus-negative-first"; }
+    const Topology &topology() const override { return torus_; }
+    bool isMinimal() const override { return false; }
+
+  private:
+    const KAryNCube &torus_;
+};
+
+} // namespace turnmodel
+
+#endif // TURNMODEL_CORE_ROUTING_TORUS_ADAPTERS_HPP

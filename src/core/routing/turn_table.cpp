@@ -1,0 +1,187 @@
+#include "core/routing/turn_table.hpp"
+
+#include <deque>
+
+#include "util/logging.hpp"
+
+namespace turnmodel {
+
+TurnRule
+makeTurnRule(TurnSet set)
+{
+    return [set = std::move(set)](NodeId, Turn t) {
+        return set.isAllowed(t);
+    };
+}
+
+ReachabilityOracle::ReachabilityOracle(const Topology &topo, TurnRule rule,
+                                       bool minimal)
+    : topo_(topo), rule_(std::move(rule)), minimal_(minimal)
+{
+}
+
+ReachabilityOracle::ReachabilityOracle(const Topology &topo, TurnSet turns,
+                                       bool minimal)
+    : ReachabilityOracle(topo, makeTurnRule(std::move(turns)), minimal)
+{
+}
+
+int
+ReachabilityOracle::statesPerNode() const
+{
+    return topo_.numDirs() + 1;
+}
+
+int
+ReachabilityOracle::stateIndex(NodeId node,
+                               std::optional<Direction> in_dir) const
+{
+    const int within = in_dir ? 1 + static_cast<int>(in_dir->id()) : 0;
+    return static_cast<int>(node) * statesPerNode() + within;
+}
+
+const std::vector<bool> &
+ReachabilityOracle::tableFor(NodeId dest) const
+{
+    auto it = cache_.find(dest);
+    if (it != cache_.end())
+        return it->second;
+
+    // Backward breadth-first search from the destination over the
+    // state graph. A state (v, in) is good when v == dest or some
+    // allowed move leads to a good state.
+    const int spn = statesPerNode();
+    std::vector<bool> good(static_cast<std::size_t>(topo_.numNodes()) *
+                           static_cast<std::size_t>(spn), false);
+
+    // Work queue of good states whose predecessors still need marking.
+    std::deque<std::pair<NodeId, int>> queue;
+    for (int s = 0; s < spn; ++s) {
+        good[static_cast<std::size_t>(static_cast<int>(dest) * spn + s)] =
+            true;
+        queue.emplace_back(dest, s);
+    }
+
+    while (!queue.empty()) {
+        const auto [w, state_in_w] = queue.front();
+        queue.pop_front();
+        // The state (w, s) was reached by a move along direction
+        // `arrive` (s == 0 is the injection state: nothing arrives
+        // there by a move, but it is terminal when w == dest and has
+        // no in-network predecessors).
+        if (state_in_w == 0)
+            continue;
+        const Direction arrive = Direction::fromId(
+            static_cast<DirId>(state_in_w - 1));
+        // Predecessor node: the move went v --arrive--> w.
+        const auto pred = topo_.neighbor(w, arrive.opposite());
+        if (!pred)
+            continue;
+        const NodeId v = *pred;
+        if (topo_.neighbor(v, arrive) != w) {
+            // Asymmetric links (e.g. one direction of a channel
+            // failed): w is not reachable from v this way.
+            continue;
+        }
+        if (minimal_ && topo_.distance(w, dest) >= topo_.distance(v, dest))
+            continue;
+        // Any predecessor state whose turn into `arrive` (taken at
+        // node v) is allowed becomes good.
+        for (int s = 0; s < spn; ++s) {
+            const std::size_t idx =
+                static_cast<std::size_t>(static_cast<int>(v) * spn + s);
+            if (good[idx])
+                continue;
+            const bool turn_ok = s == 0
+                || rule_(v, Turn(Direction::fromId(
+                                     static_cast<DirId>(s - 1)),
+                                 arrive));
+            if (turn_ok) {
+                good[idx] = true;
+                queue.emplace_back(v, s);
+            }
+        }
+    }
+
+    return cache_.emplace(dest, std::move(good)).first->second;
+}
+
+bool
+ReachabilityOracle::reachable(NodeId node, std::optional<Direction> in_dir,
+                              NodeId dest) const
+{
+    const auto &table = tableFor(dest);
+    return table[static_cast<std::size_t>(stateIndex(node, in_dir))];
+}
+
+PositionalTurnRouting::PositionalTurnRouting(const Topology &topo,
+                                             TurnRule rule, bool minimal,
+                                             std::string name_tag)
+    : topo_(topo), rule_(rule), minimal_(minimal),
+      name_(std::move(name_tag)), oracle_(topo, std::move(rule), minimal)
+{
+}
+
+std::vector<Direction>
+PositionalTurnRouting::route(NodeId current,
+                             std::optional<Direction> in_dir,
+                             NodeId dest) const
+{
+    TM_ASSERT(current != dest, "route() called with current == dest");
+    std::vector<Direction> dirs;
+    for (Direction d : allDirections(topo_.numDims())) {
+        if (in_dir && !rule_(current, Turn(*in_dir, d)))
+            continue;
+        const auto next = topo_.neighbor(current, d);
+        if (!next)
+            continue;
+        if (minimal_ &&
+            topo_.distance(*next, dest) >= topo_.distance(current, dest)) {
+            continue;
+        }
+        if (!oracle_.reachable(*next, d, dest))
+            continue;
+        dirs.push_back(d);
+    }
+    return dirs;
+}
+
+bool
+PositionalTurnRouting::isConnected() const
+{
+    for (NodeId src = 0; src < topo_.numNodes(); ++src) {
+        for (NodeId dst = 0; dst < topo_.numNodes(); ++dst) {
+            if (src == dst)
+                continue;
+            if (!oracle_.reachable(src, std::nullopt, dst))
+                return false;
+        }
+    }
+    return true;
+}
+
+namespace {
+
+std::string
+turnTableName(const TurnSet &turns, bool minimal,
+              const std::string &name_tag)
+{
+    if (!name_tag.empty())
+        return name_tag;
+    return std::string("turn-table(") + turns.toString()
+        + (minimal ? ", minimal)" : ", nonminimal)");
+}
+
+} // namespace
+
+TurnTableRouting::TurnTableRouting(const Topology &topo, TurnSet turns,
+                                   bool minimal, std::string name_tag)
+    : PositionalTurnRouting(topo, makeTurnRule(turns), minimal,
+                            turnTableName(turns, minimal, name_tag)),
+      turns_(std::move(turns))
+{
+    TM_ASSERT(turns_.numDims() == topo.numDims(),
+              "turn set dimensionality must match the topology");
+}
+
+} // namespace turnmodel

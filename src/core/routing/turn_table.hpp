@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Generic routing driven by allowed-turn rules. This is the
+ * executable form of the turn model: given a rule saying which turns
+ * are permitted at which nodes, the algorithm offers every hop whose
+ * turn is allowed and from which the destination remains reachable.
+ *
+ * Two layers are provided:
+ *
+ *  - PositionalTurnRouting: turns may be allowed or prohibited per
+ *    node, the generalization used by descendants of the turn model
+ *    such as the odd-even model (odd_even.hpp);
+ *  - TurnTableRouting: the paper's position-independent case, driven
+ *    by a TurnSet. Used to realize the nonminimal variants of
+ *    west-first / north-last / negative-first, to enumerate the
+ *    sixteen two-turn prohibitions of a 2D mesh (twelve deadlock
+ *    free, Figure 4), and to demonstrate deadlock for turn sets that
+ *    do not break every cycle.
+ *
+ * Reachability is precomputed per destination over (node, arrival
+ * direction) states, so the routing function never offers a hop that
+ * strands the packet (e.g. a nonminimal west-first packet is never
+ * sent east of the destination column, where a westward correction
+ * would require a prohibited turn).
+ */
+
+#ifndef TURNMODEL_CORE_ROUTING_TURN_TABLE_HPP
+#define TURNMODEL_CORE_ROUTING_TURN_TABLE_HPP
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "core/routing.hpp"
+#include "core/turn_set.hpp"
+
+namespace turnmodel {
+
+/**
+ * Whether the turn @p t is permitted at node @p at. The turn occurs
+ * at the node where the packet changes direction.
+ */
+using TurnRule = std::function<bool(NodeId at, Turn t)>;
+
+/** Rule that consults a position-independent TurnSet. */
+TurnRule makeTurnRule(TurnSet set);
+
+/**
+ * Destination-reachability oracle over (node, arrival direction)
+ * states under a turn rule. Tables are computed lazily per
+ * destination and cached; not thread safe.
+ */
+class ReachabilityOracle
+{
+  public:
+    /**
+     * @param topo    Topology; must outlive this object.
+     * @param rule    Allowed-turn rule; copied.
+     * @param minimal Restrict moves to profitable hops.
+     */
+    ReachabilityOracle(const Topology &topo, TurnRule rule, bool minimal);
+
+    /** Convenience constructor from a position-independent set. */
+    ReachabilityOracle(const Topology &topo, TurnSet turns, bool minimal);
+
+    /**
+     * Whether @p dest can be reached from @p node given the packet
+     * arrived travelling along @p in_dir (nullopt for the injection
+     * state, from which every direction is available).
+     */
+    bool reachable(NodeId node, std::optional<Direction> in_dir,
+                   NodeId dest) const;
+
+  private:
+    /** States per node: one per arrival direction plus injection. */
+    int statesPerNode() const;
+    int stateIndex(NodeId node, std::optional<Direction> in_dir) const;
+    const std::vector<bool> &tableFor(NodeId dest) const;
+
+    const Topology &topo_;
+    TurnRule rule_;
+    bool minimal_;
+    mutable std::unordered_map<NodeId, std::vector<bool>> cache_;
+};
+
+/** Routing by a (possibly position-dependent) allowed-turn rule. */
+class PositionalTurnRouting : public RoutingAlgorithm
+{
+  public:
+    /**
+     * @param topo     Topology; must outlive this object.
+     * @param rule     Allowed-turn rule; copied.
+     * @param minimal  Offer only profitable hops.
+     * @param name_tag Display name.
+     */
+    PositionalTurnRouting(const Topology &topo, TurnRule rule,
+                          bool minimal, std::string name_tag);
+
+    std::vector<Direction>
+    route(NodeId current, std::optional<Direction> in_dir, NodeId dest)
+        const override;
+    std::string name() const override { return name_; }
+    const Topology &topology() const override { return topo_; }
+    bool isMinimal() const override { return minimal_; }
+    bool isInputDependent() const override { return true; }
+
+    /**
+     * Whether the rule leaves a route between every ordered node
+     * pair, starting from the injection state — the connectivity
+     * requirement of Step 4 of the turn model.
+     */
+    bool isConnected() const;
+
+  private:
+    const Topology &topo_;
+    TurnRule rule_;
+    bool minimal_;
+    std::string name_;
+    ReachabilityOracle oracle_;
+};
+
+/** Routing by an explicit position-independent allowed-turn table. */
+class TurnTableRouting : public PositionalTurnRouting
+{
+  public:
+    /**
+     * @param topo     Topology; must outlive this object.
+     * @param turns    Allowed turns; copied.
+     * @param minimal  Offer only profitable hops.
+     * @param name_tag Display name; defaults to a generated one.
+     */
+    TurnTableRouting(const Topology &topo, TurnSet turns, bool minimal,
+                     std::string name_tag = "");
+
+    const TurnSet &turnSet() const { return turns_; }
+
+  private:
+    TurnSet turns_;
+};
+
+} // namespace turnmodel
+
+#endif // TURNMODEL_CORE_ROUTING_TURN_TABLE_HPP

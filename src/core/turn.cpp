@@ -1,0 +1,90 @@
+#include "core/turn.hpp"
+
+#include "util/logging.hpp"
+
+namespace turnmodel {
+
+int
+Turn::id(int num_dims) const
+{
+    const int dirs = 2 * num_dims;
+    return static_cast<int>(from.id()) * dirs + static_cast<int>(to.id());
+}
+
+Turn
+Turn::fromId(int id, int num_dims)
+{
+    const int dirs = 2 * num_dims;
+    TM_ASSERT(id >= 0 && id < dirs * dirs, "turn id out of range");
+    return Turn(Direction::fromId(static_cast<DirId>(id / dirs)),
+                Direction::fromId(static_cast<DirId>(id % dirs)));
+}
+
+TurnKind
+Turn::kind() const
+{
+    if (from.dim != to.dim)
+        return TurnKind::Ninety;
+    return from.positive == to.positive ? TurnKind::Zero
+                                        : TurnKind::OneEighty;
+}
+
+TurnSense
+Turn::sense() const
+{
+    TM_ASSERT(kind() == TurnKind::Ninety,
+              "sense() is defined for 90-degree turns only");
+    // Orient the plane (i, j), i < j, with +i east and +j north. In
+    // that frame a counterclockwise (left) turn takes east->north,
+    // north->west, west->south, or south->east.
+    const bool from_is_low_dim = from.dim < to.dim;
+    // Map onto the 2D case: low dim acts as x, high dim acts as y.
+    const Direction low = from_is_low_dim ? from : to;
+    const Direction high = from_is_low_dim ? to : from;
+    bool ccw;
+    if (from_is_low_dim) {
+        // x -> y: east->north (+,+) and west->south (-,-) are CCW.
+        ccw = low.positive == high.positive;
+    } else {
+        // y -> x: north->west (+,-) and south->east (-,+) are CCW.
+        ccw = low.positive != high.positive;
+    }
+    return ccw ? TurnSense::Counterclockwise : TurnSense::Clockwise;
+}
+
+std::string
+Turn::toString() const
+{
+    return directionName(from) + "->" + directionName(to);
+}
+
+std::vector<Turn>
+all90DegreeTurns(int num_dims)
+{
+    std::vector<Turn> turns;
+    turns.reserve(static_cast<std::size_t>(count90DegreeTurns(num_dims)));
+    for (Direction f : allDirections(num_dims)) {
+        for (Direction t : allDirections(num_dims)) {
+            if (f.dim != t.dim)
+                turns.emplace_back(f, t);
+        }
+    }
+    return turns;
+}
+
+std::vector<Turn>
+all180DegreeTurns(int num_dims)
+{
+    std::vector<Turn> turns;
+    for (Direction f : allDirections(num_dims))
+        turns.emplace_back(f, f.opposite());
+    return turns;
+}
+
+int
+count90DegreeTurns(int num_dims)
+{
+    return 4 * num_dims * (num_dims - 1);
+}
+
+} // namespace turnmodel

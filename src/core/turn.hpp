@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Turns: ordered pairs of travel directions. The turn model (Glass &
+ * Ni, Section 2) classifies turns as 90-degree (different dimension),
+ * 180-degree (opposite direction), or 0-degree (same physical
+ * direction via a different virtual channel), and analyzes the cycles
+ * the 90-degree turns can form.
+ */
+
+#ifndef TURNMODEL_CORE_TURN_HPP
+#define TURNMODEL_CORE_TURN_HPP
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topology/direction.hpp"
+
+namespace turnmodel {
+
+/** Classification of a turn by the angle between its directions. */
+enum class TurnKind
+{
+    Ninety,      ///< Change of dimension.
+    OneEighty,   ///< Reversal within one dimension.
+    Zero,        ///< Same direction (multi-channel topologies only).
+};
+
+/** Rotational sense of a 90-degree turn within its plane. */
+enum class TurnSense
+{
+    Clockwise,          ///< A "right" turn in the paper's figures.
+    Counterclockwise,   ///< A "left" turn.
+};
+
+/** An ordered change of travel direction. */
+struct Turn
+{
+    Direction from;
+    Direction to;
+
+    constexpr Turn() = default;
+    constexpr Turn(Direction f, Direction t) : from(f), to(t) {}
+
+    /** Dense id: from.id() * 2n + to.id() (given n dimensions). */
+    int id(int num_dims) const;
+
+    /** Inverse of id(). */
+    static Turn fromId(int id, int num_dims);
+
+    /** The turn's angle classification. */
+    TurnKind kind() const;
+
+    /**
+     * Sense of a 90-degree turn. The plane (i, j) with i < j is
+     * oriented with +i as "east" and +j as "north"; panics for
+     * non-90-degree turns.
+     */
+    TurnSense sense() const;
+
+    /** "east->north" rendering. */
+    std::string toString() const;
+
+    friend constexpr auto operator<=>(const Turn &, const Turn &) = default;
+};
+
+/**
+ * All 4n(n-1) 90-degree turns of an n-dimensional network, in id
+ * order.
+ */
+std::vector<Turn> all90DegreeTurns(int num_dims);
+
+/** All 2n 180-degree turns. */
+std::vector<Turn> all180DegreeTurns(int num_dims);
+
+/** Number of 90-degree turns, 4n(n-1). */
+int count90DegreeTurns(int num_dims);
+
+} // namespace turnmodel
+
+#endif // TURNMODEL_CORE_TURN_HPP

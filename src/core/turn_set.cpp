@@ -1,0 +1,209 @@
+#include "core/turn_set.hpp"
+
+#include "util/logging.hpp"
+
+namespace turnmodel {
+
+TurnSet::TurnSet(int num_dims)
+    : num_dims_(num_dims)
+{
+    TM_ASSERT(num_dims >= 1, "turn set needs at least one dimension");
+    const int dirs = 2 * num_dims;
+    allowed_.assign(static_cast<std::size_t>(dirs * dirs), false);
+}
+
+int
+TurnSet::turnIndex(Turn t) const
+{
+    return t.id(num_dims_);
+}
+
+void
+TurnSet::allow(Turn t)
+{
+    allowed_[static_cast<std::size_t>(turnIndex(t))] = true;
+}
+
+void
+TurnSet::prohibit(Turn t)
+{
+    allowed_[static_cast<std::size_t>(turnIndex(t))] = false;
+}
+
+bool
+TurnSet::isAllowed(Turn t) const
+{
+    return allowed_[static_cast<std::size_t>(turnIndex(t))];
+}
+
+void
+TurnSet::allowAll90()
+{
+    for (Turn t : all90DegreeTurns(num_dims_))
+        allow(t);
+}
+
+void
+TurnSet::allowAllStraight()
+{
+    for (Direction d : allDirections(num_dims_))
+        allow(Turn(d, d));
+}
+
+void
+TurnSet::allowAll180()
+{
+    for (Turn t : all180DegreeTurns(num_dims_))
+        allow(t);
+}
+
+int
+TurnSet::countAllowed90() const
+{
+    int count = 0;
+    for (Turn t : all90DegreeTurns(num_dims_)) {
+        if (isAllowed(t))
+            ++count;
+    }
+    return count;
+}
+
+int
+TurnSet::countProhibited90() const
+{
+    return count90DegreeTurns(num_dims_) - countAllowed90();
+}
+
+std::vector<Turn>
+TurnSet::prohibited90() const
+{
+    std::vector<Turn> out;
+    for (Turn t : all90DegreeTurns(num_dims_)) {
+        if (!isAllowed(t))
+            out.push_back(t);
+    }
+    return out;
+}
+
+std::vector<Turn>
+TurnSet::allowed90() const
+{
+    std::vector<Turn> out;
+    for (Turn t : all90DegreeTurns(num_dims_)) {
+        if (isAllowed(t))
+            out.push_back(t);
+    }
+    return out;
+}
+
+std::string
+TurnSet::toString() const
+{
+    std::string out = "prohibited{";
+    bool first = true;
+    for (Turn t : prohibited90()) {
+        if (!first)
+            out += ", ";
+        out += t.toString();
+        first = false;
+    }
+    return out + "}";
+}
+
+TurnSet
+TurnSet::dimensionOrder(int num_dims)
+{
+    TurnSet set(num_dims);
+    for (Turn t : all90DegreeTurns(num_dims)) {
+        if (t.from.dim < t.to.dim)
+            set.allow(t);
+    }
+    set.allowAllStraight();
+    return set;
+}
+
+TurnSet
+TurnSet::westFirst()
+{
+    TurnSet set(2);
+    set.allowAll90();
+    set.allowAllStraight();
+    set.prohibit(Turn(dir2d::North, dir2d::West));
+    set.prohibit(Turn(dir2d::South, dir2d::West));
+    return set;
+}
+
+TurnSet
+TurnSet::northLast()
+{
+    TurnSet set(2);
+    set.allowAll90();
+    set.allowAllStraight();
+    set.prohibit(Turn(dir2d::North, dir2d::West));
+    set.prohibit(Turn(dir2d::North, dir2d::East));
+    return set;
+}
+
+TurnSet
+TurnSet::negativeFirst(int num_dims)
+{
+    TurnSet set(num_dims);
+    for (Turn t : all90DegreeTurns(num_dims)) {
+        const bool positive_to_negative = t.from.positive && !t.to.positive;
+        if (!positive_to_negative)
+            set.allow(t);
+    }
+    set.allowAllStraight();
+    return set;
+}
+
+TurnSet
+TurnSet::allButOneNegativeFirst(int num_dims)
+{
+    TM_ASSERT(num_dims >= 2, "needs at least two dimensions");
+    // Phase one: the negative directions of dimensions 0..n-2.
+    const auto in_phase_one = [num_dims](Direction d) {
+        return !d.positive && d.dim != num_dims - 1;
+    };
+    TurnSet set(num_dims);
+    for (Turn t : all90DegreeTurns(num_dims)) {
+        // Once a packet leaves phase one it may not return.
+        if (!(in_phase_one(t.to) && !in_phase_one(t.from)))
+            set.allow(t);
+    }
+    set.allowAllStraight();
+    return set;
+}
+
+TurnSet
+TurnSet::allButOnePositiveLast(int num_dims)
+{
+    TM_ASSERT(num_dims >= 2, "needs at least two dimensions");
+    // Phase two: the positive directions of dimensions 1..n-1.
+    const auto in_phase_two = [](Direction d) {
+        return d.positive && d.dim != 0;
+    };
+    TurnSet set(num_dims);
+    for (Turn t : all90DegreeTurns(num_dims)) {
+        // Once a packet enters phase two it stays there.
+        if (!(in_phase_two(t.from) && !in_phase_two(t.to)))
+            set.allow(t);
+    }
+    set.allowAllStraight();
+    return set;
+}
+
+TurnSet
+TurnSet::twoProhibited2D(Turn a, Turn b)
+{
+    TM_ASSERT(a.kind() == TurnKind::Ninety && b.kind() == TurnKind::Ninety,
+              "two-prohibited sets are built from 90-degree turns");
+    TurnSet set(2);
+    set.allowAll90();
+    set.allowAllStraight();
+    set.prohibit(a);
+    set.prohibit(b);
+    return set;
+}
+
+} // namespace turnmodel

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Sets of allowed turns. A routing algorithm derived from the turn
+ * model is characterized by which turns it permits; prohibiting one
+ * turn from each abstract cycle yields deadlock freedom (Glass & Ni,
+ * Section 2). Factories construct the allowed-turn sets of the
+ * paper's named algorithms for any dimensionality.
+ */
+
+#ifndef TURNMODEL_CORE_TURN_SET_HPP
+#define TURNMODEL_CORE_TURN_SET_HPP
+
+#include <string>
+#include <vector>
+
+#include "core/turn.hpp"
+
+namespace turnmodel {
+
+/**
+ * The set of turns a routing algorithm may use, over the 2n x 2n
+ * ordered direction pairs of an n-dimensional network. 0-degree and
+ * 180-degree "turns" are representable so that Step 6 of the model
+ * (re-admitting them where safe) can be expressed.
+ */
+class TurnSet
+{
+  public:
+    /** Empty set (no turns allowed) for @p num_dims dimensions. */
+    explicit TurnSet(int num_dims);
+
+    int numDims() const { return num_dims_; }
+
+    /** Allow a turn. */
+    void allow(Turn t);
+
+    /** Prohibit a turn. */
+    void prohibit(Turn t);
+
+    bool isAllowed(Turn t) const;
+
+    /** Allow every 90-degree turn. */
+    void allowAll90();
+
+    /** Allow every 0-degree (straight-through) transition. */
+    void allowAllStraight();
+
+    /** Allow every 180-degree turn. */
+    void allowAll180();
+
+    /** Number of allowed 90-degree turns. */
+    int countAllowed90() const;
+
+    /** Number of prohibited 90-degree turns. */
+    int countProhibited90() const;
+
+    /** All prohibited 90-degree turns. */
+    std::vector<Turn> prohibited90() const;
+
+    /** All allowed 90-degree turns. */
+    std::vector<Turn> allowed90() const;
+
+    /** Listing of prohibited 90-degree turns for messages. */
+    std::string toString() const;
+
+    bool operator==(const TurnSet &other) const = default;
+
+    // --- Factories for the paper's algorithms -----------------------
+
+    /**
+     * Dimension-order (xy / e-cube) turn set: only turns from a lower
+     * dimension to a higher dimension are allowed (plus straight
+     * travel). Nonadaptive when used with minimal routing.
+     */
+    static TurnSet dimensionOrder(int num_dims);
+
+    /** West-first (2D): prohibits the two turns to the west. */
+    static TurnSet westFirst();
+
+    /** North-last (2D): prohibits the two turns out of north. */
+    static TurnSet northLast();
+
+    /**
+     * Negative-first (n-D): prohibits every turn from a positive
+     * direction to a negative direction.
+     */
+    static TurnSet negativeFirst(int num_dims);
+
+    /**
+     * All-but-one-negative-first (n-D analog of west-first):
+     * prohibits turns into the negative directions of dimensions
+     * 0..n-2 from any direction outside that phase-one set.
+     */
+    static TurnSet allButOneNegativeFirst(int num_dims);
+
+    /**
+     * All-but-one-positive-last (n-D analog of north-last):
+     * prohibits turns out of the phase-two set (positive directions
+     * of dimensions 1..n-1) back into phase one.
+     */
+    static TurnSet allButOnePositiveLast(int num_dims);
+
+    /**
+     * The 2D set that prohibits exactly the two given turns and
+     * allows the other six 90-degree turns plus straight travel.
+     */
+    static TurnSet twoProhibited2D(Turn a, Turn b);
+
+  private:
+    int turnIndex(Turn t) const;
+
+    int num_dims_;
+    std::vector<bool> allowed_;
+};
+
+} // namespace turnmodel
+
+#endif // TURNMODEL_CORE_TURN_SET_HPP

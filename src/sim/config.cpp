@@ -1,0 +1,38 @@
+#include "sim/config.hpp"
+
+namespace turnmodel {
+
+const char *
+toString(InputSelection policy)
+{
+    switch (policy) {
+      case InputSelection::Fcfs:          return "fcfs";
+      case InputSelection::Random:        return "random";
+      case InputSelection::FixedPriority: return "fixed-priority";
+    }
+    return "?";
+}
+
+const char *
+toString(Switching mode)
+{
+    switch (mode) {
+      case Switching::Wormhole:        return "wormhole";
+      case Switching::StoreAndForward: return "store-and-forward";
+    }
+    return "?";
+}
+
+const char *
+toString(OutputSelection policy)
+{
+    switch (policy) {
+      case OutputSelection::LowestDim:     return "lowest-dim";
+      case OutputSelection::HighestDim:    return "highest-dim";
+      case OutputSelection::Random:        return "random";
+      case OutputSelection::StraightFirst: return "straight-first";
+    }
+    return "?";
+}
+
+} // namespace turnmodel

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Simulation configuration. Defaults reproduce the paper's setup
+ * (Glass & Ni, Section 6): unidirectional channel pairs between
+ * neighboring routers and between each router and its local
+ * processor, all channels at 20 flits/us, single-flit input buffers,
+ * local first-come-first-served input selection, lowest-dimension
+ * ("xy") output selection, minimal routing, Poisson message
+ * generation, and 10-or-200-flit packets with equal probability.
+ */
+
+#ifndef TURNMODEL_SIM_CONFIG_HPP
+#define TURNMODEL_SIM_CONFIG_HPP
+
+#include <cstdint>
+
+#include "traffic/workload.hpp"
+
+namespace turnmodel {
+
+/** Arbitration among header flits competing for one output channel. */
+enum class InputSelection
+{
+    Fcfs,           ///< Paper default: earliest header arrival wins.
+    Random,         ///< Uniformly random among requesters.
+    FixedPriority,  ///< Lowest input-port index wins (unfair).
+};
+
+/** Choice among multiple available output channels for one header. */
+enum class OutputSelection
+{
+    LowestDim,      ///< Paper default ("xy"): lowest dimension first.
+    HighestDim,     ///< Highest dimension first.
+    Random,         ///< Uniformly random among candidates.
+    StraightFirst,  ///< Prefer continuing in the current dimension.
+};
+
+/**
+ * Switching technique. Wormhole pipelines flits with per-hop buffers
+ * of a few flits; store-and-forward holds the entire packet at every
+ * intermediate router (buffers must fit a whole packet), giving the
+ * classic latency contrast of the paper's Section 1: wormhole
+ * latency grows with (length + distance), store-and-forward with
+ * (length x distance). Virtual cut-through is wormhole with deep
+ * buffers (set buffer_depth accordingly).
+ */
+enum class Switching
+{
+    Wormhole,
+    StoreAndForward,
+};
+
+const char *toString(InputSelection policy);
+const char *toString(OutputSelection policy);
+const char *toString(Switching mode);
+
+/** All knobs of one simulation run. */
+struct SimConfig
+{
+    /** Offered load in flits per node per cycle (one cycle = one
+     * flit time). */
+    double injection_rate = 0.1;
+
+    /** Input buffer capacity per channel, in flits. */
+    std::uint32_t buffer_depth = 1;
+
+    /** Switching technique; StoreAndForward requires buffer_depth to
+     * fit the longest packet. */
+    Switching switching = Switching::Wormhole;
+
+    InputSelection input_selection = InputSelection::Fcfs;
+    OutputSelection output_selection = OutputSelection::LowestDim;
+
+    /** Packet length distribution. */
+    PacketLengthDist lengths = PacketLengthDist::paperBimodal();
+
+    /** Channel bandwidth, used only to convert cycles to time. */
+    double channel_flits_per_us = 20.0;
+
+    /** Cycles before measurement starts. */
+    std::uint64_t warmup_cycles = 10000;
+
+    /** Cycles measured. */
+    std::uint64_t measure_cycles = 30000;
+
+    /**
+     * Cycles without progress before declaring deadlock. The default
+     * is conservative: under extreme overload a packet can
+     * legitimately wait thousands of cycles behind chains of
+     * 200-flit packets, so short thresholds are only appropriate in
+     * controlled scenarios (see examples/deadlock_demo.cpp, which
+     * uses the exact drain criterion instead).
+     */
+    std::uint64_t deadlock_threshold = 30000;
+
+    /** Master seed; per-node streams derive from it. */
+    std::uint64_t seed = 1;
+
+    /** Cycle duration in microseconds. */
+    double cycleUs() const { return 1.0 / channel_flits_per_us; }
+};
+
+} // namespace turnmodel
+
+#endif // TURNMODEL_SIM_CONFIG_HPP

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Results of one simulation run: the paper's two figures of merit —
+ * average communication latency (microseconds) and network throughput
+ * (flits delivered per microsecond) — plus the supporting measures
+ * used to decide whether the throughput is *sustainable* (bounded
+ * source queues, Glass & Ni Section 6).
+ */
+
+#ifndef TURNMODEL_SIM_METRICS_HPP
+#define TURNMODEL_SIM_METRICS_HPP
+
+#include <cstdint>
+
+namespace turnmodel {
+
+/** Aggregated measurement of one run at one injection rate. */
+struct SimResult
+{
+    double offered_flits_per_us = 0.0;   ///< Offered network load.
+    double throughput_flits_per_us = 0.0;///< Delivered during window.
+    double avg_latency_us = 0.0;         ///< Creation to tail delivery.
+    double avg_network_latency_us = 0.0; ///< Injection to tail delivery.
+    double p99_latency_us = 0.0;         ///< Tail of the distribution.
+    double avg_hops = 0.0;               ///< Header channel crossings.
+    std::uint64_t packets_measured = 0;  ///< Completions in the window.
+    bool saturated = false;              ///< Source queues kept growing.
+    bool deadlocked = false;             ///< Stall watchdog tripped.
+    double queue_growth_packets = 0.0;   ///< Per node over the window.
+};
+
+} // namespace turnmodel
+
+#endif // TURNMODEL_SIM_METRICS_HPP

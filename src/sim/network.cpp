@@ -1,0 +1,548 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace turnmodel {
+
+Network::Network(const RoutingAlgorithm &routing,
+                 const TrafficPattern &pattern, const SimConfig &config)
+    : routing_(routing), topo_(routing.topology()), pattern_(pattern),
+      config_(config),
+      router_rng_(Rng::forStream(config.seed, 0xabcdef))
+{
+    TM_ASSERT(config_.buffer_depth >= 1, "buffers hold at least one flit");
+    if (config_.switching == Switching::StoreAndForward) {
+        TM_ASSERT(config_.buffer_depth >= config_.lengths.maxLength(),
+                  "store-and-forward buffers must fit a whole packet");
+    }
+    ports_per_router_ = topo_.numDirs() + 1;
+    const std::size_t total_ports =
+        static_cast<std::size_t>(topo_.numNodes()) *
+        static_cast<std::size_t>(ports_per_router_);
+    in_ports_.resize(total_ports);
+    out_ports_.resize(total_ports);
+    out_to_in_.assign(total_ports, -1);
+    move_state_.assign(total_ports, 0);
+    move_stamp_.assign(total_ports, ~0ULL);
+    is_active_.assign(total_ports, false);
+
+    // Wire each output channel to the matching downstream input port:
+    // a packet leaving router v in direction d arrives at neighbor w
+    // on w's input port for direction d.
+    for (NodeId v = 0; v < topo_.numNodes(); ++v) {
+        for (Direction d : allDirections(topo_.numDims())) {
+            const auto w = topo_.neighbor(v, d);
+            if (!w)
+                continue;
+            out_to_in_[inPortId(v, d.id())] =
+                static_cast<std::int32_t>(inPortId(*w, d.id()));
+        }
+    }
+
+    source_queues_.resize(topo_.numNodes());
+    arrivals_.reserve(topo_.numNodes());
+    for (NodeId v = 0; v < topo_.numNodes(); ++v) {
+        arrivals_.emplace_back(config_.injection_rate,
+                               config_.lengths.mean(),
+                               Rng::forStream(config_.seed, v + 1));
+    }
+}
+
+std::uint32_t
+Network::inPortId(NodeId router, int local) const
+{
+    return router * static_cast<std::uint32_t>(ports_per_router_)
+        + static_cast<std::uint32_t>(local);
+}
+
+NodeId
+Network::routerOf(std::uint32_t port) const
+{
+    return port / static_cast<std::uint32_t>(ports_per_router_);
+}
+
+int
+Network::localOf(std::uint32_t port) const
+{
+    return static_cast<int>(
+        port % static_cast<std::uint32_t>(ports_per_router_));
+}
+
+void
+Network::markActive(std::uint32_t port)
+{
+    if (!is_active_[port]) {
+        is_active_[port] = true;
+        active_ports_.push_back(port);
+    }
+}
+
+void
+Network::step()
+{
+    moved_this_cycle_ = false;
+    if (generate_)
+        generateMessages();
+    allocateOutputs();
+    traverseFlits();
+    injectFlits();
+
+    // Deadlock watchdog: packets in the network but nothing moved.
+    if (!moved_this_cycle_ && counters_.flits_in_network > 0)
+        ++stall_cycles_;
+    else
+        stall_cycles_ = 0;
+    // The per-packet progress scan is amortized: a real deadlock
+    // only has to be noticed, not noticed instantly.
+    if ((cycle_ & 0x3ff) == 0) {
+        packet_stall_flag_ = packet_stall_flag_
+            || oldestPacketStall() >= config_.deadlock_threshold;
+    }
+    ++cycle_;
+}
+
+void
+Network::generateMessages()
+{
+    const double now = static_cast<double>(cycle_);
+    for (NodeId v = 0; v < topo_.numNodes(); ++v) {
+        ArrivalProcess &proc = arrivals_[v];
+        while (proc.due(now)) {
+            proc.advance();
+            const auto dest = pattern_.destination(v, proc.rng());
+            if (!dest)
+                continue;   // Self-directed; never enters the network.
+            const std::uint32_t length =
+                config_.lengths.sample(proc.rng());
+            PacketState pkt;
+            pkt.src = v;
+            pkt.dest = *dest;
+            pkt.length = length;
+            pkt.created = now;
+            const PacketId id = next_packet_id_++;
+            packets_.emplace(id, pkt);
+            source_queues_[v].push_back(id);
+            ++counters_.packets_generated;
+            counters_.flits_generated += length;
+            counters_.source_queue_flits += length;
+        }
+    }
+}
+
+void
+Network::allocateOutputs()
+{
+    // Gather, per output port, the requests of unrouted header flits.
+    // One allocation round per cycle: each header bids for the single
+    // output its output-selection policy prefers among the free
+    // candidates; the input-selection policy then picks one winner
+    // per output.
+    struct Bid
+    {
+        std::uint32_t out_port;
+        InputRequest request;
+    };
+    std::vector<Bid> bids;
+
+    for (std::uint32_t port : active_ports_) {
+        InPort &in = in_ports_[port];
+        if (in.fifo.empty() || in.granted_out != -1)
+            continue;
+        const Flit &flit = in.fifo.front();
+        if (!flit.head)
+            continue;
+        const PacketState &pkt = packets_.at(flit.packet);
+        // Store-and-forward: the header may not request an output
+        // until every flit of the packet sits in this buffer.
+        if (config_.switching == Switching::StoreAndForward &&
+            in.fifo.size() < pkt.length) {
+            continue;
+        }
+        const NodeId here = routerOf(port);
+        const int local = localOf(port);
+
+        std::uint32_t preferred;
+        if (pkt.dest == here) {
+            // Eject through the local delivery channel.
+            const std::uint32_t eject = inPortId(here, localPort());
+            if (out_ports_[eject].owner != kNoPacket)
+                continue;
+            preferred = eject;
+        } else {
+            const std::optional<Direction> in_dir =
+                local == localPort()
+                    ? std::nullopt
+                    : std::make_optional(
+                          Direction::fromId(static_cast<DirId>(local)));
+            std::vector<Direction> candidates;
+            for (Direction d : routing_.route(here, in_dir, pkt.dest)) {
+                const std::uint32_t out = inPortId(here, d.id());
+                if (out_ports_[out].owner == kNoPacket)
+                    candidates.push_back(d);
+            }
+            if (candidates.empty())
+                continue;
+            const Direction pick = selectOutput(
+                config_.output_selection, candidates, in_dir,
+                router_rng_);
+            preferred = inPortId(here, pick.id());
+        }
+        bids.push_back({preferred, {port, in.header_arrival}});
+    }
+
+    // Group bids by output port and arbitrate. Bids arrive grouped by
+    // router order; sorting keeps the pass deterministic.
+    std::sort(bids.begin(), bids.end(),
+              [](const Bid &a, const Bid &b) {
+                  if (a.out_port != b.out_port)
+                      return a.out_port < b.out_port;
+                  return a.request.in_port < b.request.in_port;
+              });
+    std::size_t i = 0;
+    std::vector<InputRequest> group;
+    while (i < bids.size()) {
+        group.clear();
+        const std::uint32_t out = bids[i].out_port;
+        while (i < bids.size() && bids[i].out_port == out)
+            group.push_back(bids[i++].request);
+        const std::size_t win =
+            selectInput(config_.input_selection, group, router_rng_);
+        const std::uint32_t in_port = group[win].in_port;
+        InPort &in = in_ports_[in_port];
+        const PacketId pkt = in.fifo.front().packet;
+        out_ports_[out].owner = pkt;
+        in.granted_out = localOf(out);
+    }
+}
+
+bool
+Network::headCanMove(std::uint32_t port)
+{
+    // Memoized per cycle; a dependency cycle (true deadlock among
+    // the flits trying to move) resolves to "cannot move".
+    if (move_stamp_[port] == cycle_) {
+        if (move_state_[port] == 1)
+            return false;   // On the recursion stack: cyclic wait.
+        return move_state_[port] == 2;
+    }
+    move_stamp_[port] = cycle_;
+    move_state_[port] = 1;
+
+    bool result = false;
+    const InPort &in = in_ports_[port];
+    if (!in.fifo.empty() && in.granted_out != -1) {
+        const NodeId here = routerOf(port);
+        const std::uint32_t out = inPortId(here, in.granted_out);
+        const std::int32_t target = out_to_in_[out];
+        if (in.granted_out == localPort()) {
+            // Ejection: the destination consumes immediately.
+            result = true;
+        } else {
+            TM_ASSERT(target >= 0, "granted output has no downstream");
+            const InPort &next =
+                in_ports_[static_cast<std::uint32_t>(target)];
+            const Flit &flit = in.fifo.front();
+            if (next.fifo.size() <
+                static_cast<std::size_t>(config_.buffer_depth)) {
+                // Space available now. Buffers hold one packet at a
+                // time, so a different packet may enter only an
+                // empty, unbound buffer.
+                result = next.cur_packet == kNoPacket
+                    || next.cur_packet == flit.packet;
+            } else if (headCanMove(static_cast<std::uint32_t>(target))) {
+                // The slot freed this cycle can be used, subject to
+                // the same single-packet rule.
+                result = next.cur_packet == flit.packet
+                    || next.fifo.size() == 1;
+            }
+        }
+    }
+    move_state_[port] = result ? 2 : 3;
+    return result;
+}
+
+void
+Network::traverseFlits()
+{
+    // Decide all moves against the cycle-start state, then apply.
+    std::vector<Move> moves;
+    for (std::uint32_t port : active_ports_) {
+        if (!headCanMove(port))
+            continue;
+        const InPort &in = in_ports_[port];
+        const NodeId here = routerOf(port);
+        const std::uint32_t out = inPortId(here, in.granted_out);
+        moves.push_back({port,
+                         in.granted_out == localPort()
+                             ? -1
+                             : out_to_in_[out]});
+    }
+
+    if (topo_.hasSharedPhysicalChannels())
+        arbitratePhysicalChannels(moves);
+
+    // Pop all moving flits first so same-cycle chained refills see
+    // consistent state, then push them downstream.
+    struct InFlight
+    {
+        Flit flit;
+        std::uint32_t from;
+        std::int32_t to;
+    };
+    std::vector<InFlight> in_flight;
+    in_flight.reserve(moves.size());
+    for (const Move &m : moves) {
+        InPort &in = in_ports_[m.from];
+        const Flit flit = in.fifo.front();
+        in.fifo.pop_front();
+        const NodeId here = routerOf(m.from);
+        const std::uint32_t out = inPortId(here, in.granted_out);
+        if (flit.tail) {
+            // The tail releases the channel and the buffer binding.
+            out_ports_[out].owner = kNoPacket;
+            in.cur_packet = kNoPacket;
+            in.granted_out = -1;
+        }
+        in_flight.push_back({flit, m.from, m.to});
+    }
+
+    for (const InFlight &f : in_flight) {
+        moved_this_cycle_ = true;
+        PacketState &pkt = packets_.at(f.flit.packet);
+        pkt.last_progress = cycle_;
+        if (f.to < 0) {
+            // Consumed at the destination.
+            ++pkt.flits_delivered;
+            ++counters_.flits_delivered;
+            --counters_.flits_in_network;
+            if (f.flit.tail) {
+                ++counters_.packets_delivered;
+                completions_.push_back({f.flit.packet, pkt.src, pkt.dest,
+                                        pkt.length, pkt.hops, pkt.created,
+                                        pkt.injected,
+                                        static_cast<double>(cycle_)});
+                packets_.erase(f.flit.packet);
+            }
+            continue;
+        }
+        const auto to = static_cast<std::uint32_t>(f.to);
+        InPort &next = in_ports_[to];
+        TM_ASSERT(next.fifo.size() <
+                      static_cast<std::size_t>(config_.buffer_depth),
+                  "flit pushed into a full buffer");
+        TM_ASSERT(next.cur_packet == kNoPacket ||
+                      next.cur_packet == f.flit.packet,
+                  "two packets interleaved in one buffer");
+        next.fifo.push_back(f.flit);
+        if (f.flit.head) {
+            next.cur_packet = f.flit.packet;
+            next.header_arrival = cycle_;
+            ++pkt.hops;
+            ++counters_.header_hops;
+        }
+        markActive(to);
+    }
+
+    // Compact the active list: keep ports that still hold flits or
+    // are bound to a packet mid-stream.
+    std::size_t keep = 0;
+    for (std::uint32_t port : active_ports_) {
+        const InPort &in = in_ports_[port];
+        if (!in.fifo.empty() || in.cur_packet != kNoPacket) {
+            active_ports_[keep++] = port;
+        } else {
+            is_active_[port] = false;
+        }
+    }
+    active_ports_.resize(keep);
+}
+
+void
+Network::injectFlits()
+{
+    // Runs after traversal so a single-flit injection buffer sustains
+    // one flit per cycle, the injection channel's full bandwidth.
+    for (NodeId v = 0; v < topo_.numNodes(); ++v) {
+        auto &queue = source_queues_[v];
+        if (queue.empty())
+            continue;
+        const std::uint32_t port = inPortId(v, localPort());
+        InPort &in = in_ports_[port];
+        if (in.fifo.size() >=
+            static_cast<std::size_t>(config_.buffer_depth)) {
+            continue;
+        }
+        const PacketId id = queue.front();
+        PacketState &pkt = packets_.at(id);
+        if (in.cur_packet != kNoPacket && in.cur_packet != id)
+            continue;   // Previous packet's tail still in the buffer.
+        Flit flit;
+        flit.packet = id;
+        flit.head = pkt.flits_injected == 0;
+        flit.tail = pkt.flits_injected + 1 == pkt.length;
+        in.fifo.push_back(flit);
+        ++pkt.flits_injected;
+        pkt.last_progress = cycle_;
+        --counters_.source_queue_flits;
+        ++counters_.flits_in_network;
+        moved_this_cycle_ = true;
+        if (flit.head) {
+            in.cur_packet = id;
+            in.header_arrival = cycle_;
+            pkt.injected = static_cast<double>(cycle_);
+        }
+        if (flit.tail)
+            queue.pop_front();
+        markActive(port);
+    }
+}
+
+void
+Network::arbitratePhysicalChannels(std::vector<Move> &moves)
+{
+    // Virtual channels multiplex one physical wire: at most one flit
+    // per (router, physical direction) per cycle. Conflicts keep the
+    // move whose turn it is under a rotating priority; cancelling a
+    // move also cancels, transitively, any move that was counting on
+    // the slot it would have vacated.
+    std::unordered_map<std::uint64_t, std::vector<std::size_t>> groups;
+    for (std::size_t i = 0; i < moves.size(); ++i) {
+        const std::uint32_t from = moves[i].from;
+        const int local = in_ports_[from].granted_out;
+        if (local == localPort())
+            continue;   // Delivery channels are not multiplexed.
+        const NodeId here = routerOf(from);
+        const std::uint64_t key =
+            static_cast<std::uint64_t>(here) * 256u +
+            topo_.physicalChannelGroup(static_cast<DirId>(local));
+        groups[key].push_back(i);
+    }
+
+    std::vector<bool> cancelled(moves.size(), false);
+    std::deque<std::size_t> to_propagate;
+    for (auto &[key, members] : groups) {
+        if (members.size() <= 1)
+            continue;
+        const std::size_t keep = static_cast<std::size_t>(
+            cycle_ % members.size());
+        for (std::size_t j = 0; j < members.size(); ++j) {
+            if (j == keep)
+                continue;
+            cancelled[members[j]] = true;
+            to_propagate.push_back(members[j]);
+        }
+    }
+
+    if (to_propagate.empty())
+        return;
+
+    // Index moves by the buffer they leave, so cancellations can
+    // chase the chain upstream.
+    std::unordered_map<std::uint32_t, std::size_t> move_out_of;
+    std::unordered_map<std::int32_t, std::size_t> move_into;
+    for (std::size_t i = 0; i < moves.size(); ++i) {
+        move_out_of[moves[i].from] = i;
+        if (moves[i].to >= 0)
+            move_into[moves[i].to] = i;
+    }
+    while (!to_propagate.empty()) {
+        const std::size_t dead = to_propagate.front();
+        to_propagate.pop_front();
+        // The move entering the buffer `dead` was leaving needed its
+        // slot only if that buffer was full at cycle start.
+        const std::uint32_t buffer = moves[dead].from;
+        const InPort &in = in_ports_[buffer];
+        if (in.fifo.size() <
+            static_cast<std::size_t>(config_.buffer_depth)) {
+            continue;   // The incoming move still has room.
+        }
+        const auto it = move_into.find(static_cast<std::int32_t>(buffer));
+        if (it == move_into.end() || cancelled[it->second])
+            continue;
+        cancelled[it->second] = true;
+        to_propagate.push_back(it->second);
+    }
+
+    std::vector<Move> kept;
+    kept.reserve(moves.size());
+    for (std::size_t i = 0; i < moves.size(); ++i) {
+        if (!cancelled[i])
+            kept.push_back(moves[i]);
+    }
+    moves.swap(kept);
+}
+
+PacketId
+Network::post(NodeId src, NodeId dest, std::uint32_t length)
+{
+    TM_ASSERT(src < topo_.numNodes() && dest < topo_.numNodes(),
+              "post() endpoints out of range");
+    TM_ASSERT(src != dest, "post() requires distinct endpoints");
+    TM_ASSERT(length >= 1, "a packet has at least one flit");
+    PacketState pkt;
+    pkt.src = src;
+    pkt.dest = dest;
+    pkt.length = length;
+    pkt.created = static_cast<double>(cycle_);
+    pkt.last_progress = cycle_;
+    const PacketId id = next_packet_id_++;
+    packets_.emplace(id, pkt);
+    source_queues_[src].push_back(id);
+    ++counters_.packets_generated;
+    counters_.flits_generated += length;
+    counters_.source_queue_flits += length;
+    return id;
+}
+
+std::vector<Completion>
+Network::drainCompletions()
+{
+    std::vector<Completion> out;
+    out.swap(completions_);
+    return out;
+}
+
+bool
+Network::deadlockDetected() const
+{
+    return stall_cycles_ >= config_.deadlock_threshold
+        || packet_stall_flag_;
+}
+
+std::vector<PacketId>
+Network::stuckPackets(std::uint64_t age) const
+{
+    std::vector<PacketId> stuck;
+    for (const auto &[id, pkt] : packets_) {
+        if (pkt.flits_injected == 0)
+            continue;
+        if (cycle_ - pkt.last_progress >= age)
+            stuck.push_back(id);
+    }
+    return stuck;
+}
+
+std::uint64_t
+Network::oldestPacketStall() const
+{
+    std::uint64_t oldest = 0;
+    for (const auto &[id, pkt] : packets_) {
+        if (pkt.flits_injected == 0)
+            continue;
+        oldest = std::max(oldest, cycle_ - pkt.last_progress);
+    }
+    return oldest;
+}
+
+std::uint64_t
+Network::sourceQueuePackets() const
+{
+    std::uint64_t total = 0;
+    for (const auto &q : source_queues_)
+        total += q.size();
+    return total;
+}
+
+} // namespace turnmodel

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * The flit-level wormhole network engine.
+ *
+ * Model (matching Glass & Ni, Section 6): every router has one input
+ * buffer per incoming channel plus one for the local injection
+ * channel; each buffer holds buffer_depth flits (one in the paper).
+ * A channel moves at most one flit per cycle. A packet's header flit
+ * requests an output channel from the routing algorithm; on a grant
+ * the channel is held by that packet until its tail flit passes —
+ * this channel holding while blocked is what makes wormhole routing
+ * deadlock prone and the turn model relevant. Destination routers
+ * consume flits immediately (one per cycle over the ejection
+ * channel). Messages blocked from entering the network queue at the
+ * source processor.
+ *
+ * Within one cycle, flit movement is evaluated against the
+ * cycle-start state, with chained movement resolved so a full buffer
+ * whose head departs this cycle can be refilled in the same cycle
+ * (full streaming bandwidth through single-flit buffers). A cyclic
+ * wait — true deadlock — is detected and reported by the stall
+ * watchdog.
+ */
+
+#ifndef TURNMODEL_SIM_NETWORK_HPP
+#define TURNMODEL_SIM_NETWORK_HPP
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "core/routing.hpp"
+#include "sim/config.hpp"
+#include "sim/packet.hpp"
+#include "sim/selection.hpp"
+#include "traffic/pattern.hpp"
+#include "traffic/workload.hpp"
+
+namespace turnmodel {
+
+/** Running counters exposed to the measurement driver. */
+struct NetworkCounters
+{
+    std::uint64_t packets_generated = 0;
+    std::uint64_t packets_delivered = 0;
+    std::uint64_t flits_generated = 0;
+    std::uint64_t flits_delivered = 0;
+    std::uint64_t header_hops = 0;
+    std::uint64_t source_queue_flits = 0;  ///< Flits waiting at sources.
+    std::uint64_t flits_in_network = 0;
+};
+
+/** A completed packet, reported to the driver for latency stats. */
+struct Completion
+{
+    PacketId id;
+    NodeId src;
+    NodeId dest;
+    std::uint32_t length;
+    std::uint32_t hops;
+    double created;     ///< Cycles.
+    double injected;    ///< Cycles.
+    double delivered;   ///< Cycles (tail consumed).
+};
+
+/** The simulated network: routers, buffers, channels, sources. */
+class Network
+{
+  public:
+    /**
+     * @param routing Routing algorithm (also supplies the topology);
+     *                must outlive this object.
+     * @param pattern Traffic pattern; must outlive this object.
+     * @param config  Run configuration (copied).
+     */
+    Network(const RoutingAlgorithm &routing, const TrafficPattern &pattern,
+            const SimConfig &config);
+
+    /** Advance one flit cycle. */
+    void step();
+
+    /** Current cycle count. */
+    std::uint64_t now() const { return cycle_; }
+
+    const NetworkCounters &counters() const { return counters_; }
+
+    /**
+     * Completions recorded since the last drain; the driver takes
+     * ownership and the internal list is cleared.
+     */
+    std::vector<Completion> drainCompletions();
+
+    /**
+     * Cycles since the last time any flit moved while packets were
+     * in flight — the deadlock watchdog. Zero while traffic flows.
+     */
+    std::uint64_t stallCycles() const { return stall_cycles_; }
+
+    /** Whether the stall watchdog has tripped. */
+    bool deadlockDetected() const;
+
+    /**
+     * Packets that are in the network (at least one flit injected,
+     * not yet delivered) and have made no progress for at least
+     * @p age cycles. A non-empty result at a large age indicates a
+     * (possibly partial) deadlock that the global stall watchdog
+     * cannot see because unrelated traffic still moves.
+     */
+    std::vector<PacketId> stuckPackets(std::uint64_t age) const;
+
+    /** Age in cycles of the longest-stalled in-network packet. */
+    std::uint64_t oldestPacketStall() const;
+
+    /** Turn message generation on or off (for drain phases). */
+    void setGenerationEnabled(bool enabled) { generate_ = enabled; }
+
+    /**
+     * Queue one packet directly at a source, bypassing the stochastic
+     * generator — the hook for trace-driven workloads and for
+     * controlled tests.
+     *
+     * @return The new packet's id.
+     */
+    PacketId post(NodeId src, NodeId dest, std::uint32_t length);
+
+    /** Total packets queued at all sources right now. */
+    std::uint64_t sourceQueuePackets() const;
+
+    const Topology &topology() const { return topo_; }
+
+  private:
+    // ----- port indexing ---------------------------------------------
+    /** Ports per router: 2n channel ports plus the local port. */
+    int portsPerRouter() const { return ports_per_router_; }
+    std::uint32_t inPortId(NodeId router, int local) const;
+    NodeId routerOf(std::uint32_t port) const;
+    int localOf(std::uint32_t port) const;
+    /** Local index of the injection (input) / ejection (output) port. */
+    int localPort() const { return ports_per_router_ - 1; }
+
+    /** One pending flit transfer this cycle. */
+    struct Move
+    {
+        std::uint32_t from;
+        std::int32_t to;   ///< Downstream input port; -1 for ejection.
+    };
+
+    // ----- cycle phases ----------------------------------------------
+    void generateMessages();
+    void allocateOutputs();
+    void traverseFlits();
+    void injectFlits();
+
+    /**
+     * Enforce one flit per physical channel per cycle when virtual
+     * channels share wires, cancelling losing moves and any chained
+     * refills that depended on them.
+     */
+    void arbitratePhysicalChannels(std::vector<Move> &moves);
+
+    /** Movability of the head flit of @p port this cycle (memoized). */
+    bool headCanMove(std::uint32_t port);
+
+    void markActive(std::uint32_t port);
+
+    // ----- state -------------------------------------------------------
+    struct InPort
+    {
+        std::deque<Flit> fifo;
+        PacketId cur_packet = kNoPacket;
+        int granted_out = -1;   ///< Local output index at this router.
+        std::uint64_t header_arrival = 0;
+    };
+
+    struct OutPort
+    {
+        PacketId owner = kNoPacket;
+    };
+
+    const RoutingAlgorithm &routing_;
+    const Topology &topo_;
+    const TrafficPattern &pattern_;
+    SimConfig config_;
+
+    int ports_per_router_;
+    std::vector<InPort> in_ports_;
+    std::vector<OutPort> out_ports_;
+    /** Downstream input port of each output port; -1 for ejection. */
+    std::vector<std::int32_t> out_to_in_;
+
+    std::vector<std::deque<PacketId>> source_queues_;
+    std::vector<ArrivalProcess> arrivals_;
+    Rng router_rng_;
+
+    std::unordered_map<PacketId, PacketState> packets_;
+    PacketId next_packet_id_ = 0;
+
+    std::vector<std::uint32_t> active_ports_;
+    std::vector<bool> is_active_;
+
+    /** Per-cycle movability memo: 0 unknown, 1 in progress, 2 yes,
+     * 3 no. Reset lazily via a stamp per cycle. */
+    std::vector<std::uint8_t> move_state_;
+    std::vector<std::uint64_t> move_stamp_;
+
+    std::uint64_t cycle_ = 0;
+    bool generate_ = true;
+    bool moved_this_cycle_ = false;
+    std::uint64_t stall_cycles_ = 0;
+    bool packet_stall_flag_ = false;
+
+    NetworkCounters counters_;
+    std::vector<Completion> completions_;
+};
+
+} // namespace turnmodel
+
+#endif // TURNMODEL_SIM_NETWORK_HPP

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Packets and flits. A message is one packet; a packet is a header
+ * flit, body flits, and a tail flit. The header carries the routing
+ * information and leads the packet through the network; the tail
+ * releases the channels the packet holds (wormhole switching).
+ */
+
+#ifndef TURNMODEL_SIM_PACKET_HPP
+#define TURNMODEL_SIM_PACKET_HPP
+
+#include <cstdint>
+
+#include "topology/coordinates.hpp"
+
+namespace turnmodel {
+
+/** Packet identifier; unique over a simulation run. */
+using PacketId = std::int64_t;
+
+/** Sentinel for "no packet". */
+inline constexpr PacketId kNoPacket = -1;
+
+/** One flow-control digit of a packet. */
+struct Flit
+{
+    PacketId packet = kNoPacket;
+    bool head = false;   ///< Leading (routing) flit.
+    bool tail = false;   ///< Releases held channels as it passes.
+};
+
+/** Book-keeping for one packet in flight. */
+struct PacketState
+{
+    NodeId src = 0;
+    NodeId dest = 0;
+    std::uint32_t length = 0;          ///< Total flits.
+    double created = 0.0;              ///< Generation time, cycles.
+    double injected = -1.0;            ///< Header entered the network.
+    std::uint32_t flits_injected = 0;  ///< Left the source queue.
+    std::uint32_t flits_delivered = 0; ///< Consumed at the destination.
+    std::uint32_t hops = 0;            ///< Channels the header crossed.
+    std::uint64_t last_progress = 0;   ///< Cycle a flit last moved.
+};
+
+} // namespace turnmodel
+
+#endif // TURNMODEL_SIM_PACKET_HPP

@@ -1,0 +1,88 @@
+#include "sim/selection.hpp"
+
+#include "util/logging.hpp"
+
+namespace turnmodel {
+
+Direction
+selectOutput(OutputSelection policy,
+             const std::vector<Direction> &candidates,
+             std::optional<Direction> in_dir, Rng &rng)
+{
+    TM_ASSERT(!candidates.empty(), "output selection needs candidates");
+    if (candidates.size() == 1)
+        return candidates.front();
+    switch (policy) {
+      case OutputSelection::LowestDim: {
+        Direction best = candidates.front();
+        for (Direction d : candidates) {
+            if (d.id() < best.id())
+                best = d;
+        }
+        return best;
+      }
+      case OutputSelection::HighestDim: {
+        Direction best = candidates.front();
+        for (Direction d : candidates) {
+            if (d.id() > best.id())
+                best = d;
+        }
+        return best;
+      }
+      case OutputSelection::Random:
+        return candidates[rng.nextBounded(candidates.size())];
+      case OutputSelection::StraightFirst: {
+        if (in_dir) {
+            for (Direction d : candidates) {
+                if (d.dim == in_dir->dim && d.positive == in_dir->positive)
+                    return d;
+            }
+        }
+        Direction best = candidates.front();
+        for (Direction d : candidates) {
+            if (d.id() < best.id())
+                best = d;
+        }
+        return best;
+      }
+    }
+    return candidates.front();
+}
+
+std::size_t
+selectInput(InputSelection policy,
+            const std::vector<InputRequest> &requests, Rng &rng)
+{
+    TM_ASSERT(!requests.empty(), "input selection needs requests");
+    if (requests.size() == 1)
+        return 0;
+    switch (policy) {
+      case InputSelection::Fcfs: {
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < requests.size(); ++i) {
+            const auto &r = requests[i];
+            const auto &b = requests[best];
+            if (r.header_arrival < b.header_arrival ||
+                (r.header_arrival == b.header_arrival &&
+                 r.in_port < b.in_port)) {
+                best = i;
+            }
+        }
+        return best;
+      }
+      case InputSelection::Random:
+        return static_cast<std::size_t>(
+            rng.nextBounded(requests.size()));
+      case InputSelection::FixedPriority: {
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < requests.size(); ++i) {
+            if (requests[i].in_port < requests[best].in_port)
+                best = i;
+        }
+        return best;
+      }
+    }
+    return 0;
+}
+
+} // namespace turnmodel

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Input and output selection policies (Glass & Ni, Section 6). When
+ * a header flit can use several available output channels, the
+ * output selection policy picks one; when several header flits wait
+ * for the same output channel, the input selection policy arbitrates.
+ * The paper uses local first-come-first-served input selection (fair,
+ * so indefinite postponement is impossible) and the "xy" lowest-
+ * dimension output selection; the alternatives here support the
+ * selection-policy ablation of the companion study [19].
+ */
+
+#ifndef TURNMODEL_SIM_SELECTION_HPP
+#define TURNMODEL_SIM_SELECTION_HPP
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "topology/direction.hpp"
+#include "util/rng.hpp"
+
+namespace turnmodel {
+
+/**
+ * Pick one output direction among the available candidates.
+ *
+ * @param policy     Output selection policy.
+ * @param candidates Non-empty list of available profitable outputs.
+ * @param in_dir     Arrival direction (for StraightFirst).
+ * @param rng        Randomness for the Random policy.
+ */
+Direction selectOutput(OutputSelection policy,
+                       const std::vector<Direction> &candidates,
+                       std::optional<Direction> in_dir, Rng &rng);
+
+/** One input port's bid for an output channel. */
+struct InputRequest
+{
+    std::uint32_t in_port;          ///< Global input-port id.
+    std::uint64_t header_arrival;   ///< Cycle the header arrived.
+};
+
+/**
+ * Pick the winning request for one output channel.
+ *
+ * @param policy   Input selection policy.
+ * @param requests Non-empty competing requests.
+ * @param rng      Randomness for the Random policy.
+ * @return Index into @p requests of the winner.
+ */
+std::size_t selectInput(InputSelection policy,
+                        const std::vector<InputRequest> &requests,
+                        Rng &rng);
+
+} // namespace turnmodel
+
+#endif // TURNMODEL_SIM_SELECTION_HPP

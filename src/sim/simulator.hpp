@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Measurement driver: runs a Network through a warmup phase and a
+ * measurement window, collects latency over packets created after
+ * warmup, computes throughput over the window, and applies the
+ * paper's sustainability criterion (source-queue population small
+ * and bounded).
+ */
+
+#ifndef TURNMODEL_SIM_SIMULATOR_HPP
+#define TURNMODEL_SIM_SIMULATOR_HPP
+
+#include "sim/metrics.hpp"
+#include "sim/network.hpp"
+
+namespace turnmodel {
+
+/** Runs one configured simulation to completion. */
+class Simulator
+{
+  public:
+    /**
+     * @param routing Routing algorithm; must outlive this object.
+     * @param pattern Traffic pattern; must outlive this object.
+     * @param config  Run configuration (copied).
+     */
+    Simulator(const RoutingAlgorithm &routing,
+              const TrafficPattern &pattern, const SimConfig &config);
+
+    /** Run warmup plus measurement and return the aggregated result. */
+    SimResult run();
+
+    /** The underlying network (inspectable after run()). */
+    const Network &network() const { return network_; }
+
+  private:
+    SimConfig config_;
+    Network network_;
+};
+
+} // namespace turnmodel
+
+#endif // TURNMODEL_SIM_SIMULATOR_HPP

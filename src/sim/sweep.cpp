@@ -1,0 +1,120 @@
+#include "sim/sweep.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+
+#include "util/csv.hpp"
+#include "util/logging.hpp"
+
+namespace turnmodel {
+
+double
+SweepSeries::maxSustainableThroughput() const
+{
+    double best = 0.0;
+    for (const SweepPoint &p : points) {
+        if (!p.result.saturated)
+            best = std::max(best, p.result.throughput_flits_per_us);
+    }
+    return best;
+}
+
+std::vector<double>
+SweepConfig::ladder(double lo, double hi, int points)
+{
+    TM_ASSERT(lo > 0.0 && hi > lo && points >= 2, "bad ladder spec");
+    std::vector<double> rates;
+    const double step = std::pow(hi / lo,
+                                 1.0 / static_cast<double>(points - 1));
+    double rate = lo;
+    for (int i = 0; i < points; ++i) {
+        rates.push_back(rate);
+        rate *= step;
+    }
+    return rates;
+}
+
+SweepSeries
+runSweep(const RoutingAlgorithm &routing, const TrafficPattern &pattern,
+         const SweepConfig &config)
+{
+    SweepSeries series;
+    series.algorithm = routing.name();
+    int saturated_streak = 0;
+    for (double rate : config.injection_rates) {
+        SimConfig sim = config.sim;
+        sim.injection_rate = rate;
+        Simulator simulator(routing, pattern, sim);
+        SweepPoint point;
+        point.injection_rate = rate;
+        point.result = simulator.run();
+        series.points.push_back(point);
+        saturated_streak = point.result.saturated
+            ? saturated_streak + 1 : 0;
+        if (config.stop_after_saturated > 0 &&
+            saturated_streak >= config.stop_after_saturated) {
+            break;
+        }
+    }
+    return series;
+}
+
+void
+printSeries(std::ostream &os, const std::string &experiment,
+            const std::vector<SweepSeries> &series)
+{
+    os << "== " << experiment << " ==\n";
+    for (const SweepSeries &s : series) {
+        os << "-- algorithm: " << s.algorithm << '\n';
+        os << std::setw(10) << "rate" << std::setw(14) << "offered"
+           << std::setw(14) << "thruput" << std::setw(12) << "lat(us)"
+           << std::setw(12) << "net(us)" << std::setw(10) << "hops"
+           << std::setw(10) << "pkts" << std::setw(6) << "sat" << '\n';
+        for (const SweepPoint &p : s.points) {
+            const SimResult &r = p.result;
+            os << std::setw(10) << std::fixed << std::setprecision(4)
+               << p.injection_rate
+               << std::setw(14) << std::setprecision(2)
+               << r.offered_flits_per_us
+               << std::setw(14) << r.throughput_flits_per_us
+               << std::setw(12) << r.avg_latency_us
+               << std::setw(12) << r.avg_network_latency_us
+               << std::setw(10) << r.avg_hops
+               << std::setw(10) << r.packets_measured
+               << std::setw(6)
+               << (r.deadlocked ? "DL" : r.saturated ? "yes" : "no")
+               << '\n';
+        }
+        os << "   max sustainable throughput: " << std::setprecision(2)
+           << s.maxSustainableThroughput() << " flits/us\n";
+    }
+
+    os << "-- csv --\n";
+    CsvWriter csv(os);
+    csv.header({"experiment", "algorithm", "injection_rate",
+                "offered_flits_per_us", "throughput_flits_per_us",
+                "latency_us", "network_latency_us", "p99_latency_us",
+                "avg_hops", "packets", "saturated", "deadlocked"});
+    for (const SweepSeries &s : series) {
+        for (const SweepPoint &p : s.points) {
+            const SimResult &r = p.result;
+            csv.beginRow()
+                .field(experiment)
+                .field(s.algorithm)
+                .field(p.injection_rate)
+                .field(r.offered_flits_per_us)
+                .field(r.throughput_flits_per_us)
+                .field(r.avg_latency_us)
+                .field(r.avg_network_latency_us)
+                .field(r.p99_latency_us)
+                .field(r.avg_hops)
+                .field(static_cast<std::uint64_t>(r.packets_measured))
+                .field(r.saturated ? 1 : 0)
+                .field(r.deadlocked ? 1 : 0);
+            csv.endRow();
+        }
+    }
+}
+
+} // namespace turnmodel

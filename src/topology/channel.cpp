@@ -1,0 +1,72 @@
+#include "topology/channel.hpp"
+
+#include "util/logging.hpp"
+
+namespace turnmodel {
+
+ChannelSpace::ChannelSpace(const Topology &topo)
+    : topo_(topo),
+      bound_(topo.numNodes() * static_cast<ChannelId>(topo.numDirs()))
+{
+    dest_.assign(bound_, 0);
+    exists_.assign(bound_, false);
+    for (NodeId v = 0; v < topo.numNodes(); ++v) {
+        for (Direction d : allDirections(topo.numDims())) {
+            const auto nb = topo.neighbor(v, d);
+            if (!nb)
+                continue;
+            const ChannelId ch = id(v, d);
+            dest_[ch] = *nb;
+            exists_[ch] = true;
+            existing_.push_back(ch);
+        }
+    }
+}
+
+ChannelId
+ChannelSpace::id(NodeId src, Direction dir) const
+{
+    return src * static_cast<ChannelId>(topo_.numDirs()) + dir.id();
+}
+
+NodeId
+ChannelSpace::source(ChannelId ch) const
+{
+    return ch / static_cast<ChannelId>(topo_.numDirs());
+}
+
+Direction
+ChannelSpace::direction(ChannelId ch) const
+{
+    return Direction::fromId(
+        static_cast<DirId>(ch % static_cast<ChannelId>(topo_.numDirs())));
+}
+
+NodeId
+ChannelSpace::destination(ChannelId ch) const
+{
+    TM_ASSERT(exists(ch), "channel ", ch, " does not exist");
+    return dest_[ch];
+}
+
+bool
+ChannelSpace::exists(ChannelId ch) const
+{
+    return ch < bound_ && exists_[ch];
+}
+
+bool
+ChannelSpace::isWraparound(ChannelId ch) const
+{
+    return topo_.isWraparound(source(ch), direction(ch));
+}
+
+std::string
+ChannelSpace::toString(ChannelId ch) const
+{
+    return coordsToString(topo_.coords(source(ch))) + " -> "
+        + directionName(direction(ch))
+        + (isWraparound(ch) ? " (wrap)" : "");
+}
+
+} // namespace turnmodel

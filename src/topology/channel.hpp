@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Dense identifiers for the unidirectional network channels of a
+ * topology. A channel is the ordered pair (source node, direction of
+ * travel); it exists when the topology reports a neighbor that way.
+ * The deadlock checker numbers channel-dependency-graph vertices with
+ * these ids, and the simulator indexes router ports with them.
+ */
+
+#ifndef TURNMODEL_TOPOLOGY_CHANNEL_HPP
+#define TURNMODEL_TOPOLOGY_CHANNEL_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topology/topology.hpp"
+
+namespace turnmodel {
+
+/** Dense channel identifier: src * 2n + dir id. */
+using ChannelId = std::uint32_t;
+
+/** Sentinel for "no channel". */
+inline constexpr ChannelId kInvalidChannel = 0xffffffffu;
+
+/**
+ * Maps between (node, direction) pairs and dense channel ids for one
+ * topology, and enumerates the channels that actually exist.
+ */
+class ChannelSpace
+{
+  public:
+    /** @param topo Topology; must outlive this object. */
+    explicit ChannelSpace(const Topology &topo);
+
+    const Topology &topology() const { return topo_; }
+
+    /** Upper bound (exclusive) on channel ids: numNodes * 2n. */
+    ChannelId idBound() const { return bound_; }
+
+    /** Number of channels that exist. */
+    std::size_t count() const { return existing_.size(); }
+
+    /** Channel id of the hop leaving @p src in direction @p dir. */
+    ChannelId id(NodeId src, Direction dir) const;
+
+    /** Source node of a channel. */
+    NodeId source(ChannelId ch) const;
+
+    /** Direction of travel of a channel. */
+    Direction direction(ChannelId ch) const;
+
+    /** Destination node of a channel; panics when it does not exist. */
+    NodeId destination(ChannelId ch) const;
+
+    /** Whether the channel exists in the topology. */
+    bool exists(ChannelId ch) const;
+
+    /** Whether the channel is a wraparound hop. */
+    bool isWraparound(ChannelId ch) const;
+
+    /** All existing channels, in id order. */
+    const std::vector<ChannelId> &channels() const { return existing_; }
+
+    /** "(x,y) -> east" rendering for traces. */
+    std::string toString(ChannelId ch) const;
+
+  private:
+    const Topology &topo_;
+    ChannelId bound_;
+    std::vector<ChannelId> existing_;
+    std::vector<NodeId> dest_;       ///< Indexed by channel id.
+    std::vector<bool> exists_;       ///< Indexed by channel id.
+};
+
+} // namespace turnmodel
+
+#endif // TURNMODEL_TOPOLOGY_CHANNEL_HPP

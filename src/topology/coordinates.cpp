@@ -1,0 +1,70 @@
+#include "topology/coordinates.hpp"
+
+#include "util/logging.hpp"
+
+namespace turnmodel {
+
+std::uint64_t
+shapeSize(const Shape &shape)
+{
+    std::uint64_t n = 1;
+    for (int k : shape) {
+        TM_ASSERT(k >= 2, "each dimension needs at least two nodes");
+        n *= static_cast<std::uint64_t>(k);
+    }
+    return n;
+}
+
+Coords
+coordsOf(NodeId node, const Shape &shape)
+{
+    Coords coords(shape.size());
+    std::uint64_t rest = node;
+    for (std::size_t d = 0; d < shape.size(); ++d) {
+        coords[d] = static_cast<int>(rest % static_cast<std::uint64_t>(shape[d]));
+        rest /= static_cast<std::uint64_t>(shape[d]);
+    }
+    TM_ASSERT(rest == 0, "node id ", node, " outside of shape");
+    return coords;
+}
+
+NodeId
+nodeAt(const Coords &coords, const Shape &shape)
+{
+    TM_ASSERT(coords.size() == shape.size(), "coordinate arity mismatch");
+    std::uint64_t id = 0;
+    for (std::size_t d = shape.size(); d-- > 0;) {
+        TM_ASSERT(coords[d] >= 0 && coords[d] < shape[d],
+                  "coordinate out of bounds in dim ", d);
+        id = id * static_cast<std::uint64_t>(shape[d])
+            + static_cast<std::uint64_t>(coords[d]);
+    }
+    return static_cast<NodeId>(id);
+}
+
+bool
+inBounds(const Coords &coords, const Shape &shape)
+{
+    if (coords.size() != shape.size())
+        return false;
+    for (std::size_t d = 0; d < shape.size(); ++d) {
+        if (coords[d] < 0 || coords[d] >= shape[d])
+            return false;
+    }
+    return true;
+}
+
+std::string
+coordsToString(const Coords &coords)
+{
+    std::string out = "(";
+    for (std::size_t d = 0; d < coords.size(); ++d) {
+        if (d > 0)
+            out += ',';
+        out += std::to_string(coords[d]);
+    }
+    out += ')';
+    return out;
+}
+
+} // namespace turnmodel

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Node coordinates in an n-dimensional network and conversions to and
+ * from linear node ids. Linearization is row-major with dimension 0
+ * varying fastest, i.e. id = x0 + k0*(x1 + k1*(x2 + ...)).
+ */
+
+#ifndef TURNMODEL_TOPOLOGY_COORDINATES_HPP
+#define TURNMODEL_TOPOLOGY_COORDINATES_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace turnmodel {
+
+/** Linear node identifier. */
+using NodeId = std::uint32_t;
+
+/** Per-dimension coordinates of a node. */
+using Coords = std::vector<int>;
+
+/** Radix (number of nodes) of each dimension. */
+using Shape = std::vector<int>;
+
+/** Total node count of a shape. */
+std::uint64_t shapeSize(const Shape &shape);
+
+/** Convert a linear node id to coordinates within @p shape. */
+Coords coordsOf(NodeId node, const Shape &shape);
+
+/** Convert coordinates to a linear node id within @p shape. */
+NodeId nodeAt(const Coords &coords, const Shape &shape);
+
+/** True when every coordinate is within [0, k_i). */
+bool inBounds(const Coords &coords, const Shape &shape);
+
+/** "(x0,x1,...)" rendering for messages and traces. */
+std::string coordsToString(const Coords &coords);
+
+} // namespace turnmodel
+
+#endif // TURNMODEL_TOPOLOGY_COORDINATES_HPP

@@ -1,0 +1,30 @@
+#include "topology/direction.hpp"
+
+#include "util/logging.hpp"
+
+namespace turnmodel {
+
+std::vector<Direction>
+allDirections(int num_dims)
+{
+    TM_ASSERT(num_dims > 0 && num_dims < 128, "bad dimension count");
+    std::vector<Direction> dirs;
+    dirs.reserve(static_cast<std::size_t>(2 * num_dims));
+    for (int d = 0; d < num_dims; ++d) {
+        dirs.emplace_back(static_cast<std::uint8_t>(d), false);
+        dirs.emplace_back(static_cast<std::uint8_t>(d), true);
+    }
+    return dirs;
+}
+
+std::string
+directionName(Direction d)
+{
+    if (d.dim == 0)
+        return d.positive ? "east" : "west";
+    if (d.dim == 1)
+        return d.positive ? "north" : "south";
+    return std::string(d.positive ? "+d" : "-d") + std::to_string(d.dim);
+}
+
+} // namespace turnmodel

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Directions of travel in an n-dimensional network.
+ *
+ * A direction is (dimension, sign). The paper's 2D vocabulary maps to
+ * dimension 0 = x with -x = west / +x = east, and dimension 1 = y with
+ * -y = south / +y = north. Directions pack into a dense id
+ * (2*dim + sign bit) used to index router ports and channels.
+ */
+
+#ifndef TURNMODEL_TOPOLOGY_DIRECTION_HPP
+#define TURNMODEL_TOPOLOGY_DIRECTION_HPP
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace turnmodel {
+
+/** Dense direction identifier: 2*dim for negative, 2*dim+1 for positive. */
+using DirId = std::uint8_t;
+
+/** A direction of packet travel along one dimension of the network. */
+struct Direction
+{
+    std::uint8_t dim = 0;   ///< Dimension index.
+    bool positive = false;  ///< True for +dim travel, false for -dim.
+
+    constexpr Direction() = default;
+    constexpr Direction(std::uint8_t d, bool pos) : dim(d), positive(pos) {}
+
+    /** Dense id in [0, 2n). */
+    constexpr DirId id() const
+    {
+        return static_cast<DirId>(2 * dim + (positive ? 1 : 0));
+    }
+
+    /** Inverse mapping of id(). */
+    static constexpr Direction
+    fromId(DirId id)
+    {
+        return Direction(static_cast<std::uint8_t>(id / 2), (id % 2) != 0);
+    }
+
+    /** The 180-degree reverse of this direction. */
+    constexpr Direction opposite() const
+    {
+        return Direction(dim, !positive);
+    }
+
+    /** Coordinate delta along this direction's dimension (+1 or -1). */
+    constexpr int delta() const { return positive ? 1 : -1; }
+
+    friend constexpr auto operator<=>(const Direction &,
+                                      const Direction &) = default;
+};
+
+/** Named 2D directions matching the paper's terminology. */
+namespace dir2d {
+inline constexpr Direction West{0, false};
+inline constexpr Direction East{0, true};
+inline constexpr Direction South{1, false};
+inline constexpr Direction North{1, true};
+} // namespace dir2d
+
+/** All 2n directions of an n-dimensional network, in id order. */
+std::vector<Direction> allDirections(int num_dims);
+
+/**
+ * Human-readable name: "west"/"east"/"south"/"north" for the first two
+ * dimensions, "-d2"/"+d2" style beyond.
+ */
+std::string directionName(Direction d);
+
+} // namespace turnmodel
+
+#endif // TURNMODEL_TOPOLOGY_DIRECTION_HPP

@@ -1,0 +1,78 @@
+#include "topology/faults.hpp"
+
+#include "util/logging.hpp"
+
+namespace turnmodel {
+
+FaultyTopology::FaultyTopology(const Topology &base,
+                               std::unordered_set<ChannelId> faults)
+    : Topology(base.shape()), base_(base), base_channels_(base),
+      faults_(std::move(faults))
+{
+    for (ChannelId ch : faults_) {
+        TM_ASSERT(base_channels_.exists(ch),
+                  "fault names a channel the base topology lacks");
+    }
+}
+
+FaultyTopology
+FaultyTopology::withRandomFaults(const Topology &base, std::size_t count,
+                                 Rng &rng)
+{
+    const ChannelSpace space(base);
+    TM_ASSERT(count <= space.count(), "more faults than channels");
+    std::unordered_set<ChannelId> faults;
+    while (faults.size() < count) {
+        const ChannelId ch =
+            space.channels()[rng.nextBounded(space.count())];
+        faults.insert(ch);
+    }
+    return FaultyTopology(base, std::move(faults));
+}
+
+bool
+FaultyTopology::isFaulty(NodeId node, Direction dir) const
+{
+    return faults_.count(base_channels_.id(node, dir)) > 0;
+}
+
+std::optional<NodeId>
+FaultyTopology::neighbor(NodeId node, Direction dir) const
+{
+    if (isFaulty(node, dir))
+        return std::nullopt;
+    return base_.neighbor(node, dir);
+}
+
+bool
+FaultyTopology::isWraparound(NodeId node, Direction dir) const
+{
+    return base_.isWraparound(node, dir);
+}
+
+std::string
+FaultyTopology::name() const
+{
+    return base_.name() + " (" + std::to_string(faults_.size())
+        + " faulty channels)";
+}
+
+int
+FaultyTopology::distance(NodeId a, NodeId b) const
+{
+    return base_.distance(a, b);
+}
+
+DirId
+FaultyTopology::physicalChannelGroup(DirId dir) const
+{
+    return base_.physicalChannelGroup(dir);
+}
+
+bool
+FaultyTopology::hasSharedPhysicalChannels() const
+{
+    return base_.hasSharedPhysicalChannels();
+}
+
+} // namespace turnmodel

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Channel-fault injection. The paper argues (Sections 1, 3.3, 7)
+ * that adaptiveness — and especially nonminimal routing — buys fault
+ * tolerance: alternative paths route packets around broken channels.
+ * FaultyTopology presents a base topology minus a set of failed
+ * unidirectional channels; turn-table routing's reachability oracle
+ * then steers around the failures automatically, and the experiment
+ * in bench/ablation_faults measures how much connectivity each
+ * algorithm retains.
+ */
+
+#ifndef TURNMODEL_TOPOLOGY_FAULTS_HPP
+#define TURNMODEL_TOPOLOGY_FAULTS_HPP
+
+#include <unordered_set>
+
+#include "topology/channel.hpp"
+#include "topology/topology.hpp"
+#include "util/rng.hpp"
+
+namespace turnmodel {
+
+/** A base topology with some unidirectional channels marked failed. */
+class FaultyTopology : public Topology
+{
+  public:
+    /**
+     * @param base   Underlying topology; must outlive this object.
+     * @param faults Failed channels, as (source, direction) channel
+     *               ids of the base topology's channel space.
+     */
+    FaultyTopology(const Topology &base,
+                   std::unordered_set<ChannelId> faults);
+
+    /**
+     * Fail @p count distinct channels drawn uniformly at random.
+     * Failures are unidirectional, matching a broken driver rather
+     * than a cut wire; pass pairs explicitly for bidirectional cuts.
+     */
+    static FaultyTopology withRandomFaults(const Topology &base,
+                                           std::size_t count, Rng &rng);
+
+    int numDims() const override { return base_.numDims(); }
+    int radix(int dim) const override { return base_.radix(dim); }
+    std::optional<NodeId> neighbor(NodeId node, Direction dir)
+        const override;
+    bool isWraparound(NodeId node, Direction dir) const override;
+    std::string name() const override;
+    /**
+     * Distance of the *healthy* topology — a lower bound once
+     * channels fail. Minimal routing on a faulty network is
+     * therefore best-effort; the fault-tolerance results use
+     * nonminimal routing, which never consults distances.
+     */
+    int distance(NodeId a, NodeId b) const override;
+    int diameter() const override { return base_.diameter(); }
+    DirId physicalChannelGroup(DirId dir) const override;
+    bool hasSharedPhysicalChannels() const override;
+
+    const Topology &base() const { return base_; }
+    const std::unordered_set<ChannelId> &faults() const
+    {
+        return faults_;
+    }
+    bool isFaulty(NodeId node, Direction dir) const;
+
+  private:
+    const Topology &base_;
+    ChannelSpace base_channels_;
+    std::unordered_set<ChannelId> faults_;
+};
+
+} // namespace turnmodel
+
+#endif // TURNMODEL_TOPOLOGY_FAULTS_HPP

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Hexagonal mesh — the first topology on the paper's future-work
+ * list ("another obvious extension of our work is to apply the turn
+ * model to other topologies, such as hexagonal, octagonal, and
+ * cube-connected cycle networks", Section 7).
+ *
+ * Nodes sit on a rhombus of axial coordinates (q, r); each interior
+ * node has six neighbors, reached along three *axes*, each with a
+ * positive and a negative direction:
+ *
+ *   axis 0 (q): +q = (+1,  0)     -q = (-1,  0)
+ *   axis 1 (r): +r = ( 0, +1)     -r = ( 0, -1)
+ *   axis 2 (s): +s = (+1, -1)     -s = (-1, +1)
+ *
+ * Presented through the Topology interface as a three-"dimension"
+ * network, every turn-model tool works unchanged: turns are pairs of
+ * axes, the channel dependency graph checker decides deadlock
+ * freedom exactly (the abstract-cycle catalog of orthogonal meshes
+ * does not apply — hexagonal cycles can close in three turns), and
+ * turn-table routing with the reachability oracle yields complete
+ * routing functions. Negative-first generalizes: no closed loop can
+ * be formed from positive directions alone (their coordinate sums
+ * cannot cancel), so prohibiting positive-to-negative turns breaks
+ * every cycle.
+ */
+
+#ifndef TURNMODEL_TOPOLOGY_HEX_HPP
+#define TURNMODEL_TOPOLOGY_HEX_HPP
+
+#include "topology/topology.hpp"
+
+namespace turnmodel {
+
+/** A rhombus-shaped hexagonal mesh in axial coordinates. */
+class HexMesh : public Topology
+{
+  public:
+    /**
+     * @param kq Nodes along the q axis.
+     * @param kr Nodes along the r axis.
+     */
+    HexMesh(int kq, int kr);
+
+    /** Three axes, each a direction pair. */
+    int numDims() const override { return 3; }
+    int radix(int dim) const override;
+    std::optional<NodeId> neighbor(NodeId node, Direction dir)
+        const override;
+    bool isWraparound(NodeId node, Direction dir) const override;
+    std::string name() const override;
+    /** Hex (axial) distance: (|dq| + |dr| + |dq + dr|) / 2. */
+    int distance(NodeId a, NodeId b) const override;
+    int diameter() const override;
+
+    /** Coordinate delta of a direction, as (dq, dr). */
+    static std::pair<int, int> axialDelta(Direction dir);
+};
+
+} // namespace turnmodel
+
+#endif // TURNMODEL_TOPOLOGY_HEX_HPP

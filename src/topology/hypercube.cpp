@@ -1,0 +1,33 @@
+#include "topology/hypercube.hpp"
+
+#include "util/bitops.hpp"
+#include "util/logging.hpp"
+
+namespace turnmodel {
+
+Hypercube::Hypercube(int n)
+    : NDMesh(Shape(static_cast<std::size_t>(n), 2))
+{
+    TM_ASSERT(n >= 1 && n <= 20, "hypercube dimension out of range");
+}
+
+std::string
+Hypercube::name() const
+{
+    return "binary " + std::to_string(numDims()) + "-cube";
+}
+
+NodeId
+Hypercube::neighborAcross(NodeId node, int dim) const
+{
+    return static_cast<NodeId>(flipBit(node, dim));
+}
+
+int
+Hypercube::hammingDistance(NodeId a, NodeId b) const
+{
+    return popcount(static_cast<std::uint64_t>(a) ^
+                    static_cast<std::uint64_t>(b));
+}
+
+} // namespace turnmodel

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Binary n-cube (hypercube) topology: the special case of both the
+ * n-dimensional mesh (all k_i = 2) and the k-ary n-cube (k = 2).
+ * Node ids coincide with the node's binary address, so routing
+ * algorithms can work directly on bit patterns as in the paper's
+ * p-cube formulation.
+ */
+
+#ifndef TURNMODEL_TOPOLOGY_HYPERCUBE_HPP
+#define TURNMODEL_TOPOLOGY_HYPERCUBE_HPP
+
+#include "topology/mesh.hpp"
+
+namespace turnmodel {
+
+/** A binary n-cube. */
+class Hypercube : public NDMesh
+{
+  public:
+    /** @param n Number of dimensions (2^n nodes). */
+    explicit Hypercube(int n);
+
+    std::string name() const override;
+
+    /**
+     * The address of a node is its id; bit i of the address is the
+     * node's coordinate in dimension i.
+     */
+    std::uint64_t address(NodeId node) const { return node; }
+
+    /** The neighbor across dimension i. */
+    NodeId neighborAcross(NodeId node, int dim) const;
+
+    /** Hamming distance between two nodes (= hop distance). */
+    int hammingDistance(NodeId a, NodeId b) const;
+};
+
+} // namespace turnmodel
+
+#endif // TURNMODEL_TOPOLOGY_HYPERCUBE_HPP

@@ -1,0 +1,70 @@
+#include "topology/mesh.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "util/logging.hpp"
+
+namespace turnmodel {
+
+NDMesh::NDMesh(Shape shape)
+    : Topology(std::move(shape))
+{
+}
+
+NDMesh
+NDMesh::mesh2D(int m, int n)
+{
+    return NDMesh(Shape{m, n});
+}
+
+std::optional<NodeId>
+NDMesh::neighbor(NodeId node, Direction dir) const
+{
+    Coords c = coords(node);
+    const int next = c[dir.dim] + dir.delta();
+    if (next < 0 || next >= radix(dir.dim))
+        return std::nullopt;
+    c[dir.dim] = next;
+    return this->node(c);
+}
+
+bool
+NDMesh::isWraparound(NodeId, Direction) const
+{
+    return false;
+}
+
+std::string
+NDMesh::name() const
+{
+    std::string out;
+    for (std::size_t d = 0; d < shape_.size(); ++d) {
+        if (d > 0)
+            out += 'x';
+        out += std::to_string(shape_[d]);
+    }
+    return out + " mesh";
+}
+
+int
+NDMesh::distance(NodeId a, NodeId b) const
+{
+    const Coords ca = coords(a);
+    const Coords cb = coords(b);
+    int dist = 0;
+    for (std::size_t d = 0; d < ca.size(); ++d)
+        dist += std::abs(ca[d] - cb[d]);
+    return dist;
+}
+
+int
+NDMesh::diameter() const
+{
+    int diam = 0;
+    for (int k : shape_)
+        diam += k - 1;
+    return diam;
+}
+
+} // namespace turnmodel

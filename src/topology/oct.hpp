@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Octagonal mesh — the second topology on the paper's future-work
+ * list (Section 7). A 2D grid in which every interior node also
+ * connects to its four diagonal neighbors, giving eight channels per
+ * node along four *axes*:
+ *
+ *   axis 0 (x):  +x = (+1,  0)    -x = (-1,  0)
+ *   axis 1 (y):  +y = ( 0, +1)    -y = ( 0, -1)
+ *   axis 2 (u):  +u = (+1, +1)    -u = (-1, -1)
+ *   axis 3 (v):  +v = (+1, -1)    -v = (-1, +1)
+ *
+ * Distance is the Chebyshev metric (diagonals cover both coordinates
+ * at once). As with the hexagonal mesh, no closed loop can be formed
+ * from positive directions alone — every positive direction has a
+ * non-negative coordinate sum and +x/+u/+v strictly increase x — so
+ * negative-first generalizes, and the channel dependency graph
+ * checker verifies deadlock freedom exactly.
+ */
+
+#ifndef TURNMODEL_TOPOLOGY_OCT_HPP
+#define TURNMODEL_TOPOLOGY_OCT_HPP
+
+#include "topology/topology.hpp"
+
+namespace turnmodel {
+
+/** A 2D mesh with diagonal channels (eight-neighbor connectivity). */
+class OctMesh : public Topology
+{
+  public:
+    /**
+     * @param m Nodes along x.
+     * @param n Nodes along y.
+     */
+    OctMesh(int m, int n);
+
+    /** Four axes, each a direction pair. */
+    int numDims() const override { return 4; }
+    int radix(int dim) const override;
+    std::optional<NodeId> neighbor(NodeId node, Direction dir)
+        const override;
+    bool isWraparound(NodeId node, Direction dir) const override;
+    std::string name() const override;
+    /** Chebyshev distance max(|dx|, |dy|). */
+    int distance(NodeId a, NodeId b) const override;
+    int diameter() const override;
+
+    /** Coordinate delta of a direction, as (dx, dy). */
+    static std::pair<int, int> gridDelta(Direction dir);
+};
+
+} // namespace turnmodel
+
+#endif // TURNMODEL_TOPOLOGY_OCT_HPP

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Abstract direct-network topology: a set of nodes addressed by
+ * n-dimensional coordinates, connected by pairs of unidirectional
+ * channels. Concrete subclasses implement n-dimensional meshes,
+ * k-ary n-cubes (tori), and hypercubes.
+ */
+
+#ifndef TURNMODEL_TOPOLOGY_TOPOLOGY_HPP
+#define TURNMODEL_TOPOLOGY_TOPOLOGY_HPP
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "topology/coordinates.hpp"
+#include "topology/direction.hpp"
+
+namespace turnmodel {
+
+/**
+ * Base class for direct-network topologies.
+ *
+ * Every topology embeds its nodes in an n-dimensional grid; subclasses
+ * only differ in which hops exist (mesh edges stop at the boundary,
+ * torus edges wrap around). The simulator, the routing algorithms and
+ * the deadlock checker all see the network through this interface.
+ */
+class Topology
+{
+  public:
+    explicit Topology(Shape shape);
+    virtual ~Topology() = default;
+
+    /**
+     * Number of routing dimensions n. Virtual-channel topologies
+     * report their *virtual* dimension count here (each set of
+     * virtual channels in a physical direction is a distinct virtual
+     * direction, Step 1 of the turn model); plain topologies report
+     * the physical count.
+     */
+    virtual int numDims() const
+    {
+        return static_cast<int>(shape_.size());
+    }
+
+    /** Radix k_i of (routing) dimension i. */
+    virtual int radix(int dim) const
+    {
+        return shape_[static_cast<std::size_t>(dim)];
+    }
+
+    /** Physical shape vector (k_0, ..., k_{n-1}). */
+    const Shape &shape() const { return shape_; }
+
+    /**
+     * Physical channel class of an outgoing direction: directions
+     * mapping to the same value at a node share one physical wire
+     * and hence its bandwidth. Identity for plain topologies.
+     */
+    virtual DirId physicalChannelGroup(DirId dir) const { return dir; }
+
+    /** Whether any two directions share a physical channel. */
+    virtual bool hasSharedPhysicalChannels() const { return false; }
+
+    /** Total node count. */
+    NodeId numNodes() const { return num_nodes_; }
+
+    /** Number of direction ids, 2n. */
+    int numDirs() const { return 2 * numDims(); }
+
+    /** Coordinates of a node. */
+    Coords coords(NodeId node) const { return coordsOf(node, shape_); }
+
+    /** Node at the given coordinates. */
+    NodeId node(const Coords &coords) const { return nodeAt(coords, shape_); }
+
+    /**
+     * The neighbor reached by leaving @p node in direction @p dir, or
+     * nullopt when no channel exists that way (mesh boundary).
+     */
+    virtual std::optional<NodeId> neighbor(NodeId node, Direction dir)
+        const = 0;
+
+    /**
+     * True when the hop out of @p node in direction @p dir uses a
+     * wraparound channel (always false for meshes).
+     */
+    virtual bool isWraparound(NodeId node, Direction dir) const = 0;
+
+    /** Short human-readable description, e.g. "16x16 mesh". */
+    virtual std::string name() const = 0;
+
+    /**
+     * Minimal hop distance between two nodes under this topology's
+     * channels (wraparound counts for tori).
+     */
+    virtual int distance(NodeId a, NodeId b) const = 0;
+
+    /** Hops of the longest shortest path in the network. */
+    virtual int diameter() const = 0;
+
+    /** Directions with an outgoing channel at @p node. */
+    std::vector<Direction> outgoingDirections(NodeId node) const;
+
+    /**
+     * Directions d such that the channel arriving at @p node carrying
+     * packets that travel in direction d exists (i.e. the reverse hop
+     * out of @p node along d.opposite() exists).
+     */
+    std::vector<Direction> incomingDirections(NodeId node) const;
+
+    /** Total number of unidirectional network channels. */
+    std::size_t countChannels() const;
+
+  protected:
+    Shape shape_;
+    NodeId num_nodes_;
+};
+
+} // namespace turnmodel
+
+#endif // TURNMODEL_TOPOLOGY_TOPOLOGY_HPP

@@ -1,0 +1,86 @@
+#include "topology/torus.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/logging.hpp"
+
+namespace turnmodel {
+
+namespace {
+
+Shape
+uniformShape(int k, int n)
+{
+    TM_ASSERT(k >= 2, "k-ary n-cube requires k >= 2");
+    TM_ASSERT(n >= 1, "k-ary n-cube requires n >= 1");
+    return Shape(static_cast<std::size_t>(n), k);
+}
+
+} // namespace
+
+KAryNCube::KAryNCube(int k, int n)
+    : Topology(uniformShape(k, n))
+{
+}
+
+std::optional<NodeId>
+KAryNCube::neighbor(NodeId node, Direction dir) const
+{
+    Coords c = coords(node);
+    const int k = radix(dir.dim);
+    int next = c[dir.dim] + dir.delta();
+    if (next < 0)
+        next += k;
+    else if (next >= k)
+        next -= k;
+    // In a 2-ary cube both directions reach the same single neighbor;
+    // model one channel per neighbor pair by only exposing the hop
+    // whose direction matches the non-wrapping move.
+    if (k == 2 && isWraparound(node, dir))
+        return std::nullopt;
+    c[dir.dim] = next;
+    return this->node(c);
+}
+
+bool
+KAryNCube::isWraparound(NodeId node, Direction dir) const
+{
+    const Coords c = coords(node);
+    const int k = radix(dir.dim);
+    if (dir.positive)
+        return c[dir.dim] == k - 1;
+    return c[dir.dim] == 0;
+}
+
+std::string
+KAryNCube::name() const
+{
+    return std::to_string(k()) + "-ary " + std::to_string(numDims())
+        + "-cube";
+}
+
+int
+KAryNCube::distance(NodeId a, NodeId b) const
+{
+    const Coords ca = coords(a);
+    const Coords cb = coords(b);
+    int dist = 0;
+    for (std::size_t d = 0; d < ca.size(); ++d) {
+        const int k = shape_[d];
+        const int direct = std::abs(ca[d] - cb[d]);
+        dist += std::min(direct, k - direct);
+    }
+    return dist;
+}
+
+int
+KAryNCube::diameter() const
+{
+    int diam = 0;
+    for (int k : shape_)
+        diam += k / 2;
+    return diam;
+}
+
+} // namespace turnmodel

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * k-ary n-cube (torus) topology: an n-dimensional mesh whose edges
+ * wrap around in every dimension, giving the network node symmetry.
+ */
+
+#ifndef TURNMODEL_TOPOLOGY_TORUS_HPP
+#define TURNMODEL_TOPOLOGY_TORUS_HPP
+
+#include "topology/topology.hpp"
+
+namespace turnmodel {
+
+/**
+ * A k-ary n-cube. All dimensions share radix k; modular coordinate
+ * arithmetic adds wraparound channels at the array edges. For k == 2
+ * the wraparound channel would duplicate the mesh channel, so no
+ * wraparound hop is reported (the topology degenerates to a
+ * hypercube, in which every node has exactly n neighbors).
+ */
+class KAryNCube : public Topology
+{
+  public:
+    /**
+     * @param k Radix of every dimension (k >= 2).
+     * @param n Number of dimensions.
+     */
+    KAryNCube(int k, int n);
+
+    int k() const { return radix(0); }
+
+    std::optional<NodeId> neighbor(NodeId node, Direction dir)
+        const override;
+    bool isWraparound(NodeId node, Direction dir) const override;
+    std::string name() const override;
+    int distance(NodeId a, NodeId b) const override;
+    int diameter() const override;
+};
+
+} // namespace turnmodel
+
+#endif // TURNMODEL_TOPOLOGY_TORUS_HPP

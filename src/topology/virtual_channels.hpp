@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Virtual-channel view of a mesh. Step 1 of the turn model says: "If
+ * each node has v channels in a physical direction, treat these
+ * channels as being in v distinct virtual directions." This class
+ * realizes that step: a physical n-dimensional mesh whose dimension
+ * i carries vcs[i] virtual channel pairs is presented as a topology
+ * with sum(vcs) *virtual* dimensions, so that every existing tool —
+ * turn sets, cycle analysis, the channel dependency graph checker,
+ * turn-table routing, the simulator — works on the virtual channels
+ * unchanged.
+ *
+ * Node ids and coordinates remain physical; only directions
+ * multiply. Virtual directions sharing a physical dimension share
+ * the physical wire, which the simulator honors via
+ * physicalChannelGroup() (one flit per physical channel per cycle).
+ *
+ * This is the substrate for fully adaptive routing with minimal
+ * extra channels (Glass & Ni's companion result [18]): doubling only
+ * the y channels of a 2D mesh admits the fully adaptive "mad-y"
+ * algorithm; see core/routing/mad_y.hpp.
+ */
+
+#ifndef TURNMODEL_TOPOLOGY_VIRTUAL_CHANNELS_HPP
+#define TURNMODEL_TOPOLOGY_VIRTUAL_CHANNELS_HPP
+
+#include <vector>
+
+#include "topology/mesh.hpp"
+
+namespace turnmodel {
+
+/** A mesh with per-dimension virtual channel multiplicities. */
+class VirtualizedMesh : public Topology
+{
+  public:
+    /**
+     * @param physical_shape Physical mesh shape.
+     * @param vcs            Virtual channel pairs per physical
+     *                       dimension (each >= 1).
+     */
+    VirtualizedMesh(Shape physical_shape, std::vector<int> vcs);
+
+    /** The conventional double-y 2D mesh: one x pair, two y pairs. */
+    static VirtualizedMesh doubleY(int m, int n);
+
+    // Virtual view -----------------------------------------------------
+    int numDims() const override { return num_virtual_dims_; }
+    int radix(int dim) const override;
+    std::optional<NodeId> neighbor(NodeId node, Direction dir)
+        const override;
+    bool isWraparound(NodeId node, Direction dir) const override;
+    std::string name() const override;
+    /** Physical Manhattan distance (what minimal routing needs). */
+    int distance(NodeId a, NodeId b) const override;
+    int diameter() const override;
+    DirId physicalChannelGroup(DirId dir) const override;
+    bool hasSharedPhysicalChannels() const override;
+
+    // Mapping ----------------------------------------------------------
+    /** Physical dimension carrying virtual dimension @p vdim. */
+    int physicalDim(int vdim) const;
+
+    /** Virtual-channel index of @p vdim within its physical dim. */
+    int vcIndex(int vdim) const;
+
+    /** Number of physical dimensions. */
+    int numPhysicalDims() const
+    {
+        return static_cast<int>(shape_.size());
+    }
+
+    /** Virtual channel pairs of physical dimension @p pdim. */
+    int vcsOf(int pdim) const
+    {
+        return vcs_[static_cast<std::size_t>(pdim)];
+    }
+
+    /**
+     * The virtual dimension for (physical dim, vc index); vc 0 is
+     * the base channel.
+     */
+    int virtualDim(int pdim, int vc) const;
+
+    /** Physical direction carrying a virtual direction. */
+    Direction physicalDirection(Direction vdir) const;
+
+  private:
+    std::vector<int> vcs_;
+    std::vector<int> phys_of_vdim_;
+    std::vector<int> vc_of_vdim_;
+    std::vector<int> vdim_base_;   ///< First vdim of each phys dim.
+    int num_virtual_dims_;
+};
+
+} // namespace turnmodel
+
+#endif // TURNMODEL_TOPOLOGY_VIRTUAL_CHANNELS_HPP

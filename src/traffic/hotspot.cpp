@@ -1,0 +1,45 @@
+#include "traffic/hotspot.hpp"
+
+#include <sstream>
+
+#include "util/logging.hpp"
+
+namespace turnmodel {
+
+HotspotTraffic::HotspotTraffic(const Topology &topo,
+                               std::vector<NodeId> hotspots,
+                               double fraction)
+    : topo_(topo), hotspots_(std::move(hotspots)), fraction_(fraction)
+{
+    TM_ASSERT(!hotspots_.empty(), "hotspot set may not be empty");
+    TM_ASSERT(fraction_ >= 0.0 && fraction_ <= 1.0,
+              "hotspot fraction must be a probability");
+    for (NodeId h : hotspots_)
+        TM_ASSERT(h < topo.numNodes(), "hotspot node out of range");
+}
+
+std::optional<NodeId>
+HotspotTraffic::destination(NodeId src, Rng &rng) const
+{
+    if (rng.nextBool(fraction_)) {
+        const NodeId d = hotspots_[rng.nextBounded(hotspots_.size())];
+        if (d != src)
+            return d;
+        // A hotspot drawing its own hotspot falls through to uniform.
+    }
+    const NodeId n = topo_.numNodes();
+    NodeId d = static_cast<NodeId>(rng.nextBounded(n - 1));
+    if (d >= src)
+        ++d;
+    return d;
+}
+
+std::string
+HotspotTraffic::name() const
+{
+    std::ostringstream os;
+    os << "hotspot:" << fraction_;
+    return os.str();
+}
+
+} // namespace turnmodel

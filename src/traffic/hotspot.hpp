@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Hotspot traffic: a configurable fraction of messages target a
+ * small set of hotspot nodes; the remainder are uniform. Adaptive
+ * routing's claimed ability to steer around hot spots (Glass & Ni,
+ * Sections 1 and 7) is exercised by this extension pattern.
+ */
+
+#ifndef TURNMODEL_TRAFFIC_HOTSPOT_HPP
+#define TURNMODEL_TRAFFIC_HOTSPOT_HPP
+
+#include "traffic/pattern.hpp"
+
+namespace turnmodel {
+
+/** Uniform traffic with an elevated probability of hitting hotspots. */
+class HotspotTraffic : public TrafficPattern
+{
+  public:
+    /**
+     * @param topo     Topology; must outlive this object.
+     * @param hotspots Nodes receiving extra traffic (non-empty).
+     * @param fraction Probability that a message targets a hotspot.
+     */
+    HotspotTraffic(const Topology &topo, std::vector<NodeId> hotspots,
+                   double fraction);
+
+    std::optional<NodeId> destination(NodeId src, Rng &rng) const override;
+    std::string name() const override;
+    bool isDeterministic() const override { return false; }
+
+    const std::vector<NodeId> &hotspots() const { return hotspots_; }
+
+  private:
+    const Topology &topo_;
+    std::vector<NodeId> hotspots_;
+    double fraction_;
+};
+
+} // namespace turnmodel
+
+#endif // TURNMODEL_TRAFFIC_HOTSPOT_HPP

@@ -1,0 +1,100 @@
+#include "traffic/pattern.hpp"
+
+#include <cstdlib>
+
+#include "traffic/hotspot.hpp"
+#include "traffic/permutation.hpp"
+#include "traffic/uniform.hpp"
+#include "util/logging.hpp"
+
+namespace turnmodel {
+
+double
+TrafficPattern::averageDistance(const Topology &topo, Rng &rng,
+                                int samples_per_node) const
+{
+    double total = 0.0;
+    std::uint64_t count = 0;
+    const int samples = isDeterministic() ? 1 : samples_per_node;
+    for (NodeId src = 0; src < topo.numNodes(); ++src) {
+        for (int s = 0; s < samples; ++s) {
+            const auto dst = destination(src, rng);
+            if (!dst)
+                continue;
+            total += topo.distance(src, *dst);
+            ++count;
+        }
+    }
+    return count == 0 ? 0.0 : total / static_cast<double>(count);
+}
+
+namespace {
+
+bool
+isBinaryTopology(const Topology &topo)
+{
+    // Patterns address the *physical* node space, so inspect the
+    // physical shape rather than the (possibly virtualized)
+    // routing dimensions.
+    for (int k : topo.shape()) {
+        if (k != 2)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+PatternPtr
+makePattern(const std::string &name, const Topology &topo)
+{
+    if (name == "uniform")
+        return std::make_unique<UniformTraffic>(topo);
+    if (name == "transpose") {
+        if (isBinaryTopology(topo))
+            return std::make_unique<HypercubeTransposeTraffic>(topo);
+        return std::make_unique<MeshTransposeTraffic>(topo);
+    }
+    if (name == "reverse-flip")
+        return std::make_unique<ReverseFlipTraffic>(topo);
+    if (name == "bit-complement")
+        return std::make_unique<BitComplementTraffic>(topo);
+    if (name == "bit-reversal")
+        return std::make_unique<BitReversalTraffic>(topo);
+    if (name == "shuffle")
+        return std::make_unique<ShuffleTraffic>(topo);
+    if (name == "tornado")
+        return std::make_unique<TornadoTraffic>(topo);
+    if (name.rfind("hotspot", 0) == 0) {
+        double fraction = 0.1;
+        if (const auto colon = name.find(':');
+            colon != std::string::npos) {
+            fraction = std::atof(name.c_str() + colon + 1);
+        }
+        // Default hotspot: the central node of the network.
+        const NodeId center = topo.numNodes() / 2;
+        return std::make_unique<HotspotTraffic>(
+            topo, std::vector<NodeId>{center}, fraction);
+    }
+    TM_FATAL("unknown traffic pattern '", name, "'");
+}
+
+std::vector<std::string>
+availablePatternNames(const Topology &topo)
+{
+    std::vector<std::string> names{"uniform", "bit-complement",
+                                   "tornado", "hotspot:0.1"};
+    if (isBinaryTopology(topo)) {
+        if (topo.shape().size() % 2 == 0)
+            names.push_back("transpose");
+        names.push_back("reverse-flip");
+        names.push_back("bit-reversal");
+        names.push_back("shuffle");
+    } else if (topo.shape().size() == 2 &&
+               topo.shape()[0] == topo.shape()[1]) {
+        names.push_back("transpose");
+    }
+    return names;
+}
+
+} // namespace turnmodel

@@ -1,0 +1,22 @@
+#include "traffic/uniform.hpp"
+
+namespace turnmodel {
+
+UniformTraffic::UniformTraffic(const Topology &topo)
+    : topo_(topo)
+{
+}
+
+std::optional<NodeId>
+UniformTraffic::destination(NodeId src, Rng &rng) const
+{
+    // Draw uniformly among the numNodes-1 other nodes without
+    // rejection: shift ids at or above the source up by one.
+    const NodeId n = topo_.numNodes();
+    NodeId d = static_cast<NodeId>(rng.nextBounded(n - 1));
+    if (d >= src)
+        ++d;
+    return d;
+}
+
+} // namespace turnmodel

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Uniform random traffic: each message is sent to any of the other
+ * nodes with equal probability (Glass & Ni, Section 6).
+ */
+
+#ifndef TURNMODEL_TRAFFIC_UNIFORM_HPP
+#define TURNMODEL_TRAFFIC_UNIFORM_HPP
+
+#include "traffic/pattern.hpp"
+
+namespace turnmodel {
+
+/** Uniform random traffic over all nodes other than the source. */
+class UniformTraffic : public TrafficPattern
+{
+  public:
+    /** @param topo Topology; must outlive this object. */
+    explicit UniformTraffic(const Topology &topo);
+
+    std::optional<NodeId> destination(NodeId src, Rng &rng) const override;
+    std::string name() const override { return "uniform"; }
+    bool isDeterministic() const override { return false; }
+
+  private:
+    const Topology &topo_;
+};
+
+} // namespace turnmodel
+
+#endif // TURNMODEL_TRAFFIC_UNIFORM_HPP

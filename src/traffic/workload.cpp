@@ -1,0 +1,92 @@
+#include "traffic/workload.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "util/logging.hpp"
+
+namespace turnmodel {
+
+PacketLengthDist::PacketLengthDist(std::vector<std::uint32_t> lengths,
+                                   std::vector<double> weights)
+    : lengths_(std::move(lengths))
+{
+    TM_ASSERT(!lengths_.empty(), "length distribution may not be empty");
+    TM_ASSERT(lengths_.size() == weights.size(),
+              "lengths and weights must have the same arity");
+    const double total = std::accumulate(weights.begin(), weights.end(),
+                                         0.0);
+    TM_ASSERT(total > 0.0, "weights must sum to a positive value");
+    double cum = 0.0;
+    mean_ = 0.0;
+    for (std::size_t i = 0; i < lengths_.size(); ++i) {
+        TM_ASSERT(lengths_[i] > 0, "packet length must be positive");
+        TM_ASSERT(weights[i] >= 0.0, "weights must be non-negative");
+        cum += weights[i] / total;
+        cumulative_.push_back(cum);
+        mean_ += static_cast<double>(lengths_[i]) * weights[i] / total;
+    }
+    cumulative_.back() = 1.0;
+}
+
+PacketLengthDist
+PacketLengthDist::paperBimodal()
+{
+    return PacketLengthDist({10, 200}, {1.0, 1.0});
+}
+
+PacketLengthDist
+PacketLengthDist::fixed(std::uint32_t length)
+{
+    return PacketLengthDist({length}, {1.0});
+}
+
+std::uint32_t
+PacketLengthDist::sample(Rng &rng) const
+{
+    const double u = rng.nextDouble();
+    for (std::size_t i = 0; i < cumulative_.size(); ++i) {
+        if (u < cumulative_[i])
+            return lengths_[i];
+    }
+    return lengths_.back();
+}
+
+std::uint32_t
+PacketLengthDist::maxLength() const
+{
+    return *std::max_element(lengths_.begin(), lengths_.end());
+}
+
+std::string
+PacketLengthDist::toString() const
+{
+    std::ostringstream os;
+    os << "{";
+    for (std::size_t i = 0; i < lengths_.size(); ++i) {
+        if (i > 0)
+            os << ",";
+        os << lengths_[i];
+    }
+    os << "} flits";
+    return os.str();
+}
+
+ArrivalProcess::ArrivalProcess(double rate, double mean_length, Rng rng)
+    : rng_(rng)
+{
+    TM_ASSERT(rate > 0.0, "arrival rate must be positive");
+    TM_ASSERT(mean_length > 0.0, "mean length must be positive");
+    mean_interarrival_ = mean_length / rate;
+    // Randomize the first arrival so sources do not fire in lockstep.
+    next_arrival_ = rng_.nextExponential(mean_interarrival_);
+}
+
+void
+ArrivalProcess::advance()
+{
+    next_arrival_ += rng_.nextExponential(mean_interarrival_);
+}
+
+} // namespace turnmodel

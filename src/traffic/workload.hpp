@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Message workload generation (Glass & Ni, Section 6): messages are
+ * generated at intervals drawn from a negative exponential
+ * distribution, and each message is a single packet of 10 or 200
+ * flits with equal probability.
+ */
+
+#ifndef TURNMODEL_TRAFFIC_WORKLOAD_HPP
+#define TURNMODEL_TRAFFIC_WORKLOAD_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace turnmodel {
+
+/** Discrete distribution over packet lengths in flits. */
+class PacketLengthDist
+{
+  public:
+    /**
+     * @param lengths Candidate packet lengths in flits.
+     * @param weights Relative probabilities (same arity).
+     */
+    PacketLengthDist(std::vector<std::uint32_t> lengths,
+                     std::vector<double> weights);
+
+    /** The paper's workload: 10 or 200 flits, equally likely. */
+    static PacketLengthDist paperBimodal();
+
+    /** Every packet the same length. */
+    static PacketLengthDist fixed(std::uint32_t length);
+
+    /** Draw a packet length. */
+    std::uint32_t sample(Rng &rng) const;
+
+    /** Expected packet length in flits. */
+    double mean() const { return mean_; }
+
+    /** Largest possible packet length in flits. */
+    std::uint32_t maxLength() const;
+
+    std::string toString() const;
+
+  private:
+    std::vector<std::uint32_t> lengths_;
+    std::vector<double> cumulative_;
+    double mean_;
+};
+
+/**
+ * Poisson message generation for one node: exponential inter-arrival
+ * times with a mean set so the node offers @p rate flits per cycle.
+ */
+class ArrivalProcess
+{
+  public:
+    /**
+     * @param rate        Offered load in flits per node per cycle.
+     * @param mean_length Expected packet length in flits.
+     * @param rng_seeded  Node-private generator (moved in).
+     */
+    ArrivalProcess(double rate, double mean_length, Rng rng);
+
+    /** Whether a new message is due at or before @p now. */
+    bool due(double now) const { return next_arrival_ <= now; }
+
+    /** Consume the pending arrival and schedule the next one. */
+    void advance();
+
+    /** Access the node-private generator for dest/length draws. */
+    Rng &rng() { return rng_; }
+
+  private:
+    double mean_interarrival_;
+    double next_arrival_;
+    Rng rng_;
+};
+
+} // namespace turnmodel
+
+#endif // TURNMODEL_TRAFFIC_WORKLOAD_HPP

@@ -1,0 +1,69 @@
+#include "util/bitops.hpp"
+
+#include <bit>
+
+#include "util/logging.hpp"
+
+namespace turnmodel {
+
+int
+popcount(std::uint64_t x)
+{
+    return std::popcount(x);
+}
+
+int
+lowestSetBit(std::uint64_t x)
+{
+    if (x == 0)
+        return -1;
+    return std::countr_zero(x);
+}
+
+bool
+bitOf(std::uint64_t x, int i)
+{
+    return (x >> i) & 1ULL;
+}
+
+std::uint64_t
+withBit(std::uint64_t x, int i, bool v)
+{
+    const std::uint64_t mask = 1ULL << i;
+    return v ? (x | mask) : (x & ~mask);
+}
+
+std::uint64_t
+flipBit(std::uint64_t x, int i)
+{
+    return x ^ (1ULL << i);
+}
+
+std::uint64_t
+lowMask(int width)
+{
+    TM_ASSERT(width >= 0 && width <= 64, "mask width out of range");
+    if (width == 64)
+        return ~0ULL;
+    return (1ULL << width) - 1;
+}
+
+std::uint64_t
+reverseBits(std::uint64_t x, int width)
+{
+    TM_ASSERT(width >= 0 && width <= 64, "reverse width out of range");
+    std::uint64_t out = 0;
+    for (int i = 0; i < width; ++i) {
+        if (bitOf(x, i))
+            out |= 1ULL << (width - 1 - i);
+    }
+    return out;
+}
+
+std::uint64_t
+complementBits(std::uint64_t x, int width)
+{
+    return (~x) & lowMask(width);
+}
+
+} // namespace turnmodel

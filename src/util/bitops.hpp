@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Bit-manipulation helpers for hypercube addressing: population count,
+ * bit reversal over an n-bit field, and bit extraction, as used by the
+ * p-cube routing algorithm and the reverse-flip traffic pattern.
+ */
+
+#ifndef TURNMODEL_UTIL_BITOPS_HPP
+#define TURNMODEL_UTIL_BITOPS_HPP
+
+#include <cstdint>
+
+namespace turnmodel {
+
+/** Number of set bits. */
+int popcount(std::uint64_t x);
+
+/** Index of the lowest set bit; -1 when x == 0. */
+int lowestSetBit(std::uint64_t x);
+
+/** Value of bit i of x. */
+bool bitOf(std::uint64_t x, int i);
+
+/** x with bit i set to v. */
+std::uint64_t withBit(std::uint64_t x, int i, bool v);
+
+/** x with bit i flipped. */
+std::uint64_t flipBit(std::uint64_t x, int i);
+
+/**
+ * Reverse the low @p width bits of x (bit 0 swaps with bit width-1);
+ * bits at or above @p width are cleared.
+ */
+std::uint64_t reverseBits(std::uint64_t x, int width);
+
+/** Complement the low @p width bits of x; higher bits are cleared. */
+std::uint64_t complementBits(std::uint64_t x, int width);
+
+/** Mask with the low @p width bits set. */
+std::uint64_t lowMask(int width);
+
+} // namespace turnmodel
+
+#endif // TURNMODEL_UTIL_BITOPS_HPP

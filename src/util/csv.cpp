@@ -1,0 +1,113 @@
+#include "util/csv.hpp"
+
+#include <cstdint>
+#include <sstream>
+
+#include "util/logging.hpp"
+
+namespace turnmodel {
+
+CsvWriter::CsvWriter(std::ostream &os) : os_(os)
+{
+}
+
+void
+CsvWriter::header(const std::vector<std::string> &names)
+{
+    beginRow();
+    for (const auto &name : names)
+        field(name);
+    // The header is not a data row.
+    os_ << '\n';
+    row_open_ = false;
+    first_in_row_ = true;
+}
+
+CsvWriter &
+CsvWriter::beginRow()
+{
+    TM_ASSERT(!row_open_, "previous CSV row not terminated");
+    row_open_ = true;
+    first_in_row_ = true;
+    return *this;
+}
+
+void
+CsvWriter::rawField(const std::string &value)
+{
+    TM_ASSERT(row_open_, "field() outside of a row");
+    if (!first_in_row_)
+        os_ << ',';
+    os_ << value;
+    first_in_row_ = false;
+}
+
+std::string
+CsvWriter::escape(const std::string &value)
+{
+    if (value.find_first_of(",\"\n") == std::string::npos)
+        return value;
+    std::string out = "\"";
+    for (char c : value) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+CsvWriter &
+CsvWriter::field(const std::string &value)
+{
+    rawField(escape(value));
+    return *this;
+}
+
+CsvWriter &
+CsvWriter::field(const char *value)
+{
+    return field(std::string(value));
+}
+
+CsvWriter &
+CsvWriter::field(double value)
+{
+    std::ostringstream os;
+    os.precision(10);
+    os << value;
+    rawField(os.str());
+    return *this;
+}
+
+CsvWriter &
+CsvWriter::field(std::uint64_t value)
+{
+    rawField(std::to_string(value));
+    return *this;
+}
+
+CsvWriter &
+CsvWriter::field(std::int64_t value)
+{
+    rawField(std::to_string(value));
+    return *this;
+}
+
+CsvWriter &
+CsvWriter::field(int value)
+{
+    rawField(std::to_string(value));
+    return *this;
+}
+
+void
+CsvWriter::endRow()
+{
+    TM_ASSERT(row_open_, "endRow() without beginRow()");
+    os_ << '\n';
+    row_open_ = false;
+    ++rows_;
+}
+
+} // namespace turnmodel

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Minimal CSV emission for benchmark output. Every bench binary prints
+ * its table both human-readably and as CSV so figures can be re-plotted
+ * directly from the captured output.
+ */
+
+#ifndef TURNMODEL_UTIL_CSV_HPP
+#define TURNMODEL_UTIL_CSV_HPP
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace turnmodel {
+
+/**
+ * Streams rows of comma-separated values with RFC-4180-style quoting
+ * of fields that contain commas, quotes, or newlines.
+ */
+class CsvWriter
+{
+  public:
+    /** @param os Destination stream; must outlive the writer. */
+    explicit CsvWriter(std::ostream &os);
+
+    /** Emit the header row. */
+    void header(const std::vector<std::string> &names);
+
+    /** Begin a new row; fields are appended with field(). */
+    CsvWriter &beginRow();
+
+    CsvWriter &field(const std::string &value);
+    CsvWriter &field(const char *value);
+    CsvWriter &field(double value);
+    CsvWriter &field(std::uint64_t value);
+    CsvWriter &field(std::int64_t value);
+    CsvWriter &field(int value);
+
+    /** Terminate the current row. */
+    void endRow();
+
+    /** Number of completed data rows (header excluded). */
+    std::size_t rowCount() const { return rows_; }
+
+  private:
+    void rawField(const std::string &value);
+    static std::string escape(const std::string &value);
+
+    std::ostream &os_;
+    bool row_open_ = false;
+    bool first_in_row_ = true;
+    std::size_t rows_ = 0;
+};
+
+} // namespace turnmodel
+
+#endif // TURNMODEL_UTIL_CSV_HPP

@@ -1,0 +1,43 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace turnmodel {
+namespace detail {
+
+namespace {
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info";
+      case LogLevel::Warn:   return "warn";
+      case LogLevel::Fatal:  return "fatal";
+      case LogLevel::Panic:  return "panic";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+logAndDie(LogLevel level, const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "%s: %s (%s:%d)\n",
+                 levelName(level), msg.c_str(), file, line);
+    std::fflush(stderr);
+    if (level == LogLevel::Panic)
+        std::abort();
+    std::exit(1);
+}
+
+void
+logMessage(LogLevel level, const std::string &msg)
+{
+    std::fprintf(stderr, "%s: %s\n", levelName(level), msg.c_str());
+}
+
+} // namespace detail
+} // namespace turnmodel

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Status-message and error-handling helpers in the spirit of gem5's
+ * logging facility: fatal() for user errors that prevent the program
+ * from continuing, panic() for internal invariant violations, and
+ * warn()/inform() for non-fatal status messages.
+ */
+
+#ifndef TURNMODEL_UTIL_LOGGING_HPP
+#define TURNMODEL_UTIL_LOGGING_HPP
+
+#include <sstream>
+#include <string>
+
+namespace turnmodel {
+
+/** Severity of a log message. */
+enum class LogLevel
+{
+    Inform,
+    Warn,
+    Fatal,
+    Panic,
+};
+
+namespace detail {
+
+/**
+ * Emit a formatted log line; Fatal exits with status 1 and Panic
+ * aborts, matching the gem5 fatal/panic distinction.
+ *
+ * @param level Message severity.
+ * @param file  Source file of the call site.
+ * @param line  Source line of the call site.
+ * @param msg   Already-formatted message body.
+ */
+[[noreturn]] void logAndDie(LogLevel level, const char *file, int line,
+                            const std::string &msg);
+
+/** Emit a non-fatal log line to stderr. */
+void logMessage(LogLevel level, const std::string &msg);
+
+} // namespace detail
+
+/** Stream-compose a message from variadic arguments. */
+template <typename... Args>
+std::string
+composeMessage([[maybe_unused]] Args &&...args)
+{
+    if constexpr (sizeof...(Args) == 0) {
+        return {};
+    } else {
+        std::ostringstream os;
+        (os << ... << args);
+        return os.str();
+    }
+}
+
+/** Report a user-caused error and exit(1). */
+#define TM_FATAL(...)                                                     \
+    ::turnmodel::detail::logAndDie(::turnmodel::LogLevel::Fatal,          \
+        __FILE__, __LINE__, ::turnmodel::composeMessage(__VA_ARGS__))
+
+/** Report an internal invariant violation and abort(). */
+#define TM_PANIC(...)                                                     \
+    ::turnmodel::detail::logAndDie(::turnmodel::LogLevel::Panic,          \
+        __FILE__, __LINE__, ::turnmodel::composeMessage(__VA_ARGS__))
+
+/** Warn about suspicious but survivable conditions. */
+#define TM_WARN(...)                                                      \
+    ::turnmodel::detail::logMessage(::turnmodel::LogLevel::Warn,          \
+        ::turnmodel::composeMessage(__VA_ARGS__))
+
+/** Informational status message. */
+#define TM_INFORM(...)                                                    \
+    ::turnmodel::detail::logMessage(::turnmodel::LogLevel::Inform,        \
+        ::turnmodel::composeMessage(__VA_ARGS__))
+
+/** Panic unless an internal invariant holds. */
+#define TM_ASSERT(cond, ...)                                              \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            TM_PANIC("assertion failed: " #cond " ",                     \
+                     ::turnmodel::composeMessage(__VA_ARGS__));           \
+        }                                                                 \
+    } while (false)
+
+} // namespace turnmodel
+
+#endif // TURNMODEL_UTIL_LOGGING_HPP

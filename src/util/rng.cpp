@@ -1,0 +1,99 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace turnmodel {
+
+namespace {
+
+/** SplitMix64 step, used only for seeding. */
+std::uint64_t
+splitMix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &word : state_)
+        word = splitMix64(sm);
+}
+
+Rng
+Rng::forStream(std::uint64_t seed, std::uint64_t stream)
+{
+    // Mix the stream id through SplitMix64 before combining so that
+    // consecutive stream ids do not produce correlated seeds.
+    std::uint64_t s = stream + 0x632be59bd9b4e019ULL;
+    return Rng(seed ^ splitMix64(s));
+}
+
+Rng::result_type
+Rng::operator()()
+{
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::nextBounded(std::uint64_t bound)
+{
+    TM_ASSERT(bound > 0, "nextBounded requires a positive bound");
+    // Lemire-style rejection to remove modulo bias.
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+        const std::uint64_t r = (*this)();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+double
+Rng::nextDouble()
+{
+    // 53 random bits into [0, 1).
+    return ((*this)() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::nextExponential(double mean)
+{
+    TM_ASSERT(mean > 0.0, "exponential mean must be positive");
+    double u;
+    do {
+        u = nextDouble();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+} // namespace turnmodel

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Lightweight statistics accumulators used by the simulator's metrics
+ * layer: running mean/variance (Welford), min/max tracking, and a
+ * fixed-width histogram for latency distributions.
+ */
+
+#ifndef TURNMODEL_UTIL_STATS_HPP
+#define TURNMODEL_UTIL_STATS_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace turnmodel {
+
+/**
+ * Single-pass mean/variance/min/max accumulator using Welford's
+ * algorithm, numerically stable for long simulations.
+ */
+class RunningStats
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Merge another accumulator into this one (parallel sweeps). */
+    void merge(const RunningStats &other);
+
+    /** Discard all samples. */
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    double mean() const;
+    /** Unbiased sample variance; zero with fewer than two samples. */
+    double variance() const;
+    double stddev() const;
+    double min() const;
+    double max() const;
+    double sum() const { return sum_; }
+
+  private:
+    std::uint64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/**
+ * Fixed-bin histogram over [lo, hi); samples outside the range land
+ * in saturating under/overflow bins.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo   Inclusive lower bound of the tracked range.
+     * @param hi   Exclusive upper bound of the tracked range.
+     * @param bins Number of equal-width bins.
+     */
+    Histogram(double lo, double hi, std::size_t bins);
+
+    void add(double x);
+    void reset();
+
+    std::size_t numBins() const { return counts_.size(); }
+    std::uint64_t binCount(std::size_t i) const { return counts_[i]; }
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+    std::uint64_t total() const { return total_; }
+
+    /** Lower edge of bin i. */
+    double binLow(std::size_t i) const;
+
+    /**
+     * Approximate quantile (0 <= q <= 1) by linear interpolation
+     * within the containing bin. Returns the range bounds when the
+     * quantile falls in an under/overflow bin.
+     */
+    double quantile(double q) const;
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace turnmodel
+
+#endif // TURNMODEL_UTIL_STATS_HPP

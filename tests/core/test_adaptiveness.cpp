@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Tests for the adaptiveness metrics of Sections 3.4, 4.1 and 5: the
+ * closed-form path counts, their agreement with exhaustive counting
+ * over the actual routing functions, and the paper's average-ratio
+ * claims.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/adaptiveness.hpp"
+#include "core/routing/factory.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/mesh.hpp"
+
+namespace turnmodel {
+namespace {
+
+TEST(Adaptiveness, BinomialValues)
+{
+    EXPECT_EQ(binomial(0, 0), 1u);
+    EXPECT_EQ(binomial(5, 0), 1u);
+    EXPECT_EQ(binomial(5, 5), 1u);
+    EXPECT_EQ(binomial(5, 2), 10u);
+    EXPECT_EQ(binomial(10, 5), 252u);
+    EXPECT_EQ(binomial(30, 15), 155117520u);
+    EXPECT_EQ(binomial(6, 3), 20u);
+}
+
+TEST(Adaptiveness, FactorialValues)
+{
+    EXPECT_EQ(factorial(0), 1u);
+    EXPECT_EQ(factorial(1), 1u);
+    EXPECT_EQ(factorial(6), 720u);
+    EXPECT_EQ(factorial(10), 3628800u);
+}
+
+TEST(Adaptiveness, FullyAdaptiveCount2D)
+{
+    NDMesh mesh = NDMesh::mesh2D(8, 8);
+    // (dx+dy choose dx).
+    EXPECT_EQ(fullyAdaptivePathCount(mesh, mesh.node({0, 0}),
+                                     mesh.node({4, 4})),
+              70u);
+    EXPECT_EQ(fullyAdaptivePathCount(mesh, mesh.node({2, 3}),
+                                     mesh.node({2, 3})),
+              1u);
+    EXPECT_EQ(fullyAdaptivePathCount(mesh, mesh.node({0, 0}),
+                                     mesh.node({7, 0})),
+              1u);
+}
+
+TEST(Adaptiveness, FullyAdaptiveCount3D)
+{
+    NDMesh mesh(Shape{4, 4, 4});
+    // Multinomial 6!/(2!2!2!) = 90.
+    EXPECT_EQ(fullyAdaptivePathCount(mesh, mesh.node({0, 0, 0}),
+                                     mesh.node({2, 2, 2})),
+              90u);
+}
+
+TEST(Adaptiveness, WestFirstClosedForm)
+{
+    NDMesh mesh = NDMesh::mesh2D(8, 8);
+    // East-bound: fully adaptive.
+    EXPECT_EQ(westFirstPathCount(mesh, mesh.node({1, 1}),
+                                 mesh.node({4, 5})),
+              binomial(7, 3));
+    // West-bound: single path.
+    EXPECT_EQ(westFirstPathCount(mesh, mesh.node({5, 1}),
+                                 mesh.node({2, 4})),
+              1u);
+}
+
+TEST(Adaptiveness, NorthLastClosedForm)
+{
+    NDMesh mesh = NDMesh::mesh2D(8, 8);
+    // Southbound or level: fully adaptive.
+    EXPECT_EQ(northLastPathCount(mesh, mesh.node({1, 5}),
+                                 mesh.node({4, 2})),
+              binomial(6, 3));
+    // Northbound: single path.
+    EXPECT_EQ(northLastPathCount(mesh, mesh.node({1, 1}),
+                                 mesh.node({4, 4})),
+              1u);
+}
+
+TEST(Adaptiveness, NegativeFirstClosedForm)
+{
+    NDMesh mesh = NDMesh::mesh2D(8, 8);
+    // Both deltas negative: fully adaptive.
+    EXPECT_EQ(negativeFirstPathCount(mesh, mesh.node({5, 5}),
+                                     mesh.node({2, 1})),
+              binomial(7, 3));
+    // Both positive: fully adaptive.
+    EXPECT_EQ(negativeFirstPathCount(mesh, mesh.node({1, 2}),
+                                     mesh.node({4, 6})),
+              binomial(7, 3));
+    // Mixed: single path.
+    EXPECT_EQ(negativeFirstPathCount(mesh, mesh.node({5, 2}),
+                                     mesh.node({2, 6})),
+              1u);
+}
+
+TEST(Adaptiveness, PCubeClosedForm)
+{
+    Hypercube cube(10);
+    // Section 5 example: h1 = 3, h0 = 3 -> 3! * 3! = 36.
+    EXPECT_EQ(pcubePathCount(cube, 0b1011010100, 0b0010111001), 36u);
+    // All-ones to all-zeros: h1 = 10, h0 = 0 -> 10!.
+    EXPECT_EQ(pcubePathCount(cube, 0b1111111111, 0), factorial(10));
+}
+
+/**
+ * The closed forms must agree with exhaustive counting over the
+ * actual routing function for every pair of a small mesh.
+ */
+class ClosedFormVsExhaustive
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(ClosedFormVsExhaustive, AgreeOnAllPairs)
+{
+    NDMesh mesh = NDMesh::mesh2D(5, 5);
+    const std::string name = GetParam();
+    RoutingPtr routing = makeRouting(name, mesh);
+    for (NodeId s = 0; s < mesh.numNodes(); ++s) {
+        for (NodeId d = 0; d < mesh.numNodes(); ++d) {
+            if (s == d)
+                continue;
+            std::uint64_t expected;
+            if (name == "west-first")
+                expected = westFirstPathCount(mesh, s, d);
+            else if (name == "north-last")
+                expected = northLastPathCount(mesh, s, d);
+            else if (name == "negative-first")
+                expected = negativeFirstPathCount(mesh, s, d);
+            else
+                expected = 1;   // xy
+            EXPECT_EQ(countAllowedShortestPaths(*routing, s, d),
+                      expected)
+                << name << " " << s << "->" << d;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, ClosedFormVsExhaustive,
+                         ::testing::Values("xy", "west-first",
+                                           "north-last",
+                                           "negative-first"));
+
+TEST(Adaptiveness, PCubeClosedFormVsExhaustive)
+{
+    Hypercube cube(5);
+    RoutingPtr routing = makeRouting("p-cube", cube);
+    for (NodeId s = 0; s < cube.numNodes(); ++s) {
+        for (NodeId d = 0; d < cube.numNodes(); ++d) {
+            if (s == d)
+                continue;
+            EXPECT_EQ(countAllowedShortestPaths(*routing, s, d),
+                      pcubePathCount(cube, s, d));
+        }
+    }
+}
+
+TEST(Adaptiveness, FullyAdaptiveUpperBounds)
+{
+    NDMesh mesh = NDMesh::mesh2D(5, 5);
+    for (const char *name : {"west-first", "north-last",
+                             "negative-first"}) {
+        RoutingPtr routing = makeRouting(name, mesh);
+        for (NodeId s = 0; s < mesh.numNodes(); s += 3) {
+            for (NodeId d = 0; d < mesh.numNodes(); d += 2) {
+                if (s == d)
+                    continue;
+                EXPECT_LE(countAllowedShortestPaths(*routing, s, d),
+                          fullyAdaptivePathCount(mesh, s, d));
+            }
+        }
+    }
+}
+
+TEST(Adaptiveness, MeanRatioExceedsHalf2D)
+{
+    // Section 3.4: averaged across all pairs, S_p/S_f > 1/2.
+    NDMesh mesh = NDMesh::mesh2D(6, 6);
+    for (const char *name : {"west-first", "north-last",
+                             "negative-first"}) {
+        const auto summary =
+            summarizeAdaptiveness(*makeRouting(name, mesh));
+        EXPECT_GT(summary.mean_ratio, 0.5) << name;
+    }
+}
+
+TEST(Adaptiveness, MeanRatioExceedsBoundHypercube)
+{
+    // Section 4.1: averaged across all pairs, S_p/S_f > 1/2^{n-1}.
+    Hypercube cube(5);
+    for (const char *name : {"p-cube", "abonf", "abopl"}) {
+        const auto summary =
+            summarizeAdaptiveness(*makeRouting(name, cube));
+        EXPECT_GT(summary.mean_ratio, 1.0 / 16.0) << name;
+    }
+}
+
+TEST(Adaptiveness, SingleForAtLeastHalfThePairs2D)
+{
+    // Section 3.4: S_p = 1 for at least half of the pairs.
+    NDMesh mesh = NDMesh::mesh2D(6, 6);
+    for (const char *name : {"west-first", "north-last"}) {
+        const auto summary =
+            summarizeAdaptiveness(*makeRouting(name, mesh));
+        EXPECT_GE(summary.fraction_single, 0.5) << name;
+    }
+}
+
+TEST(Adaptiveness, XyIsNonadaptive)
+{
+    NDMesh mesh = NDMesh::mesh2D(5, 5);
+    const auto summary = summarizeAdaptiveness(*makeRouting("xy", mesh));
+    EXPECT_DOUBLE_EQ(summary.fraction_single, 1.0);
+    EXPECT_DOUBLE_EQ(summary.mean_paths, 1.0);
+}
+
+TEST(AdaptivenessDeathTest, BinomialDomain)
+{
+    EXPECT_DEATH({ (void)binomial(3, 4); }, "domain");
+    EXPECT_DEATH({ (void)factorial(25); }, "overflow");
+}
+
+} // namespace
+} // namespace turnmodel

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Tests for the channel-dependency-graph deadlock checker — the
+ * machine-checked form of the paper's Theorems 2-5 and of the
+ * Figure 4 counterexamples.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/channel_dependency.hpp"
+#include "core/cycle_analysis.hpp"
+#include "core/routing/factory.hpp"
+#include "core/routing/turn_table.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/mesh.hpp"
+
+namespace turnmodel {
+namespace {
+
+TEST(Cdg, XyIsAcyclic)
+{
+    NDMesh mesh = NDMesh::mesh2D(6, 6);
+    EXPECT_TRUE(isDeadlockFree(*makeRouting("xy", mesh)));
+}
+
+TEST(Cdg, WestFirstIsAcyclicTheorem2)
+{
+    NDMesh mesh = NDMesh::mesh2D(6, 6);
+    EXPECT_TRUE(isDeadlockFree(*makeRouting("west-first", mesh)));
+}
+
+TEST(Cdg, NorthLastIsAcyclicTheorem3)
+{
+    NDMesh mesh = NDMesh::mesh2D(6, 6);
+    EXPECT_TRUE(isDeadlockFree(*makeRouting("north-last", mesh)));
+}
+
+TEST(Cdg, NegativeFirstIsAcyclicTheorem4)
+{
+    NDMesh mesh = NDMesh::mesh2D(6, 6);
+    EXPECT_TRUE(isDeadlockFree(*makeRouting("negative-first", mesh)));
+}
+
+TEST(Cdg, NDimensionalAlgorithmsAcyclicTheorem5)
+{
+    NDMesh mesh3(Shape{4, 4, 4});
+    for (const char *name :
+         {"dimension-order", "negative-first", "abonf", "abopl"}) {
+        EXPECT_TRUE(isDeadlockFree(*makeRouting(name, mesh3))) << name;
+    }
+    NDMesh mesh4(Shape{3, 3, 3, 3});
+    for (const char *name : {"negative-first", "abonf", "abopl"})
+        EXPECT_TRUE(isDeadlockFree(*makeRouting(name, mesh4))) << name;
+}
+
+TEST(Cdg, HypercubeAlgorithmsAcyclic)
+{
+    Hypercube cube(6);
+    for (const char *name :
+         {"e-cube", "p-cube", "p-cube-nonminimal", "abonf", "abopl"}) {
+        EXPECT_TRUE(isDeadlockFree(*makeRouting(name, cube))) << name;
+    }
+}
+
+TEST(Cdg, NonminimalVariantsAcyclic)
+{
+    NDMesh mesh = NDMesh::mesh2D(5, 5);
+    for (const char *name :
+         {"west-first-nonminimal", "north-last-nonminimal",
+          "negative-first-nonminimal"}) {
+        EXPECT_TRUE(isDeadlockFree(*makeRouting(name, mesh))) << name;
+    }
+}
+
+TEST(Cdg, FullyAdaptiveWithoutProhibitionsIsCyclic)
+{
+    NDMesh mesh = NDMesh::mesh2D(4, 4);
+    TurnSet all(2);
+    all.allowAll90();
+    all.allowAllStraight();
+    TurnTableRouting routing(mesh, all, true);
+    ChannelDependencyGraph cdg(routing);
+    EXPECT_FALSE(cdg.isAcyclic());
+}
+
+TEST(Cdg, FoundCycleIsRealCycle)
+{
+    NDMesh mesh = NDMesh::mesh2D(4, 4);
+    TurnSet all(2);
+    all.allowAll90();
+    all.allowAllStraight();
+    TurnTableRouting routing(mesh, all, true);
+    ChannelDependencyGraph cdg(routing);
+    const auto cycle = cdg.findCycle();
+    ASSERT_GE(cycle.size(), 2u);
+    for (std::size_t i = 0; i < cycle.size(); ++i) {
+        const ChannelId from = cycle[i];
+        const ChannelId to = cycle[(i + 1) % cycle.size()];
+        const auto &succ = cdg.successors(from);
+        EXPECT_NE(std::find(succ.begin(), succ.end(), to), succ.end())
+            << "edge " << i << " missing";
+    }
+}
+
+TEST(Cdg, TwelveOfSixteenPairsAreDeadlockFree)
+{
+    // Section 3: of the 16 ways to prohibit one turn per abstract
+    // cycle, 12 prevent deadlock.
+    NDMesh mesh = NDMesh::mesh2D(4, 4);
+    const auto cycles = abstractCycles(2);
+    int deadlock_free = 0;
+    for (const Turn &a : cycles[0].turns) {
+        for (const Turn &b : cycles[1].turns) {
+            TurnTableRouting routing(
+                mesh, TurnSet::twoProhibited2D(a, b), true);
+            if (isDeadlockFree(routing))
+                ++deadlock_free;
+        }
+    }
+    EXPECT_EQ(deadlock_free, 12);
+}
+
+TEST(Cdg, FailingPairsAreExactlyTheReverses)
+{
+    // The four failing prohibitions pair a turn with its reverse
+    // (Figure 4's construction).
+    NDMesh mesh = NDMesh::mesh2D(4, 4);
+    const auto cycles = abstractCycles(2);
+    for (const Turn &a : cycles[0].turns) {
+        for (const Turn &b : cycles[1].turns) {
+            TurnTableRouting routing(
+                mesh, TurnSet::twoProhibited2D(a, b), true);
+            const bool reverses = a.from == b.to && a.to == b.from;
+            EXPECT_EQ(!isDeadlockFree(routing), reverses)
+                << a.toString() << " + " << b.toString();
+        }
+    }
+}
+
+TEST(Cdg, TopologicalNumberingExistsIffAcyclic)
+{
+    NDMesh mesh = NDMesh::mesh2D(4, 4);
+    ChannelDependencyGraph good(*makeRouting("west-first", mesh));
+    EXPECT_FALSE(good.topologicalNumbering().empty());
+
+    TurnSet all(2);
+    all.allowAll90();
+    all.allowAllStraight();
+    TurnTableRouting bad_routing(mesh, all, true);
+    ChannelDependencyGraph bad(bad_routing);
+    EXPECT_TRUE(bad.topologicalNumbering().empty());
+}
+
+TEST(Cdg, TopologicalNumberingIsStrictlyDecreasing)
+{
+    NDMesh mesh = NDMesh::mesh2D(5, 4);
+    ChannelDependencyGraph cdg(*makeRouting("north-last", mesh));
+    const auto numbering = cdg.topologicalNumbering();
+    ASSERT_FALSE(numbering.empty());
+    for (ChannelId c : cdg.channels().channels()) {
+        for (ChannelId next : cdg.successors(c))
+            EXPECT_LT(numbering[next], numbering[c]);
+    }
+}
+
+TEST(Cdg, EdgesOnlyBetweenAdjacentChannels)
+{
+    NDMesh mesh = NDMesh::mesh2D(4, 4);
+    ChannelDependencyGraph cdg(*makeRouting("negative-first", mesh));
+    const ChannelSpace &space = cdg.channels();
+    for (ChannelId c : space.channels()) {
+        for (ChannelId next : cdg.successors(c)) {
+            // The head of c must be the tail of next.
+            EXPECT_EQ(space.destination(c), space.source(next));
+        }
+    }
+}
+
+TEST(Cdg, XyHasNoYtoXDependencies)
+{
+    NDMesh mesh = NDMesh::mesh2D(4, 4);
+    ChannelDependencyGraph cdg(*makeRouting("xy", mesh));
+    const ChannelSpace &space = cdg.channels();
+    for (ChannelId c : space.channels()) {
+        for (ChannelId next : cdg.successors(c)) {
+            EXPECT_LE(space.direction(c).dim, space.direction(next).dim);
+        }
+    }
+}
+
+TEST(Cdg, RectangularMeshesHandled)
+{
+    NDMesh wide = NDMesh::mesh2D(8, 3);
+    for (const char *name : {"xy", "west-first", "north-last",
+                             "negative-first"}) {
+        EXPECT_TRUE(isDeadlockFree(*makeRouting(name, wide))) << name;
+    }
+}
+
+} // namespace
+} // namespace turnmodel

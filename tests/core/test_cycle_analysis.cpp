@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Tests for abstract-cycle analysis and the 2D symmetry reduction —
+ * the combinatorial backbone of Section 3: sixteen ways to prohibit
+ * one turn per cycle, twelve deadlock free, three unique under
+ * symmetry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "core/cycle_analysis.hpp"
+
+namespace turnmodel {
+namespace {
+
+TEST(CycleAnalysis, CycleCounts)
+{
+    // n(n-1) abstract cycles of four turns each (Section 2).
+    EXPECT_EQ(countAbstractCycles(2), 2);
+    EXPECT_EQ(countAbstractCycles(3), 6);
+    EXPECT_EQ(countAbstractCycles(8), 56);
+    for (int n : {2, 3, 4, 8}) {
+        EXPECT_EQ(static_cast<int>(abstractCycles(n).size()),
+                  countAbstractCycles(n));
+    }
+}
+
+TEST(CycleAnalysis, EachPlaneHasBothSenses)
+{
+    const auto cycles = abstractCycles(3);
+    int cw = 0, ccw = 0;
+    for (const auto &c : cycles) {
+        EXPECT_LT(c.dim_low, c.dim_high);
+        if (c.sense == TurnSense::Clockwise)
+            ++cw;
+        else
+            ++ccw;
+    }
+    EXPECT_EQ(cw, 3);
+    EXPECT_EQ(ccw, 3);
+}
+
+TEST(CycleAnalysis, CycleTurnsMatchTheirSense)
+{
+    for (const auto &cycle : abstractCycles(4)) {
+        for (const Turn &t : cycle.turns)
+            EXPECT_EQ(t.sense(), cycle.sense);
+    }
+}
+
+TEST(CycleAnalysis, CycleTurnsChain)
+{
+    // Each turn's destination direction is the next turn's source.
+    for (const auto &cycle : abstractCycles(3)) {
+        for (int i = 0; i < 4; ++i)
+            EXPECT_EQ(cycle.turns[i].to, cycle.turns[(i + 1) % 4].from);
+    }
+}
+
+TEST(CycleAnalysis, MinimumProhibitedIsQuarter)
+{
+    for (int n : {2, 3, 4, 8}) {
+        EXPECT_EQ(minimumProhibitedTurns(n), n * (n - 1));
+        EXPECT_EQ(4 * minimumProhibitedTurns(n), count90DegreeTurns(n));
+    }
+}
+
+TEST(CycleAnalysis, FactoriesBreakAllCycles)
+{
+    for (int n : {2, 3, 4}) {
+        EXPECT_TRUE(breaksAllAbstractCycles(TurnSet::negativeFirst(n), n));
+        EXPECT_TRUE(breaksAllAbstractCycles(
+            TurnSet::allButOneNegativeFirst(n), n));
+        EXPECT_TRUE(breaksAllAbstractCycles(
+            TurnSet::allButOnePositiveLast(n), n));
+        EXPECT_TRUE(breaksAllAbstractCycles(TurnSet::dimensionOrder(n),
+                                            n));
+    }
+    EXPECT_TRUE(breaksAllAbstractCycles(TurnSet::westFirst(), 2));
+    EXPECT_TRUE(breaksAllAbstractCycles(TurnSet::northLast(), 2));
+}
+
+TEST(CycleAnalysis, FullSetBreaksNothing)
+{
+    TurnSet all(2);
+    all.allowAll90();
+    EXPECT_FALSE(breaksAllAbstractCycles(all, 2));
+}
+
+TEST(CycleAnalysis, OneCycleLeftIntactIsDetected)
+{
+    // Prohibit one turn of the clockwise cycle only.
+    TurnSet set(2);
+    set.allowAll90();
+    set.prohibit(Turn(dir2d::East, dir2d::South));
+    EXPECT_FALSE(breaksAllAbstractCycles(set, 2));
+}
+
+TEST(CycleAnalysis, AllSixteenPairsBreakAbstractCycles)
+{
+    // Any one-per-cycle prohibition breaks the *abstract* cycles —
+    // the point of Figure 4 is that this is necessary, not
+    // sufficient.
+    const auto cycles = abstractCycles(2);
+    ASSERT_EQ(cycles.size(), 2u);
+    for (const Turn &a : cycles[0].turns) {
+        for (const Turn &b : cycles[1].turns) {
+            EXPECT_TRUE(breaksAllAbstractCycles(
+                TurnSet::twoProhibited2D(a, b), 2));
+        }
+    }
+}
+
+TEST(SquareSymmetry, IdentityFixesEverything)
+{
+    const SquareSymmetry id(0);
+    for (Direction d : allDirections(2))
+        EXPECT_EQ(id.apply(d), d);
+    EXPECT_EQ(id.apply(TurnSet::westFirst()), TurnSet::westFirst());
+}
+
+TEST(SquareSymmetry, RotationCyclesDirections)
+{
+    const SquareSymmetry quarter(1);
+    EXPECT_EQ(quarter.apply(dir2d::East), dir2d::North);
+    EXPECT_EQ(quarter.apply(dir2d::North), dir2d::West);
+    EXPECT_EQ(quarter.apply(dir2d::West), dir2d::South);
+    EXPECT_EQ(quarter.apply(dir2d::South), dir2d::East);
+}
+
+TEST(SquareSymmetry, ReflectionSwapsNorthSouth)
+{
+    const SquareSymmetry mirror(4);
+    EXPECT_EQ(mirror.apply(dir2d::North), dir2d::South);
+    EXPECT_EQ(mirror.apply(dir2d::South), dir2d::North);
+    EXPECT_EQ(mirror.apply(dir2d::East), dir2d::East);
+    EXPECT_EQ(mirror.apply(dir2d::West), dir2d::West);
+}
+
+TEST(SquareSymmetry, GroupActsBijectively)
+{
+    for (int s = 0; s < SquareSymmetry::groupSize(); ++s) {
+        const SquareSymmetry sym(s);
+        std::set<DirId> images;
+        for (Direction d : allDirections(2))
+            images.insert(sym.apply(d).id());
+        EXPECT_EQ(images.size(), 4u) << "symmetry " << s;
+    }
+}
+
+TEST(SquareSymmetry, PreservesTurnKind)
+{
+    const SquareSymmetry sym(5);
+    for (Turn t : all90DegreeTurns(2))
+        EXPECT_EQ(sym.apply(t).kind(), TurnKind::Ninety);
+}
+
+TEST(SquareSymmetry, OrbitOfWestFirstContainsAnalogs)
+{
+    // Rotations of west-first give the other "X-first" algorithms;
+    // they are all one orbit.
+    std::vector<TurnSet> sets{TurnSet::westFirst()};
+    const auto reps = symmetryOrbitRepresentatives(sets);
+    EXPECT_EQ(reps.size(), 1u);
+
+    bool found_north_last = false;
+    for (int s = 0; s < SquareSymmetry::groupSize(); ++s) {
+        if (SquareSymmetry(s).apply(TurnSet::westFirst()) ==
+            TurnSet::northLast()) {
+            found_north_last = true;
+        }
+    }
+    // West-first and north-last are *different* orbits (the paper
+    // counts three unique algorithms: WF-type, NL-type, NF).
+    EXPECT_FALSE(found_north_last);
+}
+
+} // namespace
+} // namespace turnmodel

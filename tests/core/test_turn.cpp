@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Unit tests for the turn algebra.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/turn.hpp"
+
+namespace turnmodel {
+namespace {
+
+TEST(Turn, KindClassification)
+{
+    EXPECT_EQ(Turn(dir2d::East, dir2d::North).kind(), TurnKind::Ninety);
+    EXPECT_EQ(Turn(dir2d::East, dir2d::West).kind(), TurnKind::OneEighty);
+    EXPECT_EQ(Turn(dir2d::East, dir2d::East).kind(), TurnKind::Zero);
+}
+
+TEST(Turn, LeftTurnsAreCounterclockwise)
+{
+    // The four left turns of the paper's Figure 2.
+    for (auto [from, to] :
+         {std::pair{dir2d::East, dir2d::North},
+          std::pair{dir2d::North, dir2d::West},
+          std::pair{dir2d::West, dir2d::South},
+          std::pair{dir2d::South, dir2d::East}}) {
+        EXPECT_EQ(Turn(from, to).sense(), TurnSense::Counterclockwise)
+            << Turn(from, to).toString();
+    }
+}
+
+TEST(Turn, RightTurnsAreClockwise)
+{
+    for (auto [from, to] :
+         {std::pair{dir2d::East, dir2d::South},
+          std::pair{dir2d::South, dir2d::West},
+          std::pair{dir2d::West, dir2d::North},
+          std::pair{dir2d::North, dir2d::East}}) {
+        EXPECT_EQ(Turn(from, to).sense(), TurnSense::Clockwise)
+            << Turn(from, to).toString();
+    }
+}
+
+TEST(Turn, ReverseTurnHasOppositeSense)
+{
+    for (Turn t : all90DegreeTurns(4)) {
+        const Turn reverse(t.to, t.from);
+        EXPECT_NE(t.sense(), reverse.sense());
+    }
+}
+
+TEST(Turn, IdRoundTrip)
+{
+    for (int dims : {2, 3, 4}) {
+        for (Turn t : all90DegreeTurns(dims)) {
+            EXPECT_EQ(Turn::fromId(t.id(dims), dims), t);
+        }
+    }
+}
+
+TEST(Turn, CountFormula)
+{
+    // 4n(n-1) 90-degree turns (Section 2).
+    EXPECT_EQ(count90DegreeTurns(2), 8);
+    EXPECT_EQ(count90DegreeTurns(3), 24);
+    EXPECT_EQ(count90DegreeTurns(4), 48);
+    EXPECT_EQ(count90DegreeTurns(8), 224);
+    for (int n : {2, 3, 4, 5, 8}) {
+        EXPECT_EQ(static_cast<int>(all90DegreeTurns(n).size()),
+                  count90DegreeTurns(n));
+    }
+}
+
+TEST(Turn, All180Count)
+{
+    EXPECT_EQ(all180DegreeTurns(2).size(), 4u);
+    EXPECT_EQ(all180DegreeTurns(3).size(), 6u);
+    for (Turn t : all180DegreeTurns(3))
+        EXPECT_EQ(t.kind(), TurnKind::OneEighty);
+}
+
+TEST(Turn, NinetyTurnsChangeDimension)
+{
+    for (Turn t : all90DegreeTurns(3))
+        EXPECT_NE(t.from.dim, t.to.dim);
+}
+
+TEST(Turn, ToString)
+{
+    EXPECT_EQ(Turn(dir2d::East, dir2d::North).toString(), "east->north");
+    EXPECT_EQ(Turn(dir2d::North, dir2d::West).toString(), "north->west");
+}
+
+TEST(TurnDeathTest, SenseOfStraightPanics)
+{
+    EXPECT_DEATH({ (void)Turn(dir2d::East, dir2d::East).sense(); },
+                 "90-degree");
+}
+
+} // namespace
+} // namespace turnmodel

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Unit tests for allowed-turn sets and the factories of the paper's
+ * algorithms.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/cycle_analysis.hpp"
+#include "core/turn_set.hpp"
+
+namespace turnmodel {
+namespace {
+
+bool
+prohibits(const TurnSet &set, Direction from, Direction to)
+{
+    return !set.isAllowed(Turn(from, to));
+}
+
+TEST(TurnSet, StartsEmpty)
+{
+    TurnSet set(2);
+    EXPECT_EQ(set.countAllowed90(), 0);
+    EXPECT_EQ(set.countProhibited90(), 8);
+}
+
+TEST(TurnSet, AllowProhibitToggle)
+{
+    TurnSet set(2);
+    const Turn t(dir2d::East, dir2d::North);
+    set.allow(t);
+    EXPECT_TRUE(set.isAllowed(t));
+    set.prohibit(t);
+    EXPECT_FALSE(set.isAllowed(t));
+}
+
+TEST(TurnSet, WestFirstProhibitsTurnsToWest)
+{
+    const TurnSet set = TurnSet::westFirst();
+    EXPECT_TRUE(prohibits(set, dir2d::North, dir2d::West));
+    EXPECT_TRUE(prohibits(set, dir2d::South, dir2d::West));
+    EXPECT_EQ(set.countProhibited90(), 2);
+    // A westbound packet may still turn away from west.
+    EXPECT_TRUE(set.isAllowed(Turn(dir2d::West, dir2d::North)));
+    EXPECT_TRUE(set.isAllowed(Turn(dir2d::West, dir2d::South)));
+}
+
+TEST(TurnSet, NorthLastProhibitsTurnsOutOfNorth)
+{
+    const TurnSet set = TurnSet::northLast();
+    EXPECT_TRUE(prohibits(set, dir2d::North, dir2d::West));
+    EXPECT_TRUE(prohibits(set, dir2d::North, dir2d::East));
+    EXPECT_EQ(set.countProhibited90(), 2);
+    EXPECT_TRUE(set.isAllowed(Turn(dir2d::West, dir2d::North)));
+    EXPECT_TRUE(set.isAllowed(Turn(dir2d::East, dir2d::North)));
+}
+
+TEST(TurnSet, NegativeFirst2DProhibitsPositiveToNegative)
+{
+    const TurnSet set = TurnSet::negativeFirst(2);
+    EXPECT_TRUE(prohibits(set, dir2d::East, dir2d::South));
+    EXPECT_TRUE(prohibits(set, dir2d::North, dir2d::West));
+    EXPECT_EQ(set.countProhibited90(), 2);
+}
+
+TEST(TurnSet, DimensionOrderProhibitsHalf)
+{
+    for (int n : {2, 3, 4}) {
+        const TurnSet set = TurnSet::dimensionOrder(n);
+        EXPECT_EQ(set.countProhibited90(), count90DegreeTurns(n) / 2);
+    }
+    const TurnSet xy = TurnSet::dimensionOrder(2);
+    // Only x -> y turns allowed (Figure 3).
+    EXPECT_TRUE(xy.isAllowed(Turn(dir2d::East, dir2d::North)));
+    EXPECT_TRUE(xy.isAllowed(Turn(dir2d::West, dir2d::South)));
+    EXPECT_TRUE(prohibits(xy, dir2d::North, dir2d::East));
+    EXPECT_TRUE(prohibits(xy, dir2d::South, dir2d::West));
+}
+
+TEST(TurnSet, FactoriesProhibitExactlyQuarter)
+{
+    // Theorem 1 / Theorem 6: the partially adaptive algorithms
+    // prohibit exactly n(n-1) turns — one quarter of 4n(n-1).
+    for (int n : {2, 3, 4, 5, 8}) {
+        EXPECT_EQ(TurnSet::negativeFirst(n).countProhibited90(),
+                  minimumProhibitedTurns(n)) << "negative-first n=" << n;
+        EXPECT_EQ(TurnSet::allButOneNegativeFirst(n).countProhibited90(),
+                  minimumProhibitedTurns(n)) << "abonf n=" << n;
+        EXPECT_EQ(TurnSet::allButOnePositiveLast(n).countProhibited90(),
+                  minimumProhibitedTurns(n)) << "abopl n=" << n;
+    }
+}
+
+TEST(TurnSet, AllButOneSpecializeToWestFirstNorthLast2D)
+{
+    EXPECT_EQ(TurnSet::allButOneNegativeFirst(2).prohibited90(),
+              TurnSet::westFirst().prohibited90());
+    EXPECT_EQ(TurnSet::allButOnePositiveLast(2).prohibited90(),
+              TurnSet::northLast().prohibited90());
+}
+
+TEST(TurnSet, StraightTravelAllowedByFactories)
+{
+    for (const TurnSet &set :
+         {TurnSet::westFirst(), TurnSet::northLast(),
+          TurnSet::negativeFirst(2), TurnSet::dimensionOrder(2)}) {
+        for (Direction d : allDirections(2))
+            EXPECT_TRUE(set.isAllowed(Turn(d, d)));
+    }
+}
+
+TEST(TurnSet, OneEightyProhibitedByDefaultFactories)
+{
+    for (const TurnSet &set :
+         {TurnSet::westFirst(), TurnSet::northLast(),
+          TurnSet::negativeFirst(2)}) {
+        for (Direction d : allDirections(2))
+            EXPECT_FALSE(set.isAllowed(Turn(d, d.opposite())));
+    }
+}
+
+TEST(TurnSet, TwoProhibited2D)
+{
+    const Turn a(dir2d::North, dir2d::West);
+    const Turn b(dir2d::East, dir2d::South);
+    const TurnSet set = TurnSet::twoProhibited2D(a, b);
+    EXPECT_EQ(set.countProhibited90(), 2);
+    EXPECT_FALSE(set.isAllowed(a));
+    EXPECT_FALSE(set.isAllowed(b));
+}
+
+TEST(TurnSet, Allow180)
+{
+    TurnSet set(2);
+    set.allowAll180();
+    for (Direction d : allDirections(2))
+        EXPECT_TRUE(set.isAllowed(Turn(d, d.opposite())));
+}
+
+TEST(TurnSet, ToStringListsProhibited)
+{
+    const TurnSet set = TurnSet::westFirst();
+    const std::string s = set.toString();
+    EXPECT_NE(s.find("north->west"), std::string::npos);
+    EXPECT_NE(s.find("south->west"), std::string::npos);
+}
+
+TEST(TurnSet, EqualityComparesContents)
+{
+    EXPECT_EQ(TurnSet::westFirst(), TurnSet::westFirst());
+    EXPECT_NE(TurnSet::westFirst(), TurnSet::northLast());
+}
+
+} // namespace
+} // namespace turnmodel

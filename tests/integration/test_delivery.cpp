@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Integration tests across topology x routing x traffic: every
+ * combination the paper evaluates must simulate cleanly — flits
+ * conserved, no deadlock, sensible latencies — at moderate load.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "core/routing/factory.hpp"
+#include "sim/simulator.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/mesh.hpp"
+#include "topology/torus.hpp"
+#include "traffic/pattern.hpp"
+
+namespace turnmodel {
+namespace {
+
+using Combo = std::tuple<const char *, const char *, const char *>;
+
+std::unique_ptr<Topology>
+makeTopo(const std::string &spec)
+{
+    if (spec == "mesh")
+        return std::make_unique<NDMesh>(Shape{8, 8});
+    if (spec == "cube")
+        return std::make_unique<Hypercube>(6);
+    return std::make_unique<KAryNCube>(4, 2);
+}
+
+class SimCombos : public ::testing::TestWithParam<Combo>
+{
+};
+
+TEST_P(SimCombos, ModerateLoadRunsClean)
+{
+    const auto [topo_spec, algo, pattern_name] = GetParam();
+    auto topo = makeTopo(topo_spec);
+    RoutingPtr routing = makeRouting(algo, *topo);
+    PatternPtr pattern = makePattern(pattern_name, *topo);
+
+    SimConfig cfg;
+    cfg.injection_rate = 0.04;
+    cfg.warmup_cycles = 1000;
+    cfg.measure_cycles = 4000;
+    Simulator sim(*routing, *pattern, cfg);
+    const SimResult r = sim.run();
+
+    EXPECT_FALSE(r.deadlocked);
+    EXPECT_GT(r.packets_measured, 10u);
+    EXPECT_GT(r.throughput_flits_per_us, 0.0);
+    EXPECT_GT(r.avg_latency_us, 0.0);
+
+    const auto &c = sim.network().counters();
+    // Conservation: everything generated is queued, in flight, or
+    // delivered.
+    EXPECT_EQ(c.flits_generated,
+              c.flits_delivered + c.flits_in_network +
+                  c.source_queue_flits);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MeshCombos, SimCombos,
+    ::testing::Combine(
+        ::testing::Values("mesh"),
+        ::testing::Values("xy", "west-first", "north-last",
+                          "negative-first", "abonf", "abopl"),
+        ::testing::Values("uniform", "transpose", "bit-complement",
+                          "hotspot:0.1")));
+
+INSTANTIATE_TEST_SUITE_P(
+    CubeCombos, SimCombos,
+    ::testing::Combine(
+        ::testing::Values("cube"),
+        ::testing::Values("e-cube", "p-cube", "abonf", "abopl"),
+        ::testing::Values("uniform", "transpose", "reverse-flip",
+                          "bit-reversal", "shuffle")));
+
+INSTANTIATE_TEST_SUITE_P(
+    TorusCombos, SimCombos,
+    ::testing::Combine(
+        ::testing::Values("torus"),
+        ::testing::Values("torus-negative-first",
+                          "wrap-first-hop:negative-first",
+                          "wrap-first-hop:dimension-order"),
+        ::testing::Values("uniform", "tornado", "bit-complement")));
+
+TEST(DeliveryIntegration, NonminimalVariantsSimulateClean)
+{
+    NDMesh mesh = NDMesh::mesh2D(6, 6);
+    PatternPtr pattern = makePattern("uniform", mesh);
+    for (const char *algo :
+         {"west-first-nonminimal", "north-last-nonminimal",
+          "negative-first-nonminimal"}) {
+        RoutingPtr routing = makeRouting(algo, mesh);
+        SimConfig cfg;
+        cfg.injection_rate = 0.03;
+        cfg.warmup_cycles = 500;
+        cfg.measure_cycles = 2500;
+        Simulator sim(*routing, *pattern, cfg);
+        const SimResult r = sim.run();
+        EXPECT_FALSE(r.deadlocked) << algo;
+        EXPECT_GT(r.packets_measured, 10u) << algo;
+    }
+}
+
+TEST(DeliveryIntegration, SelectionPoliciesSimulateClean)
+{
+    NDMesh mesh = NDMesh::mesh2D(8, 8);
+    RoutingPtr routing = makeRouting("west-first", mesh);
+    PatternPtr pattern = makePattern("transpose", mesh);
+    for (auto in_sel : {InputSelection::Fcfs, InputSelection::Random,
+                        InputSelection::FixedPriority}) {
+        for (auto out_sel :
+             {OutputSelection::LowestDim, OutputSelection::HighestDim,
+              OutputSelection::Random,
+              OutputSelection::StraightFirst}) {
+            SimConfig cfg;
+            cfg.injection_rate = 0.05;
+            cfg.warmup_cycles = 500;
+            cfg.measure_cycles = 2000;
+            cfg.input_selection = in_sel;
+            cfg.output_selection = out_sel;
+            Simulator sim(*routing, *pattern, cfg);
+            const SimResult r = sim.run();
+            EXPECT_FALSE(r.deadlocked)
+                << toString(in_sel) << "/" << toString(out_sel);
+            EXPECT_GT(r.packets_measured, 10u);
+        }
+    }
+}
+
+TEST(DeliveryIntegration, BufferDepthsSimulateClean)
+{
+    NDMesh mesh = NDMesh::mesh2D(8, 8);
+    RoutingPtr routing = makeRouting("negative-first", mesh);
+    PatternPtr pattern = makePattern("transpose", mesh);
+    double last_latency = 1e30;
+    for (std::uint32_t depth : {1u, 2u, 4u}) {
+        SimConfig cfg;
+        cfg.injection_rate = 0.08;
+        cfg.warmup_cycles = 1000;
+        cfg.measure_cycles = 4000;
+        cfg.buffer_depth = depth;
+        Simulator sim(*routing, *pattern, cfg);
+        const SimResult r = sim.run();
+        EXPECT_FALSE(r.deadlocked) << "depth " << depth;
+        EXPECT_GT(r.packets_measured, 50u);
+        // Deeper buffers should not make latency dramatically worse.
+        EXPECT_LT(r.avg_latency_us, last_latency * 1.5)
+            << "depth " << depth;
+        last_latency = r.avg_latency_us;
+    }
+}
+
+} // namespace
+} // namespace turnmodel

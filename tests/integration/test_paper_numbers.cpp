@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Checks of specific quantities printed in the paper: the Section 5
+ * worked example, the adaptiveness formulas and bounds, and the
+ * average path lengths of Section 6.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/adaptiveness.hpp"
+#include "core/routing/factory.hpp"
+#include "core/routing/pcube.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/mesh.hpp"
+#include "traffic/pattern.hpp"
+
+namespace turnmodel {
+namespace {
+
+TEST(PaperNumbers, Section5WorkedExample)
+{
+    // Source 1011010100 to destination 0010111001 in a 10-cube:
+    // h = 6, h1 = 3, h0 = 3, 36 shortest paths under p-cube, 720
+    // under full adaptivity.
+    Hypercube cube(10);
+    const NodeId s = 0b1011010100;
+    const NodeId d = 0b0010111001;
+    EXPECT_EQ(cube.hammingDistance(s, d), 6);
+    EXPECT_EQ(pcubePathCount(cube, s, d), 36u);
+    EXPECT_EQ(factorial(6), 720u);
+    RoutingPtr pcube = makeRouting("p-cube", cube);
+    EXPECT_EQ(countAllowedShortestPaths(*pcube, s, d), 36u);
+}
+
+TEST(PaperNumbers, Section5RatioFormula)
+{
+    // S_pcube / S_f = 1 / C(h, h1).
+    Hypercube cube(10);
+    const NodeId s = 0b1011010100;
+    const NodeId d = 0b0010111001;
+    const double ratio =
+        static_cast<double>(pcubePathCount(cube, s, d)) /
+        static_cast<double>(factorial(cube.hammingDistance(s, d)));
+    EXPECT_DOUBLE_EQ(ratio, 1.0 / static_cast<double>(binomial(6, 3)));
+}
+
+TEST(PaperNumbers, Section34AverageRatioAboveHalf)
+{
+    // "averaged across all source-destination pairs, S_p/S_f > 1/2"
+    // for each 2D partially adaptive algorithm.
+    NDMesh mesh = NDMesh::mesh2D(8, 8);
+    for (const char *name :
+         {"west-first", "north-last", "negative-first"}) {
+        const auto s = summarizeAdaptiveness(*makeRouting(name, mesh));
+        EXPECT_GT(s.mean_ratio, 0.5) << name;
+        EXPECT_LT(s.mean_ratio, 1.0) << name;
+    }
+}
+
+TEST(PaperNumbers, Section34HalfThePairsSinglePath)
+{
+    // "S_p = 1 for at least half of the source-destination pairs."
+    NDMesh mesh = NDMesh::mesh2D(8, 8);
+    for (const char *name :
+         {"west-first", "north-last", "negative-first"}) {
+        const auto s = summarizeAdaptiveness(*makeRouting(name, mesh));
+        EXPECT_GE(s.fraction_single, 0.5) << name;
+    }
+}
+
+TEST(PaperNumbers, Section41HypercubeBound)
+{
+    // "averaged across all pairs, S_p/S_f > 1/2^{n-1}".
+    for (int n : {4, 5, 6}) {
+        Hypercube cube(n);
+        const auto s =
+            summarizeAdaptiveness(*makeRouting("p-cube", cube));
+        EXPECT_GT(s.mean_ratio, 1.0 / static_cast<double>(1 << (n - 1)))
+            << "n=" << n;
+    }
+}
+
+TEST(PaperNumbers, Section6MeshPathLengths)
+{
+    // "average path length for matrix-transpose traffic is 11.34
+    // hops, versus 10.61 hops for uniform traffic" (16x16 mesh; our
+    // uniform excludes self-traffic exactly, giving 10.67).
+    NDMesh mesh = NDMesh::mesh2D(16, 16);
+    Rng rng(42);
+    PatternPtr uniform = makePattern("uniform", mesh);
+    PatternPtr transpose = makePattern("transpose", mesh);
+    EXPECT_NEAR(uniform->averageDistance(mesh, rng, 200), 10.67, 0.1);
+    EXPECT_NEAR(transpose->averageDistance(mesh, rng), 11.33, 0.01);
+}
+
+TEST(PaperNumbers, Section6CubePathLengths)
+{
+    // "average path length for reverse-flip traffic is 4.27 hops,
+    // versus 4.01 hops for uniform traffic" (8-cube; excluding
+    // self-traffic exactly gives 4.016 and 4.267).
+    Hypercube cube(8);
+    Rng rng(43);
+    PatternPtr uniform = makePattern("uniform", cube);
+    PatternPtr flip = makePattern("reverse-flip", cube);
+    EXPECT_NEAR(uniform->averageDistance(cube, rng, 200), 4.016, 0.05);
+    EXPECT_NEAR(flip->averageDistance(cube, rng), 4.267, 0.01);
+}
+
+TEST(PaperNumbers, HypercubeTransposePathLength)
+{
+    // The hypercube transpose averages 4.27 hops as well (half-swap
+    // with two complemented bits).
+    Hypercube cube(8);
+    Rng rng(44);
+    PatternPtr transpose = makePattern("transpose", cube);
+    const double avg = transpose->averageDistance(cube, rng);
+    EXPECT_GT(avg, 4.0);
+    EXPECT_LT(avg, 5.0);
+}
+
+TEST(PaperNumbers, Figure5WestFirstExample)
+{
+    // Figure 5b routes in an 8x8 mesh: a westbound packet has
+    // exactly one shortest path; an eastbound one is fully adaptive.
+    NDMesh mesh = NDMesh::mesh2D(8, 8);
+    RoutingPtr wf = makeRouting("west-first", mesh);
+    EXPECT_EQ(countAllowedShortestPaths(*wf, mesh.node({6, 2}),
+                                        mesh.node({1, 5})),
+              1u);
+    EXPECT_EQ(countAllowedShortestPaths(*wf, mesh.node({1, 2}),
+                                        mesh.node({5, 6})),
+              binomial(8, 4));
+}
+
+} // namespace
+} // namespace turnmodel

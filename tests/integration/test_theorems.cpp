@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Machine checks of the paper's theorems as stated, across a range
+ * of dimensions and mesh shapes:
+ *
+ *  - Theorem 1/6: prohibiting a quarter of the turns (n(n-1)) is
+ *    necessary and sufficient for deadlock freedom;
+ *  - Theorems 2-5: the named algorithms are deadlock free;
+ *  - Section 3: 16 two-turn prohibitions, 12 deadlock free, 3 unique
+ *    under symmetry.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/channel_dependency.hpp"
+#include "core/cycle_analysis.hpp"
+#include "core/routing/factory.hpp"
+#include "core/routing/turn_table.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/mesh.hpp"
+
+namespace turnmodel {
+namespace {
+
+TEST(Theorems, Theorem1QuarterOfTurns)
+{
+    for (int n = 2; n <= 8; ++n) {
+        EXPECT_EQ(minimumProhibitedTurns(n), count90DegreeTurns(n) / 4);
+        EXPECT_EQ(countAbstractCycles(n), n * (n - 1));
+    }
+}
+
+TEST(Theorems, Theorem1Necessity)
+{
+    // Fewer prohibitions than cycles must leave some cycle intact:
+    // drop one prohibition from negative-first and check the
+    // abstract analysis notices.
+    for (int n : {2, 3}) {
+        TurnSet set = TurnSet::negativeFirst(n);
+        const auto prohibited = set.prohibited90();
+        ASSERT_EQ(static_cast<int>(prohibited.size()),
+                  minimumProhibitedTurns(n));
+        set.allow(prohibited.front());
+        EXPECT_FALSE(breaksAllAbstractCycles(set, n));
+    }
+}
+
+TEST(Theorems, Theorem6SufficiencyOnConcreteMeshes)
+{
+    // The quarter prohibited by negative-first suffices: the CDG of
+    // the resulting routing is acyclic on concrete meshes.
+    NDMesh mesh2 = NDMesh::mesh2D(6, 6);
+    TurnTableRouting r2(mesh2, TurnSet::negativeFirst(2), true);
+    EXPECT_TRUE(isDeadlockFree(r2));
+
+    NDMesh mesh3(Shape{3, 3, 3});
+    TurnTableRouting r3(mesh3, TurnSet::negativeFirst(3), true);
+    EXPECT_TRUE(isDeadlockFree(r3));
+}
+
+TEST(Theorems, SixteenTwelveThree)
+{
+    // Section 3's full enumeration: 16 pairs, 12 deadlock free, and
+    // 3 unique algorithms under the square's symmetry group.
+    NDMesh mesh = NDMesh::mesh2D(5, 5);
+    const auto cycles = abstractCycles(2);
+    std::vector<TurnSet> deadlock_free_sets;
+    int total = 0;
+    for (const Turn &a : cycles[0].turns) {
+        for (const Turn &b : cycles[1].turns) {
+            ++total;
+            const TurnSet set = TurnSet::twoProhibited2D(a, b);
+            TurnTableRouting routing(mesh, set, true);
+            if (isDeadlockFree(routing))
+                deadlock_free_sets.push_back(set);
+        }
+    }
+    EXPECT_EQ(total, 16);
+    EXPECT_EQ(deadlock_free_sets.size(), 12u);
+    const auto reps = symmetryOrbitRepresentatives(deadlock_free_sets);
+    EXPECT_EQ(reps.size(), 3u);
+}
+
+TEST(Theorems, TheNamedAlgorithmsAreAmongTheTwelve)
+{
+    // West-first, north-last, and negative-first all appear among
+    // the twelve deadlock-free two-turn prohibitions.
+    const auto wf = TurnSet::westFirst();
+    const auto nl = TurnSet::northLast();
+    const auto nf = TurnSet::negativeFirst(2);
+    const auto cycles = abstractCycles(2);
+    int matches = 0;
+    for (const Turn &a : cycles[0].turns) {
+        for (const Turn &b : cycles[1].turns) {
+            const TurnSet set = TurnSet::twoProhibited2D(a, b);
+            if (set == wf || set == nl || set == nf)
+                ++matches;
+        }
+    }
+    EXPECT_EQ(matches, 3);
+}
+
+class MeshShapesForTheorems : public ::testing::TestWithParam<Shape>
+{
+};
+
+TEST_P(MeshShapesForTheorems, AllNamedAlgorithmsDeadlockFree)
+{
+    NDMesh mesh(GetParam());
+    std::vector<std::string> algos{"dimension-order", "negative-first"};
+    if (mesh.numDims() >= 2) {
+        algos.push_back("abonf");
+        algos.push_back("abopl");
+    }
+    if (mesh.numDims() == 2) {
+        algos.push_back("west-first");
+        algos.push_back("north-last");
+    }
+    for (const auto &name : algos) {
+        EXPECT_TRUE(isDeadlockFree(*makeRouting(name, mesh)))
+            << name << " on " << mesh.name();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MeshShapesForTheorems,
+                         ::testing::Values(Shape{4, 4}, Shape{8, 3},
+                                           Shape{2, 2}, Shape{3, 3, 3},
+                                           Shape{2, 2, 2, 2},
+                                           Shape{4, 2, 3}));
+
+TEST(Theorems, HypercubeSpecialCases)
+{
+    Hypercube cube(5);
+    for (const char *name :
+         {"e-cube", "p-cube", "p-cube-nonminimal", "abonf", "abopl",
+          "negative-first"}) {
+        EXPECT_TRUE(isDeadlockFree(*makeRouting(name, cube))) << name;
+    }
+}
+
+} // namespace
+} // namespace turnmodel

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Unit tests for the all-but-one-negative-first and all-but-one-
+ * positive-last algorithms (Section 4.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/routing/all_but_one.hpp"
+#include "core/routing/north_last.hpp"
+#include "core/routing/west_first.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/mesh.hpp"
+
+namespace turnmodel {
+namespace {
+
+std::vector<Direction>
+sorted(std::vector<Direction> v)
+{
+    std::sort(v.begin(), v.end());
+    return v;
+}
+
+TEST(AllButOne, AbonfSpecializesToWestFirstIn2D)
+{
+    NDMesh mesh = NDMesh::mesh2D(6, 6);
+    AllButOneNegativeFirstRouting abonf(mesh);
+    WestFirstRouting wf(mesh);
+    for (NodeId s = 0; s < mesh.numNodes(); ++s) {
+        for (NodeId d = 0; d < mesh.numNodes(); ++d) {
+            if (s == d)
+                continue;
+            EXPECT_EQ(sorted(abonf.route(s, std::nullopt, d)),
+                      sorted(wf.route(s, std::nullopt, d)))
+                << s << "->" << d;
+        }
+    }
+}
+
+TEST(AllButOne, AboplSpecializesToNorthLastIn2D)
+{
+    NDMesh mesh = NDMesh::mesh2D(6, 6);
+    AllButOnePositiveLastRouting abopl(mesh);
+    NorthLastRouting nl(mesh);
+    for (NodeId s = 0; s < mesh.numNodes(); ++s) {
+        for (NodeId d = 0; d < mesh.numNodes(); ++d) {
+            if (s == d)
+                continue;
+            EXPECT_EQ(sorted(abopl.route(s, std::nullopt, d)),
+                      sorted(nl.route(s, std::nullopt, d)))
+                << s << "->" << d;
+        }
+    }
+}
+
+TEST(AllButOne, AbonfPhaseOneExcludesLastDimension)
+{
+    NDMesh mesh(Shape{4, 4, 4});
+    AllButOneNegativeFirstRouting routing(mesh);
+    // Needs -d0, -d2 (last dim): phase one is only -d0.
+    const auto dirs = routing.route(mesh.node({3, 1, 3}), std::nullopt,
+                                    mesh.node({1, 1, 1}));
+    ASSERT_EQ(dirs.size(), 1u);
+    EXPECT_EQ(dirs[0], Direction(0, false));
+}
+
+TEST(AllButOne, AbonfPhaseTwoIncludesNegativeLastDim)
+{
+    NDMesh mesh(Shape{4, 4, 4});
+    AllButOneNegativeFirstRouting routing(mesh);
+    // Only +d1 and -d2 remain: both offered together in phase two.
+    const auto dirs = routing.route(mesh.node({1, 1, 3}), std::nullopt,
+                                    mesh.node({1, 3, 1}));
+    EXPECT_EQ(dirs.size(), 2u);
+    EXPECT_NE(std::find(dirs.begin(), dirs.end(), Direction(1, true)),
+              dirs.end());
+    EXPECT_NE(std::find(dirs.begin(), dirs.end(), Direction(2, false)),
+              dirs.end());
+}
+
+TEST(AllButOne, AboplPhaseOneIncludesPositiveDimZero)
+{
+    NDMesh mesh(Shape{4, 4, 4});
+    AllButOnePositiveLastRouting routing(mesh);
+    // Needs +d0 and -d1: both are phase-one directions.
+    const auto dirs = routing.route(mesh.node({1, 3, 1}), std::nullopt,
+                                    mesh.node({3, 1, 1}));
+    EXPECT_EQ(dirs.size(), 2u);
+    EXPECT_NE(std::find(dirs.begin(), dirs.end(), Direction(0, true)),
+              dirs.end());
+    EXPECT_NE(std::find(dirs.begin(), dirs.end(), Direction(1, false)),
+              dirs.end());
+}
+
+TEST(AllButOne, AboplPhaseTwoAdaptiveAmongPositives)
+{
+    NDMesh mesh(Shape{4, 4, 4});
+    AllButOnePositiveLastRouting routing(mesh);
+    // Only +d1 and +d2 remain: adaptive phase two.
+    const auto dirs = routing.route(mesh.node({2, 1, 1}), std::nullopt,
+                                    mesh.node({2, 3, 3}));
+    EXPECT_EQ(dirs.size(), 2u);
+}
+
+TEST(AllButOne, WorkOnHypercubes)
+{
+    Hypercube cube(4);
+    AllButOneNegativeFirstRouting abonf(cube);
+    AllButOnePositiveLastRouting abopl(cube);
+    for (NodeId s = 0; s < cube.numNodes(); ++s) {
+        for (NodeId d = 0; d < cube.numNodes(); ++d) {
+            if (s == d)
+                continue;
+            EXPECT_FALSE(abonf.route(s, std::nullopt, d).empty());
+            EXPECT_FALSE(abopl.route(s, std::nullopt, d).empty());
+        }
+    }
+}
+
+TEST(AllButOne, OnlyProfitableHops)
+{
+    NDMesh mesh(Shape{3, 3, 3});
+    AllButOneNegativeFirstRouting abonf(mesh);
+    AllButOnePositiveLastRouting abopl(mesh);
+    for (NodeId s = 0; s < mesh.numNodes(); ++s) {
+        for (NodeId d = 0; d < mesh.numNodes(); ++d) {
+            if (s == d)
+                continue;
+            for (Direction dir : abonf.route(s, std::nullopt, d))
+                EXPECT_TRUE(isProfitable(mesh, s, dir, d));
+            for (Direction dir : abopl.route(s, std::nullopt, d))
+                EXPECT_TRUE(isProfitable(mesh, s, dir, d));
+        }
+    }
+}
+
+TEST(AllButOneDeathTest, RequireTwoDimensions)
+{
+    NDMesh line(Shape{8});
+    EXPECT_DEATH({ AllButOneNegativeFirstRouting routing(line); },
+                 "two dimensions");
+    EXPECT_DEATH({ AllButOnePositiveLastRouting routing(line); },
+                 "two dimensions");
+}
+
+} // namespace
+} // namespace turnmodel

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Unit tests for dimension-order (xy / e-cube) routing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/routing/dimension_order.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/mesh.hpp"
+
+namespace turnmodel {
+namespace {
+
+TEST(DimensionOrder, AlwaysSingleCandidate)
+{
+    NDMesh mesh = NDMesh::mesh2D(6, 6);
+    DimensionOrderRouting routing(mesh);
+    for (NodeId s = 0; s < mesh.numNodes(); ++s) {
+        for (NodeId d = 0; d < mesh.numNodes(); ++d) {
+            if (s == d)
+                continue;
+            EXPECT_EQ(routing.route(s, std::nullopt, d).size(), 1u);
+        }
+    }
+}
+
+TEST(DimensionOrder, XFirstThenY)
+{
+    NDMesh mesh = NDMesh::mesh2D(6, 6);
+    DimensionOrderRouting routing(mesh);
+    const NodeId dst = mesh.node({4, 4});
+    // x differs: move in x regardless of y.
+    EXPECT_EQ(routing.route(mesh.node({1, 1}), std::nullopt, dst)[0],
+              dir2d::East);
+    EXPECT_EQ(routing.route(mesh.node({5, 1}), std::nullopt, dst)[0],
+              dir2d::West);
+    // x matches: move in y.
+    EXPECT_EQ(routing.route(mesh.node({4, 1}), std::nullopt, dst)[0],
+              dir2d::North);
+    EXPECT_EQ(routing.route(mesh.node({4, 5}), std::nullopt, dst)[0],
+              dir2d::South);
+}
+
+TEST(DimensionOrder, NameDependsOnTopology)
+{
+    NDMesh mesh = NDMesh::mesh2D(4, 4);
+    EXPECT_EQ(DimensionOrderRouting(mesh).name(), "xy");
+    NDMesh mesh3(Shape{4, 4, 4});
+    EXPECT_EQ(DimensionOrderRouting(mesh3).name(), "dimension-order");
+    Hypercube cube(4);
+    EXPECT_EQ(DimensionOrderRouting(cube).name(), "e-cube");
+}
+
+TEST(DimensionOrder, IgnoresArrivalDirection)
+{
+    NDMesh mesh = NDMesh::mesh2D(5, 5);
+    DimensionOrderRouting routing(mesh);
+    EXPECT_FALSE(routing.isInputDependent());
+    const NodeId s = mesh.node({2, 2});
+    const NodeId d = mesh.node({4, 0});
+    EXPECT_EQ(routing.route(s, std::nullopt, d),
+              routing.route(s, dir2d::North, d));
+}
+
+TEST(DimensionOrder, ECubeOnHypercubeUsesLowestDimension)
+{
+    Hypercube cube(4);
+    DimensionOrderRouting routing(cube);
+    // From 0000 to 1010: dimension 1 first, then 3.
+    const auto step = routing.route(0b0000, std::nullopt, 0b1010);
+    ASSERT_EQ(step.size(), 1u);
+    EXPECT_EQ(step[0].dim, 1);
+    EXPECT_TRUE(step[0].positive);
+}
+
+TEST(DimensionOrder, IsMinimalFlag)
+{
+    NDMesh mesh = NDMesh::mesh2D(4, 4);
+    EXPECT_TRUE(DimensionOrderRouting(mesh).isMinimal());
+}
+
+TEST(DimensionOrderDeathTest, RouteAtDestinationPanics)
+{
+    NDMesh mesh = NDMesh::mesh2D(4, 4);
+    DimensionOrderRouting routing(mesh);
+    EXPECT_DEATH({ (void)routing.route(3, std::nullopt, 3); },
+                 "current == dest");
+}
+
+} // namespace
+} // namespace turnmodel

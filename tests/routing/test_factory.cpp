@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Unit tests for name-based routing construction.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/routing/factory.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/mesh.hpp"
+#include "topology/torus.hpp"
+
+namespace turnmodel {
+namespace {
+
+TEST(Factory, MeshNames)
+{
+    NDMesh mesh = NDMesh::mesh2D(4, 4);
+    EXPECT_EQ(makeRouting("xy", mesh)->name(), "xy");
+    EXPECT_EQ(makeRouting("west-first", mesh)->name(), "west-first");
+    EXPECT_EQ(makeRouting("north-last", mesh)->name(), "north-last");
+    EXPECT_EQ(makeRouting("negative-first", mesh)->name(),
+              "negative-first");
+    EXPECT_EQ(makeRouting("abonf", mesh)->name(), "abonf");
+    EXPECT_EQ(makeRouting("abopl", mesh)->name(), "abopl");
+}
+
+TEST(Factory, AliasesResolve)
+{
+    NDMesh mesh = NDMesh::mesh2D(4, 4);
+    EXPECT_EQ(makeRouting("dimension-order", mesh)->name(), "xy");
+    Hypercube cube(4);
+    EXPECT_EQ(makeRouting("xy", cube)->name(), "e-cube");
+}
+
+TEST(Factory, HypercubeNames)
+{
+    Hypercube cube(4);
+    EXPECT_EQ(makeRouting("e-cube", cube)->name(), "e-cube");
+    EXPECT_EQ(makeRouting("p-cube", cube)->name(), "p-cube");
+    EXPECT_EQ(makeRouting("p-cube-nonminimal", cube)->name(),
+              "p-cube-nonminimal");
+}
+
+TEST(Factory, NonminimalVariants)
+{
+    NDMesh mesh = NDMesh::mesh2D(4, 4);
+    for (const char *name :
+         {"west-first-nonminimal", "north-last-nonminimal",
+          "negative-first-nonminimal"}) {
+        RoutingPtr routing = makeRouting(name, mesh);
+        EXPECT_EQ(routing->name(), name);
+        EXPECT_FALSE(routing->isMinimal());
+    }
+}
+
+TEST(Factory, TorusNames)
+{
+    KAryNCube torus(4, 2);
+    EXPECT_EQ(makeRouting("torus-negative-first", torus)->name(),
+              "torus-negative-first");
+    EXPECT_EQ(makeRouting("wrap-first-hop:xy", torus)->name(),
+              "xy+wrap-first-hop");
+}
+
+TEST(Factory, AvailableNamesAreConstructible)
+{
+    NDMesh mesh = NDMesh::mesh2D(4, 4);
+    for (const std::string &name : availableRoutingNames(mesh))
+        EXPECT_NE(makeRouting(name, mesh), nullptr) << name;
+    Hypercube cube(4);
+    for (const std::string &name : availableRoutingNames(cube))
+        EXPECT_NE(makeRouting(name, cube), nullptr) << name;
+    KAryNCube torus(4, 2);
+    for (const std::string &name : availableRoutingNames(torus))
+        EXPECT_NE(makeRouting(name, torus), nullptr) << name;
+}
+
+TEST(Factory, HypercubeListsPCube)
+{
+    Hypercube cube(4);
+    const auto names = availableRoutingNames(cube);
+    EXPECT_NE(std::find(names.begin(), names.end(), "p-cube"),
+              names.end());
+    // A plain mesh does not offer p-cube.
+    NDMesh mesh = NDMesh::mesh2D(4, 4);
+    const auto mesh_names = availableRoutingNames(mesh);
+    EXPECT_EQ(std::find(mesh_names.begin(), mesh_names.end(), "p-cube"),
+              mesh_names.end());
+}
+
+TEST(FactoryDeathTest, UnknownNameIsFatal)
+{
+    NDMesh mesh = NDMesh::mesh2D(4, 4);
+    EXPECT_EXIT({ (void)makeRouting("warp-speed", mesh); },
+                ::testing::ExitedWithCode(1), "unknown routing");
+}
+
+TEST(FactoryDeathTest, PCubeRequiresHypercube)
+{
+    NDMesh mesh = NDMesh::mesh2D(4, 4);
+    EXPECT_EXIT({ (void)makeRouting("p-cube", mesh); },
+                ::testing::ExitedWithCode(1), "hypercube");
+}
+
+TEST(FactoryDeathTest, TorusAlgorithmsRequireTorus)
+{
+    NDMesh mesh = NDMesh::mesh2D(4, 4);
+    EXPECT_EXIT({ (void)makeRouting("torus-negative-first", mesh); },
+                ::testing::ExitedWithCode(1), "k-ary");
+}
+
+} // namespace
+} // namespace turnmodel

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Tests for the mad-y fully adaptive algorithm (the turn model with
+ * one extra virtual channel in y — the companion result [18] the
+ * paper announces).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/adaptiveness.hpp"
+#include "core/channel_dependency.hpp"
+#include "core/cycle_analysis.hpp"
+#include "core/routing/factory.hpp"
+#include "core/routing/mad_y.hpp"
+#include "topology/virtual_channels.hpp"
+#include "util/rng.hpp"
+
+namespace turnmodel {
+namespace {
+
+TEST(MadY, TurnSetBreaksEveryAbstractCycle)
+{
+    const TurnSet set = madYTurnSet();
+    EXPECT_TRUE(breaksAllAbstractCycles(set, 3));
+}
+
+TEST(MadY, DeadlockFreeOnDoubleYMeshes)
+{
+    for (auto [m, n] : {std::pair{4, 4}, std::pair{6, 6},
+                        std::pair{5, 3}}) {
+        VirtualizedMesh mesh = VirtualizedMesh::doubleY(m, n);
+        MadYRouting routing(mesh);
+        EXPECT_TRUE(isDeadlockFree(routing)) << m << "x" << n;
+    }
+}
+
+TEST(MadY, Connected)
+{
+    VirtualizedMesh mesh = VirtualizedMesh::doubleY(5, 5);
+    MadYRouting routing(mesh);
+    for (NodeId s = 0; s < mesh.numNodes(); ++s) {
+        for (NodeId d = 0; d < mesh.numNodes(); ++d) {
+            if (s == d)
+                continue;
+            EXPECT_FALSE(routing.route(s, std::nullopt, d).empty());
+        }
+    }
+}
+
+/**
+ * Full adaptiveness: at every reachable state the physical
+ * projection of the offered virtual directions equals the full set
+ * of profitable physical directions.
+ */
+TEST(MadY, FullyAdaptiveAtEveryReachableState)
+{
+    VirtualizedMesh mesh = VirtualizedMesh::doubleY(6, 6);
+    NDMesh physical = NDMesh::mesh2D(6, 6);
+    MadYRouting routing(mesh);
+    Rng rng(7);
+    for (int trial = 0; trial < 500; ++trial) {
+        const NodeId s =
+            static_cast<NodeId>(rng.nextBounded(mesh.numNodes()));
+        const NodeId d =
+            static_cast<NodeId>(rng.nextBounded(mesh.numNodes()));
+        if (s == d)
+            continue;
+        NodeId at = s;
+        std::optional<Direction> in;
+        while (at != d) {
+            const auto offers = routing.route(at, in, d);
+            ASSERT_FALSE(offers.empty());
+            std::set<DirId> projected;
+            for (Direction dir : offers)
+                projected.insert(mesh.physicalDirection(dir).id());
+            std::set<DirId> want;
+            for (Direction dir : minimalDirections(physical, at, d))
+                want.insert(dir.id());
+            EXPECT_EQ(projected, want)
+                << "at " << at << " toward " << d;
+            const Direction take =
+                offers[rng.nextBounded(offers.size())];
+            at = *mesh.neighbor(at, take);
+            in = take;
+        }
+    }
+}
+
+TEST(MadY, MinimalRoutesHavePhysicalLength)
+{
+    VirtualizedMesh mesh = VirtualizedMesh::doubleY(6, 6);
+    MadYRouting routing(mesh);
+    Rng rng(9);
+    for (int trial = 0; trial < 300; ++trial) {
+        const NodeId s =
+            static_cast<NodeId>(rng.nextBounded(mesh.numNodes()));
+        const NodeId d =
+            static_cast<NodeId>(rng.nextBounded(mesh.numNodes()));
+        if (s == d)
+            continue;
+        NodeId at = s;
+        std::optional<Direction> in;
+        int hops = 0;
+        while (at != d) {
+            const auto offers = routing.route(at, in, d);
+            const Direction take =
+                offers[rng.nextBounded(offers.size())];
+            at = *mesh.neighbor(at, take);
+            in = take;
+            ++hops;
+        }
+        EXPECT_EQ(hops, mesh.distance(s, d));
+    }
+}
+
+TEST(MadY, NeverReturnsToASideAfterLeavingIt)
+{
+    // Once a packet uses E, N2, or S2 it must never use W, N1, or S1
+    // again — the prohibition that breaks every cycle.
+    VirtualizedMesh mesh = VirtualizedMesh::doubleY(6, 6);
+    MadYRouting routing(mesh);
+    const auto in_a = [](Direction dir) {
+        return (dir.dim == 0 && !dir.positive) || dir.dim == 1;
+    };
+    Rng rng(11);
+    for (int trial = 0; trial < 500; ++trial) {
+        const NodeId s =
+            static_cast<NodeId>(rng.nextBounded(mesh.numNodes()));
+        const NodeId d =
+            static_cast<NodeId>(rng.nextBounded(mesh.numNodes()));
+        if (s == d)
+            continue;
+        NodeId at = s;
+        std::optional<Direction> in;
+        bool left_a = false;
+        while (at != d) {
+            const auto offers = routing.route(at, in, d);
+            const Direction take =
+                offers[rng.nextBounded(offers.size())];
+            if (left_a) {
+                EXPECT_FALSE(in_a(take));
+            }
+            if (!in_a(take))
+                left_a = true;
+            at = *mesh.neighbor(at, take);
+            in = take;
+        }
+    }
+}
+
+TEST(MadY, FactoryConstructs)
+{
+    VirtualizedMesh mesh = VirtualizedMesh::doubleY(4, 4);
+    EXPECT_EQ(makeRouting("mad-y", mesh)->name(), "mad-y");
+    EXPECT_EQ(makeRouting("mad-y-nonminimal", mesh)->name(),
+              "mad-y-nonminimal");
+    EXPECT_FALSE(makeRouting("mad-y-nonminimal", mesh)->isMinimal());
+}
+
+TEST(MadYDeathTest, RequiresDoubleYMesh)
+{
+    NDMesh plain = NDMesh::mesh2D(4, 4);
+    EXPECT_EXIT({ (void)makeRouting("mad-y", plain); },
+                ::testing::ExitedWithCode(1), "double-y");
+    VirtualizedMesh wrong(Shape{4, 4}, {2, 1});
+    EXPECT_DEATH({ MadYRouting routing(wrong); }, "double-y");
+}
+
+} // namespace
+} // namespace turnmodel

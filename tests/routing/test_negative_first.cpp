@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Unit tests for negative-first routing on n-dimensional meshes
+ * (Sections 3.3 and 4.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/routing/negative_first.hpp"
+#include "core/turn_set.hpp"
+#include "topology/mesh.hpp"
+#include "util/rng.hpp"
+
+namespace turnmodel {
+namespace {
+
+bool
+offers(const std::vector<Direction> &dirs, Direction d)
+{
+    return std::find(dirs.begin(), dirs.end(), d) != dirs.end();
+}
+
+TEST(NegativeFirst, NegativePhaseAdaptive)
+{
+    NDMesh mesh = NDMesh::mesh2D(8, 8);
+    NegativeFirstRouting routing(mesh);
+    const auto dirs = routing.route(mesh.node({5, 6}), std::nullopt,
+                                    mesh.node({2, 2}));
+    EXPECT_EQ(dirs.size(), 2u);
+    EXPECT_TRUE(offers(dirs, dir2d::West));
+    EXPECT_TRUE(offers(dirs, dir2d::South));
+}
+
+TEST(NegativeFirst, PositivePhaseAdaptive)
+{
+    NDMesh mesh = NDMesh::mesh2D(8, 8);
+    NegativeFirstRouting routing(mesh);
+    const auto dirs = routing.route(mesh.node({2, 2}), std::nullopt,
+                                    mesh.node({5, 6}));
+    EXPECT_EQ(dirs.size(), 2u);
+    EXPECT_TRUE(offers(dirs, dir2d::East));
+    EXPECT_TRUE(offers(dirs, dir2d::North));
+}
+
+TEST(NegativeFirst, MixedPairsDoNegativeFirst)
+{
+    NDMesh mesh = NDMesh::mesh2D(8, 8);
+    NegativeFirstRouting routing(mesh);
+    // Needs west and north: west is the only phase-one move.
+    const auto dirs = routing.route(mesh.node({5, 2}), std::nullopt,
+                                    mesh.node({2, 6}));
+    ASSERT_EQ(dirs.size(), 1u);
+    EXPECT_EQ(dirs[0], dir2d::West);
+}
+
+TEST(NegativeFirst, NeverMixesPhases)
+{
+    NDMesh mesh = NDMesh::mesh2D(6, 6);
+    NegativeFirstRouting routing(mesh);
+    for (NodeId s = 0; s < mesh.numNodes(); ++s) {
+        for (NodeId d = 0; d < mesh.numNodes(); ++d) {
+            if (s == d)
+                continue;
+            const auto dirs = routing.route(s, std::nullopt, d);
+            ASSERT_FALSE(dirs.empty());
+            const bool has_neg = std::any_of(
+                dirs.begin(), dirs.end(),
+                [](Direction x) { return !x.positive; });
+            const bool has_pos = std::any_of(
+                dirs.begin(), dirs.end(),
+                [](Direction x) { return x.positive; });
+            EXPECT_FALSE(has_neg && has_pos);
+        }
+    }
+}
+
+TEST(NegativeFirst, ThreeDimensionalPhases)
+{
+    NDMesh mesh(Shape{4, 4, 4});
+    NegativeFirstRouting routing(mesh);
+    // Needs -d0, -d2, +d1: phase one offers both negatives.
+    const auto dirs = routing.route(mesh.node({3, 0, 3}), std::nullopt,
+                                    mesh.node({1, 2, 1}));
+    EXPECT_EQ(dirs.size(), 2u);
+    EXPECT_TRUE(offers(dirs, Direction(0, false)));
+    EXPECT_TRUE(offers(dirs, Direction(2, false)));
+}
+
+TEST(NegativeFirst, NeverUsesPositiveToNegativeTurns)
+{
+    NDMesh mesh(Shape{5, 5, 3});
+    NegativeFirstRouting routing(mesh);
+    const TurnSet set = TurnSet::negativeFirst(3);
+    Rng rng(55);
+    for (int trial = 0; trial < 2000; ++trial) {
+        const NodeId s = static_cast<NodeId>(
+            rng.nextBounded(mesh.numNodes()));
+        const NodeId d = static_cast<NodeId>(
+            rng.nextBounded(mesh.numNodes()));
+        if (s == d)
+            continue;
+        NodeId at = s;
+        std::optional<Direction> in;
+        while (at != d) {
+            const auto options = routing.route(at, in, d);
+            const Direction take =
+                options[rng.nextBounded(options.size())];
+            if (in && in->dim != take.dim) {
+                EXPECT_TRUE(set.isAllowed(Turn(*in, take)))
+                    << Turn(*in, take).toString();
+            }
+            at = *mesh.neighbor(at, take);
+            in = take;
+        }
+    }
+}
+
+TEST(NegativeFirst, WorksOn1D)
+{
+    NDMesh line(Shape{8});
+    NegativeFirstRouting routing(line);
+    const auto dirs = routing.route(2, std::nullopt, 6);
+    ASSERT_EQ(dirs.size(), 1u);
+    EXPECT_TRUE(dirs[0].positive);
+}
+
+} // namespace
+} // namespace turnmodel

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Unit tests for north-last routing (Section 3.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/routing/north_last.hpp"
+#include "core/turn_set.hpp"
+#include "topology/mesh.hpp"
+#include "util/rng.hpp"
+
+namespace turnmodel {
+namespace {
+
+bool
+offers(const std::vector<Direction> &dirs, Direction d)
+{
+    return std::find(dirs.begin(), dirs.end(), d) != dirs.end();
+}
+
+TEST(NorthLast, NorthOnlyWhenNothingElseRemains)
+{
+    NDMesh mesh = NDMesh::mesh2D(8, 8);
+    NorthLastRouting routing(mesh);
+    // North-east destination: east first, north withheld.
+    const auto dirs = routing.route(mesh.node({2, 2}), std::nullopt,
+                                    mesh.node({5, 6}));
+    ASSERT_EQ(dirs.size(), 1u);
+    EXPECT_EQ(dirs[0], dir2d::East);
+}
+
+TEST(NorthLast, FinalNorthRun)
+{
+    NDMesh mesh = NDMesh::mesh2D(8, 8);
+    NorthLastRouting routing(mesh);
+    const auto dirs = routing.route(mesh.node({5, 2}), std::nullopt,
+                                    mesh.node({5, 6}));
+    ASSERT_EQ(dirs.size(), 1u);
+    EXPECT_EQ(dirs[0], dir2d::North);
+}
+
+TEST(NorthLast, SouthboundFullyAdaptive)
+{
+    NDMesh mesh = NDMesh::mesh2D(8, 8);
+    NorthLastRouting routing(mesh);
+    const auto dirs = routing.route(mesh.node({2, 6}), std::nullopt,
+                                    mesh.node({5, 2}));
+    EXPECT_EQ(dirs.size(), 2u);
+    EXPECT_TRUE(offers(dirs, dir2d::East));
+    EXPECT_TRUE(offers(dirs, dir2d::South));
+}
+
+TEST(NorthLast, WestAndSouthAdaptive)
+{
+    NDMesh mesh = NDMesh::mesh2D(8, 8);
+    NorthLastRouting routing(mesh);
+    const auto dirs = routing.route(mesh.node({5, 6}), std::nullopt,
+                                    mesh.node({2, 2}));
+    EXPECT_EQ(dirs.size(), 2u);
+    EXPECT_TRUE(offers(dirs, dir2d::West));
+    EXPECT_TRUE(offers(dirs, dir2d::South));
+}
+
+TEST(NorthLast, NeverOffersNorthWithOthers)
+{
+    NDMesh mesh = NDMesh::mesh2D(6, 6);
+    NorthLastRouting routing(mesh);
+    for (NodeId s = 0; s < mesh.numNodes(); ++s) {
+        for (NodeId d = 0; d < mesh.numNodes(); ++d) {
+            if (s == d)
+                continue;
+            const auto dirs = routing.route(s, std::nullopt, d);
+            ASSERT_FALSE(dirs.empty());
+            if (offers(dirs, dir2d::North)) {
+                EXPECT_EQ(dirs.size(), 1u);
+            }
+        }
+    }
+}
+
+TEST(NorthLast, NeverUsesProhibitedTurns)
+{
+    NDMesh mesh = NDMesh::mesh2D(8, 8);
+    NorthLastRouting routing(mesh);
+    const TurnSet set = TurnSet::northLast();
+    Rng rng(77);
+    for (int trial = 0; trial < 2000; ++trial) {
+        const NodeId s = static_cast<NodeId>(
+            rng.nextBounded(mesh.numNodes()));
+        const NodeId d = static_cast<NodeId>(
+            rng.nextBounded(mesh.numNodes()));
+        if (s == d)
+            continue;
+        NodeId at = s;
+        std::optional<Direction> in;
+        while (at != d) {
+            const auto options = routing.route(at, in, d);
+            const Direction take =
+                options[rng.nextBounded(options.size())];
+            if (in) {
+                EXPECT_TRUE(set.isAllowed(Turn(*in, take)))
+                    << Turn(*in, take).toString();
+            }
+            at = *mesh.neighbor(at, take);
+            in = take;
+        }
+    }
+}
+
+TEST(NorthLast, OnlyProfitableHops)
+{
+    NDMesh mesh = NDMesh::mesh2D(6, 6);
+    NorthLastRouting routing(mesh);
+    for (NodeId s = 0; s < mesh.numNodes(); ++s) {
+        for (NodeId d = 0; d < mesh.numNodes(); ++d) {
+            if (s == d)
+                continue;
+            for (Direction dir : routing.route(s, std::nullopt, d))
+                EXPECT_TRUE(isProfitable(mesh, s, dir, d));
+        }
+    }
+}
+
+TEST(NorthLastDeathTest, Requires2D)
+{
+    NDMesh mesh(Shape{3, 3, 3});
+    EXPECT_DEATH({ NorthLastRouting routing(mesh); }, "2D");
+}
+
+} // namespace
+} // namespace turnmodel

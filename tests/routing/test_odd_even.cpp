@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests for the odd-even turn model extension (position-dependent
+ * turn prohibitions).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/adaptiveness.hpp"
+#include "core/channel_dependency.hpp"
+#include "core/routing/factory.hpp"
+#include "core/routing/odd_even.hpp"
+#include "topology/mesh.hpp"
+#include "util/rng.hpp"
+
+namespace turnmodel {
+namespace {
+
+TEST(OddEven, RuleProhibitsByColumnParity)
+{
+    NDMesh mesh = NDMesh::mesh2D(6, 6);
+    const TurnRule rule = oddEvenTurnRule(mesh);
+    const NodeId even_col = mesh.node({2, 3});
+    const NodeId odd_col = mesh.node({3, 3});
+    // EN and ES prohibited only in even columns.
+    EXPECT_FALSE(rule(even_col, Turn(dir2d::East, dir2d::North)));
+    EXPECT_FALSE(rule(even_col, Turn(dir2d::East, dir2d::South)));
+    EXPECT_TRUE(rule(odd_col, Turn(dir2d::East, dir2d::North)));
+    EXPECT_TRUE(rule(odd_col, Turn(dir2d::East, dir2d::South)));
+    // NW and SW prohibited only in odd columns.
+    EXPECT_FALSE(rule(odd_col, Turn(dir2d::North, dir2d::West)));
+    EXPECT_FALSE(rule(odd_col, Turn(dir2d::South, dir2d::West)));
+    EXPECT_TRUE(rule(even_col, Turn(dir2d::North, dir2d::West)));
+    EXPECT_TRUE(rule(even_col, Turn(dir2d::South, dir2d::West)));
+    // Straight travel always allowed, reversals never.
+    EXPECT_TRUE(rule(even_col, Turn(dir2d::East, dir2d::East)));
+    EXPECT_FALSE(rule(even_col, Turn(dir2d::East, dir2d::West)));
+}
+
+TEST(OddEven, DeadlockFreeAcrossMeshShapes)
+{
+    for (auto [m, n] : {std::pair{4, 4}, std::pair{6, 6},
+                        std::pair{8, 8}, std::pair{5, 3},
+                        std::pair{3, 7}}) {
+        NDMesh mesh = NDMesh::mesh2D(m, n);
+        OddEvenRouting routing(mesh);
+        EXPECT_TRUE(isDeadlockFree(routing)) << m << "x" << n;
+    }
+}
+
+TEST(OddEven, DeliversEverywhere)
+{
+    NDMesh mesh = NDMesh::mesh2D(7, 5);
+    OddEvenRouting routing(mesh);
+    Rng rng(3);
+    for (NodeId s = 0; s < mesh.numNodes(); ++s) {
+        for (NodeId d = 0; d < mesh.numNodes(); ++d) {
+            if (s == d)
+                continue;
+            NodeId at = s;
+            std::optional<Direction> in;
+            int hops = 0;
+            while (at != d) {
+                const auto options = routing.route(at, in, d);
+                ASSERT_FALSE(options.empty()) << s << "->" << d;
+                const Direction take =
+                    options[rng.nextBounded(options.size())];
+                at = *mesh.neighbor(at, take);
+                in = take;
+                ASSERT_LE(++hops, mesh.distance(s, d));
+            }
+        }
+    }
+}
+
+TEST(OddEven, SpreadsAdaptivenessMoreEvenlyThanWestFirst)
+{
+    // The design goal of the odd-even model: fewer pairs stuck with
+    // a single path than under the original turn-model algorithms.
+    NDMesh mesh = NDMesh::mesh2D(8, 8);
+    const auto odd_even =
+        summarizeAdaptiveness(*makeRouting("odd-even", mesh));
+    const auto west_first =
+        summarizeAdaptiveness(*makeRouting("west-first", mesh));
+    EXPECT_LT(odd_even.fraction_single, west_first.fraction_single);
+    EXPECT_GT(odd_even.mean_ratio, 0.3);
+}
+
+TEST(OddEven, NonminimalVariantExists)
+{
+    NDMesh mesh = NDMesh::mesh2D(6, 6);
+    RoutingPtr routing = makeRouting("odd-even-nonminimal", mesh);
+    EXPECT_FALSE(routing->isMinimal());
+    EXPECT_TRUE(isDeadlockFree(*routing));
+}
+
+TEST(OddEven, FactoryNames)
+{
+    NDMesh mesh = NDMesh::mesh2D(4, 4);
+    EXPECT_EQ(makeRouting("odd-even", mesh)->name(), "odd-even");
+}
+
+TEST(OddEvenDeathTest, Requires2D)
+{
+    NDMesh mesh(Shape{3, 3, 3});
+    EXPECT_DEATH({ OddEvenRouting routing(mesh); }, "2D");
+}
+
+} // namespace
+} // namespace turnmodel

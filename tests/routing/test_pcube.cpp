@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Unit tests for e-cube and p-cube routing on hypercubes (Section 5),
+ * including the paper's worked 10-cube example.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/routing/negative_first.hpp"
+#include "core/routing/pcube.hpp"
+#include "topology/hypercube.hpp"
+
+namespace turnmodel {
+namespace {
+
+TEST(ECube, LowestDifferingDimensionFirst)
+{
+    Hypercube cube(6);
+    ECubeRouting routing(cube);
+    const auto dirs = routing.route(0b000000, std::nullopt, 0b101010);
+    ASSERT_EQ(dirs.size(), 1u);
+    EXPECT_EQ(dirs[0].dim, 1);
+}
+
+TEST(ECube, DirectionMatchesBit)
+{
+    Hypercube cube(4);
+    ECubeRouting routing(cube);
+    // Bit must go 1 -> 0: negative travel.
+    const auto down = routing.route(0b0001, std::nullopt, 0b0000);
+    ASSERT_EQ(down.size(), 1u);
+    EXPECT_FALSE(down[0].positive);
+    // Bit must go 0 -> 1: positive travel.
+    const auto up = routing.route(0b0000, std::nullopt, 0b0001);
+    ASSERT_EQ(up.size(), 1u);
+    EXPECT_TRUE(up[0].positive);
+}
+
+TEST(PCube, PhaseOneClearsOnes)
+{
+    Hypercube cube(6);
+    PCubeRouting routing(cube);
+    // C = 110100, D = 001100: C & ~D = 110000 -> dims 4, 5.
+    const auto dirs = routing.route(0b110100, std::nullopt, 0b001100);
+    EXPECT_EQ(dirs.size(), 2u);
+    for (Direction d : dirs) {
+        EXPECT_FALSE(d.positive);
+        EXPECT_TRUE(d.dim == 4 || d.dim == 5);
+    }
+}
+
+TEST(PCube, PhaseTwoSetsZeros)
+{
+    Hypercube cube(6);
+    PCubeRouting routing(cube);
+    // C = 000100, D = 001101: C & ~D = 0 -> phase two, ~C & D =
+    // 001001 -> dims 0 and 3.
+    const auto dirs = routing.route(0b000100, std::nullopt, 0b001101);
+    EXPECT_EQ(dirs.size(), 2u);
+    for (Direction d : dirs)
+        EXPECT_TRUE(d.positive);
+}
+
+TEST(PCube, MatchesNegativeFirstOnHypercube)
+{
+    // p-cube is the hypercube special case of negative-first; their
+    // candidate sets must coincide.
+    Hypercube cube(5);
+    PCubeRouting pcube(cube);
+    NegativeFirstRouting nf(cube);
+    for (NodeId s = 0; s < cube.numNodes(); ++s) {
+        for (NodeId d = 0; d < cube.numNodes(); ++d) {
+            if (s == d)
+                continue;
+            auto a = pcube.route(s, std::nullopt, d);
+            auto b = nf.route(s, std::nullopt, d);
+            std::sort(a.begin(), a.end());
+            std::sort(b.begin(), b.end());
+            EXPECT_EQ(a, b) << s << "->" << d;
+        }
+    }
+}
+
+TEST(PCube, PaperWorkedExampleChoices)
+{
+    // Section 5 table: src 1011010100 -> dst 0010111001, following
+    // the dimensions the paper takes: 2, 9, 6, 5, 0, 3.
+    Hypercube cube(10);
+    PCubeRouting routing(cube);
+    const NodeId dst = 0b0010111001;
+    struct Step
+    {
+        NodeId at;
+        std::size_t choices;
+        std::size_t nonminimal_extra;
+        int dim_taken;
+    };
+    const Step steps[] = {
+        {0b1011010100, 3, 2, 2},
+        {0b1011010000, 2, 2, 9},
+        {0b0011010000, 1, 2, 6},
+        {0b0010010000, 3, 0, 5},
+        {0b0010110000, 2, 0, 0},
+        {0b0010110001, 1, 0, 3},
+    };
+    for (const Step &step : steps) {
+        const auto ch = routing.choices(step.at, dst);
+        EXPECT_EQ(ch.minimal_dims.size(), step.choices)
+            << "at " << step.at;
+        EXPECT_EQ(ch.nonminimal_dims.size(), step.nonminimal_extra)
+            << "at " << step.at;
+        // The dimension the paper takes must be on offer.
+        EXPECT_NE(std::find(ch.minimal_dims.begin(),
+                            ch.minimal_dims.end(), step.dim_taken),
+                  ch.minimal_dims.end())
+            << "at " << step.at;
+    }
+    // Following the paper's choices reaches the destination in 6 hops.
+    NodeId at = steps[0].at;
+    for (const Step &step : steps)
+        at = cube.neighborAcross(at, step.dim_taken);
+    EXPECT_EQ(at, dst);
+}
+
+TEST(PCube, NonminimalAddsPhaseOneOnly)
+{
+    Hypercube cube(6);
+    PCubeRouting minimal(cube, true);
+    PCubeRouting nonminimal(cube, false);
+    for (NodeId s = 0; s < cube.numNodes(); ++s) {
+        for (NodeId d = 0; d < cube.numNodes(); ++d) {
+            if (s == d)
+                continue;
+            const auto base = minimal.route(s, std::nullopt, d);
+            const auto extra = nonminimal.route(s, std::nullopt, d);
+            EXPECT_GE(extra.size(), base.size());
+            // Every minimal candidate survives.
+            for (Direction dir : base) {
+                EXPECT_NE(std::find(extra.begin(), extra.end(), dir),
+                          extra.end());
+            }
+            // Extra candidates are all negative (1 -> 0) moves.
+            for (Direction dir : extra) {
+                if (std::find(base.begin(), base.end(), dir) ==
+                    base.end()) {
+                    EXPECT_FALSE(dir.positive);
+                }
+            }
+        }
+    }
+}
+
+TEST(PCube, NonminimalTerminates)
+{
+    // Even taking every nonminimal option greedily, popcount
+    // decreases in phase one and rises toward D in phase two, so
+    // routes are bounded by 2n hops.
+    Hypercube cube(6);
+    PCubeRouting routing(cube, false);
+    for (NodeId s = 0; s < cube.numNodes(); s += 5) {
+        for (NodeId d = 0; d < cube.numNodes(); d += 3) {
+            if (s == d)
+                continue;
+            NodeId at = s;
+            int hops = 0;
+            while (at != d) {
+                const auto dirs = routing.route(at, std::nullopt, d);
+                ASSERT_FALSE(dirs.empty());
+                // Worst case: always take the last candidate.
+                at = *cube.neighbor(at, dirs.back());
+                ASSERT_LE(++hops, 12);
+            }
+        }
+    }
+}
+
+TEST(PCube, Names)
+{
+    Hypercube cube(4);
+    EXPECT_EQ(PCubeRouting(cube, true).name(), "p-cube");
+    EXPECT_EQ(PCubeRouting(cube, false).name(), "p-cube-nonminimal");
+    EXPECT_EQ(ECubeRouting(cube).name(), "e-cube");
+}
+
+} // namespace
+} // namespace turnmodel

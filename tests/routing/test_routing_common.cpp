@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Shared routing-contract tests: every algorithm, on every topology
+ * it supports, must offer only existing hops, make progress from
+ * every reachable state, and deliver every packet. These are the
+ * invariants the simulator relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/routing/factory.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/mesh.hpp"
+#include "util/rng.hpp"
+
+namespace turnmodel {
+namespace {
+
+TEST(RoutingCommon, MinimalDirections2D)
+{
+    NDMesh mesh = NDMesh::mesh2D(4, 4);
+    const auto dirs = minimalDirections(mesh, mesh.node({1, 1}),
+                                        mesh.node({3, 3}));
+    ASSERT_EQ(dirs.size(), 2u);
+    EXPECT_EQ(dirs[0], dir2d::East);
+    EXPECT_EQ(dirs[1], dir2d::North);
+}
+
+TEST(RoutingCommon, MinimalDirectionsAtDestIsEmpty)
+{
+    NDMesh mesh = NDMesh::mesh2D(4, 4);
+    EXPECT_TRUE(minimalDirections(mesh, 5, 5).empty());
+}
+
+TEST(RoutingCommon, IsProfitable)
+{
+    NDMesh mesh = NDMesh::mesh2D(4, 4);
+    const NodeId src = mesh.node({1, 1});
+    const NodeId dst = mesh.node({3, 1});
+    EXPECT_TRUE(isProfitable(mesh, src, dir2d::East, dst));
+    EXPECT_FALSE(isProfitable(mesh, src, dir2d::West, dst));
+    EXPECT_FALSE(isProfitable(mesh, src, dir2d::North, dst));
+    // Hop off the edge is never profitable.
+    EXPECT_FALSE(isProfitable(mesh, mesh.node({0, 0}), dir2d::West, dst));
+}
+
+/**
+ * Walks every (src, dst) pair with a given algorithm, always taking
+ * the candidate chosen by a seeded RNG, and checks delivery within
+ * the channel-count bound (the livelock-freedom argument of
+ * Section 2: strictly ordered channels bound the path length).
+ */
+void
+walkAllPairs(const RoutingAlgorithm &routing, std::uint64_t seed)
+{
+    const Topology &topo = routing.topology();
+    Rng rng(seed);
+    const int bound = static_cast<int>(topo.countChannels());
+    for (NodeId s = 0; s < topo.numNodes(); ++s) {
+        for (NodeId d = 0; d < topo.numNodes(); ++d) {
+            if (s == d)
+                continue;
+            NodeId at = s;
+            std::optional<Direction> in;
+            int hops = 0;
+            while (at != d) {
+                const auto options = routing.route(at, in, d);
+                ASSERT_FALSE(options.empty())
+                    << routing.name() << " stuck at " << at << " for "
+                    << s << "->" << d;
+                const Direction take =
+                    options[rng.nextBounded(options.size())];
+                const auto next = topo.neighbor(at, take);
+                ASSERT_TRUE(next.has_value())
+                    << routing.name() << " offered a missing hop";
+                at = *next;
+                in = take;
+                ASSERT_LE(++hops, bound)
+                    << routing.name() << " looped on " << s << "->" << d;
+            }
+            if (routing.isMinimal()) {
+                EXPECT_EQ(hops, topo.distance(s, d))
+                    << routing.name() << " non-minimal " << s << "->"
+                    << d;
+            }
+        }
+    }
+}
+
+class MeshAlgorithms : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(MeshAlgorithms, DeliversEverywhereOn2DMesh)
+{
+    NDMesh mesh = NDMesh::mesh2D(5, 4);
+    walkAllPairs(*makeRouting(GetParam(), mesh), 101);
+}
+
+TEST_P(MeshAlgorithms, DeliversEverywhereOnSquareMesh)
+{
+    NDMesh mesh = NDMesh::mesh2D(6, 6);
+    walkAllPairs(*makeRouting(GetParam(), mesh), 202);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mesh2D, MeshAlgorithms,
+    ::testing::Values("xy", "west-first", "north-last", "negative-first",
+                      "abonf", "abopl", "west-first-nonminimal",
+                      "north-last-nonminimal",
+                      "negative-first-nonminimal"));
+
+class CubeAlgorithms : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(CubeAlgorithms, DeliversEverywhereOnHypercube)
+{
+    Hypercube cube(5);
+    walkAllPairs(*makeRouting(GetParam(), cube), 303);
+}
+
+INSTANTIATE_TEST_SUITE_P(Hypercube, CubeAlgorithms,
+                         ::testing::Values("e-cube", "p-cube",
+                                           "p-cube-nonminimal", "abonf",
+                                           "abopl", "negative-first"));
+
+class NDAlgorithms : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(NDAlgorithms, DeliversEverywhereOn3DMesh)
+{
+    NDMesh mesh(Shape{3, 4, 3});
+    walkAllPairs(*makeRouting(GetParam(), mesh), 404);
+}
+
+INSTANTIATE_TEST_SUITE_P(Mesh3D, NDAlgorithms,
+                         ::testing::Values("dimension-order",
+                                           "negative-first", "abonf",
+                                           "abopl"));
+
+} // namespace
+} // namespace turnmodel

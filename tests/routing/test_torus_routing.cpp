@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Unit tests for the k-ary n-cube routing extensions (Section 4.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/channel_dependency.hpp"
+#include "core/routing/factory.hpp"
+#include "core/routing/torus_adapters.hpp"
+#include "topology/torus.hpp"
+#include "util/rng.hpp"
+
+namespace turnmodel {
+namespace {
+
+TEST(WrapFirstHop, WraparoundOnlyOnFirstHop)
+{
+    KAryNCube torus(6, 2);
+    RoutingPtr routing =
+        makeRouting("wrap-first-hop:negative-first", torus);
+    // Injected at the east edge with a west-edge destination: the
+    // wraparound shortcut is available.
+    const NodeId src = torus.node({5, 2});
+    const NodeId dst = torus.node({0, 2});
+    const auto first = routing->route(src, std::nullopt, dst);
+    const bool offers_wrap = std::any_of(
+        first.begin(), first.end(), [&](Direction d) {
+            return torus.isWraparound(src, d);
+        });
+    EXPECT_TRUE(offers_wrap);
+    // After any hop, wraparound hops are no longer offered from an
+    // edge node unless the mesh route uses that channel... the
+    // adapter never offers them: verify for an in-transit state.
+    const auto later = routing->route(src, dir2d::East, dst);
+    for (Direction d : later)
+        EXPECT_FALSE(torus.isWraparound(src, d));
+}
+
+TEST(WrapFirstHop, DeliversEverywhere)
+{
+    KAryNCube torus(5, 2);
+    RoutingPtr routing =
+        makeRouting("wrap-first-hop:negative-first", torus);
+    Rng rng(5);
+    for (NodeId s = 0; s < torus.numNodes(); ++s) {
+        for (NodeId d = 0; d < torus.numNodes(); ++d) {
+            if (s == d)
+                continue;
+            NodeId at = s;
+            std::optional<Direction> in;
+            int hops = 0;
+            while (at != d) {
+                const auto dirs = routing->route(at, in, d);
+                ASSERT_FALSE(dirs.empty()) << s << "->" << d;
+                const Direction take =
+                    dirs[rng.nextBounded(dirs.size())];
+                at = *torus.neighbor(at, take);
+                in = take;
+                ASSERT_LE(++hops, 64);
+            }
+        }
+    }
+}
+
+TEST(WrapFirstHop, DeadlockFree)
+{
+    KAryNCube torus(4, 2);
+    EXPECT_TRUE(isDeadlockFree(
+        *makeRouting("wrap-first-hop:negative-first", torus)));
+    EXPECT_TRUE(isDeadlockFree(
+        *makeRouting("wrap-first-hop:dimension-order", torus)));
+}
+
+TEST(WrapFirstHop, NameCombinesParts)
+{
+    KAryNCube torus(4, 2);
+    EXPECT_EQ(makeRouting("wrap-first-hop:negative-first", torus)->name(),
+              "negative-first+wrap-first-hop");
+}
+
+TEST(TorusNegativeFirst, OffersWraparoundShortcutInPhaseOne)
+{
+    KAryNCube torus(8, 2);
+    TorusNegativeFirstRouting routing(torus);
+    // From x=7 to x=1: around the top (1 + 1 hops) beats 6 mesh hops.
+    const auto dirs = routing.route(torus.node({7, 3}), std::nullopt,
+                                    torus.node({1, 3}));
+    const bool offers_wrap = std::any_of(
+        dirs.begin(), dirs.end(),
+        [](Direction d) { return d == dir2d::East; });
+    EXPECT_TRUE(offers_wrap);
+    // The mesh-negative hop is also on offer.
+    EXPECT_NE(std::find(dirs.begin(), dirs.end(), dir2d::West),
+              dirs.end());
+}
+
+TEST(TorusNegativeFirst, NoShortcutWhenMeshIsCloser)
+{
+    KAryNCube torus(8, 2);
+    TorusNegativeFirstRouting routing(torus);
+    // From x=7 to x=5: two mesh hops, the wraparound would cost 1+5.
+    const auto dirs = routing.route(torus.node({7, 3}), std::nullopt,
+                                    torus.node({5, 3}));
+    ASSERT_EQ(dirs.size(), 1u);
+    EXPECT_EQ(dirs[0], dir2d::West);
+}
+
+TEST(TorusNegativeFirst, PhaseTwoWraparoundOnlyToEdgeDestination)
+{
+    KAryNCube torus(8, 2);
+    TorusNegativeFirstRouting routing(torus);
+    // From x=0 to x=7: the -x wraparound lands exactly on the
+    // destination column.
+    const auto dirs = routing.route(torus.node({0, 3}), std::nullopt,
+                                    torus.node({7, 3}));
+    EXPECT_NE(std::find(dirs.begin(), dirs.end(), dir2d::West),
+              dirs.end());
+    // From x=0 to x=6: overshooting to 7 would strand the packet.
+    const auto dirs2 = routing.route(torus.node({0, 3}), std::nullopt,
+                                     torus.node({6, 3}));
+    EXPECT_EQ(std::find(dirs2.begin(), dirs2.end(), dir2d::West),
+              dirs2.end());
+}
+
+TEST(TorusNegativeFirst, DeliversEverywhere)
+{
+    KAryNCube torus(5, 2);
+    TorusNegativeFirstRouting routing(torus);
+    Rng rng(17);
+    for (NodeId s = 0; s < torus.numNodes(); ++s) {
+        for (NodeId d = 0; d < torus.numNodes(); ++d) {
+            if (s == d)
+                continue;
+            NodeId at = s;
+            std::optional<Direction> in;
+            int hops = 0;
+            while (at != d) {
+                const auto dirs = routing.route(at, in, d);
+                ASSERT_FALSE(dirs.empty()) << s << "->" << d;
+                const Direction take =
+                    dirs[rng.nextBounded(dirs.size())];
+                at = *torus.neighbor(at, take);
+                in = take;
+                ASSERT_LE(++hops, 64);
+            }
+        }
+    }
+}
+
+TEST(TorusNegativeFirst, DeadlockFreeOnSmallTori)
+{
+    for (int k : {3, 4, 5}) {
+        KAryNCube torus(k, 2);
+        EXPECT_TRUE(isDeadlockFree(TorusNegativeFirstRouting(torus)))
+            << k << "-ary";
+    }
+}
+
+TEST(TorusNegativeFirst, StrictlyNonminimalFlag)
+{
+    KAryNCube torus(4, 2);
+    EXPECT_FALSE(TorusNegativeFirstRouting(torus).isMinimal());
+    RoutingPtr wrap = makeRouting("wrap-first-hop:negative-first", torus);
+    EXPECT_FALSE(wrap->isMinimal());
+}
+
+TEST(TorusNegativeFirstDeathTest, RequiresKGreaterTwo)
+{
+    KAryNCube cube(2, 4);
+    EXPECT_DEATH({ TorusNegativeFirstRouting routing(cube); }, "k > 2");
+}
+
+} // namespace
+} // namespace turnmodel

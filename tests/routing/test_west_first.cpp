@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Unit tests for west-first routing (Section 3.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/routing/west_first.hpp"
+#include "core/turn_set.hpp"
+#include "topology/mesh.hpp"
+#include "util/rng.hpp"
+
+namespace turnmodel {
+namespace {
+
+bool
+offers(const std::vector<Direction> &dirs, Direction d)
+{
+    return std::find(dirs.begin(), dirs.end(), d) != dirs.end();
+}
+
+TEST(WestFirst, WestboundIsForcedWest)
+{
+    NDMesh mesh = NDMesh::mesh2D(8, 8);
+    WestFirstRouting routing(mesh);
+    // Destination to the south-west: only west until the column
+    // matches.
+    const auto dirs = routing.route(mesh.node({5, 5}), std::nullopt,
+                                    mesh.node({2, 1}));
+    ASSERT_EQ(dirs.size(), 1u);
+    EXPECT_EQ(dirs[0], dir2d::West);
+}
+
+TEST(WestFirst, EastboundIsFullyAdaptive)
+{
+    NDMesh mesh = NDMesh::mesh2D(8, 8);
+    WestFirstRouting routing(mesh);
+    const auto dirs = routing.route(mesh.node({1, 5}), std::nullopt,
+                                    mesh.node({4, 1}));
+    EXPECT_EQ(dirs.size(), 2u);
+    EXPECT_TRUE(offers(dirs, dir2d::East));
+    EXPECT_TRUE(offers(dirs, dir2d::South));
+}
+
+TEST(WestFirst, ThreeWayAdaptiveNever)
+{
+    // At most two productive directions exist for a 2D minimal
+    // route; the set is never empty and never contains west together
+    // with others.
+    NDMesh mesh = NDMesh::mesh2D(6, 6);
+    WestFirstRouting routing(mesh);
+    for (NodeId s = 0; s < mesh.numNodes(); ++s) {
+        for (NodeId d = 0; d < mesh.numNodes(); ++d) {
+            if (s == d)
+                continue;
+            const auto dirs = routing.route(s, std::nullopt, d);
+            ASSERT_FALSE(dirs.empty());
+            EXPECT_LE(dirs.size(), 2u);
+            if (offers(dirs, dir2d::West)) {
+                EXPECT_EQ(dirs.size(), 1u);
+            }
+        }
+    }
+}
+
+TEST(WestFirst, OnlyProfitableHops)
+{
+    NDMesh mesh = NDMesh::mesh2D(6, 6);
+    WestFirstRouting routing(mesh);
+    for (NodeId s = 0; s < mesh.numNodes(); ++s) {
+        for (NodeId d = 0; d < mesh.numNodes(); ++d) {
+            if (s == d)
+                continue;
+            for (Direction dir : routing.route(s, std::nullopt, d))
+                EXPECT_TRUE(isProfitable(mesh, s, dir, d));
+        }
+    }
+}
+
+TEST(WestFirst, NeverUsesProhibitedTurns)
+{
+    // Walk random routes and verify no turn into west ever occurs
+    // after a non-west hop — the defining prohibition (Figure 5a).
+    NDMesh mesh = NDMesh::mesh2D(8, 8);
+    WestFirstRouting routing(mesh);
+    const TurnSet set = TurnSet::westFirst();
+    Rng rng(99);
+    for (int trial = 0; trial < 2000; ++trial) {
+        const NodeId s = static_cast<NodeId>(
+            rng.nextBounded(mesh.numNodes()));
+        const NodeId d = static_cast<NodeId>(
+            rng.nextBounded(mesh.numNodes()));
+        if (s == d)
+            continue;
+        NodeId at = s;
+        std::optional<Direction> in;
+        while (at != d) {
+            const auto options = routing.route(at, in, d);
+            const Direction take =
+                options[rng.nextBounded(options.size())];
+            if (in) {
+                EXPECT_TRUE(set.isAllowed(Turn(*in, take)))
+                    << Turn(*in, take).toString();
+            }
+            at = *mesh.neighbor(at, take);
+            in = take;
+        }
+    }
+}
+
+TEST(WestFirst, PureWestRoute)
+{
+    NDMesh mesh = NDMesh::mesh2D(8, 8);
+    WestFirstRouting routing(mesh);
+    NodeId at = mesh.node({7, 3});
+    const NodeId dst = mesh.node({0, 3});
+    int hops = 0;
+    while (at != dst) {
+        const auto dirs = routing.route(at, std::nullopt, dst);
+        ASSERT_EQ(dirs.size(), 1u);
+        EXPECT_EQ(dirs[0], dir2d::West);
+        at = *mesh.neighbor(at, dirs[0]);
+        ++hops;
+    }
+    EXPECT_EQ(hops, 7);
+}
+
+TEST(WestFirstDeathTest, Requires2D)
+{
+    NDMesh mesh(Shape{4, 4, 4});
+    EXPECT_DEATH({ WestFirstRouting routing(mesh); }, "2D");
+}
+
+} // namespace
+} // namespace turnmodel

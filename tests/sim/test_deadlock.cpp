@@ -1,0 +1,130 @@
+/**
+ * @file
+ * End-to-end deadlock tests: routing with intact turn cycles
+ * deadlocks in simulation under the drain criterion, while the
+ * paper's partially adaptive algorithms always drain.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/routing/factory.hpp"
+#include "core/routing/turn_table.hpp"
+#include "sim/network.hpp"
+#include "topology/mesh.hpp"
+#include "traffic/permutation.hpp"
+
+namespace turnmodel {
+namespace {
+
+/** Quarter-rotation permutation: every packet turns the same way. */
+class RotationPattern : public PermutationTraffic
+{
+  public:
+    explicit RotationPattern(const Topology &topo)
+        : PermutationTraffic(topo)
+    {
+    }
+
+    NodeId map(NodeId src) const override
+    {
+        const Coords c = topo_.coords(src);
+        const int m = topo_.radix(0);
+        return topo_.node({c[1], m - 1 - c[0]});
+    }
+
+    std::string name() const override { return "rotation"; }
+};
+
+/**
+ * Saturate the network, stop generation, and try to drain.
+ *
+ * @return true when every flit left the network (deadlock free).
+ */
+bool
+drains(const RoutingAlgorithm &routing, const TrafficPattern &pattern,
+       std::uint64_t seed)
+{
+    SimConfig cfg;
+    cfg.injection_rate = 0.9;
+    cfg.seed = seed;
+    cfg.output_selection = OutputSelection::Random;
+    Network net(routing, pattern, cfg);
+    while (net.now() < 4000)
+        net.step();
+    net.setGenerationEnabled(false);
+    while (net.now() < 200000 && net.stallCycles() < 2000 &&
+           (net.counters().flits_in_network > 0 ||
+            net.sourceQueuePackets() > 0)) {
+        net.step();
+    }
+    return net.counters().flits_in_network == 0;
+}
+
+TEST(Deadlock, FullyAdaptiveMinimalDeadlocks)
+{
+    NDMesh mesh = NDMesh::mesh2D(8, 8);
+    TurnSet all(2);
+    all.allowAll90();
+    all.allowAllStraight();
+    TurnTableRouting routing(mesh, all, true, "fully-adaptive");
+    RotationPattern rotation(mesh);
+    EXPECT_FALSE(drains(routing, rotation, 11));
+}
+
+TEST(Deadlock, ReversePairProhibitionDeadlocks)
+{
+    // One of the four Figure 4 configurations.
+    NDMesh mesh = NDMesh::mesh2D(8, 8);
+    TurnSet set = TurnSet::twoProhibited2D(
+        Turn(dir2d::North, dir2d::West), Turn(dir2d::West, dir2d::North));
+    TurnTableRouting routing(mesh, set, true, "figure-4");
+    RotationPattern rotation(mesh);
+    EXPECT_FALSE(drains(routing, rotation, 13));
+}
+
+class DeadlockFreeAlgorithms
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(DeadlockFreeAlgorithms, AlwaysDrains)
+{
+    NDMesh mesh = NDMesh::mesh2D(8, 8);
+    RoutingPtr routing = makeRouting(GetParam(), mesh);
+    RotationPattern rotation(mesh);
+    EXPECT_TRUE(drains(*routing, rotation, 17)) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, DeadlockFreeAlgorithms,
+                         ::testing::Values("xy", "west-first",
+                                           "north-last",
+                                           "negative-first", "abonf",
+                                           "abopl"));
+
+TEST(Deadlock, WatchdogFiresOnGlobalStall)
+{
+    // Once only the deadlocked packets remain, nothing moves and the
+    // stall counter climbs monotonically.
+    NDMesh mesh = NDMesh::mesh2D(8, 8);
+    TurnSet all(2);
+    all.allowAll90();
+    all.allowAllStraight();
+    TurnTableRouting routing(mesh, all, true);
+    RotationPattern rotation(mesh);
+    SimConfig cfg;
+    cfg.injection_rate = 0.9;
+    cfg.deadlock_threshold = 1500;
+    cfg.output_selection = OutputSelection::Random;
+    Network net(routing, rotation, cfg);
+    while (net.now() < 4000)
+        net.step();
+    net.setGenerationEnabled(false);
+    while (net.now() < 200000 && net.stallCycles() < 2000)
+        net.step();
+    EXPECT_GE(net.stallCycles(), 2000u);
+    EXPECT_TRUE(net.deadlockDetected());
+    EXPECT_FALSE(net.stuckPackets(1500).empty());
+}
+
+} // namespace
+} // namespace turnmodel

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Property sweeps over the simulator: invariants that must hold for
+ * any seed, load, algorithm, and buffer depth — flit conservation,
+ * latency bounds, monotone congestion behaviour, and determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/routing/factory.hpp"
+#include "sim/simulator.hpp"
+#include "topology/mesh.hpp"
+#include "traffic/pattern.hpp"
+
+namespace turnmodel {
+namespace {
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(SeedSweep, ConservationAndSanity)
+{
+    NDMesh mesh = NDMesh::mesh2D(8, 8);
+    RoutingPtr routing = makeRouting("west-first", mesh);
+    PatternPtr pattern = makePattern("uniform", mesh);
+    SimConfig cfg;
+    cfg.seed = GetParam();
+    cfg.injection_rate = 0.06;
+    cfg.warmup_cycles = 800;
+    cfg.measure_cycles = 3000;
+    Simulator sim(*routing, *pattern, cfg);
+    const SimResult r = sim.run();
+    EXPECT_FALSE(r.deadlocked);
+    EXPECT_GT(r.packets_measured, 20u);
+    // No packet can beat the physical floor: one hop plus the
+    // shortest packet, in cycles.
+    EXPECT_GT(r.avg_latency_us, (1.0 + 10.0) * cfg.cycleUs());
+    // Network latency cannot exceed total latency.
+    EXPECT_LE(r.avg_network_latency_us, r.avg_latency_us + 1e-12);
+    // p99 at least the mean (heavy right tail by construction).
+    EXPECT_GE(r.p99_latency_us, r.avg_latency_us * 0.5);
+    const auto &c = sim.network().counters();
+    EXPECT_EQ(c.flits_generated,
+              c.flits_delivered + c.flits_in_network +
+                  c.source_queue_flits);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34,
+                                           55, 89));
+
+TEST(SimProperties, LatencyRisesWithLoad)
+{
+    NDMesh mesh = NDMesh::mesh2D(8, 8);
+    RoutingPtr routing = makeRouting("xy", mesh);
+    PatternPtr pattern = makePattern("uniform", mesh);
+    double last = 0.0;
+    for (double rate : {0.02, 0.08, 0.20}) {
+        SimConfig cfg;
+        cfg.injection_rate = rate;
+        cfg.warmup_cycles = 1500;
+        cfg.measure_cycles = 6000;
+        Simulator sim(*routing, *pattern, cfg);
+        const SimResult r = sim.run();
+        EXPECT_GT(r.avg_latency_us, last * 0.95) << "rate " << rate;
+        last = r.avg_latency_us;
+    }
+}
+
+TEST(SimProperties, ThroughputCappedByOfferedLoad)
+{
+    NDMesh mesh = NDMesh::mesh2D(8, 8);
+    PatternPtr pattern = makePattern("transpose", mesh);
+    for (const char *algo : {"xy", "negative-first"}) {
+        RoutingPtr routing = makeRouting(algo, mesh);
+        for (double rate : {0.03, 0.10, 0.40}) {
+            SimConfig cfg;
+            cfg.injection_rate = rate;
+            cfg.warmup_cycles = 1000;
+            cfg.measure_cycles = 4000;
+            Simulator sim(*routing, *pattern, cfg);
+            const SimResult r = sim.run();
+            // A small transient overshoot is possible (packets
+            // injected during warmup draining in the window).
+            EXPECT_LT(r.throughput_flits_per_us,
+                      r.offered_flits_per_us * 1.25)
+                << algo << " rate " << rate;
+        }
+    }
+}
+
+TEST(SimProperties, BufferDepthNeverHurtsThroughputMuch)
+{
+    NDMesh mesh = NDMesh::mesh2D(8, 8);
+    RoutingPtr routing = makeRouting("west-first", mesh);
+    PatternPtr pattern = makePattern("transpose", mesh);
+    double depth1 = 0.0;
+    for (std::uint32_t depth : {1u, 4u}) {
+        SimConfig cfg;
+        cfg.injection_rate = 0.15;
+        cfg.warmup_cycles = 1500;
+        cfg.measure_cycles = 6000;
+        cfg.buffer_depth = depth;
+        Simulator sim(*routing, *pattern, cfg);
+        const SimResult r = sim.run();
+        if (depth == 1)
+            depth1 = r.throughput_flits_per_us;
+        else
+            EXPECT_GT(r.throughput_flits_per_us, depth1 * 0.9);
+    }
+}
+
+TEST(SimProperties, SaturationThroughputStabilizes)
+{
+    // Beyond saturation, delivered throughput must not keep scaling
+    // with offered load.
+    NDMesh mesh = NDMesh::mesh2D(8, 8);
+    RoutingPtr routing = makeRouting("xy", mesh);
+    PatternPtr pattern = makePattern("transpose", mesh);
+    double at_high = 0.0, at_extreme = 0.0;
+    for (double rate : {0.5, 1.0}) {
+        SimConfig cfg;
+        cfg.injection_rate = rate;
+        cfg.warmup_cycles = 2000;
+        cfg.measure_cycles = 8000;
+        Simulator sim(*routing, *pattern, cfg);
+        const SimResult r = sim.run();
+        EXPECT_TRUE(r.saturated);
+        (rate == 0.5 ? at_high : at_extreme) =
+            r.throughput_flits_per_us;
+    }
+    EXPECT_LT(at_extreme, at_high * 1.5);
+}
+
+TEST(SimProperties, WarmupLengthDoesNotChangeStableThroughput)
+{
+    NDMesh mesh = NDMesh::mesh2D(8, 8);
+    RoutingPtr routing = makeRouting("negative-first", mesh);
+    PatternPtr pattern = makePattern("uniform", mesh);
+    double short_warmup = 0.0, long_warmup = 0.0;
+    for (std::uint64_t warmup : {1000ull, 4000ull}) {
+        SimConfig cfg;
+        cfg.injection_rate = 0.05;
+        cfg.warmup_cycles = warmup;
+        cfg.measure_cycles = 8000;
+        Simulator sim(*routing, *pattern, cfg);
+        const SimResult r = sim.run();
+        (warmup == 1000 ? short_warmup : long_warmup) =
+            r.throughput_flits_per_us;
+    }
+    EXPECT_NEAR(short_warmup, long_warmup, short_warmup * 0.1);
+}
+
+class AlgorithmLoadSweep
+    : public ::testing::TestWithParam<std::tuple<const char *, double>>
+{
+};
+
+TEST_P(AlgorithmLoadSweep, NoDeadlockAndConservation)
+{
+    const auto [algo, rate] = GetParam();
+    NDMesh mesh = NDMesh::mesh2D(8, 8);
+    RoutingPtr routing = makeRouting(algo, mesh);
+    PatternPtr pattern = makePattern("transpose", mesh);
+    SimConfig cfg;
+    cfg.injection_rate = rate;
+    cfg.warmup_cycles = 1000;
+    cfg.measure_cycles = 4000;
+    Simulator sim(*routing, *pattern, cfg);
+    const SimResult r = sim.run();
+    EXPECT_FALSE(r.deadlocked) << algo << " @ " << rate;
+    const auto &c = sim.network().counters();
+    EXPECT_EQ(c.flits_generated,
+              c.flits_delivered + c.flits_in_network +
+                  c.source_queue_flits);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AlgorithmLoadSweep,
+    ::testing::Combine(::testing::Values("xy", "west-first",
+                                         "north-last", "negative-first",
+                                         "odd-even"),
+                       ::testing::Values(0.05, 0.25, 0.8)));
+
+} // namespace
+} // namespace turnmodel

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Unit tests for the input and output selection policies.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/selection.hpp"
+
+namespace turnmodel {
+namespace {
+
+TEST(OutputSelection, LowestDimPicksLowestId)
+{
+    Rng rng(1);
+    const std::vector<Direction> c{dir2d::North, dir2d::East,
+                                   dir2d::South};
+    EXPECT_EQ(selectOutput(OutputSelection::LowestDim, c, std::nullopt,
+                           rng),
+              dir2d::East);
+}
+
+TEST(OutputSelection, HighestDimPicksHighestId)
+{
+    Rng rng(1);
+    const std::vector<Direction> c{dir2d::East, dir2d::South,
+                                   dir2d::North};
+    EXPECT_EQ(selectOutput(OutputSelection::HighestDim, c, std::nullopt,
+                           rng),
+              dir2d::North);
+}
+
+TEST(OutputSelection, SingleCandidateShortCircuits)
+{
+    Rng rng(1);
+    const std::vector<Direction> c{dir2d::South};
+    for (auto policy :
+         {OutputSelection::LowestDim, OutputSelection::HighestDim,
+          OutputSelection::Random, OutputSelection::StraightFirst}) {
+        EXPECT_EQ(selectOutput(policy, c, dir2d::East, rng),
+                  dir2d::South);
+    }
+}
+
+TEST(OutputSelection, StraightFirstPrefersSameDirection)
+{
+    Rng rng(1);
+    const std::vector<Direction> c{dir2d::East, dir2d::North};
+    EXPECT_EQ(selectOutput(OutputSelection::StraightFirst, c,
+                           dir2d::North, rng),
+              dir2d::North);
+    // No straight candidate: falls back to lowest.
+    EXPECT_EQ(selectOutput(OutputSelection::StraightFirst, c,
+                           dir2d::South, rng),
+              dir2d::East);
+    // Injection (no arrival direction): lowest.
+    EXPECT_EQ(selectOutput(OutputSelection::StraightFirst, c,
+                           std::nullopt, rng),
+              dir2d::East);
+}
+
+TEST(OutputSelection, RandomCoversAllCandidates)
+{
+    Rng rng(5);
+    const std::vector<Direction> c{dir2d::East, dir2d::North,
+                                   dir2d::South};
+    std::set<DirId> seen;
+    for (int i = 0; i < 200; ++i)
+        seen.insert(selectOutput(OutputSelection::Random, c,
+                                 std::nullopt, rng).id());
+    EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(InputSelection, FcfsPicksEarliestArrival)
+{
+    Rng rng(1);
+    const std::vector<InputRequest> reqs{
+        {10, 500}, {11, 300}, {12, 400}};
+    EXPECT_EQ(selectInput(InputSelection::Fcfs, reqs, rng), 1u);
+}
+
+TEST(InputSelection, FcfsBreaksTiesByPort)
+{
+    Rng rng(1);
+    const std::vector<InputRequest> reqs{{12, 300}, {10, 300}};
+    EXPECT_EQ(selectInput(InputSelection::Fcfs, reqs, rng), 1u);
+}
+
+TEST(InputSelection, FixedPriorityPicksLowestPort)
+{
+    Rng rng(1);
+    const std::vector<InputRequest> reqs{
+        {12, 100}, {10, 900}, {11, 200}};
+    EXPECT_EQ(selectInput(InputSelection::FixedPriority, reqs, rng), 1u);
+}
+
+TEST(InputSelection, RandomCoversAllRequests)
+{
+    Rng rng(7);
+    const std::vector<InputRequest> reqs{{1, 0}, {2, 0}, {3, 0}};
+    std::set<std::size_t> seen;
+    for (int i = 0; i < 200; ++i)
+        seen.insert(selectInput(InputSelection::Random, reqs, rng));
+    EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(InputSelection, SingleRequestShortCircuits)
+{
+    Rng rng(1);
+    const std::vector<InputRequest> reqs{{5, 123}};
+    for (auto policy :
+         {InputSelection::Fcfs, InputSelection::Random,
+          InputSelection::FixedPriority}) {
+        EXPECT_EQ(selectInput(policy, reqs, rng), 0u);
+    }
+}
+
+TEST(PolicyNames, ToString)
+{
+    EXPECT_STREQ(toString(InputSelection::Fcfs), "fcfs");
+    EXPECT_STREQ(toString(OutputSelection::LowestDim), "lowest-dim");
+    EXPECT_STREQ(toString(OutputSelection::StraightFirst),
+                 "straight-first");
+}
+
+} // namespace
+} // namespace turnmodel

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for the measurement driver: latency/throughput accounting,
+ * determinism, and saturation flagging.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/routing/factory.hpp"
+#include "sim/simulator.hpp"
+#include "topology/mesh.hpp"
+#include "traffic/pattern.hpp"
+
+namespace turnmodel {
+namespace {
+
+SimConfig
+quickConfig(double rate)
+{
+    SimConfig cfg;
+    cfg.injection_rate = rate;
+    cfg.warmup_cycles = 1000;
+    cfg.measure_cycles = 4000;
+    return cfg;
+}
+
+TEST(Simulator, ModerateLoadDeliversTraffic)
+{
+    NDMesh mesh = NDMesh::mesh2D(8, 8);
+    RoutingPtr routing = makeRouting("xy", mesh);
+    PatternPtr pattern = makePattern("uniform", mesh);
+    Simulator sim(*routing, *pattern, quickConfig(0.05));
+    const SimResult r = sim.run();
+    EXPECT_GT(r.packets_measured, 50u);
+    EXPECT_GT(r.throughput_flits_per_us, 0.0);
+    EXPECT_GT(r.avg_latency_us, 0.0);
+    EXPECT_GT(r.avg_hops, 1.0);
+    EXPECT_FALSE(r.saturated);
+    EXPECT_FALSE(r.deadlocked);
+}
+
+TEST(Simulator, NetworkLatencyBelowTotalLatency)
+{
+    NDMesh mesh = NDMesh::mesh2D(8, 8);
+    RoutingPtr routing = makeRouting("west-first", mesh);
+    PatternPtr pattern = makePattern("uniform", mesh);
+    Simulator sim(*routing, *pattern, quickConfig(0.05));
+    const SimResult r = sim.run();
+    EXPECT_LE(r.avg_network_latency_us, r.avg_latency_us + 1e-9);
+}
+
+TEST(Simulator, ThroughputTracksOfferedLoadBelowSaturation)
+{
+    NDMesh mesh = NDMesh::mesh2D(8, 8);
+    RoutingPtr routing = makeRouting("xy", mesh);
+    PatternPtr pattern = makePattern("uniform", mesh);
+    SimConfig cfg = quickConfig(0.04);
+    cfg.measure_cycles = 8000;
+    Simulator sim(*routing, *pattern, cfg);
+    const SimResult r = sim.run();
+    EXPECT_NEAR(r.throughput_flits_per_us, r.offered_flits_per_us,
+                r.offered_flits_per_us * 0.15);
+}
+
+TEST(Simulator, OverloadIsFlaggedSaturated)
+{
+    NDMesh mesh = NDMesh::mesh2D(8, 8);
+    RoutingPtr routing = makeRouting("xy", mesh);
+    PatternPtr pattern = makePattern("transpose", mesh);
+    Simulator sim(*routing, *pattern, quickConfig(0.9));
+    const SimResult r = sim.run();
+    EXPECT_TRUE(r.saturated);
+    // Delivered throughput stays below offered.
+    EXPECT_LT(r.throughput_flits_per_us, r.offered_flits_per_us);
+}
+
+TEST(Simulator, SameSeedIsDeterministic)
+{
+    NDMesh mesh = NDMesh::mesh2D(6, 6);
+    RoutingPtr routing = makeRouting("negative-first", mesh);
+    PatternPtr pattern = makePattern("uniform", mesh);
+    SimConfig cfg = quickConfig(0.08);
+    cfg.seed = 77;
+    const SimResult a = Simulator(*routing, *pattern, cfg).run();
+    const SimResult b = Simulator(*routing, *pattern, cfg).run();
+    EXPECT_DOUBLE_EQ(a.throughput_flits_per_us,
+                     b.throughput_flits_per_us);
+    EXPECT_DOUBLE_EQ(a.avg_latency_us, b.avg_latency_us);
+    EXPECT_EQ(a.packets_measured, b.packets_measured);
+}
+
+TEST(Simulator, DifferentSeedsDiffer)
+{
+    NDMesh mesh = NDMesh::mesh2D(6, 6);
+    RoutingPtr routing = makeRouting("negative-first", mesh);
+    PatternPtr pattern = makePattern("uniform", mesh);
+    SimConfig cfg = quickConfig(0.08);
+    cfg.seed = 1;
+    const SimResult a = Simulator(*routing, *pattern, cfg).run();
+    cfg.seed = 2;
+    const SimResult b = Simulator(*routing, *pattern, cfg).run();
+    EXPECT_NE(a.packets_measured, b.packets_measured);
+}
+
+TEST(Simulator, OfferedLoadFormula)
+{
+    // 64 nodes at 0.05 flits/node/cycle and 20 flits/us channels:
+    // 64 * 0.05 * 20 = 64 flits/us offered.
+    NDMesh mesh = NDMesh::mesh2D(8, 8);
+    RoutingPtr routing = makeRouting("xy", mesh);
+    PatternPtr pattern = makePattern("uniform", mesh);
+    Simulator sim(*routing, *pattern, quickConfig(0.05));
+    const SimResult r = sim.run();
+    EXPECT_DOUBLE_EQ(r.offered_flits_per_us, 64.0);
+}
+
+TEST(Simulator, HopsExceedOneOnAverage)
+{
+    NDMesh mesh = NDMesh::mesh2D(8, 8);
+    RoutingPtr routing = makeRouting("xy", mesh);
+    PatternPtr pattern = makePattern("uniform", mesh);
+    Simulator sim(*routing, *pattern, quickConfig(0.03));
+    const SimResult r = sim.run();
+    // Uniform 8x8 mesh: ~5.3 hops average plus the ejection hop.
+    EXPECT_GT(r.avg_hops, 4.0);
+    EXPECT_LT(r.avg_hops, 8.0);
+}
+
+} // namespace
+} // namespace turnmodel

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tests for the sweep harness shared by the figure benchmarks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/routing/factory.hpp"
+#include "sim/sweep.hpp"
+#include "topology/mesh.hpp"
+
+namespace turnmodel {
+namespace {
+
+TEST(Sweep, LadderEndpointsAndMonotonicity)
+{
+    const auto rates = SweepConfig::ladder(0.01, 0.64, 7);
+    ASSERT_EQ(rates.size(), 7u);
+    EXPECT_DOUBLE_EQ(rates.front(), 0.01);
+    EXPECT_NEAR(rates.back(), 0.64, 1e-9);
+    for (std::size_t i = 1; i < rates.size(); ++i)
+        EXPECT_GT(rates[i], rates[i - 1]);
+}
+
+TEST(Sweep, LadderIsGeometric)
+{
+    const auto rates = SweepConfig::ladder(0.1, 0.8, 4);
+    const double r0 = rates[1] / rates[0];
+    for (std::size_t i = 2; i < rates.size(); ++i)
+        EXPECT_NEAR(rates[i] / rates[i - 1], r0, 1e-9);
+}
+
+TEST(Sweep, RunsAllPointsBelowSaturation)
+{
+    NDMesh mesh = NDMesh::mesh2D(6, 6);
+    RoutingPtr routing = makeRouting("xy", mesh);
+    PatternPtr pattern = makePattern("uniform", mesh);
+    SweepConfig cfg;
+    cfg.injection_rates = {0.01, 0.02, 0.03};
+    cfg.sim.warmup_cycles = 500;
+    cfg.sim.measure_cycles = 2000;
+    const SweepSeries series = runSweep(*routing, *pattern, cfg);
+    EXPECT_EQ(series.algorithm, "xy");
+    EXPECT_EQ(series.points.size(), 3u);
+    EXPECT_GT(series.maxSustainableThroughput(), 0.0);
+}
+
+TEST(Sweep, StopsAfterConsecutiveSaturation)
+{
+    NDMesh mesh = NDMesh::mesh2D(6, 6);
+    RoutingPtr routing = makeRouting("xy", mesh);
+    PatternPtr pattern = makePattern("transpose", mesh);
+    SweepConfig cfg;
+    // Every point far beyond saturation.
+    cfg.injection_rates = {0.9, 0.95, 1.0, 1.05, 1.1, 1.15};
+    cfg.stop_after_saturated = 2;
+    cfg.sim.warmup_cycles = 500;
+    cfg.sim.measure_cycles = 2000;
+    const SweepSeries series = runSweep(*routing, *pattern, cfg);
+    EXPECT_EQ(series.points.size(), 2u);
+}
+
+TEST(Sweep, PrintSeriesEmitsTableAndCsv)
+{
+    NDMesh mesh = NDMesh::mesh2D(6, 6);
+    RoutingPtr routing = makeRouting("west-first", mesh);
+    PatternPtr pattern = makePattern("uniform", mesh);
+    SweepConfig cfg;
+    cfg.injection_rates = {0.02, 0.04};
+    cfg.sim.warmup_cycles = 500;
+    cfg.sim.measure_cycles = 1500;
+    const SweepSeries series = runSweep(*routing, *pattern, cfg);
+    std::ostringstream os;
+    printSeries(os, "unit-test-experiment", {series});
+    const std::string text = os.str();
+    EXPECT_NE(text.find("unit-test-experiment"), std::string::npos);
+    EXPECT_NE(text.find("west-first"), std::string::npos);
+    EXPECT_NE(text.find("max sustainable"), std::string::npos);
+    EXPECT_NE(text.find("experiment,algorithm,injection_rate"),
+              std::string::npos);
+    // Two CSV data rows for the two points.
+    EXPECT_NE(text.find("unit-test-experiment,west-first,0.02"),
+              std::string::npos);
+    EXPECT_NE(text.find("unit-test-experiment,west-first,0.04"),
+              std::string::npos);
+}
+
+TEST(SweepDeathTest, LadderValidatesArguments)
+{
+    EXPECT_DEATH({ (void)SweepConfig::ladder(0.0, 1.0, 5); },
+                 "ladder");
+    EXPECT_DEATH({ (void)SweepConfig::ladder(0.5, 0.2, 5); },
+                 "ladder");
+    EXPECT_DEATH({ (void)SweepConfig::ladder(0.1, 0.2, 1); },
+                 "ladder");
+}
+
+} // namespace
+} // namespace turnmodel

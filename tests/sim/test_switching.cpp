@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Switching-technique tests: the Section 1 background claim that
+ * wormhole (and virtual cut-through) latency is proportional to
+ * packet length PLUS distance while store-and-forward latency is
+ * proportional to their PRODUCT.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/routing/factory.hpp"
+#include "sim/network.hpp"
+#include "topology/mesh.hpp"
+
+namespace turnmodel {
+namespace {
+
+class SilentPattern : public TrafficPattern
+{
+  public:
+    std::optional<NodeId> destination(NodeId, Rng &) const override
+    {
+        return std::nullopt;
+    }
+    std::string name() const override { return "silent"; }
+    bool isDeterministic() const override { return true; }
+};
+
+double
+lonePacketLatency(Switching mode, int hops, std::uint32_t length)
+{
+    NDMesh mesh = NDMesh::mesh2D(16, 2);
+    RoutingPtr routing = makeRouting("xy", mesh);
+    SilentPattern silent;
+    SimConfig cfg;
+    cfg.switching = mode;
+    cfg.lengths = PacketLengthDist::fixed(length);
+    if (mode == Switching::StoreAndForward)
+        cfg.buffer_depth = length;
+    Network net(*routing, silent, cfg);
+    net.post(mesh.node({0, 0}),
+             mesh.node({hops, 0}), length);
+    while (net.now() < 100000) {
+        net.step();
+        const auto done = net.drainCompletions();
+        if (!done.empty())
+            return done.front().delivered - done.front().created;
+    }
+    return -1.0;
+}
+
+TEST(Switching, WormholeLatencyIsSumLike)
+{
+    const double lat = lonePacketLatency(Switching::Wormhole, 10, 64);
+    // ~ length + hops plus small per-hop overheads.
+    EXPECT_GE(lat, 74.0);
+    EXPECT_LE(lat, 74.0 + 3 * 10);
+}
+
+TEST(Switching, StoreAndForwardLatencyIsProductLike)
+{
+    const double lat =
+        lonePacketLatency(Switching::StoreAndForward, 10, 64);
+    // Each of the ~11 store hops (10 network + ejection) forwards
+    // all 64 flits.
+    EXPECT_GE(lat, 10.0 * 64.0);
+    EXPECT_LE(lat, 13.0 * 64.0 + 100.0);
+}
+
+TEST(Switching, ModesAgreeAtDistanceOneUpToOverheads)
+{
+    const double wh = lonePacketLatency(Switching::Wormhole, 1, 32);
+    const double saf =
+        lonePacketLatency(Switching::StoreAndForward, 1, 32);
+    // One network hop plus ejection: SAF pays roughly one extra
+    // packet-store compared to wormhole.
+    EXPECT_LT(wh, saf);
+    EXPECT_LE(saf, wh + 2.0 * 32.0);
+}
+
+TEST(Switching, RatioGrowsWithDistance)
+{
+    const double wh4 = lonePacketLatency(Switching::Wormhole, 4, 50);
+    const double wh12 = lonePacketLatency(Switching::Wormhole, 12, 50);
+    const double saf4 =
+        lonePacketLatency(Switching::StoreAndForward, 4, 50);
+    const double saf12 =
+        lonePacketLatency(Switching::StoreAndForward, 12, 50);
+    // Wormhole adds ~1 cycle per extra hop; SAF adds ~length.
+    EXPECT_LT(wh12 - wh4, 3.0 * 8.0);
+    EXPECT_GT(saf12 - saf4, 7.0 * 50.0);
+}
+
+TEST(Switching, StoreAndForwardConservesFlits)
+{
+    NDMesh mesh = NDMesh::mesh2D(6, 6);
+    RoutingPtr routing = makeRouting("west-first", mesh);
+    SilentPattern silent;
+    SimConfig cfg;
+    cfg.switching = Switching::StoreAndForward;
+    cfg.buffer_depth = 16;
+    cfg.lengths = PacketLengthDist::fixed(16);
+    Network net(*routing, silent, cfg);
+    net.post(mesh.node({0, 0}), mesh.node({5, 5}), 16);
+    net.post(mesh.node({5, 0}), mesh.node({0, 5}), 16);
+    net.post(mesh.node({2, 2}), mesh.node({3, 4}), 16);
+    while (net.now() < 5000 &&
+           net.counters().flits_delivered < 48) {
+        net.step();
+    }
+    EXPECT_EQ(net.counters().flits_delivered, 48u);
+    EXPECT_FALSE(net.deadlockDetected());
+}
+
+TEST(SwitchingDeathTest, StoreAndForwardNeedsDeepBuffers)
+{
+    NDMesh mesh = NDMesh::mesh2D(4, 4);
+    RoutingPtr routing = makeRouting("xy", mesh);
+    SilentPattern silent;
+    SimConfig cfg;
+    cfg.switching = Switching::StoreAndForward;
+    cfg.buffer_depth = 1;   // Paper bimodal max is 200.
+    EXPECT_DEATH({ Network net(*routing, silent, cfg); },
+                 "fit a whole packet");
+}
+
+TEST(Switching, Names)
+{
+    EXPECT_STREQ(toString(Switching::Wormhole), "wormhole");
+    EXPECT_STREQ(toString(Switching::StoreAndForward),
+                 "store-and-forward");
+}
+
+} // namespace
+} // namespace turnmodel

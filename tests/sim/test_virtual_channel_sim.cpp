@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Simulation tests for virtual-channel wire sharing: virtual
+ * channels multiply buffers, not bandwidth — two packets streaming
+ * on different VCs of one physical wire must share its one flit per
+ * cycle.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/routing/mad_y.hpp"
+#include "sim/network.hpp"
+#include "topology/virtual_channels.hpp"
+
+namespace turnmodel {
+namespace {
+
+/** A pattern that never generates traffic (tests drive post()). */
+class SilentPattern : public TrafficPattern
+{
+  public:
+    std::optional<NodeId> destination(NodeId, Rng &) const override
+    {
+        return std::nullopt;
+    }
+    std::string name() const override { return "silent"; }
+    bool isDeterministic() const override { return true; }
+};
+
+std::vector<Completion>
+runToDrain(Network &net, std::uint64_t horizon)
+{
+    std::vector<Completion> done;
+    while (net.now() < horizon) {
+        net.step();
+        for (auto &c : net.drainCompletions())
+            done.push_back(c);
+        if (net.counters().flits_in_network == 0 &&
+            net.sourceQueuePackets() == 0) {
+            break;
+        }
+    }
+    return done;
+}
+
+TEST(VcSim, SinglePacketDeliveredOnDoubleY)
+{
+    VirtualizedMesh mesh = VirtualizedMesh::doubleY(4, 4);
+    MadYRouting routing(mesh);
+    SilentPattern silent;
+    SimConfig cfg;
+    Network net(routing, silent, cfg);
+    net.post(mesh.node({0, 0}), mesh.node({3, 3}), 10);
+    const auto done = runToDrain(net, 1000);
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_EQ(done[0].hops, 6u);
+    EXPECT_EQ(net.counters().flits_delivered, 10u);
+}
+
+TEST(VcSim, SharedWireHalvesCombinedBandwidth)
+{
+    // Two packets from different sources crossing the same physical
+    // y wire on (potentially) different VCs: the wire moves one flit
+    // per cycle, so draining 2 x 60 flits through it takes at least
+    // ~120 cycles. With private wires it would take ~60.
+    VirtualizedMesh mesh = VirtualizedMesh::doubleY(2, 4);
+    MadYRouting routing(mesh);
+    SilentPattern silent;
+    SimConfig cfg;
+    Network net(routing, silent, cfg);
+    // Both packets go straight north through the wire (0,1)->(0,2).
+    net.post(mesh.node({0, 0}), mesh.node({0, 3}), 60);
+    net.post(mesh.node({0, 1}), mesh.node({0, 3}), 60);
+    const auto done = runToDrain(net, 5000);
+    ASSERT_EQ(done.size(), 2u);
+    const double finish =
+        std::max(done[0].delivered, done[1].delivered);
+    // Ejection at the shared destination is itself serialized at one
+    // flit per cycle, so 120 is also the ejection bound; what must
+    // NOT happen is finishing near 60.
+    EXPECT_GE(finish, 120.0);
+    EXPECT_EQ(net.counters().flits_delivered, 120u);
+}
+
+TEST(VcSim, VcsBypassABlockedPacket)
+{
+    // The point of the extra VC: a packet blocked on y1 does not
+    // block y2. P1 heads north but jams behind a slow ejector; P2
+    // crosses the same physical column northward on the other VC.
+    VirtualizedMesh mesh = VirtualizedMesh::doubleY(3, 6);
+    MadYRouting routing(mesh);
+    SilentPattern silent;
+    SimConfig cfg;
+    Network net(routing, silent, cfg);
+    // Two long packets to the SAME destination fight for its single
+    // ejection channel; a third packet shares their column but has
+    // its own destination and should slip past on the spare VC.
+    net.post(mesh.node({1, 0}), mesh.node({1, 5}), 120);
+    net.post(mesh.node({1, 1}), mesh.node({1, 5}), 120);
+    net.post(mesh.node({1, 2}), mesh.node({1, 4}), 8);
+    const auto done = runToDrain(net, 5000);
+    ASSERT_EQ(done.size(), 3u);
+    const Completion *small = nullptr;
+    for (const auto &c : done) {
+        if (c.length == 8)
+            small = &c;
+    }
+    ASSERT_NE(small, nullptr);
+    // The small packet finishes long before the 240-flit fight does.
+    EXPECT_LT(small->delivered, 150.0);
+    EXPECT_FALSE(net.deadlockDetected());
+}
+
+TEST(VcSim, UniformTrafficRunsCleanOnDoubleY)
+{
+    VirtualizedMesh mesh = VirtualizedMesh::doubleY(8, 8);
+    MadYRouting routing(mesh);
+    SimConfig cfg;
+    cfg.injection_rate = 0.08;
+    PatternPtr pattern = makePattern("uniform", mesh);
+    Network net(routing, *pattern, cfg);
+    for (int i = 0; i < 8000; ++i)
+        net.step();
+    EXPECT_FALSE(net.deadlockDetected());
+    EXPECT_GT(net.counters().flits_delivered, 1000u);
+    const auto &c = net.counters();
+    EXPECT_EQ(c.flits_generated,
+              c.flits_delivered + c.flits_in_network +
+                  c.source_queue_flits);
+}
+
+} // namespace
+} // namespace turnmodel

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Unit tests for dense channel identifiers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "topology/channel.hpp"
+#include "topology/mesh.hpp"
+#include "topology/torus.hpp"
+
+namespace turnmodel {
+namespace {
+
+TEST(ChannelSpace, CountMatchesTopology)
+{
+    NDMesh mesh = NDMesh::mesh2D(4, 4);
+    ChannelSpace space(mesh);
+    EXPECT_EQ(space.count(), mesh.countChannels());
+    EXPECT_EQ(space.idBound(), 16u * 4u);
+}
+
+TEST(ChannelSpace, RoundTrip)
+{
+    NDMesh mesh = NDMesh::mesh2D(4, 4);
+    ChannelSpace space(mesh);
+    for (ChannelId ch : space.channels()) {
+        const NodeId src = space.source(ch);
+        const Direction dir = space.direction(ch);
+        EXPECT_EQ(space.id(src, dir), ch);
+        EXPECT_TRUE(space.exists(ch));
+    }
+}
+
+TEST(ChannelSpace, DestinationMatchesNeighbor)
+{
+    NDMesh mesh = NDMesh::mesh2D(5, 3);
+    ChannelSpace space(mesh);
+    for (ChannelId ch : space.channels()) {
+        const auto nb =
+            mesh.neighbor(space.source(ch), space.direction(ch));
+        ASSERT_TRUE(nb.has_value());
+        EXPECT_EQ(space.destination(ch), *nb);
+    }
+}
+
+TEST(ChannelSpace, BoundaryChannelsDoNotExist)
+{
+    NDMesh mesh = NDMesh::mesh2D(4, 4);
+    ChannelSpace space(mesh);
+    const ChannelId west_of_corner = space.id(mesh.node({0, 0}),
+                                              dir2d::West);
+    EXPECT_FALSE(space.exists(west_of_corner));
+}
+
+TEST(ChannelSpace, WraparoundFlagged)
+{
+    KAryNCube torus(4, 2);
+    ChannelSpace space(torus);
+    const ChannelId wrap = space.id(torus.node({3, 0}), dir2d::East);
+    const ChannelId normal = space.id(torus.node({1, 0}), dir2d::East);
+    EXPECT_TRUE(space.isWraparound(wrap));
+    EXPECT_FALSE(space.isWraparound(normal));
+}
+
+TEST(ChannelSpace, ToStringMentionsDirectionAndWrap)
+{
+    KAryNCube torus(4, 2);
+    ChannelSpace space(torus);
+    const ChannelId wrap = space.id(torus.node({3, 0}), dir2d::East);
+    const std::string s = space.toString(wrap);
+    EXPECT_NE(s.find("east"), std::string::npos);
+    EXPECT_NE(s.find("wrap"), std::string::npos);
+}
+
+TEST(ChannelSpace, ChannelsSortedAndUnique)
+{
+    NDMesh mesh = NDMesh::mesh2D(3, 3);
+    ChannelSpace space(mesh);
+    const auto &all = space.channels();
+    for (std::size_t i = 1; i < all.size(); ++i)
+        EXPECT_LT(all[i - 1], all[i]);
+}
+
+TEST(ChannelSpaceDeathTest, DestinationOfMissingChannelPanics)
+{
+    NDMesh mesh = NDMesh::mesh2D(3, 3);
+    ChannelSpace space(mesh);
+    const ChannelId bad = space.id(mesh.node({0, 0}), dir2d::West);
+    EXPECT_DEATH({ (void)space.destination(bad); }, "does not exist");
+}
+
+} // namespace
+} // namespace turnmodel

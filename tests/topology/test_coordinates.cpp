@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Unit tests for coordinate/linear-id conversions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "topology/coordinates.hpp"
+
+namespace turnmodel {
+namespace {
+
+TEST(Coordinates, ShapeSize)
+{
+    EXPECT_EQ(shapeSize({16, 16}), 256u);
+    EXPECT_EQ(shapeSize({2, 2, 2, 2, 2, 2, 2, 2}), 256u);
+    EXPECT_EQ(shapeSize({4, 3}), 12u);
+}
+
+TEST(Coordinates, RoundTripAllNodes)
+{
+    const Shape shape{4, 3, 2};
+    for (NodeId v = 0; v < shapeSize(shape); ++v) {
+        const Coords c = coordsOf(v, shape);
+        EXPECT_EQ(nodeAt(c, shape), v);
+    }
+}
+
+TEST(Coordinates, Dim0VariesFastest)
+{
+    const Shape shape{4, 4};
+    EXPECT_EQ(coordsOf(0, shape), (Coords{0, 0}));
+    EXPECT_EQ(coordsOf(1, shape), (Coords{1, 0}));
+    EXPECT_EQ(coordsOf(4, shape), (Coords{0, 1}));
+    EXPECT_EQ(coordsOf(15, shape), (Coords{3, 3}));
+}
+
+TEST(Coordinates, InBounds)
+{
+    const Shape shape{3, 3};
+    EXPECT_TRUE(inBounds({0, 0}, shape));
+    EXPECT_TRUE(inBounds({2, 2}, shape));
+    EXPECT_FALSE(inBounds({3, 0}, shape));
+    EXPECT_FALSE(inBounds({0, -1}, shape));
+    EXPECT_FALSE(inBounds({0}, shape));
+}
+
+TEST(Coordinates, ToString)
+{
+    EXPECT_EQ(coordsToString({1, 2}), "(1,2)");
+    EXPECT_EQ(coordsToString({7}), "(7)");
+    EXPECT_EQ(coordsToString({0, 0, 0}), "(0,0,0)");
+}
+
+TEST(CoordinatesDeathTest, OutOfRangeCoordinatePanics)
+{
+    const Shape shape{2, 2};
+    EXPECT_DEATH({ (void)nodeAt({2, 0}, shape); }, "out of bounds");
+}
+
+TEST(CoordinatesDeathTest, NodeIdOutsideShapePanics)
+{
+    const Shape shape{2, 2};
+    EXPECT_DEATH({ (void)coordsOf(4, shape); }, "outside of shape");
+}
+
+} // namespace
+} // namespace turnmodel

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Unit tests for direction algebra.
+ */
+
+#include <gtest/gtest.h>
+
+#include "topology/direction.hpp"
+
+namespace turnmodel {
+namespace {
+
+TEST(Direction, IdRoundTrip)
+{
+    for (int dims = 1; dims <= 6; ++dims) {
+        for (DirId id = 0; id < 2 * dims; ++id) {
+            const Direction d = Direction::fromId(id);
+            EXPECT_EQ(d.id(), id);
+        }
+    }
+}
+
+TEST(Direction, IdLayout)
+{
+    EXPECT_EQ(dir2d::West.id(), 0);
+    EXPECT_EQ(dir2d::East.id(), 1);
+    EXPECT_EQ(dir2d::South.id(), 2);
+    EXPECT_EQ(dir2d::North.id(), 3);
+}
+
+TEST(Direction, Opposite)
+{
+    EXPECT_EQ(dir2d::West.opposite(), dir2d::East);
+    EXPECT_EQ(dir2d::East.opposite(), dir2d::West);
+    EXPECT_EQ(dir2d::North.opposite(), dir2d::South);
+    EXPECT_EQ(dir2d::South.opposite(), dir2d::North);
+}
+
+TEST(Direction, OppositeIsInvolution)
+{
+    for (Direction d : allDirections(5))
+        EXPECT_EQ(d.opposite().opposite(), d);
+}
+
+TEST(Direction, Delta)
+{
+    EXPECT_EQ(dir2d::West.delta(), -1);
+    EXPECT_EQ(dir2d::East.delta(), 1);
+    EXPECT_EQ(dir2d::South.delta(), -1);
+    EXPECT_EQ(dir2d::North.delta(), 1);
+}
+
+TEST(Direction, AllDirectionsCountAndOrder)
+{
+    const auto dirs = allDirections(3);
+    ASSERT_EQ(dirs.size(), 6u);
+    for (std::size_t i = 0; i < dirs.size(); ++i)
+        EXPECT_EQ(dirs[i].id(), i);
+}
+
+TEST(Direction, Names)
+{
+    EXPECT_EQ(directionName(dir2d::West), "west");
+    EXPECT_EQ(directionName(dir2d::East), "east");
+    EXPECT_EQ(directionName(dir2d::South), "south");
+    EXPECT_EQ(directionName(dir2d::North), "north");
+    EXPECT_EQ(directionName(Direction(2, true)), "+d2");
+    EXPECT_EQ(directionName(Direction(4, false)), "-d4");
+}
+
+TEST(Direction, Comparison)
+{
+    EXPECT_EQ(dir2d::West, Direction(0, false));
+    EXPECT_NE(dir2d::West, dir2d::East);
+}
+
+} // namespace
+} // namespace turnmodel

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Unit tests for channel-fault injection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "topology/faults.hpp"
+#include "topology/mesh.hpp"
+
+namespace turnmodel {
+namespace {
+
+TEST(Faults, FaultyChannelDisappears)
+{
+    NDMesh mesh = NDMesh::mesh2D(4, 4);
+    ChannelSpace space(mesh);
+    const NodeId v = mesh.node({1, 1});
+    FaultyTopology faulty(mesh, {space.id(v, dir2d::East)});
+    EXPECT_FALSE(faulty.neighbor(v, dir2d::East));
+    EXPECT_TRUE(faulty.isFaulty(v, dir2d::East));
+    // The other direction of the same physical link survives
+    // (faults are unidirectional).
+    EXPECT_EQ(faulty.neighbor(mesh.node({2, 1}), dir2d::West), v);
+    // Unrelated channels untouched.
+    EXPECT_EQ(faulty.neighbor(v, dir2d::North), mesh.node({1, 2}));
+}
+
+TEST(Faults, EmptyFaultSetIsTransparent)
+{
+    NDMesh mesh = NDMesh::mesh2D(4, 4);
+    FaultyTopology faulty(mesh, {});
+    for (NodeId v = 0; v < mesh.numNodes(); ++v) {
+        for (Direction d : allDirections(2))
+            EXPECT_EQ(faulty.neighbor(v, d), mesh.neighbor(v, d));
+    }
+    EXPECT_EQ(faulty.countChannels(), mesh.countChannels());
+}
+
+TEST(Faults, RandomFaultsHaveRequestedCount)
+{
+    NDMesh mesh = NDMesh::mesh2D(6, 6);
+    Rng rng(5);
+    const FaultyTopology faulty =
+        FaultyTopology::withRandomFaults(mesh, 7, rng);
+    EXPECT_EQ(faulty.faults().size(), 7u);
+    EXPECT_EQ(faulty.countChannels(), mesh.countChannels() - 7);
+}
+
+TEST(Faults, MetadataDelegatesToBase)
+{
+    NDMesh mesh = NDMesh::mesh2D(5, 3);
+    FaultyTopology faulty(mesh, {});
+    EXPECT_EQ(faulty.numDims(), 2);
+    EXPECT_EQ(faulty.radix(0), 5);
+    EXPECT_EQ(faulty.numNodes(), 15u);
+    EXPECT_EQ(faulty.distance(0, 14), mesh.distance(0, 14));
+    EXPECT_EQ(faulty.diameter(), mesh.diameter());
+    EXPECT_NE(faulty.name().find("faulty"), std::string::npos);
+}
+
+TEST(FaultsDeathTest, RejectsNonexistentChannel)
+{
+    NDMesh mesh = NDMesh::mesh2D(4, 4);
+    ChannelSpace space(mesh);
+    const ChannelId bogus = space.id(mesh.node({0, 0}), dir2d::West);
+    EXPECT_DEATH({ FaultyTopology faulty(mesh, {bogus}); },
+                 "lacks");
+}
+
+} // namespace
+} // namespace turnmodel

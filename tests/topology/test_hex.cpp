@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Tests for the hexagonal mesh and the turn model applied to it
+ * (the paper's Section 7 future-work topology).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/channel_dependency.hpp"
+#include "core/routing/factory.hpp"
+#include "core/routing/turn_table.hpp"
+#include "sim/network.hpp"
+#include "topology/hex.hpp"
+#include "traffic/pattern.hpp"
+#include "util/rng.hpp"
+
+namespace turnmodel {
+namespace {
+
+TEST(Hex, BasicProperties)
+{
+    HexMesh hex(6, 6);
+    EXPECT_EQ(hex.numDims(), 3);
+    EXPECT_EQ(hex.numDirs(), 6);
+    EXPECT_EQ(hex.numNodes(), 36u);
+    EXPECT_EQ(hex.name(), "6x6 hex mesh");
+    EXPECT_EQ(hex.diameter(), 10);
+}
+
+TEST(Hex, InteriorNodeHasSixNeighbors)
+{
+    HexMesh hex(5, 5);
+    EXPECT_EQ(hex.outgoingDirections(hex.node({2, 2})).size(), 6u);
+    // The (0,0) corner reaches only +q and +r: both s-axis moves
+    // would leave the rhombus.
+    EXPECT_EQ(hex.outgoingDirections(hex.node({0, 0})).size(), 2u);
+    // The (0, kr-1) corner also reaches +s = (+1, -1).
+    EXPECT_EQ(hex.outgoingDirections(hex.node({0, 4})).size(), 3u);
+}
+
+TEST(Hex, SAxisMovesDiagonally)
+{
+    HexMesh hex(5, 5);
+    const NodeId at = hex.node({2, 2});
+    EXPECT_EQ(hex.neighbor(at, Direction(2, true)), hex.node({3, 1}));
+    EXPECT_EQ(hex.neighbor(at, Direction(2, false)), hex.node({1, 3}));
+}
+
+TEST(Hex, NeighborIsInverse)
+{
+    HexMesh hex(4, 5);
+    for (NodeId v = 0; v < hex.numNodes(); ++v) {
+        for (Direction d : allDirections(3)) {
+            const auto w = hex.neighbor(v, d);
+            if (w) {
+                EXPECT_EQ(hex.neighbor(*w, d.opposite()), v);
+            }
+        }
+    }
+}
+
+TEST(Hex, DistanceExamples)
+{
+    HexMesh hex(8, 8);
+    // One +s hop covers (+1, -1) in a single move.
+    EXPECT_EQ(hex.distance(hex.node({2, 2}), hex.node({3, 1})), 1);
+    // Same-sign deltas cannot use the s axis: full sum.
+    EXPECT_EQ(hex.distance(hex.node({0, 0}), hex.node({3, 4})), 7);
+    // Opposite-sign deltas shortcut along s.
+    EXPECT_EQ(hex.distance(hex.node({0, 4}), hex.node({3, 1})), 3);
+}
+
+TEST(Hex, DistanceMatchesGreedyWalk)
+{
+    HexMesh hex(5, 5);
+    Rng rng(5);
+    for (NodeId a = 0; a < hex.numNodes(); ++a) {
+        for (NodeId b = 0; b < hex.numNodes(); ++b) {
+            if (a == b)
+                continue;
+            // Greedy: any profitable hop, counted.
+            NodeId at = a;
+            int hops = 0;
+            while (at != b) {
+                const auto dirs = minimalDirections(hex, at, b);
+                ASSERT_FALSE(dirs.empty()) << a << "->" << b;
+                at = *hex.neighbor(at,
+                                   dirs[rng.nextBounded(dirs.size())]);
+                ++hops;
+            }
+            EXPECT_EQ(hops, hex.distance(a, b));
+        }
+    }
+}
+
+TEST(Hex, NegativeFirstIsDeadlockFree)
+{
+    HexMesh hex(5, 5);
+    RoutingPtr routing = makeRouting("negative-first", hex);
+    EXPECT_TRUE(isDeadlockFree(*routing));
+}
+
+TEST(Hex, AxisOrderIsDeadlockFree)
+{
+    HexMesh hex(5, 5);
+    RoutingPtr routing = makeRouting("axis-order", hex);
+    EXPECT_TRUE(isDeadlockFree(*routing));
+}
+
+TEST(Hex, NonminimalNegativeFirstIsDeadlockFree)
+{
+    HexMesh hex(4, 4);
+    RoutingPtr routing = makeRouting("negative-first-nonminimal", hex);
+    EXPECT_TRUE(isDeadlockFree(*routing));
+}
+
+TEST(Hex, FullyAdaptiveHasCycles)
+{
+    // With every turn allowed, hexagonal cycles close (some in only
+    // three turns), so the dependency graph must be cyclic.
+    HexMesh hex(4, 4);
+    TurnSet all(3);
+    all.allowAll90();
+    all.allowAllStraight();
+    TurnTableRouting routing(hex, all, true, "hex-fully-adaptive");
+    EXPECT_FALSE(isDeadlockFree(routing));
+}
+
+TEST(Hex, RoutingDeliversEverywhere)
+{
+    HexMesh hex(5, 4);
+    Rng rng(9);
+    for (const char *name : {"axis-order", "negative-first"}) {
+        RoutingPtr routing = makeRouting(name, hex);
+        for (NodeId s = 0; s < hex.numNodes(); ++s) {
+            for (NodeId d = 0; d < hex.numNodes(); ++d) {
+                if (s == d)
+                    continue;
+                NodeId at = s;
+                std::optional<Direction> in;
+                int hops = 0;
+                while (at != d) {
+                    const auto options = routing->route(at, in, d);
+                    ASSERT_FALSE(options.empty())
+                        << name << " " << s << "->" << d;
+                    const Direction take =
+                        options[rng.nextBounded(options.size())];
+                    at = *hex.neighbor(at, take);
+                    in = take;
+                    ASSERT_LE(++hops, hex.distance(s, d));
+                }
+            }
+        }
+    }
+}
+
+TEST(Hex, NegativeFirstOffersAdaptivity)
+{
+    HexMesh hex(6, 6);
+    RoutingPtr routing = makeRouting("negative-first", hex);
+    // A destination needing -q and -r can also use -s: three
+    // candidates from the negative phase.
+    const auto dirs = routing->route(hex.node({4, 4}), std::nullopt,
+                                     hex.node({1, 1}));
+    EXPECT_GE(dirs.size(), 2u);
+}
+
+TEST(Hex, SimulationRunsClean)
+{
+    HexMesh hex(6, 6);
+    RoutingPtr routing = makeRouting("negative-first", hex);
+    PatternPtr pattern = makePattern("uniform", hex);
+    SimConfig cfg;
+    cfg.injection_rate = 0.05;
+    Network net(*routing, *pattern, cfg);
+    for (int i = 0; i < 6000; ++i)
+        net.step();
+    EXPECT_FALSE(net.deadlockDetected());
+    EXPECT_GT(net.counters().flits_delivered, 2000u);
+    const auto &c = net.counters();
+    EXPECT_EQ(c.flits_generated,
+              c.flits_delivered + c.flits_in_network +
+                  c.source_queue_flits);
+}
+
+TEST(Hex, FactoryNamesAreExactlyTheSupportedOnes)
+{
+    HexMesh hex(4, 4);
+    const auto names = availableRoutingNames(hex);
+    EXPECT_EQ(names.size(), 3u);
+    for (const auto &name : names)
+        EXPECT_NE(makeRouting(name, hex), nullptr) << name;
+}
+
+TEST(HexDeathTest, UnsupportedAlgorithmIsFatal)
+{
+    HexMesh hex(4, 4);
+    EXPECT_EXIT({ (void)makeRouting("west-first", hex); },
+                ::testing::ExitedWithCode(1), "hex meshes support");
+}
+
+} // namespace
+} // namespace turnmodel

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Unit tests for the hypercube topology.
+ */
+
+#include <gtest/gtest.h>
+
+#include "topology/hypercube.hpp"
+
+namespace turnmodel {
+namespace {
+
+TEST(Hypercube, BasicProperties)
+{
+    Hypercube cube(8);
+    EXPECT_EQ(cube.numNodes(), 256u);
+    EXPECT_EQ(cube.numDims(), 8);
+    EXPECT_EQ(cube.name(), "binary 8-cube");
+    EXPECT_EQ(cube.diameter(), 8);
+}
+
+TEST(Hypercube, AddressIsNodeId)
+{
+    Hypercube cube(4);
+    for (NodeId v = 0; v < cube.numNodes(); ++v)
+        EXPECT_EQ(cube.address(v), v);
+}
+
+TEST(Hypercube, CoordsAreAddressBits)
+{
+    Hypercube cube(4);
+    const Coords c = cube.coords(0b1010);
+    EXPECT_EQ(c, (Coords{0, 1, 0, 1}));
+}
+
+TEST(Hypercube, NeighborAcross)
+{
+    Hypercube cube(4);
+    EXPECT_EQ(cube.neighborAcross(0b0000, 2), 0b0100u);
+    EXPECT_EQ(cube.neighborAcross(0b0100, 2), 0b0000u);
+}
+
+TEST(Hypercube, NeighborAcrossMatchesTopologyHop)
+{
+    Hypercube cube(5);
+    for (NodeId v = 0; v < cube.numNodes(); ++v) {
+        for (int dim = 0; dim < 5; ++dim) {
+            const NodeId w = cube.neighborAcross(v, dim);
+            // The topology-level hop direction depends on the bit.
+            const Direction d(static_cast<std::uint8_t>(dim),
+                              !((v >> dim) & 1));
+            EXPECT_EQ(cube.neighbor(v, d), w);
+        }
+    }
+}
+
+TEST(Hypercube, EveryNodeHasDegreeN)
+{
+    Hypercube cube(6);
+    for (NodeId v = 0; v < cube.numNodes(); ++v)
+        EXPECT_EQ(cube.outgoingDirections(v).size(), 6u);
+}
+
+TEST(Hypercube, HammingDistanceIsTopologyDistance)
+{
+    Hypercube cube(6);
+    for (NodeId a = 0; a < cube.numNodes(); a += 7) {
+        for (NodeId b = 0; b < cube.numNodes(); b += 5) {
+            EXPECT_EQ(cube.hammingDistance(a, b), cube.distance(a, b));
+        }
+    }
+}
+
+TEST(Hypercube, ChannelCount)
+{
+    Hypercube cube(8);
+    EXPECT_EQ(cube.countChannels(), 256u * 8u);
+}
+
+TEST(Hypercube, PaperExampleDistance)
+{
+    // Section 5: h = 6 between 1011010100 and 0010111001.
+    Hypercube cube(10);
+    EXPECT_EQ(cube.hammingDistance(0b1011010100, 0b0010111001), 6);
+}
+
+} // namespace
+} // namespace turnmodel

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Unit and property tests for the n-dimensional mesh topology.
+ */
+
+#include <gtest/gtest.h>
+
+#include "topology/mesh.hpp"
+
+namespace turnmodel {
+namespace {
+
+TEST(Mesh, BasicProperties)
+{
+    NDMesh mesh = NDMesh::mesh2D(16, 16);
+    EXPECT_EQ(mesh.numDims(), 2);
+    EXPECT_EQ(mesh.numNodes(), 256u);
+    EXPECT_EQ(mesh.radix(0), 16);
+    EXPECT_EQ(mesh.radix(1), 16);
+    EXPECT_EQ(mesh.numDirs(), 4);
+    EXPECT_EQ(mesh.name(), "16x16 mesh");
+}
+
+TEST(Mesh, InteriorNeighbors)
+{
+    NDMesh mesh = NDMesh::mesh2D(4, 4);
+    const NodeId center = mesh.node({1, 1});
+    EXPECT_EQ(mesh.neighbor(center, dir2d::East), mesh.node({2, 1}));
+    EXPECT_EQ(mesh.neighbor(center, dir2d::West), mesh.node({0, 1}));
+    EXPECT_EQ(mesh.neighbor(center, dir2d::North), mesh.node({1, 2}));
+    EXPECT_EQ(mesh.neighbor(center, dir2d::South), mesh.node({1, 0}));
+}
+
+TEST(Mesh, BoundaryHasNoNeighbor)
+{
+    NDMesh mesh = NDMesh::mesh2D(4, 4);
+    EXPECT_FALSE(mesh.neighbor(mesh.node({0, 0}), dir2d::West));
+    EXPECT_FALSE(mesh.neighbor(mesh.node({0, 0}), dir2d::South));
+    EXPECT_FALSE(mesh.neighbor(mesh.node({3, 3}), dir2d::East));
+    EXPECT_FALSE(mesh.neighbor(mesh.node({3, 3}), dir2d::North));
+}
+
+TEST(Mesh, NeverWraparound)
+{
+    NDMesh mesh = NDMesh::mesh2D(3, 3);
+    for (NodeId v = 0; v < mesh.numNodes(); ++v) {
+        for (Direction d : allDirections(2))
+            EXPECT_FALSE(mesh.isWraparound(v, d));
+    }
+}
+
+TEST(Mesh, CornerDegreeIsN)
+{
+    NDMesh mesh(Shape{4, 4, 4});
+    EXPECT_EQ(mesh.outgoingDirections(mesh.node({0, 0, 0})).size(), 3u);
+    EXPECT_EQ(mesh.outgoingDirections(mesh.node({3, 3, 3})).size(), 3u);
+    EXPECT_EQ(mesh.outgoingDirections(mesh.node({1, 1, 1})).size(), 6u);
+}
+
+TEST(Mesh, ManhattanDistance)
+{
+    NDMesh mesh = NDMesh::mesh2D(8, 8);
+    EXPECT_EQ(mesh.distance(mesh.node({0, 0}), mesh.node({7, 7})), 14);
+    EXPECT_EQ(mesh.distance(mesh.node({3, 4}), mesh.node({3, 4})), 0);
+    EXPECT_EQ(mesh.distance(mesh.node({2, 5}), mesh.node({6, 1})), 8);
+}
+
+TEST(Mesh, DistanceIsSymmetric)
+{
+    NDMesh mesh(Shape{3, 4});
+    for (NodeId a = 0; a < mesh.numNodes(); ++a) {
+        for (NodeId b = 0; b < mesh.numNodes(); ++b)
+            EXPECT_EQ(mesh.distance(a, b), mesh.distance(b, a));
+    }
+}
+
+TEST(Mesh, Diameter)
+{
+    EXPECT_EQ(NDMesh::mesh2D(16, 16).diameter(), 30);
+    EXPECT_EQ(NDMesh(Shape{4, 4, 4}).diameter(), 9);
+    EXPECT_EQ(NDMesh(Shape{2, 2}).diameter(), 2);
+}
+
+TEST(Mesh, ChannelCount2D)
+{
+    // 2 * (m*(n-1) + n*(m-1)) unidirectional channels.
+    NDMesh mesh = NDMesh::mesh2D(16, 16);
+    EXPECT_EQ(mesh.countChannels(), 2u * (16 * 15 + 16 * 15));
+}
+
+TEST(Mesh, NeighborIsInverse)
+{
+    NDMesh mesh(Shape{4, 3});
+    for (NodeId v = 0; v < mesh.numNodes(); ++v) {
+        for (Direction d : allDirections(2)) {
+            const auto w = mesh.neighbor(v, d);
+            if (w) {
+                EXPECT_EQ(mesh.neighbor(*w, d.opposite()), v);
+            }
+        }
+    }
+}
+
+TEST(Mesh, IncomingMatchesOutgoingOfNeighbors)
+{
+    NDMesh mesh(Shape{3, 3});
+    for (NodeId v = 0; v < mesh.numNodes(); ++v) {
+        for (Direction d : mesh.incomingDirections(v)) {
+            // A packet travelling along d arrives from neighbor in
+            // d.opposite(); that hop must exist both ways.
+            const auto up = mesh.neighbor(v, d.opposite());
+            ASSERT_TRUE(up.has_value());
+            EXPECT_EQ(mesh.neighbor(*up, d), v);
+        }
+    }
+}
+
+TEST(Mesh, RectangularShape)
+{
+    NDMesh mesh(Shape{5, 3});
+    EXPECT_EQ(mesh.numNodes(), 15u);
+    EXPECT_EQ(mesh.diameter(), 6);
+    EXPECT_EQ(mesh.name(), "5x3 mesh");
+}
+
+/** Distance equals the hop count of a greedy minimal walk. */
+class MeshShapes : public ::testing::TestWithParam<Shape>
+{
+};
+
+TEST_P(MeshShapes, GreedyWalkRealizesDistance)
+{
+    NDMesh mesh(GetParam());
+    for (NodeId a = 0; a < mesh.numNodes(); ++a) {
+        for (NodeId b = 0; b < mesh.numNodes(); ++b) {
+            NodeId at = a;
+            int hops = 0;
+            while (at != b) {
+                const Coords cur = mesh.coords(at);
+                const Coords dst = mesh.coords(b);
+                bool moved = false;
+                for (std::size_t d = 0; d < cur.size() && !moved; ++d) {
+                    if (cur[d] != dst[d]) {
+                        at = *mesh.neighbor(
+                            at, Direction(static_cast<std::uint8_t>(d),
+                                          dst[d] > cur[d]));
+                        ++hops;
+                        moved = true;
+                    }
+                }
+            }
+            EXPECT_EQ(hops, mesh.distance(a, b));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MeshShapes,
+                         ::testing::Values(Shape{2, 2}, Shape{4, 4},
+                                           Shape{5, 3}, Shape{3, 3, 3},
+                                           Shape{2, 3, 4}));
+
+} // namespace
+} // namespace turnmodel

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tests for the octagonal mesh and the turn model applied to it
+ * (the paper's Section 7 future-work topology).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/channel_dependency.hpp"
+#include "core/routing/factory.hpp"
+#include "core/routing/turn_table.hpp"
+#include "sim/network.hpp"
+#include "topology/oct.hpp"
+#include "traffic/pattern.hpp"
+#include "util/rng.hpp"
+
+namespace turnmodel {
+namespace {
+
+TEST(Oct, BasicProperties)
+{
+    OctMesh oct(6, 6);
+    EXPECT_EQ(oct.numDims(), 4);
+    EXPECT_EQ(oct.numDirs(), 8);
+    EXPECT_EQ(oct.numNodes(), 36u);
+    EXPECT_EQ(oct.name(), "6x6 octagonal mesh");
+    EXPECT_EQ(oct.diameter(), 5);
+}
+
+TEST(Oct, InteriorNodeHasEightNeighbors)
+{
+    OctMesh oct(5, 5);
+    EXPECT_EQ(oct.outgoingDirections(oct.node({2, 2})).size(), 8u);
+    // Corners keep three (orthogonal two plus one diagonal).
+    EXPECT_EQ(oct.outgoingDirections(oct.node({0, 0})).size(), 3u);
+}
+
+TEST(Oct, DiagonalAxes)
+{
+    OctMesh oct(5, 5);
+    const NodeId at = oct.node({2, 2});
+    EXPECT_EQ(oct.neighbor(at, Direction(2, true)), oct.node({3, 3}));
+    EXPECT_EQ(oct.neighbor(at, Direction(2, false)), oct.node({1, 1}));
+    EXPECT_EQ(oct.neighbor(at, Direction(3, true)), oct.node({3, 1}));
+    EXPECT_EQ(oct.neighbor(at, Direction(3, false)), oct.node({1, 3}));
+}
+
+TEST(Oct, NeighborIsInverse)
+{
+    OctMesh oct(4, 5);
+    for (NodeId v = 0; v < oct.numNodes(); ++v) {
+        for (Direction d : allDirections(4)) {
+            const auto w = oct.neighbor(v, d);
+            if (w) {
+                EXPECT_EQ(oct.neighbor(*w, d.opposite()), v);
+            }
+        }
+    }
+}
+
+TEST(Oct, ChebyshevDistance)
+{
+    OctMesh oct(8, 8);
+    EXPECT_EQ(oct.distance(oct.node({0, 0}), oct.node({5, 3})), 5);
+    EXPECT_EQ(oct.distance(oct.node({0, 0}), oct.node({3, 3})), 3);
+    EXPECT_EQ(oct.distance(oct.node({2, 7}), oct.node({5, 1})), 6);
+}
+
+TEST(Oct, DistanceMatchesGreedyWalk)
+{
+    OctMesh oct(5, 5);
+    Rng rng(7);
+    for (NodeId a = 0; a < oct.numNodes(); ++a) {
+        for (NodeId b = 0; b < oct.numNodes(); ++b) {
+            if (a == b)
+                continue;
+            NodeId at = a;
+            int hops = 0;
+            while (at != b) {
+                const auto dirs = minimalDirections(oct, at, b);
+                ASSERT_FALSE(dirs.empty()) << a << "->" << b;
+                at = *oct.neighbor(at,
+                                   dirs[rng.nextBounded(dirs.size())]);
+                ++hops;
+            }
+            EXPECT_EQ(hops, oct.distance(a, b));
+        }
+    }
+}
+
+TEST(Oct, NegativeFirstAndAxisOrderAreDeadlockFree)
+{
+    OctMesh oct(5, 5);
+    EXPECT_TRUE(isDeadlockFree(*makeRouting("negative-first", oct)));
+    EXPECT_TRUE(isDeadlockFree(*makeRouting("axis-order", oct)));
+    EXPECT_TRUE(isDeadlockFree(
+        *makeRouting("negative-first-nonminimal", oct)));
+}
+
+TEST(Oct, FullyAdaptiveHasCycles)
+{
+    OctMesh oct(4, 4);
+    TurnSet all(4);
+    all.allowAll90();
+    all.allowAllStraight();
+    TurnTableRouting routing(oct, all, true, "oct-fully-adaptive");
+    EXPECT_FALSE(isDeadlockFree(routing));
+}
+
+TEST(Oct, RoutingDeliversEverywhere)
+{
+    OctMesh oct(5, 4);
+    Rng rng(11);
+    for (const char *name : {"axis-order", "negative-first"}) {
+        RoutingPtr routing = makeRouting(name, oct);
+        for (NodeId s = 0; s < oct.numNodes(); ++s) {
+            for (NodeId d = 0; d < oct.numNodes(); ++d) {
+                if (s == d)
+                    continue;
+                NodeId at = s;
+                std::optional<Direction> in;
+                int hops = 0;
+                while (at != d) {
+                    const auto options = routing->route(at, in, d);
+                    ASSERT_FALSE(options.empty())
+                        << name << " " << s << "->" << d;
+                    const Direction take =
+                        options[rng.nextBounded(options.size())];
+                    at = *oct.neighbor(at, take);
+                    in = take;
+                    ASSERT_LE(++hops, oct.distance(s, d));
+                }
+            }
+        }
+    }
+}
+
+TEST(Oct, SimulationRunsClean)
+{
+    OctMesh oct(6, 6);
+    RoutingPtr routing = makeRouting("negative-first", oct);
+    PatternPtr pattern = makePattern("uniform", oct);
+    SimConfig cfg;
+    cfg.injection_rate = 0.05;
+    Network net(*routing, *pattern, cfg);
+    for (int i = 0; i < 6000; ++i)
+        net.step();
+    EXPECT_FALSE(net.deadlockDetected());
+    EXPECT_GT(net.counters().flits_delivered, 2000u);
+}
+
+TEST(OctDeathTest, UnsupportedAlgorithmIsFatal)
+{
+    OctMesh oct(4, 4);
+    EXPECT_EXIT({ (void)makeRouting("west-first", oct); },
+                ::testing::ExitedWithCode(1), "octagonal");
+}
+
+} // namespace
+} // namespace turnmodel

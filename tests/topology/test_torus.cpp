@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Unit tests for the k-ary n-cube (torus) topology.
+ */
+
+#include <gtest/gtest.h>
+
+#include "topology/torus.hpp"
+
+namespace turnmodel {
+namespace {
+
+TEST(Torus, BasicProperties)
+{
+    KAryNCube torus(4, 2);
+    EXPECT_EQ(torus.numNodes(), 16u);
+    EXPECT_EQ(torus.k(), 4);
+    EXPECT_EQ(torus.name(), "4-ary 2-cube");
+}
+
+TEST(Torus, WrapsAround)
+{
+    KAryNCube torus(4, 2);
+    EXPECT_EQ(torus.neighbor(torus.node({3, 0}), dir2d::East),
+              torus.node({0, 0}));
+    EXPECT_EQ(torus.neighbor(torus.node({0, 2}), dir2d::West),
+              torus.node({3, 2}));
+    EXPECT_EQ(torus.neighbor(torus.node({1, 3}), dir2d::North),
+              torus.node({1, 0}));
+    EXPECT_EQ(torus.neighbor(torus.node({1, 0}), dir2d::South),
+              torus.node({1, 3}));
+}
+
+TEST(Torus, WraparoundFlag)
+{
+    KAryNCube torus(4, 2);
+    EXPECT_TRUE(torus.isWraparound(torus.node({3, 1}), dir2d::East));
+    EXPECT_FALSE(torus.isWraparound(torus.node({2, 1}), dir2d::East));
+    EXPECT_TRUE(torus.isWraparound(torus.node({0, 1}), dir2d::West));
+    EXPECT_TRUE(torus.isWraparound(torus.node({1, 0}), dir2d::South));
+    EXPECT_TRUE(torus.isWraparound(torus.node({1, 3}), dir2d::North));
+}
+
+TEST(Torus, EveryNodeHasFullDegree)
+{
+    KAryNCube torus(4, 2);
+    for (NodeId v = 0; v < torus.numNodes(); ++v)
+        EXPECT_EQ(torus.outgoingDirections(v).size(), 4u);
+}
+
+TEST(Torus, ChannelCount)
+{
+    // k > 2: every node drives 2n channels.
+    KAryNCube torus(4, 2);
+    EXPECT_EQ(torus.countChannels(), 16u * 4u);
+    KAryNCube torus3(3, 3);
+    EXPECT_EQ(torus3.countChannels(), 27u * 6u);
+}
+
+TEST(Torus, RingDistance)
+{
+    KAryNCube torus(8, 1);
+    EXPECT_EQ(torus.distance(0, 4), 4);
+    EXPECT_EQ(torus.distance(0, 5), 3);   // Around the short way.
+    EXPECT_EQ(torus.distance(0, 7), 1);
+    EXPECT_EQ(torus.distance(2, 2), 0);
+}
+
+TEST(Torus, Distance2D)
+{
+    KAryNCube torus(4, 2);
+    EXPECT_EQ(torus.distance(torus.node({0, 0}), torus.node({3, 3})), 2);
+    EXPECT_EQ(torus.distance(torus.node({0, 0}), torus.node({2, 2})), 4);
+}
+
+TEST(Torus, Diameter)
+{
+    EXPECT_EQ(KAryNCube(4, 2).diameter(), 4);
+    EXPECT_EQ(KAryNCube(8, 2).diameter(), 8);
+    EXPECT_EQ(KAryNCube(2, 8).diameter(), 8);
+}
+
+TEST(Torus, BinaryDegeneratesToHypercube)
+{
+    // For k = 2 the wraparound duplicates the mesh hop; each node has
+    // exactly n neighbors, reached by exactly one direction each.
+    KAryNCube cube(2, 3);
+    for (NodeId v = 0; v < cube.numNodes(); ++v) {
+        EXPECT_EQ(cube.outgoingDirections(v).size(), 3u);
+        for (Direction d : cube.outgoingDirections(v)) {
+            const auto w = cube.neighbor(v, d);
+            ASSERT_TRUE(w.has_value());
+            EXPECT_EQ(cube.distance(v, *w), 1);
+        }
+    }
+    EXPECT_EQ(cube.countChannels(), 8u * 3u);
+}
+
+TEST(Torus, NeighborIsInverseForKGreaterTwo)
+{
+    KAryNCube torus(5, 2);
+    for (NodeId v = 0; v < torus.numNodes(); ++v) {
+        for (Direction d : allDirections(2)) {
+            const auto w = torus.neighbor(v, d);
+            ASSERT_TRUE(w.has_value());
+            EXPECT_EQ(torus.neighbor(*w, d.opposite()), v);
+        }
+    }
+}
+
+TEST(Torus, DistanceIsSymmetric)
+{
+    KAryNCube torus(5, 2);
+    for (NodeId a = 0; a < torus.numNodes(); ++a) {
+        for (NodeId b = 0; b < torus.numNodes(); ++b)
+            EXPECT_EQ(torus.distance(a, b), torus.distance(b, a));
+    }
+}
+
+} // namespace
+} // namespace turnmodel

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Unit tests for the virtual-channel view of a mesh (Step 1 of the
+ * turn model: v channels per physical direction become v virtual
+ * directions).
+ */
+
+#include <gtest/gtest.h>
+
+#include "topology/virtual_channels.hpp"
+
+namespace turnmodel {
+namespace {
+
+TEST(VirtualizedMesh, DoubleYDimensions)
+{
+    VirtualizedMesh mesh = VirtualizedMesh::doubleY(8, 8);
+    EXPECT_EQ(mesh.numDims(), 3);
+    EXPECT_EQ(mesh.numDirs(), 6);
+    EXPECT_EQ(mesh.numPhysicalDims(), 2);
+    EXPECT_EQ(mesh.numNodes(), 64u);   // Nodes stay physical.
+    EXPECT_EQ(mesh.vcsOf(0), 1);
+    EXPECT_EQ(mesh.vcsOf(1), 2);
+}
+
+TEST(VirtualizedMesh, DimensionMapping)
+{
+    VirtualizedMesh mesh = VirtualizedMesh::doubleY(8, 8);
+    EXPECT_EQ(mesh.physicalDim(0), 0);
+    EXPECT_EQ(mesh.physicalDim(1), 1);
+    EXPECT_EQ(mesh.physicalDim(2), 1);
+    EXPECT_EQ(mesh.vcIndex(0), 0);
+    EXPECT_EQ(mesh.vcIndex(1), 0);
+    EXPECT_EQ(mesh.vcIndex(2), 1);
+    EXPECT_EQ(mesh.virtualDim(1, 0), 1);
+    EXPECT_EQ(mesh.virtualDim(1, 1), 2);
+}
+
+TEST(VirtualizedMesh, RadixFollowsPhysicalDim)
+{
+    VirtualizedMesh mesh(Shape{4, 6}, {1, 2});
+    EXPECT_EQ(mesh.radix(0), 4);
+    EXPECT_EQ(mesh.radix(1), 6);
+    EXPECT_EQ(mesh.radix(2), 6);
+}
+
+TEST(VirtualizedMesh, VirtualDirectionsMoveOnPhysicalGrid)
+{
+    VirtualizedMesh mesh = VirtualizedMesh::doubleY(4, 4);
+    const NodeId at = mesh.node({1, 1});
+    // N1 (dim 1) and N2 (dim 2) both move north physically.
+    const Direction n1(1, true), n2(2, true);
+    EXPECT_EQ(mesh.neighbor(at, n1), mesh.node({1, 2}));
+    EXPECT_EQ(mesh.neighbor(at, n2), mesh.node({1, 2}));
+    // Both disappear at the boundary.
+    const NodeId top = mesh.node({1, 3});
+    EXPECT_FALSE(mesh.neighbor(top, n1));
+    EXPECT_FALSE(mesh.neighbor(top, n2));
+}
+
+TEST(VirtualizedMesh, DistanceIsPhysical)
+{
+    VirtualizedMesh mesh = VirtualizedMesh::doubleY(8, 8);
+    EXPECT_EQ(mesh.distance(mesh.node({0, 0}), mesh.node({3, 4})), 7);
+    EXPECT_EQ(mesh.diameter(), 14);
+}
+
+TEST(VirtualizedMesh, PhysicalChannelGroups)
+{
+    VirtualizedMesh mesh = VirtualizedMesh::doubleY(4, 4);
+    EXPECT_TRUE(mesh.hasSharedPhysicalChannels());
+    const Direction n1(1, true), n2(2, true), s1(1, false), s2(2, false);
+    EXPECT_EQ(mesh.physicalChannelGroup(n1.id()),
+              mesh.physicalChannelGroup(n2.id()));
+    EXPECT_EQ(mesh.physicalChannelGroup(s1.id()),
+              mesh.physicalChannelGroup(s2.id()));
+    EXPECT_NE(mesh.physicalChannelGroup(n1.id()),
+              mesh.physicalChannelGroup(s1.id()));
+    EXPECT_NE(mesh.physicalChannelGroup(Direction(0, true).id()),
+              mesh.physicalChannelGroup(n1.id()));
+}
+
+TEST(VirtualizedMesh, TrivialVirtualizationMatchesPlainMesh)
+{
+    VirtualizedMesh mesh(Shape{4, 4}, {1, 1});
+    NDMesh plain = NDMesh::mesh2D(4, 4);
+    EXPECT_EQ(mesh.numDims(), plain.numDims());
+    EXPECT_FALSE(mesh.hasSharedPhysicalChannels());
+    for (NodeId v = 0; v < plain.numNodes(); ++v) {
+        for (Direction d : allDirections(2))
+            EXPECT_EQ(mesh.neighbor(v, d), plain.neighbor(v, d));
+    }
+}
+
+TEST(VirtualizedMesh, PhysicalDirection)
+{
+    VirtualizedMesh mesh = VirtualizedMesh::doubleY(4, 4);
+    EXPECT_EQ(mesh.physicalDirection(Direction(2, true)),
+              Direction(1, true));
+    EXPECT_EQ(mesh.physicalDirection(Direction(0, false)),
+              Direction(0, false));
+}
+
+TEST(VirtualizedMesh, NamesIncludeVcCounts)
+{
+    VirtualizedMesh mesh = VirtualizedMesh::doubleY(8, 8);
+    EXPECT_EQ(mesh.name(), "8x8 mesh (vcs 1 2)");
+}
+
+TEST(VirtualizedMeshDeathTest, RejectsBadSpecs)
+{
+    EXPECT_DEATH({ VirtualizedMesh mesh(Shape{4, 4}, {1}); },
+                 "per physical dimension");
+    EXPECT_DEATH({ VirtualizedMesh mesh(Shape{4, 4}, {1, 0}); },
+                 "at least one");
+}
+
+} // namespace
+} // namespace turnmodel

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Unit tests for the workload generator: the paper's bimodal
+ * 10-or-200-flit packets and Poisson message arrivals.
+ */
+
+#include <gtest/gtest.h>
+
+#include "traffic/workload.hpp"
+
+namespace turnmodel {
+namespace {
+
+TEST(PacketLengthDist, PaperBimodalMean)
+{
+    const auto dist = PacketLengthDist::paperBimodal();
+    EXPECT_DOUBLE_EQ(dist.mean(), 105.0);
+}
+
+TEST(PacketLengthDist, PaperBimodalSamples)
+{
+    const auto dist = PacketLengthDist::paperBimodal();
+    Rng rng(1);
+    int shorts = 0, longs = 0;
+    constexpr int kDraws = 100000;
+    for (int i = 0; i < kDraws; ++i) {
+        const auto len = dist.sample(rng);
+        ASSERT_TRUE(len == 10 || len == 200);
+        (len == 10 ? shorts : longs)++;
+    }
+    EXPECT_NEAR(shorts, kDraws / 2, kDraws * 0.02);
+    EXPECT_NEAR(longs, kDraws / 2, kDraws * 0.02);
+}
+
+TEST(PacketLengthDist, Fixed)
+{
+    const auto dist = PacketLengthDist::fixed(32);
+    EXPECT_DOUBLE_EQ(dist.mean(), 32.0);
+    Rng rng(2);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(dist.sample(rng), 32u);
+}
+
+TEST(PacketLengthDist, WeightedMean)
+{
+    const PacketLengthDist dist({10, 20, 30}, {1.0, 2.0, 1.0});
+    EXPECT_DOUBLE_EQ(dist.mean(), 20.0);
+}
+
+TEST(PacketLengthDist, WeightedProportions)
+{
+    const PacketLengthDist dist({1, 2}, {3.0, 1.0});
+    Rng rng(3);
+    int ones = 0;
+    constexpr int kDraws = 100000;
+    for (int i = 0; i < kDraws; ++i) {
+        if (dist.sample(rng) == 1)
+            ++ones;
+    }
+    EXPECT_NEAR(static_cast<double>(ones) / kDraws, 0.75, 0.01);
+}
+
+TEST(PacketLengthDist, ToString)
+{
+    EXPECT_EQ(PacketLengthDist::paperBimodal().toString(),
+              "{10,200} flits");
+}
+
+TEST(PacketLengthDistDeathTest, RejectsBadSpecs)
+{
+    EXPECT_DEATH({ PacketLengthDist dist({}, {}); }, "empty");
+    EXPECT_DEATH({ PacketLengthDist dist({1}, {1.0, 2.0}); }, "arity");
+    EXPECT_DEATH({ PacketLengthDist dist({0}, {1.0}); }, "positive");
+    EXPECT_DEATH({ PacketLengthDist dist({1}, {0.0}); },
+                 "positive value");
+}
+
+TEST(ArrivalProcess, AchievesConfiguredRate)
+{
+    // rate 0.2 flits/cycle at mean length 105 flits: about one
+    // message per 525 cycles.
+    ArrivalProcess proc(0.2, 105.0, Rng(7));
+    int messages = 0;
+    const double horizon = 500000.0;
+    for (double now = 0.0; now < horizon; now += 1.0) {
+        while (proc.due(now)) {
+            proc.advance();
+            ++messages;
+        }
+    }
+    const double expected = horizon * 0.2 / 105.0;
+    EXPECT_NEAR(messages, expected, expected * 0.05);
+}
+
+TEST(ArrivalProcess, InterarrivalsVary)
+{
+    // Exponential arrivals: successive gaps should not be constant.
+    ArrivalProcess proc(0.5, 10.0, Rng(8));
+    std::vector<double> gap_signature;
+    double last_count_change = 0.0;
+    int messages = 0;
+    for (double now = 0.0; now < 2000.0 && messages < 20; now += 1.0) {
+        while (proc.due(now)) {
+            proc.advance();
+            gap_signature.push_back(now - last_count_change);
+            last_count_change = now;
+            ++messages;
+        }
+    }
+    ASSERT_GE(gap_signature.size(), 5u);
+    bool all_equal = true;
+    for (std::size_t i = 1; i < gap_signature.size(); ++i)
+        all_equal = all_equal && gap_signature[i] == gap_signature[0];
+    EXPECT_FALSE(all_equal);
+}
+
+TEST(ArrivalProcessDeathTest, RejectsBadRates)
+{
+    EXPECT_DEATH({ ArrivalProcess proc(0.0, 10.0, Rng(1)); },
+                 "positive");
+    EXPECT_DEATH({ ArrivalProcess proc(0.1, 0.0, Rng(1)); }, "positive");
+}
+
+} // namespace
+} // namespace turnmodel

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Unit and property tests for bit-manipulation helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/bitops.hpp"
+#include "util/rng.hpp"
+
+namespace turnmodel {
+namespace {
+
+TEST(BitOps, Popcount)
+{
+    EXPECT_EQ(popcount(0), 0);
+    EXPECT_EQ(popcount(1), 1);
+    EXPECT_EQ(popcount(0xff), 8);
+    EXPECT_EQ(popcount(~0ULL), 64);
+    EXPECT_EQ(popcount(0b1011010100), 5);
+}
+
+TEST(BitOps, LowestSetBit)
+{
+    EXPECT_EQ(lowestSetBit(0), -1);
+    EXPECT_EQ(lowestSetBit(1), 0);
+    EXPECT_EQ(lowestSetBit(0b1000), 3);
+    EXPECT_EQ(lowestSetBit(0b101000), 3);
+    EXPECT_EQ(lowestSetBit(1ULL << 63), 63);
+}
+
+TEST(BitOps, BitOf)
+{
+    EXPECT_TRUE(bitOf(0b100, 2));
+    EXPECT_FALSE(bitOf(0b100, 1));
+    EXPECT_FALSE(bitOf(0b100, 0));
+}
+
+TEST(BitOps, WithBit)
+{
+    EXPECT_EQ(withBit(0, 3, true), 0b1000u);
+    EXPECT_EQ(withBit(0b1111, 2, false), 0b1011u);
+    EXPECT_EQ(withBit(0b1000, 3, true), 0b1000u);
+}
+
+TEST(BitOps, FlipBit)
+{
+    EXPECT_EQ(flipBit(0, 0), 1u);
+    EXPECT_EQ(flipBit(1, 0), 0u);
+    EXPECT_EQ(flipBit(0b1010, 1), 0b1000u);
+}
+
+TEST(BitOps, LowMask)
+{
+    EXPECT_EQ(lowMask(0), 0u);
+    EXPECT_EQ(lowMask(1), 1u);
+    EXPECT_EQ(lowMask(8), 0xffu);
+    EXPECT_EQ(lowMask(64), ~0ULL);
+}
+
+TEST(BitOps, ReverseBitsKnown)
+{
+    EXPECT_EQ(reverseBits(0b001, 3), 0b100u);
+    EXPECT_EQ(reverseBits(0b110, 3), 0b011u);
+    EXPECT_EQ(reverseBits(0b10110, 5), 0b01101u);
+}
+
+TEST(BitOps, ReverseClearsHighBits)
+{
+    EXPECT_EQ(reverseBits(0xf0, 4), 0u);
+}
+
+TEST(BitOps, ComplementBits)
+{
+    EXPECT_EQ(complementBits(0b0000, 4), 0b1111u);
+    EXPECT_EQ(complementBits(0b1010, 4), 0b0101u);
+    EXPECT_EQ(complementBits(0, 8), 0xffu);
+}
+
+TEST(BitOps, PaperReverseFlipExample)
+{
+    // (x0..x7) -> (~x7 ... ~x0): reverse then complement over 8 bits.
+    const std::uint64_t x = 0b10110100;      // reversed: 0b00101101
+    const std::uint64_t expected = 0b11010010;
+    EXPECT_EQ(complementBits(reverseBits(x, 8), 8), expected);
+}
+
+/** Property sweep over widths: double-reverse is the identity. */
+class BitOpsWidth : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BitOpsWidth, DoubleReverseIsIdentity)
+{
+    const int width = GetParam();
+    Rng rng(width);
+    for (int i = 0; i < 200; ++i) {
+        const std::uint64_t x = rng() & lowMask(width);
+        EXPECT_EQ(reverseBits(reverseBits(x, width), width), x);
+    }
+}
+
+TEST_P(BitOpsWidth, DoubleComplementIsIdentity)
+{
+    const int width = GetParam();
+    Rng rng(width * 31);
+    for (int i = 0; i < 200; ++i) {
+        const std::uint64_t x = rng() & lowMask(width);
+        EXPECT_EQ(complementBits(complementBits(x, width), width), x);
+    }
+}
+
+TEST_P(BitOpsWidth, ReversePreservesPopcount)
+{
+    const int width = GetParam();
+    Rng rng(width * 17);
+    for (int i = 0; i < 200; ++i) {
+        const std::uint64_t x = rng() & lowMask(width);
+        EXPECT_EQ(popcount(reverseBits(x, width)), popcount(x));
+    }
+}
+
+TEST_P(BitOpsWidth, ComplementPopcountSums)
+{
+    const int width = GetParam();
+    Rng rng(width * 13);
+    for (int i = 0; i < 200; ++i) {
+        const std::uint64_t x = rng() & lowMask(width);
+        EXPECT_EQ(popcount(x) + popcount(complementBits(x, width)),
+                  width);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BitOpsWidth,
+                         ::testing::Values(1, 2, 3, 5, 8, 10, 16, 32, 63,
+                                           64));
+
+} // namespace
+} // namespace turnmodel

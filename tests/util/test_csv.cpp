@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Unit tests for CSV emission.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/csv.hpp"
+
+namespace turnmodel {
+namespace {
+
+TEST(Csv, HeaderAndRows)
+{
+    std::ostringstream os;
+    CsvWriter csv(os);
+    csv.header({"a", "b", "c"});
+    csv.beginRow().field(1).field(2.5).field("x");
+    csv.endRow();
+    EXPECT_EQ(os.str(), "a,b,c\n1,2.5,x\n");
+    EXPECT_EQ(csv.rowCount(), 1u);
+}
+
+TEST(Csv, HeaderNotCountedAsRow)
+{
+    std::ostringstream os;
+    CsvWriter csv(os);
+    csv.header({"x"});
+    EXPECT_EQ(csv.rowCount(), 0u);
+}
+
+TEST(Csv, EscapesCommas)
+{
+    std::ostringstream os;
+    CsvWriter csv(os);
+    csv.beginRow().field("a,b");
+    csv.endRow();
+    EXPECT_EQ(os.str(), "\"a,b\"\n");
+}
+
+TEST(Csv, EscapesQuotes)
+{
+    std::ostringstream os;
+    CsvWriter csv(os);
+    csv.beginRow().field("say \"hi\"");
+    csv.endRow();
+    EXPECT_EQ(os.str(), "\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Csv, EscapesNewlines)
+{
+    std::ostringstream os;
+    CsvWriter csv(os);
+    csv.beginRow().field("line1\nline2");
+    csv.endRow();
+    EXPECT_EQ(os.str(), "\"line1\nline2\"\n");
+}
+
+TEST(Csv, IntegerTypes)
+{
+    std::ostringstream os;
+    CsvWriter csv(os);
+    csv.beginRow()
+        .field(std::uint64_t{18446744073709551615ULL})
+        .field(std::int64_t{-5})
+        .field(-7);
+    csv.endRow();
+    EXPECT_EQ(os.str(), "18446744073709551615,-5,-7\n");
+}
+
+TEST(Csv, MultipleRows)
+{
+    std::ostringstream os;
+    CsvWriter csv(os);
+    for (int i = 0; i < 3; ++i) {
+        csv.beginRow().field(i);
+        csv.endRow();
+    }
+    EXPECT_EQ(os.str(), "0\n1\n2\n");
+    EXPECT_EQ(csv.rowCount(), 3u);
+}
+
+TEST(Csv, PlainStringUntouched)
+{
+    std::ostringstream os;
+    CsvWriter csv(os);
+    csv.beginRow().field(std::string("hello world"));
+    csv.endRow();
+    EXPECT_EQ(os.str(), "hello world\n");
+}
+
+} // namespace
+} // namespace turnmodel

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Tests for the logging/error helpers: message composition and the
+ * fatal paths (checked via death tests).
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hpp"
+
+namespace turnmodel {
+namespace {
+
+TEST(Logging, ComposeMessage)
+{
+    EXPECT_EQ(composeMessage("a", 1, "b", 2.5), "a1b2.5");
+    EXPECT_EQ(composeMessage(), "");
+    EXPECT_EQ(composeMessage(42), "42");
+}
+
+TEST(LoggingDeathTest, FatalExits)
+{
+    EXPECT_EXIT({ TM_FATAL("bad input ", 7); },
+                ::testing::ExitedWithCode(1), "bad input 7");
+}
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH({ TM_PANIC("broken invariant"); }, "broken invariant");
+}
+
+TEST(LoggingDeathTest, AssertFires)
+{
+    EXPECT_DEATH({ TM_ASSERT(1 == 2, "math failed"); }, "assertion");
+}
+
+TEST(Logging, AssertPassesSilently)
+{
+    TM_ASSERT(1 + 1 == 2, "never shown");
+    SUCCEED();
+}
+
+TEST(Logging, WarnAndInformDoNotTerminate)
+{
+    TM_WARN("this is a warning");
+    TM_INFORM("this is information");
+    SUCCEED();
+}
+
+} // namespace
+} // namespace turnmodel

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Unit tests for the xoshiro256++ generator and its distributions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace turnmodel {
+namespace {
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a() == b())
+            ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NearbySeedsDecorrelated)
+{
+    // SplitMix64 seeding should make consecutive seeds unrelated.
+    Rng a(1000);
+    Rng b(1001);
+    const std::uint64_t xa = a();
+    const std::uint64_t xb = b();
+    EXPECT_NE(xa, xb);
+    // Hamming distance of first outputs should be near 32.
+    const int ham = __builtin_popcountll(xa ^ xb);
+    EXPECT_GT(ham, 10);
+    EXPECT_LT(ham, 54);
+}
+
+TEST(Rng, StreamsIndependent)
+{
+    Rng a = Rng::forStream(7, 0);
+    Rng b = Rng::forStream(7, 1);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a() == b())
+            ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForStreamDeterministic)
+{
+    Rng a = Rng::forStream(9, 5);
+    Rng b = Rng::forStream(9, 5);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, BoundedStaysInRange)
+{
+    Rng rng(3);
+    for (int bound : {1, 2, 3, 7, 100, 1000000}) {
+        for (int i = 0; i < 200; ++i) {
+            const auto v = rng.nextBounded(
+                static_cast<std::uint64_t>(bound));
+            EXPECT_LT(v, static_cast<std::uint64_t>(bound));
+        }
+    }
+}
+
+TEST(Rng, BoundedOneIsAlwaysZero)
+{
+    Rng rng(3);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(rng.nextBounded(1), 0u);
+}
+
+TEST(Rng, BoundedCoversRange)
+{
+    Rng rng(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.nextBounded(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, BoundedRoughlyUniform)
+{
+    Rng rng(5);
+    constexpr int kBuckets = 10;
+    constexpr int kDraws = 100000;
+    std::vector<int> counts(kBuckets, 0);
+    for (int i = 0; i < kDraws; ++i)
+        ++counts[rng.nextBounded(kBuckets)];
+    for (int c : counts) {
+        EXPECT_GT(c, kDraws / kBuckets * 0.9);
+        EXPECT_LT(c, kDraws / kBuckets * 1.1);
+    }
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(17);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.nextDouble();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, DoubleMeanNearHalf)
+{
+    Rng rng(23);
+    double sum = 0.0;
+    constexpr int kDraws = 100000;
+    for (int i = 0; i < kDraws; ++i)
+        sum += rng.nextDouble();
+    EXPECT_NEAR(sum / kDraws, 0.5, 0.01);
+}
+
+TEST(Rng, ExponentialMeanMatches)
+{
+    Rng rng(29);
+    const double mean = 40.0;
+    double sum = 0.0;
+    constexpr int kDraws = 200000;
+    for (int i = 0; i < kDraws; ++i)
+        sum += rng.nextExponential(mean);
+    EXPECT_NEAR(sum / kDraws, mean, mean * 0.02);
+}
+
+TEST(Rng, ExponentialIsPositive)
+{
+    Rng rng(31);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_GT(rng.nextExponential(1.0), 0.0);
+}
+
+TEST(Rng, BoolProbability)
+{
+    Rng rng(37);
+    int trues = 0;
+    constexpr int kDraws = 100000;
+    for (int i = 0; i < kDraws; ++i) {
+        if (rng.nextBool(0.3))
+            ++trues;
+    }
+    EXPECT_NEAR(static_cast<double>(trues) / kDraws, 0.3, 0.01);
+}
+
+TEST(Rng, BoolExtremes)
+{
+    Rng rng(41);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.nextBool(0.0));
+        EXPECT_TRUE(rng.nextBool(1.0));
+    }
+}
+
+} // namespace
+} // namespace turnmodel
