@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_fulladaptive.dir/extension_fulladaptive.cpp.o"
+  "CMakeFiles/extension_fulladaptive.dir/extension_fulladaptive.cpp.o.d"
+  "extension_fulladaptive"
+  "extension_fulladaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_fulladaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_hex.dir/extension_hex.cpp.o"
+  "CMakeFiles/extension_hex.dir/extension_hex.cpp.o.d"
+  "extension_hex"
+  "extension_hex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_hex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_oct.dir/extension_oct.cpp.o"
+  "CMakeFiles/extension_oct.dir/extension_oct.cpp.o.d"
+  "extension_oct"
+  "extension_oct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_oct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_oddeven.dir/extension_oddeven.cpp.o"
+  "CMakeFiles/extension_oddeven.dir/extension_oddeven.cpp.o.d"
+  "extension_oddeven"
+  "extension_oddeven.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_oddeven.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_mesh_uniform.dir/fig13_mesh_uniform.cpp.o"
+  "CMakeFiles/fig13_mesh_uniform.dir/fig13_mesh_uniform.cpp.o.d"
+  "fig13_mesh_uniform"
+  "fig13_mesh_uniform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_mesh_uniform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_mesh_transpose.dir/fig14_mesh_transpose.cpp.o"
+  "CMakeFiles/fig14_mesh_transpose.dir/fig14_mesh_transpose.cpp.o.d"
+  "fig14_mesh_transpose"
+  "fig14_mesh_transpose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_mesh_transpose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

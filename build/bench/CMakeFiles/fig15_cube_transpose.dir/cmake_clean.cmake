@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_cube_transpose.dir/fig15_cube_transpose.cpp.o"
+  "CMakeFiles/fig15_cube_transpose.dir/fig15_cube_transpose.cpp.o.d"
+  "fig15_cube_transpose"
+  "fig15_cube_transpose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_cube_transpose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

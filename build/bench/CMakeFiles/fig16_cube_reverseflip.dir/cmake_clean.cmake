@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_cube_reverseflip.dir/fig16_cube_reverseflip.cpp.o"
+  "CMakeFiles/fig16_cube_reverseflip.dir/fig16_cube_reverseflip.cpp.o.d"
+  "fig16_cube_reverseflip"
+  "fig16_cube_reverseflip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_cube_reverseflip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_routing.dir/micro_routing.cpp.o"
+  "CMakeFiles/micro_routing.dir/micro_routing.cpp.o.d"
+  "micro_routing"
+  "micro_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

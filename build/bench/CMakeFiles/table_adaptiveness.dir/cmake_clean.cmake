@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_adaptiveness.dir/table_adaptiveness.cpp.o"
+  "CMakeFiles/table_adaptiveness.dir/table_adaptiveness.cpp.o.d"
+  "table_adaptiveness"
+  "table_adaptiveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_adaptiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

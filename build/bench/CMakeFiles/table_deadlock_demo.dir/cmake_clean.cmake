@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_deadlock_demo.dir/table_deadlock_demo.cpp.o"
+  "CMakeFiles/table_deadlock_demo.dir/table_deadlock_demo.cpp.o.d"
+  "table_deadlock_demo"
+  "table_deadlock_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_deadlock_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_pathlength.dir/table_pathlength.cpp.o"
+  "CMakeFiles/table_pathlength.dir/table_pathlength.cpp.o.d"
+  "table_pathlength"
+  "table_pathlength.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_pathlength.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

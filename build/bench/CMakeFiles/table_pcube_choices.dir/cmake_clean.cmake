@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_pcube_choices.dir/table_pcube_choices.cpp.o"
+  "CMakeFiles/table_pcube_choices.dir/table_pcube_choices.cpp.o.d"
+  "table_pcube_choices"
+  "table_pcube_choices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_pcube_choices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_switching.dir/table_switching.cpp.o"
+  "CMakeFiles/table_switching.dir/table_switching.cpp.o.d"
+  "table_switching"
+  "table_switching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_switching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table_turnsets.cpp" "bench/CMakeFiles/table_turnsets.dir/table_turnsets.cpp.o" "gcc" "bench/CMakeFiles/table_turnsets.dir/table_turnsets.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/turnmodel_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/turnmodel_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/turnmodel_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/turnmodel_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/turnmodel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_turnsets.dir/table_turnsets.cpp.o"
+  "CMakeFiles/table_turnsets.dir/table_turnsets.cpp.o.d"
+  "table_turnsets"
+  "table_turnsets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_turnsets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptiveness_report.dir/adaptiveness_report.cpp.o"
+  "CMakeFiles/adaptiveness_report.dir/adaptiveness_report.cpp.o.d"
+  "adaptiveness_report"
+  "adaptiveness_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptiveness_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

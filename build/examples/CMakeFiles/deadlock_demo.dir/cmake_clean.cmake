@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deadlock_demo.dir/deadlock_demo.cpp.o"
+  "CMakeFiles/deadlock_demo.dir/deadlock_demo.cpp.o.d"
+  "deadlock_demo"
+  "deadlock_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deadlock_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

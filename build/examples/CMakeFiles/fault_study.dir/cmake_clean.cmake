@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_study.dir/fault_study.cpp.o"
+  "CMakeFiles/fault_study.dir/fault_study.cpp.o.d"
+  "fault_study"
+  "fault_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_study.dir/traffic_study.cpp.o"
+  "CMakeFiles/traffic_study.dir/traffic_study.cpp.o.d"
+  "traffic_study"
+  "traffic_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

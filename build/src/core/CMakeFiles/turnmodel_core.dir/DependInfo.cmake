@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptiveness.cpp" "src/core/CMakeFiles/turnmodel_core.dir/adaptiveness.cpp.o" "gcc" "src/core/CMakeFiles/turnmodel_core.dir/adaptiveness.cpp.o.d"
+  "/root/repo/src/core/channel_dependency.cpp" "src/core/CMakeFiles/turnmodel_core.dir/channel_dependency.cpp.o" "gcc" "src/core/CMakeFiles/turnmodel_core.dir/channel_dependency.cpp.o.d"
+  "/root/repo/src/core/cycle_analysis.cpp" "src/core/CMakeFiles/turnmodel_core.dir/cycle_analysis.cpp.o" "gcc" "src/core/CMakeFiles/turnmodel_core.dir/cycle_analysis.cpp.o.d"
+  "/root/repo/src/core/numbering.cpp" "src/core/CMakeFiles/turnmodel_core.dir/numbering.cpp.o" "gcc" "src/core/CMakeFiles/turnmodel_core.dir/numbering.cpp.o.d"
+  "/root/repo/src/core/routing.cpp" "src/core/CMakeFiles/turnmodel_core.dir/routing.cpp.o" "gcc" "src/core/CMakeFiles/turnmodel_core.dir/routing.cpp.o.d"
+  "/root/repo/src/core/routing/all_but_one.cpp" "src/core/CMakeFiles/turnmodel_core.dir/routing/all_but_one.cpp.o" "gcc" "src/core/CMakeFiles/turnmodel_core.dir/routing/all_but_one.cpp.o.d"
+  "/root/repo/src/core/routing/dimension_order.cpp" "src/core/CMakeFiles/turnmodel_core.dir/routing/dimension_order.cpp.o" "gcc" "src/core/CMakeFiles/turnmodel_core.dir/routing/dimension_order.cpp.o.d"
+  "/root/repo/src/core/routing/factory.cpp" "src/core/CMakeFiles/turnmodel_core.dir/routing/factory.cpp.o" "gcc" "src/core/CMakeFiles/turnmodel_core.dir/routing/factory.cpp.o.d"
+  "/root/repo/src/core/routing/mad_y.cpp" "src/core/CMakeFiles/turnmodel_core.dir/routing/mad_y.cpp.o" "gcc" "src/core/CMakeFiles/turnmodel_core.dir/routing/mad_y.cpp.o.d"
+  "/root/repo/src/core/routing/negative_first.cpp" "src/core/CMakeFiles/turnmodel_core.dir/routing/negative_first.cpp.o" "gcc" "src/core/CMakeFiles/turnmodel_core.dir/routing/negative_first.cpp.o.d"
+  "/root/repo/src/core/routing/north_last.cpp" "src/core/CMakeFiles/turnmodel_core.dir/routing/north_last.cpp.o" "gcc" "src/core/CMakeFiles/turnmodel_core.dir/routing/north_last.cpp.o.d"
+  "/root/repo/src/core/routing/odd_even.cpp" "src/core/CMakeFiles/turnmodel_core.dir/routing/odd_even.cpp.o" "gcc" "src/core/CMakeFiles/turnmodel_core.dir/routing/odd_even.cpp.o.d"
+  "/root/repo/src/core/routing/pcube.cpp" "src/core/CMakeFiles/turnmodel_core.dir/routing/pcube.cpp.o" "gcc" "src/core/CMakeFiles/turnmodel_core.dir/routing/pcube.cpp.o.d"
+  "/root/repo/src/core/routing/torus_adapters.cpp" "src/core/CMakeFiles/turnmodel_core.dir/routing/torus_adapters.cpp.o" "gcc" "src/core/CMakeFiles/turnmodel_core.dir/routing/torus_adapters.cpp.o.d"
+  "/root/repo/src/core/routing/turn_table.cpp" "src/core/CMakeFiles/turnmodel_core.dir/routing/turn_table.cpp.o" "gcc" "src/core/CMakeFiles/turnmodel_core.dir/routing/turn_table.cpp.o.d"
+  "/root/repo/src/core/routing/west_first.cpp" "src/core/CMakeFiles/turnmodel_core.dir/routing/west_first.cpp.o" "gcc" "src/core/CMakeFiles/turnmodel_core.dir/routing/west_first.cpp.o.d"
+  "/root/repo/src/core/turn.cpp" "src/core/CMakeFiles/turnmodel_core.dir/turn.cpp.o" "gcc" "src/core/CMakeFiles/turnmodel_core.dir/turn.cpp.o.d"
+  "/root/repo/src/core/turn_set.cpp" "src/core/CMakeFiles/turnmodel_core.dir/turn_set.cpp.o" "gcc" "src/core/CMakeFiles/turnmodel_core.dir/turn_set.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topology/CMakeFiles/turnmodel_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/turnmodel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/config.cpp" "src/sim/CMakeFiles/turnmodel_sim.dir/config.cpp.o" "gcc" "src/sim/CMakeFiles/turnmodel_sim.dir/config.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/sim/CMakeFiles/turnmodel_sim.dir/network.cpp.o" "gcc" "src/sim/CMakeFiles/turnmodel_sim.dir/network.cpp.o.d"
+  "/root/repo/src/sim/selection.cpp" "src/sim/CMakeFiles/turnmodel_sim.dir/selection.cpp.o" "gcc" "src/sim/CMakeFiles/turnmodel_sim.dir/selection.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/turnmodel_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/turnmodel_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/sim/sweep.cpp" "src/sim/CMakeFiles/turnmodel_sim.dir/sweep.cpp.o" "gcc" "src/sim/CMakeFiles/turnmodel_sim.dir/sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/turnmodel_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/turnmodel_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/turnmodel_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/turnmodel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

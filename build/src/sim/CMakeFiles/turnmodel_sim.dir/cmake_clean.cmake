@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turnmodel_sim.dir/config.cpp.o"
+  "CMakeFiles/turnmodel_sim.dir/config.cpp.o.d"
+  "CMakeFiles/turnmodel_sim.dir/network.cpp.o"
+  "CMakeFiles/turnmodel_sim.dir/network.cpp.o.d"
+  "CMakeFiles/turnmodel_sim.dir/selection.cpp.o"
+  "CMakeFiles/turnmodel_sim.dir/selection.cpp.o.d"
+  "CMakeFiles/turnmodel_sim.dir/simulator.cpp.o"
+  "CMakeFiles/turnmodel_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/turnmodel_sim.dir/sweep.cpp.o"
+  "CMakeFiles/turnmodel_sim.dir/sweep.cpp.o.d"
+  "libturnmodel_sim.a"
+  "libturnmodel_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turnmodel_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

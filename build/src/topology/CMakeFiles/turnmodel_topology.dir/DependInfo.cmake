@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/channel.cpp" "src/topology/CMakeFiles/turnmodel_topology.dir/channel.cpp.o" "gcc" "src/topology/CMakeFiles/turnmodel_topology.dir/channel.cpp.o.d"
+  "/root/repo/src/topology/coordinates.cpp" "src/topology/CMakeFiles/turnmodel_topology.dir/coordinates.cpp.o" "gcc" "src/topology/CMakeFiles/turnmodel_topology.dir/coordinates.cpp.o.d"
+  "/root/repo/src/topology/direction.cpp" "src/topology/CMakeFiles/turnmodel_topology.dir/direction.cpp.o" "gcc" "src/topology/CMakeFiles/turnmodel_topology.dir/direction.cpp.o.d"
+  "/root/repo/src/topology/faults.cpp" "src/topology/CMakeFiles/turnmodel_topology.dir/faults.cpp.o" "gcc" "src/topology/CMakeFiles/turnmodel_topology.dir/faults.cpp.o.d"
+  "/root/repo/src/topology/hex.cpp" "src/topology/CMakeFiles/turnmodel_topology.dir/hex.cpp.o" "gcc" "src/topology/CMakeFiles/turnmodel_topology.dir/hex.cpp.o.d"
+  "/root/repo/src/topology/hypercube.cpp" "src/topology/CMakeFiles/turnmodel_topology.dir/hypercube.cpp.o" "gcc" "src/topology/CMakeFiles/turnmodel_topology.dir/hypercube.cpp.o.d"
+  "/root/repo/src/topology/mesh.cpp" "src/topology/CMakeFiles/turnmodel_topology.dir/mesh.cpp.o" "gcc" "src/topology/CMakeFiles/turnmodel_topology.dir/mesh.cpp.o.d"
+  "/root/repo/src/topology/oct.cpp" "src/topology/CMakeFiles/turnmodel_topology.dir/oct.cpp.o" "gcc" "src/topology/CMakeFiles/turnmodel_topology.dir/oct.cpp.o.d"
+  "/root/repo/src/topology/topology.cpp" "src/topology/CMakeFiles/turnmodel_topology.dir/topology.cpp.o" "gcc" "src/topology/CMakeFiles/turnmodel_topology.dir/topology.cpp.o.d"
+  "/root/repo/src/topology/torus.cpp" "src/topology/CMakeFiles/turnmodel_topology.dir/torus.cpp.o" "gcc" "src/topology/CMakeFiles/turnmodel_topology.dir/torus.cpp.o.d"
+  "/root/repo/src/topology/virtual_channels.cpp" "src/topology/CMakeFiles/turnmodel_topology.dir/virtual_channels.cpp.o" "gcc" "src/topology/CMakeFiles/turnmodel_topology.dir/virtual_channels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/turnmodel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turnmodel_topology.dir/channel.cpp.o"
+  "CMakeFiles/turnmodel_topology.dir/channel.cpp.o.d"
+  "CMakeFiles/turnmodel_topology.dir/coordinates.cpp.o"
+  "CMakeFiles/turnmodel_topology.dir/coordinates.cpp.o.d"
+  "CMakeFiles/turnmodel_topology.dir/direction.cpp.o"
+  "CMakeFiles/turnmodel_topology.dir/direction.cpp.o.d"
+  "CMakeFiles/turnmodel_topology.dir/faults.cpp.o"
+  "CMakeFiles/turnmodel_topology.dir/faults.cpp.o.d"
+  "CMakeFiles/turnmodel_topology.dir/hex.cpp.o"
+  "CMakeFiles/turnmodel_topology.dir/hex.cpp.o.d"
+  "CMakeFiles/turnmodel_topology.dir/hypercube.cpp.o"
+  "CMakeFiles/turnmodel_topology.dir/hypercube.cpp.o.d"
+  "CMakeFiles/turnmodel_topology.dir/mesh.cpp.o"
+  "CMakeFiles/turnmodel_topology.dir/mesh.cpp.o.d"
+  "CMakeFiles/turnmodel_topology.dir/oct.cpp.o"
+  "CMakeFiles/turnmodel_topology.dir/oct.cpp.o.d"
+  "CMakeFiles/turnmodel_topology.dir/topology.cpp.o"
+  "CMakeFiles/turnmodel_topology.dir/topology.cpp.o.d"
+  "CMakeFiles/turnmodel_topology.dir/torus.cpp.o"
+  "CMakeFiles/turnmodel_topology.dir/torus.cpp.o.d"
+  "CMakeFiles/turnmodel_topology.dir/virtual_channels.cpp.o"
+  "CMakeFiles/turnmodel_topology.dir/virtual_channels.cpp.o.d"
+  "libturnmodel_topology.a"
+  "libturnmodel_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turnmodel_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

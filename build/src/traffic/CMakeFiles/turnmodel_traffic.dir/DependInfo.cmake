@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traffic/hotspot.cpp" "src/traffic/CMakeFiles/turnmodel_traffic.dir/hotspot.cpp.o" "gcc" "src/traffic/CMakeFiles/turnmodel_traffic.dir/hotspot.cpp.o.d"
+  "/root/repo/src/traffic/pattern.cpp" "src/traffic/CMakeFiles/turnmodel_traffic.dir/pattern.cpp.o" "gcc" "src/traffic/CMakeFiles/turnmodel_traffic.dir/pattern.cpp.o.d"
+  "/root/repo/src/traffic/permutation.cpp" "src/traffic/CMakeFiles/turnmodel_traffic.dir/permutation.cpp.o" "gcc" "src/traffic/CMakeFiles/turnmodel_traffic.dir/permutation.cpp.o.d"
+  "/root/repo/src/traffic/uniform.cpp" "src/traffic/CMakeFiles/turnmodel_traffic.dir/uniform.cpp.o" "gcc" "src/traffic/CMakeFiles/turnmodel_traffic.dir/uniform.cpp.o.d"
+  "/root/repo/src/traffic/workload.cpp" "src/traffic/CMakeFiles/turnmodel_traffic.dir/workload.cpp.o" "gcc" "src/traffic/CMakeFiles/turnmodel_traffic.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topology/CMakeFiles/turnmodel_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/turnmodel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turnmodel_traffic.dir/hotspot.cpp.o"
+  "CMakeFiles/turnmodel_traffic.dir/hotspot.cpp.o.d"
+  "CMakeFiles/turnmodel_traffic.dir/pattern.cpp.o"
+  "CMakeFiles/turnmodel_traffic.dir/pattern.cpp.o.d"
+  "CMakeFiles/turnmodel_traffic.dir/permutation.cpp.o"
+  "CMakeFiles/turnmodel_traffic.dir/permutation.cpp.o.d"
+  "CMakeFiles/turnmodel_traffic.dir/uniform.cpp.o"
+  "CMakeFiles/turnmodel_traffic.dir/uniform.cpp.o.d"
+  "CMakeFiles/turnmodel_traffic.dir/workload.cpp.o"
+  "CMakeFiles/turnmodel_traffic.dir/workload.cpp.o.d"
+  "libturnmodel_traffic.a"
+  "libturnmodel_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turnmodel_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

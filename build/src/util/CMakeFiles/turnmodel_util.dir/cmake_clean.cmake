@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turnmodel_util.dir/bitops.cpp.o"
+  "CMakeFiles/turnmodel_util.dir/bitops.cpp.o.d"
+  "CMakeFiles/turnmodel_util.dir/csv.cpp.o"
+  "CMakeFiles/turnmodel_util.dir/csv.cpp.o.d"
+  "CMakeFiles/turnmodel_util.dir/logging.cpp.o"
+  "CMakeFiles/turnmodel_util.dir/logging.cpp.o.d"
+  "CMakeFiles/turnmodel_util.dir/rng.cpp.o"
+  "CMakeFiles/turnmodel_util.dir/rng.cpp.o.d"
+  "CMakeFiles/turnmodel_util.dir/stats.cpp.o"
+  "CMakeFiles/turnmodel_util.dir/stats.cpp.o.d"
+  "libturnmodel_util.a"
+  "libturnmodel_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turnmodel_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

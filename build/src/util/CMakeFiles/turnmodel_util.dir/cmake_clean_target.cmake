@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libturnmodel_util.a"
+)

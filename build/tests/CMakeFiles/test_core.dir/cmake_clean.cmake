@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_adaptiveness.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_adaptiveness.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_cdg.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_cdg.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_cycle_analysis.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_cycle_analysis.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_numbering.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_numbering.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_turn.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_turn.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_turn_set.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_turn_set.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/integration/test_delivery.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_delivery.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_fault_tolerance.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_fault_tolerance.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_paper_numbers.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_paper_numbers.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_theorems.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_theorems.cpp.o.d"
+  "test_integration"
+  "test_integration.pdb"
+  "test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/routing/test_all_but_one.cpp" "tests/CMakeFiles/test_routing.dir/routing/test_all_but_one.cpp.o" "gcc" "tests/CMakeFiles/test_routing.dir/routing/test_all_but_one.cpp.o.d"
+  "/root/repo/tests/routing/test_dimension_order.cpp" "tests/CMakeFiles/test_routing.dir/routing/test_dimension_order.cpp.o" "gcc" "tests/CMakeFiles/test_routing.dir/routing/test_dimension_order.cpp.o.d"
+  "/root/repo/tests/routing/test_equivalences.cpp" "tests/CMakeFiles/test_routing.dir/routing/test_equivalences.cpp.o" "gcc" "tests/CMakeFiles/test_routing.dir/routing/test_equivalences.cpp.o.d"
+  "/root/repo/tests/routing/test_factory.cpp" "tests/CMakeFiles/test_routing.dir/routing/test_factory.cpp.o" "gcc" "tests/CMakeFiles/test_routing.dir/routing/test_factory.cpp.o.d"
+  "/root/repo/tests/routing/test_mad_y.cpp" "tests/CMakeFiles/test_routing.dir/routing/test_mad_y.cpp.o" "gcc" "tests/CMakeFiles/test_routing.dir/routing/test_mad_y.cpp.o.d"
+  "/root/repo/tests/routing/test_negative_first.cpp" "tests/CMakeFiles/test_routing.dir/routing/test_negative_first.cpp.o" "gcc" "tests/CMakeFiles/test_routing.dir/routing/test_negative_first.cpp.o.d"
+  "/root/repo/tests/routing/test_north_last.cpp" "tests/CMakeFiles/test_routing.dir/routing/test_north_last.cpp.o" "gcc" "tests/CMakeFiles/test_routing.dir/routing/test_north_last.cpp.o.d"
+  "/root/repo/tests/routing/test_odd_even.cpp" "tests/CMakeFiles/test_routing.dir/routing/test_odd_even.cpp.o" "gcc" "tests/CMakeFiles/test_routing.dir/routing/test_odd_even.cpp.o.d"
+  "/root/repo/tests/routing/test_pcube.cpp" "tests/CMakeFiles/test_routing.dir/routing/test_pcube.cpp.o" "gcc" "tests/CMakeFiles/test_routing.dir/routing/test_pcube.cpp.o.d"
+  "/root/repo/tests/routing/test_routing_common.cpp" "tests/CMakeFiles/test_routing.dir/routing/test_routing_common.cpp.o" "gcc" "tests/CMakeFiles/test_routing.dir/routing/test_routing_common.cpp.o.d"
+  "/root/repo/tests/routing/test_torus_routing.cpp" "tests/CMakeFiles/test_routing.dir/routing/test_torus_routing.cpp.o" "gcc" "tests/CMakeFiles/test_routing.dir/routing/test_torus_routing.cpp.o.d"
+  "/root/repo/tests/routing/test_turn_table.cpp" "tests/CMakeFiles/test_routing.dir/routing/test_turn_table.cpp.o" "gcc" "tests/CMakeFiles/test_routing.dir/routing/test_turn_table.cpp.o.d"
+  "/root/repo/tests/routing/test_west_first.cpp" "tests/CMakeFiles/test_routing.dir/routing/test_west_first.cpp.o" "gcc" "tests/CMakeFiles/test_routing.dir/routing/test_west_first.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/turnmodel_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/turnmodel_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/turnmodel_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/turnmodel_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/turnmodel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_routing.dir/routing/test_all_but_one.cpp.o"
+  "CMakeFiles/test_routing.dir/routing/test_all_but_one.cpp.o.d"
+  "CMakeFiles/test_routing.dir/routing/test_dimension_order.cpp.o"
+  "CMakeFiles/test_routing.dir/routing/test_dimension_order.cpp.o.d"
+  "CMakeFiles/test_routing.dir/routing/test_equivalences.cpp.o"
+  "CMakeFiles/test_routing.dir/routing/test_equivalences.cpp.o.d"
+  "CMakeFiles/test_routing.dir/routing/test_factory.cpp.o"
+  "CMakeFiles/test_routing.dir/routing/test_factory.cpp.o.d"
+  "CMakeFiles/test_routing.dir/routing/test_mad_y.cpp.o"
+  "CMakeFiles/test_routing.dir/routing/test_mad_y.cpp.o.d"
+  "CMakeFiles/test_routing.dir/routing/test_negative_first.cpp.o"
+  "CMakeFiles/test_routing.dir/routing/test_negative_first.cpp.o.d"
+  "CMakeFiles/test_routing.dir/routing/test_north_last.cpp.o"
+  "CMakeFiles/test_routing.dir/routing/test_north_last.cpp.o.d"
+  "CMakeFiles/test_routing.dir/routing/test_odd_even.cpp.o"
+  "CMakeFiles/test_routing.dir/routing/test_odd_even.cpp.o.d"
+  "CMakeFiles/test_routing.dir/routing/test_pcube.cpp.o"
+  "CMakeFiles/test_routing.dir/routing/test_pcube.cpp.o.d"
+  "CMakeFiles/test_routing.dir/routing/test_routing_common.cpp.o"
+  "CMakeFiles/test_routing.dir/routing/test_routing_common.cpp.o.d"
+  "CMakeFiles/test_routing.dir/routing/test_torus_routing.cpp.o"
+  "CMakeFiles/test_routing.dir/routing/test_torus_routing.cpp.o.d"
+  "CMakeFiles/test_routing.dir/routing/test_turn_table.cpp.o"
+  "CMakeFiles/test_routing.dir/routing/test_turn_table.cpp.o.d"
+  "CMakeFiles/test_routing.dir/routing/test_west_first.cpp.o"
+  "CMakeFiles/test_routing.dir/routing/test_west_first.cpp.o.d"
+  "test_routing"
+  "test_routing.pdb"
+  "test_routing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

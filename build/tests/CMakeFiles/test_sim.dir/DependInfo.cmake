@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_deadlock.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_deadlock.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_deadlock.cpp.o.d"
+  "/root/repo/tests/sim/test_network.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_network.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_network.cpp.o.d"
+  "/root/repo/tests/sim/test_properties.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_properties.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_properties.cpp.o.d"
+  "/root/repo/tests/sim/test_selection.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_selection.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_selection.cpp.o.d"
+  "/root/repo/tests/sim/test_simulator.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_simulator.cpp.o.d"
+  "/root/repo/tests/sim/test_sweep.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_sweep.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_sweep.cpp.o.d"
+  "/root/repo/tests/sim/test_switching.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_switching.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_switching.cpp.o.d"
+  "/root/repo/tests/sim/test_virtual_channel_sim.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_virtual_channel_sim.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_virtual_channel_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/turnmodel_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/turnmodel_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/turnmodel_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/turnmodel_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/turnmodel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/test_deadlock.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_deadlock.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_network.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_network.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_properties.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_properties.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_selection.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_selection.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_simulator.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_simulator.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_sweep.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_sweep.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_switching.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_switching.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_virtual_channel_sim.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_virtual_channel_sim.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/topology/test_channel.cpp" "tests/CMakeFiles/test_topology.dir/topology/test_channel.cpp.o" "gcc" "tests/CMakeFiles/test_topology.dir/topology/test_channel.cpp.o.d"
+  "/root/repo/tests/topology/test_coordinates.cpp" "tests/CMakeFiles/test_topology.dir/topology/test_coordinates.cpp.o" "gcc" "tests/CMakeFiles/test_topology.dir/topology/test_coordinates.cpp.o.d"
+  "/root/repo/tests/topology/test_direction.cpp" "tests/CMakeFiles/test_topology.dir/topology/test_direction.cpp.o" "gcc" "tests/CMakeFiles/test_topology.dir/topology/test_direction.cpp.o.d"
+  "/root/repo/tests/topology/test_faults.cpp" "tests/CMakeFiles/test_topology.dir/topology/test_faults.cpp.o" "gcc" "tests/CMakeFiles/test_topology.dir/topology/test_faults.cpp.o.d"
+  "/root/repo/tests/topology/test_hex.cpp" "tests/CMakeFiles/test_topology.dir/topology/test_hex.cpp.o" "gcc" "tests/CMakeFiles/test_topology.dir/topology/test_hex.cpp.o.d"
+  "/root/repo/tests/topology/test_hypercube.cpp" "tests/CMakeFiles/test_topology.dir/topology/test_hypercube.cpp.o" "gcc" "tests/CMakeFiles/test_topology.dir/topology/test_hypercube.cpp.o.d"
+  "/root/repo/tests/topology/test_mesh.cpp" "tests/CMakeFiles/test_topology.dir/topology/test_mesh.cpp.o" "gcc" "tests/CMakeFiles/test_topology.dir/topology/test_mesh.cpp.o.d"
+  "/root/repo/tests/topology/test_oct.cpp" "tests/CMakeFiles/test_topology.dir/topology/test_oct.cpp.o" "gcc" "tests/CMakeFiles/test_topology.dir/topology/test_oct.cpp.o.d"
+  "/root/repo/tests/topology/test_torus.cpp" "tests/CMakeFiles/test_topology.dir/topology/test_torus.cpp.o" "gcc" "tests/CMakeFiles/test_topology.dir/topology/test_torus.cpp.o.d"
+  "/root/repo/tests/topology/test_virtual_channels.cpp" "tests/CMakeFiles/test_topology.dir/topology/test_virtual_channels.cpp.o" "gcc" "tests/CMakeFiles/test_topology.dir/topology/test_virtual_channels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/turnmodel_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/turnmodel_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/turnmodel_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/turnmodel_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/turnmodel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_topology.dir/topology/test_channel.cpp.o"
+  "CMakeFiles/test_topology.dir/topology/test_channel.cpp.o.d"
+  "CMakeFiles/test_topology.dir/topology/test_coordinates.cpp.o"
+  "CMakeFiles/test_topology.dir/topology/test_coordinates.cpp.o.d"
+  "CMakeFiles/test_topology.dir/topology/test_direction.cpp.o"
+  "CMakeFiles/test_topology.dir/topology/test_direction.cpp.o.d"
+  "CMakeFiles/test_topology.dir/topology/test_faults.cpp.o"
+  "CMakeFiles/test_topology.dir/topology/test_faults.cpp.o.d"
+  "CMakeFiles/test_topology.dir/topology/test_hex.cpp.o"
+  "CMakeFiles/test_topology.dir/topology/test_hex.cpp.o.d"
+  "CMakeFiles/test_topology.dir/topology/test_hypercube.cpp.o"
+  "CMakeFiles/test_topology.dir/topology/test_hypercube.cpp.o.d"
+  "CMakeFiles/test_topology.dir/topology/test_mesh.cpp.o"
+  "CMakeFiles/test_topology.dir/topology/test_mesh.cpp.o.d"
+  "CMakeFiles/test_topology.dir/topology/test_oct.cpp.o"
+  "CMakeFiles/test_topology.dir/topology/test_oct.cpp.o.d"
+  "CMakeFiles/test_topology.dir/topology/test_torus.cpp.o"
+  "CMakeFiles/test_topology.dir/topology/test_torus.cpp.o.d"
+  "CMakeFiles/test_topology.dir/topology/test_virtual_channels.cpp.o"
+  "CMakeFiles/test_topology.dir/topology/test_virtual_channels.cpp.o.d"
+  "test_topology"
+  "test_topology.pdb"
+  "test_topology[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_traffic.dir/traffic/test_patterns.cpp.o"
+  "CMakeFiles/test_traffic.dir/traffic/test_patterns.cpp.o.d"
+  "CMakeFiles/test_traffic.dir/traffic/test_workload.cpp.o"
+  "CMakeFiles/test_traffic.dir/traffic/test_workload.cpp.o.d"
+  "test_traffic"
+  "test_traffic.pdb"
+  "test_traffic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
