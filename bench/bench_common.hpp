@@ -8,6 +8,7 @@
 #ifndef TURNMODEL_BENCH_COMMON_HPP
 #define TURNMODEL_BENCH_COMMON_HPP
 
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -25,6 +26,8 @@ struct Fidelity
     std::uint64_t warmup = 8000;
     std::uint64_t measure = 20000;
     int rate_points = 8;
+    /** With --json=PATH, also write the series as JSON there. */
+    std::string json_path;
 };
 
 inline Fidelity
@@ -41,9 +44,27 @@ parseFidelity(int argc, char **argv)
             f.warmup = 20000;
             f.measure = 60000;
             f.rate_points = 12;
+        } else if (arg.rfind("--json=", 0) == 0) {
+            f.json_path = arg.substr(std::string("--json=").size());
         }
     }
     return f;
+}
+
+/** Write sweep series to fidelity.json_path when set. */
+inline void
+maybeWriteJson(const Fidelity &fidelity, const std::string &experiment,
+               const std::vector<SweepSeries> &series)
+{
+    if (fidelity.json_path.empty())
+        return;
+    std::ofstream out(fidelity.json_path);
+    if (!out) {
+        std::cerr << "cannot write " << fidelity.json_path << '\n';
+        return;
+    }
+    writeSeriesJson(out, experiment, series);
+    std::cout << "wrote " << fidelity.json_path << '\n';
 }
 
 /**
@@ -71,6 +92,7 @@ runFigure(const std::string &title, const Topology &topo,
         all.push_back(runSweep(*routing, *pattern, sweep));
     }
     printSeries(std::cout, title, all);
+    maybeWriteJson(fidelity, title, all);
 
     double base = 0.0;
     for (const SweepSeries &s : all) {

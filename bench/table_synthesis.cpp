@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Synthesis summary table: run the turn-set synthesis engine across
+ * the repertoire of topologies and tabulate the pipeline counts —
+ * enumerated candidates, cycle-coverage pruning, symmetry classes,
+ * CDG-verified deadlock-free survivors, and the best adaptiveness
+ * found. On the 2D mesh the row reproduces the paper's Section 3
+ * (16 candidates, 12 deadlock free, 3 unique algorithms); the other
+ * rows go beyond the paper (3D mesh, hexagonal and octagonal
+ * meshes, Section 7 future work).
+ *
+ * The 4-axis octagonal space (4^12 ~ 16.7M one-per-cycle sets) is
+ * sampled, not exhausted; its counts are lower bounds and the row
+ * is marked.
+ *
+ * A latency/throughput sweep then runs the top synthesized 2D
+ * algorithm (by factory name) next to its hand-coded equivalent,
+ * and the series are written to BENCH_synthesis.json (--json=PATH
+ * overrides; --json= disables).
+ */
+
+#include <iomanip>
+#include <iostream>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "synthesis/engine.hpp"
+#include "topology/hex.hpp"
+#include "topology/mesh.hpp"
+#include "topology/oct.hpp"
+
+using namespace turnmodel;
+
+namespace {
+
+struct Row
+{
+    std::string topology;
+    SynthesisReport report;
+};
+
+void
+printTable(const std::vector<Row> &rows)
+{
+    std::cout << "== turn-set synthesis across topologies ==\n";
+    std::cout << std::setw(16) << "topology" << std::setw(12)
+              << "enumerated" << std::setw(9) << "pruned"
+              << std::setw(9) << "kept" << std::setw(9) << "classes"
+              << std::setw(10) << "dl-free" << std::setw(9)
+              << "classes" << std::setw(12) << "best S_p/S_f"
+              << "  top algorithm\n";
+    for (const Row &row : rows) {
+        const SynthesisReport &r = row.report;
+        std::cout << std::setw(16) << row.topology << std::setw(12)
+                  << r.enumerated << std::setw(9) << r.pruned_by_cycles
+                  << std::setw(9) << r.candidates.size() << std::setw(9)
+                  << r.classes.size() << std::setw(10)
+                  << r.deadlockFreeCandidates() << std::setw(9)
+                  << r.deadlockFreeClasses();
+        if (!r.ranking.empty()) {
+            const SynthesizedCandidate &best =
+                r.candidates[r.ranking.front()];
+            std::cout << std::setw(12) << std::fixed
+                      << std::setprecision(4)
+                      << best.adaptiveness.mean_ratio << "  "
+                      << best.name;
+        } else {
+            std::cout << std::setw(12) << "-" << "  -";
+        }
+        if (r.sampled)
+            std::cout << "  [sampled]";
+        std::cout << '\n';
+    }
+    std::cout << '\n';
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::Fidelity fidelity = bench::parseFidelity(argc, argv);
+    bool json_given = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]).rfind("--json", 0) == 0)
+            json_given = true;
+    }
+    if (!json_given)
+        fidelity.json_path = "BENCH_synthesis.json";
+
+    const bool full = fidelity.measure > 20000;
+
+    std::vector<Row> rows;
+    {
+        NDMesh mesh = NDMesh::mesh2D(5, 5);
+        rows.push_back({"mesh 5x5", synthesize(mesh)});
+    }
+    {
+        NDMesh mesh(Shape{3, 3, 3});
+        rows.push_back({"mesh 3x3x3", synthesize(mesh)});
+    }
+    {
+        HexMesh hex(full ? 4 : 3, full ? 4 : 3);
+        SynthesisConfig config;
+        if (!full)
+            config.max_candidates = 1024;
+        rows.push_back({hex.name(), synthesize(hex, config)});
+    }
+    {
+        OctMesh oct(3, 3);
+        SynthesisConfig config;
+        config.max_candidates = full ? 4096 : 512;
+        rows.push_back({oct.name(), synthesize(oct, config)});
+    }
+    printTable(rows);
+    for (const Row &row : rows)
+        printSynthesisReport(std::cout, row.report, 4);
+    std::cout << '\n';
+
+    // Sweep the top synthesized 2D algorithm against its hand-coded
+    // equivalent. The best 2D class ties west-first / north-last /
+    // negative-first, so the named baselines are the right yardstick.
+    const SynthesisReport &mesh_report = rows.front().report;
+    if (!mesh_report.ranking.empty()) {
+        NDMesh mesh = NDMesh::mesh2D(8, 8);
+        const std::string winner =
+            mesh_report.candidates[mesh_report.ranking.front()].name;
+        bench::runFigure("synthesized vs hand-coded (8x8 mesh, uniform)",
+                         mesh, "uniform",
+                         {winner, "west-first", "negative-first"},
+                         "west-first", 0.01, 0.6, fidelity);
+    }
+    return 0;
+}

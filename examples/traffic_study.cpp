@@ -76,10 +76,15 @@ makeTopology(const std::string &spec)
 std::vector<std::string>
 splitList(const std::string &arg)
 {
+    // Semicolons take priority as the separator so that synthesized
+    // routing names ("synth:a->b,c->d"), which contain commas, can
+    // be listed: --algos "synth:a->b,c->d;xy".
+    const char sep =
+        arg.find(';') != std::string::npos ? ';' : ',';
     std::vector<std::string> out;
     std::stringstream ss(arg);
     std::string item;
-    while (std::getline(ss, item, ','))
+    while (std::getline(ss, item, sep))
         out.push_back(item);
     return out;
 }

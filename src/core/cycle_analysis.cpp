@@ -62,6 +62,95 @@ breaksAllAbstractCycles(const TurnSet &set, int num_dims)
     return true;
 }
 
+std::uint64_t
+countOneTurnPerCycleSets(int num_dims)
+{
+    const int cycles = countAbstractCycles(num_dims);
+    TM_ASSERT(cycles < 32, "too many abstract cycles to enumerate");
+    return std::uint64_t{1} << (2 * cycles);
+}
+
+TurnSet
+oneTurnPerCycleSet(int num_dims, std::uint64_t index)
+{
+    TM_ASSERT(index < countOneTurnPerCycleSets(num_dims),
+              "candidate index out of range");
+    TurnSet set(num_dims);
+    set.allowAll90();
+    set.allowAllStraight();
+    for (const AbstractCycle &cycle : abstractCycles(num_dims)) {
+        set.prohibit(cycle.turns[index & 3]);
+        index >>= 2;
+    }
+    return set;
+}
+
+std::vector<TurnSet>
+allOneTurnPerCycleSets(int num_dims)
+{
+    const std::uint64_t count = countOneTurnPerCycleSets(num_dims);
+    TM_ASSERT(count <= (std::uint64_t{1} << 20),
+              "one-turn-per-cycle family too large to materialize");
+    std::vector<TurnSet> sets;
+    sets.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i)
+        sets.push_back(oneTurnPerCycleSet(num_dims, i));
+    return sets;
+}
+
+std::uint64_t
+countMinimalProhibitionSubsets(int num_dims)
+{
+    const int total = count90DegreeTurns(num_dims);
+    const int choose = minimumProhibitedTurns(num_dims);
+    // C(total, choose) without overflow for the sizes we enumerate.
+    long double result = 1.0L;
+    for (int i = 1; i <= choose; ++i) {
+        result *= static_cast<long double>(total - choose + i);
+        result /= static_cast<long double>(i);
+    }
+    return static_cast<std::uint64_t>(result + 0.5L);
+}
+
+void
+forEachMinimalProhibitionSubset(
+    int num_dims, const std::function<bool(const TurnSet &)> &visit)
+{
+    TM_ASSERT(countMinimalProhibitionSubsets(num_dims) <=
+                  (std::uint64_t{1} << 22),
+              "minimal-subset space too large to enumerate");
+    const std::vector<Turn> turns = all90DegreeTurns(num_dims);
+    const int total = static_cast<int>(turns.size());
+    const int choose = minimumProhibitedTurns(num_dims);
+
+    // Classic lexicographic k-subset walk over turn indices.
+    std::vector<int> pick(static_cast<std::size_t>(choose));
+    for (int i = 0; i < choose; ++i)
+        pick[static_cast<std::size_t>(i)] = i;
+    while (true) {
+        TurnSet set(num_dims);
+        set.allowAll90();
+        set.allowAllStraight();
+        for (int i : pick)
+            set.prohibit(turns[static_cast<std::size_t>(i)]);
+        if (!visit(set))
+            return;
+        int pos = choose - 1;
+        while (pos >= 0 &&
+               pick[static_cast<std::size_t>(pos)] ==
+                   total - choose + pos) {
+            --pos;
+        }
+        if (pos < 0)
+            return;
+        ++pick[static_cast<std::size_t>(pos)];
+        for (int i = pos + 1; i < choose; ++i) {
+            pick[static_cast<std::size_t>(i)] =
+                pick[static_cast<std::size_t>(i - 1)] + 1;
+        }
+    }
+}
+
 SquareSymmetry::SquareSymmetry(int index)
     : rotation_(index % 4), reflect_(index >= 4)
 {

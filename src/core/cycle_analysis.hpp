@@ -13,6 +13,8 @@
 #define TURNMODEL_CORE_CYCLE_ANALYSIS_HPP
 
 #include <array>
+#include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "core/turn_set.hpp"
@@ -46,6 +48,56 @@ int minimumProhibitedTurns(int num_dims);
  * cycle. Necessary for deadlock freedom; not sufficient (Figure 4).
  */
 bool breaksAllAbstractCycles(const TurnSet &set, int num_dims);
+
+// --- Candidate enumeration (synthesis support) ---------------------
+//
+// The synthesis engine (src/synthesis/) enumerates candidate
+// prohibited-turn sets in two ways: every minimal-size subset of the
+// 90-degree turns (pruned by breaksAllAbstractCycles afterwards), or
+// directly the pruned family of one-prohibition-per-abstract-cycle
+// sets. The latter is indexable, so huge spaces (4^12 for four
+// dimensions) can be sampled without materialization.
+
+/**
+ * Number of turn sets that prohibit exactly one turn of each
+ * abstract cycle: 4^(n(n-1)). 16 for n = 2 (the paper's Section 3
+ * enumeration), 4096 for n = 3.
+ */
+std::uint64_t countOneTurnPerCycleSets(int num_dims);
+
+/**
+ * The @p index-th set prohibiting one turn per abstract cycle, with
+ * every other 90-degree turn and straight travel allowed. Writing
+ * @p index in base 4, digit c selects which of cycle c's four turns
+ * is prohibited (cycles in abstractCycles order).
+ *
+ * @param index In [0, countOneTurnPerCycleSets(num_dims)).
+ */
+TurnSet oneTurnPerCycleSet(int num_dims, std::uint64_t index);
+
+/**
+ * Materialize the whole one-turn-per-cycle family; only sensible for
+ * small n (panics when the count exceeds 1 << 20).
+ */
+std::vector<TurnSet> allOneTurnPerCycleSets(int num_dims);
+
+/**
+ * Number of turns a minimal-size prohibition chooses, n(n-1), and the
+ * size of the space it is chosen from, 4n(n-1): a minimal candidate
+ * is any n(n-1)-subset of the 90-degree turns. The one-per-cycle
+ * family is exactly the subsets that survive cycle-coverage pruning.
+ */
+std::uint64_t countMinimalProhibitionSubsets(int num_dims);
+
+/**
+ * Visit every minimal-size prohibition subset (all n(n-1)-element
+ * subsets of the 4n(n-1) turns) as a TurnSet with straight travel
+ * and the remaining 90-degree turns allowed. Stops early when
+ * @p visit returns false. Only sensible when
+ * countMinimalProhibitionSubsets is small (panics above 1 << 22).
+ */
+void forEachMinimalProhibitionSubset(
+    int num_dims, const std::function<bool(const TurnSet &)> &visit);
 
 /**
  * The symmetry group of the 2D turn diagram: the eight symmetries of

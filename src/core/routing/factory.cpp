@@ -74,6 +74,27 @@ makeRouting(const std::string &name, const Topology &topo)
     const auto *cube = dynamic_cast<const Hypercube *>(&topo);
     const auto *torus = dynamic_cast<const KAryNCube *>(&topo);
 
+    // Synthesized algorithms: a prohibited-turn spec embedded in the
+    // name (the synthesis engine emits these; see
+    // synthesis/engine.hpp). Works on any topology whose dimensions
+    // match the spec.
+    for (const auto &[prefix, minimal] :
+         {std::pair<const char *, bool>{"synth:", true},
+          std::pair<const char *, bool>{"synth-nonminimal:", false}}) {
+        if (name.rfind(prefix, 0) != 0)
+            continue;
+        const std::string spec =
+            name.substr(std::string(prefix).size());
+        const auto set =
+            TurnSet::fromProhibitedSpec(spec, topo.numDims());
+        if (!set) {
+            TM_FATAL("bad synthesized-routing spec '", spec,
+                     "' for ", topo.name());
+        }
+        return std::make_unique<TurnTableRouting>(topo, *set, minimal,
+                                                  name);
+    }
+
     // Hexagonal meshes route through the generic turn-rule machinery
     // (their axes are not independent coordinates, so the
     // coordinate-phase algorithm classes do not apply).

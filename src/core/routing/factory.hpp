@@ -27,6 +27,13 @@ namespace turnmodel {
  * Torus names: "wrap-first-hop:<inner>" (e.g.
  * "wrap-first-hop:negative-first") and "torus-negative-first".
  *
+ * Synthesized names (any topology): "synth:<spec>" and
+ * "synth-nonminimal:<spec>", where <spec> is a comma-separated list
+ * of prohibited 90-degree turns in TurnSet::prohibitedSpec form,
+ * e.g. "synth:north->west,south->west" (the synthesized equivalent
+ * of west-first). The synthesis engine (synthesis/engine.hpp) emits
+ * verified names of this form.
+ *
  * @param name Algorithm name.
  * @param topo Topology; must outlive the returned object.
  * @return The algorithm; fatal error for unknown names or

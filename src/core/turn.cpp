@@ -58,6 +58,19 @@ Turn::toString() const
     return directionName(from) + "->" + directionName(to);
 }
 
+std::optional<Turn>
+turnFromString(const std::string &text, int num_dims)
+{
+    const std::size_t arrow = text.find("->");
+    if (arrow == std::string::npos)
+        return std::nullopt;
+    const auto from = directionFromName(text.substr(0, arrow), num_dims);
+    const auto to = directionFromName(text.substr(arrow + 2), num_dims);
+    if (!from || !to)
+        return std::nullopt;
+    return Turn(*from, *to);
+}
+
 std::vector<Turn>
 all90DegreeTurns(int num_dims)
 {

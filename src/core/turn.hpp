@@ -12,6 +12,7 @@
 
 #include <compare>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -64,6 +65,13 @@ struct Turn
 
     friend constexpr auto operator<=>(const Turn &, const Turn &) = default;
 };
+
+/**
+ * Inverse of Turn::toString: parse "east->north" (or "+d2->-d0")
+ * into a turn over @p num_dims dimensions. Returns nullopt for
+ * malformed strings or out-of-range dimensions.
+ */
+std::optional<Turn> turnFromString(const std::string &text, int num_dims);
 
 /**
  * All 4n(n-1) 90-degree turns of an n-dimensional network, in id

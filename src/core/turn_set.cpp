@@ -110,6 +110,41 @@ TurnSet::toString() const
     return out + "}";
 }
 
+std::string
+TurnSet::prohibitedSpec() const
+{
+    std::string out;
+    for (Turn t : prohibited90()) {
+        if (!out.empty())
+            out += ',';
+        out += t.toString();
+    }
+    return out;
+}
+
+std::optional<TurnSet>
+TurnSet::fromProhibitedSpec(const std::string &spec, int num_dims)
+{
+    TurnSet set(num_dims);
+    set.allowAll90();
+    set.allowAllStraight();
+    std::size_t begin = 0;
+    while (begin <= spec.size()) {
+        std::size_t end = spec.find(',', begin);
+        if (end == std::string::npos)
+            end = spec.size();
+        const std::string item = spec.substr(begin, end - begin);
+        if (item.empty())
+            return std::nullopt;
+        const auto turn = turnFromString(item, num_dims);
+        if (!turn || turn->kind() != TurnKind::Ninety)
+            return std::nullopt;
+        set.prohibit(*turn);
+        begin = end + 1;
+    }
+    return set;
+}
+
 TurnSet
 TurnSet::dimensionOrder(int num_dims)
 {

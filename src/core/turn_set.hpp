@@ -10,6 +10,7 @@
 #ifndef TURNMODEL_CORE_TURN_SET_HPP
 #define TURNMODEL_CORE_TURN_SET_HPP
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -62,6 +63,24 @@ class TurnSet
 
     /** Listing of prohibited 90-degree turns for messages. */
     std::string toString() const;
+
+    /**
+     * Canonical machine-readable spec of the prohibited 90-degree
+     * turns, in turn-id order, e.g. "north->west,south->west".
+     * Suitable for embedding in routing-factory names; the inverse
+     * is fromProhibitedSpec.
+     */
+    std::string prohibitedSpec() const;
+
+    /**
+     * Build the set that allows every 90-degree turn and straight
+     * travel except the comma-separated turns in @p spec (the
+     * prohibitedSpec format). Returns nullopt when the spec is
+     * malformed, names a non-90-degree turn, or references a
+     * dimension outside [0, num_dims).
+     */
+    static std::optional<TurnSet> fromProhibitedSpec(
+        const std::string &spec, int num_dims);
 
     bool operator==(const TurnSet &other) const = default;
 

@@ -20,6 +20,92 @@ SweepSeries::maxSustainableThroughput() const
     return best;
 }
 
+namespace {
+
+/** Minimal JSON string escaping (quotes and backslashes). */
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+/** JSON-safe number rendering (JSON has no NaN/Inf literals). */
+void
+jsonNumber(std::ostream &os, double value)
+{
+    if (std::isfinite(value))
+        os << value;
+    else
+        os << "null";
+}
+
+} // namespace
+
+void
+SweepSeries::writeJson(std::ostream &os) const
+{
+    // Undo any formatting (printSeries sets fixed/precision) so
+    // numbers round-trip.
+    const std::ios::fmtflags flags = os.flags();
+    const std::streamsize precision = os.precision();
+    os.flags(std::ios::dec);
+    os.precision(10);
+
+    os << "{\"algorithm\": \"" << jsonEscape(algorithm) << "\", "
+       << "\"max_sustainable_throughput_flits_per_us\": ";
+    jsonNumber(os, maxSustainableThroughput());
+    os << ", \"points\": [";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const SweepPoint &p = points[i];
+        const SimResult &r = p.result;
+        if (i > 0)
+            os << ", ";
+        os << "{\"injection_rate\": ";
+        jsonNumber(os, p.injection_rate);
+        os << ", \"offered_flits_per_us\": ";
+        jsonNumber(os, r.offered_flits_per_us);
+        os << ", \"throughput_flits_per_us\": ";
+        jsonNumber(os, r.throughput_flits_per_us);
+        os << ", \"latency_us\": ";
+        jsonNumber(os, r.avg_latency_us);
+        os << ", \"network_latency_us\": ";
+        jsonNumber(os, r.avg_network_latency_us);
+        os << ", \"p99_latency_us\": ";
+        jsonNumber(os, r.p99_latency_us);
+        os << ", \"avg_hops\": ";
+        jsonNumber(os, r.avg_hops);
+        os << ", \"packets\": " << r.packets_measured
+           << ", \"saturated\": " << (r.saturated ? "true" : "false")
+           << ", \"deadlocked\": " << (r.deadlocked ? "true" : "false")
+           << "}";
+    }
+    os << "]}";
+
+    os.flags(flags);
+    os.precision(precision);
+}
+
+void
+writeSeriesJson(std::ostream &os, const std::string &experiment,
+                const std::vector<SweepSeries> &series)
+{
+    os << "{\"experiment\": \"" << jsonEscape(experiment)
+       << "\", \"series\": [";
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        if (i > 0)
+            os << ", ";
+        series[i].writeJson(os);
+    }
+    os << "]}\n";
+}
+
 std::vector<double>
 SweepConfig::ladder(double lo, double hi, int points)
 {

@@ -38,6 +38,14 @@ struct SweepSeries
      * the paper's "maximum sustainable throughput".
      */
     double maxSustainableThroughput() const;
+
+    /**
+     * Emit this series as one JSON object:
+     * {"algorithm": ..., "max_sustainable_throughput_flits_per_us":
+     * ..., "points": [{...}, ...]}. Machine-readable counterpart of
+     * printSeries for BENCH_*.json result files.
+     */
+    void writeJson(std::ostream &os) const;
 };
 
 /** Sweep configuration. */
@@ -70,6 +78,13 @@ SweepSeries runSweep(const RoutingAlgorithm &routing,
  */
 void printSeries(std::ostream &os, const std::string &experiment,
                  const std::vector<SweepSeries> &series);
+
+/**
+ * Write a whole experiment as a JSON document:
+ * {"experiment": ..., "series": [<SweepSeries::writeJson>, ...]}.
+ */
+void writeSeriesJson(std::ostream &os, const std::string &experiment,
+                     const std::vector<SweepSeries> &series);
 
 } // namespace turnmodel
 

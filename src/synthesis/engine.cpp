@@ -1,0 +1,341 @@
+#include "synthesis/engine.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <map>
+#include <ostream>
+
+#include "core/channel_dependency.hpp"
+#include "core/cycle_analysis.hpp"
+#include "core/routing/turn_table.hpp"
+#include "synthesis/symmetry.hpp"
+#include "util/logging.hpp"
+
+namespace turnmodel {
+
+namespace {
+
+/** Largest minimal-subset space Auto mode walks exhaustively. */
+constexpr std::uint64_t kAutoSubsetLimit = std::uint64_t{1} << 20;
+
+EnumerationMode
+resolveMode(const SynthesisConfig &config, int num_dims)
+{
+    if (config.mode != EnumerationMode::Auto)
+        return config.mode;
+    return countMinimalProhibitionSubsets(num_dims) <= kAutoSubsetLimit
+        ? EnumerationMode::MinimalSubsets
+        : EnumerationMode::OnePerCycle;
+}
+
+/**
+ * S_f for every ordered pair, counted exhaustively against a fully
+ * adaptive reference routing — valid for topologies (hex, oct)
+ * where the orthogonal-mesh multinomial does not apply, and
+ * identical to fullyAdaptivePathCount on meshes. Computed once and
+ * shared across all ranked candidates.
+ */
+std::vector<std::uint64_t>
+referencePathCounts(const RoutingAlgorithm &fully)
+{
+    const Topology &topo = fully.topology();
+    const std::size_t nodes = topo.numNodes();
+    std::vector<std::uint64_t> counts(nodes * nodes, 0);
+    for (NodeId src = 0; src < topo.numNodes(); ++src) {
+        for (NodeId dst = 0; dst < topo.numNodes(); ++dst) {
+            if (src == dst)
+                continue;
+            const std::uint64_t sf =
+                countAllowedShortestPaths(fully, src, dst);
+            TM_ASSERT(sf > 0, "fully adaptive reference disconnected");
+            counts[static_cast<std::size_t>(src) * nodes + dst] = sf;
+        }
+    }
+    return counts;
+}
+
+/** Mean S_p / S_f over all ordered pairs (Section 3.4 metric). */
+AdaptivenessSummary
+summarizeAgainstReference(const RoutingAlgorithm &routing,
+                          const std::vector<std::uint64_t> &reference)
+{
+    const Topology &topo = routing.topology();
+    const std::size_t nodes = topo.numNodes();
+    AdaptivenessSummary summary;
+    double ratio_sum = 0.0;
+    double path_sum = 0.0;
+    std::uint64_t singles = 0;
+    for (NodeId src = 0; src < topo.numNodes(); ++src) {
+        for (NodeId dst = 0; dst < topo.numNodes(); ++dst) {
+            if (src == dst)
+                continue;
+            const std::uint64_t sp =
+                countAllowedShortestPaths(routing, src, dst);
+            const std::uint64_t sf =
+                reference[static_cast<std::size_t>(src) * nodes + dst];
+            ratio_sum +=
+                static_cast<double>(sp) / static_cast<double>(sf);
+            path_sum += static_cast<double>(sp);
+            if (sp == 1)
+                ++singles;
+            ++summary.pairs;
+        }
+    }
+    if (summary.pairs > 0) {
+        const double pairs = static_cast<double>(summary.pairs);
+        summary.mean_ratio = ratio_sum / pairs;
+        summary.mean_paths = path_sum / pairs;
+        summary.fraction_single = static_cast<double>(singles) / pairs;
+    }
+    return summary;
+}
+
+} // namespace
+
+std::size_t
+SynthesisReport::deadlockFreeCandidates() const
+{
+    std::size_t count = 0;
+    for (const SynthesizedCandidate &c : candidates) {
+        if (c.deadlock_free)
+            ++count;
+    }
+    return count;
+}
+
+std::size_t
+SynthesisReport::deadlockFreeClasses() const
+{
+    std::size_t count = 0;
+    for (const SynthesisClass &cls : classes) {
+        if (candidates[cls.representative].deadlock_free)
+            ++count;
+    }
+    return count;
+}
+
+std::size_t
+SynthesisReport::connectedCandidates() const
+{
+    std::size_t count = 0;
+    for (const SynthesizedCandidate &c : candidates) {
+        if (c.connected)
+            ++count;
+    }
+    return count;
+}
+
+std::size_t
+SynthesisReport::usableCandidates() const
+{
+    std::size_t count = 0;
+    for (const SynthesizedCandidate &c : candidates) {
+        if (c.connected && c.deadlock_free)
+            ++count;
+    }
+    return count;
+}
+
+std::vector<std::size_t>
+SynthesisReport::maximallyAdaptive(double epsilon) const
+{
+    std::vector<std::size_t> top;
+    if (ranking.empty())
+        return top;
+    const double best =
+        candidates[ranking.front()].adaptiveness.mean_ratio;
+    for (std::size_t index : ranking) {
+        if (candidates[index].adaptiveness.mean_ratio
+            >= best - epsilon) {
+            top.push_back(index);
+        }
+    }
+    return top;
+}
+
+SynthesisReport
+synthesize(const Topology &topo, const SynthesisConfig &config)
+{
+    const int n = topo.numDims();
+    TM_ASSERT(n >= 2, "synthesis needs at least two dimensions");
+
+    SynthesisReport report;
+    report.topology_name = topo.name();
+    report.num_dims = n;
+    report.mode_used = resolveMode(config, n);
+
+    // 1+2. Enumerate candidates and prune by abstract-cycle coverage.
+    if (report.mode_used == EnumerationMode::MinimalSubsets) {
+        report.space_size = countMinimalProhibitionSubsets(n);
+        forEachMinimalProhibitionSubset(n, [&](const TurnSet &set) {
+            ++report.enumerated;
+            if (!breaksAllAbstractCycles(set, n)) {
+                ++report.pruned_by_cycles;
+                return true;
+            }
+            SynthesizedCandidate candidate;
+            candidate.set = set;
+            candidate.breaks_all_cycles = true;
+            report.candidates.push_back(std::move(candidate));
+            if (config.max_candidates > 0 &&
+                report.candidates.size() >= config.max_candidates) {
+                report.sampled = true;
+                return false;
+            }
+            return true;
+        });
+    } else {
+        report.space_size = countOneTurnPerCycleSets(n);
+        std::uint64_t stride = 1;
+        if (config.max_candidates > 0 &&
+            report.space_size > config.max_candidates) {
+            stride = report.space_size / config.max_candidates;
+            report.sampled = true;
+        }
+        for (std::uint64_t index = 0; index < report.space_size;
+             index += stride) {
+            ++report.enumerated;
+            SynthesizedCandidate candidate;
+            candidate.set = oneTurnPerCycleSet(n, index);
+            candidate.breaks_all_cycles = true;
+            report.candidates.push_back(std::move(candidate));
+            if (config.max_candidates > 0 &&
+                report.candidates.size() >= config.max_candidates) {
+                break;
+            }
+        }
+    }
+    for (SynthesizedCandidate &candidate : report.candidates)
+        candidate.name = "synth:" + candidate.set.prohibitedSpec();
+
+    // 3. Collapse into symmetry classes.
+    const std::vector<SignedPermutation> group = config.use_symmetry
+        ? admissibleSymmetries(topo)
+        : std::vector<SignedPermutation>{SignedPermutation::identity(n)};
+    std::map<std::vector<int>, std::size_t> class_of_key;
+    for (std::size_t i = 0; i < report.candidates.size(); ++i) {
+        SynthesizedCandidate &candidate = report.candidates[i];
+        const std::vector<int> key = canonicalKey(candidate.set, group);
+        const auto [it, inserted] =
+            class_of_key.emplace(key, report.classes.size());
+        if (inserted) {
+            SynthesisClass cls;
+            cls.representative = i;
+            report.classes.push_back(cls);
+            candidate.is_representative = true;
+        }
+        candidate.class_id = it->second;
+        ++report.classes[it->second].size;
+    }
+
+    // 4. Verify one representative per class (or everything with
+    // verify_all), then propagate class verdicts.
+    const auto verify = [&](SynthesizedCandidate &candidate) {
+        TurnTableRouting routing(topo, candidate.set, config.minimal,
+                                 candidate.name);
+        candidate.connected = routing.isConnected();
+        candidate.deadlock_free = isDeadlockFree(routing);
+        candidate.verified_directly = true;
+        ++report.cdg_checks;
+    };
+    for (const SynthesisClass &cls : report.classes)
+        verify(report.candidates[cls.representative]);
+    for (SynthesizedCandidate &candidate : report.candidates) {
+        if (candidate.verified_directly)
+            continue;
+        if (config.verify_all) {
+            verify(candidate);
+        } else {
+            const SynthesizedCandidate &rep = report.candidates[
+                report.classes[candidate.class_id].representative];
+            candidate.connected = rep.connected;
+            candidate.deadlock_free = rep.deadlock_free;
+        }
+    }
+
+    // 5. Rank surviving representatives by adaptiveness.
+    if (config.rank) {
+        TurnSet every(n);
+        every.allowAll90();
+        every.allowAllStraight();
+        const TurnTableRouting fully(topo, every, config.minimal,
+                                     "fully-adaptive");
+        const std::vector<std::uint64_t> reference =
+            referencePathCounts(fully);
+        for (const SynthesisClass &cls : report.classes) {
+            SynthesizedCandidate &rep =
+                report.candidates[cls.representative];
+            if (!rep.connected || !rep.deadlock_free)
+                continue;
+            TurnTableRouting routing(topo, rep.set, config.minimal,
+                                     rep.name);
+            rep.adaptiveness =
+                summarizeAgainstReference(routing, reference);
+            rep.has_adaptiveness = true;
+            report.ranking.push_back(cls.representative);
+        }
+        std::sort(report.ranking.begin(), report.ranking.end(),
+                  [&report](std::size_t a, std::size_t b) {
+                      const auto &ca = report.candidates[a];
+                      const auto &cb = report.candidates[b];
+                      if (ca.adaptiveness.mean_ratio !=
+                          cb.adaptiveness.mean_ratio) {
+                          return ca.adaptiveness.mean_ratio >
+                                 cb.adaptiveness.mean_ratio;
+                      }
+                      return ca.name < cb.name;
+                  });
+    }
+    return report;
+}
+
+void
+printSynthesisReport(std::ostream &os, const SynthesisReport &report,
+                     std::size_t top)
+{
+    const char *mode =
+        report.mode_used == EnumerationMode::MinimalSubsets
+        ? "minimal-subsets" : "one-per-cycle";
+    os << "== turn-set synthesis: " << report.topology_name << " ==\n";
+    os << "  enumeration: " << mode << ", space " << report.space_size
+       << ", generated " << report.enumerated;
+    if (report.sampled)
+        os << " (SAMPLED — counts are a lower bound)";
+    os << '\n';
+    os << "  cycle-coverage pruning: " << report.pruned_by_cycles
+       << " dropped, " << report.candidates.size() << " kept\n";
+    os << "  symmetry classes: " << report.classes.size()
+       << " (CDG checks run: " << report.cdg_checks << ")\n";
+    os << "  deadlock free: " << report.deadlockFreeCandidates()
+       << " of " << report.candidates.size() << " candidates in "
+       << report.deadlockFreeClasses() << " classes\n";
+    os << "  connected: " << report.connectedCandidates()
+       << ", usable (connected + deadlock free): "
+       << report.usableCandidates() << '\n';
+
+    if (report.ranking.empty()) {
+        os << "  (no verified survivors ranked)\n";
+        return;
+    }
+    os << "  ranked survivors (best adaptiveness first):\n";
+    os << std::setw(4) << "#" << std::setw(14) << "mean S_p/S_f"
+       << std::setw(13) << "frac S_p=1" << std::setw(7) << "class"
+       << "  algorithm\n";
+    const std::size_t shown = std::min(top, report.ranking.size());
+    for (std::size_t i = 0; i < shown; ++i) {
+        const SynthesizedCandidate &c =
+            report.candidates[report.ranking[i]];
+        os << std::setw(4) << i + 1 << std::setw(14) << std::fixed
+           << std::setprecision(4) << c.adaptiveness.mean_ratio
+           << std::setw(13) << c.adaptiveness.fraction_single
+           << std::setw(7)
+           << report.classes[c.class_id].size
+           << "  " << c.name << '\n';
+    }
+    if (shown < report.ranking.size()) {
+        os << "  ... " << report.ranking.size() - shown
+           << " more survivors not shown\n";
+    }
+}
+
+} // namespace turnmodel

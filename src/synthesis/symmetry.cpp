@@ -1,0 +1,146 @@
+#include "synthesis/symmetry.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <typeinfo>
+
+#include "topology/mesh.hpp"
+#include "util/logging.hpp"
+
+namespace turnmodel {
+
+SignedPermutation::SignedPermutation(std::vector<int> perm,
+                                     std::uint32_t flip)
+    : perm_(std::move(perm)), flip_(flip)
+{
+    TM_ASSERT(!perm_.empty() && perm_.size() <= 32,
+              "signed permutation over 1..32 dimensions");
+    std::vector<int> sorted = perm_;
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+        TM_ASSERT(sorted[i] == static_cast<int>(i),
+                  "perm must be a permutation of 0..n-1");
+    }
+}
+
+SignedPermutation
+SignedPermutation::identity(int num_dims)
+{
+    std::vector<int> perm(static_cast<std::size_t>(num_dims));
+    std::iota(perm.begin(), perm.end(), 0);
+    return SignedPermutation(std::move(perm), 0);
+}
+
+std::vector<SignedPermutation>
+SignedPermutation::fullGroup(int num_dims)
+{
+    TM_ASSERT(num_dims >= 1 && num_dims <= 8,
+              "full group materialization limited to n <= 8");
+    std::vector<int> perm(static_cast<std::size_t>(num_dims));
+    std::iota(perm.begin(), perm.end(), 0);
+    std::vector<SignedPermutation> group;
+    do {
+        const std::uint32_t flips = std::uint32_t{1}
+            << static_cast<std::uint32_t>(num_dims);
+        for (std::uint32_t flip = 0; flip < flips; ++flip)
+            group.emplace_back(perm, flip);
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    return group;
+}
+
+Direction
+SignedPermutation::apply(Direction d) const
+{
+    TM_ASSERT(d.dim < perm_.size(), "direction outside permutation");
+    const int new_dim = perm_[d.dim];
+    const bool flipped = (flip_ >> new_dim) & 1;
+    return Direction(static_cast<std::uint8_t>(new_dim),
+                     flipped ? !d.positive : d.positive);
+}
+
+Turn
+SignedPermutation::apply(Turn t) const
+{
+    return Turn(apply(t.from), apply(t.to));
+}
+
+TurnSet
+SignedPermutation::apply(const TurnSet &set) const
+{
+    TM_ASSERT(set.numDims() == numDims(),
+              "symmetry/turn-set dimensionality mismatch");
+    TurnSet out(set.numDims());
+    for (Direction f : allDirections(set.numDims())) {
+        for (Direction t : allDirections(set.numDims())) {
+            const Turn turn(f, t);
+            if (set.isAllowed(turn))
+                out.allow(apply(turn));
+        }
+    }
+    return out;
+}
+
+bool
+SignedPermutation::isIdentity() const
+{
+    if (flip_ != 0)
+        return false;
+    for (std::size_t i = 0; i < perm_.size(); ++i) {
+        if (perm_[i] != static_cast<int>(i))
+            return false;
+    }
+    return true;
+}
+
+std::vector<SignedPermutation>
+admissibleSymmetries(const Topology &topo)
+{
+    const int n = topo.numDims();
+    // Only plain orthogonal meshes have independent routing axes a
+    // signed permutation can act on; everything else (hex and oct
+    // axes are coordinate-coupled, virtual channels and wraparounds
+    // break reflection symmetry of the dependency structure) keeps
+    // just the identity.
+    if (typeid(topo) != typeid(NDMesh) || n > 8)
+        return {SignedPermutation::identity(n)};
+    std::vector<SignedPermutation> admissible;
+    std::vector<int> perm(static_cast<std::size_t>(n));
+    std::iota(perm.begin(), perm.end(), 0);
+    do {
+        bool radix_preserving = true;
+        for (int d = 0; d < n; ++d) {
+            if (topo.radix(d) != topo.radix(perm[static_cast<
+                    std::size_t>(d)])) {
+                radix_preserving = false;
+                break;
+            }
+        }
+        if (!radix_preserving)
+            continue;
+        const std::uint32_t flips = std::uint32_t{1}
+            << static_cast<std::uint32_t>(n);
+        for (std::uint32_t flip = 0; flip < flips; ++flip)
+            admissible.emplace_back(perm, flip);
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    return admissible;
+}
+
+std::vector<int>
+canonicalKey(const TurnSet &set,
+             const std::vector<SignedPermutation> &group)
+{
+    TM_ASSERT(!group.empty(), "symmetry group must be non-empty");
+    std::vector<int> best;
+    for (const SignedPermutation &sym : group) {
+        const TurnSet image = sym.apply(set);
+        std::vector<int> key;
+        for (Turn t : image.prohibited90())
+            key.push_back(t.id(set.numDims()));
+        // prohibited90 iterates in id order already, so key is sorted.
+        if (best.empty() || key < best)
+            best = std::move(key);
+    }
+    return best;
+}
+
+} // namespace turnmodel

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * n-dimensional turn-diagram symmetries: signed permutations of the
+ * dimensions (permute axes, optionally flip each sign), the
+ * hyperoctahedral group B_n of order 2^n n!. For n = 2 this is the
+ * square's symmetry group used by the paper's Section 3 argument
+ * (cycle_analysis.hpp's SquareSymmetry); the synthesis engine uses
+ * the general form to collapse enumerated candidate turn sets into
+ * equivalence classes before the expensive channel-dependency-graph
+ * verification, and to recognize the paper's three unique 2D
+ * algorithms among the twelve deadlock-free prohibitions.
+ *
+ * Deadlock freedom and adaptiveness are invariant under a signed
+ * permutation only when it is also a topology automorphism, so
+ * admissibleSymmetries() restricts the group per topology: for
+ * orthogonal meshes, permutations between equal-radix dimensions
+ * with any sign flips; for other topologies (hex, oct, virtualized
+ * meshes) only the identity, since their routing axes are
+ * coordinate-coupled.
+ */
+
+#ifndef TURNMODEL_SYNTHESIS_SYMMETRY_HPP
+#define TURNMODEL_SYNTHESIS_SYMMETRY_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "core/turn_set.hpp"
+#include "topology/topology.hpp"
+
+namespace turnmodel {
+
+/** One signed permutation of the dimensions. */
+class SignedPermutation
+{
+  public:
+    /**
+     * @param perm Image of each dimension; a permutation of 0..n-1.
+     * @param flip Per-dimension sign flip, applied after permuting:
+     *             bit perm[d] flips the sign of directions along
+     *             source dimension d.
+     */
+    SignedPermutation(std::vector<int> perm, std::uint32_t flip);
+
+    /** Identity on @p num_dims dimensions. */
+    static SignedPermutation identity(int num_dims);
+
+    /** The full hyperoctahedral group, 2^n n! elements. */
+    static std::vector<SignedPermutation> fullGroup(int num_dims);
+
+    int numDims() const { return static_cast<int>(perm_.size()); }
+
+    Direction apply(Direction d) const;
+    Turn apply(Turn t) const;
+    TurnSet apply(const TurnSet &set) const;
+
+    bool isIdentity() const;
+
+  private:
+    std::vector<int> perm_;
+    std::uint32_t flip_;
+};
+
+/**
+ * The subgroup of signed permutations that are automorphisms of
+ * @p topo's channel structure (see file comment). Always contains
+ * the identity.
+ */
+std::vector<SignedPermutation> admissibleSymmetries(const Topology &topo);
+
+/**
+ * Canonical key of a turn set under a symmetry group: the
+ * lexicographically smallest sorted prohibited-turn-id list among
+ * the images of @p set under @p group. Two sets are equivalent iff
+ * their keys are equal.
+ */
+std::vector<int> canonicalKey(const TurnSet &set,
+                              const std::vector<SignedPermutation> &group);
+
+} // namespace turnmodel
+
+#endif // TURNMODEL_SYNTHESIS_SYMMETRY_HPP

@@ -27,4 +27,32 @@ directionName(Direction d)
     return std::string(d.positive ? "+d" : "-d") + std::to_string(d.dim);
 }
 
+std::optional<Direction>
+directionFromName(const std::string &name, int num_dims)
+{
+    if (name == "west")
+        return num_dims >= 1 ? std::optional(dir2d::West) : std::nullopt;
+    if (name == "east")
+        return num_dims >= 1 ? std::optional(dir2d::East) : std::nullopt;
+    if (name == "south")
+        return num_dims >= 2 ? std::optional(dir2d::South) : std::nullopt;
+    if (name == "north")
+        return num_dims >= 2 ? std::optional(dir2d::North) : std::nullopt;
+    if (name.size() < 3 || (name[0] != '+' && name[0] != '-') ||
+        name[1] != 'd') {
+        return std::nullopt;
+    }
+    int dim = 0;
+    for (std::size_t i = 2; i < name.size(); ++i) {
+        if (name[i] < '0' || name[i] > '9')
+            return std::nullopt;
+        dim = dim * 10 + (name[i] - '0');
+        if (dim >= 128)
+            return std::nullopt;
+    }
+    if (dim >= num_dims)
+        return std::nullopt;
+    return Direction(static_cast<std::uint8_t>(dim), name[0] == '+');
+}
+
 } // namespace turnmodel

@@ -13,6 +13,7 @@
 
 #include <compare>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -72,6 +73,14 @@ std::vector<Direction> allDirections(int num_dims);
  * dimensions, "-d2"/"+d2" style beyond.
  */
 std::string directionName(Direction d);
+
+/**
+ * Inverse of directionName: parse "west"/"east"/"south"/"north" or
+ * the "-d2"/"+d2" forms. Returns nullopt for unknown names or
+ * dimensions outside [0, num_dims).
+ */
+std::optional<Direction> directionFromName(const std::string &name,
+                                           int num_dims);
 
 } // namespace turnmodel
 

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 #include <vector>
 
@@ -176,6 +177,83 @@ TEST(SquareSymmetry, OrbitOfWestFirstContainsAnalogs)
     // West-first and north-last are *different* orbits (the paper
     // counts three unique algorithms: WF-type, NL-type, NF).
     EXPECT_FALSE(found_north_last);
+}
+
+TEST(Enumeration, CountsOneTurnPerCycleSets)
+{
+    // 4 choices per abstract cycle, n(n-1) cycles.
+    EXPECT_EQ(countOneTurnPerCycleSets(2), 16u);
+    EXPECT_EQ(countOneTurnPerCycleSets(3), 4096u);
+    EXPECT_EQ(countOneTurnPerCycleSets(4), 16777216u);
+}
+
+TEST(Enumeration, OneTurnPerCycleSetsAreDistinctAndValid)
+{
+    const auto sets = allOneTurnPerCycleSets(2);
+    ASSERT_EQ(sets.size(), 16u);
+    for (std::size_t i = 0; i < sets.size(); ++i) {
+        EXPECT_EQ(sets[i].countProhibited90(), 2);
+        EXPECT_TRUE(breaksAllAbstractCycles(sets[i], 2));
+        for (std::size_t j = i + 1; j < sets.size(); ++j)
+            EXPECT_NE(sets[i], sets[j]);
+    }
+}
+
+TEST(Enumeration, OneTurnPerCycleIndexingMatchesBatchEnumeration)
+{
+    const auto sets = allOneTurnPerCycleSets(2);
+    for (std::uint64_t i = 0; i < sets.size(); ++i)
+        EXPECT_EQ(oneTurnPerCycleSet(2, i), sets[i]);
+}
+
+TEST(Enumeration, OneTurnPerCycleFamilyContainsThePapersAlgorithms)
+{
+    const auto sets = allOneTurnPerCycleSets(2);
+    for (const TurnSet &named :
+         {TurnSet::westFirst(), TurnSet::northLast(),
+          TurnSet::negativeFirst(2)}) {
+        EXPECT_NE(std::find(sets.begin(), sets.end(), named),
+                  sets.end());
+    }
+    // Dimension-order prohibits four turns, not the minimal two, so
+    // it is outside the one-per-cycle family.
+    EXPECT_EQ(std::find(sets.begin(), sets.end(),
+                        TurnSet::dimensionOrder(2)),
+              sets.end());
+}
+
+TEST(Enumeration, CountsMinimalProhibitionSubsets)
+{
+    // C(4n(n-1), n(n-1)): C(8,2) = 28, C(24,6) = 134596.
+    EXPECT_EQ(countMinimalProhibitionSubsets(2), 28u);
+    EXPECT_EQ(countMinimalProhibitionSubsets(3), 134596u);
+}
+
+TEST(Enumeration, WalksAllMinimalSubsets)
+{
+    std::uint64_t total = 0;
+    std::uint64_t covering = 0;
+    forEachMinimalProhibitionSubset(2, [&](const TurnSet &set) {
+        ++total;
+        EXPECT_EQ(set.countProhibited90(), 2);
+        if (breaksAllAbstractCycles(set, 2))
+            ++covering;
+        return true;
+    });
+    EXPECT_EQ(total, 28u);
+    // Theorem 1's necessary condition prunes 28 down to the 16
+    // one-per-cycle sets.
+    EXPECT_EQ(covering, 16u);
+}
+
+TEST(Enumeration, MinimalSubsetWalkStopsOnFalse)
+{
+    std::uint64_t seen = 0;
+    forEachMinimalProhibitionSubset(2, [&](const TurnSet &) {
+        ++seen;
+        return seen < 5;
+    });
+    EXPECT_EQ(seen, 5u);
 }
 
 } // namespace

@@ -154,5 +154,54 @@ TEST(TurnSet, EqualityComparesContents)
     EXPECT_NE(TurnSet::westFirst(), TurnSet::northLast());
 }
 
+TEST(TurnSet, ProhibitedSpecNamesTheProhibitedTurns)
+{
+    EXPECT_EQ(TurnSet::westFirst().prohibitedSpec(),
+              "south->west,north->west");
+    EXPECT_EQ(TurnSet::northLast().prohibitedSpec(),
+              "north->west,north->east");
+}
+
+TEST(TurnSet, SpecRoundTripsThroughTheParser)
+{
+    for (const TurnSet &set :
+         {TurnSet::westFirst(), TurnSet::northLast(),
+          TurnSet::negativeFirst(2), TurnSet::negativeFirst(3),
+          TurnSet::dimensionOrder(3)}) {
+        const auto parsed =
+            TurnSet::fromProhibitedSpec(set.prohibitedSpec(),
+                                        set.numDims());
+        ASSERT_TRUE(parsed.has_value());
+        EXPECT_EQ(*parsed, set);
+    }
+}
+
+TEST(TurnSet, FromProhibitedSpecRejectsMalformedInput)
+{
+    EXPECT_FALSE(TurnSet::fromProhibitedSpec("", 2).has_value());
+    EXPECT_FALSE(TurnSet::fromProhibitedSpec("north", 2).has_value());
+    EXPECT_FALSE(
+        TurnSet::fromProhibitedSpec("north->", 2).has_value());
+    EXPECT_FALSE(
+        TurnSet::fromProhibitedSpec("up->west", 2).has_value());
+    // 180-degree reversals are not 90-degree prohibitions.
+    EXPECT_FALSE(
+        TurnSet::fromProhibitedSpec("north->south", 2).has_value());
+    // Direction from a higher dimension than the set supports.
+    EXPECT_FALSE(
+        TurnSet::fromProhibitedSpec("+d2->north", 2).has_value());
+}
+
+TEST(TurnSet, FromProhibitedSpecAllowsEverythingElse)
+{
+    const auto set =
+        TurnSet::fromProhibitedSpec("north->west,south->west", 2);
+    ASSERT_TRUE(set.has_value());
+    EXPECT_EQ(*set, TurnSet::westFirst());
+    EXPECT_EQ(set->countProhibited90(), 2);
+    // Straight-through moves survive parsing.
+    EXPECT_TRUE(set->isAllowed(Turn(dir2d::East, dir2d::East)));
+}
+
 } // namespace
 } // namespace turnmodel

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <optional>
 
 #include "core/routing/factory.hpp"
 #include "topology/hypercube.hpp"
@@ -89,6 +90,51 @@ TEST(Factory, HypercubeListsPCube)
     const auto mesh_names = availableRoutingNames(mesh);
     EXPECT_EQ(std::find(mesh_names.begin(), mesh_names.end(), "p-cube"),
               mesh_names.end());
+}
+
+TEST(Factory, SynthesizedSpecNamesBuildTurnTableRoutings)
+{
+    NDMesh mesh = NDMesh::mesh2D(5, 5);
+    RoutingPtr wf = makeRouting("synth:north->west,south->west", mesh);
+    ASSERT_NE(wf, nullptr);
+    EXPECT_EQ(wf->name(), "synth:north->west,south->west");
+    // The spec above is west-first's prohibition set: identical
+    // routing decisions.
+    RoutingPtr hand = makeRouting("west-first", mesh);
+    const auto dir_ids = [](std::vector<Direction> dirs) {
+        std::vector<int> ids;
+        for (Direction d : dirs)
+            ids.push_back(d.id());
+        std::sort(ids.begin(), ids.end());
+        return ids;
+    };
+    for (NodeId src = 0; src < mesh.numNodes(); ++src) {
+        for (NodeId dst = 0; dst < mesh.numNodes(); ++dst) {
+            if (src == dst)
+                continue;
+            EXPECT_EQ(dir_ids(wf->route(src, std::nullopt, dst)),
+                      dir_ids(hand->route(src, std::nullopt, dst)));
+        }
+    }
+}
+
+TEST(Factory, SynthesizedNonMinimalVariantIsSelectable)
+{
+    NDMesh mesh = NDMesh::mesh2D(4, 4);
+    RoutingPtr routing = makeRouting(
+        "synth-nonminimal:north->west,south->west", mesh);
+    ASSERT_NE(routing, nullptr);
+    EXPECT_EQ(routing->name(),
+              "synth-nonminimal:north->west,south->west");
+}
+
+TEST(FactoryDeathTest, SynthesizedSpecMustParse)
+{
+    NDMesh mesh = NDMesh::mesh2D(4, 4);
+    EXPECT_EXIT({ (void)makeRouting("synth:north->south", mesh); },
+                ::testing::ExitedWithCode(1), "spec");
+    EXPECT_EXIT({ (void)makeRouting("synth:", mesh); },
+                ::testing::ExitedWithCode(1), "spec");
 }
 
 TEST(FactoryDeathTest, UnknownNameIsFatal)

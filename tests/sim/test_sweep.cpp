@@ -87,6 +87,66 @@ TEST(Sweep, PrintSeriesEmitsTableAndCsv)
               std::string::npos);
 }
 
+TEST(Sweep, WriteJsonEmitsBalancedMachineReadableOutput)
+{
+    NDMesh mesh = NDMesh::mesh2D(6, 6);
+    RoutingPtr routing = makeRouting("west-first", mesh);
+    PatternPtr pattern = makePattern("uniform", mesh);
+    SweepConfig cfg;
+    cfg.injection_rates = {0.02, 0.04};
+    cfg.sim.warmup_cycles = 500;
+    cfg.sim.measure_cycles = 1500;
+    const SweepSeries series = runSweep(*routing, *pattern, cfg);
+
+    std::ostringstream os;
+    writeSeriesJson(os, "unit-test-json", {series, series});
+    const std::string text = os.str();
+
+    EXPECT_NE(text.find("\"experiment\": \"unit-test-json\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"algorithm\": \"west-first\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"max_sustainable_throughput_flits_per_us\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"injection_rate\""), std::string::npos);
+    EXPECT_NE(text.find("\"saturated\""), std::string::npos);
+
+    // Structurally valid: balanced braces/brackets, two series
+    // objects, one points array each with two entries.
+    long braces = 0, brackets = 0;
+    for (char c : text) {
+        braces += c == '{' ? 1 : c == '}' ? -1 : 0;
+        brackets += c == '[' ? 1 : c == ']' ? -1 : 0;
+        EXPECT_GE(braces, 0);
+        EXPECT_GE(brackets, 0);
+    }
+    EXPECT_EQ(braces, 0);
+    EXPECT_EQ(brackets, 0);
+
+    std::size_t series_count = 0;
+    for (std::size_t pos = text.find("\"points\"");
+         pos != std::string::npos;
+         pos = text.find("\"points\"", pos + 1)) {
+        ++series_count;
+    }
+    EXPECT_EQ(series_count, 2u);
+}
+
+TEST(Sweep, WriteJsonPreservesStreamFormatting)
+{
+    SweepSeries series;
+    series.algorithm = "empty";
+    std::ostringstream os;
+    os.precision(3);
+    os << 1.23456 << ' ';
+    series.writeJson(os);
+    os << ' ' << 1.23456;
+    const std::string text = os.str();
+    // The caller's precision survives the JSON emission.
+    EXPECT_EQ(text.substr(0, 5), "1.23 ");
+    EXPECT_EQ(text.substr(text.size() - 4), "1.23");
+}
+
 TEST(SweepDeathTest, LadderValidatesArguments)
 {
     EXPECT_DEATH({ (void)SweepConfig::ladder(0.0, 1.0, 5); },
