@@ -9,7 +9,8 @@
 #include <iomanip>
 #include <iostream>
 
-#include "core/routing/factory.hpp"
+#include "bench_common.hpp"
+#include "exec/thread_pool.hpp"
 #include "sim/simulator.hpp"
 #include "topology/mesh.hpp"
 #include "traffic/pattern.hpp"
@@ -20,15 +21,12 @@ using namespace turnmodel;
 int
 main(int argc, char **argv)
 {
-    const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+    const auto fidelity = bench::parseFidelity(argc, argv);
     NDMesh mesh = NDMesh::mesh2D(16, 16);
     PatternPtr pattern = makePattern("transpose", mesh);
 
-    std::cout << "== ablation: buffer depth (16x16 mesh, transpose) "
-                 "==\n";
-    std::cout << std::setw(18) << "algorithm" << std::setw(8) << "depth"
-              << std::setw(14) << "thruput" << std::setw(13)
-              << "latency(us)" << std::setw(6) << "sat" << '\n';
+    const std::vector<std::string> algos{"xy", "negative-first"};
+    const std::vector<std::uint32_t> depths{1, 2, 4, 8};
 
     struct Row
     {
@@ -36,25 +34,36 @@ main(int argc, char **argv)
         std::uint32_t depth;
         SimResult result;
     };
-    std::vector<Row> rows;
-    for (const char *algo : {"xy", "negative-first"}) {
+    // Grid cells are independent simulations; run them across the
+    // pool, each writing its own slot. Every job builds a private
+    // routing instance (turn-table caches are not thread safe).
+    std::vector<Row> rows(algos.size() * depths.size());
+    ThreadPool pool(fidelity.jobs);
+    pool.parallelFor(rows.size(), [&](std::size_t i) {
+        const std::string &algo = algos[i / depths.size()];
+        const std::uint32_t depth = depths[i % depths.size()];
         RoutingPtr routing = makeRouting(algo, mesh);
-        for (std::uint32_t depth : {1u, 2u, 4u, 8u}) {
-            SimConfig cfg;
-            cfg.injection_rate = 0.12;
-            cfg.warmup_cycles = quick ? 2000 : 8000;
-            cfg.measure_cycles = quick ? 6000 : 20000;
-            cfg.buffer_depth = depth;
-            Simulator sim(*routing, *pattern, cfg);
-            rows.push_back({algo, depth, sim.run()});
-            const SimResult &r = rows.back().result;
-            std::cout << std::setw(18) << algo << std::setw(8) << depth
-                      << std::setw(14) << std::fixed
-                      << std::setprecision(2)
-                      << r.throughput_flits_per_us << std::setw(13)
-                      << r.avg_latency_us << std::setw(6)
-                      << (r.saturated ? "yes" : "no") << '\n';
-        }
+        SimConfig cfg;
+        cfg.injection_rate = 0.12;
+        cfg.warmup_cycles = fidelity.warmup;
+        cfg.measure_cycles = fidelity.measure;
+        cfg.buffer_depth = depth;
+        Simulator sim(*routing, *pattern, cfg);
+        rows[i] = {algo, depth, sim.run()};
+    });
+
+    std::cout << "== ablation: buffer depth (16x16 mesh, transpose) "
+                 "==\n";
+    std::cout << std::setw(18) << "algorithm" << std::setw(8) << "depth"
+              << std::setw(14) << "thruput" << std::setw(13)
+              << "latency(us)" << std::setw(6) << "sat" << '\n';
+    for (const Row &row : rows) {
+        const SimResult &r = row.result;
+        std::cout << std::setw(18) << row.algorithm << std::setw(8)
+                  << row.depth << std::setw(14) << std::fixed
+                  << std::setprecision(2) << r.throughput_flits_per_us
+                  << std::setw(13) << r.avg_latency_us << std::setw(6)
+                  << (r.saturated ? "yes" : "no") << '\n';
     }
 
     std::cout << "\n-- csv --\n";

@@ -12,8 +12,9 @@
 #include <iostream>
 #include <memory>
 
-#include "core/routing/factory.hpp"
+#include "bench_common.hpp"
 #include "core/routing/turn_table.hpp"
+#include "exec/thread_pool.hpp"
 #include "topology/faults.hpp"
 #include "topology/mesh.hpp"
 #include "util/csv.hpp"
@@ -42,8 +43,9 @@ connectivity(const RoutingAlgorithm &routing)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto fidelity = bench::parseFidelity(argc, argv);
     NDMesh mesh = NDMesh::mesh2D(8, 8);
     const int draws = 5;
     const std::vector<std::size_t> fault_counts{0, 1, 2, 4, 8, 16};
@@ -53,15 +55,49 @@ main()
         std::string name;
         TurnSet set;
         bool minimal;
+        bool odd_even;   ///< Position-dependent; built via factory.
     };
     const std::vector<Flavor> flavors{
-        {"west-first (minimal)", TurnSet::westFirst(), true},
-        {"west-first (nonminimal)", TurnSet::westFirst(), false},
-        {"negative-first (minimal)", TurnSet::negativeFirst(2), true},
-        {"negative-first (nonminimal)", TurnSet::negativeFirst(2),
+        {"west-first (minimal)", TurnSet::westFirst(), true, false},
+        {"west-first (nonminimal)", TurnSet::westFirst(), false, false},
+        {"negative-first (minimal)", TurnSet::negativeFirst(2), true,
          false},
-        {"xy (minimal)", TurnSet::dimensionOrder(2), true},
+        {"negative-first (nonminimal)", TurnSet::negativeFirst(2),
+         false, false},
+        {"xy (minimal)", TurnSet::dimensionOrder(2), true, false},
+        {"odd-even (minimal)", TurnSet(2), true, true},
     };
+
+    // One cell per (flavor, fault count), each averaging over all
+    // draws. Fault draws are seeded by (draw, fault count) alone, so
+    // the cells are fully independent and the grid fans out over the
+    // pool deterministically.
+    std::vector<std::vector<double>> fractions(
+        flavors.size(), std::vector<double>(fault_counts.size(), 0.0));
+    ThreadPool pool(fidelity.jobs);
+    pool.parallelFor(
+        flavors.size() * fault_counts.size(), [&](std::size_t i) {
+            const Flavor &flavor = flavors[i / fault_counts.size()];
+            const std::size_t faults =
+                fault_counts[i % fault_counts.size()];
+            double sum = 0.0;
+            for (int d = 0; d < draws; ++d) {
+                Rng rng(1000 * d + faults);
+                const FaultyTopology faulty =
+                    FaultyTopology::withRandomFaults(mesh, faults, rng);
+                if (flavor.odd_even) {
+                    RoutingPtr routing = makeRouting("odd-even", faulty);
+                    sum += connectivity(*routing);
+                } else {
+                    TurnTableRouting routing(faulty, flavor.set,
+                                             flavor.minimal,
+                                             flavor.name);
+                    sum += connectivity(routing);
+                }
+            }
+            fractions[i / fault_counts.size()]
+                     [i % fault_counts.size()] = sum / draws;
+        });
 
     std::cout << "== fault tolerance: connected pair fraction "
                  "(8x8 mesh, avg of " << draws << " fault draws) ==\n";
@@ -69,53 +105,9 @@ main()
     for (std::size_t f : fault_counts)
         std::cout << std::setw(9) << f << "f";
     std::cout << '\n';
-
-    struct Row
-    {
-        std::string name;
-        std::vector<double> fractions;
-    };
-    std::vector<Row> rows;
-    for (const Flavor &flavor : flavors) {
-        Row row{flavor.name, {}};
-        for (std::size_t faults : fault_counts) {
-            double sum = 0.0;
-            for (int d = 0; d < draws; ++d) {
-                Rng rng(1000 * d + faults);
-                const FaultyTopology faulty =
-                    FaultyTopology::withRandomFaults(mesh, faults, rng);
-                TurnTableRouting routing(faulty, flavor.set,
-                                         flavor.minimal, flavor.name);
-                sum += connectivity(routing);
-            }
-            row.fractions.push_back(sum / draws);
-        }
-        rows.push_back(row);
-        std::cout << std::setw(30) << row.name;
-        for (double f : row.fractions)
-            std::cout << std::setw(10) << std::fixed
-                      << std::setprecision(4) << f;
-        std::cout << '\n';
-    }
-
-    // Odd-even is position-dependent, so it does not reduce to a
-    // single TurnSet; measure it via the factory.
-    {
-        Row row{"odd-even (minimal)", {}};
-        for (std::size_t faults : fault_counts) {
-            double sum = 0.0;
-            for (int d = 0; d < draws; ++d) {
-                Rng rng(1000 * d + faults);
-                const FaultyTopology faulty =
-                    FaultyTopology::withRandomFaults(mesh, faults, rng);
-                RoutingPtr routing = makeRouting("odd-even", faulty);
-                sum += connectivity(*routing);
-            }
-            row.fractions.push_back(sum / draws);
-        }
-        rows.push_back(row);
-        std::cout << std::setw(30) << row.name;
-        for (double f : row.fractions)
+    for (std::size_t a = 0; a < flavors.size(); ++a) {
+        std::cout << std::setw(30) << flavors[a].name;
+        for (double f : fractions[a])
             std::cout << std::setw(10) << std::fixed
                       << std::setprecision(4) << f;
         std::cout << '\n';
@@ -127,9 +119,9 @@ main()
     for (std::size_t f : fault_counts)
         header.push_back("faults_" + std::to_string(f));
     csv.header(header);
-    for (const Row &row : rows) {
-        csv.beginRow().field(row.name);
-        for (double f : row.fractions)
+    for (std::size_t a = 0; a < flavors.size(); ++a) {
+        csv.beginRow().field(flavors[a].name);
+        for (double f : fractions[a])
             csv.field(f);
         csv.endRow();
     }

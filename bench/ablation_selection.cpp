@@ -9,7 +9,8 @@
 #include <iomanip>
 #include <iostream>
 
-#include "core/routing/factory.hpp"
+#include "bench_common.hpp"
+#include "exec/thread_pool.hpp"
 #include "sim/simulator.hpp"
 #include "topology/mesh.hpp"
 #include "traffic/pattern.hpp"
@@ -20,16 +21,16 @@ using namespace turnmodel;
 int
 main(int argc, char **argv)
 {
-    const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+    const auto fidelity = bench::parseFidelity(argc, argv);
     NDMesh mesh = NDMesh::mesh2D(16, 16);
-    RoutingPtr routing = makeRouting("negative-first", mesh);
     PatternPtr pattern = makePattern("transpose", mesh);
 
-    std::cout << "== ablation: selection policies (negative-first, "
-                 "16x16 mesh, transpose) ==\n";
-    std::cout << std::setw(16) << "input" << std::setw(16) << "output"
-              << std::setw(14) << "thruput" << std::setw(13)
-              << "latency(us)" << std::setw(6) << "sat" << '\n';
+    const std::vector<InputSelection> inputs{
+        InputSelection::Fcfs, InputSelection::Random,
+        InputSelection::FixedPriority};
+    const std::vector<OutputSelection> outputs{
+        OutputSelection::LowestDim, OutputSelection::HighestDim,
+        OutputSelection::Random, OutputSelection::StraightFirst};
 
     struct Row
     {
@@ -37,30 +38,37 @@ main(int argc, char **argv)
         OutputSelection out;
         SimResult result;
     };
-    std::vector<Row> rows;
-    for (auto in_sel : {InputSelection::Fcfs, InputSelection::Random,
-                        InputSelection::FixedPriority}) {
-        for (auto out_sel :
-             {OutputSelection::LowestDim, OutputSelection::HighestDim,
-              OutputSelection::Random,
-              OutputSelection::StraightFirst}) {
-            SimConfig cfg;
-            cfg.injection_rate = 0.12;
-            cfg.warmup_cycles = quick ? 2000 : 8000;
-            cfg.measure_cycles = quick ? 6000 : 20000;
-            cfg.input_selection = in_sel;
-            cfg.output_selection = out_sel;
-            Simulator sim(*routing, *pattern, cfg);
-            rows.push_back({in_sel, out_sel, sim.run()});
-            const SimResult &r = rows.back().result;
-            std::cout << std::setw(16) << toString(in_sel)
-                      << std::setw(16) << toString(out_sel)
-                      << std::setw(14) << std::fixed
-                      << std::setprecision(2)
-                      << r.throughput_flits_per_us << std::setw(13)
-                      << r.avg_latency_us << std::setw(6)
-                      << (r.saturated ? "yes" : "no") << '\n';
-        }
+    // Each policy combination is an independent simulation: fan the
+    // grid out over the pool, one slot per cell, with a private
+    // routing instance per job.
+    std::vector<Row> rows(inputs.size() * outputs.size());
+    ThreadPool pool(fidelity.jobs);
+    pool.parallelFor(rows.size(), [&](std::size_t i) {
+        const InputSelection in_sel = inputs[i / outputs.size()];
+        const OutputSelection out_sel = outputs[i % outputs.size()];
+        RoutingPtr routing = makeRouting("negative-first", mesh);
+        SimConfig cfg;
+        cfg.injection_rate = 0.12;
+        cfg.warmup_cycles = fidelity.warmup;
+        cfg.measure_cycles = fidelity.measure;
+        cfg.input_selection = in_sel;
+        cfg.output_selection = out_sel;
+        Simulator sim(*routing, *pattern, cfg);
+        rows[i] = {in_sel, out_sel, sim.run()};
+    });
+
+    std::cout << "== ablation: selection policies (negative-first, "
+                 "16x16 mesh, transpose) ==\n";
+    std::cout << std::setw(16) << "input" << std::setw(16) << "output"
+              << std::setw(14) << "thruput" << std::setw(13)
+              << "latency(us)" << std::setw(6) << "sat" << '\n';
+    for (const Row &row : rows) {
+        const SimResult &r = row.result;
+        std::cout << std::setw(16) << toString(row.in) << std::setw(16)
+                  << toString(row.out) << std::setw(14) << std::fixed
+                  << std::setprecision(2) << r.throughput_flits_per_us
+                  << std::setw(13) << r.avg_latency_us << std::setw(6)
+                  << (r.saturated ? "yes" : "no") << '\n';
     }
 
     std::cout << "\n-- csv --\n";

@@ -1,21 +1,24 @@
 /**
  * @file
- * Shared scaffolding for the figure benchmarks: a standard sweep
- * configuration (the paper's Section 6 setup), command-line fidelity
- * control, and the ratio summary each figure's caption states.
+ * Shared scaffolding for the figure benchmarks, reduced to spec
+ * parsing: a standard fidelity preset (the paper's Section 6 setup)
+ * selected on the command line, and helpers that turn a figure's
+ * parameters into a declarative ExperimentSpec executed by the
+ * thread-parallel runner (exec/runner.hpp).
  */
 
 #ifndef TURNMODEL_BENCH_COMMON_HPP
 #define TURNMODEL_BENCH_COMMON_HPP
 
-#include <fstream>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "core/routing/factory.hpp"
-#include "sim/sweep.hpp"
-#include "traffic/pattern.hpp"
+#include "exec/experiment.hpp"
+#include "exec/result_sink.hpp"
+#include "exec/runner.hpp"
 
 namespace turnmodel {
 namespace bench {
@@ -28,8 +31,15 @@ struct Fidelity
     int rate_points = 8;
     /** With --json=PATH, also write the series as JSON there. */
     std::string json_path;
+    /** Sweep-point jobs run in parallel; 0 = hardware concurrency. */
+    unsigned jobs = 0;
 };
 
+/**
+ * Parse the standard benchmark flags. Unknown flags are an error:
+ * a usage message is printed and the process exits, so a typo like
+ * --ful cannot silently run at default fidelity.
+ */
 inline Fidelity
 parseFidelity(int argc, char **argv)
 {
@@ -46,69 +56,59 @@ parseFidelity(int argc, char **argv)
             f.rate_points = 12;
         } else if (arg.rfind("--json=", 0) == 0) {
             f.json_path = arg.substr(std::string("--json=").size());
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            f.jobs = static_cast<unsigned>(std::strtoul(
+                arg.c_str() + std::string("--jobs=").size(),
+                nullptr, 10));
+        } else {
+            std::cerr << "unknown option '" << arg << "'\n"
+                      << "usage: " << argv[0]
+                      << " [--quick|--full] [--json=PATH] [--jobs=N]\n";
+            std::exit(2);
         }
     }
     return f;
 }
 
-/** Write sweep series to fidelity.json_path when set. */
-inline void
-maybeWriteJson(const Fidelity &fidelity, const std::string &experiment,
-               const std::vector<SweepSeries> &series)
+/**
+ * Build the spec of one figure sweep: every named algorithm against
+ * the pattern over a geometric rate ladder, at the given fidelity.
+ */
+inline ExperimentSpec
+figureSpec(const std::string &title, const Topology &topo,
+           const std::string &pattern_name,
+           std::vector<std::string> algorithms,
+           const std::string &baseline, double rate_lo, double rate_hi,
+           const Fidelity &fidelity)
 {
-    if (fidelity.json_path.empty())
-        return;
-    std::ofstream out(fidelity.json_path);
-    if (!out) {
-        std::cerr << "cannot write " << fidelity.json_path << '\n';
-        return;
-    }
-    writeSeriesJson(out, experiment, series);
-    std::cout << "wrote " << fidelity.json_path << '\n';
+    ExperimentSpec spec;
+    spec.name = title;
+    spec.topology = &topo;
+    spec.pattern = pattern_name;
+    spec.algorithms = std::move(algorithms);
+    spec.baseline = baseline;
+    spec.injection_rates =
+        SweepConfig::ladder(rate_lo, rate_hi, fidelity.rate_points);
+    spec.sim.warmup_cycles = fidelity.warmup;
+    spec.sim.measure_cycles = fidelity.measure;
+    return spec;
 }
 
 /**
- * Run one figure: sweep every named algorithm against the pattern
- * and print the latency/throughput series plus the sustainable-
- * throughput ratios relative to the named baseline.
+ * Run one figure spec through the parallel runner and report it:
+ * the latency/throughput series, the optional JSON file, and the
+ * sustainable-throughput ratios against the spec's baseline.
  */
-inline void
-runFigure(const std::string &title, const Topology &topo,
-          const std::string &pattern_name,
-          const std::vector<std::string> &algorithms,
-          const std::string &baseline, double rate_lo, double rate_hi,
-          const Fidelity &fidelity)
+inline ExperimentResult
+runFigure(const ExperimentSpec &spec, const Fidelity &fidelity)
 {
-    PatternPtr pattern = makePattern(pattern_name, topo);
-    SweepConfig sweep;
-    sweep.injection_rates =
-        SweepConfig::ladder(rate_lo, rate_hi, fidelity.rate_points);
-    sweep.sim.warmup_cycles = fidelity.warmup;
-    sweep.sim.measure_cycles = fidelity.measure;
-
-    std::vector<SweepSeries> all;
-    for (const std::string &name : algorithms) {
-        RoutingPtr routing = makeRouting(name, topo);
-        all.push_back(runSweep(*routing, *pattern, sweep));
-    }
-    printSeries(std::cout, title, all);
-    maybeWriteJson(fidelity, title, all);
-
-    double base = 0.0;
-    for (const SweepSeries &s : all) {
-        if (s.algorithm == baseline)
-            base = s.maxSustainableThroughput();
-    }
-    std::cout << "-- summary (max sustainable throughput vs "
-              << baseline << ") --\n";
-    for (const SweepSeries &s : all) {
-        const double t = s.maxSustainableThroughput();
-        std::cout << "  " << s.algorithm << ": " << t << " flits/us";
-        if (base > 0.0)
-            std::cout << "  (" << t / base << "x)";
-        std::cout << '\n';
-    }
+    Runner runner(fidelity.jobs);
+    const ExperimentResult result = runner.run(spec);
+    ResultSink::writeText(std::cout, result);
+    ResultSink::writeJsonFile(fidelity.json_path, result);
+    ResultSink::writeSummary(std::cout, result, spec.baseline);
     std::cout << std::endl;
+    return result;
 }
 
 } // namespace bench

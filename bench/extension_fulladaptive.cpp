@@ -63,16 +63,23 @@ main(int argc, char **argv)
     VirtualizedMesh vmesh = VirtualizedMesh::doubleY(16, 16);
     for (const char *pattern : {"uniform", "transpose"}) {
         bench::runFigure(
-            std::string("fully-adaptive extension: double-y 16x16 / ")
-                + pattern,
-            vmesh, pattern, {"mad-y"}, "mad-y", 0.02, 0.40, fidelity);
+            bench::figureSpec(
+                std::string(
+                    "fully-adaptive extension: double-y 16x16 / ")
+                    + pattern,
+                vmesh, pattern, {"mad-y"}, "mad-y", 0.02, 0.40,
+                fidelity),
+            fidelity);
     }
     NDMesh mesh = NDMesh::mesh2D(16, 16);
     for (const char *pattern : {"uniform", "transpose"}) {
         bench::runFigure(
-            std::string("baseline: plain 16x16 / ") + pattern, mesh,
-            pattern, {"xy", "west-first", "negative-first"}, "xy",
-            0.02, 0.40, fidelity);
+            bench::figureSpec(
+                std::string("baseline: plain 16x16 / ") + pattern,
+                mesh, pattern,
+                {"xy", "west-first", "negative-first"}, "xy",
+                0.02, 0.40, fidelity),
+            fidelity);
     }
     return 0;
 }

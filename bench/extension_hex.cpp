@@ -79,11 +79,16 @@ main(int argc, char **argv)
     }
     std::cout << '\n';
 
-    bench::runFigure("hex extension: 8x8 hex / uniform", hex,
-                     "uniform", {"axis-order", "negative-first"},
-                     "axis-order", 0.02, 0.30, fidelity);
-    bench::runFigure("hex extension: 8x8 hex / transpose", hex,
-                     "transpose", {"axis-order", "negative-first"},
-                     "axis-order", 0.02, 0.40, fidelity);
+    bench::runFigure(
+        bench::figureSpec("hex extension: 8x8 hex / uniform", hex,
+                          "uniform", {"axis-order", "negative-first"},
+                          "axis-order", 0.02, 0.30, fidelity),
+        fidelity);
+    bench::runFigure(
+        bench::figureSpec("hex extension: 8x8 hex / transpose", hex,
+                          "transpose",
+                          {"axis-order", "negative-first"},
+                          "axis-order", 0.02, 0.40, fidelity),
+        fidelity);
     return 0;
 }

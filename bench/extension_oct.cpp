@@ -72,11 +72,17 @@ main(int argc, char **argv)
     }
     std::cout << '\n';
 
-    bench::runFigure("oct extension: 8x8 octagonal / uniform", oct,
-                     "uniform", {"axis-order", "negative-first"},
-                     "axis-order", 0.02, 0.40, fidelity);
-    bench::runFigure("oct extension: 8x8 octagonal / transpose", oct,
-                     "transpose", {"axis-order", "negative-first"},
-                     "axis-order", 0.02, 0.50, fidelity);
+    bench::runFigure(
+        bench::figureSpec("oct extension: 8x8 octagonal / uniform",
+                          oct, "uniform",
+                          {"axis-order", "negative-first"},
+                          "axis-order", 0.02, 0.40, fidelity),
+        fidelity);
+    bench::runFigure(
+        bench::figureSpec("oct extension: 8x8 octagonal / transpose",
+                          oct, "transpose",
+                          {"axis-order", "negative-first"},
+                          "axis-order", 0.02, 0.50, fidelity),
+        fidelity);
     return 0;
 }

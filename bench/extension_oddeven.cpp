@@ -20,13 +20,20 @@ main(int argc, char **argv)
     NDMesh mesh = NDMesh::mesh2D(16, 16);
     const std::vector<std::string> algos{"xy", "west-first",
                                          "negative-first", "odd-even"};
-    bench::runFigure("odd-even extension: 16x16 mesh / uniform", mesh,
-                     "uniform", algos, "xy", 0.02, 0.30, fidelity);
-    bench::runFigure("odd-even extension: 16x16 mesh / transpose",
-                     mesh, "transpose", algos, "xy", 0.02, 0.40,
-                     fidelity);
-    bench::runFigure("odd-even extension: 16x16 mesh / hotspot 10%",
-                     mesh, "hotspot:0.1", algos, "xy", 0.01, 0.20,
-                     fidelity);
+    bench::runFigure(
+        bench::figureSpec("odd-even extension: 16x16 mesh / uniform",
+                          mesh, "uniform", algos, "xy", 0.02, 0.30,
+                          fidelity),
+        fidelity);
+    bench::runFigure(
+        bench::figureSpec("odd-even extension: 16x16 mesh / transpose",
+                          mesh, "transpose", algos, "xy", 0.02, 0.40,
+                          fidelity),
+        fidelity);
+    bench::runFigure(
+        bench::figureSpec(
+            "odd-even extension: 16x16 mesh / hotspot 10%", mesh,
+            "hotspot:0.1", algos, "xy", 0.01, 0.20, fidelity),
+        fidelity);
     return 0;
 }

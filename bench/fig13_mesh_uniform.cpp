@@ -22,9 +22,10 @@ main(int argc, char **argv)
 {
     const auto fidelity = bench::parseFidelity(argc, argv);
     NDMesh mesh = NDMesh::mesh2D(16, 16);
-    bench::runFigure("figure-13: 16x16 mesh / uniform", mesh, "uniform",
-                     {"xy", "west-first", "north-last",
-                      "negative-first"},
-                     "xy", 0.02, 0.30, fidelity);
+    const ExperimentSpec spec = bench::figureSpec(
+        "figure-13: 16x16 mesh / uniform", mesh, "uniform",
+        {"xy", "west-first", "north-last", "negative-first"},
+        "xy", 0.02, 0.30, fidelity);
+    bench::runFigure(spec, fidelity);
     return 0;
 }

@@ -21,10 +21,10 @@ main(int argc, char **argv)
 {
     const auto fidelity = bench::parseFidelity(argc, argv);
     NDMesh mesh = NDMesh::mesh2D(16, 16);
-    bench::runFigure("figure-14: 16x16 mesh / matrix-transpose", mesh,
-                     "transpose",
-                     {"xy", "west-first", "north-last",
-                      "negative-first"},
-                     "xy", 0.02, 0.40, fidelity);
+    const ExperimentSpec spec = bench::figureSpec(
+        "figure-14: 16x16 mesh / matrix-transpose", mesh, "transpose",
+        {"xy", "west-first", "north-last", "negative-first"},
+        "xy", 0.02, 0.40, fidelity);
+    bench::runFigure(spec, fidelity);
     return 0;
 }

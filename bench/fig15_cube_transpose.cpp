@@ -18,9 +18,10 @@ main(int argc, char **argv)
 {
     const auto fidelity = bench::parseFidelity(argc, argv);
     Hypercube cube(8);
-    bench::runFigure("figure-15: 8-cube / matrix-transpose", cube,
-                     "transpose",
-                     {"e-cube", "p-cube", "abonf", "abopl"}, "e-cube",
-                     0.02, 0.50, fidelity);
+    const ExperimentSpec spec = bench::figureSpec(
+        "figure-15: 8-cube / matrix-transpose", cube, "transpose",
+        {"e-cube", "p-cube", "abonf", "abopl"}, "e-cube",
+        0.02, 0.50, fidelity);
+    bench::runFigure(spec, fidelity);
     return 0;
 }

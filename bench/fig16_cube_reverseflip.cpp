@@ -20,9 +20,10 @@ main(int argc, char **argv)
 {
     const auto fidelity = bench::parseFidelity(argc, argv);
     Hypercube cube(8);
-    bench::runFigure("figure-16: 8-cube / reverse-flip", cube,
-                     "reverse-flip",
-                     {"e-cube", "p-cube", "abonf", "abopl"}, "e-cube",
-                     0.02, 0.85, fidelity);
+    const ExperimentSpec spec = bench::figureSpec(
+        "figure-16: 8-cube / reverse-flip", cube, "reverse-flip",
+        {"e-cube", "p-cube", "abonf", "abopl"}, "e-cube",
+        0.02, 0.85, fidelity);
+    bench::runFigure(spec, fidelity);
     return 0;
 }

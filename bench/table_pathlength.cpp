@@ -13,7 +13,8 @@
 #include <iostream>
 #include <memory>
 
-#include "core/routing/factory.hpp"
+#include "bench_common.hpp"
+#include "exec/thread_pool.hpp"
 #include "sim/simulator.hpp"
 #include "topology/hypercube.hpp"
 #include "topology/mesh.hpp"
@@ -34,7 +35,7 @@ struct Row
 
 Row
 measure(const Topology &topo, const std::string &pattern_name,
-        const std::string &algo)
+        const std::string &algo, const bench::Fidelity &fidelity)
 {
     PatternPtr pattern = makePattern(pattern_name, topo);
     Rng rng(11);
@@ -43,8 +44,8 @@ measure(const Topology &topo, const std::string &pattern_name,
     RoutingPtr routing = makeRouting(algo, topo);
     SimConfig cfg;
     cfg.injection_rate = 0.03;   // Light load: no adaptive detours.
-    cfg.warmup_cycles = 3000;
-    cfg.measure_cycles = 10000;
+    cfg.warmup_cycles = fidelity.warmup;
+    cfg.measure_cycles = fidelity.measure;
     Simulator sim(*routing, *pattern, cfg);
     const SimResult r = sim.run();
     return {topo.name(), pattern_name, analytic, r.avg_hops};
@@ -53,16 +54,32 @@ measure(const Topology &topo, const std::string &pattern_name,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::vector<Row> rows;
+    const auto fidelity = bench::parseFidelity(argc, argv);
     NDMesh mesh = NDMesh::mesh2D(16, 16);
-    rows.push_back(measure(mesh, "uniform", "xy"));
-    rows.push_back(measure(mesh, "transpose", "negative-first"));
     Hypercube cube(8);
-    rows.push_back(measure(cube, "uniform", "e-cube"));
-    rows.push_back(measure(cube, "transpose", "p-cube"));
-    rows.push_back(measure(cube, "reverse-flip", "p-cube"));
+
+    struct Cell
+    {
+        const Topology *topo;
+        const char *pattern;
+        const char *algo;
+    };
+    const std::vector<Cell> cells{
+        {&mesh, "uniform", "xy"},
+        {&mesh, "transpose", "negative-first"},
+        {&cube, "uniform", "e-cube"},
+        {&cube, "transpose", "p-cube"},
+        {&cube, "reverse-flip", "p-cube"},
+    };
+
+    std::vector<Row> rows(cells.size());
+    ThreadPool pool(fidelity.jobs);
+    pool.parallelFor(cells.size(), [&](std::size_t i) {
+        rows[i] = measure(*cells[i].topo, cells[i].pattern,
+                          cells[i].algo, fidelity);
+    });
 
     std::cout << "== section-6: average path lengths ==\n";
     std::cout << "(paper: mesh uniform 10.61, mesh transpose 11.34, "

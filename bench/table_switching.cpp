@@ -11,7 +11,8 @@
 #include <iomanip>
 #include <iostream>
 
-#include "core/routing/factory.hpp"
+#include "bench_common.hpp"
+#include "exec/thread_pool.hpp"
 #include "sim/network.hpp"
 #include "topology/mesh.hpp"
 #include "util/csv.hpp"
@@ -56,14 +57,9 @@ lonePacketLatencyCycles(Switching mode, int hops, std::uint32_t length)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::cout << "== section-1: switching technique latency, lone "
-                 "packet (cycles = flit times) ==\n";
-    std::cout << std::setw(6) << "hops" << std::setw(8) << "flits"
-              << std::setw(12) << "wormhole" << std::setw(10) << "L+D"
-              << std::setw(12) << "SAF" << std::setw(10) << "L*D"
-              << '\n';
+    const auto fidelity = bench::parseFidelity(argc, argv);
 
     struct Row
     {
@@ -72,22 +68,36 @@ main()
         double wormhole;
         double saf;
     };
-    std::vector<Row> rows;
-    for (int hops : {2, 5, 10, 15}) {
-        for (std::uint32_t length : {10u, 50u, 200u}) {
-            Row row{hops, length,
-                    lonePacketLatencyCycles(Switching::Wormhole, hops,
-                                            length),
-                    lonePacketLatencyCycles(Switching::StoreAndForward,
-                                            hops, length)};
-            rows.push_back(row);
-            std::cout << std::setw(6) << hops << std::setw(8) << length
-                      << std::setw(12) << std::fixed
-                      << std::setprecision(0) << row.wormhole
-                      << std::setw(10) << hops + length
-                      << std::setw(12) << row.saf << std::setw(10)
-                      << hops * length << '\n';
-        }
+    const std::vector<int> hop_list{2, 5, 10, 15};
+    const std::vector<std::uint32_t> lengths{10, 50, 200};
+
+    // Each cell is two tiny single-packet simulations; run the grid
+    // across the pool, one slot per (hops, length) cell.
+    std::vector<Row> rows(hop_list.size() * lengths.size());
+    ThreadPool pool(fidelity.jobs);
+    pool.parallelFor(rows.size(), [&](std::size_t i) {
+        const int hops = hop_list[i / lengths.size()];
+        const std::uint32_t length = lengths[i % lengths.size()];
+        rows[i] = {hops, length,
+                   lonePacketLatencyCycles(Switching::Wormhole, hops,
+                                           length),
+                   lonePacketLatencyCycles(Switching::StoreAndForward,
+                                           hops, length)};
+    });
+
+    std::cout << "== section-1: switching technique latency, lone "
+                 "packet (cycles = flit times) ==\n";
+    std::cout << std::setw(6) << "hops" << std::setw(8) << "flits"
+              << std::setw(12) << "wormhole" << std::setw(10) << "L+D"
+              << std::setw(12) << "SAF" << std::setw(10) << "L*D"
+              << '\n';
+    for (const Row &row : rows) {
+        std::cout << std::setw(6) << row.hops << std::setw(8)
+                  << row.length << std::setw(12) << std::fixed
+                  << std::setprecision(0) << row.wormhole
+                  << std::setw(10) << row.hops + row.length
+                  << std::setw(12) << row.saf << std::setw(10)
+                  << row.hops * row.length << '\n';
     }
 
     std::cout << "\n-- csv --\n";

@@ -90,18 +90,25 @@ main(int argc, char **argv)
 
     const bool full = fidelity.measure > 20000;
 
+    // Candidate verification and ranking fan out across
+    // fidelity.jobs worker threads inside the engine.
     std::vector<Row> rows;
     {
         NDMesh mesh = NDMesh::mesh2D(5, 5);
-        rows.push_back({"mesh 5x5", synthesize(mesh)});
+        SynthesisConfig config;
+        config.num_threads = fidelity.jobs;
+        rows.push_back({"mesh 5x5", synthesize(mesh, config)});
     }
     {
         NDMesh mesh(Shape{3, 3, 3});
-        rows.push_back({"mesh 3x3x3", synthesize(mesh)});
+        SynthesisConfig config;
+        config.num_threads = fidelity.jobs;
+        rows.push_back({"mesh 3x3x3", synthesize(mesh, config)});
     }
     {
         HexMesh hex(full ? 4 : 3, full ? 4 : 3);
         SynthesisConfig config;
+        config.num_threads = fidelity.jobs;
         if (!full)
             config.max_candidates = 1024;
         rows.push_back({hex.name(), synthesize(hex, config)});
@@ -109,6 +116,7 @@ main(int argc, char **argv)
     {
         OctMesh oct(3, 3);
         SynthesisConfig config;
+        config.num_threads = fidelity.jobs;
         config.max_candidates = full ? 4096 : 512;
         rows.push_back({oct.name(), synthesize(oct, config)});
     }
@@ -125,10 +133,12 @@ main(int argc, char **argv)
         NDMesh mesh = NDMesh::mesh2D(8, 8);
         const std::string winner =
             mesh_report.candidates[mesh_report.ranking.front()].name;
-        bench::runFigure("synthesized vs hand-coded (8x8 mesh, uniform)",
-                         mesh, "uniform",
-                         {winner, "west-first", "negative-first"},
-                         "west-first", 0.01, 0.6, fidelity);
+        bench::runFigure(
+            bench::figureSpec(
+                "synthesized vs hand-coded (8x8 mesh, uniform)", mesh,
+                "uniform", {winner, "west-first", "negative-first"},
+                "west-first", 0.01, 0.6, fidelity),
+            fidelity);
     }
     return 0;
 }

@@ -5,7 +5,7 @@
  * the paper's argument (Sections 1, 3.3, 7) that nonminimal routing
  * buys fault tolerance, made concrete.
  *
- * Usage: fault_study [num_faults] [seed]
+ * Usage: fault_study [num_faults] [seed] [jobs]
  */
 
 #include <cstdlib>
@@ -13,6 +13,7 @@
 
 #include "core/channel_dependency.hpp"
 #include "core/routing/turn_table.hpp"
+#include "exec/runner.hpp"
 #include "topology/faults.hpp"
 #include "topology/mesh.hpp"
 
@@ -46,6 +47,10 @@ main(int argc, char **argv)
         argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 5;
     const std::uint64_t seed =
         argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 42;
+    const unsigned jobs =
+        argc > 3 ? static_cast<unsigned>(
+                       std::strtoul(argv[3], nullptr, 10))
+                 : 0;   // 0 = hardware concurrency.
 
     NDMesh mesh = NDMesh::mesh2D(8, 8);
     Rng rng(seed);
@@ -71,6 +76,35 @@ main(int argc, char **argv)
                   << (cdg.isAcyclic() ? "yes" : "NO") << "\n"
                   << "  connected pairs: " << connectivity(*routing) * 100
                   << "%\n";
+    }
+
+    // Measure what the faults cost under load: a quick sweep on the
+    // degraded mesh, via the thread-parallel runner with a factory
+    // that builds turn-table routings directly on the faulty
+    // topology. Only meaningful when the nonminimal variant still
+    // connects every pair — stranded pairs would make throughput
+    // incomparable.
+    if (connectivity(nonminimal) == 1.0) {
+        ExperimentSpec spec;
+        spec.name = faulty.name() + " / uniform";
+        spec.topology = &faulty;
+        spec.pattern = "uniform";
+        spec.algorithms = {"west-first (nonminimal)"};
+        spec.injection_rates = SweepConfig::ladder(0.02, 0.20, 4);
+        spec.sim.warmup_cycles = 2000;
+        spec.sim.measure_cycles = 6000;
+        spec.make_routing = [](const std::string &name,
+                               const Topology &topo) -> RoutingPtr {
+            return std::make_unique<TurnTableRouting>(
+                topo, TurnSet::westFirst(), false, name);
+        };
+        Runner runner(jobs);
+        const ExperimentResult result = runner.run(spec);
+        std::cout << '\n';
+        printSeries(std::cout, result.experiment, result.series);
+    } else {
+        std::cout << "\n(skipping degraded-network sweep: nonminimal "
+                     "routing cannot connect every pair)\n";
     }
 
     // Show one detour in detail: find a pair the minimal variant

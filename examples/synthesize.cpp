@@ -10,7 +10,7 @@
  * Usage:
  *   synthesize [--topo=SPEC] [--max-candidates=N] [--no-symmetry]
  *              [--mode=auto|minimal-subsets|one-per-cycle]
- *              [--top=N] [--sweep] [--json=PATH]
+ *              [--top=N] [--sweep] [--json=PATH] [--jobs=N]
  *
  * Topology specs: mesh:5x5 (any WxH or WxHxD mesh), hex:4x4,
  * oct:3x3. Default mesh:5x5, which mechanically reproduces the
@@ -23,14 +23,14 @@
  * sweep machine-readably.
  */
 
-#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/routing/factory.hpp"
-#include "sim/sweep.hpp"
+#include "exec/result_sink.hpp"
+#include "exec/runner.hpp"
 #include "synthesis/engine.hpp"
 #include "topology/hex.hpp"
 #include "topology/mesh.hpp"
@@ -94,7 +94,8 @@ usage()
         "usage: synthesize [--topo=mesh:5x5|mesh:3x3x3|hex:4x4|oct:3x3]\n"
         "                  [--max-candidates=N] [--no-symmetry]\n"
         "                  [--mode=auto|minimal-subsets|one-per-cycle]\n"
-        "                  [--top=N] [--sweep] [--json=PATH]\n";
+        "                  [--top=N] [--sweep] [--json=PATH]\n"
+        "                  [--jobs=N]\n";
     return 1;
 }
 
@@ -137,6 +138,9 @@ main(int argc, char **argv)
             sweep = true;
         } else if (arg.rfind("--json=", 0) == 0) {
             json_path = value("--json=");
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            config.num_threads = static_cast<unsigned>(
+                std::stoul(value("--jobs=")));
         } else {
             return usage();
         }
@@ -177,27 +181,18 @@ main(int argc, char **argv)
         topo->numDims() == static_cast<int>(topo->shape().size())) {
         names.push_back("west-first");
     }
-    PatternPtr pattern = makePattern("uniform", *topo);
-    SweepConfig sweep_config;
-    sweep_config.injection_rates = SweepConfig::ladder(0.01, 0.4, 6);
-    sweep_config.sim.warmup_cycles = 2000;
-    sweep_config.sim.measure_cycles = 6000;
-    std::vector<SweepSeries> series;
-    for (const std::string &name : names) {
-        RoutingPtr routing = makeRouting(name, *topo);
-        series.push_back(runSweep(*routing, *pattern, sweep_config));
-    }
-    printSeries(std::cout, "synthesized sweep on " + topo->name(),
-                series);
-    if (!json_path.empty()) {
-        std::ofstream out(json_path);
-        if (!out) {
-            std::cerr << "cannot write " << json_path << '\n';
-            return 1;
-        }
-        writeSeriesJson(out, "synthesized sweep on " + topo->name(),
-                        series);
-        std::cout << "wrote " << json_path << '\n';
-    }
+    ExperimentSpec spec;
+    spec.name = "synthesized sweep on " + topo->name();
+    spec.topology = topo.get();
+    spec.pattern = "uniform";
+    spec.algorithms = names;
+    spec.injection_rates = SweepConfig::ladder(0.01, 0.4, 6);
+    spec.sim.warmup_cycles = 2000;
+    spec.sim.measure_cycles = 6000;
+    Runner runner(config.num_threads);
+    const ExperimentResult result = runner.run(spec);
+    printSeries(std::cout, result.experiment, result.series);
+    if (!ResultSink::writeJsonFile(json_path, result))
+        return 1;
     return 0;
 }

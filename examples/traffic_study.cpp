@@ -10,7 +10,7 @@
  *                         doubley16x16]
  *                 [--pattern uniform|transpose|reverse-flip|...]
  *                 [--algos xy,west-first,...] [--rates lo:hi:n]
- *                 [--warmup N] [--measure N] [--seed S]
+ *                 [--warmup N] [--measure N] [--seed S] [--jobs N]
  */
 
 #include <cstdlib>
@@ -20,7 +20,7 @@
 #include <sstream>
 
 #include "core/routing/factory.hpp"
-#include "sim/sweep.hpp"
+#include "exec/runner.hpp"
 #include "topology/hypercube.hpp"
 #include "topology/mesh.hpp"
 #include "topology/hex.hpp"
@@ -99,9 +99,10 @@ main(int argc, char **argv)
     std::string algos;
     double rate_lo = 0.01, rate_hi = 0.5;
     int rate_points = 8;
-    SweepConfig sweep;
-    sweep.sim.warmup_cycles = 5000;
-    sweep.sim.measure_cycles = 15000;
+    unsigned jobs = 0;   // 0 = hardware concurrency.
+    ExperimentSpec spec;
+    spec.sim.warmup_cycles = 5000;
+    spec.sim.measure_cycles = 15000;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -126,31 +127,33 @@ main(int argc, char **argv)
             std::getline(ss, part, ':');
             rate_points = std::atoi(part.c_str());
         } else if (arg == "--warmup") {
-            sweep.sim.warmup_cycles = std::strtoull(next(), nullptr, 10);
+            spec.sim.warmup_cycles = std::strtoull(next(), nullptr, 10);
         } else if (arg == "--measure") {
-            sweep.sim.measure_cycles = std::strtoull(next(), nullptr, 10);
+            spec.sim.measure_cycles = std::strtoull(next(), nullptr, 10);
         } else if (arg == "--seed") {
-            sweep.sim.seed = std::strtoull(next(), nullptr, 10);
+            spec.sim.seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--jobs") {
+            jobs = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
         } else {
             TM_FATAL("unknown option '", arg, "'");
         }
     }
 
     auto topo = makeTopology(topo_spec);
-    auto pattern = makePattern(pattern_name, *topo);
-    const std::vector<std::string> algo_names = algos.empty()
-        ? availableRoutingNames(*topo) : splitList(algos);
-    sweep.injection_rates =
+    spec.topology = topo.get();
+    spec.pattern = pattern_name;
+    spec.algorithms = algos.empty() ? availableRoutingNames(*topo)
+                                    : splitList(algos);
+    spec.injection_rates =
         SweepConfig::ladder(rate_lo, rate_hi, rate_points);
+    spec.name = topo->name() + " / " + pattern_name;
 
-    std::vector<SweepSeries> all;
-    for (const std::string &name : algo_names) {
-        RoutingPtr routing = makeRouting(name, *topo);
-        TM_INFORM("sweeping ", name, " on ", topo->name(), " under ",
-                  pattern->name());
-        all.push_back(runSweep(*routing, *pattern, sweep));
-    }
-    printSeries(std::cout,
-                topo->name() + " / " + pattern->name(), all);
+    Runner runner(jobs);
+    TM_INFORM("sweeping ", spec.algorithms.size(), " algorithms on ",
+              topo->name(), " under ", pattern_name, " across ",
+              runner.jobs(), " jobs");
+    const ExperimentResult result = runner.run(spec);
+    printSeries(std::cout, result.experiment, result.series);
     return 0;
 }

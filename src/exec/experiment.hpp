@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Declarative experiment description. One ExperimentSpec fully
+ * describes a sweep grid — topology, routing algorithms, traffic
+ * pattern, injection-rate ladder, fidelity, seed — the shape shared
+ * by every result in the paper (Figures 13-16, the adaptiveness
+ * tables, the synthesis ranking sweeps). Binaries build a spec and
+ * hand it to the Runner (exec/runner.hpp) instead of plumbing the
+ * same dozen arguments through per-figure boilerplate.
+ */
+
+#ifndef TURNMODEL_EXEC_EXPERIMENT_HPP
+#define TURNMODEL_EXEC_EXPERIMENT_HPP
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/routing.hpp"
+#include "exec/sweep.hpp"
+#include "sim/config.hpp"
+#include "topology/topology.hpp"
+#include "traffic/pattern.hpp"
+
+namespace turnmodel {
+
+/**
+ * Constructs the routing algorithm for one named series. Invoked on
+ * the runner's thread once per (algorithm, rate) job so that each
+ * job owns a private instance — routing objects with lazy caches
+ * (turn-table reachability) are not thread safe to share.
+ */
+using RoutingFactory =
+    std::function<RoutingPtr(const std::string &name,
+                             const Topology &topo)>;
+
+/** Constructs the traffic pattern; one shared const instance. */
+using PatternFactory =
+    std::function<PatternPtr(const std::string &name,
+                             const Topology &topo)>;
+
+/** A full sweep-grid experiment, declaratively. */
+struct ExperimentSpec
+{
+    /** Experiment title, e.g. "figure-13: 16x16 mesh / uniform". */
+    std::string name;
+
+    /** Topology; must outlive the spec. */
+    const Topology *topology = nullptr;
+
+    /** Traffic pattern name (makePattern), e.g. "uniform". */
+    std::string pattern = "uniform";
+
+    /** Routing algorithm names, one sweep series each, in order. */
+    std::vector<std::string> algorithms;
+
+    /**
+     * Optional reference algorithm for the throughput-ratio summary
+     * (the figure captions' "N times the throughput of ..."). Empty
+     * disables the summary.
+     */
+    std::string baseline;
+
+    /** Injection rates, flits per node per cycle (SweepConfig::ladder
+     * builds the usual geometric ladder). */
+    std::vector<double> injection_rates;
+
+    /** Base simulation configuration; injection_rate is overwritten
+     * per point. Carries fidelity (warmup/measure) and the seed. */
+    SimConfig sim;
+
+    /** Per-series early-stop: points after this many consecutive
+     * saturated ones are dropped (matching the serial sweep). */
+    int stop_after_saturated = 2;
+
+    /** Override how algorithm names become routing objects; defaults
+     * to makeRouting. Lets studies sweep algorithms the factory
+     * cannot name (e.g. turn-table routings on faulty topologies). */
+    RoutingFactory make_routing;
+
+    /** Override pattern construction; defaults to makePattern. */
+    PatternFactory make_pattern;
+};
+
+} // namespace turnmodel
+
+#endif // TURNMODEL_EXEC_EXPERIMENT_HPP

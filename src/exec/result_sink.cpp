@@ -1,0 +1,80 @@
+#include "exec/result_sink.hpp"
+
+#include <fstream>
+#include <iostream>
+#include <ostream>
+
+#include "util/json.hpp"
+#include "util/logging.hpp"
+
+namespace turnmodel {
+
+void
+ResultSink::writeText(std::ostream &os, const ExperimentResult &result)
+{
+    printSeries(os, result.experiment, result.series);
+}
+
+void
+ResultSink::writeJson(std::ostream &os, const ExperimentResult &result)
+{
+    const std::ios::fmtflags flags = os.flags();
+    const std::streamsize precision = os.precision();
+    os.flags(std::ios::dec);
+    os.precision(6);
+
+    os << "{\"experiment\": \"" << jsonEscape(result.experiment)
+       << "\", \"jobs\": " << result.jobs
+       << ", \"wall_clock_seconds\": ";
+    writeJsonNumber(os, result.wall_seconds);
+    os << ", \"series\": [";
+
+    os.flags(flags);
+    os.precision(precision);
+    for (std::size_t i = 0; i < result.series.size(); ++i) {
+        if (i > 0)
+            os << ", ";
+        result.series[i].writeJson(os);
+    }
+    os << "]}\n";
+}
+
+bool
+ResultSink::writeJsonFile(const std::string &path,
+                          const ExperimentResult &result)
+{
+    if (path.empty())
+        return true;
+    std::ofstream out(path);
+    if (!out) {
+        TM_WARN("cannot write ", path);
+        return false;
+    }
+    writeJson(out, result);
+    std::cout << "wrote " << path << '\n';
+    return true;
+}
+
+void
+ResultSink::writeSummary(std::ostream &os, const ExperimentResult &result,
+                         const std::string &baseline)
+{
+    double base = 0.0;
+    for (const SweepSeries &s : result.series) {
+        if (s.algorithm == baseline)
+            base = s.maxSustainableThroughput();
+    }
+    os << "-- summary (max sustainable throughput";
+    if (!baseline.empty())
+        os << " vs " << baseline;
+    os << ") --\n";
+    for (const SweepSeries &s : result.series) {
+        const double t = s.maxSustainableThroughput();
+        os << "  " << s.algorithm << ": " << t << " flits/us";
+        if (base > 0.0)
+            os << "  (" << t / base << "x)";
+        os << '\n';
+    }
+}
+
+} // namespace turnmodel

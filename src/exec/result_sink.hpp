@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Structured output for finished experiments. One sink absorbs the
+ * emission formats previously hand-rolled per binary: the
+ * human-readable table + CSV block, the machine-readable JSON
+ * document (BENCH_*.json), and the throughput-ratio summary the
+ * figure captions quote. JSON documents carry the wall-clock and
+ * job count of the run so result files track the parallel speedup.
+ */
+
+#ifndef TURNMODEL_EXEC_RESULT_SINK_HPP
+#define TURNMODEL_EXEC_RESULT_SINK_HPP
+
+#include <iosfwd>
+#include <string>
+
+#include "exec/runner.hpp"
+
+namespace turnmodel {
+
+/** Writers for ExperimentResults; all stateless. */
+class ResultSink
+{
+  public:
+    /** Human-readable table plus CSV block (printSeries). */
+    static void writeText(std::ostream &os,
+                          const ExperimentResult &result);
+
+    /**
+     * JSON document: {"experiment": ..., "jobs": N,
+     * "wall_clock_seconds": ..., "series": [...]}. The series bytes
+     * are independent of jobs and wall clock, so determinism checks
+     * should compare writeSeriesJson output instead.
+     */
+    static void writeJson(std::ostream &os,
+                          const ExperimentResult &result);
+
+    /**
+     * Write writeJson to @p path; logs and returns false when the
+     * file cannot be opened. Empty path is a silent no-op (returns
+     * true) so callers can plumb an optional --json=PATH through.
+     */
+    static bool writeJsonFile(const std::string &path,
+                              const ExperimentResult &result);
+
+    /**
+     * The figure captions' summary: each series' maximum sustainable
+     * throughput, with the ratio against @p baseline when a series
+     * of that name exists.
+     */
+    static void writeSummary(std::ostream &os,
+                             const ExperimentResult &result,
+                             const std::string &baseline);
+};
+
+} // namespace turnmodel
+
+#endif // TURNMODEL_EXEC_RESULT_SINK_HPP

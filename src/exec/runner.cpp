@@ -1,0 +1,103 @@
+#include "exec/runner.hpp"
+
+#include <chrono>
+
+#include "core/routing/factory.hpp"
+#include "util/logging.hpp"
+
+namespace turnmodel {
+
+SweepPoint
+runSweepPoint(const RoutingAlgorithm &routing,
+              const TrafficPattern &pattern, const SimConfig &base,
+              double rate)
+{
+    SimConfig sim = base;
+    sim.injection_rate = rate;
+    Simulator simulator(routing, pattern, sim);
+    SweepPoint point;
+    point.injection_rate = rate;
+    point.result = simulator.run();
+    return point;
+}
+
+void
+truncateAtSaturation(SweepSeries &series, int stop_after_saturated)
+{
+    if (stop_after_saturated <= 0)
+        return;
+    int streak = 0;
+    for (std::size_t i = 0; i < series.points.size(); ++i) {
+        streak = series.points[i].result.saturated ? streak + 1 : 0;
+        if (streak >= stop_after_saturated) {
+            series.points.resize(i + 1);
+            return;
+        }
+    }
+}
+
+Runner::Runner(unsigned jobs) : pool_(std::make_unique<ThreadPool>(jobs))
+{
+}
+
+ExperimentResult
+Runner::run(const ExperimentSpec &spec)
+{
+    TM_ASSERT(spec.topology != nullptr, "spec needs a topology");
+    TM_ASSERT(!spec.algorithms.empty(), "spec needs algorithms");
+    TM_ASSERT(!spec.injection_rates.empty(), "spec needs rates");
+
+    const Topology &topo = *spec.topology;
+    const RoutingFactory make_routing = spec.make_routing
+        ? spec.make_routing
+        : [](const std::string &name, const Topology &t) {
+              return makeRouting(name, t);
+          };
+    const PatternPtr pattern = spec.make_pattern
+        ? spec.make_pattern(spec.pattern, topo)
+        : makePattern(spec.pattern, topo);
+
+    const auto start = std::chrono::steady_clock::now();
+
+    // One private routing instance per (algorithm, rate) job: the
+    // lazy reachability caches inside turn-table routings are not
+    // thread safe, and a fresh instance per job keeps every sweep
+    // point fully independent. Construction is cheap (the caches
+    // fill lazily during simulation).
+    const std::size_t num_series = spec.algorithms.size();
+    const std::size_t num_rates = spec.injection_rates.size();
+    std::vector<RoutingPtr> routings(num_series * num_rates);
+    for (std::size_t a = 0; a < num_series; ++a) {
+        for (std::size_t r = 0; r < num_rates; ++r) {
+            routings[a * num_rates + r] =
+                make_routing(spec.algorithms[a], topo);
+            TM_ASSERT(routings[a * num_rates + r] != nullptr,
+                      "no routing for '", spec.algorithms[a], "'");
+        }
+    }
+
+    std::vector<SweepPoint> points(num_series * num_rates);
+    pool_->parallelFor(points.size(), [&](std::size_t job) {
+        const double rate = spec.injection_rates[job % num_rates];
+        points[job] =
+            runSweepPoint(*routings[job], *pattern, spec.sim, rate);
+    });
+
+    ExperimentResult result;
+    result.experiment = spec.name;
+    result.jobs = pool_->size();
+    result.series.resize(num_series);
+    for (std::size_t a = 0; a < num_series; ++a) {
+        SweepSeries &series = result.series[a];
+        series.algorithm = routings[a * num_rates]->name();
+        series.points.assign(points.begin() + a * num_rates,
+                             points.begin() + (a + 1) * num_rates);
+        truncateAtSaturation(series, spec.stop_after_saturated);
+    }
+
+    result.wall_seconds = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - start).count();
+    return result;
+}
+
+} // namespace turnmodel

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Thread-parallel experiment runner: expands an ExperimentSpec into
+ * one independent Simulator job per (algorithm, rate) sweep point,
+ * executes the jobs across a work-stealing thread pool, and
+ * reassembles the series in deterministic order.
+ *
+ * Determinism contract: the output is bit-identical to the serial
+ * sweep path (runSweep) at any job count. Each job constructs its
+ * own Simulator — and its own routing instance, since turn-table
+ * reachability caches are not thread safe — and every RNG stream is
+ * keyed by (seed, node), so a point's result depends only on the
+ * spec, never on scheduling. The serial sweep's early stop (drop
+ * points after N consecutive saturated ones) is reproduced by
+ * running the full ladder and truncating afterwards, which trades a
+ * little wasted post-saturation work for order independence.
+ */
+
+#ifndef TURNMODEL_EXEC_RUNNER_HPP
+#define TURNMODEL_EXEC_RUNNER_HPP
+
+#include <memory>
+
+#include "exec/experiment.hpp"
+#include "exec/sweep.hpp"
+#include "exec/thread_pool.hpp"
+
+namespace turnmodel {
+
+/** Everything a finished experiment produced. */
+struct ExperimentResult
+{
+    std::string experiment;
+    /** One series per spec algorithm, in spec order; points in rate
+     * order, truncated at saturation like the serial sweep. */
+    std::vector<SweepSeries> series;
+    /** Wall-clock spent executing the sweep grid, seconds. */
+    double wall_seconds = 0.0;
+    /** Worker threads used. */
+    unsigned jobs = 0;
+};
+
+/**
+ * Run one sweep point: a fresh Simulator for @p routing under
+ * @p pattern at injection rate @p rate (all other knobs from
+ * @p base). The building block of both the serial and the parallel
+ * sweep paths.
+ */
+SweepPoint runSweepPoint(const RoutingAlgorithm &routing,
+                         const TrafficPattern &pattern,
+                         const SimConfig &base, double rate);
+
+/**
+ * Drop the points a serial sweep would not have run: everything
+ * after @p stop_after_saturated consecutive saturated points.
+ * No-op when @p stop_after_saturated is zero or negative.
+ */
+void truncateAtSaturation(SweepSeries &series, int stop_after_saturated);
+
+/** Executes ExperimentSpecs over an owned thread pool. */
+class Runner
+{
+  public:
+    /** @param jobs Worker threads; 0 = hardware concurrency. */
+    explicit Runner(unsigned jobs = 0);
+
+    /** Worker threads in use. */
+    unsigned jobs() const { return pool_->size(); }
+
+    /** The underlying pool (shareable with other parallel stages). */
+    ThreadPool &pool() { return *pool_; }
+
+    /**
+     * Execute the spec: one job per (algorithm, rate) point, series
+     * reassembled in spec order regardless of completion order.
+     */
+    ExperimentResult run(const ExperimentSpec &spec);
+
+  private:
+    std::unique_ptr<ThreadPool> pool_;
+};
+
+} // namespace turnmodel
+
+#endif // TURNMODEL_EXEC_RUNNER_HPP

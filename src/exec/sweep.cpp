@@ -1,10 +1,12 @@
-#include "sim/sweep.hpp"
+#include "exec/sweep.hpp"
 
 #include <cmath>
 #include <iomanip>
 #include <ostream>
 
+#include "exec/runner.hpp"
 #include "util/csv.hpp"
+#include "util/json.hpp"
 #include "util/logging.hpp"
 
 namespace turnmodel {
@@ -20,34 +22,6 @@ SweepSeries::maxSustainableThroughput() const
     return best;
 }
 
-namespace {
-
-/** Minimal JSON string escaping (quotes and backslashes). */
-std::string
-jsonEscape(const std::string &text)
-{
-    std::string out;
-    out.reserve(text.size());
-    for (char c : text) {
-        if (c == '"' || c == '\\')
-            out += '\\';
-        out += c;
-    }
-    return out;
-}
-
-/** JSON-safe number rendering (JSON has no NaN/Inf literals). */
-void
-jsonNumber(std::ostream &os, double value)
-{
-    if (std::isfinite(value))
-        os << value;
-    else
-        os << "null";
-}
-
-} // namespace
-
 void
 SweepSeries::writeJson(std::ostream &os) const
 {
@@ -60,7 +34,7 @@ SweepSeries::writeJson(std::ostream &os) const
 
     os << "{\"algorithm\": \"" << jsonEscape(algorithm) << "\", "
        << "\"max_sustainable_throughput_flits_per_us\": ";
-    jsonNumber(os, maxSustainableThroughput());
+    writeJsonNumber(os, maxSustainableThroughput());
     os << ", \"points\": [";
     for (std::size_t i = 0; i < points.size(); ++i) {
         const SweepPoint &p = points[i];
@@ -68,19 +42,19 @@ SweepSeries::writeJson(std::ostream &os) const
         if (i > 0)
             os << ", ";
         os << "{\"injection_rate\": ";
-        jsonNumber(os, p.injection_rate);
+        writeJsonNumber(os, p.injection_rate);
         os << ", \"offered_flits_per_us\": ";
-        jsonNumber(os, r.offered_flits_per_us);
+        writeJsonNumber(os, r.offered_flits_per_us);
         os << ", \"throughput_flits_per_us\": ";
-        jsonNumber(os, r.throughput_flits_per_us);
+        writeJsonNumber(os, r.throughput_flits_per_us);
         os << ", \"latency_us\": ";
-        jsonNumber(os, r.avg_latency_us);
+        writeJsonNumber(os, r.avg_latency_us);
         os << ", \"network_latency_us\": ";
-        jsonNumber(os, r.avg_network_latency_us);
+        writeJsonNumber(os, r.avg_network_latency_us);
         os << ", \"p99_latency_us\": ";
-        jsonNumber(os, r.p99_latency_us);
+        writeJsonNumber(os, r.p99_latency_us);
         os << ", \"avg_hops\": ";
-        jsonNumber(os, r.avg_hops);
+        writeJsonNumber(os, r.avg_hops);
         os << ", \"packets\": " << r.packets_measured
            << ", \"saturated\": " << (r.saturated ? "true" : "false")
            << ", \"deadlocked\": " << (r.deadlocked ? "true" : "false")
@@ -129,14 +103,9 @@ runSweep(const RoutingAlgorithm &routing, const TrafficPattern &pattern,
     series.algorithm = routing.name();
     int saturated_streak = 0;
     for (double rate : config.injection_rates) {
-        SimConfig sim = config.sim;
-        sim.injection_rate = rate;
-        Simulator simulator(routing, pattern, sim);
-        SweepPoint point;
-        point.injection_rate = rate;
-        point.result = simulator.run();
-        series.points.push_back(point);
-        saturated_streak = point.result.saturated
+        series.points.push_back(
+            runSweepPoint(routing, pattern, config.sim, rate));
+        saturated_streak = series.points.back().result.saturated
             ? saturated_streak + 1 : 0;
         if (config.stop_after_saturated > 0 &&
             saturated_streak >= config.stop_after_saturated) {

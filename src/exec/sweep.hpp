@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Latency/throughput sweep harness shared by the benchmark binaries:
+ * runs one (routing, pattern) combination across a range of
+ * injection rates and reports the (throughput, latency) series the
+ * paper plots in Figures 13-16, plus the maximum sustainable
+ * throughput.
+ *
+ * runSweep is the serial reference path; the thread-parallel
+ * experiment runner (exec/runner.hpp) produces bit-identical series
+ * for any job count, because every sweep point is an independent
+ * Simulator whose RNG streams are keyed by (seed, node).
+ */
+
+#ifndef TURNMODEL_EXEC_SWEEP_HPP
+#define TURNMODEL_EXEC_SWEEP_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/metrics.hpp"
+#include "sim/simulator.hpp"
+#include "traffic/pattern.hpp"
+
+namespace turnmodel {
+
+/** One sweep point. */
+struct SweepPoint
+{
+    double injection_rate;   ///< Flits per node per cycle.
+    SimResult result;
+};
+
+/** A full sweep for one algorithm. */
+struct SweepSeries
+{
+    std::string algorithm;
+    std::vector<SweepPoint> points;
+
+    /**
+     * Highest measured throughput among the non-saturated points —
+     * the paper's "maximum sustainable throughput".
+     */
+    double maxSustainableThroughput() const;
+
+    /**
+     * Emit this series as one JSON object:
+     * {"algorithm": ..., "max_sustainable_throughput_flits_per_us":
+     * ..., "points": [{...}, ...]}. Machine-readable counterpart of
+     * printSeries for BENCH_*.json result files.
+     */
+    void writeJson(std::ostream &os) const;
+};
+
+/** Sweep configuration. */
+struct SweepConfig
+{
+    std::vector<double> injection_rates;
+    SimConfig sim;   ///< injection_rate is overwritten per point.
+
+    /** Stop sweeping after this many consecutive saturated points. */
+    int stop_after_saturated = 2;
+
+    /** Geometric ladder of rates from lo to hi (inclusive). */
+    static std::vector<double> ladder(double lo, double hi, int points);
+};
+
+/**
+ * Run a sweep of one routing algorithm against one pattern, serially
+ * on the calling thread. Thin wrapper over the runner layer's
+ * per-point executor; use exec Runner::run for thread-parallel
+ * sweeps of whole experiments.
+ *
+ * @param routing Routing algorithm.
+ * @param pattern Traffic pattern.
+ * @param config  Sweep configuration.
+ */
+SweepSeries runSweep(const RoutingAlgorithm &routing,
+                     const TrafficPattern &pattern,
+                     const SweepConfig &config);
+
+/**
+ * Print a set of series as a human-readable table followed by a CSV
+ * block, tagged with the experiment name.
+ */
+void printSeries(std::ostream &os, const std::string &experiment,
+                 const std::vector<SweepSeries> &series);
+
+/**
+ * Write a whole experiment as a JSON document:
+ * {"experiment": ..., "series": [<SweepSeries::writeJson>, ...]}.
+ */
+void writeSeriesJson(std::ostream &os, const std::string &experiment,
+                     const std::vector<SweepSeries> &series);
+
+} // namespace turnmodel
+
+#endif // TURNMODEL_EXEC_SWEEP_HPP

@@ -1,0 +1,139 @@
+#include "exec/thread_pool.hpp"
+
+#include "util/logging.hpp"
+
+namespace turnmodel {
+
+unsigned
+ThreadPool::hardwareThreads()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n > 0 ? n : 1;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    const unsigned n = threads > 0 ? threads : hardwareThreads();
+    queues_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        queues_.push_back(std::make_unique<WorkerQueue>());
+    workers_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+bool
+ThreadPool::popLocal(unsigned id, std::size_t &index)
+{
+    WorkerQueue &q = *queues_[id];
+    std::lock_guard<std::mutex> lock(q.mutex);
+    if (q.indices.empty())
+        return false;
+    index = q.indices.front();
+    q.indices.pop_front();
+    return true;
+}
+
+bool
+ThreadPool::stealAny(unsigned id, std::size_t &index)
+{
+    const unsigned n = size();
+    for (unsigned offset = 1; offset < n; ++offset) {
+        WorkerQueue &victim = *queues_[(id + offset) % n];
+        std::lock_guard<std::mutex> lock(victim.mutex);
+        if (victim.indices.empty())
+            continue;
+        index = victim.indices.back();
+        victim.indices.pop_back();
+        steals_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+    }
+    return false;
+}
+
+void
+ThreadPool::runOne(std::size_t index)
+{
+    try {
+        (*body_)(index);
+    } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!first_error_)
+            first_error_ = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    --outstanding_;
+}
+
+void
+ThreadPool::workerLoop(unsigned id)
+{
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        work_cv_.wait(lock,
+                      [&] { return stop_ || generation_ != seen; });
+        if (stop_)
+            return;
+        seen = generation_;
+        ++active_;
+        lock.unlock();
+
+        std::size_t index;
+        while (popLocal(id, index) || stealAny(id, index))
+            runOne(index);
+
+        lock.lock();
+        if (--active_ == 0 && outstanding_ == 0)
+            done_cv_.notify_all();
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t count,
+                        const std::function<void(std::size_t)> &body)
+{
+    if (count == 0)
+        return;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        TM_ASSERT(outstanding_ == 0 && active_ == 0,
+                  "parallelFor is not reentrant");
+        // All workers are parked waiting for a new generation, so
+        // the deques can be filled without racing a stale stealer.
+        const unsigned n = size();
+        for (std::size_t i = 0; i < count; ++i) {
+            WorkerQueue &q = *queues_[i % n];
+            std::lock_guard<std::mutex> qlock(q.mutex);
+            q.indices.push_back(i);
+        }
+        body_ = &body;
+        outstanding_ = count;
+        first_error_ = nullptr;
+        ++generation_;
+    }
+    work_cv_.notify_all();
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock,
+                  [&] { return outstanding_ == 0 && active_ == 0; });
+    if (first_error_) {
+        std::exception_ptr error = first_error_;
+        first_error_ = nullptr;
+        lock.unlock();
+        std::rethrow_exception(error);
+    }
+}
+
+} // namespace turnmodel

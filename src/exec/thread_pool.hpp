@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Work-stealing thread pool for the experiment runner layer. Worker
+ * threads are persistent; work is submitted as index batches via
+ * parallelFor, distributed round-robin over per-worker deques, and
+ * idle workers steal from the back of their neighbors' deques until
+ * the batch drains. The pool executes tasks in nondeterministic
+ * order — callers that need deterministic results must write each
+ * task's output to a slot addressed by its index (the runner and the
+ * synthesis engine both do).
+ */
+
+#ifndef TURNMODEL_EXEC_THREAD_POOL_HPP
+#define TURNMODEL_EXEC_THREAD_POOL_HPP
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace turnmodel {
+
+/** Fixed-size pool of worker threads with per-worker work deques. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads Worker count; 0 selects hardwareThreads().
+     */
+    explicit ThreadPool(unsigned threads = 0);
+
+    /** Joins all workers; outstanding batches must have completed. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    unsigned size() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /** Detected hardware concurrency, at least 1. */
+    static unsigned hardwareThreads();
+
+    /**
+     * Run body(0) .. body(count - 1) across the workers and block
+     * until every call has returned. Tasks must not call back into
+     * the same pool (no nesting). The first exception thrown by any
+     * task is rethrown here after the batch drains.
+     */
+    void parallelFor(std::size_t count,
+                     const std::function<void(std::size_t)> &body);
+
+    /**
+     * Tasks executed by a worker other than the one they were queued
+     * on, over the pool's lifetime. Diagnostic (used by tests to
+     * observe that stealing happens under unbalanced load).
+     */
+    std::uint64_t stealCount() const { return steals_.load(); }
+
+  private:
+    /** One worker's own task deque; owner pops front, thieves pop
+     * back, both under the deque mutex. */
+    struct WorkerQueue
+    {
+        std::mutex mutex;
+        std::deque<std::size_t> indices;
+    };
+
+    void workerLoop(unsigned id);
+    bool popLocal(unsigned id, std::size_t &index);
+    bool stealAny(unsigned id, std::size_t &index);
+    void runOne(std::size_t index);
+
+    std::vector<std::unique_ptr<WorkerQueue>> queues_;
+    std::vector<std::thread> workers_;
+    std::atomic<std::uint64_t> steals_{0};
+
+    /** Guards the batch state below. */
+    std::mutex mutex_;
+    std::condition_variable work_cv_;   ///< Signals a new batch.
+    std::condition_variable done_cv_;   ///< Signals batch completion.
+    const std::function<void(std::size_t)> *body_ = nullptr;
+    std::uint64_t generation_ = 0;   ///< Bumped per batch.
+    std::size_t outstanding_ = 0;    ///< Tasks not yet finished.
+    unsigned active_ = 0;            ///< Workers inside the batch.
+    std::exception_ptr first_error_;
+    bool stop_ = false;
+};
+
+} // namespace turnmodel
+
+#endif // TURNMODEL_EXEC_THREAD_POOL_HPP

@@ -8,6 +8,7 @@
 #include "core/channel_dependency.hpp"
 #include "core/cycle_analysis.hpp"
 #include "core/routing/turn_table.hpp"
+#include "exec/thread_pool.hpp"
 #include "synthesis/symmetry.hpp"
 #include "util/logging.hpp"
 
@@ -33,16 +34,25 @@ resolveMode(const SynthesisConfig &config, int num_dims)
  * adaptive reference routing — valid for topologies (hex, oct)
  * where the orthogonal-mesh multinomial does not apply, and
  * identical to fullyAdaptivePathCount on meshes. Computed once and
- * shared across all ranked candidates.
+ * shared across all ranked candidates, parallel over destinations:
+ * each job builds its own reference routing (the lazy reachability
+ * cache is not thread safe to share, and one job only ever fills
+ * its own destination's table).
  */
 std::vector<std::uint64_t>
-referencePathCounts(const RoutingAlgorithm &fully)
+referencePathCounts(const Topology &topo, bool minimal,
+                    ThreadPool &pool)
 {
-    const Topology &topo = fully.topology();
     const std::size_t nodes = topo.numNodes();
+    TurnSet every(topo.numDims());
+    every.allowAll90();
+    every.allowAllStraight();
     std::vector<std::uint64_t> counts(nodes * nodes, 0);
-    for (NodeId src = 0; src < topo.numNodes(); ++src) {
-        for (NodeId dst = 0; dst < topo.numNodes(); ++dst) {
+    pool.parallelFor(nodes, [&](std::size_t dst_index) {
+        const NodeId dst = static_cast<NodeId>(dst_index);
+        const TurnTableRouting fully(topo, every, minimal,
+                                     "fully-adaptive");
+        for (NodeId src = 0; src < topo.numNodes(); ++src) {
             if (src == dst)
                 continue;
             const std::uint64_t sf =
@@ -50,7 +60,7 @@ referencePathCounts(const RoutingAlgorithm &fully)
             TM_ASSERT(sf > 0, "fully adaptive reference disconnected");
             counts[static_cast<std::size_t>(src) * nodes + dst] = sf;
         }
-    }
+    });
     return counts;
 }
 
@@ -229,51 +239,61 @@ synthesize(const Topology &topo, const SynthesisConfig &config)
     }
 
     // 4. Verify one representative per class (or everything with
-    // verify_all), then propagate class verdicts.
+    // verify_all), then propagate class verdicts. Candidates are
+    // independent, so verification fans out across the pool; each
+    // job builds its own routing and writes only its own slot, which
+    // keeps the report identical at any thread count.
+    ThreadPool pool(config.num_threads);
     const auto verify = [&](SynthesizedCandidate &candidate) {
         TurnTableRouting routing(topo, candidate.set, config.minimal,
                                  candidate.name);
         candidate.connected = routing.isConnected();
         candidate.deadlock_free = isDeadlockFree(routing);
         candidate.verified_directly = true;
-        ++report.cdg_checks;
     };
+    std::vector<std::size_t> to_verify;
     for (const SynthesisClass &cls : report.classes)
-        verify(report.candidates[cls.representative]);
+        to_verify.push_back(cls.representative);
+    if (config.verify_all) {
+        for (std::size_t i = 0; i < report.candidates.size(); ++i) {
+            if (!report.candidates[i].is_representative)
+                to_verify.push_back(i);
+        }
+    }
+    pool.parallelFor(to_verify.size(), [&](std::size_t i) {
+        verify(report.candidates[to_verify[i]]);
+    });
+    report.cdg_checks = to_verify.size();
     for (SynthesizedCandidate &candidate : report.candidates) {
         if (candidate.verified_directly)
             continue;
-        if (config.verify_all) {
-            verify(candidate);
-        } else {
-            const SynthesizedCandidate &rep = report.candidates[
-                report.classes[candidate.class_id].representative];
-            candidate.connected = rep.connected;
-            candidate.deadlock_free = rep.deadlock_free;
-        }
+        const SynthesizedCandidate &rep = report.candidates[
+            report.classes[candidate.class_id].representative];
+        candidate.connected = rep.connected;
+        candidate.deadlock_free = rep.deadlock_free;
     }
 
-    // 5. Rank surviving representatives by adaptiveness.
+    // 5. Rank surviving representatives by adaptiveness, one pool
+    // job per survivor.
     if (config.rank) {
-        TurnSet every(n);
-        every.allowAll90();
-        every.allowAllStraight();
-        const TurnTableRouting fully(topo, every, config.minimal,
-                                     "fully-adaptive");
         const std::vector<std::uint64_t> reference =
-            referencePathCounts(fully);
+            referencePathCounts(topo, config.minimal, pool);
         for (const SynthesisClass &cls : report.classes) {
-            SynthesizedCandidate &rep =
+            const SynthesizedCandidate &rep =
                 report.candidates[cls.representative];
             if (!rep.connected || !rep.deadlock_free)
                 continue;
+            report.ranking.push_back(cls.representative);
+        }
+        pool.parallelFor(report.ranking.size(), [&](std::size_t i) {
+            SynthesizedCandidate &rep =
+                report.candidates[report.ranking[i]];
             TurnTableRouting routing(topo, rep.set, config.minimal,
                                      rep.name);
             rep.adaptiveness =
                 summarizeAgainstReference(routing, reference);
             rep.has_adaptiveness = true;
-            report.ranking.push_back(cls.representative);
-        }
+        });
         std::sort(report.ranking.begin(), report.ranking.end(),
                   [&report](std::size_t a, std::size_t b) {
                       const auto &ca = report.candidates[a];

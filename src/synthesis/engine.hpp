@@ -94,6 +94,15 @@ struct SynthesisConfig
 
     /** Restrict synthesized routing to profitable hops. */
     bool minimal = true;
+
+    /**
+     * Worker threads for the verification and ranking stages, which
+     * are embarrassingly parallel per candidate; 0 = hardware
+     * concurrency, 1 = serial. Results are identical at any thread
+     * count (every job owns its routing instance and writes its own
+     * candidate slot).
+     */
+    unsigned num_threads = 0;
 };
 
 /** One enumerated candidate and everything learned about it. */

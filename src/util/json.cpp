@@ -1,0 +1,47 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace turnmodel {
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\t': out += "\\t"; break;
+          case '\n': out += "\\n"; break;
+          case '\f': out += "\\f"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+writeJsonNumber(std::ostream &os, double value)
+{
+    if (std::isfinite(value))
+        os << value;
+    else
+        os << "null";
+}
+
+} // namespace turnmodel

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Minimal JSON emission helpers shared by the result sinks. JSON has
+ * no NaN/Inf literals and requires control characters to be escaped,
+ * so hand-rolled emitters must route strings and doubles through
+ * these two functions to stay standards-valid.
+ */
+
+#ifndef TURNMODEL_UTIL_JSON_HPP
+#define TURNMODEL_UTIL_JSON_HPP
+
+#include <iosfwd>
+#include <string>
+
+namespace turnmodel {
+
+/**
+ * Escape @p text for embedding inside a JSON string literal: quotes,
+ * backslashes, and every control character U+0000..U+001F (short
+ * forms \b \t \n \f \r where they exist, \u00XX otherwise).
+ */
+std::string jsonEscape(const std::string &text);
+
+/**
+ * Write @p value as a JSON number, or "null" when it is NaN or
+ * infinite. Does not disturb the stream's formatting state.
+ */
+void writeJsonNumber(std::ostream &os, double value);
+
+} // namespace turnmodel
+
+#endif // TURNMODEL_UTIL_JSON_HPP

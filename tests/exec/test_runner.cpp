@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Tests for the thread-parallel experiment runner: determinism at
+ * any job count, spec-order series assembly, and parity with the
+ * serial sweep path including its early-stop behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/routing/factory.hpp"
+#include "exec/runner.hpp"
+#include "exec/result_sink.hpp"
+#include "topology/mesh.hpp"
+
+namespace turnmodel {
+namespace {
+
+ExperimentSpec
+quickSpec(const Topology &topo)
+{
+    ExperimentSpec spec;
+    spec.name = "runner-unit-test";
+    spec.topology = &topo;
+    spec.pattern = "uniform";
+    spec.algorithms = {"xy", "west-first", "negative-first"};
+    spec.injection_rates = {0.01, 0.02, 0.04};
+    spec.sim.warmup_cycles = 500;
+    spec.sim.measure_cycles = 1500;
+    return spec;
+}
+
+std::string
+seriesJson(const ExperimentResult &result)
+{
+    // Compare only the series payload: the full ResultSink document
+    // also carries wall-clock time, which legitimately differs
+    // between runs.
+    std::ostringstream os;
+    writeSeriesJson(os, result.experiment, result.series);
+    return os.str();
+}
+
+TEST(Runner, ByteIdenticalAcrossJobCounts)
+{
+    NDMesh mesh = NDMesh::mesh2D(6, 6);
+    const ExperimentSpec spec = quickSpec(mesh);
+    const std::string serial = seriesJson(Runner(1).run(spec));
+    EXPECT_EQ(serial, seriesJson(Runner(4).run(spec)));
+    EXPECT_EQ(serial, seriesJson(Runner(8).run(spec)));
+}
+
+TEST(Runner, MatchesSerialSweepExactly)
+{
+    NDMesh mesh = NDMesh::mesh2D(6, 6);
+    const ExperimentSpec spec = quickSpec(mesh);
+    const ExperimentResult result = Runner(4).run(spec);
+
+    std::vector<SweepSeries> reference;
+    for (const std::string &algo : spec.algorithms) {
+        RoutingPtr routing = makeRouting(algo, mesh);
+        PatternPtr pattern = makePattern(spec.pattern, mesh);
+        SweepConfig cfg;
+        cfg.injection_rates = spec.injection_rates;
+        cfg.sim = spec.sim;
+        cfg.stop_after_saturated = spec.stop_after_saturated;
+        reference.push_back(runSweep(*routing, *pattern, cfg));
+    }
+
+    std::ostringstream parallel_os, serial_os;
+    writeSeriesJson(parallel_os, spec.name, result.series);
+    writeSeriesJson(serial_os, spec.name, reference);
+    EXPECT_EQ(parallel_os.str(), serial_os.str());
+}
+
+TEST(Runner, SeriesFollowSpecOrderNotCompletionOrder)
+{
+    // Jobs for later algorithms can finish before earlier ones; the
+    // assembled result must still follow spec.algorithms order.
+    NDMesh mesh = NDMesh::mesh2D(6, 6);
+    ExperimentSpec spec = quickSpec(mesh);
+    spec.algorithms = {"negative-first", "xy", "north-last",
+                       "west-first"};
+    const ExperimentResult result = Runner(8).run(spec);
+    ASSERT_EQ(result.series.size(), spec.algorithms.size());
+    for (std::size_t i = 0; i < spec.algorithms.size(); ++i)
+        EXPECT_EQ(result.series[i].algorithm, spec.algorithms[i]);
+    for (const SweepSeries &series : result.series) {
+        ASSERT_EQ(series.points.size(), spec.injection_rates.size());
+        for (std::size_t i = 0; i < series.points.size(); ++i)
+            EXPECT_DOUBLE_EQ(series.points[i].injection_rate,
+                             spec.injection_rates[i]);
+    }
+}
+
+TEST(Runner, ReproducesSerialEarlyStop)
+{
+    NDMesh mesh = NDMesh::mesh2D(6, 6);
+    ExperimentSpec spec = quickSpec(mesh);
+    spec.pattern = "transpose";
+    spec.algorithms = {"xy"};
+    // Every rate far beyond saturation: the serial sweep stops after
+    // stop_after_saturated points, so the runner must truncate to
+    // the same prefix.
+    spec.injection_rates = {0.9, 0.95, 1.0, 1.05, 1.1, 1.15};
+    spec.stop_after_saturated = 2;
+    const ExperimentResult result = Runner(4).run(spec);
+    ASSERT_EQ(result.series.size(), 1u);
+    EXPECT_EQ(result.series[0].points.size(), 2u);
+}
+
+TEST(Runner, HonoursCustomRoutingFactory)
+{
+    NDMesh mesh = NDMesh::mesh2D(6, 6);
+    ExperimentSpec spec = quickSpec(mesh);
+    spec.algorithms = {"my-xy"};
+    int factory_calls = 0;
+    spec.make_routing = [&](const std::string &name,
+                            const Topology &topo) {
+        EXPECT_EQ(name, "my-xy");
+        ++factory_calls;
+        return makeRouting("xy", topo);
+    };
+    const ExperimentResult result = Runner(2).run(spec);
+    // One private instance per (algorithm, rate) job.
+    EXPECT_EQ(factory_calls,
+              static_cast<int>(spec.injection_rates.size()));
+    ASSERT_EQ(result.series.size(), 1u);
+    EXPECT_GT(result.series[0].maxSustainableThroughput(), 0.0);
+}
+
+TEST(Runner, RecordsJobsAndWallClock)
+{
+    NDMesh mesh = NDMesh::mesh2D(4, 4);
+    ExperimentSpec spec = quickSpec(mesh);
+    spec.algorithms = {"xy"};
+    spec.injection_rates = {0.01};
+    Runner runner(3);
+    EXPECT_EQ(runner.jobs(), 3u);
+    const ExperimentResult result = runner.run(spec);
+    EXPECT_EQ(result.jobs, 3u);
+    EXPECT_GE(result.wall_seconds, 0.0);
+    EXPECT_EQ(result.experiment, spec.name);
+}
+
+TEST(ResultSink, JsonCarriesExperimentMetadata)
+{
+    NDMesh mesh = NDMesh::mesh2D(4, 4);
+    ExperimentSpec spec = quickSpec(mesh);
+    spec.algorithms = {"xy"};
+    spec.injection_rates = {0.01, 0.02};
+    const ExperimentResult result = Runner(2).run(spec);
+    std::ostringstream os;
+    ResultSink::writeJson(os, result);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("\"experiment\": \"runner-unit-test\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"jobs\": 2"), std::string::npos);
+    EXPECT_NE(text.find("\"wall_clock_seconds\""), std::string::npos);
+    EXPECT_NE(text.find("\"algorithm\": \"xy\""), std::string::npos);
+}
+
+} // namespace
+} // namespace turnmodel

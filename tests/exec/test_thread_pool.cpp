@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tests for the work-stealing thread pool behind the experiment
+ * runner.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+
+namespace turnmodel {
+namespace {
+
+TEST(ThreadPool, DefaultsToHardwareConcurrency)
+{
+    ThreadPool pool;
+    EXPECT_EQ(pool.size(), ThreadPool::hardwareThreads());
+    EXPECT_GE(ThreadPool::hardwareThreads(), 1u);
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce)
+{
+    for (unsigned threads : {1u, 2u, 4u, 8u}) {
+        ThreadPool pool(threads);
+        constexpr std::size_t kCount = 257;
+        std::vector<std::atomic<int>> hits(kCount);
+        pool.parallelFor(kCount, [&](std::size_t i) {
+            hits[i].fetch_add(1);
+        });
+        for (std::size_t i = 0; i < kCount; ++i)
+            EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+}
+
+TEST(ThreadPool, EmptyBatchIsANoOp)
+{
+    ThreadPool pool(4);
+    bool ran = false;
+    pool.parallelFor(0, [&](std::size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches)
+{
+    ThreadPool pool(4);
+    std::atomic<std::size_t> sum{0};
+    for (int batch = 0; batch < 10; ++batch)
+        pool.parallelFor(100, [&](std::size_t i) { sum += i; });
+    EXPECT_EQ(sum.load(), 10u * (99u * 100u / 2u));
+}
+
+TEST(ThreadPool, ResultsBySlotAreDeterministic)
+{
+    // The pool runs tasks in nondeterministic order; writing by index
+    // makes the assembled result order-independent. This is the
+    // contract the runner relies on.
+    std::vector<std::vector<int>> results;
+    for (unsigned threads : {1u, 4u, 8u}) {
+        ThreadPool pool(threads);
+        std::vector<int> out(64, -1);
+        pool.parallelFor(out.size(), [&](std::size_t i) {
+            out[i] = static_cast<int>(i * i % 31);
+        });
+        results.push_back(std::move(out));
+    }
+    EXPECT_EQ(results[0], results[1]);
+    EXPECT_EQ(results[0], results[2]);
+}
+
+TEST(ThreadPool, StealsUnderUnbalancedLoad)
+{
+    if (ThreadPool::hardwareThreads() < 2)
+        GTEST_SKIP() << "stealing needs two runnable workers";
+    ThreadPool pool(4);
+    // Indices are dealt round-robin, so worker 0 owns 0, 4, 8, ...
+    // Make worker 0's first task slow: its remaining tasks can only
+    // finish promptly if other workers steal them.
+    std::atomic<int> done{0};
+    pool.parallelFor(64, [&](std::size_t i) {
+        if (i == 0)
+            std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        done.fetch_add(1);
+    });
+    EXPECT_EQ(done.load(), 64);
+    EXPECT_GT(pool.stealCount(), 0u);
+}
+
+TEST(ThreadPool, PropagatesTaskExceptions)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(
+        pool.parallelFor(16, [](std::size_t i) {
+            if (i == 7)
+                throw std::runtime_error("task failed");
+        }),
+        std::runtime_error);
+    // The pool stays usable after a failed batch.
+    std::atomic<int> ran{0};
+    pool.parallelFor(8, [&](std::size_t) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 8);
+}
+
+} // namespace
+} // namespace turnmodel

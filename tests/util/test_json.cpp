@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Tests for the shared JSON emission helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/json.hpp"
+
+namespace turnmodel {
+namespace {
+
+TEST(Json, EscapePassesPlainTextThrough)
+{
+    EXPECT_EQ(jsonEscape("synth:north->west,south->west"),
+              "synth:north->west,south->west");
+    EXPECT_EQ(jsonEscape(""), "");
+}
+
+TEST(Json, EscapesQuotesAndBackslashes)
+{
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape("\\\""), "\\\\\\\"");
+}
+
+TEST(Json, EscapesControlCharactersWithShortForms)
+{
+    EXPECT_EQ(jsonEscape("a\nb"), "a\\nb");
+    EXPECT_EQ(jsonEscape("a\tb"), "a\\tb");
+    EXPECT_EQ(jsonEscape("a\rb"), "a\\rb");
+    EXPECT_EQ(jsonEscape("a\bb"), "a\\bb");
+    EXPECT_EQ(jsonEscape("a\fb"), "a\\fb");
+}
+
+TEST(Json, EscapesRemainingControlCharactersAsUnicode)
+{
+    EXPECT_EQ(jsonEscape(std::string("a\x01:b", 4)), "a\\u0001:b");
+    EXPECT_EQ(jsonEscape(std::string("\x1f", 1)), "\\u001f");
+    // U+0000 embedded mid-string survives as an escape.
+    EXPECT_EQ(jsonEscape(std::string("a\0b", 3)), "a\\u0000b");
+}
+
+TEST(Json, EscapeLeavesNonControlBytesAlone)
+{
+    // 0x20 (space) and 8-bit bytes (UTF-8 continuation) are not
+    // control characters.
+    EXPECT_EQ(jsonEscape(" ~"), " ~");
+    const std::string utf8 = "caf\xc3\xa9";
+    EXPECT_EQ(jsonEscape(utf8), utf8);
+}
+
+TEST(Json, NumberWritesFiniteValues)
+{
+    std::ostringstream os;
+    writeJsonNumber(os, 1.5);
+    os << ' ';
+    writeJsonNumber(os, -3.0);
+    EXPECT_EQ(os.str(), "1.5 -3");
+}
+
+TEST(Json, NumberMapsNonFiniteToNull)
+{
+    std::ostringstream os;
+    writeJsonNumber(os, std::numeric_limits<double>::quiet_NaN());
+    os << ' ';
+    writeJsonNumber(os, std::numeric_limits<double>::infinity());
+    os << ' ';
+    writeJsonNumber(os, -std::numeric_limits<double>::infinity());
+    EXPECT_EQ(os.str(), "null null null");
+}
+
+} // namespace
+} // namespace turnmodel
