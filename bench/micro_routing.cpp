@@ -1,22 +1,37 @@
 /**
  * @file
- * Microbenchmarks of routing-decision cost (google-benchmark).
- * Section 7 notes that adaptive routing "can require more complex
- * control logic for route selection" — in a software router that
- * cost is the route() call. Measured over a fixed mix of
- * source/destination pairs per algorithm, plus the analytical
- * machinery (CDG construction, path counting).
+ * Microbenchmark of routing-decision cost across the three decision
+ * paths: the legacy route() vector adapter (one heap allocation per
+ * call), the allocation-free routeSet() virtual, and the compiled
+ * table's raw lookup(). Section 7 notes that adaptive routing "can
+ * require more complex control logic for route selection" — in a
+ * software router that cost is this call, so the three paths bound
+ * what the DirectionSet refactor and table compilation buy. The
+ * analytical machinery (CDG construction, path counting) is timed
+ * too, live vs precompiled.
+ *
+ * Self-timed (steady_clock over batched iterations; no external
+ * benchmark dependency). `--json[=PATH]` emits machine-readable
+ * results for EXPERIMENTS.md.
  */
 
-#include <benchmark/benchmark.h>
-
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
 #include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "core/adaptiveness.hpp"
 #include "core/channel_dependency.hpp"
+#include "core/routing/compiled.hpp"
 #include "core/routing/factory.hpp"
 #include "topology/hypercube.hpp"
 #include "topology/mesh.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 
 using namespace turnmodel;
@@ -41,71 +56,217 @@ samplePairs(const Topology &topo, std::size_t count)
     return pairs;
 }
 
-void
-benchMeshRouting(benchmark::State &state, const char *name)
+/**
+ * Time @p fn (which runs `batch` operations per call) until at least
+ * ~50 ms have elapsed, and return nanoseconds per operation.
+ */
+template <typename Fn>
+double
+nsPerOp(std::size_t batch, Fn &&fn)
 {
-    NDMesh mesh = NDMesh::mesh2D(16, 16);
-    RoutingPtr routing = makeRouting(name, mesh);
-    const auto pairs = samplePairs(mesh, 1024);
-    std::size_t i = 0;
-    for (auto _ : state) {
-        const auto &[src, dst] = pairs[i++ & 1023];
-        benchmark::DoNotOptimize(
-            routing->route(src, std::nullopt, dst));
+    using Clock = std::chrono::steady_clock;
+    // Warm caches and get a first estimate.
+    fn();
+    std::uint64_t ops = batch;
+    auto elapsed = Clock::duration::zero();
+    while (elapsed < std::chrono::milliseconds(50)) {
+        const auto t0 = Clock::now();
+        fn();
+        elapsed += Clock::now() - t0;
+        ops += batch;
     }
+    const double ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count());
+    return ns / static_cast<double>(ops - batch);
+}
+
+/** Defeat dead-code elimination without an external dependency. */
+std::uint64_t g_sink = 0;
+
+struct PathTimes
+{
+    std::string topology;
+    std::string algorithm;
+    double legacy_ns;     ///< route(): vector adapter.
+    double route_set_ns;  ///< routeSet(): virtual, allocation free.
+    double compiled_ns;   ///< CompiledRoutingTable::lookup().
+};
+
+PathTimes
+benchDecisionPaths(const Topology &topo, const std::string &name)
+{
+    const RoutingPtr routing = makeRouting(name, topo);
+    const CompiledRoutingTable table(*routing);
+    const auto pairs = samplePairs(topo, 1024);
+
+    PathTimes t;
+    t.topology = topo.name();
+    t.algorithm = name;
+    t.legacy_ns = nsPerOp(pairs.size(), [&] {
+        std::uint64_t acc = 0;
+        for (const auto &[src, dst] : pairs)
+            acc += routing->route(src, std::nullopt, dst).size();
+        g_sink += acc;
+    });
+    t.route_set_ns = nsPerOp(pairs.size(), [&] {
+        std::uint64_t acc = 0;
+        for (const auto &[src, dst] : pairs)
+            acc += static_cast<std::uint64_t>(
+                routing->routeSet(src, std::nullopt, dst).raw());
+        g_sink += acc;
+    });
+    t.compiled_ns = nsPerOp(pairs.size(), [&] {
+        std::uint64_t acc = 0;
+        for (const auto &[src, dst] : pairs)
+            acc += static_cast<std::uint64_t>(
+                table.lookup(src, 0, dst).raw());
+        g_sink += acc;
+    });
+    return t;
+}
+
+struct AnalysisTimes
+{
+    double cdg_live_ns;        ///< CDG straight from the algorithm.
+    double cdg_precompiled_ns; ///< CDG from an existing table.
+    double count_live_ns;      ///< Path counting via virtual dispatch.
+    double count_compiled_ns;  ///< Path counting via the table.
+};
+
+AnalysisTimes
+benchAnalysis()
+{
+    NDMesh mesh = NDMesh::mesh2D(8, 8);
+    const RoutingPtr routing = makeRouting("west-first", mesh);
+    const CompiledRoutingTable table(*routing);
+    AnalysisTimes t;
+    t.cdg_live_ns = nsPerOp(1, [&] {
+        ChannelDependencyGraph cdg(*routing);
+        g_sink += cdg.numEdges();
+    });
+    t.cdg_precompiled_ns = nsPerOp(1, [&] {
+        ChannelDependencyGraph cdg(table);
+        g_sink += cdg.numEdges();
+    });
+    const auto pairs = samplePairs(mesh, 64);
+    t.count_live_ns = nsPerOp(pairs.size(), [&] {
+        for (const auto &[src, dst] : pairs)
+            g_sink += countAllowedShortestPaths(*routing, src, dst);
+    });
+    t.count_compiled_ns = nsPerOp(pairs.size(), [&] {
+        for (const auto &[src, dst] : pairs)
+            g_sink += countAllowedShortestPaths(table, src, dst);
+    });
+    return t;
 }
 
 void
-benchCubeRouting(benchmark::State &state, const char *name)
+printText(const std::vector<PathTimes> &rows, const AnalysisTimes &a)
 {
-    Hypercube cube(8);
-    RoutingPtr routing = makeRouting(name, cube);
-    const auto pairs = samplePairs(cube, 1024);
-    std::size_t i = 0;
-    for (auto _ : state) {
-        const auto &[src, dst] = pairs[i++ & 1023];
-        benchmark::DoNotOptimize(
-            routing->route(src, std::nullopt, dst));
+    std::cout << "== routing-decision microbenchmark ==\n";
+    std::cout << std::left << std::setw(16) << "topology"
+              << std::setw(24) << "algorithm" << std::right
+              << std::setw(12) << "route() ns" << std::setw(14)
+              << "routeSet() ns" << std::setw(13) << "lookup() ns"
+              << std::setw(10) << "speedup\n";
+    for (const PathTimes &t : rows) {
+        std::cout << std::left << std::setw(16) << t.topology
+                  << std::setw(24) << t.algorithm << std::right
+                  << std::fixed << std::setprecision(2)
+                  << std::setw(12) << t.legacy_ns << std::setw(14)
+                  << t.route_set_ns << std::setw(13) << t.compiled_ns
+                  << std::setw(9) << t.legacy_ns / t.compiled_ns
+                  << "x\n";
     }
+    std::cout << "== analysis machinery (8x8 mesh west-first) ==\n"
+              << std::setprecision(0)
+              << "  CDG build:     " << a.cdg_live_ns
+              << " ns live, " << a.cdg_precompiled_ns
+              << " ns precompiled\n"
+              << "  path counting: " << a.count_live_ns
+              << " ns live, " << a.count_compiled_ns
+              << " ns compiled (per pair)\n";
+}
+
+void
+writeJson(std::ostream &os, const std::vector<PathTimes> &rows,
+          const AnalysisTimes &a)
+{
+    os << "{\n  \"benchmark\": \"micro_routing\",\n  \"cases\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const PathTimes &t = rows[i];
+        os << "    {\"topology\": \"" << jsonEscape(t.topology)
+           << "\", \"algorithm\": \"" << jsonEscape(t.algorithm)
+           << "\", \"route_ns\": ";
+        writeJsonNumber(os, t.legacy_ns);
+        os << ", \"route_set_ns\": ";
+        writeJsonNumber(os, t.route_set_ns);
+        os << ", \"compiled_ns\": ";
+        writeJsonNumber(os, t.compiled_ns);
+        os << ", \"speedup_compiled_vs_route\": ";
+        writeJsonNumber(os, t.legacy_ns / t.compiled_ns);
+        os << ", \"speedup_route_set_vs_route\": ";
+        writeJsonNumber(os, t.legacy_ns / t.route_set_ns);
+        os << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n  \"analysis\": {\"cdg_live_ns\": ";
+    writeJsonNumber(os, a.cdg_live_ns);
+    os << ", \"cdg_precompiled_ns\": ";
+    writeJsonNumber(os, a.cdg_precompiled_ns);
+    os << ", \"path_count_live_ns\": ";
+    writeJsonNumber(os, a.count_live_ns);
+    os << ", \"path_count_compiled_ns\": ";
+    writeJsonNumber(os, a.count_compiled_ns);
+    os << "}\n}\n";
 }
 
 } // namespace
 
-BENCHMARK_CAPTURE(benchMeshRouting, xy, "xy");
-BENCHMARK_CAPTURE(benchMeshRouting, west_first, "west-first");
-BENCHMARK_CAPTURE(benchMeshRouting, north_last, "north-last");
-BENCHMARK_CAPTURE(benchMeshRouting, negative_first, "negative-first");
-BENCHMARK_CAPTURE(benchMeshRouting, west_first_nonminimal,
-                  "west-first-nonminimal");
-BENCHMARK_CAPTURE(benchCubeRouting, e_cube, "e-cube");
-BENCHMARK_CAPTURE(benchCubeRouting, p_cube, "p-cube");
-BENCHMARK_CAPTURE(benchCubeRouting, abonf, "abonf");
-
-static void
-benchCdgConstruction(benchmark::State &state)
+int
+main(int argc, char **argv)
 {
+    bool json = false;
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json") {
+            json = true;
+        } else if (arg.rfind("--json=", 0) == 0) {
+            json = true;
+            json_path = arg.substr(7);
+        } else {
+            std::cerr << "usage: micro_routing [--json[=PATH]]\n";
+            return 2;
+        }
+    }
+
     NDMesh mesh = NDMesh::mesh2D(8, 8);
-    RoutingPtr routing = makeRouting("west-first", mesh);
-    for (auto _ : state) {
-        ChannelDependencyGraph cdg(*routing);
-        benchmark::DoNotOptimize(cdg.isAcyclic());
+    Hypercube cube(6);
+    std::vector<PathTimes> rows;
+    for (const char *name :
+         {"xy", "west-first", "north-last", "negative-first",
+          "west-first-nonminimal"}) {
+        rows.push_back(benchDecisionPaths(mesh, name));
     }
-}
-BENCHMARK(benchCdgConstruction);
+    for (const char *name : {"e-cube", "p-cube"})
+        rows.push_back(benchDecisionPaths(cube, name));
+    const AnalysisTimes analysis = benchAnalysis();
 
-static void
-benchPathCounting(benchmark::State &state)
-{
-    NDMesh mesh = NDMesh::mesh2D(16, 16);
-    RoutingPtr routing = makeRouting("negative-first", mesh);
-    const auto pairs = samplePairs(mesh, 64);
-    std::size_t i = 0;
-    for (auto _ : state) {
-        const auto &[src, dst] = pairs[i++ & 63];
-        benchmark::DoNotOptimize(
-            countAllowedShortestPaths(*routing, src, dst));
+    printText(rows, analysis);
+    if (json) {
+        if (json_path.empty()) {
+            writeJson(std::cout, rows, analysis);
+        } else {
+            std::ofstream out(json_path);
+            if (!out) {
+                std::cerr << "cannot open " << json_path << "\n";
+                return 1;
+            }
+            writeJson(out, rows, analysis);
+            std::cout << "json written to " << json_path << "\n";
+        }
     }
+    // The sink keeps the measured calls observable.
+    return g_sink == 0xdeadbeef ? 1 : 0;
 }
-BENCHMARK(benchPathCounting);
-
-BENCHMARK_MAIN();

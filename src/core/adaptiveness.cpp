@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <unordered_map>
 
+#include "core/routing/compiled.hpp"
 #include "util/bitops.hpp"
 #include "util/logging.hpp"
 
@@ -141,7 +142,7 @@ countAllowedShortestPaths(const RoutingAlgorithm &routing, NodeId src,
         if (it != memo.end())
             return it->second;
         std::uint64_t total = 0;
-        for (Direction d : routing.route(v, in, dest)) {
+        for (Direction d : routing.routeSet(v, in, dest)) {
             const auto next = topo.neighbor(v, d);
             TM_ASSERT(next, "routing offered a nonexistent hop");
             // Restrict to shortest paths.
@@ -171,12 +172,21 @@ summarizeAdaptiveness(const RoutingAlgorithm &routing)
     double ratio_sum = 0.0;
     double path_sum = 0.0;
     std::uint64_t singles = 0;
+    // The all-pairs sweep queries the full routing domain, so count
+    // through a one-off compiled snapshot unless given one already.
+    const auto *table =
+        dynamic_cast<const CompiledRoutingTable *>(&routing);
+    std::optional<CompiledRoutingTable> local;
+    if (!table) {
+        local.emplace(routing);
+        table = &*local;
+    }
     for (NodeId src = 0; src < topo.numNodes(); ++src) {
         for (NodeId dst = 0; dst < topo.numNodes(); ++dst) {
             if (src == dst)
                 continue;
             const std::uint64_t sp =
-                countAllowedShortestPaths(routing, src, dst);
+                countAllowedShortestPaths(*table, src, dst);
             const std::uint64_t sf =
                 fullyAdaptivePathCount(topo, src, dst);
             ratio_sum += static_cast<double>(sp) / static_cast<double>(sf);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 
+#include "core/routing/compiled.hpp"
 #include "util/logging.hpp"
 
 namespace turnmodel {
@@ -12,8 +13,18 @@ ChannelDependencyGraph::ChannelDependencyGraph(
     : space_(routing.topology())
 {
     succ_.assign(space_.idBound(), {});
+    // The builder queries every (node, in_dir, dest) state — exactly
+    // the domain a compiled table covers — so snapshot the routing
+    // once unless the caller already handed us a table.
+    const auto *table =
+        dynamic_cast<const CompiledRoutingTable *>(&routing);
+    std::optional<CompiledRoutingTable> local;
+    if (!table) {
+        local.emplace(routing);
+        table = &*local;
+    }
     for (NodeId dest = 0; dest < routing.topology().numNodes(); ++dest)
-        addEdgesForDestination(routing, dest);
+        addEdgesForDestination(*table, dest);
     // Deduplicate adjacency lists (edges repeat across destinations).
     for (auto &list : succ_) {
         std::sort(list.begin(), list.end());
@@ -34,7 +45,7 @@ ChannelDependencyGraph::addEdgesForDestination(
     for (NodeId src = 0; src < topo.numNodes(); ++src) {
         if (src == dest)
             continue;
-        for (Direction d : routing.route(src, std::nullopt, dest)) {
+        for (Direction d : routing.routeSet(src, std::nullopt, dest)) {
             const ChannelId ch = space_.id(src, d);
             TM_ASSERT(space_.exists(ch),
                       "routing offered a nonexistent hop ",
@@ -53,7 +64,7 @@ ChannelDependencyGraph::addEdgesForDestination(
         if (at == dest)
             continue;
         const Direction in_dir = space_.direction(ch);
-        for (Direction d : routing.route(at, in_dir, dest)) {
+        for (Direction d : routing.routeSet(at, in_dir, dest)) {
             const ChannelId next = space_.id(at, d);
             TM_ASSERT(space_.exists(next),
                       "routing offered a nonexistent hop ",

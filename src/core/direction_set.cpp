@@ -1,0 +1,20 @@
+#include "core/direction_set.hpp"
+
+namespace turnmodel {
+
+std::string
+toString(DirectionSet set)
+{
+    std::string out = "{";
+    bool sep = false;
+    for (Direction d : set) {
+        if (sep)
+            out += ", ";
+        out += directionName(d);
+        sep = true;
+    }
+    out += "}";
+    return out;
+}
+
+} // namespace turnmodel

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Allocation-free routing-decision representation. A routing function
+ * answers "which output directions may this header take" — a subset
+ * of the 2n directions of an n-dimensional network — so the canonical
+ * representation is a fixed-width bitmask over dense direction ids,
+ * not a heap-allocated vector. DirectionSet is a trivially copyable
+ * value type with set algebra and id-order iteration; every layer
+ * that consumes routing decisions (the simulator's output selection,
+ * the channel-dependency builder, the adaptiveness counters, the
+ * synthesis verifier) operates on it directly, and a whole routing
+ * function can be snapshotted into a dense table of DirectionSets
+ * (core/routing/compiled.hpp) for O(1) branch-free lookups.
+ */
+
+#ifndef TURNMODEL_CORE_DIRECTION_SET_HPP
+#define TURNMODEL_CORE_DIRECTION_SET_HPP
+
+#include <bit>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "topology/direction.hpp"
+
+namespace turnmodel {
+
+/**
+ * A set of directions, one bit per dense direction id. 32 bits cover
+ * networks of up to 16 dimensions — twice the largest topology in the
+ * repertoire — in a register-sized, trivially copyable value.
+ */
+class DirectionSet
+{
+  public:
+    using Bits = std::uint32_t;
+
+    /** Largest direction id (exclusive) a set can hold. */
+    static constexpr int kMaxDirs = 32;
+
+    /** The empty set. */
+    constexpr DirectionSet() = default;
+
+    constexpr DirectionSet(std::initializer_list<Direction> dirs)
+    {
+        for (Direction d : dirs)
+            insert(d);
+    }
+
+    /** Reconstruct from a raw bit pattern (inverse of bits()). */
+    static constexpr DirectionSet fromBits(Bits bits)
+    {
+        DirectionSet s;
+        s.bits_ = bits;
+        return s;
+    }
+
+    /** The set holding exactly @p d. */
+    static constexpr DirectionSet single(Direction d)
+    {
+        return fromBits(bit(d.id()));
+    }
+
+    /** All 2n directions of an n-dimensional network. */
+    static constexpr DirectionSet all(int num_dims)
+    {
+        return fromBits(static_cast<Bits>(
+            (std::uint64_t{1} << (2 * num_dims)) - 1));
+    }
+
+    /** Collect a direction vector into a set. */
+    static DirectionSet of(const std::vector<Direction> &dirs)
+    {
+        DirectionSet s;
+        for (Direction d : dirs)
+            s.insert(d);
+        return s;
+    }
+
+    /** Raw bit pattern, bit i = direction id i. */
+    constexpr Bits raw() const { return bits_; }
+
+    constexpr bool empty() const { return bits_ == 0; }
+
+    /** Number of directions in the set. */
+    constexpr int size() const { return std::popcount(bits_); }
+
+    constexpr bool contains(Direction d) const
+    {
+        return (bits_ & bit(d.id())) != 0;
+    }
+
+    constexpr void insert(Direction d) { bits_ |= bit(d.id()); }
+
+    constexpr void erase(Direction d) { bits_ &= ~bit(d.id()); }
+
+    /**
+     * The member with the lowest direction id. Precondition: the set
+     * is non-empty.
+     */
+    constexpr Direction first() const
+    {
+        return Direction::fromId(static_cast<DirId>(
+            std::countr_zero(bits_)));
+    }
+
+    /**
+     * The member with the highest direction id. Precondition: the
+     * set is non-empty.
+     */
+    constexpr Direction last() const
+    {
+        return Direction::fromId(static_cast<DirId>(
+            kMaxDirs - 1 - std::countl_zero(bits_)));
+    }
+
+    /**
+     * The @p k-th member in ascending id order, k in [0, size()).
+     */
+    constexpr Direction nth(int k) const
+    {
+        Bits rest = bits_;
+        for (int i = 0; i < k; ++i)
+            rest &= rest - 1;   // Clear the lowest set bit.
+        return Direction::fromId(static_cast<DirId>(
+            std::countr_zero(rest)));
+    }
+
+    // ----- set algebra -------------------------------------------------
+
+    constexpr DirectionSet operator|(DirectionSet o) const
+    {
+        return fromBits(bits_ | o.bits_);
+    }
+    constexpr DirectionSet operator&(DirectionSet o) const
+    {
+        return fromBits(bits_ & o.bits_);
+    }
+    /** Set difference: members of this set not in @p o. */
+    constexpr DirectionSet operator-(DirectionSet o) const
+    {
+        return fromBits(bits_ & ~o.bits_);
+    }
+    constexpr DirectionSet &operator|=(DirectionSet o)
+    {
+        bits_ |= o.bits_;
+        return *this;
+    }
+    constexpr DirectionSet &operator&=(DirectionSet o)
+    {
+        bits_ &= o.bits_;
+        return *this;
+    }
+    constexpr DirectionSet &operator-=(DirectionSet o)
+    {
+        bits_ &= ~o.bits_;
+        return *this;
+    }
+
+    friend constexpr bool operator==(DirectionSet,
+                                     DirectionSet) = default;
+
+    // ----- iteration (ascending direction-id order) --------------------
+
+    class iterator
+    {
+      public:
+        using value_type = Direction;
+
+        constexpr explicit iterator(Bits rest) : rest_(rest) {}
+
+        constexpr Direction operator*() const
+        {
+            return Direction::fromId(static_cast<DirId>(
+                std::countr_zero(rest_)));
+        }
+        constexpr iterator &operator++()
+        {
+            rest_ &= rest_ - 1;
+            return *this;
+        }
+        friend constexpr bool operator==(iterator, iterator) = default;
+
+      private:
+        Bits rest_;
+    };
+
+    constexpr iterator begin() const { return iterator(bits_); }
+    constexpr iterator end() const { return iterator(0); }
+
+    /** Members in ascending id order (the adapter for legacy code). */
+    std::vector<Direction> toVector() const
+    {
+        std::vector<Direction> dirs;
+        dirs.reserve(static_cast<std::size_t>(size()));
+        for (Direction d : *this)
+            dirs.push_back(d);
+        return dirs;
+    }
+
+  private:
+    static constexpr Bits bit(DirId id)
+    {
+        return Bits{1} << id;
+    }
+
+    Bits bits_ = 0;
+};
+
+static_assert(sizeof(DirectionSet) == sizeof(DirectionSet::Bits),
+              "DirectionSet must stay register sized");
+
+/** Listing like "{east, north}" for messages and test failures. */
+std::string toString(DirectionSet set);
+
+} // namespace turnmodel
+
+#endif // TURNMODEL_CORE_DIRECTION_SET_HPP

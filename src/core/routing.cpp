@@ -12,15 +12,23 @@ isProfitable(const Topology &topo, NodeId current, Direction dir,
     return topo.distance(*next, dest) < topo.distance(current, dest);
 }
 
+DirectionSet
+minimalDirectionSet(const Topology &topo, NodeId current, NodeId dest)
+{
+    DirectionSet dirs;
+    const int num_dirs = topo.numDirs();
+    for (DirId id = 0; id < num_dirs; ++id) {
+        const Direction d = Direction::fromId(id);
+        if (isProfitable(topo, current, d, dest))
+            dirs.insert(d);
+    }
+    return dirs;
+}
+
 std::vector<Direction>
 minimalDirections(const Topology &topo, NodeId current, NodeId dest)
 {
-    std::vector<Direction> dirs;
-    for (Direction d : allDirections(topo.numDims())) {
-        if (isProfitable(topo, current, d, dest))
-            dirs.push_back(d);
-    }
-    return dirs;
+    return minimalDirectionSet(topo, current, dest).toVector();
 }
 
 } // namespace turnmodel

@@ -5,6 +5,11 @@
  * A routing algorithm maps (current node, arrival direction,
  * destination) to the set of output directions the packet's header may
  * take; the simulator's output-selection policy picks among them.
+ *
+ * Decisions are DirectionSet bitmask values (core/direction_set.hpp):
+ * routeSet() is the primary virtual every implementation provides,
+ * allocation free; the std::vector route() form is a thin non-virtual
+ * adapter kept for compatibility with older call sites and tests.
  */
 
 #ifndef TURNMODEL_CORE_ROUTING_HPP
@@ -15,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "core/direction_set.hpp"
 #include "topology/topology.hpp"
 
 namespace turnmodel {
@@ -22,8 +28,8 @@ namespace turnmodel {
 /**
  * Abstract routing function.
  *
- * Contract: route() is never called with current == dest (delivery is
- * the caller's job), every returned direction corresponds to an
+ * Contract: routeSet() is never called with current == dest (delivery
+ * is the caller's job), every returned direction corresponds to an
  * existing hop, and the returned set must be non-empty for every
  * state the algorithm can actually steer a packet into — otherwise
  * the algorithm is not routing-complete and the packet would stall
@@ -43,9 +49,21 @@ class RoutingAlgorithm
      *                injected packet.
      * @param dest    Destination node.
      */
-    virtual std::vector<Direction>
+    virtual DirectionSet
+    routeSet(NodeId current, std::optional<Direction> in_dir,
+             NodeId dest) const = 0;
+
+    /**
+     * Compatibility adapter: routeSet() materialized as a vector in
+     * ascending direction-id order. Prefer routeSet() anywhere
+     * performance matters — this form heap-allocates per call.
+     */
+    std::vector<Direction>
     route(NodeId current, std::optional<Direction> in_dir, NodeId dest)
-        const = 0;
+        const
+    {
+        return routeSet(current, in_dir, dest).toVector();
+    }
 
     /** Algorithm name as used in the paper ("xy", "west-first", ...). */
     virtual std::string name() const = 0;
@@ -57,9 +75,9 @@ class RoutingAlgorithm
     virtual bool isMinimal() const = 0;
 
     /**
-     * Whether route() actually reads in_dir. Input-independent
+     * Whether routeSet() actually reads in_dir. Input-independent
      * algorithms admit a simpler shortest-path count (memoized on the
-     * node alone).
+     * node alone) and a collapsed compiled-table snapshot.
      */
     virtual bool isInputDependent() const { return false; }
 };
@@ -69,6 +87,10 @@ class RoutingAlgorithm
  * "profitable" hops of minimal routing. For tori both ways around a
  * ring are returned when they tie.
  */
+DirectionSet
+minimalDirectionSet(const Topology &topo, NodeId current, NodeId dest);
+
+/** Vector-form adapter of minimalDirectionSet (id order). */
 std::vector<Direction>
 minimalDirections(const Topology &topo, NodeId current, NodeId dest);
 

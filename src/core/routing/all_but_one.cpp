@@ -11,19 +11,19 @@ AllButOneNegativeFirstRouting::AllButOneNegativeFirstRouting(
     TM_ASSERT(topo.numDims() >= 2, "abonf needs at least two dimensions");
 }
 
-std::vector<Direction>
-AllButOneNegativeFirstRouting::route(NodeId current,
-                                     std::optional<Direction>,
-                                     NodeId dest) const
+DirectionSet
+AllButOneNegativeFirstRouting::routeSet(NodeId current,
+                                        std::optional<Direction>,
+                                        NodeId dest) const
 {
     const Coords cur = topo_.coords(current);
     const Coords dst = topo_.coords(dest);
     const std::size_t last = cur.size() - 1;
     // Phase one: negative hops in dimensions 0..n-2, adaptively.
-    std::vector<Direction> dirs;
+    DirectionSet dirs;
     for (std::size_t d = 0; d < last; ++d) {
         if (dst[d] < cur[d])
-            dirs.emplace_back(static_cast<std::uint8_t>(d), false);
+            dirs.insert(Direction(static_cast<std::uint8_t>(d), false));
     }
     if (!dirs.empty())
         return dirs;
@@ -31,11 +31,11 @@ AllButOneNegativeFirstRouting::route(NodeId current,
     // the negative direction of dimension n-1), adaptively.
     for (std::size_t d = 0; d < cur.size(); ++d) {
         if (dst[d] > cur[d])
-            dirs.emplace_back(static_cast<std::uint8_t>(d), true);
+            dirs.insert(Direction(static_cast<std::uint8_t>(d), true));
     }
     if (dst[last] < cur[last])
-        dirs.emplace_back(static_cast<std::uint8_t>(last), false);
-    TM_ASSERT(!dirs.empty(), "route() called with current == dest");
+        dirs.insert(Direction(static_cast<std::uint8_t>(last), false));
+    TM_ASSERT(!dirs.empty(), "routeSet() called with current == dest");
     return dirs;
 }
 
@@ -46,30 +46,30 @@ AllButOnePositiveLastRouting::AllButOnePositiveLastRouting(
     TM_ASSERT(topo.numDims() >= 2, "abopl needs at least two dimensions");
 }
 
-std::vector<Direction>
-AllButOnePositiveLastRouting::route(NodeId current,
-                                    std::optional<Direction>,
-                                    NodeId dest) const
+DirectionSet
+AllButOnePositiveLastRouting::routeSet(NodeId current,
+                                       std::optional<Direction>,
+                                       NodeId dest) const
 {
     const Coords cur = topo_.coords(current);
     const Coords dst = topo_.coords(dest);
     // Phase one: all negative directions plus the positive direction
     // of dimension 0, adaptively.
-    std::vector<Direction> dirs;
+    DirectionSet dirs;
     for (std::size_t d = 0; d < cur.size(); ++d) {
         if (dst[d] < cur[d])
-            dirs.emplace_back(static_cast<std::uint8_t>(d), false);
+            dirs.insert(Direction(static_cast<std::uint8_t>(d), false));
     }
     if (dst[0] > cur[0])
-        dirs.emplace_back(static_cast<std::uint8_t>(0), true);
+        dirs.insert(Direction(static_cast<std::uint8_t>(0), true));
     if (!dirs.empty())
         return dirs;
     // Phase two: the remaining positive directions, adaptively.
     for (std::size_t d = 1; d < cur.size(); ++d) {
         if (dst[d] > cur[d])
-            dirs.emplace_back(static_cast<std::uint8_t>(d), true);
+            dirs.insert(Direction(static_cast<std::uint8_t>(d), true));
     }
-    TM_ASSERT(!dirs.empty(), "route() called with current == dest");
+    TM_ASSERT(!dirs.empty(), "routeSet() called with current == dest");
     return dirs;
 }
 

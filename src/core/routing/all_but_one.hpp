@@ -27,9 +27,9 @@ class AllButOneNegativeFirstRouting : public RoutingAlgorithm
     /** @param topo An n-dimensional mesh (n >= 2). */
     explicit AllButOneNegativeFirstRouting(const Topology &topo);
 
-    std::vector<Direction>
-    route(NodeId current, std::optional<Direction> in_dir, NodeId dest)
-        const override;
+    DirectionSet
+    routeSet(NodeId current, std::optional<Direction> in_dir,
+             NodeId dest) const override;
     std::string name() const override { return "abonf"; }
     const Topology &topology() const override { return topo_; }
     bool isMinimal() const override { return true; }
@@ -45,9 +45,9 @@ class AllButOnePositiveLastRouting : public RoutingAlgorithm
     /** @param topo An n-dimensional mesh (n >= 2). */
     explicit AllButOnePositiveLastRouting(const Topology &topo);
 
-    std::vector<Direction>
-    route(NodeId current, std::optional<Direction> in_dir, NodeId dest)
-        const override;
+    DirectionSet
+    routeSet(NodeId current, std::optional<Direction> in_dir,
+             NodeId dest) const override;
     std::string name() const override { return "abopl"; }
     const Topology &topology() const override { return topo_; }
     bool isMinimal() const override { return true; }

@@ -1,0 +1,59 @@
+#include "core/routing/compiled.hpp"
+
+#include "topology/topology.hpp"
+#include "util/logging.hpp"
+
+namespace turnmodel {
+
+CompiledRoutingTable::CompiledRoutingTable(const RoutingAlgorithm &source)
+    : topo_(source.topology()),
+      name_("compiled:" + source.name()),
+      minimal_(source.isMinimal()),
+      input_dependent_(source.isInputDependent()),
+      num_nodes_(static_cast<std::size_t>(topo_.numNodes())),
+      states_per_node_(input_dependent_ ? topo_.numDirs() + 1 : 1),
+      state_mask_(input_dependent_ ? ~std::size_t{0} : 0)
+{
+    TM_ASSERT(topo_.numDirs() <= DirectionSet::kMaxDirs,
+              "topology has more directions than a DirectionSet holds");
+    table_.assign(num_nodes_
+                      * static_cast<std::size_t>(states_per_node_)
+                      * num_nodes_,
+                  DirectionSet());
+
+    const int num_dirs = topo_.numDirs();
+    for (NodeId node = 0; node < topo_.numNodes(); ++node) {
+        for (NodeId dest = 0; dest < topo_.numNodes(); ++dest) {
+            if (node == dest)
+                continue;   // Routing is never consulted at the dest.
+            table_[index(node, 0, dest)] =
+                source.routeSet(node, std::nullopt, dest);
+            if (states_per_node_ == 1)
+                continue;
+            for (DirId id = 0; id < num_dirs; ++id) {
+                // Every arrival state is snapshotted — even ones no
+                // physical channel can produce — so the table answers
+                // bit-for-bit like the source on any triple.
+                const Direction d = Direction::fromId(id);
+                table_[index(node, 1 + static_cast<std::size_t>(id),
+                             dest)] = source.routeSet(node, d, dest);
+            }
+        }
+    }
+}
+
+bool
+CompiledRoutingTable::allPairsRoutable() const
+{
+    for (NodeId src = 0; src < topo_.numNodes(); ++src) {
+        for (NodeId dst = 0; dst < topo_.numNodes(); ++dst) {
+            if (src == dst)
+                continue;
+            if (table_[index(src, 0, dst)].empty())
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace turnmodel

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Compiled routing tables: snapshot any RoutingAlgorithm into a dense
+ * flat array of DirectionSet entries indexed by (node, arrival state,
+ * destination), so every later decision is a single branch-free load.
+ *
+ * Motivation: a routing function is consulted millions of times by
+ * the simulator hot loop, the channel-dependency builder, the
+ * adaptiveness counters, and the synthesis verifier, but over a tiny
+ * finite domain — numNodes x (numDirs + 1) x numNodes states. Related
+ * table-driven NoC work (output-queue deadlock-avoidance tables,
+ * LUT-based fault-tolerant routing) shows the representation is
+ * naturally a table; compiling once removes the virtual dispatch,
+ * the per-call branching, and — for turn-table algorithms — the lazy
+ * reachability cache, whose mutation makes the uncompiled form
+ * thread-unsafe. A compiled table is immutable after construction and
+ * therefore trivially shareable across the exec/ thread pool.
+ *
+ * Memory cost is numNodes^2 x (numDirs + 1) x 4 bytes dense, or
+ * numNodes^2 x 4 collapsed when the source ignores the arrival
+ * direction (see DESIGN.md for the per-topology numbers).
+ */
+
+#ifndef TURNMODEL_CORE_ROUTING_COMPILED_HPP
+#define TURNMODEL_CORE_ROUTING_COMPILED_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/routing.hpp"
+
+namespace turnmodel {
+
+/**
+ * A routing algorithm precompiled into a dense lookup table.
+ *
+ * The snapshot is bit-for-bit faithful: for every (current, in_dir,
+ * dest) triple with current != dest, routeSet() returns exactly what
+ * the source algorithm returned at compile time (differential tests
+ * assert this across the whole factory). Entries with current == dest
+ * are empty — the contract says routing is never consulted there.
+ */
+class CompiledRoutingTable final : public RoutingAlgorithm
+{
+  public:
+    /**
+     * Snapshot @p source. The source is only needed during
+     * construction; its topology must outlive this table.
+     */
+    explicit CompiledRoutingTable(const RoutingAlgorithm &source);
+
+    DirectionSet
+    routeSet(NodeId current, std::optional<Direction> in_dir,
+             NodeId dest) const override
+    {
+        return table_[index(current, stateOf(in_dir), dest)];
+    }
+
+    /**
+     * Branch-free raw lookup: @p in_state is 0 for injection or
+     * 1 + direction id for an arrival direction (the same packing the
+     * reachability oracle and the simulator use). Input-independent
+     * tables mask the state to their single shared row.
+     */
+    DirectionSet lookup(NodeId current, int in_state, NodeId dest) const
+    {
+        return table_[index(current,
+                            static_cast<std::size_t>(in_state)
+                                & state_mask_,
+                            dest)];
+    }
+
+    /** "compiled:" + the source algorithm's name. */
+    std::string name() const override { return name_; }
+    const Topology &topology() const override { return topo_; }
+    bool isMinimal() const override { return minimal_; }
+    bool isInputDependent() const override { return input_dependent_; }
+
+    /** Arrival states per node stored: numDirs + 1, or 1 when the
+     * source is input independent (all states share one row). */
+    int statesPerNode() const { return states_per_node_; }
+
+    /** Table entries held (numNodes x statesPerNode x numNodes). */
+    std::size_t entries() const { return table_.size(); }
+
+    /** Bytes of table payload. */
+    std::size_t sizeBytes() const
+    {
+        return table_.size() * sizeof(DirectionSet);
+    }
+
+    /**
+     * Whether every ordered (src, dest) pair has at least one
+     * candidate from the injection state. For sources whose decisions
+     * carry a reachability guard (PositionalTurnRouting and friends),
+     * a non-empty injection entry implies the destination is actually
+     * reachable, so this is exactly the turn model's Step-4 full-
+     * connectivity requirement; for unguarded sources it is only the
+     * necessary first step of it.
+     */
+    bool allPairsRoutable() const;
+
+  private:
+    std::size_t stateOf(std::optional<Direction> in_dir) const
+    {
+        // Input-independent tables hold one shared row at state 0.
+        if (states_per_node_ == 1)
+            return 0;
+        return in_dir ? 1 + static_cast<std::size_t>(in_dir->id()) : 0;
+    }
+
+    std::size_t index(NodeId current, std::size_t in_state,
+                      NodeId dest) const
+    {
+        return (static_cast<std::size_t>(current)
+                    * static_cast<std::size_t>(states_per_node_)
+                + in_state)
+            * num_nodes_ + dest;
+    }
+
+    const Topology &topo_;
+    std::string name_;
+    bool minimal_;
+    bool input_dependent_;
+    std::size_t num_nodes_;
+    int states_per_node_;
+    /** ~0 normally; 0 when all states collapse to one row. */
+    std::size_t state_mask_;
+    std::vector<DirectionSet> table_;
+};
+
+} // namespace turnmodel
+
+#endif // TURNMODEL_CORE_ROUTING_COMPILED_HPP

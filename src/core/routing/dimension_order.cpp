@@ -9,9 +9,9 @@ DimensionOrderRouting::DimensionOrderRouting(const Topology &topo)
 {
 }
 
-std::vector<Direction>
-DimensionOrderRouting::route(NodeId current, std::optional<Direction>,
-                             NodeId dest) const
+DirectionSet
+DimensionOrderRouting::routeSet(NodeId current, std::optional<Direction>,
+                                NodeId dest) const
 {
     const Coords cur = topo_.coords(current);
     const Coords dst = topo_.coords(dest);
@@ -21,9 +21,9 @@ DimensionOrderRouting::route(NodeId current, std::optional<Direction>,
         const Direction dir(static_cast<std::uint8_t>(d), dst[d] > cur[d]);
         TM_ASSERT(topo_.neighbor(current, dir).has_value(),
                   "dimension-order hop missing from topology");
-        return {dir};
+        return DirectionSet::single(dir);
     }
-    TM_PANIC("route() called with current == dest");
+    TM_PANIC("routeSet() called with current == dest");
 }
 
 std::string

@@ -22,9 +22,9 @@ class DimensionOrderRouting : public RoutingAlgorithm
     /** @param topo Mesh-like topology; must outlive this object. */
     explicit DimensionOrderRouting(const Topology &topo);
 
-    std::vector<Direction>
-    route(NodeId current, std::optional<Direction> in_dir, NodeId dest)
-        const override;
+    DirectionSet
+    routeSet(NodeId current, std::optional<Direction> in_dir,
+             NodeId dest) const override;
     std::string name() const override;
     const Topology &topology() const override { return topo_; }
     bool isMinimal() const override { return true; }

@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "core/routing/all_but_one.hpp"
+#include "core/routing/compiled.hpp"
 #include "core/routing/dimension_order.hpp"
 #include "core/routing/mad_y.hpp"
 #include "topology/hex.hpp"
@@ -36,11 +37,11 @@ class OwningWrapFirstHop : public RoutingAlgorithm
             torus, makeRouting(inner_name, *mesh_));
     }
 
-    std::vector<Direction>
-    route(NodeId current, std::optional<Direction> in_dir, NodeId dest)
-        const override
+    DirectionSet
+    routeSet(NodeId current, std::optional<Direction> in_dir,
+             NodeId dest) const override
     {
-        return impl_->route(current, in_dir, dest);
+        return impl_->routeSet(current, in_dir, dest);
     }
 
     std::string name() const override { return impl_->name(); }
@@ -71,6 +72,16 @@ isBinaryShape(const Topology &topo)
 RoutingPtr
 makeRouting(const std::string &name, const Topology &topo)
 {
+    // "compiled:<inner>" snapshots the inner algorithm into a dense
+    // lookup table (see core/routing/compiled.hpp). The inner
+    // algorithm is only needed while the table is built.
+    if (name.rfind("compiled:", 0) == 0) {
+        const std::string inner =
+            name.substr(std::string("compiled:").size());
+        const RoutingPtr source = makeRouting(inner, topo);
+        return std::make_unique<CompiledRoutingTable>(*source);
+    }
+
     const auto *cube = dynamic_cast<const Hypercube *>(&topo);
     const auto *torus = dynamic_cast<const KAryNCube *>(&topo);
 

@@ -33,11 +33,11 @@ MadYRouting::MadYRouting(const VirtualizedMesh &mesh, bool minimal)
         minimal ? "mad-y" : "mad-y-nonminimal");
 }
 
-std::vector<Direction>
-MadYRouting::route(NodeId current, std::optional<Direction> in_dir,
-                   NodeId dest) const
+DirectionSet
+MadYRouting::routeSet(NodeId current, std::optional<Direction> in_dir,
+                      NodeId dest) const
 {
-    return impl_->route(current, in_dir, dest);
+    return impl_->routeSet(current, in_dir, dest);
 }
 
 std::string

@@ -45,9 +45,9 @@ class MadYRouting : public RoutingAlgorithm
     explicit MadYRouting(const VirtualizedMesh &mesh,
                          bool minimal = true);
 
-    std::vector<Direction>
-    route(NodeId current, std::optional<Direction> in_dir, NodeId dest)
-        const override;
+    DirectionSet
+    routeSet(NodeId current, std::optional<Direction> in_dir,
+             NodeId dest) const override;
     std::string name() const override;
     const Topology &topology() const override;
     bool isMinimal() const override;

@@ -9,26 +9,26 @@ NegativeFirstRouting::NegativeFirstRouting(const Topology &topo)
 {
 }
 
-std::vector<Direction>
-NegativeFirstRouting::route(NodeId current, std::optional<Direction>,
-                            NodeId dest) const
+DirectionSet
+NegativeFirstRouting::routeSet(NodeId current, std::optional<Direction>,
+                               NodeId dest) const
 {
     const Coords cur = topo_.coords(current);
     const Coords dst = topo_.coords(dest);
     // Phase one: all negative hops, adaptively interleaved.
-    std::vector<Direction> dirs;
+    DirectionSet dirs;
     for (std::size_t d = 0; d < cur.size(); ++d) {
         if (dst[d] < cur[d])
-            dirs.emplace_back(static_cast<std::uint8_t>(d), false);
+            dirs.insert(Direction(static_cast<std::uint8_t>(d), false));
     }
     if (!dirs.empty())
         return dirs;
     // Phase two: all positive hops, adaptively interleaved.
     for (std::size_t d = 0; d < cur.size(); ++d) {
         if (dst[d] > cur[d])
-            dirs.emplace_back(static_cast<std::uint8_t>(d), true);
+            dirs.insert(Direction(static_cast<std::uint8_t>(d), true));
     }
-    TM_ASSERT(!dirs.empty(), "route() called with current == dest");
+    TM_ASSERT(!dirs.empty(), "routeSet() called with current == dest");
     return dirs;
 }
 

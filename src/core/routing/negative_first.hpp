@@ -21,9 +21,9 @@ class NegativeFirstRouting : public RoutingAlgorithm
     /** @param topo An n-dimensional mesh; must outlive this object. */
     explicit NegativeFirstRouting(const Topology &topo);
 
-    std::vector<Direction>
-    route(NodeId current, std::optional<Direction> in_dir, NodeId dest)
-        const override;
+    DirectionSet
+    routeSet(NodeId current, std::optional<Direction> in_dir,
+             NodeId dest) const override;
     std::string name() const override { return "negative-first"; }
     const Topology &topology() const override { return topo_; }
     bool isMinimal() const override { return true; }

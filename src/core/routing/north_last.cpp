@@ -10,27 +10,27 @@ NorthLastRouting::NorthLastRouting(const Topology &topo)
     TM_ASSERT(topo.numDims() == 2, "north-last routing is defined on 2D");
 }
 
-std::vector<Direction>
-NorthLastRouting::route(NodeId current, std::optional<Direction>,
-                        NodeId dest) const
+DirectionSet
+NorthLastRouting::routeSet(NodeId current, std::optional<Direction>,
+                           NodeId dest) const
 {
     const Coords cur = topo_.coords(current);
     const Coords dst = topo_.coords(dest);
     // Adaptive phase: west, south, and east while any of them is
     // profitable. North is deferred because a northbound packet may
     // not turn again.
-    std::vector<Direction> dirs;
+    DirectionSet dirs;
     if (dst[0] < cur[0])
-        dirs.push_back(dir2d::West);
+        dirs.insert(dir2d::West);
     if (dst[1] < cur[1])
-        dirs.push_back(dir2d::South);
+        dirs.insert(dir2d::South);
     if (dst[0] > cur[0])
-        dirs.push_back(dir2d::East);
+        dirs.insert(dir2d::East);
     if (!dirs.empty())
         return dirs;
     // Final phase: a straight northward run.
-    TM_ASSERT(dst[1] > cur[1], "route() called with current == dest");
-    return {dir2d::North};
+    TM_ASSERT(dst[1] > cur[1], "routeSet() called with current == dest");
+    return DirectionSet::single(dir2d::North);
 }
 
 } // namespace turnmodel

@@ -21,9 +21,9 @@ class NorthLastRouting : public RoutingAlgorithm
     /** @param topo A 2D mesh; must outlive this object. */
     explicit NorthLastRouting(const Topology &topo);
 
-    std::vector<Direction>
-    route(NodeId current, std::optional<Direction> in_dir, NodeId dest)
-        const override;
+    DirectionSet
+    routeSet(NodeId current, std::optional<Direction> in_dir,
+             NodeId dest) const override;
     std::string name() const override { return "north-last"; }
     const Topology &topology() const override { return topo_; }
     bool isMinimal() const override { return true; }

@@ -34,11 +34,11 @@ OddEvenRouting::OddEvenRouting(const Topology &topo, bool minimal)
         minimal ? "odd-even" : "odd-even-nonminimal");
 }
 
-std::vector<Direction>
-OddEvenRouting::route(NodeId current, std::optional<Direction> in_dir,
-                      NodeId dest) const
+DirectionSet
+OddEvenRouting::routeSet(NodeId current, std::optional<Direction> in_dir,
+                         NodeId dest) const
 {
-    return impl_->route(current, in_dir, dest);
+    return impl_->routeSet(current, in_dir, dest);
 }
 
 std::string

@@ -41,9 +41,9 @@ class OddEvenRouting : public RoutingAlgorithm
      */
     explicit OddEvenRouting(const Topology &topo, bool minimal = true);
 
-    std::vector<Direction>
-    route(NodeId current, std::optional<Direction> in_dir, NodeId dest)
-        const override;
+    DirectionSet
+    routeSet(NodeId current, std::optional<Direction> in_dir,
+             NodeId dest) const override;
     std::string name() const override;
     const Topology &topology() const override;
     bool isMinimal() const override;

@@ -25,15 +25,15 @@ ECubeRouting::ECubeRouting(const Hypercube &cube)
 {
 }
 
-std::vector<Direction>
-ECubeRouting::route(NodeId current, std::optional<Direction>,
-                    NodeId dest) const
+DirectionSet
+ECubeRouting::routeSet(NodeId current, std::optional<Direction>,
+                       NodeId dest) const
 {
     const std::uint64_t diff = static_cast<std::uint64_t>(current)
         ^ static_cast<std::uint64_t>(dest);
     const int dim = lowestSetBit(diff);
-    TM_ASSERT(dim >= 0, "route() called with current == dest");
-    return {hopDirection(current, dim)};
+    TM_ASSERT(dim >= 0, "routeSet() called with current == dest");
+    return DirectionSet::single(hopDirection(current, dim));
 }
 
 PCubeRouting::PCubeRouting(const Hypercube &cube, bool minimal)
@@ -73,18 +73,18 @@ PCubeRouting::choices(NodeId current, NodeId dest) const
     return out;
 }
 
-std::vector<Direction>
-PCubeRouting::route(NodeId current, std::optional<Direction>,
-                    NodeId dest) const
+DirectionSet
+PCubeRouting::routeSet(NodeId current, std::optional<Direction>,
+                       NodeId dest) const
 {
-    TM_ASSERT(current != dest, "route() called with current == dest");
+    TM_ASSERT(current != dest, "routeSet() called with current == dest");
     const Choices ch = choices(current, dest);
-    std::vector<Direction> dirs;
+    DirectionSet dirs;
     for (int dim : ch.minimal_dims)
-        dirs.push_back(hopDirection(current, dim));
+        dirs.insert(hopDirection(current, dim));
     if (!minimal_) {
         for (int dim : ch.nonminimal_dims)
-            dirs.push_back(hopDirection(current, dim));
+            dirs.insert(hopDirection(current, dim));
     }
     return dirs;
 }

@@ -28,9 +28,9 @@ class ECubeRouting : public RoutingAlgorithm
     /** @param cube Hypercube; must outlive this object. */
     explicit ECubeRouting(const Hypercube &cube);
 
-    std::vector<Direction>
-    route(NodeId current, std::optional<Direction> in_dir, NodeId dest)
-        const override;
+    DirectionSet
+    routeSet(NodeId current, std::optional<Direction> in_dir,
+             NodeId dest) const override;
     std::string name() const override { return "e-cube"; }
     const Topology &topology() const override { return cube_; }
     bool isMinimal() const override { return true; }
@@ -51,9 +51,9 @@ class PCubeRouting : public RoutingAlgorithm
      */
     explicit PCubeRouting(const Hypercube &cube, bool minimal = true);
 
-    std::vector<Direction>
-    route(NodeId current, std::optional<Direction> in_dir, NodeId dest)
-        const override;
+    DirectionSet
+    routeSet(NodeId current, std::optional<Direction> in_dir,
+             NodeId dest) const override;
     std::string name() const override;
     const Topology &topology() const override { return cube_; }
     bool isMinimal() const override { return minimal_; }

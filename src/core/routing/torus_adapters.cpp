@@ -26,26 +26,27 @@ WraparoundFirstHopRouting::meshDistance(NodeId a, NodeId b) const
     return dist;
 }
 
-std::vector<Direction>
-WraparoundFirstHopRouting::route(NodeId current,
-                                 std::optional<Direction> in_dir,
-                                 NodeId dest) const
+DirectionSet
+WraparoundFirstHopRouting::routeSet(NodeId current,
+                                    std::optional<Direction> in_dir,
+                                    NodeId dest) const
 {
     // After the first hop only mesh channels may be used; the inner
     // algorithm provides the candidates.
-    std::vector<Direction> dirs =
-        inner_->route(current, in_dir, dest);
+    DirectionSet dirs = inner_->routeSet(current, in_dir, dest);
     if (in_dir)
         return dirs;
     // First hop: also offer wraparound channels that shorten the
     // remaining mesh route.
     const int here = meshDistance(current, dest);
-    for (Direction d : allDirections(torus_.numDims())) {
+    const int num_dirs = torus_.numDirs();
+    for (DirId id = 0; id < num_dirs; ++id) {
+        const Direction d = Direction::fromId(id);
         if (!torus_.isWraparound(current, d))
             continue;
         const auto next = torus_.neighbor(current, d);
         if (next && meshDistance(*next, dest) < here)
-            dirs.push_back(d);
+            dirs.insert(d);
     }
     return dirs;
 }
@@ -62,9 +63,10 @@ TorusNegativeFirstRouting::TorusNegativeFirstRouting(const KAryNCube &torus)
     TM_ASSERT(torus.k() > 2, "classified torus routing needs k > 2");
 }
 
-std::vector<Direction>
-TorusNegativeFirstRouting::route(NodeId current, std::optional<Direction>,
-                                 NodeId dest) const
+DirectionSet
+TorusNegativeFirstRouting::routeSet(NodeId current,
+                                    std::optional<Direction>,
+                                    NodeId dest) const
 {
     const Coords cur = torus_.coords(current);
     const Coords dst = torus_.coords(dest);
@@ -74,18 +76,18 @@ TorusNegativeFirstRouting::route(NodeId current, std::optional<Direction>,
     // wraparound channel out of coordinate k-1 routes packets to
     // coordinate 0 and is classified as a negative channel; it is
     // offered when going around is shorter.
-    std::vector<Direction> dirs;
+    DirectionSet dirs;
     bool need_negative = false;
     for (int d = 0; d < n; ++d) {
         if (dst[d] < cur[d]) {
             need_negative = true;
-            dirs.emplace_back(static_cast<std::uint8_t>(d), false);
+            dirs.insert(Direction(static_cast<std::uint8_t>(d), false));
             const int k = torus_.radix(d);
             const bool at_top = cur[d] == k - 1;
             // Around the top: one wraparound hop plus dst[d] positive
             // hops later, versus cur[d]-dst[d] mesh hops.
             if (at_top && 1 + dst[d] < cur[d] - dst[d])
-                dirs.emplace_back(static_cast<std::uint8_t>(d), true);
+                dirs.insert(Direction(static_cast<std::uint8_t>(d), true));
         }
     }
     if (need_negative)
@@ -97,13 +99,13 @@ TorusNegativeFirstRouting::route(NodeId current, std::optional<Direction>,
     // the destination would need a prohibited negative correction).
     for (int d = 0; d < n; ++d) {
         if (dst[d] > cur[d]) {
-            dirs.emplace_back(static_cast<std::uint8_t>(d), true);
+            dirs.insert(Direction(static_cast<std::uint8_t>(d), true));
             const int k = torus_.radix(d);
             if (cur[d] == 0 && dst[d] == k - 1 && k > 2)
-                dirs.emplace_back(static_cast<std::uint8_t>(d), false);
+                dirs.insert(Direction(static_cast<std::uint8_t>(d), false));
         }
     }
-    TM_ASSERT(!dirs.empty(), "route() called with current == dest");
+    TM_ASSERT(!dirs.empty(), "routeSet() called with current == dest");
     return dirs;
 }
 

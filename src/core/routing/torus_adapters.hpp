@@ -43,9 +43,9 @@ class WraparoundFirstHopRouting : public RoutingAlgorithm
      */
     WraparoundFirstHopRouting(const KAryNCube &torus, RoutingPtr inner);
 
-    std::vector<Direction>
-    route(NodeId current, std::optional<Direction> in_dir, NodeId dest)
-        const override;
+    DirectionSet
+    routeSet(NodeId current, std::optional<Direction> in_dir,
+             NodeId dest) const override;
     std::string name() const override;
     const Topology &topology() const override { return torus_; }
     bool isMinimal() const override { return false; }
@@ -69,9 +69,9 @@ class TorusNegativeFirstRouting : public RoutingAlgorithm
     /** @param torus Torus topology; must outlive this object. */
     explicit TorusNegativeFirstRouting(const KAryNCube &torus);
 
-    std::vector<Direction>
-    route(NodeId current, std::optional<Direction> in_dir, NodeId dest)
-        const override;
+    DirectionSet
+    routeSet(NodeId current, std::optional<Direction> in_dir,
+             NodeId dest) const override;
     std::string name() const override { return "torus-negative-first"; }
     const Topology &topology() const override { return torus_; }
     bool isMinimal() const override { return false; }

@@ -122,14 +122,16 @@ PositionalTurnRouting::PositionalTurnRouting(const Topology &topo,
 {
 }
 
-std::vector<Direction>
-PositionalTurnRouting::route(NodeId current,
-                             std::optional<Direction> in_dir,
-                             NodeId dest) const
+DirectionSet
+PositionalTurnRouting::routeSet(NodeId current,
+                                std::optional<Direction> in_dir,
+                                NodeId dest) const
 {
-    TM_ASSERT(current != dest, "route() called with current == dest");
-    std::vector<Direction> dirs;
-    for (Direction d : allDirections(topo_.numDims())) {
+    TM_ASSERT(current != dest, "routeSet() called with current == dest");
+    DirectionSet dirs;
+    const int num_dirs = topo_.numDirs();
+    for (DirId id = 0; id < num_dirs; ++id) {
+        const Direction d = Direction::fromId(id);
         if (in_dir && !rule_(current, Turn(*in_dir, d)))
             continue;
         const auto next = topo_.neighbor(current, d);
@@ -141,7 +143,7 @@ PositionalTurnRouting::route(NodeId current,
         }
         if (!oracle_.reachable(*next, d, dest))
             continue;
-        dirs.push_back(d);
+        dirs.insert(d);
     }
     return dirs;
 }

@@ -96,9 +96,9 @@ class PositionalTurnRouting : public RoutingAlgorithm
     PositionalTurnRouting(const Topology &topo, TurnRule rule,
                           bool minimal, std::string name_tag);
 
-    std::vector<Direction>
-    route(NodeId current, std::optional<Direction> in_dir, NodeId dest)
-        const override;
+    DirectionSet
+    routeSet(NodeId current, std::optional<Direction> in_dir,
+             NodeId dest) const override;
     std::string name() const override { return name_; }
     const Topology &topology() const override { return topo_; }
     bool isMinimal() const override { return minimal_; }

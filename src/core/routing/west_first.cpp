@@ -10,25 +10,25 @@ WestFirstRouting::WestFirstRouting(const Topology &topo)
     TM_ASSERT(topo.numDims() == 2, "west-first routing is defined on 2D");
 }
 
-std::vector<Direction>
-WestFirstRouting::route(NodeId current, std::optional<Direction>,
-                        NodeId dest) const
+DirectionSet
+WestFirstRouting::routeSet(NodeId current, std::optional<Direction>,
+                           NodeId dest) const
 {
     const Coords cur = topo_.coords(current);
     const Coords dst = topo_.coords(dest);
     // Phase one: all westward hops happen before anything else.
     if (dst[0] < cur[0])
-        return {dir2d::West};
+        return DirectionSet::single(dir2d::West);
     // Phase two: fully adaptive among the remaining profitable
     // directions (south, east, north).
-    std::vector<Direction> dirs;
+    DirectionSet dirs;
     if (dst[1] < cur[1])
-        dirs.push_back(dir2d::South);
+        dirs.insert(dir2d::South);
     if (dst[0] > cur[0])
-        dirs.push_back(dir2d::East);
+        dirs.insert(dir2d::East);
     if (dst[1] > cur[1])
-        dirs.push_back(dir2d::North);
-    TM_ASSERT(!dirs.empty(), "route() called with current == dest");
+        dirs.insert(dir2d::North);
+    TM_ASSERT(!dirs.empty(), "routeSet() called with current == dest");
     return dirs;
 }
 

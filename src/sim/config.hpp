@@ -93,6 +93,15 @@ struct SimConfig
      */
     std::uint64_t deadlock_threshold = 30000;
 
+    /**
+     * Snapshot the routing algorithm into a compiled lookup table at
+     * network construction (see core/routing/compiled.hpp), making
+     * every hot-loop routing decision a branch-free table load. The
+     * snapshot is bit-for-bit equivalent, so results are identical
+     * either way; disable only to exercise the virtual-dispatch path.
+     */
+    bool compiled_routing = true;
+
     /** Master seed; per-node streams derive from it. */
     std::uint64_t seed = 1;
 

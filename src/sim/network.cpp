@@ -8,11 +8,16 @@ namespace turnmodel {
 
 Network::Network(const RoutingAlgorithm &routing,
                  const TrafficPattern &pattern, const SimConfig &config)
-    : routing_(routing), topo_(routing.topology()), pattern_(pattern),
-      config_(config),
+    : routing_(routing), decider_(&routing), topo_(routing.topology()),
+      pattern_(pattern), config_(config),
       router_rng_(Rng::forStream(config.seed, 0xabcdef))
 {
     TM_ASSERT(config_.buffer_depth >= 1, "buffers hold at least one flit");
+    if (config_.compiled_routing &&
+        dynamic_cast<const CompiledRoutingTable *>(&routing) == nullptr) {
+        compiled_.emplace(routing);
+        decider_ = &*compiled_;
+    }
     if (config_.switching == Switching::StoreAndForward) {
         TM_ASSERT(config_.buffer_depth >= config_.lengths.maxLength(),
                   "store-and-forward buffers must fit a whole packet");
@@ -176,11 +181,12 @@ Network::allocateOutputs()
                     ? std::nullopt
                     : std::make_optional(
                           Direction::fromId(static_cast<DirId>(local)));
-            std::vector<Direction> candidates;
-            for (Direction d : routing_.route(here, in_dir, pkt.dest)) {
+            DirectionSet candidates;
+            for (Direction d : decider_->routeSet(here, in_dir,
+                                                  pkt.dest)) {
                 const std::uint32_t out = inPortId(here, d.id());
                 if (out_ports_[out].owner == kNoPacket)
-                    candidates.push_back(d);
+                    candidates.insert(d);
             }
             if (candidates.empty())
                 continue;

@@ -26,10 +26,12 @@
 #define TURNMODEL_SIM_NETWORK_HPP
 
 #include <deque>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "core/routing.hpp"
+#include "core/routing/compiled.hpp"
 #include "sim/config.hpp"
 #include "sim/packet.hpp"
 #include "sim/selection.hpp"
@@ -178,6 +180,12 @@ class Network
     };
 
     const RoutingAlgorithm &routing_;
+    /** Compiled snapshot of routing_ (when config.compiled_routing
+     * and routing_ is not already a table). */
+    std::optional<CompiledRoutingTable> compiled_;
+    /** The routing actually consulted in the hot loop: &*compiled_
+     * when a snapshot was taken, otherwise &routing_. */
+    const RoutingAlgorithm *decider_;
     const Topology &topo_;
     const TrafficPattern &pattern_;
     SimConfig config_;

@@ -5,48 +5,27 @@
 namespace turnmodel {
 
 Direction
-selectOutput(OutputSelection policy,
-             const std::vector<Direction> &candidates,
+selectOutput(OutputSelection policy, DirectionSet candidates,
              std::optional<Direction> in_dir, Rng &rng)
 {
     TM_ASSERT(!candidates.empty(), "output selection needs candidates");
-    if (candidates.size() == 1)
-        return candidates.front();
     switch (policy) {
-      case OutputSelection::LowestDim: {
-        Direction best = candidates.front();
-        for (Direction d : candidates) {
-            if (d.id() < best.id())
-                best = d;
-        }
-        return best;
-      }
-      case OutputSelection::HighestDim: {
-        Direction best = candidates.front();
-        for (Direction d : candidates) {
-            if (d.id() > best.id())
-                best = d;
-        }
-        return best;
-      }
+      case OutputSelection::LowestDim:
+        return candidates.first();
+      case OutputSelection::HighestDim:
+        return candidates.last();
       case OutputSelection::Random:
-        return candidates[rng.nextBounded(candidates.size())];
-      case OutputSelection::StraightFirst: {
-        if (in_dir) {
-            for (Direction d : candidates) {
-                if (d.dim == in_dir->dim && d.positive == in_dir->positive)
-                    return d;
-            }
-        }
-        Direction best = candidates.front();
-        for (Direction d : candidates) {
-            if (d.id() < best.id())
-                best = d;
-        }
-        return best;
-      }
+        if (candidates.size() == 1)
+            return candidates.first();
+        return candidates.nth(static_cast<int>(
+            rng.nextBounded(static_cast<std::size_t>(
+                candidates.size()))));
+      case OutputSelection::StraightFirst:
+        if (in_dir && candidates.contains(*in_dir))
+            return *in_dir;
+        return candidates.first();
     }
-    return candidates.front();
+    return candidates.first();
 }
 
 std::size_t

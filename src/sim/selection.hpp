@@ -17,6 +17,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/direction_set.hpp"
 #include "sim/config.hpp"
 #include "topology/direction.hpp"
 #include "util/rng.hpp"
@@ -27,12 +28,12 @@ namespace turnmodel {
  * Pick one output direction among the available candidates.
  *
  * @param policy     Output selection policy.
- * @param candidates Non-empty list of available profitable outputs.
+ * @param candidates Non-empty set of available profitable outputs
+ *                   (passed by value: a DirectionSet is one word).
  * @param in_dir     Arrival direction (for StraightFirst).
  * @param rng        Randomness for the Random policy.
  */
-Direction selectOutput(OutputSelection policy,
-                       const std::vector<Direction> &candidates,
+Direction selectOutput(OutputSelection policy, DirectionSet candidates,
                        std::optional<Direction> in_dir, Rng &rng);
 
 /** One input port's bid for an output channel. */

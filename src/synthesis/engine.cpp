@@ -7,6 +7,7 @@
 
 #include "core/channel_dependency.hpp"
 #include "core/cycle_analysis.hpp"
+#include "core/routing/compiled.hpp"
 #include "core/routing/turn_table.hpp"
 #include "exec/thread_pool.hpp"
 #include "synthesis/symmetry.hpp"
@@ -33,11 +34,10 @@ resolveMode(const SynthesisConfig &config, int num_dims)
  * S_f for every ordered pair, counted exhaustively against a fully
  * adaptive reference routing — valid for topologies (hex, oct)
  * where the orthogonal-mesh multinomial does not apply, and
- * identical to fullyAdaptivePathCount on meshes. Computed once and
- * shared across all ranked candidates, parallel over destinations:
- * each job builds its own reference routing (the lazy reachability
- * cache is not thread safe to share, and one job only ever fills
- * its own destination's table).
+ * identical to fullyAdaptivePathCount on meshes. The reference is
+ * compiled into a single immutable table (the lazy reachability
+ * cache underneath TurnTableRouting is not thread safe, but the
+ * snapshot is), so one copy serves every pool job.
  */
 std::vector<std::uint64_t>
 referencePathCounts(const Topology &topo, bool minimal,
@@ -47,16 +47,17 @@ referencePathCounts(const Topology &topo, bool minimal,
     TurnSet every(topo.numDims());
     every.allowAll90();
     every.allowAllStraight();
+    const TurnTableRouting fully(topo, every, minimal,
+                                 "fully-adaptive");
+    const CompiledRoutingTable table(fully);
     std::vector<std::uint64_t> counts(nodes * nodes, 0);
     pool.parallelFor(nodes, [&](std::size_t dst_index) {
         const NodeId dst = static_cast<NodeId>(dst_index);
-        const TurnTableRouting fully(topo, every, minimal,
-                                     "fully-adaptive");
         for (NodeId src = 0; src < topo.numNodes(); ++src) {
             if (src == dst)
                 continue;
             const std::uint64_t sf =
-                countAllowedShortestPaths(fully, src, dst);
+                countAllowedShortestPaths(table, src, dst);
             TM_ASSERT(sf > 0, "fully adaptive reference disconnected");
             counts[static_cast<std::size_t>(src) * nodes + dst] = sf;
         }
@@ -245,10 +246,16 @@ synthesize(const Topology &topo, const SynthesisConfig &config)
     // keeps the report identical at any thread count.
     ThreadPool pool(config.num_threads);
     const auto verify = [&](SynthesizedCandidate &candidate) {
-        TurnTableRouting routing(topo, candidate.set, config.minimal,
-                                 candidate.name);
-        candidate.connected = routing.isConnected();
-        candidate.deadlock_free = isDeadlockFree(routing);
+        // Snapshot the candidate once; both checks then run off the
+        // same immutable table. Connectivity: turn-table routing is
+        // reachability guarded, so a destination gets candidates
+        // from the injection state iff it is reachable, making the
+        // injection-row scan exactly isConnected().
+        const TurnTableRouting routing(topo, candidate.set,
+                                       config.minimal, candidate.name);
+        const CompiledRoutingTable table(routing);
+        candidate.connected = table.allPairsRoutable();
+        candidate.deadlock_free = isDeadlockFree(table);
         candidate.verified_directly = true;
     };
     std::vector<std::size_t> to_verify;
@@ -288,10 +295,11 @@ synthesize(const Topology &topo, const SynthesisConfig &config)
         pool.parallelFor(report.ranking.size(), [&](std::size_t i) {
             SynthesizedCandidate &rep =
                 report.candidates[report.ranking[i]];
-            TurnTableRouting routing(topo, rep.set, config.minimal,
-                                     rep.name);
+            const TurnTableRouting routing(topo, rep.set,
+                                           config.minimal, rep.name);
+            const CompiledRoutingTable table(routing);
             rep.adaptiveness =
-                summarizeAgainstReference(routing, reference);
+                summarizeAgainstReference(table, reference);
             rep.has_adaptiveness = true;
         });
         std::sort(report.ranking.begin(), report.ranking.end(),

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Unit tests for the DirectionSet bitmask value type.
+ */
+
+#include <gtest/gtest.h>
+
+#include <type_traits>
+#include <vector>
+
+#include "core/direction_set.hpp"
+
+namespace turnmodel {
+namespace {
+
+TEST(DirectionSet, DefaultIsEmpty)
+{
+    constexpr DirectionSet s;
+    static_assert(s.empty());
+    static_assert(s.size() == 0);
+    EXPECT_TRUE(s.toVector().empty());
+    EXPECT_EQ(s.begin(), s.end());
+}
+
+TEST(DirectionSet, StaysRegisterSizedAndTrivial)
+{
+    static_assert(sizeof(DirectionSet) == 4);
+    static_assert(std::is_trivially_copyable_v<DirectionSet>);
+}
+
+TEST(DirectionSet, InsertContainsErase)
+{
+    DirectionSet s;
+    s.insert(dir2d::East);
+    s.insert(dir2d::North);
+    EXPECT_TRUE(s.contains(dir2d::East));
+    EXPECT_TRUE(s.contains(dir2d::North));
+    EXPECT_FALSE(s.contains(dir2d::West));
+    EXPECT_EQ(s.size(), 2);
+    s.erase(dir2d::East);
+    EXPECT_FALSE(s.contains(dir2d::East));
+    EXPECT_EQ(s.size(), 1);
+    // Erasing an absent member is a no-op.
+    s.erase(dir2d::South);
+    EXPECT_EQ(s.size(), 1);
+}
+
+TEST(DirectionSet, InitializerListAndOf)
+{
+    const DirectionSet a{dir2d::West, dir2d::North};
+    const DirectionSet b = DirectionSet::of({dir2d::North, dir2d::West});
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(DirectionSet::single(dir2d::South),
+              (DirectionSet{dir2d::South}));
+}
+
+TEST(DirectionSet, AllCoversEveryDirection)
+{
+    const DirectionSet all2 = DirectionSet::all(2);
+    EXPECT_EQ(all2.size(), 4);
+    for (Direction d : allDirections(2))
+        EXPECT_TRUE(all2.contains(d));
+    EXPECT_EQ(DirectionSet::all(6).size(), 12);
+    // The 16-dimension maximum fills the whole word.
+    EXPECT_EQ(DirectionSet::all(16).size(), DirectionSet::kMaxDirs);
+}
+
+TEST(DirectionSet, IterationIsAscendingIdOrder)
+{
+    const DirectionSet s{dir2d::North, dir2d::West, dir2d::East};
+    std::vector<DirId> ids;
+    for (Direction d : s)
+        ids.push_back(d.id());
+    const std::vector<DirId> expect{dir2d::West.id(), dir2d::East.id(),
+                                    dir2d::North.id()};
+    EXPECT_EQ(ids, expect);
+    EXPECT_EQ(s.toVector().size(), 3u);
+    EXPECT_EQ(s.toVector().front(), dir2d::West);
+}
+
+TEST(DirectionSet, FirstLastNth)
+{
+    const DirectionSet s{dir2d::East, dir2d::South, dir2d::North};
+    EXPECT_EQ(s.first(), dir2d::East);    // id 1
+    EXPECT_EQ(s.last(), dir2d::North);    // id 3
+    EXPECT_EQ(s.nth(0), dir2d::East);
+    EXPECT_EQ(s.nth(1), dir2d::South);
+    EXPECT_EQ(s.nth(2), dir2d::North);
+}
+
+TEST(DirectionSet, SetAlgebra)
+{
+    const DirectionSet a{dir2d::West, dir2d::East};
+    const DirectionSet b{dir2d::East, dir2d::North};
+    EXPECT_EQ(a | b,
+              (DirectionSet{dir2d::West, dir2d::East, dir2d::North}));
+    EXPECT_EQ(a & b, DirectionSet::single(dir2d::East));
+    EXPECT_EQ(a - b, DirectionSet::single(dir2d::West));
+    DirectionSet c = a;
+    c |= b;
+    EXPECT_EQ(c, (a | b));
+    c &= b;
+    EXPECT_EQ(c, b);
+    c -= DirectionSet::single(dir2d::North);
+    EXPECT_EQ(c, DirectionSet::single(dir2d::East));
+}
+
+TEST(DirectionSet, RawRoundTrip)
+{
+    const DirectionSet s{dir2d::West, dir2d::North};
+    EXPECT_EQ(DirectionSet::fromBits(s.raw()), s);
+    EXPECT_EQ(s.raw(), (DirectionSet::Bits{1} << dir2d::West.id()) |
+                           (DirectionSet::Bits{1} << dir2d::North.id()));
+}
+
+TEST(DirectionSet, ToStringListsMembers)
+{
+    EXPECT_EQ(toString(DirectionSet{}), "{}");
+    EXPECT_EQ(toString(DirectionSet{dir2d::West, dir2d::North}),
+              "{west, north}");
+}
+
+} // namespace
+} // namespace turnmodel

@@ -18,7 +18,7 @@
 
 #include "core/channel_dependency.hpp"
 #include "core/routing/factory.hpp"
-#include "sim/sweep.hpp"
+#include "exec/sweep.hpp"
 #include "synthesis/engine.hpp"
 #include "synthesis/symmetry.hpp"
 #include "topology/mesh.hpp"

@@ -15,8 +15,7 @@ namespace {
 TEST(OutputSelection, LowestDimPicksLowestId)
 {
     Rng rng(1);
-    const std::vector<Direction> c{dir2d::North, dir2d::East,
-                                   dir2d::South};
+    const DirectionSet c{dir2d::North, dir2d::East, dir2d::South};
     EXPECT_EQ(selectOutput(OutputSelection::LowestDim, c, std::nullopt,
                            rng),
               dir2d::East);
@@ -25,8 +24,7 @@ TEST(OutputSelection, LowestDimPicksLowestId)
 TEST(OutputSelection, HighestDimPicksHighestId)
 {
     Rng rng(1);
-    const std::vector<Direction> c{dir2d::East, dir2d::South,
-                                   dir2d::North};
+    const DirectionSet c{dir2d::East, dir2d::South, dir2d::North};
     EXPECT_EQ(selectOutput(OutputSelection::HighestDim, c, std::nullopt,
                            rng),
               dir2d::North);
@@ -35,7 +33,7 @@ TEST(OutputSelection, HighestDimPicksHighestId)
 TEST(OutputSelection, SingleCandidateShortCircuits)
 {
     Rng rng(1);
-    const std::vector<Direction> c{dir2d::South};
+    const DirectionSet c{dir2d::South};
     for (auto policy :
          {OutputSelection::LowestDim, OutputSelection::HighestDim,
           OutputSelection::Random, OutputSelection::StraightFirst}) {
@@ -47,7 +45,7 @@ TEST(OutputSelection, SingleCandidateShortCircuits)
 TEST(OutputSelection, StraightFirstPrefersSameDirection)
 {
     Rng rng(1);
-    const std::vector<Direction> c{dir2d::East, dir2d::North};
+    const DirectionSet c{dir2d::East, dir2d::North};
     EXPECT_EQ(selectOutput(OutputSelection::StraightFirst, c,
                            dir2d::North, rng),
               dir2d::North);
@@ -64,8 +62,7 @@ TEST(OutputSelection, StraightFirstPrefersSameDirection)
 TEST(OutputSelection, RandomCoversAllCandidates)
 {
     Rng rng(5);
-    const std::vector<Direction> c{dir2d::East, dir2d::North,
-                                   dir2d::South};
+    const DirectionSet c{dir2d::East, dir2d::North, dir2d::South};
     std::set<DirId> seen;
     for (int i = 0; i < 200; ++i)
         seen.insert(selectOutput(OutputSelection::Random, c,

@@ -8,7 +8,7 @@
 #include <sstream>
 
 #include "core/routing/factory.hpp"
-#include "sim/sweep.hpp"
+#include "exec/sweep.hpp"
 #include "topology/mesh.hpp"
 
 namespace turnmodel {
