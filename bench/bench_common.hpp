@@ -10,6 +10,7 @@
 #ifndef TURNMODEL_BENCH_COMMON_HPP
 #define TURNMODEL_BENCH_COMMON_HPP
 
+#include <algorithm>
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -33,6 +34,14 @@ struct Fidelity
     std::string json_path;
     /** Sweep-point jobs run in parallel; 0 = hardware concurrency. */
     unsigned jobs = 0;
+    /** With --obs=PATH, also run an observability study (channel
+     * counters + time-series sampler) and write it there. */
+    std::string obs_path;
+    /** --trace=N: retain the last N packet events in the obs study. */
+    std::size_t trace_capacity = 0;
+    /** --obs-rate=R: injection rate of the obs study; 0 picks the
+     * middle of the figure's rate ladder. */
+    double obs_rate = 0.0;
 };
 
 /**
@@ -60,10 +69,21 @@ parseFidelity(int argc, char **argv)
             f.jobs = static_cast<unsigned>(std::strtoul(
                 arg.c_str() + std::string("--jobs=").size(),
                 nullptr, 10));
+        } else if (arg.rfind("--obs=", 0) == 0) {
+            f.obs_path = arg.substr(std::string("--obs=").size());
+        } else if (arg.rfind("--trace=", 0) == 0) {
+            f.trace_capacity = static_cast<std::size_t>(std::strtoul(
+                arg.c_str() + std::string("--trace=").size(),
+                nullptr, 10));
+        } else if (arg.rfind("--obs-rate=", 0) == 0) {
+            f.obs_rate = std::strtod(
+                arg.c_str() + std::string("--obs-rate=").size(),
+                nullptr);
         } else {
             std::cerr << "unknown option '" << arg << "'\n"
                       << "usage: " << argv[0]
-                      << " [--quick|--full] [--json=PATH] [--jobs=N]\n";
+                      << " [--quick|--full] [--json=PATH] [--jobs=N]"
+                         " [--obs=PATH] [--obs-rate=R] [--trace=N]\n";
             std::exit(2);
         }
     }
@@ -108,6 +128,22 @@ runFigure(const ExperimentSpec &spec, const Fidelity &fidelity)
     ResultSink::writeJsonFile(fidelity.json_path, result);
     ResultSink::writeSummary(std::cout, result, spec.baseline);
     std::cout << std::endl;
+
+    if (!fidelity.obs_path.empty()) {
+        // One observed run per algorithm at a single rate — by
+        // default the middle of the figure's ladder, a loaded but
+        // typically unsaturated operating point.
+        const double rate = fidelity.obs_rate > 0.0
+            ? fidelity.obs_rate
+            : spec.injection_rates[spec.injection_rates.size() / 2];
+        ObsConfig obs;
+        obs.channel_counters = true;
+        obs.sample_stride =
+            std::max<std::uint64_t>(1, fidelity.measure / 50);
+        obs.trace_capacity = fidelity.trace_capacity;
+        const ObsStudy study = runner.runObs(spec, rate, obs);
+        ResultSink::writeObsJsonFile(fidelity.obs_path, study);
+    }
     return result;
 }
 

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Channel-utilization heatmap study: run a set of routing algorithms
+ * on a 2D mesh at one injection rate with the observability layer on
+ * and show where the traffic actually flows — an ASCII heatmap per
+ * algorithm per direction, plus optional JSON/CSV export for real
+ * plotting. The canonical use is the paper's transpose workload: xy
+ * spreads load evenly while west-first piles it onto the south/east
+ * channels of the lower triangle, and the heatmap makes that hotspot
+ * asymmetry visible in a way end-of-run aggregates cannot.
+ *
+ * Usage:
+ *   heatmap_study [--mesh WxH] [--pattern NAME] [--algos a,b,...]
+ *                 [--rate R] [--warmup N] [--measure N] [--stride N]
+ *                 [--trace N] [--json PATH] [--csv PATH] [--jobs N]
+ *                 [--seed S]
+ */
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "exec/result_sink.hpp"
+#include "exec/runner.hpp"
+#include "topology/mesh.hpp"
+#include "util/logging.hpp"
+
+using namespace turnmodel;
+
+namespace {
+
+std::vector<std::string>
+splitList(const std::string &arg)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(arg);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        out.push_back(item);
+    return out;
+}
+
+/** Utilization of one run's channels in direction @p dir, as a grid. */
+std::vector<std::vector<double>>
+utilizationGrid(const ObsRun &run, const std::string &dir, int width,
+                int height)
+{
+    std::vector<std::vector<double>> grid(
+        static_cast<std::size_t>(height),
+        std::vector<double>(static_cast<std::size_t>(width), -1.0));
+    for (const ChannelUtilRow &row : run.report.channels) {
+        if (row.dir != dir || row.coords.size() != 2)
+            continue;
+        grid[static_cast<std::size_t>(row.coords[1])]
+            [static_cast<std::size_t>(row.coords[0])] = row.utilization;
+    }
+    return grid;
+}
+
+/** Shade 0..9 plus '#' for the top band; '.' for no channel. */
+char
+shade(double utilization, double peak)
+{
+    if (utilization < 0.0)
+        return '.';
+    if (peak <= 0.0)
+        return '0';
+    const double frac = utilization / peak;
+    if (frac >= 0.95)
+        return '#';
+    return static_cast<char>(
+        '0' + std::min(9, static_cast<int>(frac * 10.0)));
+}
+
+void
+printHeatmaps(const ObsStudy &study, int width, int height)
+{
+    const std::vector<std::string> dirs = {"east", "west", "north",
+                                           "south", "eject"};
+    for (const ObsRun &run : study.runs) {
+        // Common scale across directions so the asymmetry between
+        // them is visible; per-run scale so light algorithms are not
+        // washed out by heavy ones.
+        double peak = 0.0;
+        for (const ChannelUtilRow &row : run.report.channels)
+            peak = std::max(peak, row.utilization);
+
+        std::cout << "-- " << run.algorithm << " @ rate "
+                  << run.injection_rate
+                  << (run.result.saturated ? "  [saturated]" : "")
+                  << "  (peak channel utilization "
+                  << std::fixed << std::setprecision(3) << peak
+                  << " flits/cycle)\n";
+        for (const std::string &dir : dirs) {
+            const auto grid = utilizationGrid(run, dir, width, height);
+            std::cout << "   " << std::setw(6) << dir << "  ";
+            // Rows printed top-down: y grows northward.
+            for (int y = height - 1; y >= 0; --y) {
+                if (y != height - 1)
+                    std::cout << "           ";
+                for (int x = 0; x < width; ++x)
+                    std::cout << shade(
+                        grid[static_cast<std::size_t>(y)]
+                            [static_cast<std::size_t>(x)], peak);
+                std::cout << '\n';
+            }
+        }
+        // Aggregate per direction: the one-line summary of where the
+        // algorithm concentrates its traffic.
+        std::cout << "   per-direction flits:";
+        for (const std::string &dir : dirs) {
+            std::uint64_t flits = 0;
+            for (const ChannelUtilRow &row : run.report.channels)
+                if (row.dir == dir)
+                    flits += row.flits_forwarded;
+            std::cout << ' ' << dir << '=' << flits;
+        }
+        std::cout << "\n\n";
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int width = 8, height = 8;
+    std::string pattern = "transpose";
+    std::string algos = "xy,west-first";
+    double rate = 0.08;
+    std::string json_path, csv_path;
+    unsigned jobs = 0;
+    ExperimentSpec spec;
+    spec.sim.warmup_cycles = 3000;
+    spec.sim.measure_cycles = 10000;
+    ObsConfig obs;
+    obs.channel_counters = true;
+    obs.sample_stride = 0;   // Default set after --measure is known.
+    bool stride_given = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> const char * {
+            TM_ASSERT(i + 1 < argc, arg, " needs a value");
+            return argv[++i];
+        };
+        if (arg == "--mesh") {
+            const std::string dims = next();
+            const auto x = dims.find('x');
+            TM_ASSERT(x != std::string::npos, "expected WxH, got ",
+                      dims);
+            width = std::atoi(dims.substr(0, x).c_str());
+            height = std::atoi(dims.substr(x + 1).c_str());
+        } else if (arg == "--pattern") {
+            pattern = next();
+        } else if (arg == "--algos") {
+            algos = next();
+        } else if (arg == "--rate") {
+            rate = std::atof(next());
+        } else if (arg == "--warmup") {
+            spec.sim.warmup_cycles = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--measure") {
+            spec.sim.measure_cycles = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--stride") {
+            obs.sample_stride = std::strtoull(next(), nullptr, 10);
+            stride_given = true;
+        } else if (arg == "--trace") {
+            obs.trace_capacity = static_cast<std::size_t>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--json") {
+            json_path = next();
+        } else if (arg == "--csv") {
+            csv_path = next();
+        } else if (arg == "--jobs") {
+            jobs = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--seed") {
+            spec.sim.seed = std::strtoull(next(), nullptr, 10);
+        } else {
+            std::cerr
+                << "unknown option '" << arg << "'\n"
+                << "usage: " << argv[0]
+                << " [--mesh WxH] [--pattern NAME] [--algos a,b,...]"
+                   " [--rate R] [--warmup N] [--measure N]"
+                   " [--stride N] [--trace N] [--json PATH]"
+                   " [--csv PATH] [--jobs N] [--seed S]\n";
+            return 2;
+        }
+    }
+    if (!stride_given)
+        obs.sample_stride =
+            std::max<std::uint64_t>(1, spec.sim.measure_cycles / 50);
+
+    NDMesh mesh(Shape{width, height});
+    spec.name = "heatmap " + mesh.name() + " / " + pattern;
+    spec.topology = &mesh;
+    spec.pattern = pattern;
+    spec.algorithms = splitList(algos);
+
+    Runner runner(jobs);
+    const ObsStudy study = runner.runObs(spec, rate, obs);
+
+    std::cout << "== " << spec.name << " @ rate " << rate << " ==\n"
+              << "   shading: 0-9 = utilization / run peak, # = top"
+                 " band, . = no channel; rows top-down, north up\n\n";
+    printHeatmaps(study, width, height);
+
+    if (!json_path.empty())
+        ResultSink::writeObsJsonFile(json_path, study);
+    if (!csv_path.empty()) {
+        std::ofstream out(csv_path);
+        if (!out) {
+            TM_WARN("cannot write ", csv_path);
+        } else {
+            ResultSink::writeObsCsv(out, study);
+            std::cout << "wrote " << csv_path << '\n';
+        }
+    }
+    return 0;
+}

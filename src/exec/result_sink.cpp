@@ -3,7 +3,9 @@
 #include <fstream>
 #include <iostream>
 #include <ostream>
+#include <sstream>
 
+#include "util/csv.hpp"
 #include "util/json.hpp"
 #include "util/logging.hpp"
 
@@ -74,6 +76,85 @@ ResultSink::writeSummary(std::ostream &os, const ExperimentResult &result,
         if (base > 0.0)
             os << "  (" << t / base << "x)";
         os << '\n';
+    }
+}
+
+void
+ResultSink::writeObsJson(std::ostream &os, const ObsStudy &study)
+{
+    const std::ios::fmtflags flags = os.flags(std::ios::dec);
+    const std::streamsize precision = os.precision();
+
+    os << "{\"schema\": \"turnmodel-obs-study-v1\", \"experiment\": \""
+       << jsonEscape(study.experiment)
+       << "\", \"topology\": \"" << jsonEscape(study.topology)
+       << "\", \"pattern\": \"" << jsonEscape(study.pattern)
+       << "\", \"injection_rate\": ";
+    writeJsonNumber(os, study.injection_rate);
+    os << ", \"runs\": [";
+    for (std::size_t i = 0; i < study.runs.size(); ++i) {
+        const ObsRun &run = study.runs[i];
+        if (i > 0)
+            os << ", ";
+        os << "{\"algorithm\": \"" << jsonEscape(run.algorithm)
+           << "\", \"injection_rate\": ";
+        writeJsonNumber(os, run.injection_rate);
+        os << ", \"result\": {";
+        writeSimResultJson(os, run.result);
+        os << "}, \"obs\": ";
+        run.report.writeJson(os);
+        os << "}";
+    }
+    os << "]}\n";
+
+    os.flags(flags);
+    os.precision(precision);
+}
+
+bool
+ResultSink::writeObsJsonFile(const std::string &path,
+                             const ObsStudy &study)
+{
+    if (path.empty())
+        return true;
+    std::ofstream out(path);
+    if (!out) {
+        TM_WARN("cannot write ", path);
+        return false;
+    }
+    writeObsJson(out, study);
+    std::cout << "wrote " << path << '\n';
+    return true;
+}
+
+void
+ResultSink::writeObsCsv(std::ostream &os, const ObsStudy &study)
+{
+    CsvWriter csv(os);
+    csv.header({"experiment", "algorithm", "node", "coords", "dir",
+                "flits_forwarded", "busy_cycles", "blocked_cycles",
+                "peak_occupancy", "utilization"});
+    for (const ObsRun &run : study.runs) {
+        for (const ChannelUtilRow &row : run.report.channels) {
+            std::ostringstream coords;
+            for (std::size_t i = 0; i < row.coords.size(); ++i) {
+                if (i > 0)
+                    coords << ':';
+                coords << row.coords[i];
+            }
+            csv.beginRow()
+                .field(study.experiment)
+                .field(run.algorithm)
+                .field(static_cast<std::uint64_t>(row.node))
+                .field(coords.str())
+                .field(row.dir)
+                .field(row.flits_forwarded)
+                .field(row.busy_cycles)
+                .field(row.blocked_cycles)
+                .field(static_cast<std::uint64_t>(row.peak_occupancy))
+                .field(row.utilization);
+            csv.endRow();
+        }
     }
 }
 

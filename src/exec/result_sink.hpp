@@ -51,6 +51,24 @@ class ResultSink
     static void writeSummary(std::ostream &os,
                              const ExperimentResult &result,
                              const std::string &baseline);
+
+    /**
+     * JSON document for an observability study
+     * ("turnmodel-obs-study-v1"): the study header plus one entry per
+     * run carrying its SimResult and full ObsReport
+     * ("turnmodel-obs-v1", see DESIGN.md).
+     */
+    static void writeObsJson(std::ostream &os, const ObsStudy &study);
+
+    /** Write writeObsJson to @p path; same contract as writeJsonFile. */
+    static bool writeObsJsonFile(const std::string &path,
+                                 const ObsStudy &study);
+
+    /**
+     * Channel-utilization heatmap rows as CSV: one row per (run,
+     * channel), keyed by algorithm, node coordinates, and direction.
+     */
+    static void writeObsCsv(std::ostream &os, const ObsStudy &study);
 };
 
 } // namespace turnmodel

@@ -100,4 +100,52 @@ Runner::run(const ExperimentSpec &spec)
     return result;
 }
 
+ObsStudy
+Runner::runObs(const ExperimentSpec &spec, double rate,
+               const ObsConfig &obs)
+{
+    TM_ASSERT(spec.topology != nullptr, "spec needs a topology");
+    TM_ASSERT(!spec.algorithms.empty(), "spec needs algorithms");
+
+    const Topology &topo = *spec.topology;
+    const RoutingFactory make_routing = spec.make_routing
+        ? spec.make_routing
+        : [](const std::string &name, const Topology &t) {
+              return makeRouting(name, t);
+          };
+    const PatternPtr pattern = spec.make_pattern
+        ? spec.make_pattern(spec.pattern, topo)
+        : makePattern(spec.pattern, topo);
+
+    // Private routing instance per job, as in run(): turn-table
+    // reachability caches are not thread safe.
+    const std::size_t num_runs = spec.algorithms.size();
+    std::vector<RoutingPtr> routings(num_runs);
+    for (std::size_t a = 0; a < num_runs; ++a) {
+        routings[a] = make_routing(spec.algorithms[a], topo);
+        TM_ASSERT(routings[a] != nullptr,
+                  "no routing for '", spec.algorithms[a], "'");
+    }
+
+    ObsStudy study;
+    study.experiment = spec.name;
+    study.topology = topo.name();
+    study.pattern = spec.pattern;
+    study.injection_rate = rate;
+    study.runs.resize(num_runs);
+
+    pool_->parallelFor(num_runs, [&](std::size_t job) {
+        SimConfig sim = spec.sim;
+        sim.injection_rate = rate;
+        sim.obs = obs;
+        Simulator simulator(*routings[job], *pattern, sim);
+        ObsRun &run = study.runs[job];
+        run.algorithm = routings[job]->name();
+        run.injection_rate = rate;
+        run.result = simulator.run();
+        run.report = simulator.obsReport();
+    });
+    return study;
+}
+
 } // namespace turnmodel

@@ -24,6 +24,8 @@
 #include "exec/experiment.hpp"
 #include "exec/sweep.hpp"
 #include "exec/thread_pool.hpp"
+#include "obs/config.hpp"
+#include "obs/report.hpp"
 
 namespace turnmodel {
 
@@ -38,6 +40,29 @@ struct ExperimentResult
     double wall_seconds = 0.0;
     /** Worker threads used. */
     unsigned jobs = 0;
+};
+
+/** One observed run: an algorithm at one rate, with its obs data. */
+struct ObsRun
+{
+    std::string algorithm;
+    double injection_rate = 0.0;
+    SimResult result;
+    ObsReport report;
+};
+
+/**
+ * An observability study: every spec algorithm run once at one
+ * injection rate with the observers on, for side-by-side channel
+ * heatmaps (e.g. west-first vs xy hotspot asymmetry).
+ */
+struct ObsStudy
+{
+    std::string experiment;
+    std::string topology;
+    std::string pattern;
+    double injection_rate = 0.0;
+    std::vector<ObsRun> runs;   ///< In spec algorithm order.
 };
 
 /**
@@ -75,6 +100,15 @@ class Runner
      * reassembled in spec order regardless of completion order.
      */
     ExperimentResult run(const ExperimentSpec &spec);
+
+    /**
+     * Run every spec algorithm once at @p rate with observability
+     * @p obs enabled (one job per algorithm, same determinism
+     * contract as run()): results plus per-channel counters,
+     * time-series samples, and traces for each run.
+     */
+    ObsStudy runObs(const ExperimentSpec &spec, double rate,
+                    const ObsConfig &obs);
 
   private:
     std::unique_ptr<ThreadPool> pool_;

@@ -23,6 +23,30 @@ SweepSeries::maxSustainableThroughput() const
 }
 
 void
+writeSimResultJson(std::ostream &os, const SimResult &r)
+{
+    os << "\"offered_flits_per_us\": ";
+    writeJsonNumber(os, r.offered_flits_per_us);
+    os << ", \"throughput_flits_per_us\": ";
+    writeJsonNumber(os, r.throughput_flits_per_us);
+    os << ", \"latency_us\": ";
+    writeJsonNumber(os, r.avg_latency_us);
+    os << ", \"network_latency_us\": ";
+    writeJsonNumber(os, r.avg_network_latency_us);
+    os << ", \"p99_latency_us\": ";
+    writeJsonNumber(os, r.p99_latency_us);
+    os << ", \"p99_latency_clamped\": "
+       << (r.latency_p99_clamped ? "true" : "false")
+       << ", \"avg_hops\": ";
+    writeJsonNumber(os, r.avg_hops);
+    os << ", \"packets\": " << r.packets_measured
+       << ", \"delivered_ratio\": ";
+    writeJsonNumber(os, r.delivered_ratio);
+    os << ", \"saturated\": " << (r.saturated ? "true" : "false")
+       << ", \"deadlocked\": " << (r.deadlocked ? "true" : "false");
+}
+
+void
 SweepSeries::writeJson(std::ostream &os) const
 {
     // Undo any formatting (printSeries sets fixed/precision) so
@@ -38,27 +62,13 @@ SweepSeries::writeJson(std::ostream &os) const
     os << ", \"points\": [";
     for (std::size_t i = 0; i < points.size(); ++i) {
         const SweepPoint &p = points[i];
-        const SimResult &r = p.result;
         if (i > 0)
             os << ", ";
         os << "{\"injection_rate\": ";
         writeJsonNumber(os, p.injection_rate);
-        os << ", \"offered_flits_per_us\": ";
-        writeJsonNumber(os, r.offered_flits_per_us);
-        os << ", \"throughput_flits_per_us\": ";
-        writeJsonNumber(os, r.throughput_flits_per_us);
-        os << ", \"latency_us\": ";
-        writeJsonNumber(os, r.avg_latency_us);
-        os << ", \"network_latency_us\": ";
-        writeJsonNumber(os, r.avg_network_latency_us);
-        os << ", \"p99_latency_us\": ";
-        writeJsonNumber(os, r.p99_latency_us);
-        os << ", \"avg_hops\": ";
-        writeJsonNumber(os, r.avg_hops);
-        os << ", \"packets\": " << r.packets_measured
-           << ", \"saturated\": " << (r.saturated ? "true" : "false")
-           << ", \"deadlocked\": " << (r.deadlocked ? "true" : "false")
-           << "}";
+        os << ", ";
+        writeSimResultJson(os, p.result);
+        os << "}";
     }
     os << "]}";
 
@@ -150,7 +160,8 @@ printSeries(std::ostream &os, const std::string &experiment,
     csv.header({"experiment", "algorithm", "injection_rate",
                 "offered_flits_per_us", "throughput_flits_per_us",
                 "latency_us", "network_latency_us", "p99_latency_us",
-                "avg_hops", "packets", "saturated", "deadlocked"});
+                "p99_latency_clamped", "avg_hops", "packets",
+                "delivered_ratio", "saturated", "deadlocked"});
     for (const SweepSeries &s : series) {
         for (const SweepPoint &p : s.points) {
             const SimResult &r = p.result;
@@ -163,8 +174,10 @@ printSeries(std::ostream &os, const std::string &experiment,
                 .field(r.avg_latency_us)
                 .field(r.avg_network_latency_us)
                 .field(r.p99_latency_us)
+                .field(r.latency_p99_clamped ? 1 : 0)
                 .field(r.avg_hops)
                 .field(static_cast<std::uint64_t>(r.packets_measured))
+                .field(r.delivered_ratio)
                 .field(r.saturated ? 1 : 0)
                 .field(r.deadlocked ? 1 : 0);
             csv.endRow();

@@ -81,6 +81,15 @@ SweepSeries runSweep(const RoutingAlgorithm &routing,
                      const SweepConfig &config);
 
 /**
+ * Write the fields of one SimResult as JSON members (no surrounding
+ * braces), in the fixed order used by every result document:
+ * offered/throughput, latencies (with the p99 clamp flag), hops,
+ * packets, delivered_ratio, saturated, deadlocked. Callers supply
+ * the braces and any extra members (e.g. injection_rate).
+ */
+void writeSimResultJson(std::ostream &os, const SimResult &result);
+
+/**
  * Print a set of series as a human-readable table followed by a CSV
  * block, tagged with the experiment name.
  */

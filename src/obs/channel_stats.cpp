@@ -1,0 +1,21 @@
+#include "obs/channel_stats.hpp"
+
+#include <numeric>
+
+namespace turnmodel {
+
+ChannelStats::ChannelStats(std::size_t num_ports)
+    : flits_(num_ports, 0), busy_(num_ports, 0),
+      blocked_(num_ports, 0), last_forward_(num_ports, ~0ULL),
+      peak_occupancy_(num_ports, 0)
+{
+}
+
+std::uint64_t
+ChannelStats::totalFlitsForwarded() const
+{
+    return std::accumulate(flits_.begin(), flits_.end(),
+                           std::uint64_t{0});
+}
+
+} // namespace turnmodel

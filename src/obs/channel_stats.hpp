@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Per-channel counters for the simulation hot path: flits forwarded,
+ * cycles the channel was held by a packet (busy), cycles it was held
+ * without a flit crossing (blocked on the downstream buffer), and
+ * the peak occupancy of each input buffer. Storage is flat arrays
+ * indexed by the network's port id, so every recording call is a
+ * couple of array writes — cheap enough to leave on for whole
+ * sweeps, and completely absent (null observer) by default.
+ */
+
+#ifndef TURNMODEL_OBS_CHANNEL_STATS_HPP
+#define TURNMODEL_OBS_CHANNEL_STATS_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace turnmodel {
+
+/** Flat per-port counter arrays; ports are the Network's port ids. */
+class ChannelStats
+{
+  public:
+    /** @param num_ports Total ports (output and input ids coincide). */
+    explicit ChannelStats(std::size_t num_ports);
+
+    /** Count one observed cycle (call once per Network::step). */
+    void tick() { ++observed_cycles_; }
+
+    /** A flit crossed @p out_port on @p cycle. */
+    void recordForward(std::uint32_t out_port, std::uint64_t cycle)
+    {
+        ++flits_[out_port];
+        last_forward_[out_port] = cycle;
+    }
+
+    /**
+     * @p out_port is held by a packet this @p cycle. Counts busy, and
+     * blocked when no flit crossed the channel this cycle (waiting on
+     * downstream buffer space or an upstream bubble).
+     */
+    void recordHeld(std::uint32_t out_port, std::uint64_t cycle)
+    {
+        ++busy_[out_port];
+        if (last_forward_[out_port] != cycle)
+            ++blocked_[out_port];
+    }
+
+    /** Input buffer @p in_port now holds @p depth flits. */
+    void recordOccupancy(std::uint32_t in_port, std::size_t depth)
+    {
+        if (depth > peak_occupancy_[in_port])
+            peak_occupancy_[in_port] =
+                static_cast<std::uint32_t>(depth);
+    }
+
+    std::size_t numPorts() const { return flits_.size(); }
+    std::uint64_t observedCycles() const { return observed_cycles_; }
+    std::uint64_t flitsForwarded(std::uint32_t port) const
+    {
+        return flits_[port];
+    }
+    std::uint64_t busyCycles(std::uint32_t port) const
+    {
+        return busy_[port];
+    }
+    std::uint64_t blockedCycles(std::uint32_t port) const
+    {
+        return blocked_[port];
+    }
+    std::uint32_t peakOccupancy(std::uint32_t port) const
+    {
+        return peak_occupancy_[port];
+    }
+
+    /** Sum of flits forwarded over a set of ports is common enough in
+     * conservation checks to warrant a helper. */
+    std::uint64_t totalFlitsForwarded() const;
+
+  private:
+    std::vector<std::uint64_t> flits_;
+    std::vector<std::uint64_t> busy_;
+    std::vector<std::uint64_t> blocked_;
+    std::vector<std::uint64_t> last_forward_;
+    std::vector<std::uint32_t> peak_occupancy_;
+    std::uint64_t observed_cycles_ = 0;
+};
+
+} // namespace turnmodel
+
+#endif // TURNMODEL_OBS_CHANNEL_STATS_HPP

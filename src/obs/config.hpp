@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Observability knobs. All collection is off by default, and the
+ * simulator's default path stays allocation-free: a Network only
+ * constructs an observer when one of the knobs is set, and the hot
+ * loop guards every recording call behind a null pointer check.
+ */
+
+#ifndef TURNMODEL_OBS_CONFIG_HPP
+#define TURNMODEL_OBS_CONFIG_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+namespace turnmodel {
+
+/** What one simulation run should record beyond SimResult. */
+struct ObsConfig
+{
+    /**
+     * Per-channel counters (flits forwarded, cycles busy, cycles
+     * blocked while holding the channel, peak downstream buffer
+     * occupancy), accumulated in flat arrays indexed by channel id.
+     */
+    bool channel_counters = false;
+
+    /**
+     * Periodic time-series sampling stride in cycles: every stride
+     * cycles of the measurement window the driver closes one sample
+     * window recording throughput, latency mean/p99, and source
+     * queue depth. Zero disables the sampler.
+     */
+    std::uint64_t sample_stride = 0;
+
+    /**
+     * Capacity (events) of the bounded packet event trace ring
+     * buffer; older events are overwritten once full, keeping the
+     * most recent history for post-mortem deadlock analysis. Zero
+     * disables tracing.
+     */
+    std::size_t trace_capacity = 0;
+
+    /** Whether the network needs an observer at all. */
+    bool networkEnabled() const
+    {
+        return channel_counters || trace_capacity > 0;
+    }
+
+    /** Whether any collection (network or driver side) is on. */
+    bool any() const { return networkEnabled() || sample_stride > 0; }
+};
+
+} // namespace turnmodel
+
+#endif // TURNMODEL_OBS_CONFIG_HPP

@@ -1,0 +1,14 @@
+#include "obs/observer.hpp"
+
+namespace turnmodel {
+
+NetworkObserver::NetworkObserver(const ObsConfig &config,
+                                 std::size_t num_ports)
+{
+    if (config.channel_counters)
+        channels_.emplace(num_ports);
+    if (config.trace_capacity > 0)
+        trace_.emplace(config.trace_capacity);
+}
+
+} // namespace turnmodel

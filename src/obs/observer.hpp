@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The network-side observer: owns whichever collectors the ObsConfig
+ * enables (per-channel counters, packet event trace). A Network with
+ * observability off holds no observer at all, so the default hot
+ * path pays only null pointer checks and allocates nothing.
+ */
+
+#ifndef TURNMODEL_OBS_OBSERVER_HPP
+#define TURNMODEL_OBS_OBSERVER_HPP
+
+#include <optional>
+
+#include "obs/channel_stats.hpp"
+#include "obs/config.hpp"
+#include "obs/trace.hpp"
+
+namespace turnmodel {
+
+/** Bundle of the enabled network-side collectors. */
+class NetworkObserver
+{
+  public:
+    /**
+     * @param config    Which collectors to enable.
+     * @param num_ports Total network ports (for the counter arrays).
+     */
+    NetworkObserver(const ObsConfig &config, std::size_t num_ports);
+
+    ChannelStats *channels()
+    {
+        return channels_ ? &*channels_ : nullptr;
+    }
+    const ChannelStats *channels() const
+    {
+        return channels_ ? &*channels_ : nullptr;
+    }
+
+    PacketTrace *trace() { return trace_ ? &*trace_ : nullptr; }
+    const PacketTrace *trace() const
+    {
+        return trace_ ? &*trace_ : nullptr;
+    }
+
+  private:
+    std::optional<ChannelStats> channels_;
+    std::optional<PacketTrace> trace_;
+};
+
+} // namespace turnmodel
+
+#endif // TURNMODEL_OBS_OBSERVER_HPP

@@ -1,0 +1,101 @@
+#include "obs/report.hpp"
+
+#include <ostream>
+
+#include "util/json.hpp"
+
+namespace turnmodel {
+
+namespace {
+
+void
+writeCoords(std::ostream &os, const Coords &coords)
+{
+    os << '[';
+    for (std::size_t i = 0; i < coords.size(); ++i) {
+        if (i > 0)
+            os << ',';
+        os << coords[i];
+    }
+    os << ']';
+}
+
+void
+writeChannelRow(std::ostream &os, const ChannelUtilRow &row)
+{
+    os << "{\"node\": " << row.node << ", \"coords\": ";
+    writeCoords(os, row.coords);
+    os << ", \"dir\": \"" << jsonEscape(row.dir) << "\""
+       << ", \"flits_forwarded\": " << row.flits_forwarded
+       << ", \"busy_cycles\": " << row.busy_cycles
+       << ", \"blocked_cycles\": " << row.blocked_cycles
+       << ", \"peak_occupancy\": " << row.peak_occupancy
+       << ", \"utilization\": ";
+    writeJsonNumber(os, row.utilization);
+    os << "}";
+}
+
+void
+writeSample(std::ostream &os, const WindowSample &sample)
+{
+    os << "{\"start_cycle\": " << sample.start_cycle
+       << ", \"end_cycle\": " << sample.end_cycle
+       << ", \"flits_delivered\": " << sample.flits_delivered
+       << ", \"packets_completed\": " << sample.packets_completed
+       << ", \"latency_mean_cycles\": ";
+    writeJsonNumber(os, sample.latency_mean_cycles);
+    os << ", \"latency_max_cycles\": ";
+    writeJsonNumber(os, sample.latency_max_cycles);
+    os << ", \"latency_p99_cycles\": ";
+    writeJsonNumber(os, sample.latency_p99_cycles);
+    os << ", \"latency_p99_clamped\": "
+       << (sample.latency_p99_clamped ? "true" : "false")
+       << ", \"source_queue_packets\": " << sample.source_queue_packets
+       << "}";
+}
+
+void
+writeTraceEvent(std::ostream &os, const TraceEvent &event)
+{
+    os << "{\"cycle\": " << event.cycle
+       << ", \"packet\": " << event.packet
+       << ", \"kind\": \"" << toString(event.kind) << "\""
+       << ", \"node\": " << event.node << ", \"dir\": \"";
+    if (event.kind == TraceEventKind::Route)
+        os << jsonEscape(directionName(Direction::fromId(event.dir)));
+    else
+        os << "local";
+    os << "\"}";
+}
+
+} // namespace
+
+void
+ObsReport::writeJson(std::ostream &os) const
+{
+    os << "{\"schema\": \"turnmodel-obs-v1\", \"topology\": \""
+       << jsonEscape(topology)
+       << "\", \"observed_cycles\": " << observed_cycles
+       << ", \"channels\": [";
+    for (std::size_t i = 0; i < channels.size(); ++i) {
+        if (i > 0)
+            os << ", ";
+        writeChannelRow(os, channels[i]);
+    }
+    os << "], \"samples\": [";
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        if (i > 0)
+            os << ", ";
+        writeSample(os, samples[i]);
+    }
+    os << "], \"trace\": {\"dropped\": " << trace_dropped
+       << ", \"events\": [";
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        if (i > 0)
+            os << ", ";
+        writeTraceEvent(os, trace[i]);
+    }
+    os << "]}}";
+}
+
+} // namespace turnmodel

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Assembled observability data of one finished run, in exportable
+ * form: channel-utilization heatmap rows keyed by node coordinates
+ * and direction, the time-series sample windows, and the retained
+ * packet event trace. The JSON schema ("turnmodel-obs-v1") is
+ * documented in DESIGN.md and validated in CI by
+ * tools/validate_obs_schema.py.
+ */
+
+#ifndef TURNMODEL_OBS_REPORT_HPP
+#define TURNMODEL_OBS_REPORT_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/sampler.hpp"
+#include "obs/trace.hpp"
+#include "topology/coordinates.hpp"
+
+namespace turnmodel {
+
+/**
+ * One heatmap row: the counters of one channel, keyed by the source
+ * router's coordinates and the travel direction ("eject" for the
+ * local delivery channel).
+ */
+struct ChannelUtilRow
+{
+    NodeId node = 0;
+    Coords coords;
+    std::string dir;
+    std::uint64_t flits_forwarded = 0;
+    std::uint64_t busy_cycles = 0;
+    std::uint64_t blocked_cycles = 0;
+    std::uint32_t peak_occupancy = 0;   ///< Downstream input buffer.
+    double utilization = 0.0;           ///< Flits per observed cycle.
+};
+
+/** Everything one run's observers collected. */
+struct ObsReport
+{
+    std::string topology;
+    std::uint64_t observed_cycles = 0;
+    std::vector<ChannelUtilRow> channels;
+    std::vector<WindowSample> samples;
+    std::vector<TraceEvent> trace;
+    std::uint64_t trace_dropped = 0;
+
+    bool empty() const
+    {
+        return channels.empty() && samples.empty() && trace.empty();
+    }
+
+    /**
+     * Emit this report as one JSON object:
+     * {"schema": "turnmodel-obs-v1", "topology": ...,
+     *  "observed_cycles": N, "channels": [...], "samples": [...],
+     *  "trace": {"dropped": N, "events": [...]}}.
+     */
+    void writeJson(std::ostream &os) const;
+};
+
+} // namespace turnmodel
+
+#endif // TURNMODEL_OBS_REPORT_HPP

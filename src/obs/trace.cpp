@@ -1,0 +1,34 @@
+#include "obs/trace.hpp"
+
+#include "util/logging.hpp"
+
+namespace turnmodel {
+
+const char *
+toString(TraceEventKind kind)
+{
+    switch (kind) {
+      case TraceEventKind::Inject:  return "inject";
+      case TraceEventKind::Route:   return "route";
+      case TraceEventKind::Deliver: return "deliver";
+    }
+    return "?";
+}
+
+PacketTrace::PacketTrace(std::size_t capacity) : capacity_(capacity)
+{
+    TM_ASSERT(capacity >= 1, "trace ring needs capacity");
+    ring_.reserve(capacity);
+}
+
+std::vector<TraceEvent>
+PacketTrace::chronological() const
+{
+    std::vector<TraceEvent> out;
+    out.reserve(ring_.size());
+    for (std::size_t i = 0; i < ring_.size(); ++i)
+        out.push_back(ring_[(head_ + i) % ring_.size()]);
+    return out;
+}
+
+} // namespace turnmodel

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Bounded packet event trace: a fixed-capacity ring buffer of
+ * inject/route/deliver events. Once full, new events overwrite the
+ * oldest, so after a run (or a deadlock) the buffer holds the most
+ * recent history — exactly what a post-mortem needs to see which
+ * packets stopped making progress and where.
+ */
+
+#ifndef TURNMODEL_OBS_TRACE_HPP
+#define TURNMODEL_OBS_TRACE_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "topology/coordinates.hpp"
+#include "topology/direction.hpp"
+
+namespace turnmodel {
+
+/** What happened to a packet. */
+enum class TraceEventKind : std::uint8_t
+{
+    Inject,   ///< Header flit entered the network at its source.
+    Route,    ///< Header flit crossed a network channel.
+    Deliver,  ///< Tail flit consumed at the destination.
+};
+
+const char *toString(TraceEventKind kind);
+
+/** One traced packet event. */
+struct TraceEvent
+{
+    std::uint64_t cycle = 0;
+    std::int64_t packet = -1;  ///< PacketId of the subject packet.
+    NodeId node = 0;           ///< Router where the event happened.
+    DirId dir = 0;             ///< Travel direction (Route only).
+    TraceEventKind kind = TraceEventKind::Inject;
+};
+
+/** Fixed-capacity ring buffer of TraceEvents. */
+class PacketTrace
+{
+  public:
+    /** @param capacity Maximum retained events; must be >= 1. */
+    explicit PacketTrace(std::size_t capacity);
+
+    /** Append @p event, overwriting the oldest once full. */
+    void record(const TraceEvent &event)
+    {
+        if (ring_.size() < capacity_) {
+            ring_.push_back(event);
+        } else {
+            ring_[head_] = event;
+            head_ = (head_ + 1) % capacity_;
+            ++dropped_;
+        }
+    }
+
+    std::size_t capacity() const { return capacity_; }
+    std::size_t size() const { return ring_.size(); }
+
+    /** Events overwritten because the buffer was full. */
+    std::uint64_t dropped() const { return dropped_; }
+
+    /** Retained events in chronological order (oldest first). */
+    std::vector<TraceEvent> chronological() const;
+
+  private:
+    std::size_t capacity_;
+    std::size_t head_ = 0;  ///< Oldest element once the ring is full.
+    std::uint64_t dropped_ = 0;
+    std::vector<TraceEvent> ring_;
+};
+
+} // namespace turnmodel
+
+#endif // TURNMODEL_OBS_TRACE_HPP

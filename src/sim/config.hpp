@@ -14,6 +14,7 @@
 
 #include <cstdint>
 
+#include "obs/config.hpp"
 #include "traffic/workload.hpp"
 
 namespace turnmodel {
@@ -101,6 +102,13 @@ struct SimConfig
      * either way; disable only to exercise the virtual-dispatch path.
      */
     bool compiled_routing = true;
+
+    /**
+     * Observability collection (per-channel counters, time-series
+     * sampler, packet trace). All off by default; purely passive, so
+     * enabling it never changes a run's SimResult.
+     */
+    ObsConfig obs;
 
     /** Master seed; per-node streams derive from it. */
     std::uint64_t seed = 1;

@@ -22,11 +22,20 @@ struct SimResult
     double avg_latency_us = 0.0;         ///< Creation to tail delivery.
     double avg_network_latency_us = 0.0; ///< Injection to tail delivery.
     double p99_latency_us = 0.0;         ///< Tail of the distribution.
+    /**
+     * True when the p99 fell in the latency histogram's overflow bin:
+     * the reported p99_latency_us is only the measurement-window
+     * bound, not a measurement, and must not be plotted as one.
+     */
+    bool latency_p99_clamped = false;
     double avg_hops = 0.0;               ///< Header channel crossings.
     std::uint64_t packets_measured = 0;  ///< Completions in the window.
-    bool saturated = false;              ///< Source queues kept growing.
+    bool saturated = false;              ///< Load not sustainable.
     bool deadlocked = false;             ///< Stall watchdog tripped.
     double queue_growth_packets = 0.0;   ///< Per node over the window.
+    /** Delivered / offered load over the window; well below 1.0 means
+     * the network could not accept the offered traffic. */
+    double delivered_ratio = 0.0;
 };
 
 } // namespace turnmodel

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/report.hpp"
 #include "util/logging.hpp"
 
 namespace turnmodel {
@@ -44,6 +45,13 @@ Network::Network(const RoutingAlgorithm &routing,
             out_to_in_[inPortId(v, d.id())] =
                 static_cast<std::int32_t>(inPortId(*w, d.id()));
         }
+    }
+
+    if (config_.obs.networkEnabled()) {
+        obs_ = std::make_unique<NetworkObserver>(config_.obs,
+                                                 total_ports);
+        chan_stats_ = obs_->channels();
+        trace_sink_ = obs_->trace();
     }
 
     source_queues_.resize(topo_.numNodes());
@@ -93,6 +101,19 @@ Network::step()
     allocateOutputs();
     traverseFlits();
     injectFlits();
+
+    if (chan_stats_) {
+        // Busy/blocked accounting against this cycle's outcome: a
+        // held channel either forwarded a flit this cycle or spent
+        // the cycle blocked (downstream full or upstream bubble).
+        chan_stats_->tick();
+        const auto num_ports =
+            static_cast<std::uint32_t>(out_ports_.size());
+        for (std::uint32_t p = 0; p < num_ports; ++p) {
+            if (out_ports_[p].owner != kNoPacket)
+                chan_stats_->recordHeld(p, cycle_);
+        }
+    }
 
     // Deadlock watchdog: packets in the network but nothing moved.
     if (!moved_this_cycle_ && counters_.flits_in_network > 0)
@@ -296,6 +317,7 @@ Network::traverseFlits()
         Flit flit;
         std::uint32_t from;
         std::int32_t to;
+        std::uint32_t out;   ///< Output port the flit crossed.
     };
     std::vector<InFlight> in_flight;
     in_flight.reserve(moves.size());
@@ -311,13 +333,15 @@ Network::traverseFlits()
             in.cur_packet = kNoPacket;
             in.granted_out = -1;
         }
-        in_flight.push_back({flit, m.from, m.to});
+        in_flight.push_back({flit, m.from, m.to, out});
     }
 
     for (const InFlight &f : in_flight) {
         moved_this_cycle_ = true;
         PacketState &pkt = packets_.at(f.flit.packet);
         pkt.last_progress = cycle_;
+        if (chan_stats_)
+            chan_stats_->recordForward(f.out, cycle_);
         if (f.to < 0) {
             // Consumed at the destination.
             ++pkt.flits_delivered;
@@ -325,6 +349,10 @@ Network::traverseFlits()
             --counters_.flits_in_network;
             if (f.flit.tail) {
                 ++counters_.packets_delivered;
+                if (trace_sink_)
+                    trace_sink_->record({cycle_, f.flit.packet,
+                                         pkt.dest, 0,
+                                         TraceEventKind::Deliver});
                 completions_.push_back({f.flit.packet, pkt.src, pkt.dest,
                                         pkt.length, pkt.hops, pkt.created,
                                         pkt.injected,
@@ -342,11 +370,18 @@ Network::traverseFlits()
                       next.cur_packet == f.flit.packet,
                   "two packets interleaved in one buffer");
         next.fifo.push_back(f.flit);
+        if (chan_stats_)
+            chan_stats_->recordOccupancy(to, next.fifo.size());
         if (f.flit.head) {
             next.cur_packet = f.flit.packet;
             next.header_arrival = cycle_;
             ++pkt.hops;
             ++counters_.header_hops;
+            if (trace_sink_)
+                trace_sink_->record({cycle_, f.flit.packet,
+                                     routerOf(f.from),
+                                     static_cast<DirId>(localOf(to)),
+                                     TraceEventKind::Route});
         }
         markActive(to);
     }
@@ -398,6 +433,9 @@ Network::injectFlits()
             in.cur_packet = id;
             in.header_arrival = cycle_;
             pkt.injected = static_cast<double>(cycle_);
+            if (trace_sink_)
+                trace_sink_->record({cycle_, id, v, 0,
+                                     TraceEventKind::Inject});
         }
         if (flit.tail)
             queue.pop_front();
@@ -549,6 +587,52 @@ Network::sourceQueuePackets() const
     for (const auto &q : source_queues_)
         total += q.size();
     return total;
+}
+
+void
+Network::fillObsReport(ObsReport &report) const
+{
+    if (chan_stats_) {
+        report.observed_cycles = chan_stats_->observedCycles();
+        const double cycles =
+            static_cast<double>(chan_stats_->observedCycles());
+        const auto row_for = [&](NodeId v, std::uint32_t out,
+                                 std::string dir,
+                                 std::uint32_t peak) {
+            ChannelUtilRow row;
+            row.node = v;
+            row.coords = topo_.coords(v);
+            row.dir = std::move(dir);
+            row.flits_forwarded = chan_stats_->flitsForwarded(out);
+            row.busy_cycles = chan_stats_->busyCycles(out);
+            row.blocked_cycles = chan_stats_->blockedCycles(out);
+            row.peak_occupancy = peak;
+            row.utilization = cycles > 0.0
+                ? static_cast<double>(row.flits_forwarded) / cycles
+                : 0.0;
+            return row;
+        };
+        for (NodeId v = 0; v < topo_.numNodes(); ++v) {
+            for (Direction d : allDirections(topo_.numDims())) {
+                if (!topo_.neighbor(v, d))
+                    continue;
+                const std::uint32_t out = inPortId(v, d.id());
+                const std::int32_t down = out_to_in_[out];
+                report.channels.push_back(row_for(
+                    v, out, directionName(d),
+                    chan_stats_->peakOccupancy(
+                        static_cast<std::uint32_t>(down))));
+            }
+            // The local delivery channel: consumed immediately, so
+            // it has no downstream buffer to peak-track.
+            report.channels.push_back(
+                row_for(v, inPortId(v, localPort()), "eject", 0));
+        }
+    }
+    if (trace_sink_) {
+        report.trace = trace_sink_->chronological();
+        report.trace_dropped = trace_sink_->dropped();
+    }
 }
 
 } // namespace turnmodel

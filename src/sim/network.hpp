@@ -26,12 +26,14 @@
 #define TURNMODEL_SIM_NETWORK_HPP
 
 #include <deque>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "core/routing.hpp"
 #include "core/routing/compiled.hpp"
+#include "obs/observer.hpp"
 #include "sim/config.hpp"
 #include "sim/packet.hpp"
 #include "sim/selection.hpp"
@@ -39,6 +41,8 @@
 #include "traffic/workload.hpp"
 
 namespace turnmodel {
+
+struct ObsReport;
 
 /** Running counters exposed to the measurement driver. */
 struct NetworkCounters
@@ -130,6 +134,17 @@ class Network
 
     const Topology &topology() const { return topo_; }
 
+    /** The observer, or nullptr when observability is off. */
+    const NetworkObserver *observer() const { return obs_.get(); }
+
+    /**
+     * Append what this network's observer collected — channel
+     * heatmap rows (keyed by router coordinates and direction, with
+     * "eject" rows for the delivery channels) and the packet event
+     * trace — to @p report. No-op when observability is off.
+     */
+    void fillObsReport(ObsReport &report) const;
+
   private:
     // ----- port indexing ---------------------------------------------
     /** Ports per router: 2n channel ports plus the local port. */
@@ -219,6 +234,13 @@ class Network
 
     NetworkCounters counters_;
     std::vector<Completion> completions_;
+
+    /** Null when observability is off (the default). The raw
+     * collector pointers are cached so the hot loop pays one branch,
+     * not two indirections, per recording site. */
+    std::unique_ptr<NetworkObserver> obs_;
+    ChannelStats *chan_stats_ = nullptr;
+    PacketTrace *trace_sink_ = nullptr;
 };
 
 } // namespace turnmodel

@@ -37,11 +37,13 @@ Simulator::run()
                            static_cast<double>(config_.measure_cycles),
                            2048);
 
-    for (std::uint64_t c = 0; c < config_.measure_cycles; ++c) {
-        network_.step();
-        if (network_.deadlockDetected())
-            break;
-        for (const Completion &done : network_.drainCompletions()) {
+    if (config_.obs.sample_stride > 0) {
+        sampler_.emplace(network_.now(), config_.obs.sample_stride,
+                         static_cast<double>(config_.measure_cycles));
+    }
+
+    const auto absorb = [&](const std::vector<Completion> &batch) {
+        for (const Completion &done : batch) {
             // Only packets created after warmup contribute to the
             // latency statistics; throughput counts every flit.
             if (done.created < measure_start)
@@ -51,7 +53,29 @@ Simulator::run()
             latency_hist.add(lat);
             net_latency.add(done.delivered - done.injected);
             hops.add(static_cast<double>(done.hops));
+            if (sampler_)
+                sampler_->onCompletion(lat);
         }
+    };
+
+    for (std::uint64_t c = 0; c < config_.measure_cycles; ++c) {
+        network_.step();
+        if (network_.deadlockDetected())
+            break;
+        absorb(network_.drainCompletions());
+        if (sampler_) {
+            sampler_->onCycle(network_.now(),
+                              network_.counters().flits_delivered,
+                              network_.sourceQueuePackets());
+        }
+    }
+    // The deadlock break above skips the in-loop drain, losing any
+    // completions the tripping cycle produced; collect them here.
+    absorb(network_.drainCompletions());
+    if (sampler_) {
+        sampler_->finish(network_.now(),
+                         network_.counters().flits_delivered,
+                         network_.sourceQueuePackets());
     }
 
     const double measured_cycles =
@@ -68,7 +92,8 @@ Simulator::run()
         window_us > 0.0 ? static_cast<double>(delivered) / window_us : 0.0;
     result.avg_latency_us = latency.mean() * cycle_us;
     result.avg_network_latency_us = net_latency.mean() * cycle_us;
-    result.p99_latency_us = latency_hist.quantile(0.99) * cycle_us;
+    result.p99_latency_us =
+        latency_hist.quantile(0.99, &result.latency_p99_clamped) * cycle_us;
     result.avg_hops = hops.mean();
     result.packets_measured = latency.count();
     result.deadlocked = network_.deadlockDetected();
@@ -79,13 +104,39 @@ Simulator::run()
         : 0.0;
     result.queue_growth_packets = growth
         / static_cast<double>(network_.topology().numNodes());
+    const double num_nodes =
+        static_cast<double>(network_.topology().numNodes());
+    const double offered_flits =
+        config_.injection_rate * num_nodes * measured_cycles;
+    result.delivered_ratio = offered_flits > 0.0
+        ? static_cast<double>(delivered) / offered_flits
+        : 1.0;
     // Sustainable while the backlog stays small and bounded: flag
     // saturation when the average source queue grew by more than two
-    // packets per node over the window, or when hardly anything was
-    // delivered relative to the offered load.
+    // packets per node over the window, or when the network delivered
+    // well below the offered load (catches short windows where the
+    // absolute queue growth has not yet crossed the threshold). The
+    // ratio criterion only applies once the shortfall exceeds one
+    // average packet per node — at light loads a few packets still in
+    // flight at the window boundary dominate the ratio.
+    const double shortfall =
+        offered_flits - static_cast<double>(delivered);
     result.saturated = result.queue_growth_packets > 2.0
+        || (result.delivered_ratio < 0.75
+            && shortfall > num_nodes * config_.lengths.mean())
         || result.deadlocked;
     return result;
+}
+
+ObsReport
+Simulator::obsReport() const
+{
+    ObsReport report;
+    report.topology = network_.topology().name();
+    network_.fillObsReport(report);
+    if (sampler_)
+        report.samples = sampler_->samples();
+    return report;
 }
 
 } // namespace turnmodel

@@ -10,6 +10,10 @@
 #ifndef TURNMODEL_SIM_SIMULATOR_HPP
 #define TURNMODEL_SIM_SIMULATOR_HPP
 
+#include <optional>
+
+#include "obs/report.hpp"
+#include "obs/sampler.hpp"
 #include "sim/metrics.hpp"
 #include "sim/network.hpp"
 
@@ -33,9 +37,18 @@ class Simulator
     /** The underlying network (inspectable after run()). */
     const Network &network() const { return network_; }
 
+    /**
+     * Everything the run's observers collected (per SimConfig::obs):
+     * channel heatmap rows, time-series samples, packet trace.
+     * Empty when observability was off or run() has not executed.
+     */
+    ObsReport obsReport() const;
+
   private:
     SimConfig config_;
     Network network_;
+    /** Engaged during run() when config.obs.sample_stride > 0. */
+    std::optional<TimeSeriesSampler> sampler_;
 };
 
 } // namespace turnmodel

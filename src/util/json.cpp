@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <ostream>
 
 namespace turnmodel {
@@ -38,10 +39,19 @@ jsonEscape(const std::string &text)
 void
 writeJsonNumber(std::ostream &os, double value)
 {
-    if (std::isfinite(value))
-        os << value;
-    else
+    if (!std::isfinite(value)) {
         os << "null";
+        return;
+    }
+    // max_digits10 significant digits guarantee the emitted decimal
+    // parses back to the exact same double; the stream's own
+    // precision (default 6) silently truncates latencies.
+    const std::ios::fmtflags flags = os.flags(std::ios::dec);
+    const std::streamsize precision =
+        os.precision(std::numeric_limits<double>::max_digits10);
+    os << value;
+    os.flags(flags);
+    os.precision(precision);
 }
 
 } // namespace turnmodel

@@ -23,7 +23,10 @@ std::string jsonEscape(const std::string &text);
 
 /**
  * Write @p value as a JSON number, or "null" when it is NaN or
- * infinite. Does not disturb the stream's formatting state.
+ * infinite. Finite values are emitted with max_digits10 significant
+ * digits so they round-trip to the exact same double regardless of
+ * the stream's own precision. Does not disturb the stream's
+ * formatting state.
  */
 void writeJsonNumber(std::ostream &os, double value);
 

@@ -119,15 +119,21 @@ Histogram::binLow(std::size_t i) const
 }
 
 double
-Histogram::quantile(double q) const
+Histogram::quantile(double q, bool *clamped) const
 {
     TM_ASSERT(q >= 0.0 && q <= 1.0, "quantile must be in [0,1]");
+    if (clamped)
+        *clamped = false;
     if (total_ == 0)
         return lo_;
     const double target = q * static_cast<double>(total_);
     double cum = static_cast<double>(underflow_);
-    if (cum >= target && underflow_ > 0)
+    if (cum >= target && underflow_ > 0) {
+        // The true value is below lo_; lo_ is only a bound.
+        if (clamped)
+            *clamped = true;
         return lo_;
+    }
     for (std::size_t i = 0; i < counts_.size(); ++i) {
         const double next = cum + static_cast<double>(counts_[i]);
         if (next >= target && counts_[i] > 0) {
@@ -137,6 +143,10 @@ Histogram::quantile(double q) const
         }
         cum = next;
     }
+    // The quantile landed in the overflow bin: the true value is at
+    // least hi_ and was not measured.
+    if (clamped)
+        *clamped = overflow_ > 0;
     return hi_;
 }
 

@@ -76,10 +76,14 @@ class Histogram
 
     /**
      * Approximate quantile (0 <= q <= 1) by linear interpolation
-     * within the containing bin. Returns the range bounds when the
-     * quantile falls in an under/overflow bin.
+     * within the containing bin. When the quantile falls in an
+     * under/overflow bin the true value lies outside [lo, hi) and
+     * only the range bound can be returned; @p clamped (when
+     * non-null) is set so callers can distinguish that sentinel from
+     * a genuine measurement instead of reporting a plausible-looking
+     * number.
      */
-    double quantile(double q) const;
+    double quantile(double q, bool *clamped = nullptr) const;
 
   private:
     double lo_;

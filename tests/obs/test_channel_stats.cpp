@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Unit tests for the per-channel counter arrays, plus the flit
+ * conservation law they must obey when wired into a Network: every
+ * flit of every delivered packet crosses exactly `hops` network
+ * channels and one ejection channel, so the counters must sum to the
+ * hops-weighted (respectively plain) flit totals of the completions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/routing/factory.hpp"
+#include "obs/channel_stats.hpp"
+#include "obs/report.hpp"
+#include "sim/network.hpp"
+#include "topology/mesh.hpp"
+
+namespace turnmodel {
+namespace {
+
+TEST(ChannelStats, CountsForwardsPerPort)
+{
+    ChannelStats stats(4);
+    stats.recordForward(1, 10);
+    stats.recordForward(1, 11);
+    stats.recordForward(3, 10);
+    EXPECT_EQ(stats.flitsForwarded(0), 0u);
+    EXPECT_EQ(stats.flitsForwarded(1), 2u);
+    EXPECT_EQ(stats.flitsForwarded(3), 1u);
+    EXPECT_EQ(stats.totalFlitsForwarded(), 3u);
+}
+
+TEST(ChannelStats, BusySplitsIntoBlockedByForwardStamp)
+{
+    ChannelStats stats(2);
+    // Cycle 5: held and forwarding — busy but not blocked.
+    stats.recordForward(0, 5);
+    stats.recordHeld(0, 5);
+    // Cycle 6: held with no flit crossing — busy and blocked.
+    stats.recordHeld(0, 6);
+    EXPECT_EQ(stats.busyCycles(0), 2u);
+    EXPECT_EQ(stats.blockedCycles(0), 1u);
+}
+
+TEST(ChannelStats, PeakOccupancyIsMaximum)
+{
+    ChannelStats stats(2);
+    stats.recordOccupancy(1, 2);
+    stats.recordOccupancy(1, 5);
+    stats.recordOccupancy(1, 3);
+    EXPECT_EQ(stats.peakOccupancy(1), 5u);
+    EXPECT_EQ(stats.peakOccupancy(0), 0u);
+}
+
+TEST(ChannelStats, TickCountsObservedCycles)
+{
+    ChannelStats stats(1);
+    stats.tick();
+    stats.tick();
+    EXPECT_EQ(stats.observedCycles(), 2u);
+}
+
+// ----- conservation against a live network ---------------------------
+
+class SilentPattern : public TrafficPattern
+{
+  public:
+    std::optional<NodeId> destination(NodeId, Rng &) const override
+    {
+        return std::nullopt;
+    }
+    std::string name() const override { return "silent"; }
+    bool isDeterministic() const override { return true; }
+};
+
+TEST(ChannelStats, NetworkCountersConserveFlits)
+{
+    NDMesh mesh = NDMesh::mesh2D(4, 4);
+    RoutingPtr routing = makeRouting("xy", mesh);
+    SilentPattern pattern;
+    SimConfig config;
+    config.obs.channel_counters = true;
+    Network net(*routing, pattern, config);
+
+    // A mixed batch: different sources, destinations, lengths, and
+    // hop counts.
+    net.post(mesh.node({0, 0}), mesh.node({3, 3}), 7);
+    net.post(mesh.node({3, 0}), mesh.node({0, 2}), 1);
+    net.post(mesh.node({1, 2}), mesh.node({2, 2}), 12);
+    net.post(mesh.node({2, 3}), mesh.node({2, 0}), 3);
+
+    std::vector<Completion> done;
+    while (net.now() < 2000) {
+        net.step();
+        for (auto &c : net.drainCompletions())
+            done.push_back(c);
+        if (net.counters().flits_in_network == 0 &&
+            net.sourceQueuePackets() == 0) {
+            break;
+        }
+    }
+    ASSERT_EQ(done.size(), 4u);
+
+    std::uint64_t hop_weighted = 0;
+    std::uint64_t flits = 0;
+    for (const Completion &c : done) {
+        hop_weighted += static_cast<std::uint64_t>(c.length) * c.hops;
+        flits += c.length;
+    }
+
+    ObsReport report;
+    net.fillObsReport(report);
+    std::uint64_t network_flits = 0;
+    std::uint64_t eject_flits = 0;
+    for (const ChannelUtilRow &row : report.channels) {
+        if (row.dir == "eject")
+            eject_flits += row.flits_forwarded;
+        else
+            network_flits += row.flits_forwarded;
+    }
+    // Every flit crosses `hops` network channels and one ejection
+    // channel — the conservation law of the counter layer.
+    EXPECT_EQ(network_flits, hop_weighted);
+    EXPECT_EQ(eject_flits, flits);
+}
+
+TEST(ChannelStats, PeakOccupancyBoundedByBufferDepth)
+{
+    NDMesh mesh = NDMesh::mesh2D(4, 4);
+    RoutingPtr routing = makeRouting("xy", mesh);
+    SilentPattern pattern;
+    SimConfig config;
+    config.buffer_depth = 2;
+    config.obs.channel_counters = true;
+    Network net(*routing, pattern, config);
+    // Cross traffic through the mesh center to force contention.
+    for (int i = 0; i < 4; ++i) {
+        net.post(mesh.node({0, i}), mesh.node({3, i}), 20);
+        net.post(mesh.node({i, 0}), mesh.node({i, 3}), 20);
+    }
+    while (net.now() < 3000 &&
+           (net.counters().flits_in_network > 0 ||
+            net.sourceQueuePackets() > 0 ||
+            net.counters().packets_delivered < 8)) {
+        net.step();
+    }
+    ObsReport report;
+    net.fillObsReport(report);
+    std::uint32_t peak = 0;
+    for (const ChannelUtilRow &row : report.channels)
+        peak = std::max(peak, row.peak_occupancy);
+    EXPECT_GT(peak, 0u);
+    EXPECT_LE(peak, config.buffer_depth);
+}
+
+} // namespace
+} // namespace turnmodel

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Integration tests of the observability layer: enabling it must not
+ * change simulation results by a single byte, the parallel obs study
+ * must be deterministic at any job count, and the exported report
+ * must have the advertised shape (one row per directed mesh channel
+ * plus one eject row per node).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "core/routing/factory.hpp"
+#include "exec/result_sink.hpp"
+#include "exec/runner.hpp"
+#include "topology/mesh.hpp"
+
+namespace turnmodel {
+namespace {
+
+ExperimentSpec
+obsSpec(const Topology &topo)
+{
+    ExperimentSpec spec;
+    spec.name = "obs-integration";
+    spec.topology = &topo;
+    spec.pattern = "transpose";
+    spec.algorithms = {"xy", "west-first"};
+    spec.injection_rates = {0.02, 0.05};
+    spec.sim.warmup_cycles = 500;
+    spec.sim.measure_cycles = 1500;
+    return spec;
+}
+
+std::string
+seriesJson(const ExperimentResult &result)
+{
+    std::ostringstream os;
+    writeSeriesJson(os, result.experiment, result.series);
+    return os.str();
+}
+
+std::string
+obsJson(const ObsStudy &study)
+{
+    std::ostringstream os;
+    ResultSink::writeObsJson(os, study);
+    return os.str();
+}
+
+TEST(ObsIntegration, SweepBytesIdenticalWithObservabilityOn)
+{
+    NDMesh mesh = NDMesh::mesh2D(6, 6);
+    const ExperimentSpec off = obsSpec(mesh);
+
+    ExperimentSpec on = obsSpec(mesh);
+    on.sim.obs.channel_counters = true;
+    on.sim.obs.sample_stride = 100;
+    on.sim.obs.trace_capacity = 512;
+
+    Runner runner(4);
+    EXPECT_EQ(seriesJson(runner.run(off)), seriesJson(runner.run(on)));
+}
+
+TEST(ObsIntegration, ObsStudyByteIdenticalAcrossJobCounts)
+{
+    NDMesh mesh = NDMesh::mesh2D(6, 6);
+    const ExperimentSpec spec = obsSpec(mesh);
+    ObsConfig obs;
+    obs.channel_counters = true;
+    obs.sample_stride = 200;
+    obs.trace_capacity = 128;
+
+    const std::string serial =
+        obsJson(Runner(1).runObs(spec, 0.05, obs));
+    EXPECT_EQ(serial, obsJson(Runner(4).runObs(spec, 0.05, obs)));
+    EXPECT_EQ(serial, obsJson(Runner(8).runObs(spec, 0.05, obs)));
+}
+
+TEST(ObsIntegration, ReportHasOneRowPerDirectedChannelPlusEject)
+{
+    NDMesh mesh = NDMesh::mesh2D(4, 4);
+    ExperimentSpec spec = obsSpec(mesh);
+    spec.algorithms = {"xy"};
+    ObsConfig obs;
+    obs.channel_counters = true;
+
+    const ObsStudy study = Runner(1).runObs(spec, 0.05, obs);
+    ASSERT_EQ(study.runs.size(), 1u);
+    const ObsReport &report = study.runs[0].report;
+
+    // 4x4 mesh: 2*(3*4 + 4*3) = 48 directed network channels plus 16
+    // ejection channels.
+    EXPECT_EQ(report.channels.size(), 64u);
+    std::size_t ejects = 0;
+    std::set<std::pair<NodeId, std::string>> keys;
+    for (const ChannelUtilRow &row : report.channels) {
+        EXPECT_LT(row.node, 16u);
+        ASSERT_EQ(row.coords.size(), 2u);
+        EXPECT_GE(row.coords[0], 0);
+        EXPECT_LT(row.coords[0], 4);
+        EXPECT_GE(row.coords[1], 0);
+        EXPECT_LT(row.coords[1], 4);
+        EXPECT_GE(row.utilization, 0.0);
+        EXPECT_LE(row.utilization, 1.0);
+        EXPECT_LE(row.blocked_cycles, row.busy_cycles);
+        if (row.dir == "eject")
+            ++ejects;
+        keys.insert({row.node, row.dir});
+    }
+    EXPECT_EQ(ejects, 16u);
+    // (node, dir) keys are unique.
+    EXPECT_EQ(keys.size(), report.channels.size());
+    EXPECT_EQ(report.observed_cycles,
+              spec.sim.warmup_cycles + spec.sim.measure_cycles);
+}
+
+TEST(ObsIntegration, StudyJsonCarriesSchemaAndRuns)
+{
+    NDMesh mesh = NDMesh::mesh2D(4, 4);
+    ExperimentSpec spec = obsSpec(mesh);
+    ObsConfig obs;
+    obs.channel_counters = true;
+    obs.sample_stride = 500;
+
+    const ObsStudy study = Runner(2).runObs(spec, 0.05, obs);
+    const std::string json = obsJson(study);
+    EXPECT_NE(json.find("\"schema\": \"turnmodel-obs-study-v1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"schema\": \"turnmodel-obs-v1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"algorithm\": \"xy\""), std::string::npos);
+    EXPECT_NE(json.find("\"algorithm\": \"west-first\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"delivered_ratio\""), std::string::npos);
+    EXPECT_NE(json.find("\"p99_latency_clamped\""), std::string::npos);
+
+    std::ostringstream csv;
+    ResultSink::writeObsCsv(csv, study);
+    // Header plus one row per (run, channel).
+    std::size_t lines = 0;
+    for (char c : csv.str())
+        lines += c == '\n' ? 1 : 0;
+    EXPECT_EQ(lines, 1u + 2u * 64u);
+}
+
+TEST(ObsIntegration, DefaultConfigBuildsNoObserver)
+{
+    NDMesh mesh = NDMesh::mesh2D(4, 4);
+    RoutingPtr routing = makeRouting("xy", mesh);
+    PatternPtr pattern = makePattern("uniform", mesh);
+    SimConfig config;
+    config.warmup_cycles = 100;
+    config.measure_cycles = 200;
+    Simulator sim(*routing, *pattern, config);
+    (void)sim.run();
+    EXPECT_EQ(sim.network().observer(), nullptr);
+    EXPECT_TRUE(sim.obsReport().empty());
+}
+
+} // namespace
+} // namespace turnmodel

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests for the bounded packet event trace: ring-buffer mechanics in
+ * isolation, and the inject/route/deliver event stream a Network
+ * emits for a packet with a known path.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/routing/factory.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "sim/network.hpp"
+#include "topology/mesh.hpp"
+
+namespace turnmodel {
+namespace {
+
+TraceEvent
+event(std::uint64_t cycle, std::int64_t packet)
+{
+    TraceEvent e;
+    e.cycle = cycle;
+    e.packet = packet;
+    return e;
+}
+
+TEST(PacketTrace, KeepsEverythingUnderCapacity)
+{
+    PacketTrace trace(4);
+    trace.record(event(1, 10));
+    trace.record(event(2, 11));
+    EXPECT_EQ(trace.size(), 2u);
+    EXPECT_EQ(trace.dropped(), 0u);
+    const auto events = trace.chronological();
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].cycle, 1u);
+    EXPECT_EQ(events[1].cycle, 2u);
+}
+
+TEST(PacketTrace, OverwritesOldestOnceFull)
+{
+    PacketTrace trace(3);
+    for (std::uint64_t c = 1; c <= 5; ++c)
+        trace.record(event(c, static_cast<std::int64_t>(c)));
+    EXPECT_EQ(trace.size(), 3u);
+    EXPECT_EQ(trace.dropped(), 2u);
+    const auto events = trace.chronological();
+    ASSERT_EQ(events.size(), 3u);
+    // The three newest survive, oldest first.
+    EXPECT_EQ(events[0].cycle, 3u);
+    EXPECT_EQ(events[1].cycle, 4u);
+    EXPECT_EQ(events[2].cycle, 5u);
+}
+
+TEST(TraceEventKind, Names)
+{
+    EXPECT_STREQ(toString(TraceEventKind::Inject), "inject");
+    EXPECT_STREQ(toString(TraceEventKind::Route), "route");
+    EXPECT_STREQ(toString(TraceEventKind::Deliver), "deliver");
+}
+
+// ----- against a live network ----------------------------------------
+
+class SilentPattern : public TrafficPattern
+{
+  public:
+    std::optional<NodeId> destination(NodeId, Rng &) const override
+    {
+        return std::nullopt;
+    }
+    std::string name() const override { return "silent"; }
+    bool isDeterministic() const override { return true; }
+};
+
+TEST(PacketTrace, NetworkEmitsInjectRouteDeliverSequence)
+{
+    NDMesh mesh = NDMesh::mesh2D(4, 4);
+    RoutingPtr routing = makeRouting("xy", mesh);
+    SilentPattern pattern;
+    SimConfig config;
+    config.obs.trace_capacity = 64;
+    Network net(*routing, pattern, config);
+
+    const NodeId src = mesh.node({0, 0});
+    const NodeId dst = mesh.node({2, 1});
+    const PacketId id = net.post(src, dst, 4);
+
+    std::vector<Completion> done;
+    while (net.now() < 500 && done.empty()) {
+        net.step();
+        for (auto &c : net.drainCompletions())
+            done.push_back(c);
+    }
+    ASSERT_EQ(done.size(), 1u);
+
+    ObsReport report;
+    net.fillObsReport(report);
+    ASSERT_FALSE(report.trace.empty());
+    EXPECT_EQ(report.trace_dropped, 0u);
+
+    std::size_t injects = 0, routes = 0, delivers = 0;
+    for (const TraceEvent &e : report.trace) {
+        EXPECT_EQ(e.packet, static_cast<std::int64_t>(id));
+        switch (e.kind) {
+        case TraceEventKind::Inject:
+            ++injects;
+            EXPECT_EQ(e.node, src);
+            break;
+        case TraceEventKind::Route:
+            ++routes;
+            break;
+        case TraceEventKind::Deliver:
+            ++delivers;
+            EXPECT_EQ(e.node, dst);
+            break;
+        }
+    }
+    EXPECT_EQ(injects, 1u);
+    EXPECT_EQ(delivers, 1u);
+    // One route event per header channel crossing.
+    EXPECT_EQ(routes, done[0].hops);
+
+    // Chronological: inject first, deliver last.
+    EXPECT_EQ(report.trace.front().kind, TraceEventKind::Inject);
+    EXPECT_EQ(report.trace.back().kind, TraceEventKind::Deliver);
+    for (std::size_t i = 1; i < report.trace.size(); ++i)
+        EXPECT_GE(report.trace[i].cycle, report.trace[i - 1].cycle);
+}
+
+TEST(PacketTrace, RingKeepsMostRecentHistoryUnderOverflow)
+{
+    NDMesh mesh = NDMesh::mesh2D(4, 4);
+    RoutingPtr routing = makeRouting("xy", mesh);
+    SilentPattern pattern;
+    SimConfig config;
+    config.obs.trace_capacity = 8;   // Far smaller than the event count.
+    Network net(*routing, pattern, config);
+
+    for (int i = 0; i < 4; ++i)
+        net.post(mesh.node({0, i}), mesh.node({3, i}), 6);
+    while (net.now() < 1000 && net.counters().packets_delivered < 4)
+        net.step();
+
+    ObsReport report;
+    net.fillObsReport(report);
+    EXPECT_EQ(report.trace.size(), 8u);
+    EXPECT_GT(report.trace_dropped, 0u);
+    // The last event of the run must still be present.
+    EXPECT_EQ(report.trace.back().kind, TraceEventKind::Deliver);
+}
+
+} // namespace
+} // namespace turnmodel

@@ -7,9 +7,11 @@
 #include <gtest/gtest.h>
 
 #include "core/routing/factory.hpp"
+#include "core/routing/turn_table.hpp"
 #include "sim/simulator.hpp"
 #include "topology/mesh.hpp"
 #include "traffic/pattern.hpp"
+#include "traffic/permutation.hpp"
 
 namespace turnmodel {
 namespace {
@@ -112,6 +114,138 @@ TEST(Simulator, OfferedLoadFormula)
     Simulator sim(*routing, *pattern, quickConfig(0.05));
     const SimResult r = sim.run();
     EXPECT_DOUBLE_EQ(r.offered_flits_per_us, 64.0);
+}
+
+TEST(Simulator, SaturationFlaggedWhenQueueGrowthHeuristicMisses)
+{
+    // Over-driven transpose with a short window: the source backlog
+    // has not yet grown by two packets per node, so the queue-growth
+    // heuristic alone misses the saturation, but the network only
+    // delivers ~65% of the offered flits. The delivered/offered
+    // criterion must catch it.
+    NDMesh mesh = NDMesh::mesh2D(8, 8);
+    RoutingPtr routing = makeRouting("xy", mesh);
+    PatternPtr pattern = makePattern("transpose", mesh);
+    SimConfig cfg;
+    cfg.injection_rate = 0.26;
+    cfg.warmup_cycles = 1000;
+    cfg.measure_cycles = 1500;
+    Simulator sim(*routing, *pattern, cfg);
+    const SimResult r = sim.run();
+    ASSERT_FALSE(r.deadlocked);
+    // The scenario only regresses the old criterion if the queue
+    // heuristic indeed misses.
+    ASSERT_LT(r.queue_growth_packets, 2.0);
+    EXPECT_LT(r.delivered_ratio, 0.75);
+    EXPECT_TRUE(r.saturated);
+}
+
+TEST(Simulator, DeliveredRatioNearOneBelowSaturation)
+{
+    NDMesh mesh = NDMesh::mesh2D(8, 8);
+    RoutingPtr routing = makeRouting("xy", mesh);
+    PatternPtr pattern = makePattern("uniform", mesh);
+    SimConfig cfg = quickConfig(0.04);
+    cfg.measure_cycles = 8000;
+    Simulator sim(*routing, *pattern, cfg);
+    const SimResult r = sim.run();
+    EXPECT_GT(r.delivered_ratio, 0.85);
+    EXPECT_FALSE(r.saturated);
+}
+
+TEST(Simulator, P99UnclampedWhenHistogramCoversWindow)
+{
+    // The latency histogram spans the whole measurement window, and a
+    // measured packet cannot live longer than the window, so for a
+    // run that completes normally the p99 must be a real measurement.
+    NDMesh mesh = NDMesh::mesh2D(8, 8);
+    RoutingPtr routing = makeRouting("xy", mesh);
+    PatternPtr pattern = makePattern("uniform", mesh);
+    Simulator sim(*routing, *pattern, quickConfig(0.05));
+    const SimResult r = sim.run();
+    EXPECT_FALSE(r.latency_p99_clamped);
+    EXPECT_GE(r.p99_latency_us, r.avg_latency_us);
+}
+
+/** Quarter-rotation permutation: every packet turns the same way. */
+class RotationPattern : public PermutationTraffic
+{
+  public:
+    explicit RotationPattern(const Topology &topo)
+        : PermutationTraffic(topo)
+    {
+    }
+
+    NodeId map(NodeId src) const override
+    {
+        const Coords c = topo_.coords(src);
+        const int m = topo_.radix(0);
+        return topo_.node({c[1], m - 1 - c[0]});
+    }
+
+    std::string name() const override { return "rotation"; }
+};
+
+TEST(Simulator, CountsCompletionsDrainedOnDeadlockTripCycle)
+{
+    // Fully adaptive minimal routing under the rotation permutation
+    // deadlocks; with this seed the watchdog trips on a cycle that
+    // itself delivers a measurement-eligible packet. run() used to
+    // break out of the measurement loop before draining, losing that
+    // completion from the latency statistics.
+    NDMesh mesh = NDMesh::mesh2D(8, 8);
+    RotationPattern rotation(mesh);
+    SimConfig cfg;
+    cfg.injection_rate = 0.5;
+    cfg.seed = 1;
+    cfg.output_selection = OutputSelection::Random;
+    cfg.warmup_cycles = 1000;
+    cfg.measure_cycles = 60000;
+    cfg.deadlock_threshold = 2000;
+
+    const auto makeFullyAdaptive = [&]() {
+        TurnSet all(2);
+        all.allowAll90();
+        all.allowAllStraight();
+        return TurnTableRouting(mesh, all, true, "fully-adaptive");
+    };
+
+    // Reference: the same phases with an explicit drain after the
+    // deadlock break.
+    TurnTableRouting ref_routing = makeFullyAdaptive();
+    Network net(ref_routing, rotation, cfg);
+    for (std::uint64_t c = 0; c < cfg.warmup_cycles; ++c) {
+        net.step();
+        if (net.deadlockDetected())
+            break;
+    }
+    (void)net.drainCompletions();
+    const double measure_start = static_cast<double>(net.now());
+    std::uint64_t measured = 0;
+    std::uint64_t lost_on_trip = 0;
+    for (std::uint64_t c = 0; c < cfg.measure_cycles; ++c) {
+        net.step();
+        const bool tripped = net.deadlockDetected();
+        for (const Completion &done : net.drainCompletions()) {
+            if (done.created < measure_start)
+                continue;
+            ++measured;
+            if (tripped)
+                ++lost_on_trip;
+        }
+        if (tripped)
+            break;
+    }
+    ASSERT_TRUE(net.deadlockDetected());
+    // The scenario must actually deliver on the trip cycle, or it
+    // could not regress the missing drain.
+    ASSERT_GT(lost_on_trip, 0u);
+
+    TurnTableRouting sim_routing = makeFullyAdaptive();
+    Simulator sim(sim_routing, rotation, cfg);
+    const SimResult r = sim.run();
+    EXPECT_TRUE(r.deadlocked);
+    EXPECT_EQ(r.packets_measured, measured);
 }
 
 TEST(Simulator, HopsExceedOneOnAverage)

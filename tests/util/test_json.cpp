@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 #include <sstream>
 
@@ -61,6 +62,40 @@ TEST(Json, NumberWritesFiniteValues)
     os << ' ';
     writeJsonNumber(os, -3.0);
     EXPECT_EQ(os.str(), "1.5 -3");
+}
+
+TEST(Json, NumberRoundTripsDoublesExactly)
+{
+    // max_digits10 output must parse back to the identical bits —
+    // the old 6-significant-digit default silently rounded results.
+    const double values[] = {
+        1.0 / 3.0,
+        0.1,
+        123456.789012345,
+        3.0000000000000004,
+        std::numeric_limits<double>::denorm_min(),
+        std::numeric_limits<double>::max(),
+        -2.2250738585072014e-308,
+    };
+    for (const double v : values) {
+        std::ostringstream os;
+        writeJsonNumber(os, v);
+        const double back = std::strtod(os.str().c_str(), nullptr);
+        EXPECT_EQ(back, v) << "emitted '" << os.str() << "'";
+    }
+}
+
+TEST(Json, NumberIgnoresStreamPrecisionAndRestoresIt)
+{
+    std::ostringstream os;
+    os.precision(2);
+    os << std::fixed;
+    writeJsonNumber(os, 1.0 / 3.0);
+    const double back = std::strtod(os.str().c_str(), nullptr);
+    EXPECT_EQ(back, 1.0 / 3.0);
+    // The caller's formatting survives the call.
+    os << ' ' << 0.5;
+    EXPECT_NE(os.str().find(" 0.50"), std::string::npos);
 }
 
 TEST(Json, NumberMapsNonFiniteToNull)

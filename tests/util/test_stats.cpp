@@ -153,6 +153,45 @@ TEST(Histogram, QuantileEmpty)
     EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
 }
 
+TEST(Histogram, QuantileFlagsOverflowClamp)
+{
+    Histogram h(0.0, 100.0, 10);
+    for (int i = 0; i < 50; ++i)
+        h.add(50.0);      // In range.
+    for (int i = 0; i < 50; ++i)
+        h.add(1000.0);    // Overflow bin.
+    bool clamped = false;
+    // The p99 lives in the overflow bin: the returned value is only
+    // the histogram bound, and the flag must say so.
+    EXPECT_DOUBLE_EQ(h.quantile(0.99, &clamped), 100.0);
+    EXPECT_TRUE(clamped);
+    // The median is measured normally and must not be flagged.
+    EXPECT_NEAR(h.quantile(0.25, &clamped), 50.0, 10.0);
+    EXPECT_FALSE(clamped);
+}
+
+TEST(Histogram, QuantileFlagsUnderflowClamp)
+{
+    Histogram h(10.0, 100.0, 10);
+    for (int i = 0; i < 10; ++i)
+        h.add(1.0);       // Below lo: underflow bin.
+    for (int i = 0; i < 90; ++i)
+        h.add(50.0);
+    bool clamped = false;
+    EXPECT_DOUBLE_EQ(h.quantile(0.05, &clamped), 10.0);
+    EXPECT_TRUE(clamped);
+    EXPECT_NEAR(h.quantile(0.99, &clamped), 50.0, 10.0);
+    EXPECT_FALSE(clamped);
+}
+
+TEST(Histogram, QuantileClampPointerIsOptional)
+{
+    Histogram h(0.0, 10.0, 4);
+    h.add(100.0);
+    // Legacy single-argument form still works (and still clamps).
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 10.0);
+}
+
 TEST(Histogram, ResetClears)
 {
     Histogram h(0.0, 1.0, 2);

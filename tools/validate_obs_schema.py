@@ -1,0 +1,232 @@
+#!/usr/bin/env python3
+"""Validate a turnmodel observability JSON document against its schema.
+
+Checks a "turnmodel-obs-study-v1" document (ResultSink::writeObsJson)
+or a bare "turnmodel-obs-v1" report (ObsReport::writeJson): required
+keys and types, channel-row coordinate bounds, utilization ranges,
+monotonic non-overlapping sample windows, and chronological traces.
+With --mesh WxH it additionally checks the exact channel-row count:
+every interior edge in both directions plus one eject row per node.
+
+Usage: validate_obs_schema.py FILE [--mesh WxH]
+Exit status 0 on success; 1 with a message on the first violation.
+"""
+
+import argparse
+import json
+import sys
+
+DIRS = {"east", "west", "north", "south", "eject"}
+
+
+class Invalid(Exception):
+    pass
+
+
+def require(cond, msg):
+    if not cond:
+        raise Invalid(msg)
+
+
+def check_keys(obj, spec, where):
+    require(isinstance(obj, dict), f"{where}: expected object")
+    for key, types in spec.items():
+        require(key in obj, f"{where}: missing key '{key}'")
+        require(
+            isinstance(obj[key], types),
+            f"{where}: '{key}' has type {type(obj[key]).__name__}",
+        )
+
+
+def check_channel(row, i, mesh):
+    where = f"channels[{i}]"
+    check_keys(
+        row,
+        {
+            "node": int,
+            "coords": list,
+            "dir": str,
+            "flits_forwarded": int,
+            "busy_cycles": int,
+            "blocked_cycles": int,
+            "peak_occupancy": int,
+            "utilization": (int, float),
+        },
+        where,
+    )
+    require(row["dir"] in DIRS or row["dir"] == "local",
+            f"{where}: unknown dir '{row['dir']}'")
+    require(row["utilization"] >= 0.0,
+            f"{where}: negative utilization")
+    require(row["utilization"] <= 1.0 + 1e-9,
+            f"{where}: utilization {row['utilization']} > 1 "
+            "(more than one flit per cycle on one channel)")
+    for c in row["coords"]:
+        require(isinstance(c, int) and c >= 0,
+                f"{where}: bad coordinate {c}")
+    if mesh:
+        w, h = mesh
+        require(len(row["coords"]) == 2, f"{where}: expected 2D coords")
+        x, y = row["coords"]
+        require(x < w and y < h,
+                f"{where}: coords ({x},{y}) outside {w}x{h} mesh")
+
+
+def check_samples(samples):
+    prev_end = None
+    for i, s in enumerate(samples):
+        where = f"samples[{i}]"
+        check_keys(
+            s,
+            {
+                "start_cycle": int,
+                "end_cycle": int,
+                "flits_delivered": int,
+                "packets_completed": int,
+                "latency_mean_cycles": (int, float),
+                "latency_max_cycles": (int, float),
+                "latency_p99_cycles": (int, float),
+                "latency_p99_clamped": bool,
+                "source_queue_packets": int,
+            },
+            where,
+        )
+        require(s["start_cycle"] < s["end_cycle"],
+                f"{where}: empty or inverted window")
+        if prev_end is not None:
+            require(s["start_cycle"] == prev_end,
+                    f"{where}: window not contiguous with previous")
+        prev_end = s["end_cycle"]
+
+
+def check_trace(trace):
+    check_keys(trace, {"dropped": int, "events": list}, "trace")
+    prev_cycle = -1
+    for i, e in enumerate(trace["events"]):
+        where = f"trace.events[{i}]"
+        check_keys(
+            e,
+            {"cycle": int, "packet": int, "kind": str, "node": int,
+             "dir": str},
+            where,
+        )
+        require(e["kind"] in {"inject", "route", "deliver"},
+                f"{where}: unknown kind '{e['kind']}'")
+        require(e["cycle"] >= prev_cycle,
+                f"{where}: trace not chronological")
+        prev_cycle = e["cycle"]
+
+
+def check_report(report, mesh, where="report"):
+    check_keys(
+        report,
+        {
+            "schema": str,
+            "topology": str,
+            "observed_cycles": int,
+            "channels": list,
+            "samples": list,
+            "trace": dict,
+        },
+        where,
+    )
+    require(report["schema"] == "turnmodel-obs-v1",
+            f"{where}: schema is '{report['schema']}'")
+    for i, row in enumerate(report["channels"]):
+        check_channel(row, i, mesh)
+    if mesh and report["channels"]:
+        w, h = mesh
+        expect = 2 * ((w - 1) * h + w * (h - 1)) + w * h
+        require(
+            len(report["channels"]) == expect,
+            f"{where}: {len(report['channels'])} channel rows, "
+            f"expected {expect} for a {w}x{h} mesh",
+        )
+        ejects = sum(1 for r in report["channels"]
+                     if r["dir"] == "eject")
+        require(ejects == w * h,
+                f"{where}: {ejects} eject rows, expected {w * h}")
+    check_samples(report["samples"])
+    check_trace(report["trace"])
+
+
+def check_study(study, mesh):
+    check_keys(
+        study,
+        {
+            "schema": str,
+            "experiment": str,
+            "topology": str,
+            "pattern": str,
+            "injection_rate": (int, float),
+            "runs": list,
+        },
+        "study",
+    )
+    require(study["schema"] == "turnmodel-obs-study-v1",
+            f"study: schema is '{study['schema']}'")
+    require(study["runs"], "study: no runs")
+    for i, run in enumerate(study["runs"]):
+        where = f"runs[{i}]"
+        check_keys(
+            run,
+            {
+                "algorithm": str,
+                "injection_rate": (int, float),
+                "result": dict,
+                "obs": dict,
+            },
+            where,
+        )
+        check_keys(
+            run["result"],
+            {
+                "offered_flits_per_us": (int, float),
+                "throughput_flits_per_us": (int, float),
+                "latency_us": (int, float),
+                "p99_latency_us": (int, float),
+                "p99_latency_clamped": bool,
+                "packets": int,
+                "delivered_ratio": (int, float),
+                "saturated": bool,
+                "deadlocked": bool,
+            },
+            f"{where}.result",
+        )
+        check_report(run["obs"], mesh, where=f"{where}.obs")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("file")
+    parser.add_argument("--mesh", metavar="WxH",
+                        help="check channel count for a WxH mesh")
+    args = parser.parse_args()
+
+    mesh = None
+    if args.mesh:
+        w, h = args.mesh.lower().split("x")
+        mesh = (int(w), int(h))
+
+    with open(args.file) as fh:
+        doc = json.load(fh)
+
+    try:
+        schema = doc.get("schema") if isinstance(doc, dict) else None
+        if schema == "turnmodel-obs-study-v1":
+            check_study(doc, mesh)
+        elif schema == "turnmodel-obs-v1":
+            check_report(doc, mesh)
+        else:
+            raise Invalid(f"unrecognized schema '{schema}'")
+    except Invalid as err:
+        print(f"{args.file}: INVALID: {err}", file=sys.stderr)
+        return 1
+
+    runs = len(doc["runs"]) if "runs" in doc else 1
+    print(f"{args.file}: OK ({runs} run(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
