@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Microbenchmark of the cycle-level wormhole engine itself: how many
+ * simulated cycles (and flit-channel traversals) per wall-clock
+ * second Network::step() sustains. The figure sweeps (Figs. 13-16)
+ * spend essentially all of their time here, so this number bounds
+ * every experiment's turnaround. Scenarios cover the regimes that
+ * stress different parts of the hot loop: a 16x16 mesh under uniform
+ * traffic near saturation (dense move lists, long wormhole chains),
+ * the same mesh at light load (idle-skip path), transpose under an
+ * adaptive algorithm (multi-candidate routing decisions), and a
+ * double-y virtualized mesh (physical-channel arbitration).
+ *
+ * Self-timed (steady_clock over chunked cycles; no external
+ * benchmark dependency). `--json[=PATH]` emits machine-readable
+ * results; tools/perf_compare.py diffs two such files and the CI
+ * perf smoke job gates on the committed BENCH_sim.json baseline.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/routing/factory.hpp"
+#include "sim/network.hpp"
+#include "topology/mesh.hpp"
+#include "topology/virtual_channels.hpp"
+#include "traffic/pattern.hpp"
+#include "util/json.hpp"
+
+using namespace turnmodel;
+
+namespace {
+
+struct Scenario
+{
+    std::string name;
+    const Topology *topo;
+    std::string algorithm;
+    std::string pattern;
+    double rate;
+};
+
+struct Timing
+{
+    std::string name;
+    std::uint64_t cycles = 0;        ///< Timed cycles.
+    std::uint64_t flit_moves = 0;    ///< Traversals in the window.
+    double wall_seconds = 0.0;
+    double cycles_per_sec = 0.0;
+    double flit_moves_per_sec = 0.0;
+    double flit_moves_per_cycle = 0.0;
+};
+
+/**
+ * Warm the network into steady state, then time step() in chunks
+ * until at least @p min_seconds of wall clock have accumulated.
+ * Completions are drained into a reused buffer each chunk, exactly
+ * as the measurement driver does.
+ */
+Timing
+benchScenario(const Scenario &s, std::uint64_t warmup,
+              double min_seconds)
+{
+    using Clock = std::chrono::steady_clock;
+    const RoutingPtr routing = makeRouting(s.algorithm, *s.topo);
+    const PatternPtr pattern = makePattern(s.pattern, *s.topo);
+    SimConfig cfg;
+    cfg.injection_rate = s.rate;
+    Network net(*routing, *pattern, cfg);
+    std::vector<Completion> done;
+
+    for (std::uint64_t c = 0; c < warmup; ++c)
+        net.step();
+    net.drainCompletions(done);
+
+    constexpr std::uint64_t kChunk = 2000;
+    const std::uint64_t moves_before = net.counters().flit_moves;
+    Timing t;
+    t.name = s.name;
+    auto elapsed = Clock::duration::zero();
+    while (elapsed < std::chrono::duration<double>(min_seconds)) {
+        const auto t0 = Clock::now();
+        for (std::uint64_t c = 0; c < kChunk; ++c)
+            net.step();
+        net.drainCompletions(done);
+        elapsed += Clock::now() - t0;
+        t.cycles += kChunk;
+    }
+    t.flit_moves = net.counters().flit_moves - moves_before;
+    t.wall_seconds =
+        std::chrono::duration<double>(elapsed).count();
+    t.cycles_per_sec =
+        static_cast<double>(t.cycles) / t.wall_seconds;
+    t.flit_moves_per_sec =
+        static_cast<double>(t.flit_moves) / t.wall_seconds;
+    t.flit_moves_per_cycle = static_cast<double>(t.flit_moves)
+        / static_cast<double>(t.cycles);
+    return t;
+}
+
+void
+printText(const std::vector<Timing> &rows)
+{
+    std::cout << "== simulator hot-loop microbenchmark ==\n";
+    std::cout << std::left << std::setw(24) << "scenario"
+              << std::right << std::setw(14) << "cycles/sec"
+              << std::setw(16) << "flit-moves/sec"
+              << std::setw(13) << "moves/cycle\n";
+    for (const Timing &t : rows) {
+        std::cout << std::left << std::setw(24) << t.name
+                  << std::right << std::fixed << std::setprecision(0)
+                  << std::setw(14) << t.cycles_per_sec
+                  << std::setw(16) << t.flit_moves_per_sec
+                  << std::setprecision(2) << std::setw(13)
+                  << t.flit_moves_per_cycle << "\n";
+    }
+}
+
+void
+writeJson(std::ostream &os, const std::vector<Timing> &rows)
+{
+    os << "{\n  \"benchmark\": \"micro_sim\",\n  \"cases\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Timing &t = rows[i];
+        os << "    {\"name\": \"" << jsonEscape(t.name)
+           << "\", \"cycles\": " << t.cycles
+           << ", \"flit_moves\": " << t.flit_moves
+           << ", \"wall_seconds\": ";
+        writeJsonNumber(os, t.wall_seconds);
+        os << ", \"cycles_per_sec\": ";
+        writeJsonNumber(os, t.cycles_per_sec);
+        os << ", \"flit_moves_per_sec\": ";
+        writeJsonNumber(os, t.flit_moves_per_sec);
+        os << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool json = false;
+    std::string json_path;
+    std::string only;
+    std::uint64_t warmup = 3000;
+    double min_seconds = 1.0;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json") {
+            json = true;
+        } else if (arg.rfind("--json=", 0) == 0) {
+            json = true;
+            json_path = arg.substr(7);
+        } else if (arg == "--quick") {
+            warmup = 1000;
+            min_seconds = 0.25;
+        } else if (arg.rfind("--only=", 0) == 0) {
+            only = arg.substr(7);
+        } else {
+            std::cerr << "usage: micro_sim [--quick] "
+                         "[--only=NAME] [--json[=PATH]]\n";
+            return 2;
+        }
+    }
+
+    NDMesh mesh16 = NDMesh::mesh2D(16, 16);
+    VirtualizedMesh vmesh = VirtualizedMesh::doubleY(8, 8);
+    const std::vector<Scenario> scenarios = {
+        {"mesh16_uniform_sat", &mesh16, "xy", "uniform", 0.22},
+        {"mesh16_uniform_low", &mesh16, "xy", "uniform", 0.05},
+        {"mesh16_transpose_wf", &mesh16, "west-first", "transpose",
+         0.12},
+        {"vmesh8_mady_uniform", &vmesh, "mad-y", "uniform", 0.20},
+    };
+
+    std::vector<Timing> rows;
+    rows.reserve(scenarios.size());
+    for (const Scenario &s : scenarios) {
+        if (!only.empty() && s.name != only)
+            continue;
+        rows.push_back(benchScenario(s, warmup, min_seconds));
+    }
+    if (rows.empty()) {
+        std::cerr << "no scenario matches --only=" << only << "\n";
+        return 2;
+    }
+
+    printText(rows);
+    if (json) {
+        if (json_path.empty()) {
+            writeJson(std::cout, rows);
+        } else {
+            std::ofstream out(json_path);
+            if (!out) {
+                std::cerr << "cannot open " << json_path << "\n";
+                return 1;
+            }
+            writeJson(out, rows);
+            std::cout << "json written to " << json_path << "\n";
+        }
+    }
+    return 0;
+}

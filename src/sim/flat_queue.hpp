@@ -1,0 +1,69 @@
+/**
+ * @file
+ * A flat ring-buffer FIFO. std::deque allocates and frees fixed-size
+ * blocks as its ends cross block boundaries, so a source queue that
+ * cycles between empty and a few packets keeps touching the heap
+ * forever; this queue doubles its power-of-two backing store on
+ * overflow and never gives memory back, so steady-state push/pop is
+ * allocation-free once the high-water capacity is reached.
+ */
+
+#ifndef TURNMODEL_SIM_FLAT_QUEUE_HPP
+#define TURNMODEL_SIM_FLAT_QUEUE_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "util/logging.hpp"
+
+namespace turnmodel {
+
+/** Grow-only ring-buffer FIFO for trivially copyable elements. */
+template <typename T>
+class FlatQueue
+{
+  public:
+    bool empty() const { return count_ == 0; }
+    std::size_t size() const { return count_; }
+
+    const T &front() const
+    {
+        TM_ASSERT(count_ > 0, "front() of an empty FlatQueue");
+        return buf_[head_];
+    }
+
+    void push_back(const T &value)
+    {
+        if (count_ == buf_.size())
+            grow();
+        buf_[(head_ + count_) & (buf_.size() - 1)] = value;
+        ++count_;
+    }
+
+    void pop_front()
+    {
+        TM_ASSERT(count_ > 0, "pop_front() of an empty FlatQueue");
+        head_ = (head_ + 1) & (buf_.size() - 1);
+        --count_;
+    }
+
+  private:
+    void grow()
+    {
+        const std::size_t new_cap =
+            buf_.empty() ? 8 : buf_.size() * 2;
+        std::vector<T> next(new_cap);
+        for (std::size_t i = 0; i < count_; ++i)
+            next[i] = buf_[(head_ + i) & (buf_.size() - 1)];
+        buf_.swap(next);
+        head_ = 0;
+    }
+
+    std::vector<T> buf_;     ///< Power-of-two capacity.
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+};
+
+} // namespace turnmodel
+
+#endif // TURNMODEL_SIM_FLAT_QUEUE_HPP

@@ -24,15 +24,36 @@ Network::Network(const RoutingAlgorithm &routing,
                   "store-and-forward buffers must fit a whole packet");
     }
     ports_per_router_ = topo_.numDirs() + 1;
+    buffer_depth_ = config_.buffer_depth;
     const std::size_t total_ports =
         static_cast<std::size_t>(topo_.numNodes()) *
         static_cast<std::size_t>(ports_per_router_);
     in_ports_.resize(total_ports);
     out_ports_.resize(total_ports);
+    flit_slab_.resize(total_ports * buffer_depth_);
     out_to_in_.assign(total_ports, -1);
-    move_state_.assign(total_ports, 0);
-    move_stamp_.assign(total_ports, ~0ULL);
-    is_active_.assign(total_ports, false);
+    move_memo_.assign(total_ports, ~0ULL);
+    is_active_.assign(total_ports, 0);
+    head_waiting_.assign(total_ports, 0);
+    waiting_pos_.assign(total_ports, 0);
+    granted_.assign(total_ports, 0);
+    granted_out_port_.assign(total_ports, 0);
+    granted_target_.assign(total_ports, -1);
+    maybe_free_.assign(total_ports, 0);
+    bid_blocked_at_.assign(total_ports, 0);
+    out_freed_at_.assign(topo_.numNodes(), 0);
+    arb_move_into_.assign(total_ports, -1);
+    ordered_bid_scan_ =
+        config_.output_selection == OutputSelection::Random;
+
+    port_router_.resize(total_ports);
+    port_local_.resize(total_ports);
+    for (std::uint32_t p = 0; p < total_ports; ++p) {
+        port_router_[p] =
+            p / static_cast<std::uint32_t>(ports_per_router_);
+        port_local_[p] = static_cast<std::uint8_t>(
+            p % static_cast<std::uint32_t>(ports_per_router_));
+    }
 
     // Wire each output channel to the matching downstream input port:
     // a packet leaving router v in direction d arrives at neighbor w
@@ -47,6 +68,18 @@ Network::Network(const RoutingAlgorithm &routing,
         }
     }
 
+    if (topo_.hasSharedPhysicalChannels()) {
+        arb_key_.resize(total_ports);
+        for (std::uint32_t p = 0; p < total_ports; ++p) {
+            const int local = localOf(p);
+            if (local == localPort())
+                continue;   // Delivery channels are not multiplexed.
+            arb_key_[p] =
+                static_cast<std::uint64_t>(routerOf(p)) * 256u +
+                topo_.physicalChannelGroup(static_cast<DirId>(local));
+        }
+    }
+
     if (config_.obs.networkEnabled()) {
         obs_ = std::make_unique<NetworkObserver>(config_.obs,
                                                  total_ports);
@@ -55,11 +88,14 @@ Network::Network(const RoutingAlgorithm &routing,
     }
 
     source_queues_.resize(topo_.numNodes());
+    source_pending_.assign(topo_.numNodes(), 0);
     arrivals_.reserve(topo_.numNodes());
+    arrival_due_.reserve(topo_.numNodes());
     for (NodeId v = 0; v < topo_.numNodes(); ++v) {
         arrivals_.emplace_back(config_.injection_rate,
                                config_.lengths.mean(),
                                Rng::forStream(config_.seed, v + 1));
+        arrival_due_.push_back(arrivals_.back().nextDue());
     }
 }
 
@@ -70,24 +106,42 @@ Network::inPortId(NodeId router, int local) const
         + static_cast<std::uint32_t>(local);
 }
 
-NodeId
-Network::routerOf(std::uint32_t port) const
+void
+Network::fifoPush(std::uint32_t port, const Flit &flit)
 {
-    return port / static_cast<std::uint32_t>(ports_per_router_);
+    InPort &in = in_ports_[port];
+    std::uint32_t idx = in.fifo_head + in.fifo_size;
+    if (idx >= buffer_depth_)
+        idx -= buffer_depth_;
+    flit_slab_[port * buffer_depth_ + idx] = flit;
+    ++in.fifo_size;
+    // A header only ever enters an empty, unbound buffer (one packet
+    // per buffer), so it is at the front and unrouted right now.
+    if (flit.head) {
+        head_waiting_[port] = 1;
+        waiting_pos_[port] =
+            static_cast<std::uint32_t>(waiting_list_.size());
+        waiting_list_.push_back(port);
+    }
 }
 
-int
-Network::localOf(std::uint32_t port) const
+Flit
+Network::fifoPop(std::uint32_t port)
 {
-    return static_cast<int>(
-        port % static_cast<std::uint32_t>(ports_per_router_));
+    InPort &in = in_ports_[port];
+    const Flit flit = flit_slab_[port * buffer_depth_ + in.fifo_head];
+    ++in.fifo_head;
+    if (in.fifo_head >= buffer_depth_)
+        in.fifo_head = 0;
+    --in.fifo_size;
+    return flit;
 }
 
 void
 Network::markActive(std::uint32_t port)
 {
     if (!is_active_[port]) {
-        is_active_[port] = true;
+        is_active_[port] = 1;
         active_ports_.push_back(port);
     }
 }
@@ -110,7 +164,7 @@ Network::step()
         const auto num_ports =
             static_cast<std::uint32_t>(out_ports_.size());
         for (std::uint32_t p = 0; p < num_ports; ++p) {
-            if (out_ports_[p].owner != kNoPacket)
+            if (out_ports_[p].owner != kNoSlot)
                 chan_stats_->recordHeld(p, cycle_);
         }
     }
@@ -134,27 +188,86 @@ Network::generateMessages()
 {
     const double now = static_cast<double>(cycle_);
     for (NodeId v = 0; v < topo_.numNodes(); ++v) {
+        // The flat due-time mirror keeps the every-cycle scan off
+        // the (much larger) ArrivalProcess records.
+        if (arrival_due_[v] > now)
+            continue;
         ArrivalProcess &proc = arrivals_[v];
-        while (proc.due(now)) {
+        do {
             proc.advance();
             const auto dest = pattern_.destination(v, proc.rng());
             if (!dest)
                 continue;   // Self-directed; never enters the network.
             const std::uint32_t length =
                 config_.lengths.sample(proc.rng());
-            PacketState pkt;
+            const PacketSlot slot = packets_.allocate();
+            if (slot >= progress_.size())
+                progress_.resize(slot + 1);
+            PacketState &pkt = packets_[slot];
+            pkt.id = next_packet_id_++;
             pkt.src = v;
             pkt.dest = *dest;
             pkt.length = length;
             pkt.created = now;
-            const PacketId id = next_packet_id_++;
-            packets_.emplace(id, pkt);
-            source_queues_[v].push_back(id);
+            source_queues_[v].push_back(slot);
+            source_pending_[v] = 1;
             ++counters_.packets_generated;
             counters_.flits_generated += length;
             counters_.source_queue_flits += length;
-        }
+        } while (proc.due(now));
+        arrival_due_[v] = proc.nextDue();
     }
+}
+
+void
+Network::gatherBid(std::uint32_t port)
+{
+    const InPort &in = in_ports_[port];
+    const Flit &flit = fifoFront(port);
+    TM_ASSERT(in.fifo_size > 0 && in.granted_out == -1 && flit.head,
+              "head_waiting_ flag out of sync");
+    const PacketState &pkt = packets_[flit.slot];
+    // Store-and-forward: the header may not request an output
+    // until every flit of the packet sits in this buffer.
+    if (config_.switching == Switching::StoreAndForward &&
+        in.fifo_size < pkt.length) {
+        return;
+    }
+    const NodeId here = routerOf(port);
+    const int local = localOf(port);
+
+    std::uint32_t preferred;
+    if (pkt.dest == here) {
+        // Eject through the local delivery channel.
+        const std::uint32_t eject = inPortId(here, localPort());
+        if (out_ports_[eject].owner != kNoSlot) {
+            bid_blocked_at_[port] = cycle_ + 1;
+            return;
+        }
+        preferred = eject;
+    } else {
+        const std::optional<Direction> in_dir =
+            local == localPort()
+                ? std::nullopt
+                : std::make_optional(
+                      Direction::fromId(static_cast<DirId>(local)));
+        DirectionSet candidates;
+        for (Direction d : decider_->routeSet(here, in_dir,
+                                              pkt.dest)) {
+            const std::uint32_t out = inPortId(here, d.id());
+            if (out_ports_[out].owner == kNoSlot)
+                candidates.insert(d);
+        }
+        if (candidates.empty()) {
+            bid_blocked_at_[port] = cycle_ + 1;
+            return;
+        }
+        const Direction pick = selectOutput(
+            config_.output_selection, candidates, in_dir,
+            router_rng_);
+        preferred = inPortId(here, pick.id());
+    }
+    bids_.push_back({preferred, {port, in.header_arrival}});
 }
 
 void
@@ -165,128 +278,97 @@ Network::allocateOutputs()
     // output its output-selection policy prefers among the free
     // candidates; the input-selection policy then picks one winner
     // per output.
-    struct Bid
-    {
-        std::uint32_t out_port;
-        InputRequest request;
+    // A header whose last attempt found every usable output busy is
+    // skipped until an output channel at its router is released.
+    const auto worthTrying = [this](std::uint32_t port) {
+        return out_freed_at_[port_router_[port]] >=
+            bid_blocked_at_[port];
     };
-    std::vector<Bid> bids;
-
-    for (std::uint32_t port : active_ports_) {
-        InPort &in = in_ports_[port];
-        if (in.fifo.empty() || in.granted_out != -1)
-            continue;
-        const Flit &flit = in.fifo.front();
-        if (!flit.head)
-            continue;
-        const PacketState &pkt = packets_.at(flit.packet);
-        // Store-and-forward: the header may not request an output
-        // until every flit of the packet sits in this buffer.
-        if (config_.switching == Switching::StoreAndForward &&
-            in.fifo.size() < pkt.length) {
-            continue;
+    bids_.clear();
+    if (ordered_bid_scan_) {
+        // Random output selection draws from router_rng_ per bid, so
+        // the gather must walk ports in the canonical active order.
+        for (std::uint32_t port : active_ports_) {
+            if (head_waiting_[port] && worthTrying(port))
+                gatherBid(port);
         }
-        const NodeId here = routerOf(port);
-        const int local = localOf(port);
-
-        std::uint32_t preferred;
-        if (pkt.dest == here) {
-            // Eject through the local delivery channel.
-            const std::uint32_t eject = inPortId(here, localPort());
-            if (out_ports_[eject].owner != kNoPacket)
-                continue;
-            preferred = eject;
-        } else {
-            const std::optional<Direction> in_dir =
-                local == localPort()
-                    ? std::nullopt
-                    : std::make_optional(
-                          Direction::fromId(static_cast<DirId>(local)));
-            DirectionSet candidates;
-            for (Direction d : decider_->routeSet(here, in_dir,
-                                                  pkt.dest)) {
-                const std::uint32_t out = inPortId(here, d.id());
-                if (out_ports_[out].owner == kNoPacket)
-                    candidates.insert(d);
-            }
-            if (candidates.empty())
-                continue;
-            const Direction pick = selectOutput(
-                config_.output_selection, candidates, in_dir,
-                router_rng_);
-            preferred = inPortId(here, pick.id());
+    } else {
+        // Deterministic policies consume no randomness while
+        // gathering, and bids_ is sorted before anything reads it,
+        // so the compact waiting list's order is unobservable.
+        for (std::uint32_t port : waiting_list_) {
+            if (worthTrying(port))
+                gatherBid(port);
         }
-        bids.push_back({preferred, {port, in.header_arrival}});
     }
 
     // Group bids by output port and arbitrate. Bids arrive grouped by
     // router order; sorting keeps the pass deterministic.
-    std::sort(bids.begin(), bids.end(),
+    std::sort(bids_.begin(), bids_.end(),
               [](const Bid &a, const Bid &b) {
                   if (a.out_port != b.out_port)
                       return a.out_port < b.out_port;
                   return a.request.in_port < b.request.in_port;
               });
     std::size_t i = 0;
-    std::vector<InputRequest> group;
-    while (i < bids.size()) {
-        group.clear();
-        const std::uint32_t out = bids[i].out_port;
-        while (i < bids.size() && bids[i].out_port == out)
-            group.push_back(bids[i++].request);
+    while (i < bids_.size()) {
+        bid_group_.clear();
+        const std::uint32_t out = bids_[i].out_port;
+        while (i < bids_.size() && bids_[i].out_port == out)
+            bid_group_.push_back(bids_[i++].request);
         const std::size_t win =
-            selectInput(config_.input_selection, group, router_rng_);
-        const std::uint32_t in_port = group[win].in_port;
+            selectInput(config_.input_selection, bid_group_,
+                        router_rng_);
+        const std::uint32_t in_port = bid_group_[win].in_port;
         InPort &in = in_ports_[in_port];
-        const PacketId pkt = in.fifo.front().packet;
-        out_ports_[out].owner = pkt;
+        out_ports_[out].owner = fifoFront(in_port).slot;
         in.granted_out = localOf(out);
+        granted_[in_port] = 1;
+        granted_out_port_[in_port] = out;
+        granted_target_[in_port] = out_to_in_[out];
+        head_waiting_[in_port] = 0;
+        const std::uint32_t pos = waiting_pos_[in_port];
+        const std::uint32_t last = waiting_list_.back();
+        waiting_list_[pos] = last;
+        waiting_pos_[last] = pos;
+        waiting_list_.pop_back();
     }
 }
 
 bool
-Network::headCanMove(std::uint32_t port)
+Network::headCanMoveCompute(std::uint32_t port)
 {
-    // Memoized per cycle; a dependency cycle (true deadlock among
-    // the flits trying to move) resolves to "cannot move".
-    if (move_stamp_[port] == cycle_) {
-        if (move_state_[port] == 1)
-            return false;   // On the recursion stack: cyclic wait.
-        return move_state_[port] == 2;
-    }
-    move_stamp_[port] = cycle_;
-    move_state_[port] = 1;
+    // A dependency cycle (true deadlock among the flits trying to
+    // move) resolves to "cannot move": a port found on the recursion
+    // stack (state 1) reads as "no" through the inline memo check.
+    move_memo_[port] = (cycle_ << 2) | 1;
 
     bool result = false;
     const InPort &in = in_ports_[port];
-    if (!in.fifo.empty() && in.granted_out != -1) {
-        const NodeId here = routerOf(port);
-        const std::uint32_t out = inPortId(here, in.granted_out);
-        const std::int32_t target = out_to_in_[out];
-        if (in.granted_out == localPort()) {
+    if (in.fifo_size > 0 && in.granted_out != -1) {
+        const std::int32_t target = granted_target_[port];
+        if (target < 0) {
             // Ejection: the destination consumes immediately.
             result = true;
         } else {
-            TM_ASSERT(target >= 0, "granted output has no downstream");
-            const InPort &next =
-                in_ports_[static_cast<std::uint32_t>(target)];
-            const Flit &flit = in.fifo.front();
-            if (next.fifo.size() <
-                static_cast<std::size_t>(config_.buffer_depth)) {
+            const auto target_port = static_cast<std::uint32_t>(target);
+            const InPort &next = in_ports_[target_port];
+            const Flit &flit = fifoFront(port);
+            if (next.fifo_size < buffer_depth_) {
                 // Space available now. Buffers hold one packet at a
                 // time, so a different packet may enter only an
                 // empty, unbound buffer.
-                result = next.cur_packet == kNoPacket
-                    || next.cur_packet == flit.packet;
-            } else if (headCanMove(static_cast<std::uint32_t>(target))) {
+                result = next.cur_slot == kNoSlot
+                    || next.cur_slot == flit.slot;
+            } else if (headCanMove(target_port)) {
                 // The slot freed this cycle can be used, subject to
                 // the same single-packet rule.
-                result = next.cur_packet == flit.packet
-                    || next.fifo.size() == 1;
+                result = next.cur_slot == flit.slot
+                    || next.fifo_size == 1;
             }
         }
     }
-    move_state_[port] = result ? 2 : 3;
+    move_memo_[port] = (cycle_ << 2) | (result ? 2u : 3u);
     return result;
 }
 
@@ -294,91 +376,93 @@ void
 Network::traverseFlits()
 {
     // Decide all moves against the cycle-start state, then apply.
-    std::vector<Move> moves;
+    moves_.clear();
     for (std::uint32_t port : active_ports_) {
+        // Ports without a grant can never move; one byte skips them
+        // without touching their InPort record or the (always-false)
+        // memo bookkeeping. A chained refill that needs an ungranted
+        // port's answer still computes it inside its own recursion.
+        if (!granted_[port])
+            continue;
         if (!headCanMove(port))
             continue;
-        const InPort &in = in_ports_[port];
-        const NodeId here = routerOf(port);
-        const std::uint32_t out = inPortId(here, in.granted_out);
-        moves.push_back({port,
-                         in.granted_out == localPort()
-                             ? -1
-                             : out_to_in_[out]});
+        moves_.push_back({port, granted_target_[port],
+                          granted_out_port_[port]});
     }
 
     if (topo_.hasSharedPhysicalChannels())
-        arbitratePhysicalChannels(moves);
+        arbitratePhysicalChannels();
 
     // Pop all moving flits first so same-cycle chained refills see
     // consistent state, then push them downstream.
-    struct InFlight
-    {
-        Flit flit;
-        std::uint32_t from;
-        std::int32_t to;
-        std::uint32_t out;   ///< Output port the flit crossed.
-    };
-    std::vector<InFlight> in_flight;
-    in_flight.reserve(moves.size());
-    for (const Move &m : moves) {
+    in_flight_.clear();
+    freed_candidates_ = 0;
+    for (const Move &m : moves_) {
         InPort &in = in_ports_[m.from];
-        const Flit flit = in.fifo.front();
-        in.fifo.pop_front();
-        const NodeId here = routerOf(m.from);
-        const std::uint32_t out = inPortId(here, in.granted_out);
+        const Flit flit = fifoPop(m.from);
         if (flit.tail) {
             // The tail releases the channel and the buffer binding.
-            out_ports_[out].owner = kNoPacket;
-            in.cur_packet = kNoPacket;
+            out_ports_[m.out].owner = kNoSlot;
+            in.cur_slot = kNoSlot;
             in.granted_out = -1;
+            granted_[m.from] = 0;
+            out_freed_at_[routerOf(m.from)] = cycle_ + 1;
+            // Only a departing tail can leave a port empty and
+            // unbound; remember the candidates so the active-list
+            // compaction below can skip everything else. (A chained
+            // refill may still re-fill this port before then.)
+            if (in.fifo_size == 0 && !maybe_free_[m.from]) {
+                maybe_free_[m.from] = 1;
+                ++freed_candidates_;
+            }
         }
-        in_flight.push_back({flit, m.from, m.to, out});
+        in_flight_.push_back({flit, m.from, m.to, m.out});
     }
 
-    for (const InFlight &f : in_flight) {
+    for (const InFlight &f : in_flight_) {
         moved_this_cycle_ = true;
-        PacketState &pkt = packets_.at(f.flit.packet);
-        pkt.last_progress = cycle_;
+        ++counters_.flit_moves;
+        progress_[f.flit.slot] = cycle_;
         if (chan_stats_)
             chan_stats_->recordForward(f.out, cycle_);
         if (f.to < 0) {
             // Consumed at the destination.
+            PacketState &pkt = packets_[f.flit.slot];
             ++pkt.flits_delivered;
             ++counters_.flits_delivered;
             --counters_.flits_in_network;
             if (f.flit.tail) {
                 ++counters_.packets_delivered;
                 if (trace_sink_)
-                    trace_sink_->record({cycle_, f.flit.packet,
+                    trace_sink_->record({cycle_, pkt.id,
                                          pkt.dest, 0,
                                          TraceEventKind::Deliver});
-                completions_.push_back({f.flit.packet, pkt.src, pkt.dest,
+                completions_.push_back({pkt.id, pkt.src, pkt.dest,
                                         pkt.length, pkt.hops, pkt.created,
                                         pkt.injected,
                                         static_cast<double>(cycle_)});
-                packets_.erase(f.flit.packet);
+                packets_.release(f.flit.slot);
             }
             continue;
         }
         const auto to = static_cast<std::uint32_t>(f.to);
         InPort &next = in_ports_[to];
-        TM_ASSERT(next.fifo.size() <
-                      static_cast<std::size_t>(config_.buffer_depth),
+        TM_ASSERT(next.fifo_size < buffer_depth_,
                   "flit pushed into a full buffer");
-        TM_ASSERT(next.cur_packet == kNoPacket ||
-                      next.cur_packet == f.flit.packet,
+        TM_ASSERT(next.cur_slot == kNoSlot ||
+                      next.cur_slot == f.flit.slot,
                   "two packets interleaved in one buffer");
-        next.fifo.push_back(f.flit);
+        fifoPush(to, f.flit);
         if (chan_stats_)
-            chan_stats_->recordOccupancy(to, next.fifo.size());
+            chan_stats_->recordOccupancy(to, next.fifo_size);
         if (f.flit.head) {
-            next.cur_packet = f.flit.packet;
+            PacketState &pkt = packets_[f.flit.slot];
+            next.cur_slot = f.flit.slot;
             next.header_arrival = cycle_;
             ++pkt.hops;
             ++counters_.header_hops;
             if (trace_sink_)
-                trace_sink_->record({cycle_, f.flit.packet,
+                trace_sink_->record({cycle_, pkt.id,
                                      routerOf(f.from),
                                      static_cast<DirId>(localOf(to)),
                                      TraceEventKind::Route});
@@ -387,17 +471,27 @@ Network::traverseFlits()
     }
 
     // Compact the active list: keep ports that still hold flits or
-    // are bound to a packet mid-stream.
-    std::size_t keep = 0;
-    for (std::uint32_t port : active_ports_) {
-        const InPort &in = in_ports_[port];
-        if (!in.fifo.empty() || in.cur_packet != kNoPacket) {
-            active_ports_[keep++] = port;
-        } else {
-            is_active_[port] = false;
+    // are bound to a packet mid-stream. Every port was in one of
+    // those states at cycle start, so only the tail-departure
+    // candidates recorded above can drop out; most cycles the scan
+    // is a byte sweep (or nothing at all).
+    if (freed_candidates_ > 0) {
+        std::size_t keep = 0;
+        for (std::uint32_t port : active_ports_) {
+            if (!maybe_free_[port]) {
+                active_ports_[keep++] = port;
+                continue;
+            }
+            maybe_free_[port] = 0;
+            const InPort &in = in_ports_[port];
+            if (in.fifo_size > 0 || in.cur_slot != kNoSlot) {
+                active_ports_[keep++] = port;
+            } else {
+                is_active_[port] = 0;
+            }
         }
+        active_ports_.resize(keep);
     }
-    active_ports_.resize(keep);
 }
 
 void
@@ -406,116 +500,124 @@ Network::injectFlits()
     // Runs after traversal so a single-flit injection buffer sustains
     // one flit per cycle, the injection channel's full bandwidth.
     for (NodeId v = 0; v < topo_.numNodes(); ++v) {
-        auto &queue = source_queues_[v];
-        if (queue.empty())
+        if (!source_pending_[v])
             continue;
+        auto &queue = source_queues_[v];
         const std::uint32_t port = inPortId(v, localPort());
         InPort &in = in_ports_[port];
-        if (in.fifo.size() >=
-            static_cast<std::size_t>(config_.buffer_depth)) {
+        if (in.fifo_size >= buffer_depth_)
             continue;
-        }
-        const PacketId id = queue.front();
-        PacketState &pkt = packets_.at(id);
-        if (in.cur_packet != kNoPacket && in.cur_packet != id)
+        const PacketSlot slot = queue.front();
+        PacketState &pkt = packets_[slot];
+        if (in.cur_slot != kNoSlot && in.cur_slot != slot)
             continue;   // Previous packet's tail still in the buffer.
         Flit flit;
-        flit.packet = id;
+        flit.slot = slot;
         flit.head = pkt.flits_injected == 0;
         flit.tail = pkt.flits_injected + 1 == pkt.length;
-        in.fifo.push_back(flit);
+        fifoPush(port, flit);
         ++pkt.flits_injected;
-        pkt.last_progress = cycle_;
+        progress_[slot] = cycle_;
         --counters_.source_queue_flits;
         ++counters_.flits_in_network;
+        ++counters_.flit_moves;
         moved_this_cycle_ = true;
         if (flit.head) {
-            in.cur_packet = id;
+            in.cur_slot = slot;
             in.header_arrival = cycle_;
             pkt.injected = static_cast<double>(cycle_);
             if (trace_sink_)
-                trace_sink_->record({cycle_, id, v, 0,
+                trace_sink_->record({cycle_, pkt.id, v, 0,
                                      TraceEventKind::Inject});
         }
-        if (flit.tail)
+        if (flit.tail) {
             queue.pop_front();
+            if (queue.empty())
+                source_pending_[v] = 0;
+        }
         markActive(port);
     }
 }
 
 void
-Network::arbitratePhysicalChannels(std::vector<Move> &moves)
+Network::arbitratePhysicalChannels()
 {
     // Virtual channels multiplex one physical wire: at most one flit
     // per (router, physical direction) per cycle. Conflicts keep the
     // move whose turn it is under a rotating priority; cancelling a
     // move also cancels, transitively, any move that was counting on
     // the slot it would have vacated.
-    std::unordered_map<std::uint64_t, std::vector<std::size_t>> groups;
-    for (std::size_t i = 0; i < moves.size(); ++i) {
-        const std::uint32_t from = moves[i].from;
-        const int local = in_ports_[from].granted_out;
-        if (local == localPort())
+    arb_groups_.clear();
+    for (std::uint32_t i = 0;
+         i < static_cast<std::uint32_t>(moves_.size()); ++i) {
+        if (moves_[i].to < 0)
             continue;   // Delivery channels are not multiplexed.
-        const NodeId here = routerOf(from);
-        const std::uint64_t key =
-            static_cast<std::uint64_t>(here) * 256u +
-            topo_.physicalChannelGroup(static_cast<DirId>(local));
-        groups[key].push_back(i);
+        arb_groups_.emplace_back(arb_key_[moves_[i].out], i);
+    }
+    // Sorting by (key, move index) forms the per-wire groups with
+    // members in move order, exactly as hash-grouping insertion
+    // order would.
+    std::sort(arb_groups_.begin(), arb_groups_.end());
+
+    arb_cancelled_.assign(moves_.size(), 0);
+    arb_worklist_.clear();
+    std::size_t i = 0;
+    while (i < arb_groups_.size()) {
+        std::size_t j = i;
+        while (j < arb_groups_.size() &&
+               arb_groups_[j].first == arb_groups_[i].first) {
+            ++j;
+        }
+        const std::size_t members = j - i;
+        if (members > 1) {
+            const std::size_t keep =
+                static_cast<std::size_t>(cycle_ % members);
+            for (std::size_t k = 0; k < members; ++k) {
+                if (k == keep)
+                    continue;
+                arb_cancelled_[arb_groups_[i + k].second] = 1;
+                arb_worklist_.push_back(arb_groups_[i + k].second);
+            }
+        }
+        i = j;
     }
 
-    std::vector<bool> cancelled(moves.size(), false);
-    std::deque<std::size_t> to_propagate;
-    for (auto &[key, members] : groups) {
-        if (members.size() <= 1)
-            continue;
-        const std::size_t keep = static_cast<std::size_t>(
-            cycle_ % members.size());
-        for (std::size_t j = 0; j < members.size(); ++j) {
-            if (j == keep)
+    if (!arb_worklist_.empty()) {
+        // Index moves by the buffer they enter, so cancellations can
+        // chase the chain upstream. The flat index is reset after
+        // use, so its cost is O(moves), not O(ports).
+        for (const Move &m : moves_) {
+            if (m.to >= 0)
+                arb_move_into_[m.to] = static_cast<std::int32_t>(
+                    &m - moves_.data());
+        }
+        for (std::size_t head = 0; head < arb_worklist_.size();
+             ++head) {
+            const std::uint32_t dead = arb_worklist_[head];
+            // The move entering the buffer `dead` was leaving needed
+            // its slot only if that buffer was full at cycle start.
+            const std::uint32_t buffer = moves_[dead].from;
+            if (in_ports_[buffer].fifo_size < buffer_depth_)
+                continue;   // The incoming move still has room.
+            const std::int32_t feeder = arb_move_into_[buffer];
+            if (feeder < 0 || arb_cancelled_[feeder])
                 continue;
-            cancelled[members[j]] = true;
-            to_propagate.push_back(members[j]);
+            arb_cancelled_[feeder] = 1;
+            arb_worklist_.push_back(
+                static_cast<std::uint32_t>(feeder));
         }
-    }
-
-    if (to_propagate.empty())
-        return;
-
-    // Index moves by the buffer they leave, so cancellations can
-    // chase the chain upstream.
-    std::unordered_map<std::uint32_t, std::size_t> move_out_of;
-    std::unordered_map<std::int32_t, std::size_t> move_into;
-    for (std::size_t i = 0; i < moves.size(); ++i) {
-        move_out_of[moves[i].from] = i;
-        if (moves[i].to >= 0)
-            move_into[moves[i].to] = i;
-    }
-    while (!to_propagate.empty()) {
-        const std::size_t dead = to_propagate.front();
-        to_propagate.pop_front();
-        // The move entering the buffer `dead` was leaving needed its
-        // slot only if that buffer was full at cycle start.
-        const std::uint32_t buffer = moves[dead].from;
-        const InPort &in = in_ports_[buffer];
-        if (in.fifo.size() <
-            static_cast<std::size_t>(config_.buffer_depth)) {
-            continue;   // The incoming move still has room.
+        for (const Move &m : moves_) {
+            if (m.to >= 0)
+                arb_move_into_[m.to] = -1;
         }
-        const auto it = move_into.find(static_cast<std::int32_t>(buffer));
-        if (it == move_into.end() || cancelled[it->second])
-            continue;
-        cancelled[it->second] = true;
-        to_propagate.push_back(it->second);
-    }
 
-    std::vector<Move> kept;
-    kept.reserve(moves.size());
-    for (std::size_t i = 0; i < moves.size(); ++i) {
-        if (!cancelled[i])
-            kept.push_back(moves[i]);
+        std::size_t keep = 0;
+        for (std::size_t m = 0; m < moves_.size(); ++m) {
+            if (!arb_cancelled_[m])
+                moves_[keep++] = moves_[m];
+        }
+        moves_.resize(keep);
     }
-    moves.swap(kept);
 }
 
 PacketId
@@ -525,19 +627,22 @@ Network::post(NodeId src, NodeId dest, std::uint32_t length)
               "post() endpoints out of range");
     TM_ASSERT(src != dest, "post() requires distinct endpoints");
     TM_ASSERT(length >= 1, "a packet has at least one flit");
-    PacketState pkt;
+    const PacketSlot slot = packets_.allocate();
+    if (slot >= progress_.size())
+        progress_.resize(slot + 1);
+    PacketState &pkt = packets_[slot];
+    pkt.id = next_packet_id_++;
     pkt.src = src;
     pkt.dest = dest;
     pkt.length = length;
     pkt.created = static_cast<double>(cycle_);
-    pkt.last_progress = cycle_;
-    const PacketId id = next_packet_id_++;
-    packets_.emplace(id, pkt);
-    source_queues_[src].push_back(id);
+    progress_[slot] = cycle_;
+    source_queues_[src].push_back(slot);
+    source_pending_[src] = 1;
     ++counters_.packets_generated;
     counters_.flits_generated += length;
     counters_.source_queue_flits += length;
-    return id;
+    return pkt.id;
 }
 
 std::vector<Completion>
@@ -546,6 +651,13 @@ Network::drainCompletions()
     std::vector<Completion> out;
     out.swap(completions_);
     return out;
+}
+
+void
+Network::drainCompletions(std::vector<Completion> &out)
+{
+    out.clear();
+    out.swap(completions_);
 }
 
 bool
@@ -559,12 +671,16 @@ std::vector<PacketId>
 Network::stuckPackets(std::uint64_t age) const
 {
     std::vector<PacketId> stuck;
-    for (const auto &[id, pkt] : packets_) {
+    packets_.forEachLive([&](PacketSlot slot, const PacketState &pkt) {
         if (pkt.flits_injected == 0)
-            continue;
-        if (cycle_ - pkt.last_progress >= age)
-            stuck.push_back(id);
-    }
+            return;
+        if (cycle_ - progress_[slot] >= age)
+            stuck.push_back(pkt.id);
+    });
+    // Slot order is allocation order, which recycling scrambles;
+    // report victims in ascending id order so the list is stable
+    // against storage details.
+    std::sort(stuck.begin(), stuck.end());
     return stuck;
 }
 
@@ -572,11 +688,11 @@ std::uint64_t
 Network::oldestPacketStall() const
 {
     std::uint64_t oldest = 0;
-    for (const auto &[id, pkt] : packets_) {
+    packets_.forEachLive([&](PacketSlot slot, const PacketState &pkt) {
         if (pkt.flits_injected == 0)
-            continue;
-        oldest = std::max(oldest, cycle_ - pkt.last_progress);
-    }
+            return;
+        oldest = std::max(oldest, cycle_ - progress_[slot]);
+    });
     return oldest;
 }
 

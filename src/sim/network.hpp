@@ -20,22 +20,32 @@
  * (full streaming bandwidth through single-flit buffers). A cyclic
  * wait — true deadlock — is detected and reported by the stall
  * watchdog.
+ *
+ * Hot-loop storage discipline: steady-state step() performs zero
+ * heap allocations. Packet state lives in a dense slot-recycling
+ * pool (PacketPool) indexed by the slot each Flit carries; all input
+ * buffers share one flat flit slab (per-port ring spans); source
+ * queues are flat ring FIFOs; and every per-cycle working set
+ * (bids, moves, in-flight flits, arbitration bookkeeping) is a
+ * persistent member cleared and refilled in place each cycle.
+ * Containers grow only while a new high-water mark is being set.
  */
 
 #ifndef TURNMODEL_SIM_NETWORK_HPP
 #define TURNMODEL_SIM_NETWORK_HPP
 
-#include <deque>
 #include <memory>
 #include <optional>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/routing.hpp"
 #include "core/routing/compiled.hpp"
 #include "obs/observer.hpp"
 #include "sim/config.hpp"
+#include "sim/flat_queue.hpp"
 #include "sim/packet.hpp"
+#include "sim/packet_pool.hpp"
 #include "sim/selection.hpp"
 #include "traffic/pattern.hpp"
 #include "traffic/workload.hpp"
@@ -54,6 +64,9 @@ struct NetworkCounters
     std::uint64_t header_hops = 0;
     std::uint64_t source_queue_flits = 0;  ///< Flits waiting at sources.
     std::uint64_t flits_in_network = 0;
+    /** Every flit-channel traversal: injections, hops, ejections.
+     * The work metric of the engine (micro_sim's flit-moves/sec). */
+    std::uint64_t flit_moves = 0;
 };
 
 /** A completed packet, reported to the driver for latency stats. */
@@ -97,6 +110,14 @@ class Network
     std::vector<Completion> drainCompletions();
 
     /**
+     * Allocation-free drain: clear @p out and swap it with the
+     * internal completion list. A caller that drains every cycle into
+     * the same buffer ping-pongs two allocations forever instead of
+     * making one per cycle.
+     */
+    void drainCompletions(std::vector<Completion> &out);
+
+    /**
      * Cycles since the last time any flit moved while packets were
      * in flight — the deadlock watchdog. Zero while traffic flows.
      */
@@ -108,9 +129,10 @@ class Network
     /**
      * Packets that are in the network (at least one flit injected,
      * not yet delivered) and have made no progress for at least
-     * @p age cycles. A non-empty result at a large age indicates a
-     * (possibly partial) deadlock that the global stall watchdog
-     * cannot see because unrelated traffic still moves.
+     * @p age cycles, in ascending PacketId order. A non-empty result
+     * at a large age indicates a (possibly partial) deadlock that
+     * the global stall watchdog cannot see because unrelated traffic
+     * still moves.
      */
     std::vector<PacketId> stuckPackets(std::uint64_t age) const;
 
@@ -150,8 +172,11 @@ class Network
     /** Ports per router: 2n channel ports plus the local port. */
     int portsPerRouter() const { return ports_per_router_; }
     std::uint32_t inPortId(NodeId router, int local) const;
-    NodeId routerOf(std::uint32_t port) const;
-    int localOf(std::uint32_t port) const;
+    NodeId routerOf(std::uint32_t port) const
+    {
+        return port_router_[port];
+    }
+    int localOf(std::uint32_t port) const { return port_local_[port]; }
     /** Local index of the injection (input) / ejection (output) port. */
     int localPort() const { return ports_per_router_ - 1; }
 
@@ -160,38 +185,81 @@ class Network
     {
         std::uint32_t from;
         std::int32_t to;   ///< Downstream input port; -1 for ejection.
+        std::uint32_t out; ///< Output port crossed (decided once).
     };
+
+    /** A header flit's request for one output channel this cycle. */
+    struct Bid
+    {
+        std::uint32_t out_port;
+        InputRequest request;
+    };
+
+    /** One flit popped from its buffer, awaiting delivery downstream. */
+    struct InFlight
+    {
+        Flit flit;
+        std::uint32_t from;
+        std::int32_t to;
+        std::uint32_t out;   ///< Output port the flit crossed.
+    };
+
+    // ----- per-port flit rings (shared slab) -------------------------
+    std::uint32_t fifoSize(std::uint32_t port) const
+    {
+        return in_ports_[port].fifo_size;
+    }
+    const Flit &fifoFront(std::uint32_t port) const
+    {
+        return flit_slab_[port * buffer_depth_
+                          + in_ports_[port].fifo_head];
+    }
+    void fifoPush(std::uint32_t port, const Flit &flit);
+    Flit fifoPop(std::uint32_t port);
 
     // ----- cycle phases ----------------------------------------------
     void generateMessages();
     void allocateOutputs();
+    /** Append @p port's output-channel request (if any) to bids_. */
+    void gatherBid(std::uint32_t port);
     void traverseFlits();
     void injectFlits();
 
     /**
      * Enforce one flit per physical channel per cycle when virtual
      * channels share wires, cancelling losing moves and any chained
-     * refills that depended on them.
+     * refills that depended on them. Operates on moves_ in place.
      */
-    void arbitratePhysicalChannels(std::vector<Move> &moves);
+    void arbitratePhysicalChannels();
 
-    /** Movability of the head flit of @p port this cycle (memoized). */
-    bool headCanMove(std::uint32_t port);
+    /** Movability of the head flit of @p port this cycle (memoized).
+     * The memo hit is the hot case — blocked wormhole chains query
+     * the same ports over and over — so it stays inline; the actual
+     * evaluation lives in headCanMoveCompute(). */
+    bool headCanMove(std::uint32_t port)
+    {
+        const std::uint64_t memo = move_memo_[port];
+        if ((memo >> 2) == cycle_)
+            return (memo & 3) == 2;   // 1 (cyclic) and 3: no.
+        return headCanMoveCompute(port);
+    }
+    bool headCanMoveCompute(std::uint32_t port);
 
     void markActive(std::uint32_t port);
 
     // ----- state -------------------------------------------------------
     struct InPort
     {
-        std::deque<Flit> fifo;
-        PacketId cur_packet = kNoPacket;
+        std::uint32_t fifo_head = 0;   ///< Offset in this port's span.
+        std::uint32_t fifo_size = 0;
+        PacketSlot cur_slot = kNoSlot; ///< Packet bound to the buffer.
         int granted_out = -1;   ///< Local output index at this router.
         std::uint64_t header_arrival = 0;
     };
 
     struct OutPort
     {
-        PacketId owner = kNoPacket;
+        PacketSlot owner = kNoSlot;
     };
 
     const RoutingAlgorithm &routing_;
@@ -206,25 +274,93 @@ class Network
     SimConfig config_;
 
     int ports_per_router_;
+    std::uint32_t buffer_depth_;   ///< config_.buffer_depth, hoisted.
     std::vector<InPort> in_ports_;
     std::vector<OutPort> out_ports_;
+    /** All input buffers, one ring span of buffer_depth_ per port. */
+    std::vector<Flit> flit_slab_;
     /** Downstream input port of each output port; -1 for ejection. */
     std::vector<std::int32_t> out_to_in_;
+    /** port -> router / local index (replaces div/mod in the loop). */
+    std::vector<NodeId> port_router_;
+    std::vector<std::uint8_t> port_local_;
 
-    std::vector<std::deque<PacketId>> source_queues_;
+    std::vector<FlatQueue<PacketSlot>> source_queues_;
+    /** 1 when source_queues_[v] is non-empty: the injection scan
+     * reads 1 byte per idle node instead of a FlatQueue record. */
+    std::vector<std::uint8_t> source_pending_;
     std::vector<ArrivalProcess> arrivals_;
+    /** Flat mirror of each arrival process's next due time, so the
+     * generation scan touches 8 contiguous bytes per idle node. */
+    std::vector<double> arrival_due_;
     Rng router_rng_;
 
-    std::unordered_map<PacketId, PacketState> packets_;
+    PacketPool packets_;
     PacketId next_packet_id_ = 0;
+    /** Last cycle each live packet (by slot) moved any flit, kept
+     * outside PacketState: it is written once per flit move, and a
+     * dense 8-byte-per-slot array keeps that hot write-set an order
+     * of magnitude smaller than the full packet records. */
+    std::vector<std::uint64_t> progress_;
 
     std::vector<std::uint32_t> active_ports_;
-    std::vector<bool> is_active_;
+    std::vector<std::uint8_t> is_active_;
+    /** 1 while the port's front flit is an ungranted header — the
+     * only ports the allocation scan must actually inspect. Set when
+     * a head flit is buffered, cleared when its bid wins a grant. */
+    std::vector<std::uint8_t> head_waiting_;
+    /** The head-waiting ports as a compact list (arbitrary order),
+     * with each port's position for O(1) removal. Used instead of
+     * scanning active_ports_ whenever the output-selection policy is
+     * deterministic: bids are sorted before use, so gather order is
+     * only observable through RNG consumption. */
+    std::vector<std::uint32_t> waiting_list_;
+    std::vector<std::uint32_t> waiting_pos_;
+    bool ordered_bid_scan_ = false;  ///< Random policy: exact order.
+    /** Cycle of the port's last bid attempt that found every usable
+     * output channel busy (0 = none). Until an output at its router
+     * is released the retry must fail the same way, so the gather
+     * skips it: grants only shrink the candidate set, and a fruitless
+     * attempt consumes no randomness under any policy. */
+    std::vector<std::uint64_t> bid_blocked_at_;
+    /** Cycle an output channel at this router was last released. */
+    std::vector<std::uint64_t> out_freed_at_;
+    /** granted_out != -1, as one byte per port: the move-decide scan
+     * reads this instead of pulling in whole InPort records. */
+    std::vector<std::uint8_t> granted_;
+    /** While a port is granted: the global output-port id it holds
+     * and that output's downstream input port (-1 for ejection).
+     * A grant is immutable until the tail releases it, so caching
+     * these at grant time spares every movability check and move
+     * the router/local/id arithmetic. */
+    std::vector<std::uint32_t> granted_out_port_;
+    std::vector<std::int32_t> granted_target_;
+    /** Ports whose buffer may have emptied this cycle (tail popped);
+     * the only candidates the active-list compaction must inspect. */
+    std::vector<std::uint8_t> maybe_free_;
+    std::uint32_t freed_candidates_ = 0;
+    /** Physical-wire arbitration key of each non-local output port:
+     * router * 256 + physical channel group (hoists the virtual
+     * physicalChannelGroup() call out of the arbitration loop). */
+    std::vector<std::uint64_t> arb_key_;
 
-    /** Per-cycle movability memo: 0 unknown, 1 in progress, 2 yes,
-     * 3 no. Reset lazily via a stamp per cycle. */
-    std::vector<std::uint8_t> move_state_;
-    std::vector<std::uint64_t> move_stamp_;
+    /** Per-cycle movability memo, packed as (cycle << 2) | state so
+     * the hit path is one load: state 1 = on the recursion stack,
+     * 2 = can move, 3 = cannot. Stale stamps read as unknown. */
+    std::vector<std::uint64_t> move_memo_;
+
+    // ----- per-cycle scratch (persistent; cleared in place) ----------
+    std::vector<Bid> bids_;
+    std::vector<InputRequest> bid_group_;
+    std::vector<Move> moves_;
+    std::vector<InFlight> in_flight_;
+    /** (physical-wire key, move index), sorted to form groups. */
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> arb_groups_;
+    std::vector<std::uint8_t> arb_cancelled_;
+    std::vector<std::uint32_t> arb_worklist_;
+    /** Move index entering each input port this cycle, or -1; only
+     * populated (and reset) when arbitration has to propagate. */
+    std::vector<std::int32_t> arb_move_into_;
 
     std::uint64_t cycle_ = 0;
     bool generate_ = true;

@@ -4,6 +4,13 @@
  * flit, body flits, and a tail flit. The header carries the routing
  * information and leads the packet through the network; the tail
  * releases the channels the packet holds (wormhole switching).
+ *
+ * In-flight packet state lives in a dense slot-recycling pool
+ * (sim/packet_pool.hpp). A flit therefore carries its packet's pool
+ * slot, not its PacketId: every per-flit state lookup in the hot
+ * loop is a direct array index, no hashing. The externally visible
+ * PacketId (sequential, unique over the run) is stored inside the
+ * PacketState and used for completions, traces, and reports only.
  */
 
 #ifndef TURNMODEL_SIM_PACKET_HPP
@@ -15,23 +22,31 @@
 
 namespace turnmodel {
 
-/** Packet identifier; unique over a simulation run. */
+/** Packet identifier; sequential and unique over a simulation run. */
 using PacketId = std::int64_t;
 
 /** Sentinel for "no packet". */
 inline constexpr PacketId kNoPacket = -1;
 
+/** Index of a packet's state in the dense pool; recycled on
+ * delivery, so only meaningful while the packet is live. */
+using PacketSlot = std::uint32_t;
+
+/** Sentinel for "no slot". */
+inline constexpr PacketSlot kNoSlot = 0xffffffffu;
+
 /** One flow-control digit of a packet. */
 struct Flit
 {
-    PacketId packet = kNoPacket;
-    bool head = false;   ///< Leading (routing) flit.
-    bool tail = false;   ///< Releases held channels as it passes.
+    PacketSlot slot = kNoSlot;  ///< Pool slot of the owning packet.
+    bool head = false;          ///< Leading (routing) flit.
+    bool tail = false;          ///< Releases held channels as it passes.
 };
 
 /** Book-keeping for one packet in flight. */
 struct PacketState
 {
+    PacketId id = kNoPacket;           ///< Run-unique external id.
     NodeId src = 0;
     NodeId dest = 0;
     std::uint32_t length = 0;          ///< Total flits.
@@ -40,7 +55,6 @@ struct PacketState
     std::uint32_t flits_injected = 0;  ///< Left the source queue.
     std::uint32_t flits_delivered = 0; ///< Consumed at the destination.
     std::uint32_t hops = 0;            ///< Channels the header crossed.
-    std::uint64_t last_progress = 0;   ///< Cycle a flit last moved.
 };
 
 } // namespace turnmodel

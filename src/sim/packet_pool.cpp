@@ -1,0 +1,34 @@
+#include "sim/packet_pool.hpp"
+
+#include "util/logging.hpp"
+
+namespace turnmodel {
+
+PacketSlot
+PacketPool::allocate()
+{
+    PacketSlot slot;
+    if (!free_.empty()) {
+        slot = free_.back();
+        free_.pop_back();
+        slots_[slot] = PacketState{};
+    } else {
+        slot = static_cast<PacketSlot>(slots_.size());
+        slots_.emplace_back();
+        live_.push_back(0);
+    }
+    live_[slot] = 1;
+    ++live_count_;
+    return slot;
+}
+
+void
+PacketPool::release(PacketSlot slot)
+{
+    TM_ASSERT(isLive(slot), "releasing a dead packet slot");
+    live_[slot] = 0;
+    --live_count_;
+    free_.push_back(slot);
+}
+
+} // namespace turnmodel

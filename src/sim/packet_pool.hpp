@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Dense slot-recycling store for in-flight packet state. The seed
+ * engine kept PacketStates in an unordered_map keyed by PacketId,
+ * paying a hash lookup on every flit move and scattering state
+ * across the heap; the pool keeps them in one flat vector indexed by
+ * PacketSlot (carried inside each Flit), with a LIFO free list so a
+ * delivered packet's slot — still cache-warm — is the next one
+ * reused. Steady state allocates nothing: the backing vector grows
+ * only while the live population sets a new high-water mark.
+ */
+
+#ifndef TURNMODEL_SIM_PACKET_POOL_HPP
+#define TURNMODEL_SIM_PACKET_POOL_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/packet.hpp"
+
+namespace turnmodel {
+
+/** Flat vector of PacketStates plus a free list. */
+class PacketPool
+{
+  public:
+    /**
+     * Claim a slot holding a default-constructed PacketState (stale
+     * state from the slot's previous tenant is fully reset).
+     */
+    PacketSlot allocate();
+
+    /** Return @p slot to the free list; it must be live. */
+    void release(PacketSlot slot);
+
+    PacketState &operator[](PacketSlot slot) { return slots_[slot]; }
+    const PacketState &operator[](PacketSlot slot) const
+    {
+        return slots_[slot];
+    }
+
+    /** Packets currently live (allocated and not released). */
+    std::size_t liveCount() const { return live_count_; }
+
+    /** High-water slot count (live plus free). */
+    std::size_t capacity() const { return slots_.size(); }
+
+    bool isLive(PacketSlot slot) const
+    {
+        return slot < live_.size() && live_[slot] != 0;
+    }
+
+    /**
+     * Visit every live packet in ascending slot order — the pool's
+     * one deterministic iteration order. @p fn receives
+     * (PacketSlot, const PacketState &).
+     */
+    template <typename Fn>
+    void forEachLive(Fn &&fn) const
+    {
+        const PacketSlot n = static_cast<PacketSlot>(slots_.size());
+        for (PacketSlot s = 0; s < n; ++s) {
+            if (live_[s])
+                fn(s, slots_[s]);
+        }
+    }
+
+  private:
+    std::vector<PacketState> slots_;
+    std::vector<std::uint8_t> live_;
+    std::vector<PacketSlot> free_;  ///< LIFO: reuse cache-warm slots.
+    std::size_t live_count_ = 0;
+};
+
+} // namespace turnmodel
+
+#endif // TURNMODEL_SIM_PACKET_POOL_HPP

@@ -17,13 +17,18 @@ Simulator::run()
     SimResult result;
     const double cycle_us = config_.cycleUs();
 
+    // One completion buffer for the whole run, drained into every
+    // cycle: the buffer and the network's internal list ping-pong
+    // their storage, so the measurement loop never allocates.
+    std::vector<Completion> batch;
+
     // Warmup: run and discard.
     for (std::uint64_t c = 0; c < config_.warmup_cycles; ++c) {
         network_.step();
         if (network_.deadlockDetected())
             break;
     }
-    (void)network_.drainCompletions();
+    network_.drainCompletions(batch);
 
     const double measure_start = static_cast<double>(network_.now());
     const std::uint64_t flits_delivered_before =
@@ -62,7 +67,8 @@ Simulator::run()
         network_.step();
         if (network_.deadlockDetected())
             break;
-        absorb(network_.drainCompletions());
+        network_.drainCompletions(batch);
+        absorb(batch);
         if (sampler_) {
             sampler_->onCycle(network_.now(),
                               network_.counters().flits_delivered,
@@ -71,7 +77,8 @@ Simulator::run()
     }
     // The deadlock break above skips the in-loop drain, losing any
     // completions the tripping cycle produced; collect them here.
-    absorb(network_.drainCompletions());
+    network_.drainCompletions(batch);
+    absorb(batch);
     if (sampler_) {
         sampler_->finish(network_.now(),
                          network_.counters().flits_delivered,

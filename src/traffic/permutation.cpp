@@ -32,7 +32,12 @@ PermutationTraffic::PermutationTraffic(const Topology &topo)
 std::optional<NodeId>
 PermutationTraffic::destination(NodeId src, Rng &) const
 {
-    const NodeId d = map(src);
+    if (table_.empty()) {
+        table_.resize(topo_.numNodes());
+        for (NodeId v = 0; v < topo_.numNodes(); ++v)
+            table_[v] = map(v);
+    }
+    const NodeId d = table_[src];
     if (d == src)
         return std::nullopt;
     return d;

@@ -32,6 +32,14 @@ class PermutationTraffic : public TrafficPattern
 
   protected:
     const Topology &topo_;
+
+  private:
+    // map() typically round-trips through coordinate vectors, which
+    // allocates; destination() sits in the simulator's per-message
+    // path and must not. The full table is tiny (one NodeId per
+    // node), so it is memoized on first use — lazily, because map()
+    // is virtual and unavailable in this base's constructor.
+    mutable std::vector<NodeId> table_;
 };
 
 /**

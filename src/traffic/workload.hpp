@@ -68,6 +68,9 @@ class ArrivalProcess
     /** Whether a new message is due at or before @p now. */
     bool due(double now) const { return next_arrival_ <= now; }
 
+    /** Cycle time of the pending arrival (for flat due-time caches). */
+    double nextDue() const { return next_arrival_; }
+
     /** Consume the pending arrival and schedule the next one. */
     void advance();
 

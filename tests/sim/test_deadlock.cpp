@@ -126,5 +126,37 @@ TEST(Deadlock, WatchdogFiresOnGlobalStall)
     EXPECT_FALSE(net.stuckPackets(1500).empty());
 }
 
+TEST(Deadlock, StuckPacketsSortedByIdDespiteSlotRecycling)
+{
+    // The pool hands out recycled slots, so the live-slot iteration
+    // order bears no relation to packet age or id; stuckPackets()
+    // promises ascending id order regardless. Drive the network
+    // through thousands of deliveries (ample recycling) into a
+    // deadlock, then check the contract.
+    NDMesh mesh = NDMesh::mesh2D(8, 8);
+    TurnSet all(2);
+    all.allowAll90();
+    all.allowAllStraight();
+    TurnTableRouting routing(mesh, all, true);
+    RotationPattern rotation(mesh);
+    SimConfig cfg;
+    cfg.injection_rate = 0.9;
+    cfg.output_selection = OutputSelection::Random;
+    Network net(routing, rotation, cfg);
+    while (net.now() < 4000)
+        net.step();
+    net.setGenerationEnabled(false);
+    while (net.now() < 200000 && net.stallCycles() < 2000)
+        net.step();
+
+    const std::vector<PacketId> stuck = net.stuckPackets(1000);
+    ASSERT_GT(stuck.size(), 1u);
+    for (std::size_t i = 1; i < stuck.size(); ++i)
+        EXPECT_LT(stuck[i - 1], stuck[i]) << "at index " << i;
+    // The report is a pure query: repeating it must yield the same
+    // list, not a permutation.
+    EXPECT_EQ(net.stuckPackets(1000), stuck);
+}
+
 } // namespace
 } // namespace turnmodel

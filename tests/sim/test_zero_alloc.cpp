@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Proof that the steady-state hot loop does not touch the heap.
+ *
+ * This test lives in its own binary: it replaces the global
+ * operator new/delete with counting versions, and that replacement
+ * must not leak into unrelated suites. The counters only run while
+ * `counting` is armed, so gtest's own bookkeeping stays invisible.
+ *
+ * Method: warm a network past every high-water mark (pool slots,
+ * source-queue rings, per-cycle scratch, completion buffers), then
+ * assert that thousands of further step()/drainCompletions() cycles
+ * perform literally zero allocations. Scenarios cover the plain
+ * mesh path, the observer-on path (channel counters + trace ring),
+ * and the virtual-channel path whose physical-wire arbitration has
+ * its own scratch state.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/routing/factory.hpp"
+#include "sim/network.hpp"
+#include "topology/mesh.hpp"
+#include "topology/virtual_channels.hpp"
+#include "traffic/pattern.hpp"
+
+namespace {
+
+std::atomic<bool> counting{false};
+std::atomic<std::uint64_t> allocations{0};
+
+void *
+countedAlloc(std::size_t size)
+{
+    if (counting.load(std::memory_order_relaxed))
+        allocations.fetch_add(1, std::memory_order_relaxed);
+    void *p = std::malloc(size ? size : 1);
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+
+} // namespace
+
+void *
+operator new(std::size_t size)
+{
+    return countedAlloc(size);
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return countedAlloc(size);
+}
+
+void *
+operator new(std::size_t size, std::align_val_t)
+{
+    return countedAlloc(size);
+}
+
+void *
+operator new[](std::size_t size, std::align_val_t)
+{
+    return countedAlloc(size);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+namespace {
+
+using namespace turnmodel;
+
+/**
+ * Run @p warmup cycles to reach every high-water mark (the run is
+ * deterministic for a fixed seed, so a warmup that covers the marks
+ * once covers them always), then count
+ * allocations over @p measured further cycles (draining completions
+ * into a reused buffer each cycle, as the measurement driver does).
+ */
+std::uint64_t
+allocationsInSteadyState(Network &net, std::uint64_t warmup,
+                         std::uint64_t measured)
+{
+    std::vector<Completion> done;
+    for (std::uint64_t c = 0; c < warmup; ++c) {
+        net.step();
+        net.drainCompletions(done);
+    }
+    allocations.store(0);
+    counting.store(true);
+    for (std::uint64_t c = 0; c < measured; ++c) {
+        net.step();
+        net.drainCompletions(done);
+    }
+    counting.store(false);
+    return allocations.load();
+}
+
+TEST(ZeroAlloc, MeshSteadyStateStepIsAllocationFree)
+{
+    const NDMesh mesh = NDMesh::mesh2D(8, 8);
+    const RoutingPtr routing = makeRouting("xy", mesh);
+    const PatternPtr pattern = makePattern("uniform", mesh);
+    SimConfig cfg;
+    cfg.injection_rate = 0.10;
+    Network net(*routing, *pattern, cfg);
+    EXPECT_EQ(allocationsInSteadyState(net, 20000, 3000), 0u);
+}
+
+TEST(ZeroAlloc, AdaptiveRoutingPathIsAllocationFree)
+{
+    const NDMesh mesh = NDMesh::mesh2D(8, 8);
+    const RoutingPtr routing = makeRouting("west-first", mesh);
+    const PatternPtr pattern = makePattern("transpose", mesh);
+    SimConfig cfg;
+    cfg.injection_rate = 0.08;
+    Network net(*routing, *pattern, cfg);
+    EXPECT_EQ(allocationsInSteadyState(net, 20000, 3000), 0u);
+}
+
+TEST(ZeroAlloc, ObserverOnPathIsAllocationFree)
+{
+    const NDMesh mesh = NDMesh::mesh2D(8, 8);
+    const RoutingPtr routing = makeRouting("xy", mesh);
+    const PatternPtr pattern = makePattern("uniform", mesh);
+    SimConfig cfg;
+    cfg.injection_rate = 0.10;
+    cfg.obs.channel_counters = true;
+    cfg.obs.trace_capacity = 4096;
+    Network net(*routing, *pattern, cfg);
+    EXPECT_EQ(allocationsInSteadyState(net, 20000, 3000), 0u);
+}
+
+TEST(ZeroAlloc, PhysicalChannelArbitrationIsAllocationFree)
+{
+    const VirtualizedMesh vmesh = VirtualizedMesh::doubleY(8, 8);
+    const RoutingPtr routing = makeRouting("mad-y", vmesh);
+    const PatternPtr pattern = makePattern("uniform", vmesh);
+    SimConfig cfg;
+    cfg.injection_rate = 0.12;
+    Network net(*routing, *pattern, cfg);
+    EXPECT_EQ(allocationsInSteadyState(net, 20000, 3000), 0u);
+}
+
+TEST(ZeroAlloc, SaturatedNetworkOnlyGrowsHighWaterMarks)
+{
+    // Past saturation the source queues and the packet pool grow
+    // without bound, so "zero" is the wrong bar; what must hold is
+    // that per-cycle scratch stays flat: allocations come only from
+    // capacity doublings, a vanishing fraction of cycles.
+    const NDMesh mesh = NDMesh::mesh2D(8, 8);
+    const RoutingPtr routing = makeRouting("xy", mesh);
+    const PatternPtr pattern = makePattern("uniform", mesh);
+    SimConfig cfg;
+    cfg.injection_rate = 0.60;
+    Network net(*routing, *pattern, cfg);
+    const std::uint64_t n = allocationsInSteadyState(net, 20000, 3000);
+    EXPECT_LE(n, 64u);
+}
+
+} // namespace

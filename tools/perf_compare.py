@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Compare two micro_sim benchmark JSON files.
+
+Prints a per-scenario table of cycles/sec in the baseline and the
+candidate with the ratio, and exits non-zero when any scenario's
+cycles/sec falls more than the threshold (default 30%) below the
+baseline. The generous default absorbs machine-to-machine and
+run-to-run noise — the gate exists to catch order-of-magnitude
+mistakes (an accidentally quadratic scan, a lost fast path), not
+single-digit drift.
+
+Usage: perf_compare.py BASELINE CANDIDATE [--threshold FRACTION]
+Exit status: 0 when no scenario regresses past the threshold,
+1 on regression, 2 on malformed input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_cases(path):
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"perf_compare: cannot read {path}: {e}")
+    if doc.get("benchmark") != "micro_sim":
+        sys.exit(f"perf_compare: {path} is not a micro_sim result")
+    cases = {}
+    for case in doc.get("cases", []):
+        try:
+            cases[case["name"]] = float(case["cycles_per_sec"])
+        except (KeyError, TypeError, ValueError):
+            sys.exit(f"perf_compare: malformed case in {path}: {case}")
+    if not cases:
+        sys.exit(f"perf_compare: {path} contains no cases")
+    return cases
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Gate a micro_sim run against a baseline."
+    )
+    parser.add_argument("baseline", help="baseline micro_sim JSON")
+    parser.add_argument("candidate", help="candidate micro_sim JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.30,
+        help="maximum tolerated fractional slowdown (default 0.30)",
+    )
+    args = parser.parse_args()
+    if not 0.0 < args.threshold < 1.0:
+        parser.error("--threshold must be in (0, 1)")
+
+    base = load_cases(args.baseline)
+    cand = load_cases(args.candidate)
+
+    width = max(len(n) for n in base) + 2
+    print(
+        f"{'scenario':<{width}}{'baseline c/s':>14}"
+        f"{'candidate c/s':>15}{'ratio':>8}"
+    )
+    failures = []
+    for name in sorted(base):
+        if name not in cand:
+            failures.append(f"{name}: missing from candidate")
+            print(f"{name:<{width}}{base[name]:>14.0f}{'absent':>15}")
+            continue
+        ratio = cand[name] / base[name]
+        flag = ""
+        if ratio < 1.0 - args.threshold:
+            failures.append(
+                f"{name}: {base[name]:.0f} -> {cand[name]:.0f} "
+                f"cycles/sec ({(1.0 - ratio) * 100.0:.1f}% slower)"
+            )
+            flag = "  << REGRESSION"
+        print(
+            f"{name:<{width}}{base[name]:>14.0f}"
+            f"{cand[name]:>15.0f}{ratio:>8.2f}{flag}"
+        )
+    for name in sorted(set(cand) - set(base)):
+        print(f"{name:<{width}}{'absent':>14}{cand[name]:>15.0f}")
+
+    if failures:
+        print(
+            f"\nFAIL: {len(failures)} scenario(s) regressed past "
+            f"{args.threshold * 100:.0f}%:"
+        )
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    print(f"\nOK: no scenario more than {args.threshold * 100:.0f}% slow")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
