@@ -1,11 +1,23 @@
 /**
  * @file
- * Ablation: input buffer depth. The paper fixes single-flit buffers
- * (one of wormhole routing's selling points); this sweep shows what
- * deeper buffers buy on the paper's hardest mesh workload, for the
- * nonadaptive and the most adaptive algorithm.
+ * Ablation: input buffer depth x virtual-channel organization x
+ * routing discipline, all on the credit-based VC router engine. The
+ * paper fixes single-flit buffers and one channel per wire; this grid
+ * shows what deeper buffers and extra VCs buy on the hardest mesh
+ * workload (transpose, offered past saturation), and reproduces the
+ * expected throughput ordering at saturation:
+ *
+ *     escape-VC fully adaptive >= turn model >= dimension-order
+ *
+ * Dimension-order and the turn model (negative-first, the paper's
+ * strongest on transpose) route physical channels (one VC per wire;
+ * a VirtualizedMesh keeps coordinates physical, so only VC-aware
+ * algorithms can use the extra channels). The escape-VC discipline
+ * owns the VC axis: two and three channels per wire, one escape plus
+ * one or two fully adaptive.
  */
 
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 
@@ -13,53 +25,104 @@
 #include "exec/thread_pool.hpp"
 #include "sim/simulator.hpp"
 #include "topology/mesh.hpp"
+#include "topology/virtual_channels.hpp"
 #include "traffic/pattern.hpp"
 #include "util/csv.hpp"
+#include "util/json.hpp"
 
 using namespace turnmodel;
+
+namespace {
+
+struct Cell
+{
+    const char *discipline;   ///< Row label: the routing family.
+    const char *algorithm;    ///< Factory name on the chosen mesh.
+    int vcs;                  ///< Virtual channels per wire.
+};
+
+struct Row
+{
+    Cell cell;
+    std::uint32_t depth;
+    SimResult result;
+};
+
+void
+writeJson(std::ostream &os, const std::vector<Row> &rows)
+{
+    os << "{\n  \"benchmark\": \"ablation_buffers\",\n  \"cases\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row &row = rows[i];
+        os << "    {\"discipline\": \"" << jsonEscape(row.cell.discipline)
+           << "\", \"algorithm\": \"" << jsonEscape(row.cell.algorithm)
+           << "\", \"vcs\": " << row.cell.vcs
+           << ", \"buffer_depth\": " << row.depth
+           << ", \"throughput_flits_per_us\": ";
+        writeJsonNumber(os, row.result.throughput_flits_per_us);
+        os << ", \"latency_us\": ";
+        writeJsonNumber(os, row.result.avg_latency_us);
+        os << ", \"saturated\": "
+           << (row.result.saturated ? "true" : "false") << "}"
+           << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
     const auto fidelity = bench::parseFidelity(argc, argv);
     NDMesh mesh = NDMesh::mesh2D(16, 16);
-    PatternPtr pattern = makePattern("transpose", mesh);
+    VirtualizedMesh vmesh2 = VirtualizedMesh::uniform({16, 16}, 2);
+    VirtualizedMesh vmesh3 = VirtualizedMesh::uniform({16, 16}, 3);
 
-    const std::vector<std::string> algos{"xy", "negative-first"};
+    const std::vector<Cell> cells{
+        {"dimension-order", "xy", 1},
+        {"turn-model", "negative-first", 1},
+        {"escape-vc", "vc:negative-first", 2},
+        {"escape-vc", "vc:negative-first", 3},
+    };
     const std::vector<std::uint32_t> depths{1, 2, 4, 8};
 
-    struct Row
-    {
-        std::string algorithm;
-        std::uint32_t depth;
-        SimResult result;
-    };
     // Grid cells are independent simulations; run them across the
     // pool, each writing its own slot. Every job builds a private
     // routing instance (turn-table caches are not thread safe).
-    std::vector<Row> rows(algos.size() * depths.size());
+    std::vector<Row> rows(cells.size() * depths.size());
     ThreadPool pool(fidelity.jobs);
     pool.parallelFor(rows.size(), [&](std::size_t i) {
-        const std::string &algo = algos[i / depths.size()];
+        const Cell &cell = cells[i / depths.size()];
         const std::uint32_t depth = depths[i % depths.size()];
-        RoutingPtr routing = makeRouting(algo, mesh);
+        const Topology &topo = cell.vcs == 3
+            ? static_cast<const Topology &>(vmesh3)
+            : cell.vcs == 2 ? static_cast<const Topology &>(vmesh2)
+                            : static_cast<const Topology &>(mesh);
+        RoutingPtr routing = makeRouting(cell.algorithm, topo);
+        PatternPtr pattern = makePattern("transpose", topo);
         SimConfig cfg;
-        cfg.injection_rate = 0.12;
+        cfg.router_model = RouterModel::VcCredit;
+        cfg.injection_rate = 0.30;   // Past transpose saturation.
         cfg.warmup_cycles = fidelity.warmup;
         cfg.measure_cycles = fidelity.measure;
         cfg.buffer_depth = depth;
         Simulator sim(*routing, *pattern, cfg);
-        rows[i] = {algo, depth, sim.run()};
+        rows[i] = {cell, depth, sim.run()};
     });
 
-    std::cout << "== ablation: buffer depth (16x16 mesh, transpose) "
-                 "==\n";
-    std::cout << std::setw(18) << "algorithm" << std::setw(8) << "depth"
-              << std::setw(14) << "thruput" << std::setw(13)
-              << "latency(us)" << std::setw(6) << "sat" << '\n';
+    std::cout << "== ablation: buffer depth x VCs x discipline "
+                 "(16x16 mesh, transpose, VC router) ==\n";
+    std::cout << std::setw(18) << "discipline" << std::setw(20)
+              << "algorithm" << std::setw(5) << "vcs" << std::setw(7)
+              << "depth" << std::setw(14) << "thruput"
+              << std::setw(13) << "latency(us)" << std::setw(6)
+              << "sat" << '\n';
     for (const Row &row : rows) {
         const SimResult &r = row.result;
-        std::cout << std::setw(18) << row.algorithm << std::setw(8)
+        std::cout << std::setw(18) << row.cell.discipline
+                  << std::setw(20) << row.cell.algorithm
+                  << std::setw(5) << row.cell.vcs << std::setw(7)
                   << row.depth << std::setw(14) << std::fixed
                   << std::setprecision(2) << r.throughput_flits_per_us
                   << std::setw(13) << r.avg_latency_us << std::setw(6)
@@ -68,16 +131,28 @@ main(int argc, char **argv)
 
     std::cout << "\n-- csv --\n";
     CsvWriter csv(std::cout);
-    csv.header({"algorithm", "buffer_depth",
+    csv.header({"discipline", "algorithm", "vcs", "buffer_depth",
                 "throughput_flits_per_us", "latency_us", "saturated"});
     for (const Row &row : rows) {
         csv.beginRow()
-            .field(row.algorithm)
+            .field(row.cell.discipline)
+            .field(row.cell.algorithm)
+            .field(static_cast<std::uint64_t>(row.cell.vcs))
             .field(static_cast<std::uint64_t>(row.depth))
             .field(row.result.throughput_flits_per_us)
             .field(row.result.avg_latency_us)
             .field(row.result.saturated ? 1 : 0);
         csv.endRow();
+    }
+
+    if (!fidelity.json_path.empty()) {
+        std::ofstream out(fidelity.json_path);
+        if (!out) {
+            std::cerr << "cannot open " << fidelity.json_path << "\n";
+            return 1;
+        }
+        writeJson(out, rows);
+        std::cout << "json written to " << fidelity.json_path << "\n";
     }
     return 0;
 }

@@ -27,7 +27,8 @@
 #include <vector>
 
 #include "core/routing/factory.hpp"
-#include "sim/network.hpp"
+#include "sim/config.hpp"
+#include "sim/engine.hpp"
 #include "topology/mesh.hpp"
 #include "topology/virtual_channels.hpp"
 #include "traffic/pattern.hpp"
@@ -44,6 +45,10 @@ struct Scenario
     std::string algorithm;
     std::string pattern;
     double rate;
+    /** Engine under test; the VC router exercises a different hot
+     * loop (VA/SA arbitration, credit returns) than the classic
+     * single-buffer router. */
+    RouterModel model = RouterModel::Classic;
 };
 
 struct Timing
@@ -72,27 +77,29 @@ benchScenario(const Scenario &s, std::uint64_t warmup,
     const PatternPtr pattern = makePattern(s.pattern, *s.topo);
     SimConfig cfg;
     cfg.injection_rate = s.rate;
-    Network net(*routing, *pattern, cfg);
+    cfg.router_model = s.model;
+    const std::unique_ptr<NetworkEngine> net =
+        makeEngine(*routing, *pattern, cfg);
     std::vector<Completion> done;
 
     for (std::uint64_t c = 0; c < warmup; ++c)
-        net.step();
-    net.drainCompletions(done);
+        net->step();
+    net->drainCompletions(done);
 
     constexpr std::uint64_t kChunk = 2000;
-    const std::uint64_t moves_before = net.counters().flit_moves;
+    const std::uint64_t moves_before = net->counters().flit_moves;
     Timing t;
     t.name = s.name;
     auto elapsed = Clock::duration::zero();
     while (elapsed < std::chrono::duration<double>(min_seconds)) {
         const auto t0 = Clock::now();
         for (std::uint64_t c = 0; c < kChunk; ++c)
-            net.step();
-        net.drainCompletions(done);
+            net->step();
+        net->drainCompletions(done);
         elapsed += Clock::now() - t0;
         t.cycles += kChunk;
     }
-    t.flit_moves = net.counters().flit_moves - moves_before;
+    t.flit_moves = net->counters().flit_moves - moves_before;
     t.wall_seconds =
         std::chrono::duration<double>(elapsed).count();
     t.cycles_per_sec =
@@ -173,12 +180,15 @@ main(int argc, char **argv)
 
     NDMesh mesh16 = NDMesh::mesh2D(16, 16);
     VirtualizedMesh vmesh = VirtualizedMesh::doubleY(8, 8);
+    VirtualizedMesh vmesh16 = VirtualizedMesh::uniform({16, 16}, 2);
     const std::vector<Scenario> scenarios = {
         {"mesh16_uniform_sat", &mesh16, "xy", "uniform", 0.22},
         {"mesh16_uniform_low", &mesh16, "xy", "uniform", 0.05},
         {"mesh16_transpose_wf", &mesh16, "west-first", "transpose",
          0.12},
         {"vmesh8_mady_uniform", &vmesh, "mad-y", "uniform", 0.20},
+        {"vc16_escape_uniform", &vmesh16, "vc:xy", "uniform", 0.20,
+         RouterModel::VcCredit},
     };
 
     std::vector<Timing> rows;

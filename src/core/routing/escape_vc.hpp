@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Duato-style fully adaptive routing over an escape virtual channel,
+ * plus the unrestricted fully adaptive straw man it improves on.
+ *
+ * The turn model buys deadlock freedom by prohibiting turns; Duato's
+ * methodology buys it with channel classes instead. Split every
+ * physical channel into virtual channels (topology/virtual_channels):
+ * VC 0 is the *escape* channel, restricted to a deadlock-free inner
+ * algorithm (any of the repertoire's turn-model algorithms); every
+ * VC >= 1 is *adaptive* and may take any profitable hop. A blocked
+ * header can always fall back to the escape channel, whose
+ * channel-dependency graph is a copy of the inner algorithm's acyclic
+ * graph — so the escape subnetwork always drains and the whole
+ * network is deadlock free, while the adaptive channels supply the
+ * full minimal adaptiveness the turn model has to give up.
+ *
+ * Wormhole caveat: once a packet's header is travelling on an escape
+ * channel it stays on escape channels (the "stay on escape" rule).
+ * Re-entering the adaptive channels after an escape hop would let a
+ * packet hold an escape channel while waiting on an adaptive one,
+ * re-introducing cyclic waits; staying keeps every escape->escape
+ * dependency inside the inner algorithm's acyclic graph. Dropping to
+ * escape is treated as a fresh injection into the inner network, so
+ * subsequent escape hops follow the inner algorithm's own turn
+ * restrictions from that point on.
+ *
+ * Exposed through the factory as the "vc:<inner>" prefix, composable
+ * with "compiled:"; FullyAdaptiveRouting is "fully-adaptive", the
+ * deadlock-prone control for the watchdog tests and the ablation.
+ */
+
+#ifndef TURNMODEL_CORE_ROUTING_ESCAPE_VC_HPP
+#define TURNMODEL_CORE_ROUTING_ESCAPE_VC_HPP
+
+#include <memory>
+#include <string>
+
+#include "core/routing.hpp"
+#include "topology/mesh.hpp"
+#include "topology/virtual_channels.hpp"
+
+namespace turnmodel {
+
+/**
+ * Unrestricted minimal adaptive routing: every profitable hop, on
+ * any channel, is always permitted. Routing-complete but *not*
+ * deadlock free on meshes of 2+ dimensions — this is the algorithm
+ * the turn model and the escape-VC scheme both exist to fix, kept as
+ * the experimental control.
+ */
+class FullyAdaptiveRouting : public RoutingAlgorithm
+{
+  public:
+    explicit FullyAdaptiveRouting(const Topology &topo) : topo_(topo) {}
+
+    DirectionSet
+    routeSet(NodeId current, std::optional<Direction> in_dir,
+             NodeId dest) const override
+    {
+        (void)in_dir;
+        return minimalDirectionSet(topo_, current, dest);
+    }
+
+    std::string name() const override { return "fully-adaptive"; }
+    const Topology &topology() const override { return topo_; }
+    bool isMinimal() const override { return true; }
+
+  private:
+    const Topology &topo_;
+};
+
+/**
+ * Escape-VC fully adaptive routing on a VirtualizedMesh whose every
+ * physical dimension carries at least two virtual channel pairs.
+ * Owns the companion physical mesh the inner algorithm routes over
+ * (same pattern as the factory's wrap-first-hop adapter).
+ */
+class EscapeVcRouting : public RoutingAlgorithm
+{
+  public:
+    /**
+     * @param mesh       Virtualized mesh, vcsOf(p) >= 2 for every
+     *                   physical dimension; must outlive this object.
+     * @param inner_name Factory name of the deadlock-free algorithm
+     *                   restricted to the escape channels (VC 0).
+     */
+    EscapeVcRouting(const VirtualizedMesh &mesh,
+                    const std::string &inner_name);
+
+    DirectionSet
+    routeSet(NodeId current, std::optional<Direction> in_dir,
+             NodeId dest) const override;
+
+    std::string name() const override { return name_; }
+    const Topology &topology() const override { return mesh_; }
+    /** Adaptive hops are minimal; escape hops follow the inner
+     * algorithm, so overall minimality is the inner algorithm's. */
+    bool isMinimal() const override { return inner_->isMinimal(); }
+    /** The stay-on-escape rule reads the arrival channel's class. */
+    bool isInputDependent() const override { return true; }
+
+    const RoutingAlgorithm &inner() const { return *inner_; }
+
+  private:
+    const VirtualizedMesh &mesh_;
+    std::unique_ptr<NDMesh> phys_mesh_;
+    RoutingPtr inner_;
+    std::string name_;
+};
+
+} // namespace turnmodel
+
+#endif // TURNMODEL_CORE_ROUTING_ESCAPE_VC_HPP

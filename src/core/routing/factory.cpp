@@ -5,6 +5,7 @@
 #include "core/routing/all_but_one.hpp"
 #include "core/routing/compiled.hpp"
 #include "core/routing/dimension_order.hpp"
+#include "core/routing/escape_vc.hpp"
 #include "core/routing/mad_y.hpp"
 #include "topology/hex.hpp"
 #include "topology/oct.hpp"
@@ -81,6 +82,32 @@ makeRouting(const std::string &name, const Topology &topo)
         const RoutingPtr source = makeRouting(inner, topo);
         return std::make_unique<CompiledRoutingTable>(*source);
     }
+
+    // "vc:<inner>" layers escape-VC fully adaptive routing over any
+    // deadlock-free inner algorithm: VC 0 of a VirtualizedMesh obeys
+    // the inner algorithm, every other VC is fully adaptive (see
+    // core/routing/escape_vc.hpp). Hyphenless aliases are accepted
+    // for the common inner algorithms.
+    if (name.rfind("vc:", 0) == 0) {
+        const auto *vmesh =
+            dynamic_cast<const VirtualizedMesh *>(&topo);
+        if (!vmesh) {
+            TM_FATAL("the vc: prefix requires a VirtualizedMesh "
+                     "topology; got ", topo.name());
+        }
+        std::string inner = name.substr(std::string("vc:").size());
+        if (inner == "westfirst")
+            inner = "west-first";
+        else if (inner == "northlast")
+            inner = "north-last";
+        else if (inner == "negativefirst")
+            inner = "negative-first";
+        else if (inner == "dimensionorder" || inner == "ecube")
+            inner = "dimension-order";
+        return std::make_unique<EscapeVcRouting>(*vmesh, inner);
+    }
+    if (name == "fully-adaptive")
+        return std::make_unique<FullyAdaptiveRouting>(topo);
 
     const auto *cube = dynamic_cast<const Hypercube *>(&topo);
     const auto *torus = dynamic_cast<const KAryNCube *>(&topo);
@@ -225,9 +252,22 @@ availableRoutingNames(const Topology &topo)
         names.push_back("p-cube");
         names.push_back("p-cube-nonminimal");
     }
-    if (dynamic_cast<const VirtualizedMesh *>(&topo)) {
+    names.push_back("fully-adaptive");
+    if (const auto *vmesh =
+            dynamic_cast<const VirtualizedMesh *>(&topo)) {
         names.push_back("mad-y");
         names.push_back("mad-y-nonminimal");
+        bool escape_capable = true;
+        for (int p = 0; p < vmesh->numPhysicalDims(); ++p)
+            escape_capable = escape_capable && vmesh->vcsOf(p) >= 2;
+        if (escape_capable) {
+            names.push_back("vc:dimension-order");
+            names.push_back("vc:negative-first");
+            if (vmesh->numPhysicalDims() == 2) {
+                names.push_back("vc:west-first");
+                names.push_back("vc:north-last");
+            }
+        }
     }
     if (const auto *torus = dynamic_cast<const KAryNCube *>(&topo);
         torus && torus->k() > 2) {

@@ -85,7 +85,7 @@ ResultSink::writeObsJson(std::ostream &os, const ObsStudy &study)
     const std::ios::fmtflags flags = os.flags(std::ios::dec);
     const std::streamsize precision = os.precision();
 
-    os << "{\"schema\": \"turnmodel-obs-study-v1\", \"experiment\": \""
+    os << "{\"schema\": \"turnmodel-obs-study-v2\", \"experiment\": \""
        << jsonEscape(study.experiment)
        << "\", \"topology\": \"" << jsonEscape(study.topology)
        << "\", \"pattern\": \"" << jsonEscape(study.pattern)

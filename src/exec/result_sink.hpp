@@ -54,9 +54,10 @@ class ResultSink
 
     /**
      * JSON document for an observability study
-     * ("turnmodel-obs-study-v1"): the study header plus one entry per
+     * ("turnmodel-obs-study-v2"): the study header plus one entry per
      * run carrying its SimResult and full ObsReport
-     * ("turnmodel-obs-v1", see DESIGN.md).
+     * ("turnmodel-obs-v1" or "turnmodel-obs-v2" depending on the
+     * engine, see DESIGN.md).
      */
     static void writeObsJson(std::ostream &os, const ObsStudy &study);
 

@@ -21,12 +21,17 @@ writeCoords(std::ostream &os, const Coords &coords)
 }
 
 void
-writeChannelRow(std::ostream &os, const ChannelUtilRow &row)
+writeChannelRow(std::ostream &os, const ChannelUtilRow &row,
+                int schema_version)
 {
     os << "{\"node\": " << row.node << ", \"coords\": ";
     writeCoords(os, row.coords);
-    os << ", \"dir\": \"" << jsonEscape(row.dir) << "\""
-       << ", \"flits_forwarded\": " << row.flits_forwarded
+    os << ", \"dir\": \"" << jsonEscape(row.dir) << "\"";
+    if (schema_version >= 2) {
+        os << ", \"vc\": " << row.vc
+           << ", \"credit_stall_cycles\": " << row.credit_stall_cycles;
+    }
+    os << ", \"flits_forwarded\": " << row.flits_forwarded
        << ", \"busy_cycles\": " << row.busy_cycles
        << ", \"blocked_cycles\": " << row.blocked_cycles
        << ", \"peak_occupancy\": " << row.peak_occupancy
@@ -73,14 +78,15 @@ writeTraceEvent(std::ostream &os, const TraceEvent &event)
 void
 ObsReport::writeJson(std::ostream &os) const
 {
-    os << "{\"schema\": \"turnmodel-obs-v1\", \"topology\": \""
+    os << "{\"schema\": \"turnmodel-obs-v"
+       << (schema_version >= 2 ? 2 : 1) << "\", \"topology\": \""
        << jsonEscape(topology)
        << "\", \"observed_cycles\": " << observed_cycles
        << ", \"channels\": [";
     for (std::size_t i = 0; i < channels.size(); ++i) {
         if (i > 0)
             os << ", ";
-        writeChannelRow(os, channels[i]);
+        writeChannelRow(os, channels[i], schema_version);
     }
     os << "], \"samples\": [";
     for (std::size_t i = 0; i < samples.size(); ++i) {

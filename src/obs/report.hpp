@@ -3,8 +3,9 @@
  * Assembled observability data of one finished run, in exportable
  * form: channel-utilization heatmap rows keyed by node coordinates
  * and direction, the time-series sample windows, and the retained
- * packet event trace. The JSON schema ("turnmodel-obs-v1") is
- * documented in DESIGN.md and validated in CI by
+ * packet event trace. The JSON schema ("turnmodel-obs-v1", or
+ * "turnmodel-obs-v2" when the engine reports per-virtual-channel
+ * rows) is documented in DESIGN.md and validated in CI by
  * tools/validate_obs_schema.py.
  */
 
@@ -31,9 +32,11 @@ struct ChannelUtilRow
     NodeId node = 0;
     Coords coords;
     std::string dir;
+    int vc = -1;                        ///< VC index; -1 = eject/classic.
     std::uint64_t flits_forwarded = 0;
     std::uint64_t busy_cycles = 0;
     std::uint64_t blocked_cycles = 0;
+    std::uint64_t credit_stall_cycles = 0;   ///< v2 engines only.
     std::uint32_t peak_occupancy = 0;   ///< Downstream input buffer.
     double utilization = 0.0;           ///< Flits per observed cycle.
 };
@@ -41,6 +44,12 @@ struct ChannelUtilRow
 /** Everything one run's observers collected. */
 struct ObsReport
 {
+    /**
+     * 1 = classic per-physical-channel rows; 2 adds per-VC rows with
+     * "vc" and "credit_stall_cycles" keys (the VC router). Selects
+     * the "turnmodel-obs-vN" schema string writeJson() emits.
+     */
+    int schema_version = 1;
     std::string topology;
     std::uint64_t observed_cycles = 0;
     std::vector<ChannelUtilRow> channels;
@@ -55,9 +64,11 @@ struct ObsReport
 
     /**
      * Emit this report as one JSON object:
-     * {"schema": "turnmodel-obs-v1", "topology": ...,
+     * {"schema": "turnmodel-obs-vN", "topology": ...,
      *  "observed_cycles": N, "channels": [...], "samples": [...],
      *  "trace": {"dropped": N, "events": [...]}}.
+     * Version 2 channel rows additionally carry "vc" and
+     * "credit_stall_cycles".
      */
     void writeJson(std::ostream &os) const;
 };

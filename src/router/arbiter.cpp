@@ -1,0 +1,26 @@
+#include "router/arbiter.hpp"
+
+namespace turnmodel {
+
+std::uint32_t
+RoundRobinArbiter::select(const std::uint32_t *candidates,
+                          std::size_t n) const
+{
+    std::uint32_t best = candidates[0];
+    std::uint32_t best_dist = best >= next_
+        ? best - next_
+        : best + universe_ - next_;
+    for (std::size_t i = 1; i < n; ++i) {
+        const std::uint32_t c = candidates[i];
+        const std::uint32_t dist = c >= next_
+            ? c - next_
+            : c + universe_ - next_;
+        if (dist < best_dist) {
+            best = c;
+            best_dist = dist;
+        }
+    }
+    return best;
+}
+
+} // namespace turnmodel

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Deterministic round-robin arbiter for the VC router's separable
+ * switch allocator. One arbiter guards one crossbar resource (a
+ * physical input port or a physical output wire); its members are
+ * global port ids. Priority rotates only when a grant is confirmed
+ * (the request won every stage), the pointer-update rule that keeps
+ * separable input-first/output-first allocation starvation free.
+ *
+ * Determinism contract: select() depends only on the candidate set
+ * and the stored priority pointer — no randomness, no wall clock, no
+ * iteration-order sensitivity (candidates may arrive in any order) —
+ * so simulation results are bit-identical at any --jobs level.
+ */
+
+#ifndef TURNMODEL_ROUTER_ARBITER_HPP
+#define TURNMODEL_ROUTER_ARBITER_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+namespace turnmodel {
+
+/** Rotating-priority arbiter over member ids in [0, universe). */
+class RoundRobinArbiter
+{
+  public:
+    RoundRobinArbiter() = default;
+
+    explicit RoundRobinArbiter(std::uint32_t universe)
+        : universe_(universe)
+    {
+    }
+
+    /**
+     * The winner among @p n candidate ids (distinct, < universe, any
+     * order, n >= 1): the candidate at the smallest cyclic distance
+     * at or after the priority pointer. Does not advance the pointer.
+     */
+    std::uint32_t select(const std::uint32_t *candidates,
+                         std::size_t n) const;
+
+    /**
+     * Record that @p winner 's grant was confirmed: priority moves to
+     * the member after it, so the arbiter cycles through contenders.
+     */
+    void confirm(std::uint32_t winner)
+    {
+        next_ = winner + 1 == universe_ ? 0 : winner + 1;
+    }
+
+    /** Member currently holding top priority. */
+    std::uint32_t priority() const { return next_; }
+
+  private:
+    std::uint32_t universe_ = 1;
+    std::uint32_t next_ = 0;
+};
+
+} // namespace turnmodel
+
+#endif // TURNMODEL_ROUTER_ARBITER_HPP

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Engine factory: the one place that knows every cycle-accurate
+ * router model. Lives in the router library (above turnmodel_sim in
+ * the layering) so the simulator can construct whichever engine the
+ * configuration selects without depending on the VC router's
+ * internals.
+ */
+
+#include "sim/engine.hpp"
+
+#include "router/vc_network.hpp"
+#include "sim/network.hpp"
+#include "util/logging.hpp"
+
+namespace turnmodel {
+
+std::unique_ptr<NetworkEngine>
+makeEngine(const RoutingAlgorithm &routing,
+           const TrafficPattern &pattern, const SimConfig &config)
+{
+    switch (config.router_model) {
+    case RouterModel::Classic:
+        return std::make_unique<Network>(routing, pattern, config);
+    case RouterModel::VcCredit:
+        return std::make_unique<VcNetwork>(routing, pattern, config);
+    }
+    TM_FATAL("unknown router model");
+}
+
+} // namespace turnmodel

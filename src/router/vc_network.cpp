@@ -1,0 +1,928 @@
+#include "router/vc_network.hpp"
+
+#include <algorithm>
+
+#include "obs/report.hpp"
+#include "util/logging.hpp"
+
+namespace turnmodel {
+
+VcNetwork::VcNetwork(const RoutingAlgorithm &routing,
+                     const TrafficPattern &pattern,
+                     const SimConfig &config)
+    : routing_(routing), decider_(&routing), topo_(routing.topology()),
+      pattern_(pattern), config_(config),
+      ideal_(config.vc_router.ideal_credits),
+      pipelined_(config.vc_router.pipelined),
+      credit_delay_(config.vc_router.credit_delay),
+      sa_arbiter_(config.vc_router.arbiter),
+      router_rng_(Rng::forStream(config.seed, 0xabcdef))
+{
+    TM_ASSERT(config_.buffer_depth >= 1, "buffers hold at least one flit");
+    TM_ASSERT(config_.switching == Switching::Wormhole,
+              "the VC router models wormhole switching only");
+    TM_ASSERT(credit_delay_ >= 1,
+              "credit return takes at least one cycle");
+    if (config_.compiled_routing &&
+        dynamic_cast<const CompiledRoutingTable *>(&routing) == nullptr) {
+        compiled_.emplace(routing);
+        decider_ = &*compiled_;
+    }
+    ports_per_router_ = topo_.numDirs() + 1;
+    buffer_depth_ = config_.buffer_depth;
+    const std::size_t total_ports =
+        static_cast<std::size_t>(topo_.numNodes()) *
+        static_cast<std::size_t>(ports_per_router_);
+    in_ports_.resize(total_ports);
+    out_ports_.resize(total_ports);
+    flit_slab_.resize(total_ports * buffer_depth_);
+    out_to_in_.assign(total_ports, -1);
+    in_to_out_.assign(total_ports, -1);
+    move_memo_.assign(total_ports, ~0ULL);
+    is_active_.assign(total_ports, 0);
+    head_waiting_.assign(total_ports, 0);
+    waiting_pos_.assign(total_ports, 0);
+    granted_.assign(total_ports, 0);
+    granted_out_port_.assign(total_ports, 0);
+    granted_target_.assign(total_ports, -1);
+    maybe_free_.assign(total_ports, 0);
+    arb_move_into_.assign(total_ports, -1);
+    va_ready_at_.assign(total_ports, 0);
+    sa_ready_at_.assign(total_ports, 0);
+    credits_.assign(total_ports,
+                    static_cast<std::int64_t>(buffer_depth_));
+    credit_ring_.resize(credit_delay_ + 1);
+    credit_stall_.assign(total_ports, 0);
+
+    port_router_.resize(total_ports);
+    port_local_.resize(total_ports);
+    for (std::uint32_t p = 0; p < total_ports; ++p) {
+        port_router_[p] =
+            p / static_cast<std::uint32_t>(ports_per_router_);
+        port_local_[p] = static_cast<std::uint8_t>(
+            p % static_cast<std::uint32_t>(ports_per_router_));
+    }
+
+    // Wire each output VC to the matching downstream input VC, and
+    // remember the inverse for credit returns: popping a flit from an
+    // input buffer sends a credit to the upstream output VC.
+    for (NodeId v = 0; v < topo_.numNodes(); ++v) {
+        for (Direction d : allDirections(topo_.numDims())) {
+            const auto w = topo_.neighbor(v, d);
+            if (!w)
+                continue;
+            const std::uint32_t out = inPortId(v, d.id());
+            const std::uint32_t in = inPortId(*w, d.id());
+            out_to_in_[out] = static_cast<std::int32_t>(in);
+            in_to_out_[in] = static_cast<std::int32_t>(out);
+        }
+    }
+
+    // Crossbar resources: virtual channels of one physical wire share
+    // one crossbar input (arriving side) and one output wire
+    // (departing side); the local injection/ejection port is its own
+    // resource. Identity mapping on plain topologies.
+    const int num_dirs = topo_.numDirs();
+    std::vector<std::uint32_t> wire_of_dir(
+        static_cast<std::size_t>(num_dirs));
+    std::uint32_t wires = 0;
+    for (int d = 0; d < num_dirs; ++d) {
+        wire_of_dir[static_cast<std::size_t>(d)] =
+            topo_.physicalChannelGroup(static_cast<DirId>(d));
+        wires = std::max(
+            wires, wire_of_dir[static_cast<std::size_t>(d)] + 1u);
+    }
+    const std::uint32_t resources_per_router = wires + 1;
+    in_group_.resize(total_ports);
+    out_wire_.resize(total_ports);
+    port_vc_.assign(total_ports, 0);
+    for (std::uint32_t p = 0; p < total_ports; ++p) {
+        const int local = localOf(p);
+        const std::uint32_t res = local == localPort()
+            ? wires
+            : wire_of_dir[static_cast<std::size_t>(local)];
+        const std::uint32_t id =
+            routerOf(p) * resources_per_router + res;
+        in_group_[p] = id;
+        out_wire_[p] = id;
+        if (local != localPort()) {
+            std::uint8_t vc = 0;
+            for (int d = 0; d < local; ++d) {
+                if (wire_of_dir[static_cast<std::size_t>(d)] ==
+                    wire_of_dir[static_cast<std::size_t>(local)])
+                    ++vc;
+            }
+            port_vc_[p] = vc;
+        }
+    }
+    const std::size_t num_resources =
+        static_cast<std::size_t>(topo_.numNodes()) *
+        static_cast<std::size_t>(resources_per_router);
+    in_arb_.assign(num_resources, RoundRobinArbiter(
+        static_cast<std::uint32_t>(total_ports)));
+    out_arb_.assign(num_resources, RoundRobinArbiter(
+        static_cast<std::uint32_t>(total_ports)));
+
+    if (topo_.hasSharedPhysicalChannels()) {
+        arb_key_.resize(total_ports);
+        for (std::uint32_t p = 0; p < total_ports; ++p) {
+            const int local = localOf(p);
+            if (local == localPort())
+                continue;   // Delivery channels are not multiplexed.
+            arb_key_[p] =
+                static_cast<std::uint64_t>(routerOf(p)) * 256u +
+                topo_.physicalChannelGroup(static_cast<DirId>(local));
+        }
+    }
+
+    if (config_.obs.networkEnabled()) {
+        obs_ = std::make_unique<NetworkObserver>(config_.obs,
+                                                 total_ports);
+        chan_stats_ = obs_->channels();
+        trace_sink_ = obs_->trace();
+    }
+
+    source_queues_.resize(topo_.numNodes());
+    source_pending_.assign(topo_.numNodes(), 0);
+    arrivals_.reserve(topo_.numNodes());
+    arrival_due_.reserve(topo_.numNodes());
+    for (NodeId v = 0; v < topo_.numNodes(); ++v) {
+        arrivals_.emplace_back(config_.injection_rate,
+                               config_.lengths.mean(),
+                               Rng::forStream(config_.seed, v + 1));
+        arrival_due_.push_back(arrivals_.back().nextDue());
+    }
+}
+
+void
+VcNetwork::fifoPush(std::uint32_t port, const Flit &flit)
+{
+    InPort &in = in_ports_[port];
+    std::uint32_t idx = in.fifo_head + in.fifo_size;
+    if (idx >= buffer_depth_)
+        idx -= buffer_depth_;
+    flit_slab_[port * buffer_depth_ + idx] = flit;
+    ++in.fifo_size;
+    // A header only ever enters an empty, unbound VC buffer (one
+    // packet per VC), so it is at the front and unrouted right now.
+    if (flit.head) {
+        head_waiting_[port] = 1;
+        waiting_pos_[port] =
+            static_cast<std::uint32_t>(waiting_list_.size());
+        waiting_list_.push_back(port);
+    }
+}
+
+Flit
+VcNetwork::fifoPop(std::uint32_t port)
+{
+    InPort &in = in_ports_[port];
+    const Flit flit = flit_slab_[port * buffer_depth_ + in.fifo_head];
+    ++in.fifo_head;
+    if (in.fifo_head >= buffer_depth_)
+        in.fifo_head = 0;
+    --in.fifo_size;
+    return flit;
+}
+
+void
+VcNetwork::markActive(std::uint32_t port)
+{
+    if (!is_active_[port]) {
+        is_active_[port] = 1;
+        active_ports_.push_back(port);
+    }
+}
+
+void
+VcNetwork::step()
+{
+    moved_this_cycle_ = false;
+    if (generate_)
+        generateMessages();
+    if (!ideal_)
+        applyCreditReturns();
+    allocateVcs();
+    traverseFlits();
+    injectFlits();
+
+    if (chan_stats_) {
+        chan_stats_->tick();
+        const auto num_ports =
+            static_cast<std::uint32_t>(out_ports_.size());
+        for (std::uint32_t p = 0; p < num_ports; ++p) {
+            if (out_ports_[p].owner != kNoSlot)
+                chan_stats_->recordHeld(p, cycle_);
+        }
+    }
+
+    // Deadlock watchdog: packets in the network but nothing moved.
+    if (!moved_this_cycle_ && counters_.flits_in_network > 0)
+        ++stall_cycles_;
+    else
+        stall_cycles_ = 0;
+    if ((cycle_ & 0x3ff) == 0) {
+        packet_stall_flag_ = packet_stall_flag_
+            || oldestPacketStall() >= config_.deadlock_threshold;
+    }
+    ++cycle_;
+}
+
+void
+VcNetwork::generateMessages()
+{
+    const double now = static_cast<double>(cycle_);
+    for (NodeId v = 0; v < topo_.numNodes(); ++v) {
+        if (arrival_due_[v] > now)
+            continue;
+        ArrivalProcess &proc = arrivals_[v];
+        do {
+            proc.advance();
+            const auto dest = pattern_.destination(v, proc.rng());
+            if (!dest)
+                continue;   // Self-directed; never enters the network.
+            const std::uint32_t length =
+                config_.lengths.sample(proc.rng());
+            const PacketSlot slot = packets_.allocate();
+            if (slot >= progress_.size())
+                progress_.resize(slot + 1);
+            PacketState &pkt = packets_[slot];
+            pkt.id = next_packet_id_++;
+            pkt.src = v;
+            pkt.dest = *dest;
+            pkt.length = length;
+            pkt.created = now;
+            source_queues_[v].push_back(slot);
+            source_pending_[v] = 1;
+            ++counters_.packets_generated;
+            counters_.flits_generated += length;
+            counters_.source_queue_flits += length;
+        } while (proc.due(now));
+        arrival_due_[v] = proc.nextDue();
+    }
+}
+
+void
+VcNetwork::applyCreditReturns()
+{
+    auto &bucket = credit_ring_[cycle_ % credit_ring_.size()];
+    for (const CreditEvent &e : bucket) {
+        ++credits_[e.out_port];
+        TM_ASSERT(credits_[e.out_port] <=
+                      static_cast<std::int64_t>(buffer_depth_),
+                  "credit counter above downstream buffer depth");
+        // The tail flit's credit doubles as the VC-free signal: the
+        // output VC returns to the allocatable pool only once the
+        // downstream buffer holds none of the departing packet.
+        if (e.vc_free)
+            out_ports_[e.out_port].owner = kNoSlot;
+    }
+    bucket.clear();
+}
+
+void
+VcNetwork::scheduleCredit(std::uint32_t out_port, bool vc_free)
+{
+    credit_ring_[(cycle_ + credit_delay_) % credit_ring_.size()]
+        .push_back({out_port, static_cast<std::uint8_t>(vc_free)});
+}
+
+void
+VcNetwork::gatherBid(std::uint32_t port)
+{
+    const InPort &in = in_ports_[port];
+    const Flit &flit = fifoFront(port);
+    TM_ASSERT(in.fifo_size > 0 && in.granted_out == -1 && flit.head,
+              "head_waiting_ flag out of sync");
+    const PacketState &pkt = packets_[flit.slot];
+    const NodeId here = routerOf(port);
+    const int local = localOf(port);
+
+    std::uint32_t preferred;
+    if (pkt.dest == here) {
+        // Eject through the local delivery channel.
+        const std::uint32_t eject = inPortId(here, localPort());
+        if (out_ports_[eject].owner != kNoSlot)
+            return;
+        preferred = eject;
+    } else {
+        const std::optional<Direction> in_dir =
+            local == localPort()
+                ? std::nullopt
+                : std::make_optional(
+                      Direction::fromId(static_cast<DirId>(local)));
+        DirectionSet candidates;
+        for (Direction d : decider_->routeSet(here, in_dir,
+                                              pkt.dest)) {
+            const std::uint32_t out = inPortId(here, d.id());
+            if (out_ports_[out].owner == kNoSlot)
+                candidates.insert(d);
+        }
+        if (candidates.empty())
+            return;
+        const Direction pick = selectOutput(
+            config_.output_selection, candidates, in_dir,
+            router_rng_);
+        preferred = inPortId(here, pick.id());
+    }
+    bids_.push_back({preferred, {port, in.header_arrival}});
+}
+
+void
+VcNetwork::allocateVcs()
+{
+    // VC allocation: every route-computed header bids for the single
+    // free output VC its output-selection policy prefers; the
+    // input-selection policy picks one winner per output VC. Bids are
+    // sorted before use, so the compact waiting list's order is
+    // unobservable under deterministic policies (Random policies
+    // consume router_rng_ in list order, which is still a pure
+    // function of the configuration and seed).
+    bids_.clear();
+    for (std::uint32_t port : waiting_list_) {
+        if (cycle_ >= va_ready_at_[port])
+            gatherBid(port);
+    }
+
+    std::sort(bids_.begin(), bids_.end(),
+              [](const Bid &a, const Bid &b) {
+                  if (a.out_port != b.out_port)
+                      return a.out_port < b.out_port;
+                  return a.request.in_port < b.request.in_port;
+              });
+    std::size_t i = 0;
+    while (i < bids_.size()) {
+        bid_group_.clear();
+        const std::uint32_t out = bids_[i].out_port;
+        while (i < bids_.size() && bids_[i].out_port == out)
+            bid_group_.push_back(bids_[i++].request);
+        const std::size_t win =
+            selectInput(config_.input_selection, bid_group_,
+                        router_rng_);
+        const std::uint32_t in_port = bid_group_[win].in_port;
+        InPort &in = in_ports_[in_port];
+        out_ports_[out].owner = fifoFront(in_port).slot;
+        in.granted_out = localOf(out);
+        granted_[in_port] = 1;
+        granted_out_port_[in_port] = out;
+        granted_target_[in_port] = out_to_in_[out];
+        // Charge the VA stage: the winner may compete in switch
+        // allocation from the next cycle when pipelined, immediately
+        // (classic timing) otherwise.
+        sa_ready_at_[in_port] = cycle_ + (pipelined_ ? 1 : 0);
+        head_waiting_[in_port] = 0;
+        const std::uint32_t pos = waiting_pos_[in_port];
+        const std::uint32_t last = waiting_list_.back();
+        waiting_list_[pos] = last;
+        waiting_pos_[last] = pos;
+        waiting_list_.pop_back();
+    }
+}
+
+bool
+VcNetwork::headCanMoveCompute(std::uint32_t port)
+{
+    // Ideal-credit movability, replicated from the classic engine so
+    // the degenerate configuration is semantics-identical: instant
+    // occupancy checks with same-cycle chained refills, and a
+    // dependency cycle resolving to "cannot move" through the
+    // on-stack memo state.
+    move_memo_[port] = (cycle_ << 2) | 1;
+
+    bool result = false;
+    const InPort &in = in_ports_[port];
+    if (in.fifo_size > 0 && in.granted_out != -1 &&
+        cycle_ >= sa_ready_at_[port]) {
+        const std::int32_t target = granted_target_[port];
+        if (target < 0) {
+            // Ejection: the destination consumes immediately.
+            result = true;
+        } else {
+            const auto target_port = static_cast<std::uint32_t>(target);
+            const InPort &next = in_ports_[target_port];
+            const Flit &flit = fifoFront(port);
+            if (next.fifo_size < buffer_depth_) {
+                result = next.cur_slot == kNoSlot
+                    || next.cur_slot == flit.slot;
+            } else if (headCanMove(target_port)) {
+                result = next.cur_slot == flit.slot
+                    || next.fifo_size == 1;
+            }
+        }
+    }
+    move_memo_[port] = (cycle_ << 2) | (result ? 2u : 3u);
+    return result;
+}
+
+void
+VcNetwork::decideMovesIdeal()
+{
+    for (std::uint32_t port : active_ports_) {
+        if (!granted_[port])
+            continue;
+        if (!headCanMove(port))
+            continue;
+        moves_.push_back({port, granted_target_[port],
+                          granted_out_port_[port]});
+    }
+    if (topo_.hasSharedPhysicalChannels())
+        arbitratePhysicalChannels();
+}
+
+void
+VcNetwork::decideMovesCredit()
+{
+    // Gather switch-allocation requests: granted VCs with a buffered
+    // flit, past their VA pipeline stage, holding a credit (ejection
+    // needs none — the destination consumes immediately). A flit-ready
+    // VC without a credit charges the credit-stall counter, the
+    // backpressure signal the per-VC observability exports.
+    sa_reqs_.clear();
+    for (std::uint32_t port : active_ports_) {
+        if (!granted_[port])
+            continue;
+        const InPort &in = in_ports_[port];
+        if (in.fifo_size == 0)
+            continue;
+        if (cycle_ < sa_ready_at_[port])
+            continue;
+        const std::uint32_t out = granted_out_port_[port];
+        if (granted_target_[port] >= 0 && credits_[out] <= 0) {
+            ++credit_stall_[out];
+            continue;
+        }
+        sa_reqs_.push_back({port, out});
+    }
+    if (sa_reqs_.empty())
+        return;
+
+    // Separable two-stage allocation. Each stage keeps one request
+    // per crossbar resource under that resource's round-robin
+    // arbiter; a request must survive both stages. Requests are
+    // unique per input VC (one granted output each) and per output VC
+    // (one owner each), so a stage winner is unambiguous.
+    const auto filterStage = [this](std::vector<SaRequest> &from,
+                                    std::vector<SaRequest> &to,
+                                    bool by_input) {
+        const auto key = [this, by_input](const SaRequest &r) {
+            return by_input ? in_group_[r.in_port]
+                            : out_wire_[r.out_port];
+        };
+        const auto member = [by_input](const SaRequest &r) {
+            return by_input ? r.in_port : r.out_port;
+        };
+        std::sort(from.begin(), from.end(),
+                  [&](const SaRequest &a, const SaRequest &b) {
+                      if (key(a) != key(b))
+                          return key(a) < key(b);
+                      return member(a) < member(b);
+                  });
+        to.clear();
+        std::size_t i = 0;
+        while (i < from.size()) {
+            const std::uint32_t k = key(from[i]);
+            std::size_t j = i;
+            sa_members_.clear();
+            while (j < from.size() && key(from[j]) == k) {
+                sa_members_.push_back(member(from[j]));
+                ++j;
+            }
+            if (j - i == 1) {
+                to.push_back(from[i]);
+            } else {
+                const RoundRobinArbiter &arb =
+                    by_input ? in_arb_[k] : out_arb_[k];
+                const std::uint32_t w = arb.select(
+                    sa_members_.data(), sa_members_.size());
+                for (std::size_t m = i; m < j; ++m) {
+                    if (member(from[m]) == w) {
+                        to.push_back(from[m]);
+                        break;
+                    }
+                }
+            }
+            i = j;
+        }
+    };
+
+    if (sa_arbiter_ == SwitchArbiter::InputFirst) {
+        filterStage(sa_reqs_, sa_stage_, true);
+        filterStage(sa_stage_, sa_reqs_, false);
+    } else {
+        filterStage(sa_reqs_, sa_stage_, false);
+        filterStage(sa_stage_, sa_reqs_, true);
+    }
+
+    // Priority pointers advance only on confirmed grants, so a stage
+    // winner that loses the other stage keeps its priority.
+    for (const SaRequest &r : sa_reqs_) {
+        in_arb_[in_group_[r.in_port]].confirm(r.in_port);
+        out_arb_[out_wire_[r.out_port]].confirm(r.out_port);
+        moves_.push_back({r.in_port, granted_target_[r.in_port],
+                          r.out_port});
+    }
+}
+
+void
+VcNetwork::traverseFlits()
+{
+    // Decide all moves against the cycle-start state, then apply.
+    moves_.clear();
+    if (ideal_)
+        decideMovesIdeal();
+    else
+        decideMovesCredit();
+
+    // Pop all moving flits first so same-cycle chained refills (ideal
+    // mode) see consistent state, then push them downstream.
+    in_flight_.clear();
+    freed_candidates_ = 0;
+    for (const Move &m : moves_) {
+        InPort &in = in_ports_[m.from];
+        const Flit flit = fifoPop(m.from);
+        if (!ideal_) {
+            if (m.to >= 0) {
+                TM_ASSERT(credits_[m.out] > 0,
+                          "flit sent without a credit");
+                --credits_[m.out];
+            }
+            // This pop freed one slot of m.from's buffer: return a
+            // credit to the upstream output VC feeding it (none for
+            // the injection port — its upstream is the source queue).
+            const std::int32_t up = in_to_out_[m.from];
+            if (up >= 0)
+                scheduleCredit(static_cast<std::uint32_t>(up),
+                               flit.tail);
+        }
+        if (flit.tail) {
+            // The tail releases the buffer binding; the output VC is
+            // released now under ideal credits (and for ejection,
+            // which has no downstream buffer), otherwise by the
+            // downstream tail pop's VC-free signal.
+            if (ideal_ || m.to < 0)
+                out_ports_[m.out].owner = kNoSlot;
+            in.cur_slot = kNoSlot;
+            in.granted_out = -1;
+            granted_[m.from] = 0;
+            if (in.fifo_size == 0 && !maybe_free_[m.from]) {
+                maybe_free_[m.from] = 1;
+                ++freed_candidates_;
+            }
+        }
+        in_flight_.push_back({flit, m.from, m.to, m.out});
+    }
+
+    for (const InFlight &f : in_flight_) {
+        moved_this_cycle_ = true;
+        ++counters_.flit_moves;
+        progress_[f.flit.slot] = cycle_;
+        if (chan_stats_)
+            chan_stats_->recordForward(f.out, cycle_);
+        if (f.to < 0) {
+            // Consumed at the destination.
+            PacketState &pkt = packets_[f.flit.slot];
+            ++pkt.flits_delivered;
+            ++counters_.flits_delivered;
+            --counters_.flits_in_network;
+            if (f.flit.tail) {
+                ++counters_.packets_delivered;
+                if (trace_sink_)
+                    trace_sink_->record({cycle_, pkt.id,
+                                         pkt.dest, 0,
+                                         TraceEventKind::Deliver});
+                completions_.push_back({pkt.id, pkt.src, pkt.dest,
+                                        pkt.length, pkt.hops, pkt.created,
+                                        pkt.injected,
+                                        static_cast<double>(cycle_)});
+                packets_.release(f.flit.slot);
+            }
+            continue;
+        }
+        const auto to = static_cast<std::uint32_t>(f.to);
+        InPort &next = in_ports_[to];
+        TM_ASSERT(next.fifo_size < buffer_depth_,
+                  "flit pushed into a full buffer");
+        TM_ASSERT(next.cur_slot == kNoSlot ||
+                      next.cur_slot == f.flit.slot,
+                  "two packets interleaved in one VC buffer");
+        fifoPush(to, f.flit);
+        if (chan_stats_)
+            chan_stats_->recordOccupancy(to, next.fifo_size);
+        if (f.flit.head) {
+            PacketState &pkt = packets_[f.flit.slot];
+            next.cur_slot = f.flit.slot;
+            next.header_arrival = cycle_;
+            // Charge the route-compute stage: the header may bid in
+            // VA the cycle after arrival (classic timing), one later
+            // when pipelined.
+            va_ready_at_[to] = cycle_ + 1 + (pipelined_ ? 1 : 0);
+            ++pkt.hops;
+            ++counters_.header_hops;
+            if (trace_sink_)
+                trace_sink_->record({cycle_, pkt.id,
+                                     routerOf(f.from),
+                                     static_cast<DirId>(localOf(to)),
+                                     TraceEventKind::Route});
+        }
+        markActive(to);
+    }
+
+    // Compact the active list (identical to the classic engine).
+    if (freed_candidates_ > 0) {
+        std::size_t keep = 0;
+        for (std::uint32_t port : active_ports_) {
+            if (!maybe_free_[port]) {
+                active_ports_[keep++] = port;
+                continue;
+            }
+            maybe_free_[port] = 0;
+            const InPort &in = in_ports_[port];
+            if (in.fifo_size > 0 || in.cur_slot != kNoSlot) {
+                active_ports_[keep++] = port;
+            } else {
+                is_active_[port] = 0;
+            }
+        }
+        active_ports_.resize(keep);
+    }
+}
+
+void
+VcNetwork::injectFlits()
+{
+    // Runs after traversal so a single-flit injection buffer sustains
+    // one flit per cycle, the injection channel's full bandwidth.
+    for (NodeId v = 0; v < topo_.numNodes(); ++v) {
+        if (!source_pending_[v])
+            continue;
+        auto &queue = source_queues_[v];
+        const std::uint32_t port = inPortId(v, localPort());
+        InPort &in = in_ports_[port];
+        if (in.fifo_size >= buffer_depth_)
+            continue;
+        const PacketSlot slot = queue.front();
+        PacketState &pkt = packets_[slot];
+        if (in.cur_slot != kNoSlot && in.cur_slot != slot)
+            continue;   // Previous packet's tail still in the buffer.
+        Flit flit;
+        flit.slot = slot;
+        flit.head = pkt.flits_injected == 0;
+        flit.tail = pkt.flits_injected + 1 == pkt.length;
+        fifoPush(port, flit);
+        ++pkt.flits_injected;
+        progress_[slot] = cycle_;
+        --counters_.source_queue_flits;
+        ++counters_.flits_in_network;
+        ++counters_.flit_moves;
+        moved_this_cycle_ = true;
+        if (flit.head) {
+            in.cur_slot = slot;
+            in.header_arrival = cycle_;
+            va_ready_at_[port] = cycle_ + 1 + (pipelined_ ? 1 : 0);
+            pkt.injected = static_cast<double>(cycle_);
+            if (trace_sink_)
+                trace_sink_->record({cycle_, pkt.id, v, 0,
+                                     TraceEventKind::Inject});
+        }
+        if (flit.tail) {
+            queue.pop_front();
+            if (queue.empty())
+                source_pending_[v] = 0;
+        }
+        markActive(port);
+    }
+}
+
+void
+VcNetwork::arbitratePhysicalChannels()
+{
+    // Ideal-credit mode on shared wires: identical to the classic
+    // engine's rotating-priority wire arbitration with transitive
+    // cancellation of dependent chained refills. (Credit mode routes
+    // wire contention through the separable switch allocator instead.)
+    arb_groups_.clear();
+    for (std::uint32_t i = 0;
+         i < static_cast<std::uint32_t>(moves_.size()); ++i) {
+        if (moves_[i].to < 0)
+            continue;   // Delivery channels are not multiplexed.
+        arb_groups_.emplace_back(arb_key_[moves_[i].out], i);
+    }
+    std::sort(arb_groups_.begin(), arb_groups_.end());
+
+    arb_cancelled_.assign(moves_.size(), 0);
+    arb_worklist_.clear();
+    std::size_t i = 0;
+    while (i < arb_groups_.size()) {
+        std::size_t j = i;
+        while (j < arb_groups_.size() &&
+               arb_groups_[j].first == arb_groups_[i].first) {
+            ++j;
+        }
+        const std::size_t members = j - i;
+        if (members > 1) {
+            const std::size_t keep =
+                static_cast<std::size_t>(cycle_ % members);
+            for (std::size_t k = 0; k < members; ++k) {
+                if (k == keep)
+                    continue;
+                arb_cancelled_[arb_groups_[i + k].second] = 1;
+                arb_worklist_.push_back(arb_groups_[i + k].second);
+            }
+        }
+        i = j;
+    }
+
+    if (!arb_worklist_.empty()) {
+        for (const Move &m : moves_) {
+            if (m.to >= 0)
+                arb_move_into_[m.to] = static_cast<std::int32_t>(
+                    &m - moves_.data());
+        }
+        for (std::size_t head = 0; head < arb_worklist_.size();
+             ++head) {
+            const std::uint32_t dead = arb_worklist_[head];
+            const std::uint32_t buffer = moves_[dead].from;
+            if (in_ports_[buffer].fifo_size < buffer_depth_)
+                continue;   // The incoming move still has room.
+            const std::int32_t feeder = arb_move_into_[buffer];
+            if (feeder < 0 || arb_cancelled_[feeder])
+                continue;
+            arb_cancelled_[feeder] = 1;
+            arb_worklist_.push_back(
+                static_cast<std::uint32_t>(feeder));
+        }
+        for (const Move &m : moves_) {
+            if (m.to >= 0)
+                arb_move_into_[m.to] = -1;
+        }
+
+        std::size_t keep = 0;
+        for (std::size_t m = 0; m < moves_.size(); ++m) {
+            if (!arb_cancelled_[m])
+                moves_[keep++] = moves_[m];
+        }
+        moves_.resize(keep);
+    }
+}
+
+PacketId
+VcNetwork::post(NodeId src, NodeId dest, std::uint32_t length)
+{
+    TM_ASSERT(src < topo_.numNodes() && dest < topo_.numNodes(),
+              "post() endpoints out of range");
+    TM_ASSERT(src != dest, "post() requires distinct endpoints");
+    TM_ASSERT(length >= 1, "a packet has at least one flit");
+    const PacketSlot slot = packets_.allocate();
+    if (slot >= progress_.size())
+        progress_.resize(slot + 1);
+    PacketState &pkt = packets_[slot];
+    pkt.id = next_packet_id_++;
+    pkt.src = src;
+    pkt.dest = dest;
+    pkt.length = length;
+    pkt.created = static_cast<double>(cycle_);
+    progress_[slot] = cycle_;
+    source_queues_[src].push_back(slot);
+    source_pending_[src] = 1;
+    ++counters_.packets_generated;
+    counters_.flits_generated += length;
+    counters_.source_queue_flits += length;
+    return pkt.id;
+}
+
+void
+VcNetwork::drainCompletions(std::vector<Completion> &out)
+{
+    out.clear();
+    out.swap(completions_);
+}
+
+bool
+VcNetwork::deadlockDetected() const
+{
+    return stall_cycles_ >= config_.deadlock_threshold
+        || packet_stall_flag_;
+}
+
+std::vector<PacketId>
+VcNetwork::stuckPackets(std::uint64_t age) const
+{
+    std::vector<PacketId> stuck;
+    packets_.forEachLive([&](PacketSlot slot, const PacketState &pkt) {
+        if (pkt.flits_injected == 0)
+            return;
+        if (cycle_ - progress_[slot] >= age)
+            stuck.push_back(pkt.id);
+    });
+    std::sort(stuck.begin(), stuck.end());
+    return stuck;
+}
+
+std::uint64_t
+VcNetwork::oldestPacketStall() const
+{
+    std::uint64_t oldest = 0;
+    packets_.forEachLive([&](PacketSlot slot, const PacketState &pkt) {
+        if (pkt.flits_injected == 0)
+            return;
+        oldest = std::max(oldest, cycle_ - progress_[slot]);
+    });
+    return oldest;
+}
+
+std::uint64_t
+VcNetwork::sourceQueuePackets() const
+{
+    std::uint64_t total = 0;
+    for (const auto &q : source_queues_)
+        total += q.size();
+    return total;
+}
+
+bool
+VcNetwork::auditCredits() const
+{
+    if (ideal_)
+        return true;
+    std::vector<std::int64_t> pending(credits_.size(), 0);
+    for (const auto &bucket : credit_ring_) {
+        for (const CreditEvent &e : bucket)
+            ++pending[e.out_port];
+    }
+    for (std::uint32_t out = 0;
+         out < static_cast<std::uint32_t>(credits_.size()); ++out) {
+        const std::int32_t down = out_to_in_[out];
+        if (down < 0)
+            continue;   // Ejection: no credit loop.
+        if (credits_[out] < 0)
+            return false;
+        const std::int64_t round_trip = credits_[out] + pending[out]
+            + in_ports_[static_cast<std::uint32_t>(down)].fifo_size;
+        if (round_trip != static_cast<std::int64_t>(buffer_depth_))
+            return false;
+    }
+    return true;
+}
+
+std::uint64_t
+VcNetwork::creditStallCycles() const
+{
+    std::uint64_t total = 0;
+    for (std::uint64_t s : credit_stall_)
+        total += s;
+    return total;
+}
+
+void
+VcNetwork::fillObsReport(ObsReport &report) const
+{
+    report.schema_version = 2;
+    if (chan_stats_) {
+        report.observed_cycles = chan_stats_->observedCycles();
+        const double cycles =
+            static_cast<double>(chan_stats_->observedCycles());
+        const auto row_for = [&](NodeId v, std::uint32_t out,
+                                 std::string dir, int vc,
+                                 std::uint32_t peak) {
+            ChannelUtilRow row;
+            row.node = v;
+            row.coords = topo_.coords(v);
+            row.dir = std::move(dir);
+            row.vc = vc;
+            row.flits_forwarded = chan_stats_->flitsForwarded(out);
+            row.busy_cycles = chan_stats_->busyCycles(out);
+            row.blocked_cycles = chan_stats_->blockedCycles(out);
+            row.peak_occupancy = peak;
+            row.credit_stall_cycles = credit_stall_[out];
+            row.utilization = cycles > 0.0
+                ? static_cast<double>(row.flits_forwarded) / cycles
+                : 0.0;
+            return row;
+        };
+        for (NodeId v = 0; v < topo_.numNodes(); ++v) {
+            for (Direction d : allDirections(topo_.numDims())) {
+                if (!topo_.neighbor(v, d))
+                    continue;
+                const std::uint32_t out = inPortId(v, d.id());
+                const std::int32_t down = out_to_in_[out];
+                // Rows are keyed by the physical direction plus the
+                // VC index, so heatmaps of virtualized meshes stay in
+                // the physical vocabulary.
+                const Direction phys = Direction::fromId(
+                    topo_.physicalChannelGroup(d.id()));
+                report.channels.push_back(row_for(
+                    v, out, directionName(phys), port_vc_[out],
+                    chan_stats_->peakOccupancy(
+                        static_cast<std::uint32_t>(down))));
+            }
+            report.channels.push_back(row_for(
+                v, inPortId(v, localPort()), "eject", -1, 0));
+        }
+    }
+    if (trace_sink_) {
+        report.trace = trace_sink_->chronological();
+        report.trace_dropped = trace_sink_->dropped();
+    }
+}
+
+} // namespace turnmodel

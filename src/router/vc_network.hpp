@@ -1,0 +1,343 @@
+/**
+ * @file
+ * Credit-based virtual-channel router network — the repo's second
+ * cycle-accurate engine (see sim/engine.hpp for the interface and
+ * sim/network.hpp for the classic single-buffer engine it is
+ * differentially tested against).
+ *
+ * Microarchitecture (the canonical RC/VA/SA/LT organization of
+ * Garnet-style VC routers): every input port of a router is one
+ * virtual-channel state machine with a private multi-flit buffer.
+ * A buffered header is route-computed (RC), then bids in VC
+ * allocation (VA) for a free output VC chosen by the configured
+ * output-selection policy, with the input-selection policy breaking
+ * ties per output VC. A granted VC then competes each cycle in
+ * switch allocation (SA) — a separable two-stage allocator over the
+ * router's crossbar: one flit per physical input port and one flit
+ * per physical output wire per cycle, each stage arbitrated by a
+ * deterministic round-robin arbiter (router/arbiter.hpp), in
+ * input-first or output-first order per SwitchArbiter. Winners
+ * traverse the link (LT) the same cycle.
+ *
+ * Flow control is credit based: each output VC holds a credit
+ * counter initialized to the downstream buffer depth; sending a flit
+ * consumes a credit, and popping a flit from the downstream buffer
+ * returns one after vc_router.credit_delay cycles. The credit
+ * carrying a tail flit's pop doubles as the VC-free signal that
+ * returns the output VC to the allocatable pool — exactly one packet
+ * occupies a VC buffer at a time. With vc_router.ideal_credits the
+ * engine instead replicates the classic engine's instantaneous
+ * occupancy checks and same-cycle chained refills; combined with
+ * pipelined=false, one VC and deterministic selection policies, the
+ * two engines produce identical results (the degenerate differential
+ * test pins this).
+ *
+ * Virtual channels come from the topology: on a VirtualizedMesh each
+ * virtual direction is one VC of its physical wire, which is how the
+ * escape-VC routing algorithm (core/routing/escape_vc.hpp) sees and
+ * restricts individual VCs. On a plain mesh the engine degenerates
+ * to one VC per wire.
+ */
+
+#ifndef TURNMODEL_ROUTER_VC_NETWORK_HPP
+#define TURNMODEL_ROUTER_VC_NETWORK_HPP
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/routing.hpp"
+#include "core/routing/compiled.hpp"
+#include "obs/observer.hpp"
+#include "router/arbiter.hpp"
+#include "sim/config.hpp"
+#include "sim/engine.hpp"
+#include "sim/flat_queue.hpp"
+#include "sim/packet.hpp"
+#include "sim/packet_pool.hpp"
+#include "sim/selection.hpp"
+#include "traffic/pattern.hpp"
+#include "traffic/workload.hpp"
+
+namespace turnmodel {
+
+struct ObsReport;
+
+/** The simulated VC-router network. */
+class VcNetwork : public NetworkEngine
+{
+  public:
+    /**
+     * @param routing Routing algorithm (also supplies the topology);
+     *                must outlive this object.
+     * @param pattern Traffic pattern; must outlive this object.
+     * @param config  Run configuration (copied); wormhole only.
+     */
+    VcNetwork(const RoutingAlgorithm &routing,
+              const TrafficPattern &pattern, const SimConfig &config);
+
+    // ----- NetworkEngine ---------------------------------------------
+    void step() override;
+    std::uint64_t now() const override { return cycle_; }
+    const NetworkCounters &counters() const override
+    {
+        return counters_;
+    }
+    void drainCompletions(std::vector<Completion> &out) override;
+    std::uint64_t stallCycles() const override { return stall_cycles_; }
+    bool deadlockDetected() const override;
+    std::vector<PacketId> stuckPackets(std::uint64_t age)
+        const override;
+    std::uint64_t oldestPacketStall() const override;
+    void setGenerationEnabled(bool enabled) override
+    {
+        generate_ = enabled;
+    }
+    PacketId post(NodeId src, NodeId dest,
+                  std::uint32_t length) override;
+    std::uint64_t sourceQueuePackets() const override;
+    const Topology &topology() const override { return topo_; }
+    const NetworkObserver *observer() const override
+    {
+        return obs_.get();
+    }
+    void fillObsReport(ObsReport &report) const override;
+
+    // ----- credit introspection (tests and audits) -------------------
+    /** Credits the output VC leaving @p router in @p dir holds now. */
+    std::int64_t credits(NodeId router, Direction dir) const
+    {
+        return credits_[inPortId(router, dir.id())];
+    }
+
+    /**
+     * Credit conservation: for every network channel, held credits
+     * plus credits in flight on the return link plus downstream
+     * buffer occupancy must equal the buffer depth. Trivially true
+     * under ideal_credits.
+     */
+    bool auditCredits() const;
+
+    /** Total cycles any flit-ready VC spent waiting on credits. */
+    std::uint64_t creditStallCycles() const;
+
+    /** Global port id of (router, local index) — for tests. */
+    std::uint32_t portId(NodeId router, int local) const
+    {
+        return inPortId(router, local);
+    }
+
+    /** Ports per router: 2n channel ports plus the local port. */
+    int portsPerRouter() const { return ports_per_router_; }
+
+  private:
+    std::uint32_t inPortId(NodeId router, int local) const
+    {
+        return router * static_cast<std::uint32_t>(ports_per_router_)
+            + static_cast<std::uint32_t>(local);
+    }
+    NodeId routerOf(std::uint32_t port) const
+    {
+        return port_router_[port];
+    }
+    int localOf(std::uint32_t port) const { return port_local_[port]; }
+    int localPort() const { return ports_per_router_ - 1; }
+
+    /** One pending flit transfer this cycle. */
+    struct Move
+    {
+        std::uint32_t from;
+        std::int32_t to;   ///< Downstream input port; -1 for ejection.
+        std::uint32_t out; ///< Output port crossed.
+    };
+
+    /** A header flit's VA request for one output VC this cycle. */
+    struct Bid
+    {
+        std::uint32_t out_port;
+        InputRequest request;
+    };
+
+    /** One flit popped from its buffer, awaiting delivery downstream. */
+    struct InFlight
+    {
+        Flit flit;
+        std::uint32_t from;
+        std::int32_t to;
+        std::uint32_t out;
+    };
+
+    /** A granted VC's switch-allocation request this cycle. */
+    struct SaRequest
+    {
+        std::uint32_t in_port;
+        std::uint32_t out_port;
+    };
+
+    /** A credit (and possibly VC-free signal) in flight upstream. */
+    struct CreditEvent
+    {
+        std::uint32_t out_port;
+        std::uint8_t vc_free;
+    };
+
+    // ----- per-port flit rings (shared slab) -------------------------
+    std::uint32_t fifoSize(std::uint32_t port) const
+    {
+        return in_ports_[port].fifo_size;
+    }
+    const Flit &fifoFront(std::uint32_t port) const
+    {
+        return flit_slab_[port * buffer_depth_
+                          + in_ports_[port].fifo_head];
+    }
+    void fifoPush(std::uint32_t port, const Flit &flit);
+    Flit fifoPop(std::uint32_t port);
+
+    // ----- cycle phases ----------------------------------------------
+    void generateMessages();
+    void applyCreditReturns();
+    void allocateVcs();
+    void gatherBid(std::uint32_t port);
+    void traverseFlits();
+    /** Classic-engine movability semantics (ideal_credits). */
+    void decideMovesIdeal();
+    /** Credit-gated separable switch allocation. */
+    void decideMovesCredit();
+    void arbitratePhysicalChannels();
+    void injectFlits();
+    void scheduleCredit(std::uint32_t out_port, bool vc_free);
+
+    bool headCanMove(std::uint32_t port)
+    {
+        const std::uint64_t memo = move_memo_[port];
+        if ((memo >> 2) == cycle_)
+            return (memo & 3) == 2;
+        return headCanMoveCompute(port);
+    }
+    bool headCanMoveCompute(std::uint32_t port);
+
+    void markActive(std::uint32_t port);
+
+    // ----- state -------------------------------------------------------
+    struct InPort
+    {
+        std::uint32_t fifo_head = 0;
+        std::uint32_t fifo_size = 0;
+        PacketSlot cur_slot = kNoSlot; ///< Packet bound to the VC.
+        int granted_out = -1;   ///< Local output index at this router.
+        std::uint64_t header_arrival = 0;
+    };
+
+    struct OutPort
+    {
+        PacketSlot owner = kNoSlot;
+    };
+
+    const RoutingAlgorithm &routing_;
+    std::optional<CompiledRoutingTable> compiled_;
+    const RoutingAlgorithm *decider_;
+    const Topology &topo_;
+    const TrafficPattern &pattern_;
+    SimConfig config_;
+
+    // Hoisted VcRouterConfig knobs.
+    bool ideal_;
+    bool pipelined_;
+    std::uint32_t credit_delay_;
+    SwitchArbiter sa_arbiter_;
+
+    int ports_per_router_;
+    std::uint32_t buffer_depth_;
+    std::vector<InPort> in_ports_;
+    std::vector<OutPort> out_ports_;
+    std::vector<Flit> flit_slab_;
+    /** Downstream input port of each output port; -1 for ejection. */
+    std::vector<std::int32_t> out_to_in_;
+    /** Upstream output port feeding each input port; -1 for the
+     * injection port (its upstream is the source queue). */
+    std::vector<std::int32_t> in_to_out_;
+    std::vector<NodeId> port_router_;
+    std::vector<std::uint8_t> port_local_;
+    /** VC index of each port's channel within its physical wire. */
+    std::vector<std::uint8_t> port_vc_;
+
+    // ----- VA pipeline timing ----------------------------------------
+    /** Earliest cycle the buffered header may bid in VA (charges the
+     * RC stage when pipelined). */
+    std::vector<std::uint64_t> va_ready_at_;
+    /** Earliest cycle the granted packet may win SA (charges the VA
+     * stage when pipelined). */
+    std::vector<std::uint64_t> sa_ready_at_;
+
+    // ----- credit flow control ---------------------------------------
+    /** Free downstream buffer slots per output VC. */
+    std::vector<std::int64_t> credits_;
+    /** Credit-return pipeline: bucket (cycle % (delay+1)) holds the
+     * events that land at the start of that cycle. */
+    std::vector<std::vector<CreditEvent>> credit_ring_;
+    /** Cycles each output VC's queued flits waited on credits. */
+    std::vector<std::uint64_t> credit_stall_;
+
+    // ----- separable switch allocator --------------------------------
+    /** Dense crossbar resource ids per port: the physical input port
+     * feeding it / the physical output wire it drives. */
+    std::vector<std::uint32_t> in_group_;
+    std::vector<std::uint32_t> out_wire_;
+    std::vector<RoundRobinArbiter> in_arb_;
+    std::vector<RoundRobinArbiter> out_arb_;
+
+    std::vector<FlatQueue<PacketSlot>> source_queues_;
+    std::vector<std::uint8_t> source_pending_;
+    std::vector<ArrivalProcess> arrivals_;
+    std::vector<double> arrival_due_;
+    Rng router_rng_;
+
+    PacketPool packets_;
+    PacketId next_packet_id_ = 0;
+    std::vector<std::uint64_t> progress_;
+
+    std::vector<std::uint32_t> active_ports_;
+    std::vector<std::uint8_t> is_active_;
+    std::vector<std::uint8_t> head_waiting_;
+    std::vector<std::uint32_t> waiting_list_;
+    std::vector<std::uint32_t> waiting_pos_;
+    std::vector<std::uint8_t> granted_;
+    std::vector<std::uint32_t> granted_out_port_;
+    std::vector<std::int32_t> granted_target_;
+    std::vector<std::uint8_t> maybe_free_;
+    std::uint32_t freed_candidates_ = 0;
+    /** Physical-wire arbitration key (ideal mode, shared wires). */
+    std::vector<std::uint64_t> arb_key_;
+    std::vector<std::uint64_t> move_memo_;
+
+    // ----- per-cycle scratch (persistent; cleared in place) ----------
+    std::vector<Bid> bids_;
+    std::vector<InputRequest> bid_group_;
+    std::vector<Move> moves_;
+    std::vector<InFlight> in_flight_;
+    std::vector<SaRequest> sa_reqs_;
+    std::vector<SaRequest> sa_stage_;
+    std::vector<std::uint32_t> sa_members_;
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> arb_groups_;
+    std::vector<std::uint8_t> arb_cancelled_;
+    std::vector<std::uint32_t> arb_worklist_;
+    std::vector<std::int32_t> arb_move_into_;
+
+    std::uint64_t cycle_ = 0;
+    bool generate_ = true;
+    bool moved_this_cycle_ = false;
+    std::uint64_t stall_cycles_ = 0;
+    bool packet_stall_flag_ = false;
+
+    NetworkCounters counters_;
+    std::vector<Completion> completions_;
+
+    std::unique_ptr<NetworkObserver> obs_;
+    ChannelStats *chan_stats_ = nullptr;
+    PacketTrace *trace_sink_ = nullptr;
+};
+
+} // namespace turnmodel
+
+#endif // TURNMODEL_ROUTER_VC_NETWORK_HPP

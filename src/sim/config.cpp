@@ -24,6 +24,26 @@ toString(Switching mode)
 }
 
 const char *
+toString(RouterModel model)
+{
+    switch (model) {
+      case RouterModel::Classic:  return "classic";
+      case RouterModel::VcCredit: return "vc-credit";
+    }
+    return "?";
+}
+
+const char *
+toString(SwitchArbiter arbiter)
+{
+    switch (arbiter) {
+      case SwitchArbiter::InputFirst:  return "input-first";
+      case SwitchArbiter::OutputFirst: return "output-first";
+    }
+    return "?";
+}
+
+const char *
 toString(OutputSelection policy)
 {
     switch (policy) {

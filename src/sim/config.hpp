@@ -51,9 +51,59 @@ enum class Switching
     StoreAndForward,
 };
 
+/** Which cycle-accurate engine simulates the network. */
+enum class RouterModel
+{
+    Classic,   ///< Single-buffer wormhole router (the paper's model).
+    VcCredit,  ///< Pipelined VC router with credit flow control.
+};
+
+/**
+ * Switch-allocation organization of the VC router's separable
+ * allocator: which resource class arbitrates first. Both stages use
+ * deterministic round-robin priority (see router/arbiter.hpp), so
+ * either choice yields bit-reproducible runs.
+ */
+enum class SwitchArbiter
+{
+    InputFirst,   ///< Per input port first, then per output wire.
+    OutputFirst,  ///< Per output wire first, then per input port.
+};
+
+/** Knobs specific to RouterModel::VcCredit (see router/vc_network.hpp). */
+struct VcRouterConfig
+{
+    /** Cycles for a credit (or a VC-free signal) to travel back
+     * upstream after a flit leaves a downstream buffer (>= 1). */
+    std::uint32_t credit_delay = 1;
+
+    /**
+     * Model infinite downstream credits: backpressure degenerates to
+     * the classic engine's instantaneous occupancy check with
+     * same-cycle chained refills, and output VCs free the moment the
+     * tail is sent. This is the degenerate configuration the
+     * differential test uses to pin the VC engine to the classic
+     * engine's semantics.
+     */
+    bool ideal_credits = false;
+
+    /**
+     * Charge the route-compute and VC-allocation pipeline stages one
+     * cycle each (the canonical RC/VA/SA/LT pipeline). When false
+     * both collapse into the header-arrival cycle and switch
+     * allocation may fire the same cycle a VC is granted, matching
+     * the classic engine's per-hop timing.
+     */
+    bool pipelined = true;
+
+    SwitchArbiter arbiter = SwitchArbiter::InputFirst;
+};
+
 const char *toString(InputSelection policy);
 const char *toString(OutputSelection policy);
 const char *toString(Switching mode);
+const char *toString(RouterModel model);
+const char *toString(SwitchArbiter arbiter);
 
 /** All knobs of one simulation run. */
 struct SimConfig
@@ -102,6 +152,18 @@ struct SimConfig
      * either way; disable only to exercise the virtual-dispatch path.
      */
     bool compiled_routing = true;
+
+    /**
+     * Router microarchitecture simulating the network: the classic
+     * single-buffer wormhole model (default, the paper's Section 6
+     * setup) or the credit-based virtual-channel router under
+     * src/router/. Every layer above the engine (driver, execution,
+     * observability) is model-agnostic.
+     */
+    RouterModel router_model = RouterModel::Classic;
+
+    /** VC-router knobs; read only when router_model == VcCredit. */
+    VcRouterConfig vc_router;
 
     /**
      * Observability collection (per-channel counters, time-series

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * The engine interface between the measurement driver and a concrete
+ * cycle-accurate network model. Two engines implement it: the classic
+ * single-buffer wormhole router of the paper (sim/network.hpp) and
+ * the credit-based virtual-channel router microarchitecture
+ * (router/vc_network.hpp). The driver (sim/simulator.hpp) and the
+ * execution layer above it are engine-agnostic; SimConfig::router_model
+ * selects the implementation through makeEngine().
+ */
+
+#ifndef TURNMODEL_SIM_ENGINE_HPP
+#define TURNMODEL_SIM_ENGINE_HPP
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/packet.hpp"
+
+namespace turnmodel {
+
+class NetworkObserver;
+class RoutingAlgorithm;
+class Topology;
+class TrafficPattern;
+struct ObsReport;
+struct SimConfig;
+
+/** Running counters exposed to the measurement driver. */
+struct NetworkCounters
+{
+    std::uint64_t packets_generated = 0;
+    std::uint64_t packets_delivered = 0;
+    std::uint64_t flits_generated = 0;
+    std::uint64_t flits_delivered = 0;
+    std::uint64_t header_hops = 0;
+    std::uint64_t source_queue_flits = 0;  ///< Flits waiting at sources.
+    std::uint64_t flits_in_network = 0;
+    /** Every flit-channel traversal: injections, hops, ejections.
+     * The work metric of the engine (micro_sim's flit-moves/sec). */
+    std::uint64_t flit_moves = 0;
+};
+
+/** A completed packet, reported to the driver for latency stats. */
+struct Completion
+{
+    PacketId id;
+    NodeId src;
+    NodeId dest;
+    std::uint32_t length;
+    std::uint32_t hops;
+    double created;     ///< Cycles.
+    double injected;    ///< Cycles.
+    double delivered;   ///< Cycles (tail consumed).
+};
+
+/**
+ * Abstract cycle-accurate network engine.
+ *
+ * Contract shared by all implementations: step() advances exactly one
+ * flit cycle; completions accumulate until drained; the stall
+ * watchdog reports deadlock once no flit has moved for the configured
+ * threshold while packets are in flight; and a fixed configuration
+ * plus seed fully determines every observable, so runs are
+ * bit-reproducible regardless of scheduling (the execution layer
+ * relies on this for --jobs determinism).
+ */
+class NetworkEngine
+{
+  public:
+    virtual ~NetworkEngine() = default;
+
+    /** Advance one flit cycle. */
+    virtual void step() = 0;
+
+    /** Current cycle count. */
+    virtual std::uint64_t now() const = 0;
+
+    virtual const NetworkCounters &counters() const = 0;
+
+    /**
+     * Allocation-free drain: clear @p out and swap it with the
+     * internal completion list.
+     */
+    virtual void drainCompletions(std::vector<Completion> &out) = 0;
+
+    /**
+     * Cycles since the last time any flit moved while packets were
+     * in flight — the deadlock watchdog. Zero while traffic flows.
+     */
+    virtual std::uint64_t stallCycles() const = 0;
+
+    /** Whether the stall watchdog has tripped. */
+    virtual bool deadlockDetected() const = 0;
+
+    /**
+     * Packets in the network with no progress for at least @p age
+     * cycles, in ascending PacketId order.
+     */
+    virtual std::vector<PacketId> stuckPackets(std::uint64_t age)
+        const = 0;
+
+    /** Age in cycles of the longest-stalled in-network packet. */
+    virtual std::uint64_t oldestPacketStall() const = 0;
+
+    /** Turn message generation on or off (for drain phases). */
+    virtual void setGenerationEnabled(bool enabled) = 0;
+
+    /**
+     * Queue one packet directly at a source, bypassing the stochastic
+     * generator. @return The new packet's id.
+     */
+    virtual PacketId post(NodeId src, NodeId dest,
+                          std::uint32_t length) = 0;
+
+    /** Total packets queued at all sources right now. */
+    virtual std::uint64_t sourceQueuePackets() const = 0;
+
+    virtual const Topology &topology() const = 0;
+
+    /** The observer, or nullptr when observability is off. */
+    virtual const NetworkObserver *observer() const = 0;
+
+    /** Append collected observability data to @p report. */
+    virtual void fillObsReport(ObsReport &report) const = 0;
+};
+
+/**
+ * Construct the engine selected by @p config.router_model. Defined in
+ * src/router/engine.cpp so the classic-only core library stays free
+ * of the VC router; every binary that links the simulator links the
+ * router library too.
+ */
+std::unique_ptr<NetworkEngine> makeEngine(const RoutingAlgorithm &routing,
+                                          const TrafficPattern &pattern,
+                                          const SimConfig &config);
+
+} // namespace turnmodel
+
+#endif // TURNMODEL_SIM_ENGINE_HPP

@@ -43,6 +43,7 @@
 #include "core/routing/compiled.hpp"
 #include "obs/observer.hpp"
 #include "sim/config.hpp"
+#include "sim/engine.hpp"
 #include "sim/flat_queue.hpp"
 #include "sim/packet.hpp"
 #include "sim/packet_pool.hpp"
@@ -54,36 +55,8 @@ namespace turnmodel {
 
 struct ObsReport;
 
-/** Running counters exposed to the measurement driver. */
-struct NetworkCounters
-{
-    std::uint64_t packets_generated = 0;
-    std::uint64_t packets_delivered = 0;
-    std::uint64_t flits_generated = 0;
-    std::uint64_t flits_delivered = 0;
-    std::uint64_t header_hops = 0;
-    std::uint64_t source_queue_flits = 0;  ///< Flits waiting at sources.
-    std::uint64_t flits_in_network = 0;
-    /** Every flit-channel traversal: injections, hops, ejections.
-     * The work metric of the engine (micro_sim's flit-moves/sec). */
-    std::uint64_t flit_moves = 0;
-};
-
-/** A completed packet, reported to the driver for latency stats. */
-struct Completion
-{
-    PacketId id;
-    NodeId src;
-    NodeId dest;
-    std::uint32_t length;
-    std::uint32_t hops;
-    double created;     ///< Cycles.
-    double injected;    ///< Cycles.
-    double delivered;   ///< Cycles (tail consumed).
-};
-
 /** The simulated network: routers, buffers, channels, sources. */
-class Network
+class Network : public NetworkEngine
 {
   public:
     /**
@@ -96,12 +69,15 @@ class Network
             const SimConfig &config);
 
     /** Advance one flit cycle. */
-    void step();
+    void step() override;
 
     /** Current cycle count. */
-    std::uint64_t now() const { return cycle_; }
+    std::uint64_t now() const override { return cycle_; }
 
-    const NetworkCounters &counters() const { return counters_; }
+    const NetworkCounters &counters() const override
+    {
+        return counters_;
+    }
 
     /**
      * Completions recorded since the last drain; the driver takes
@@ -115,16 +91,16 @@ class Network
      * the same buffer ping-pongs two allocations forever instead of
      * making one per cycle.
      */
-    void drainCompletions(std::vector<Completion> &out);
+    void drainCompletions(std::vector<Completion> &out) override;
 
     /**
      * Cycles since the last time any flit moved while packets were
      * in flight — the deadlock watchdog. Zero while traffic flows.
      */
-    std::uint64_t stallCycles() const { return stall_cycles_; }
+    std::uint64_t stallCycles() const override { return stall_cycles_; }
 
     /** Whether the stall watchdog has tripped. */
-    bool deadlockDetected() const;
+    bool deadlockDetected() const override;
 
     /**
      * Packets that are in the network (at least one flit injected,
@@ -134,13 +110,17 @@ class Network
      * the global stall watchdog cannot see because unrelated traffic
      * still moves.
      */
-    std::vector<PacketId> stuckPackets(std::uint64_t age) const;
+    std::vector<PacketId> stuckPackets(std::uint64_t age)
+        const override;
 
     /** Age in cycles of the longest-stalled in-network packet. */
-    std::uint64_t oldestPacketStall() const;
+    std::uint64_t oldestPacketStall() const override;
 
     /** Turn message generation on or off (for drain phases). */
-    void setGenerationEnabled(bool enabled) { generate_ = enabled; }
+    void setGenerationEnabled(bool enabled) override
+    {
+        generate_ = enabled;
+    }
 
     /**
      * Queue one packet directly at a source, bypassing the stochastic
@@ -149,15 +129,19 @@ class Network
      *
      * @return The new packet's id.
      */
-    PacketId post(NodeId src, NodeId dest, std::uint32_t length);
+    PacketId post(NodeId src, NodeId dest,
+                  std::uint32_t length) override;
 
     /** Total packets queued at all sources right now. */
-    std::uint64_t sourceQueuePackets() const;
+    std::uint64_t sourceQueuePackets() const override;
 
-    const Topology &topology() const { return topo_; }
+    const Topology &topology() const override { return topo_; }
 
     /** The observer, or nullptr when observability is off. */
-    const NetworkObserver *observer() const { return obs_.get(); }
+    const NetworkObserver *observer() const override
+    {
+        return obs_.get();
+    }
 
     /**
      * Append what this network's observer collected — channel
@@ -165,7 +149,7 @@ class Network
      * "eject" rows for the delivery channels) and the packet event
      * trace — to @p report. No-op when observability is off.
      */
-    void fillObsReport(ObsReport &report) const;
+    void fillObsReport(ObsReport &report) const override;
 
   private:
     // ----- port indexing ---------------------------------------------

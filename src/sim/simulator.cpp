@@ -7,7 +7,7 @@ namespace turnmodel {
 Simulator::Simulator(const RoutingAlgorithm &routing,
                      const TrafficPattern &pattern,
                      const SimConfig &config)
-    : config_(config), network_(routing, pattern, config)
+    : config_(config), network_(makeEngine(routing, pattern, config))
 {
 }
 
@@ -24,16 +24,16 @@ Simulator::run()
 
     // Warmup: run and discard.
     for (std::uint64_t c = 0; c < config_.warmup_cycles; ++c) {
-        network_.step();
-        if (network_.deadlockDetected())
+        network_->step();
+        if (network_->deadlockDetected())
             break;
     }
-    network_.drainCompletions(batch);
+    network_->drainCompletions(batch);
 
-    const double measure_start = static_cast<double>(network_.now());
+    const double measure_start = static_cast<double>(network_->now());
     const std::uint64_t flits_delivered_before =
-        network_.counters().flits_delivered;
-    const std::uint64_t queue_before = network_.sourceQueuePackets();
+        network_->counters().flits_delivered;
+    const std::uint64_t queue_before = network_->sourceQueuePackets();
 
     RunningStats latency;
     RunningStats net_latency;
@@ -43,7 +43,7 @@ Simulator::run()
                            2048);
 
     if (config_.obs.sample_stride > 0) {
-        sampler_.emplace(network_.now(), config_.obs.sample_stride,
+        sampler_.emplace(network_->now(), config_.obs.sample_stride,
                          static_cast<double>(config_.measure_cycles));
     }
 
@@ -64,36 +64,36 @@ Simulator::run()
     };
 
     for (std::uint64_t c = 0; c < config_.measure_cycles; ++c) {
-        network_.step();
-        if (network_.deadlockDetected())
+        network_->step();
+        if (network_->deadlockDetected())
             break;
-        network_.drainCompletions(batch);
+        network_->drainCompletions(batch);
         absorb(batch);
         if (sampler_) {
-            sampler_->onCycle(network_.now(),
-                              network_.counters().flits_delivered,
-                              network_.sourceQueuePackets());
+            sampler_->onCycle(network_->now(),
+                              network_->counters().flits_delivered,
+                              network_->sourceQueuePackets());
         }
     }
     // The deadlock break above skips the in-loop drain, losing any
     // completions the tripping cycle produced; collect them here.
-    network_.drainCompletions(batch);
+    network_->drainCompletions(batch);
     absorb(batch);
     if (sampler_) {
-        sampler_->finish(network_.now(),
-                         network_.counters().flits_delivered,
-                         network_.sourceQueuePackets());
+        sampler_->finish(network_->now(),
+                         network_->counters().flits_delivered,
+                         network_->sourceQueuePackets());
     }
 
     const double measured_cycles =
-        static_cast<double>(network_.now()) - measure_start;
+        static_cast<double>(network_->now()) - measure_start;
     const double window_us = measured_cycles * cycle_us;
     const std::uint64_t delivered =
-        network_.counters().flits_delivered - flits_delivered_before;
+        network_->counters().flits_delivered - flits_delivered_before;
 
     // rate is flits per node per cycle; one cycle is 1/channel-rate us.
     result.offered_flits_per_us = config_.injection_rate
-        * static_cast<double>(network_.topology().numNodes())
+        * static_cast<double>(network_->topology().numNodes())
         * config_.channel_flits_per_us;
     result.throughput_flits_per_us =
         window_us > 0.0 ? static_cast<double>(delivered) / window_us : 0.0;
@@ -103,16 +103,16 @@ Simulator::run()
         latency_hist.quantile(0.99, &result.latency_p99_clamped) * cycle_us;
     result.avg_hops = hops.mean();
     result.packets_measured = latency.count();
-    result.deadlocked = network_.deadlockDetected();
+    result.deadlocked = network_->deadlockDetected();
 
-    const std::uint64_t queue_after = network_.sourceQueuePackets();
+    const std::uint64_t queue_after = network_->sourceQueuePackets();
     const double growth = queue_after > queue_before
         ? static_cast<double>(queue_after - queue_before)
         : 0.0;
     result.queue_growth_packets = growth
-        / static_cast<double>(network_.topology().numNodes());
+        / static_cast<double>(network_->topology().numNodes());
     const double num_nodes =
-        static_cast<double>(network_.topology().numNodes());
+        static_cast<double>(network_->topology().numNodes());
     const double offered_flits =
         config_.injection_rate * num_nodes * measured_cycles;
     result.delivered_ratio = offered_flits > 0.0
@@ -139,8 +139,8 @@ ObsReport
 Simulator::obsReport() const
 {
     ObsReport report;
-    report.topology = network_.topology().name();
-    network_.fillObsReport(report);
+    report.topology = network_->topology().name();
+    network_->fillObsReport(report);
     if (sampler_)
         report.samples = sampler_->samples();
     return report;

@@ -10,10 +10,12 @@
 #ifndef TURNMODEL_SIM_SIMULATOR_HPP
 #define TURNMODEL_SIM_SIMULATOR_HPP
 
+#include <memory>
 #include <optional>
 
 #include "obs/report.hpp"
 #include "obs/sampler.hpp"
+#include "sim/engine.hpp"
 #include "sim/metrics.hpp"
 #include "sim/network.hpp"
 
@@ -34,8 +36,8 @@ class Simulator
     /** Run warmup plus measurement and return the aggregated result. */
     SimResult run();
 
-    /** The underlying network (inspectable after run()). */
-    const Network &network() const { return network_; }
+    /** The underlying network engine (inspectable after run()). */
+    const NetworkEngine &network() const { return *network_; }
 
     /**
      * Everything the run's observers collected (per SimConfig::obs):
@@ -46,7 +48,8 @@ class Simulator
 
   private:
     SimConfig config_;
-    Network network_;
+    /** Engine picked by config.router_model (see sim/engine.hpp). */
+    std::unique_ptr<NetworkEngine> network_;
     /** Engaged during run() when config.obs.sample_stride > 0. */
     std::optional<TimeSeriesSampler> sampler_;
 };

@@ -33,6 +33,13 @@ VirtualizedMesh::doubleY(int m, int n)
     return VirtualizedMesh(Shape{m, n}, {1, 2});
 }
 
+VirtualizedMesh
+VirtualizedMesh::uniform(Shape physical_shape, int v)
+{
+    std::vector<int> vcs(physical_shape.size(), v);
+    return VirtualizedMesh(std::move(physical_shape), std::move(vcs));
+}
+
 int
 VirtualizedMesh::radix(int dim) const
 {

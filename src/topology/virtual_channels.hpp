@@ -44,6 +44,14 @@ class VirtualizedMesh : public Topology
     /** The conventional double-y 2D mesh: one x pair, two y pairs. */
     static VirtualizedMesh doubleY(int m, int n);
 
+    /**
+     * Every physical dimension carries @p v virtual channel pairs —
+     * the substrate of escape-VC fully adaptive routing, which needs
+     * at least one adaptive channel beside the escape channel in
+     * every dimension (v >= 2).
+     */
+    static VirtualizedMesh uniform(Shape physical_shape, int v);
+
     // Virtual view -----------------------------------------------------
     int numDims() const override { return num_virtual_dims_; }
     int radix(int dim) const override;

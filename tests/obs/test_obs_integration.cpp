@@ -128,7 +128,7 @@ TEST(ObsIntegration, StudyJsonCarriesSchemaAndRuns)
 
     const ObsStudy study = Runner(2).runObs(spec, 0.05, obs);
     const std::string json = obsJson(study);
-    EXPECT_NE(json.find("\"schema\": \"turnmodel-obs-study-v1\""),
+    EXPECT_NE(json.find("\"schema\": \"turnmodel-obs-study-v2\""),
               std::string::npos);
     EXPECT_NE(json.find("\"schema\": \"turnmodel-obs-v1\""),
               std::string::npos);

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Degenerate-configuration differential test: the VC router with one
+ * VC per wire (a plain mesh), ideal credits, and the pipeline
+ * collapsed reduces structurally to the classic single-buffer
+ * engine, so the two engines must report the same results on the
+ * paper's Figure 13 uniform-mesh sweep. Integer counters must match
+ * exactly; floating-point aggregates are compared to 1e-9 relative
+ * tolerance (completion-order summation may differ).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/routing/factory.hpp"
+#include "sim/simulator.hpp"
+#include "topology/mesh.hpp"
+
+namespace turnmodel {
+namespace {
+
+void
+expectClose(double a, double b, const std::string &what)
+{
+    const double tol = 1e-9 * std::max(1.0, std::max(std::abs(a),
+                                                     std::abs(b)));
+    EXPECT_NEAR(a, b, tol) << what;
+}
+
+void
+expectSameResults(const RoutingAlgorithm &routing,
+                  const TrafficPattern &pattern, SimConfig cfg,
+                  const std::string &what)
+{
+    cfg.router_model = RouterModel::Classic;
+    Simulator classic(routing, pattern, cfg);
+    const SimResult a = classic.run();
+
+    cfg.router_model = RouterModel::VcCredit;
+    cfg.vc_router.ideal_credits = true;
+    cfg.vc_router.pipelined = false;
+    Simulator vc(routing, pattern, cfg);
+    const SimResult b = vc.run();
+
+    EXPECT_EQ(a.packets_measured, b.packets_measured) << what;
+    EXPECT_EQ(a.saturated, b.saturated) << what;
+    EXPECT_EQ(a.deadlocked, b.deadlocked) << what;
+    expectClose(a.throughput_flits_per_us, b.throughput_flits_per_us,
+                what + " throughput");
+    expectClose(a.avg_latency_us, b.avg_latency_us,
+                what + " latency");
+    expectClose(a.p99_latency_us, b.p99_latency_us, what + " p99");
+    expectClose(a.avg_hops, b.avg_hops, what + " hops");
+    expectClose(a.delivered_ratio, b.delivered_ratio,
+                what + " delivered ratio");
+
+    const NetworkCounters &ca = classic.network().counters();
+    const NetworkCounters &cb = vc.network().counters();
+    EXPECT_EQ(ca.packets_generated, cb.packets_generated) << what;
+    EXPECT_EQ(ca.packets_delivered, cb.packets_delivered) << what;
+    EXPECT_EQ(ca.flits_generated, cb.flits_generated) << what;
+    EXPECT_EQ(ca.flits_delivered, cb.flits_delivered) << what;
+    EXPECT_EQ(ca.header_hops, cb.header_hops) << what;
+    EXPECT_EQ(ca.flit_moves, cb.flit_moves) << what;
+    EXPECT_EQ(ca.flits_in_network, cb.flits_in_network) << what;
+    EXPECT_EQ(ca.source_queue_flits, cb.source_queue_flits) << what;
+}
+
+TEST(DegenerateDifferential, Fig13UniformMeshSweep)
+{
+    NDMesh mesh = NDMesh::mesh2D(16, 16);
+    PatternPtr pattern = makePattern("uniform", mesh);
+    for (const char *algorithm :
+         {"xy", "west-first", "north-last", "negative-first"}) {
+        RoutingPtr routing = makeRouting(algorithm, mesh);
+        for (double rate : {0.06, 0.18, 0.28}) {
+            SimConfig cfg;
+            cfg.injection_rate = rate;
+            cfg.warmup_cycles = 2000;
+            cfg.measure_cycles = 4000;
+            expectSameResults(*routing, *pattern, cfg,
+                              std::string(algorithm) + " @ " +
+                                  std::to_string(rate));
+        }
+    }
+}
+
+TEST(DegenerateDifferential, DeeperBuffersAndOtherPolicies)
+{
+    // The reduction does not depend on single-flit buffers or the
+    // default selection policies — only on one VC, ideal credits, a
+    // collapsed pipeline, and deterministic selection.
+    NDMesh mesh = NDMesh::mesh2D(8, 8);
+    PatternPtr pattern = makePattern("transpose", mesh);
+    RoutingPtr routing = makeRouting("west-first", mesh);
+    SimConfig cfg;
+    cfg.injection_rate = 0.12;
+    cfg.buffer_depth = 4;
+    cfg.warmup_cycles = 1000;
+    cfg.measure_cycles = 3000;
+    cfg.output_selection = OutputSelection::StraightFirst;
+    cfg.input_selection = InputSelection::FixedPriority;
+    expectSameResults(*routing, *pattern, cfg, "deep transpose");
+}
+
+TEST(DegenerateDifferential, UncompiledRoutingPathToo)
+{
+    NDMesh mesh = NDMesh::mesh2D(8, 8);
+    PatternPtr pattern = makePattern("uniform", mesh);
+    RoutingPtr routing = makeRouting("north-last", mesh);
+    SimConfig cfg;
+    cfg.injection_rate = 0.10;
+    cfg.warmup_cycles = 1000;
+    cfg.measure_cycles = 2500;
+    cfg.compiled_routing = false;
+    expectSameResults(*routing, *pattern, cfg, "uncompiled");
+}
+
+} // namespace
+} // namespace turnmodel

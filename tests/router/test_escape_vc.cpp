@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Tests of the escape-VC fully adaptive routing algorithm (Duato's
+ * methodology layered on the turn model): VC0 of every physical wire
+ * is an escape channel restricted to a deadlock-free turn-model
+ * algorithm, every higher VC is fully adaptive minimal. Checks the
+ * candidate sets the three packet states see (fresh, on an adaptive
+ * VC, on the escape VC), the factory's "vc:" prefix, and composition
+ * with compiled route tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/routing/compiled.hpp"
+#include "core/routing/escape_vc.hpp"
+#include "core/routing/factory.hpp"
+#include "topology/virtual_channels.hpp"
+
+namespace turnmodel {
+namespace {
+
+/** Positive/negative direction of virtual dim (pdim, vc). */
+Direction
+vdir(const VirtualizedMesh &mesh, int pdim, int vc, bool positive)
+{
+    return Direction(
+        static_cast<std::uint8_t>(mesh.virtualDim(pdim, vc)),
+        positive);
+}
+
+TEST(EscapeVc, FreshPacketSeesAdaptiveVcsPlusEscape)
+{
+    VirtualizedMesh mesh = VirtualizedMesh::uniform({4, 4}, 2);
+    EscapeVcRouting routing(mesh, "xy");
+    // (0,0) -> (2,2): minimal physical directions are +x and +y; xy
+    // takes +x first. Adaptive VC1 offers both dimensions, the escape
+    // VC0 only xy's choice.
+    const DirectionSet set = routing.routeSet(
+        mesh.node({0, 0}), std::nullopt, mesh.node({2, 2}));
+    EXPECT_TRUE(set.contains(vdir(mesh, 0, 1, true)));
+    EXPECT_TRUE(set.contains(vdir(mesh, 1, 1, true)));
+    EXPECT_TRUE(set.contains(vdir(mesh, 0, 0, true)));
+    EXPECT_FALSE(set.contains(vdir(mesh, 1, 0, true)));
+    EXPECT_EQ(set.size(), 3);
+}
+
+TEST(EscapeVc, AdaptiveArrivalKeepsFullChoice)
+{
+    VirtualizedMesh mesh = VirtualizedMesh::uniform({4, 4}, 2);
+    EscapeVcRouting routing(mesh, "xy");
+    // Arrived at (1,1) on the adaptive x VC; both adaptive VCs stay
+    // open and the escape channel is offered as a fresh xy packet
+    // (drop-to-escape counts as injection into the escape network).
+    const DirectionSet set = routing.routeSet(
+        mesh.node({1, 1}), vdir(mesh, 0, 1, true), mesh.node({2, 2}));
+    EXPECT_TRUE(set.contains(vdir(mesh, 0, 1, true)));
+    EXPECT_TRUE(set.contains(vdir(mesh, 1, 1, true)));
+    EXPECT_TRUE(set.contains(vdir(mesh, 0, 0, true)));
+    EXPECT_FALSE(set.contains(vdir(mesh, 1, 0, true)));
+    EXPECT_EQ(set.size(), 3);
+}
+
+TEST(EscapeVc, EscapeArrivalIsConfinedToEscapeChannels)
+{
+    VirtualizedMesh mesh = VirtualizedMesh::uniform({4, 4}, 2);
+    EscapeVcRouting routing(mesh, "xy");
+    // Once on the escape network a wormhole packet stays there: only
+    // VC0 candidates, following xy with the physical input direction.
+    const DirectionSet set = routing.routeSet(
+        mesh.node({1, 0}), vdir(mesh, 0, 0, true), mesh.node({2, 2}));
+    EXPECT_EQ(set.size(), 1);
+    EXPECT_TRUE(set.contains(vdir(mesh, 0, 0, true)));
+}
+
+TEST(EscapeVc, EscapeChannelsRestrictedWhereAdaptiveAreNot)
+{
+    VirtualizedMesh mesh = VirtualizedMesh::uniform({4, 4}, 2);
+    EscapeVcRouting routing(mesh, "west-first");
+    // (2,1) -> (1,3): west-first must exhaust west hops first, so the
+    // escape VC0 offers only -x, while the fully adaptive VC1 offers
+    // both minimal directions.
+    const DirectionSet set = routing.routeSet(
+        mesh.node({2, 1}), std::nullopt, mesh.node({1, 3}));
+    EXPECT_TRUE(set.contains(vdir(mesh, 0, 0, false)));
+    EXPECT_FALSE(set.contains(vdir(mesh, 1, 0, true)));
+    EXPECT_TRUE(set.contains(vdir(mesh, 0, 1, false)));
+    EXPECT_TRUE(set.contains(vdir(mesh, 1, 1, true)));
+    EXPECT_EQ(set.size(), 3);
+}
+
+TEST(EscapeVc, EveryPairReachableInEveryState)
+{
+    VirtualizedMesh mesh = VirtualizedMesh::uniform({3, 3}, 2);
+    EscapeVcRouting routing(mesh, "xy");
+    for (NodeId cur = 0; cur < mesh.numNodes(); ++cur) {
+        for (NodeId dest = 0; dest < mesh.numNodes(); ++dest) {
+            if (cur == dest)
+                continue;
+            EXPECT_FALSE(
+                routing.routeSet(cur, std::nullopt, dest).empty())
+                << cur << "->" << dest;
+            for (Direction in : allDirections(mesh.numDims())) {
+                if (!mesh.neighbor(cur, in.opposite()))
+                    continue;   // Cannot have arrived from there.
+                EXPECT_FALSE(
+                    routing.routeSet(cur, in, dest).empty())
+                    << cur << "->" << dest << " in "
+                    << directionName(in);
+            }
+        }
+    }
+}
+
+TEST(EscapeVc, FactoryPrefixAndAliases)
+{
+    VirtualizedMesh mesh = VirtualizedMesh::uniform({4, 4}, 2);
+    const RoutingPtr vc = makeRouting("vc:xy", mesh);
+    ASSERT_NE(vc, nullptr);
+    EXPECT_EQ(vc->name(), "vc:xy");
+    EXPECT_TRUE(vc->isMinimal());
+    EXPECT_TRUE(vc->isInputDependent());
+    EXPECT_EQ(makeRouting("vc:westfirst", mesh)->name(),
+              "vc:west-first");
+    EXPECT_EQ(makeRouting("vc:ecube", mesh)->name(),
+              "vc:dimension-order");
+}
+
+TEST(EscapeVc, FactoryListsVcNamesOnlyWithEscapeCapacity)
+{
+    VirtualizedMesh two = VirtualizedMesh::uniform({4, 4}, 2);
+    const auto names = availableRoutingNames(two);
+    const auto has = [&](const char *n) {
+        return std::find(names.begin(), names.end(), n) != names.end();
+    };
+    EXPECT_TRUE(has("vc:dimension-order"));
+    EXPECT_TRUE(has("vc:west-first"));
+    EXPECT_TRUE(has("vc:north-last"));
+    EXPECT_TRUE(has("vc:negative-first"));
+    EXPECT_TRUE(has("fully-adaptive"));
+
+    // doubleY has only one x pair: no escape+adaptive split there.
+    VirtualizedMesh dy = VirtualizedMesh::doubleY(4, 4);
+    const auto dy_names = availableRoutingNames(dy);
+    EXPECT_EQ(std::find_if(dy_names.begin(), dy_names.end(),
+                           [](const std::string &n) {
+                               return n.rfind("vc:", 0) == 0;
+                           }),
+              dy_names.end());
+}
+
+TEST(EscapeVc, ComposesWithCompiledTables)
+{
+    VirtualizedMesh mesh = VirtualizedMesh::uniform({3, 3}, 2);
+    const RoutingPtr live = makeRouting("vc:west-first", mesh);
+    const CompiledRoutingTable table(*live);
+    EXPECT_TRUE(table.allPairsRoutable());
+    for (NodeId cur = 0; cur < mesh.numNodes(); ++cur) {
+        for (NodeId dest = 0; dest < mesh.numNodes(); ++dest) {
+            if (cur == dest)
+                continue;
+            ASSERT_EQ(table.routeSet(cur, std::nullopt, dest),
+                      live->routeSet(cur, std::nullopt, dest));
+            for (Direction in : allDirections(mesh.numDims())) {
+                if (!mesh.neighbor(cur, in.opposite()))
+                    continue;
+                ASSERT_EQ(table.routeSet(cur, in, dest),
+                          live->routeSet(cur, in, dest));
+            }
+        }
+    }
+}
+
+TEST(FullyAdaptive, OffersEveryMinimalDirection)
+{
+    NDMesh mesh = NDMesh::mesh2D(4, 4);
+    const RoutingPtr fa = makeRouting("fully-adaptive", mesh);
+    ASSERT_NE(fa, nullptr);
+    EXPECT_TRUE(fa->isMinimal());
+    const DirectionSet set = fa->routeSet(
+        mesh.node({0, 0}), std::nullopt, mesh.node({2, 3}));
+    EXPECT_EQ(set.size(), 2);
+    EXPECT_EQ(set, minimalDirectionSet(mesh, mesh.node({0, 0}),
+                                       mesh.node({2, 3})));
+}
+
+} // namespace
+} // namespace turnmodel

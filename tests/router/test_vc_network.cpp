@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Behavioral tests of the credit-based VC router engine: single
+ * packets traverse the pipeline with the advertised timing, traffic
+ * is delivered under both switch-arbiter organizations and both
+ * pipeline modes, the engine honors virtual-channel wire sharing,
+ * and sweep results are byte-identical at any job count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/routing/factory.hpp"
+#include "exec/runner.hpp"
+#include "router/vc_network.hpp"
+#include "sim/simulator.hpp"
+#include "topology/mesh.hpp"
+#include "topology/virtual_channels.hpp"
+
+namespace turnmodel {
+namespace {
+
+/** A pattern that never generates traffic (tests drive post()). */
+class SilentPattern : public TrafficPattern
+{
+  public:
+    std::optional<NodeId> destination(NodeId, Rng &) const override
+    {
+        return std::nullopt;
+    }
+    std::string name() const override { return "silent"; }
+    bool isDeterministic() const override { return true; }
+};
+
+SimConfig
+vcConfig()
+{
+    SimConfig cfg;
+    cfg.router_model = RouterModel::VcCredit;
+    cfg.buffer_depth = 4;
+    return cfg;
+}
+
+std::vector<Completion>
+runToDrain(VcNetwork &net, std::uint64_t horizon)
+{
+    std::vector<Completion> done;
+    std::vector<Completion> batch;
+    while (net.now() < horizon) {
+        net.step();
+        net.drainCompletions(batch);
+        done.insert(done.end(), batch.begin(), batch.end());
+        if (net.counters().flits_in_network == 0 &&
+            net.sourceQueuePackets() == 0) {
+            break;
+        }
+    }
+    return done;
+}
+
+TEST(VcNetwork, SinglePacketCrossesTheMesh)
+{
+    NDMesh mesh = NDMesh::mesh2D(4, 4);
+    RoutingPtr routing = makeRouting("xy", mesh);
+    SilentPattern silent;
+    VcNetwork net(*routing, silent, vcConfig());
+    net.post(mesh.node({0, 0}), mesh.node({3, 3}), 10);
+    const auto done = runToDrain(net, 1000);
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_EQ(done[0].hops, 6u);
+    EXPECT_EQ(net.counters().flits_delivered, 10u);
+    EXPECT_EQ(net.counters().flits_in_network, 0u);
+}
+
+TEST(VcNetwork, PipelineChargesPerHopLatency)
+{
+    // One lonely 1-flit packet, one hop. Pipelined: inject at cycle 1,
+    // RC+VA charge two cycles, SA+LT one, eject one — strictly more
+    // cycles than the non-pipelined router, which matches the classic
+    // engine's hop timing.
+    NDMesh mesh = NDMesh::mesh2D(2, 2);
+    RoutingPtr routing = makeRouting("xy", mesh);
+    SilentPattern silent;
+
+    SimConfig pipe = vcConfig();
+    VcNetwork fast(*routing, silent, pipe);
+    fast.post(mesh.node({0, 0}), mesh.node({1, 0}), 1);
+    const auto piped = runToDrain(fast, 100);
+
+    SimConfig flat = vcConfig();
+    flat.vc_router.pipelined = false;
+    VcNetwork slow(*routing, silent, flat);
+    slow.post(mesh.node({0, 0}), mesh.node({1, 0}), 1);
+    const auto direct = runToDrain(slow, 100);
+
+    ASSERT_EQ(piped.size(), 1u);
+    ASSERT_EQ(direct.size(), 1u);
+    EXPECT_GT(piped[0].delivered, direct[0].delivered);
+}
+
+TEST(VcNetwork, DeliversUniformTrafficOnPlainMesh)
+{
+    NDMesh mesh = NDMesh::mesh2D(8, 8);
+    RoutingPtr routing = makeRouting("xy", mesh);
+    PatternPtr pattern = makePattern("uniform", mesh);
+    SimConfig cfg = vcConfig();
+    cfg.injection_rate = 0.05;
+    cfg.warmup_cycles = 1000;
+    cfg.measure_cycles = 4000;
+    Simulator sim(*routing, *pattern, cfg);
+    const SimResult r = sim.run();
+    EXPECT_GT(r.packets_measured, 50u);
+    EXPECT_GT(r.throughput_flits_per_us, 0.0);
+    EXPECT_FALSE(r.saturated);
+    EXPECT_FALSE(r.deadlocked);
+}
+
+TEST(VcNetwork, DeliversEscapeVcTrafficOnVirtualizedMesh)
+{
+    VirtualizedMesh mesh = VirtualizedMesh::uniform({8, 8}, 2);
+    RoutingPtr routing = makeRouting("vc:west-first", mesh);
+    PatternPtr pattern = makePattern("transpose", mesh);
+    SimConfig cfg = vcConfig();
+    cfg.injection_rate = 0.05;
+    cfg.warmup_cycles = 1000;
+    cfg.measure_cycles = 4000;
+    cfg.lengths = PacketLengthDist::fixed(8);
+    Simulator sim(*routing, *pattern, cfg);
+    const SimResult r = sim.run();
+    EXPECT_GT(r.packets_measured, 50u);
+    EXPECT_FALSE(r.deadlocked);
+}
+
+TEST(VcNetwork, BothArbiterOrganizationsDeliver)
+{
+    NDMesh mesh = NDMesh::mesh2D(6, 6);
+    RoutingPtr routing = makeRouting("west-first", mesh);
+    PatternPtr pattern = makePattern("uniform", mesh);
+    for (SwitchArbiter arb :
+         {SwitchArbiter::InputFirst, SwitchArbiter::OutputFirst}) {
+        SimConfig cfg = vcConfig();
+        cfg.vc_router.arbiter = arb;
+        cfg.injection_rate = 0.06;
+        cfg.warmup_cycles = 1000;
+        cfg.measure_cycles = 3000;
+        Simulator sim(*routing, *pattern, cfg);
+        const SimResult r = sim.run();
+        EXPECT_GT(r.packets_measured, 50u) << toString(arb);
+        EXPECT_FALSE(r.deadlocked) << toString(arb);
+    }
+}
+
+TEST(VcNetwork, RunsAreReproducible)
+{
+    // Identical configuration twice: identical results (the engine
+    // has no hidden global state).
+    VirtualizedMesh mesh = VirtualizedMesh::uniform({6, 6}, 2);
+    RoutingPtr routing = makeRouting("vc:xy", mesh);
+    PatternPtr pattern = makePattern("uniform", mesh);
+    SimConfig cfg = vcConfig();
+    cfg.injection_rate = 0.08;
+    cfg.warmup_cycles = 500;
+    cfg.measure_cycles = 2000;
+    const SimResult a = Simulator(*routing, *pattern, cfg).run();
+    const SimResult b = Simulator(*routing, *pattern, cfg).run();
+    EXPECT_EQ(a.packets_measured, b.packets_measured);
+    EXPECT_EQ(a.throughput_flits_per_us, b.throughput_flits_per_us);
+    EXPECT_EQ(a.avg_latency_us, b.avg_latency_us);
+    EXPECT_EQ(a.p99_latency_us, b.p99_latency_us);
+}
+
+TEST(VcNetwork, SweepBytesIdenticalAcrossJobCounts)
+{
+    // The acceptance bar: a VC-router experiment serializes to the
+    // same bytes at --jobs=1 and --jobs=8.
+    VirtualizedMesh mesh = VirtualizedMesh::uniform({8, 8}, 2);
+    ExperimentSpec spec;
+    spec.name = "vc-jobs-determinism";
+    spec.topology = &mesh;
+    spec.pattern = "transpose";
+    spec.algorithms = {"vc:xy", "vc:west-first"};
+    spec.injection_rates = {0.04, 0.10};
+    spec.sim = vcConfig();
+    spec.sim.warmup_cycles = 500;
+    spec.sim.measure_cycles = 2000;
+    spec.sim.lengths = PacketLengthDist::fixed(6);
+
+    std::string first;
+    for (unsigned jobs : {1u, 8u}) {
+        Runner runner(jobs);
+        const ExperimentResult result = runner.run(spec);
+        std::ostringstream os;
+        writeSeriesJson(os, result.experiment, result.series);
+        if (first.empty())
+            first = os.str();
+        else
+            EXPECT_EQ(first, os.str())
+                << "VC sweep diverged at --jobs=" << jobs;
+    }
+}
+
+TEST(VcNetwork, StoreAndForwardIsRejected)
+{
+    NDMesh mesh = NDMesh::mesh2D(4, 4);
+    RoutingPtr routing = makeRouting("xy", mesh);
+    SilentPattern silent;
+    SimConfig cfg = vcConfig();
+    cfg.switching = Switching::StoreAndForward;
+    cfg.buffer_depth = 256;
+    EXPECT_DEATH(VcNetwork(*routing, silent, cfg), "wormhole");
+}
+
+TEST(VcNetwork, ObsReportCarriesPerVcRows)
+{
+    VirtualizedMesh mesh = VirtualizedMesh::uniform({4, 4}, 2);
+    RoutingPtr routing = makeRouting("vc:xy", mesh);
+    PatternPtr pattern = makePattern("uniform", mesh);
+    SimConfig cfg = vcConfig();
+    cfg.injection_rate = 0.06;
+    cfg.warmup_cycles = 500;
+    cfg.measure_cycles = 1500;
+    cfg.obs.channel_counters = true;
+    Simulator sim(*routing, *pattern, cfg);
+    (void)sim.run();
+    const ObsReport report = sim.obsReport();
+    EXPECT_EQ(report.schema_version, 2);
+    // 4x4 mesh, 2 VCs: 2 * 48 directed physical channels + 16 ejects.
+    EXPECT_EQ(report.channels.size(), 2u * 48u + 16u);
+    std::size_t ejects = 0;
+    std::size_t vc1_rows = 0;
+    for (const ChannelUtilRow &row : report.channels) {
+        if (row.dir == "eject") {
+            ++ejects;
+            EXPECT_EQ(row.vc, -1);
+        } else {
+            // Physical vocabulary even on the virtualized topology.
+            EXPECT_TRUE(row.dir == "east" || row.dir == "west" ||
+                        row.dir == "north" || row.dir == "south")
+                << row.dir;
+            EXPECT_GE(row.vc, 0);
+            EXPECT_LE(row.vc, 1);
+            vc1_rows += row.vc == 1 ? 1 : 0;
+        }
+    }
+    EXPECT_EQ(ejects, 16u);
+    EXPECT_EQ(vc1_rows, 48u);
+    const std::ostringstream os;
+    std::ostringstream json;
+    report.writeJson(json);
+    EXPECT_NE(json.str().find("\"schema\": \"turnmodel-obs-v2\""),
+              std::string::npos);
+    EXPECT_NE(json.str().find("\"credit_stall_cycles\""),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace turnmodel

@@ -1,12 +1,17 @@
 #!/usr/bin/env python3
 """Validate a turnmodel observability JSON document against its schema.
 
-Checks a "turnmodel-obs-study-v1" document (ResultSink::writeObsJson)
-or a bare "turnmodel-obs-v1" report (ObsReport::writeJson): required
-keys and types, channel-row coordinate bounds, utilization ranges,
-monotonic non-overlapping sample windows, and chronological traces.
-With --mesh WxH it additionally checks the exact channel-row count:
-every interior edge in both directions plus one eject row per node.
+Checks a "turnmodel-obs-study-v1"/"-v2" document
+(ResultSink::writeObsJson) or a bare "turnmodel-obs-v1"/"-v2" report
+(ObsReport::writeJson): required keys and types, channel-row
+coordinate bounds, utilization ranges, monotonic non-overlapping
+sample windows, and chronological traces. Version 2 channel rows (the
+VC-credit router) additionally carry a "vc" index and a
+"credit_stall_cycles" counter; rows stay keyed by physical direction,
+one row per (channel, VC). With --mesh WxH it additionally checks the
+channel-row count: for v1 every interior edge in both directions plus
+one eject row per node; for v2 one eject row per node and a positive
+multiple (the VC count) of the directed physical edge count.
 
 Usage: validate_obs_schema.py FILE [--mesh WxH]
 Exit status 0 on success; 1 with a message on the first violation.
@@ -38,22 +43,30 @@ def check_keys(obj, spec, where):
         )
 
 
-def check_channel(row, i, mesh):
+def check_channel(row, i, mesh, version):
     where = f"channels[{i}]"
-    check_keys(
-        row,
-        {
-            "node": int,
-            "coords": list,
-            "dir": str,
-            "flits_forwarded": int,
-            "busy_cycles": int,
-            "blocked_cycles": int,
-            "peak_occupancy": int,
-            "utilization": (int, float),
-        },
-        where,
-    )
+    keys = {
+        "node": int,
+        "coords": list,
+        "dir": str,
+        "flits_forwarded": int,
+        "busy_cycles": int,
+        "blocked_cycles": int,
+        "peak_occupancy": int,
+        "utilization": (int, float),
+    }
+    if version >= 2:
+        keys["vc"] = int
+        keys["credit_stall_cycles"] = int
+    check_keys(row, keys, where)
+    if version >= 2:
+        require(row["vc"] >= -1, f"{where}: vc {row['vc']} < -1")
+        require(
+            (row["dir"] == "eject") == (row["vc"] == -1),
+            f"{where}: vc -1 is reserved for eject rows",
+        )
+        require(row["credit_stall_cycles"] >= 0,
+                f"{where}: negative credit_stall_cycles")
     require(row["dir"] in DIRS or row["dir"] == "local",
             f"{where}: unknown dir '{row['dir']}'")
     require(row["utilization"] >= 0.0,
@@ -130,22 +143,33 @@ def check_report(report, mesh, where="report"):
         },
         where,
     )
-    require(report["schema"] == "turnmodel-obs-v1",
+    require(report["schema"] in ("turnmodel-obs-v1", "turnmodel-obs-v2"),
             f"{where}: schema is '{report['schema']}'")
+    version = 2 if report["schema"] == "turnmodel-obs-v2" else 1
     for i, row in enumerate(report["channels"]):
-        check_channel(row, i, mesh)
+        check_channel(row, i, mesh, version)
     if mesh and report["channels"]:
         w, h = mesh
-        expect = 2 * ((w - 1) * h + w * (h - 1)) + w * h
-        require(
-            len(report["channels"]) == expect,
-            f"{where}: {len(report['channels'])} channel rows, "
-            f"expected {expect} for a {w}x{h} mesh",
-        )
+        edges = 2 * ((w - 1) * h + w * (h - 1))
         ejects = sum(1 for r in report["channels"]
                      if r["dir"] == "eject")
         require(ejects == w * h,
                 f"{where}: {ejects} eject rows, expected {w * h}")
+        network = len(report["channels"]) - ejects
+        if version == 1:
+            require(
+                network == edges,
+                f"{where}: {network} network channel rows, "
+                f"expected {edges} for a {w}x{h} mesh",
+            )
+        else:
+            # v2 emits one row per (physical channel, VC): a positive
+            # whole multiple of the directed physical edge count.
+            require(
+                network > 0 and network % edges == 0,
+                f"{where}: {network} network channel rows is not a "
+                f"positive multiple of {edges} ({w}x{h} mesh edges)",
+            )
     check_samples(report["samples"])
     check_trace(report["trace"])
 
@@ -163,8 +187,11 @@ def check_study(study, mesh):
         },
         "study",
     )
-    require(study["schema"] == "turnmodel-obs-study-v1",
-            f"study: schema is '{study['schema']}'")
+    require(
+        study["schema"] in ("turnmodel-obs-study-v1",
+                            "turnmodel-obs-study-v2"),
+        f"study: schema is '{study['schema']}'",
+    )
     require(study["runs"], "study: no runs")
     for i, run in enumerate(study["runs"]):
         where = f"runs[{i}]"
@@ -213,9 +240,10 @@ def main():
 
     try:
         schema = doc.get("schema") if isinstance(doc, dict) else None
-        if schema == "turnmodel-obs-study-v1":
+        if schema in ("turnmodel-obs-study-v1",
+                      "turnmodel-obs-study-v2"):
             check_study(doc, mesh)
-        elif schema == "turnmodel-obs-v1":
+        elif schema in ("turnmodel-obs-v1", "turnmodel-obs-v2"):
             check_report(doc, mesh)
         else:
             raise Invalid(f"unrecognized schema '{schema}'")
