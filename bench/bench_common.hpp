@@ -34,6 +34,10 @@ struct Fidelity
     std::string json_path;
     /** Sweep-point jobs run in parallel; 0 = hardware concurrency. */
     unsigned jobs = 0;
+    /** Shards stepping each network (SimConfig::sim_threads). The
+     * runner clamps this back to 1 whenever jobs > 1 — sweep points
+     * already saturate the pool. */
+    unsigned sim_threads = 1;
     /** With --obs=PATH, also run an observability study (channel
      * counters + time-series sampler) and write it there. */
     std::string obs_path;
@@ -69,6 +73,17 @@ parseFidelity(int argc, char **argv)
             f.jobs = static_cast<unsigned>(std::strtoul(
                 arg.c_str() + std::string("--jobs=").size(),
                 nullptr, 10));
+        } else if (arg.rfind("--sim-threads=", 0) == 0) {
+            char *end = nullptr;
+            const char *val =
+                arg.c_str() + std::string("--sim-threads=").size();
+            const unsigned long n = std::strtoul(val, &end, 10);
+            if (end == val || *end != '\0' || n == 0) {
+                std::cerr << "--sim-threads needs a positive "
+                             "integer, got '" << val << "'\n";
+                std::exit(2);
+            }
+            f.sim_threads = static_cast<unsigned>(n);
         } else if (arg.rfind("--obs=", 0) == 0) {
             f.obs_path = arg.substr(std::string("--obs=").size());
         } else if (arg.rfind("--trace=", 0) == 0) {
@@ -83,7 +98,8 @@ parseFidelity(int argc, char **argv)
             std::cerr << "unknown option '" << arg << "'\n"
                       << "usage: " << argv[0]
                       << " [--quick|--full] [--json=PATH] [--jobs=N]"
-                         " [--obs=PATH] [--obs-rate=R] [--trace=N]\n";
+                         " [--sim-threads=N] [--obs=PATH]"
+                         " [--obs-rate=R] [--trace=N]\n";
             std::exit(2);
         }
     }
@@ -111,6 +127,7 @@ figureSpec(const std::string &title, const Topology &topo,
         SweepConfig::ladder(rate_lo, rate_hi, fidelity.rate_points);
     spec.sim.warmup_cycles = fidelity.warmup;
     spec.sim.measure_cycles = fidelity.measure;
+    spec.sim.sim_threads = fidelity.sim_threads;
     return spec;
 }
 

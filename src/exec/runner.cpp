@@ -76,11 +76,18 @@ Runner::run(const ExperimentSpec &spec)
         }
     }
 
+    // Sweep points already saturate the pool's workers; nesting a
+    // shard team inside each would oversubscribe, so the engines run
+    // serially per point whenever the pool itself is parallel.
+    SimConfig sim = spec.sim;
+    if (pool_->size() > 1)
+        sim.sim_threads = 1;
+
     std::vector<SweepPoint> points(num_series * num_rates);
     pool_->parallelFor(points.size(), [&](std::size_t job) {
         const double rate = spec.injection_rates[job % num_rates];
         points[job] =
-            runSweepPoint(*routings[job], *pattern, spec.sim, rate);
+            runSweepPoint(*routings[job], *pattern, sim, rate);
     });
 
     ExperimentResult result;
@@ -138,6 +145,8 @@ Runner::runObs(const ExperimentSpec &spec, double rate,
         SimConfig sim = spec.sim;
         sim.injection_rate = rate;
         sim.obs = obs;
+        if (pool_->size() > 1)
+            sim.sim_threads = 1;   // One engine per worker already.
         Simulator simulator(*routings[job], *pattern, sim);
         ObsRun &run = study.runs[job];
         run.algorithm = routings[job]->name();

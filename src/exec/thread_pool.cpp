@@ -136,4 +136,87 @@ ThreadPool::parallelFor(std::size_t count,
     }
 }
 
+WorkerTeam::WorkerTeam(unsigned ranks)
+    : ranks_(ranks > 0 ? ranks : 1), barrier_(ranks > 0 ? ranks : 1)
+{
+    members_.reserve(ranks_ - 1);
+    for (unsigned r = 1; r < ranks_; ++r)
+        members_.emplace_back([this, r] { memberLoop(r); });
+}
+
+WorkerTeam::~WorkerTeam()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    start_cv_.notify_all();
+    for (std::thread &member : members_)
+        member.join();
+}
+
+void
+WorkerTeam::memberLoop(unsigned rank)
+{
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        start_cv_.wait(lock,
+                       [&] { return stop_ || epoch_ != seen; });
+        if (stop_)
+            return;
+        seen = epoch_;
+        const std::function<void(unsigned)> *job = job_;
+        lock.unlock();
+
+        try {
+            (*job)(rank);
+        } catch (...) {
+            std::lock_guard<std::mutex> elock(mutex_);
+            if (!first_error_)
+                first_error_ = std::current_exception();
+        }
+
+        lock.lock();
+        if (--running_ == 0)
+            done_cv_.notify_all();
+    }
+}
+
+void
+WorkerTeam::run(const std::function<void(unsigned)> &fn)
+{
+    if (ranks_ == 1) {
+        fn(0);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        TM_ASSERT(job_ == nullptr, "WorkerTeam::run is not reentrant");
+        job_ = &fn;
+        running_ = ranks_ - 1;
+        first_error_ = nullptr;
+        ++epoch_;
+    }
+    start_cv_.notify_all();
+
+    try {
+        fn(0);
+    } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!first_error_)
+            first_error_ = std::current_exception();
+    }
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return running_ == 0; });
+    job_ = nullptr;
+    if (first_error_) {
+        std::exception_ptr error = first_error_;
+        first_error_ = nullptr;
+        lock.unlock();
+        std::rethrow_exception(error);
+    }
+}
+
 } // namespace turnmodel

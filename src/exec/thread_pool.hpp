@@ -1,6 +1,8 @@
 /**
  * @file
- * Work-stealing thread pool for the experiment runner layer. Worker
+ * Thread primitives shared by the execution layers.
+ *
+ * ThreadPool: work-stealing pool for the experiment runner. Worker
  * threads are persistent; work is submitted as index batches via
  * parallelFor, distributed round-robin over per-worker deques, and
  * idle workers steal from the back of their neighbors' deques until
@@ -8,6 +10,14 @@
  * order — callers that need deterministic results must write each
  * task's output to a slot addressed by its index (the runner and the
  * synthesis engine both do).
+ *
+ * WorkerTeam: gang execution for the sharded network engines. Unlike
+ * the pool, every run() invocation executes the same function on a
+ * fixed set of ranks simultaneously (the caller participates as rank
+ * 0), and ranks may synchronize mid-function through barrier() — the
+ * primitive a barrier-phased simulation cycle needs and a stealing
+ * pool cannot provide (a stolen task parked at a barrier would
+ * deadlock its thief).
  */
 
 #ifndef TURNMODEL_EXEC_THREAD_POOL_HPP
@@ -91,6 +101,98 @@ class ThreadPool
     std::uint64_t generation_ = 0;   ///< Bumped per batch.
     std::size_t outstanding_ = 0;    ///< Tasks not yet finished.
     unsigned active_ = 0;            ///< Workers inside the batch.
+    std::exception_ptr first_error_;
+    bool stop_ = false;
+};
+
+/**
+ * Sense-reversing barrier for a fixed party count. arriveAndWait()
+ * blocks until all parties of the current phase have arrived, then
+ * releases them together; the phase counter flips so the barrier is
+ * immediately reusable. Waiters spin briefly and then yield — the
+ * simulation phases it separates are microseconds long, so parking
+ * on a futex every phase would dominate the cycle.
+ */
+class SpinBarrier
+{
+  public:
+    explicit SpinBarrier(unsigned parties) : parties_(parties) {}
+
+    SpinBarrier(const SpinBarrier &) = delete;
+    SpinBarrier &operator=(const SpinBarrier &) = delete;
+
+    void arriveAndWait()
+    {
+        const std::uint64_t phase =
+            phase_.load(std::memory_order_acquire);
+        if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            parties_) {
+            arrived_.store(0, std::memory_order_relaxed);
+            phase_.fetch_add(1, std::memory_order_acq_rel);
+        } else {
+            unsigned spins = 0;
+            while (phase_.load(std::memory_order_acquire) == phase) {
+                if (++spins > 64)
+                    std::this_thread::yield();
+            }
+        }
+    }
+
+  private:
+    const unsigned parties_;
+    std::atomic<unsigned> arrived_{0};
+    std::atomic<std::uint64_t> phase_{0};
+};
+
+/**
+ * A persistent gang of threads executing one function per run() on
+ * every rank at once, with an internal barrier for phase-structured
+ * work. Ranks 1..ranks-1 live on dedicated threads parked between
+ * runs; rank 0 is the calling thread, so a WorkerTeam of one rank
+ * spawns nothing and run() degenerates to a plain call.
+ */
+class WorkerTeam
+{
+  public:
+    /** @param ranks Total ranks including the caller (>= 1). */
+    explicit WorkerTeam(unsigned ranks);
+
+    /** Joins the member threads; no run() may be in flight. */
+    ~WorkerTeam();
+
+    WorkerTeam(const WorkerTeam &) = delete;
+    WorkerTeam &operator=(const WorkerTeam &) = delete;
+
+    unsigned ranks() const { return ranks_; }
+
+    /**
+     * Execute fn(0) .. fn(ranks-1) concurrently (fn(0) on the
+     * calling thread) and block until every rank has returned.
+     * Every rank must execute the same sequence of barrier() calls;
+     * fn must not throw past a barrier another rank still waits on
+     * (the engine phases this runs assert fatally instead of
+     * throwing). The first exception thrown by any rank is rethrown
+     * here after the gang drains.
+     */
+    void run(const std::function<void(unsigned)> &fn);
+
+    /** Rendezvous of all ranks; callable only from inside run(). */
+    void barrier() { barrier_.arriveAndWait(); }
+
+  private:
+    void memberLoop(unsigned rank);
+
+    const unsigned ranks_;
+    SpinBarrier barrier_;
+    std::vector<std::thread> members_;
+
+    /** Guards the per-run state below. */
+    std::mutex mutex_;
+    std::condition_variable start_cv_;   ///< Signals a new run.
+    std::condition_variable done_cv_;    ///< Signals gang completion.
+    const std::function<void(unsigned)> *job_ = nullptr;
+    std::uint64_t epoch_ = 0;   ///< Bumped per run.
+    unsigned running_ = 0;      ///< Member ranks not yet finished.
     std::exception_ptr first_error_;
     bool stop_ = false;
 };

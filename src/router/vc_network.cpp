@@ -1,6 +1,8 @@
 #include "router/vc_network.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <thread>
 
 #include "obs/report.hpp"
 #include "util/logging.hpp"
@@ -38,7 +40,6 @@ VcNetwork::VcNetwork(const RoutingAlgorithm &routing,
     flit_slab_.resize(total_ports * buffer_depth_);
     out_to_in_.assign(total_ports, -1);
     in_to_out_.assign(total_ports, -1);
-    move_memo_.assign(total_ports, ~0ULL);
     is_active_.assign(total_ports, 0);
     head_waiting_.assign(total_ports, 0);
     waiting_pos_.assign(total_ports, 0);
@@ -51,7 +52,6 @@ VcNetwork::VcNetwork(const RoutingAlgorithm &routing,
     sa_ready_at_.assign(total_ports, 0);
     credits_.assign(total_ports,
                     static_cast<std::int64_t>(buffer_depth_));
-    credit_ring_.resize(credit_delay_ + 1);
     credit_stall_.assign(total_ports, 0);
 
     port_router_.resize(total_ports);
@@ -142,6 +142,39 @@ VcNetwork::VcNetwork(const RoutingAlgorithm &routing,
         trace_sink_ = obs_->trace();
     }
 
+    // Shard plan; gates identical to the classic engine (the Random
+    // policies and the packet trace are serial artifacts).
+    unsigned requested = config_.sim_threads != 0
+        ? config_.sim_threads
+        : std::thread::hardware_concurrency();
+    if (requested == 0)
+        requested = 1;
+    if (config_.output_selection == OutputSelection::Random ||
+        config_.input_selection == InputSelection::Random) {
+        requested = 1;
+    }
+    if (trace_sink_)
+        requested = 1;
+    plan_ = ShardPlan::build(topo_.numNodes(), ports_per_router_,
+                             requested);
+    num_shards_ = plan_.numShards();
+    packets_.configureArenas(num_shards_);
+    flit_mail_.configure(num_shards_);
+    release_mail_.configure(num_shards_);
+    credit_mail_.configure(num_shards_);
+    shards_.resize(num_shards_);
+    for (std::uint32_t s = 0; s < num_shards_; ++s) {
+        Shard &sh = shards_[s];
+        sh.node_begin = plan_.nodeBegin(s);
+        sh.node_end = plan_.nodeEnd(s);
+        sh.port_begin = plan_.portBegin(s);
+        sh.port_end = plan_.portEnd(s);
+        sh.move_memo.assign(total_ports, ~0ULL);
+        sh.credit_ring.resize(credit_delay_ + 1);
+    }
+    if (num_shards_ > 1)
+        team_ = std::make_unique<WorkerTeam>(num_shards_);
+
     source_queues_.resize(topo_.numNodes());
     source_pending_.assign(topo_.numNodes(), 0);
     arrivals_.reserve(topo_.numNodes());
@@ -155,7 +188,7 @@ VcNetwork::VcNetwork(const RoutingAlgorithm &routing,
 }
 
 void
-VcNetwork::fifoPush(std::uint32_t port, const Flit &flit)
+VcNetwork::fifoPush(Shard &sh, std::uint32_t port, const Flit &flit)
 {
     InPort &in = in_ports_[port];
     std::uint32_t idx = in.fifo_head + in.fifo_size;
@@ -168,8 +201,8 @@ VcNetwork::fifoPush(std::uint32_t port, const Flit &flit)
     if (flit.head) {
         head_waiting_[port] = 1;
         waiting_pos_[port] =
-            static_cast<std::uint32_t>(waiting_list_.size());
-        waiting_list_.push_back(port);
+            static_cast<std::uint32_t>(sh.waiting_list.size());
+        sh.waiting_list.push_back(port);
     }
 }
 
@@ -186,53 +219,96 @@ VcNetwork::fifoPop(std::uint32_t port)
 }
 
 void
-VcNetwork::markActive(std::uint32_t port)
+VcNetwork::markActive(Shard &sh, std::uint32_t port)
 {
     if (!is_active_[port]) {
         is_active_[port] = 1;
-        active_ports_.push_back(port);
+        sh.active_ports.push_back(port);
     }
+}
+
+void
+VcNetwork::stampProgress(PacketSlot slot)
+{
+    // Several shards may move flits of the same packet in one cycle;
+    // every stamp writes the same value, so relaxed is enough.
+    std::atomic_ref<std::uint64_t>(progress_[slot])
+        .store(cycle_, std::memory_order_relaxed);
 }
 
 void
 VcNetwork::step()
 {
-    moved_this_cycle_ = false;
-    if (generate_)
-        generateMessages();
-    if (!ideal_)
-        applyCreditReturns();
-    allocateVcs();
-    traverseFlits();
-    injectFlits();
-
-    if (chan_stats_) {
-        chan_stats_->tick();
-        const auto num_ports =
-            static_cast<std::uint32_t>(out_ports_.size());
-        for (std::uint32_t p = 0; p < num_ports; ++p) {
-            if (out_ports_[p].owner != kNoSlot)
-                chan_stats_->recordHeld(p, cycle_);
-        }
-    }
-
-    // Deadlock watchdog: packets in the network but nothing moved.
-    if (!moved_this_cycle_ && counters_.flits_in_network > 0)
-        ++stall_cycles_;
+    if (team_)
+        team_->run([this](unsigned rank) { stepShard(rank); });
     else
-        stall_cycles_ = 0;
-    if ((cycle_ & 0x3ff) == 0) {
-        packet_stall_flag_ = packet_stall_flag_
-            || oldestPacketStall() >= config_.deadlock_threshold;
-    }
-    ++cycle_;
+        stepShard(0);
+    serialTail();
 }
 
 void
-VcNetwork::generateMessages()
+VcNetwork::stepShard(std::uint32_t s)
 {
+    Shard &sh = shards_[s];
+    sh.moved = false;
+
+    // Phase: sample arrivals, then the serial slot/id reservation.
+    if (generate_) {
+        generateSample(sh);
+        sync();
+        if (s == 0)
+            prepareGeneration();
+        sync();
+    }
+
+    // Phase: apply own credit returns, commit staged arrivals, and
+    // run VC allocation. All three touch only shard-owned state (a
+    // VA bid always targets an output VC of the bidder's router).
+    if (!ideal_)
+        applyCreditReturns(sh);
+    if (generate_)
+        commitGeneration(sh, s);
+    allocateVcs(sh);
+    sync();
+
+    // Phase: decide moves against the frozen cycle-start state.
+    sh.moves.clear();
+    if (ideal_)
+        decideMovesIdeal(sh);
+    else
+        decideMovesCredit(sh);
+    sync();
+
+    if (ideal_ && !arb_key_.empty()) {
+        // Serial mini-phase: one flit per physical wire per cycle
+        // (credit mode routes wire contention through the separable
+        // switch allocator instead).
+        if (s == 0)
+            arbitratePhysicalChannels();
+        sync();
+    }
+
+    // Phase: pop commit (credits consumed and returned here).
+    popMoves(sh, s);
+    sync();
+
+    // Phase: push commit.
+    pushMoves(sh, s);
+    compactActive(sh);
+    injectFlits(sh);
+    recordHeldPorts(sh);
+    sync();
+
+    // Phase: mailboxed slot releases and upstream credits go home.
+    drainMailboxes(s);
+}
+
+void
+VcNetwork::generateSample(Shard &sh)
+{
+    sh.staged.clear();
     const double now = static_cast<double>(cycle_);
-    for (NodeId v = 0; v < topo_.numNodes(); ++v) {
+    for (NodeId v = sh.node_begin; v < sh.node_end; ++v) {
         if (arrival_due_[v] > now)
             continue;
         ArrivalProcess &proc = arrivals_[v];
@@ -243,29 +319,54 @@ VcNetwork::generateMessages()
                 continue;   // Self-directed; never enters the network.
             const std::uint32_t length =
                 config_.lengths.sample(proc.rng());
-            const PacketSlot slot = packets_.allocate();
-            if (slot >= progress_.size())
-                progress_.resize(slot + 1);
-            PacketState &pkt = packets_[slot];
-            pkt.id = next_packet_id_++;
-            pkt.src = v;
-            pkt.dest = *dest;
-            pkt.length = length;
-            pkt.created = now;
-            source_queues_[v].push_back(slot);
-            source_pending_[v] = 1;
-            ++counters_.packets_generated;
-            counters_.flits_generated += length;
-            counters_.source_queue_flits += length;
+            sh.staged.push_back({v, *dest, length});
         } while (proc.due(now));
         arrival_due_[v] = proc.nextDue();
     }
 }
 
 void
-VcNetwork::applyCreditReturns()
+VcNetwork::prepareGeneration()
 {
-    auto &bucket = credit_ring_[cycle_ % credit_ring_.size()];
+    // Serial prefix sum over contiguous ascending shard ranges
+    // reproduces the serial node-order id sequence exactly.
+    PacketId base = next_packet_id_;
+    for (Shard &sh : shards_) {
+        sh.id_base = base;
+        base += static_cast<PacketId>(sh.staged.size());
+    }
+    next_packet_id_ = base;
+    for (std::uint32_t s = 0; s < num_shards_; ++s)
+        packets_.reserveExtra(s, shards_[s].staged.size());
+    if (packets_.capacity() > progress_.size())
+        progress_.resize(packets_.capacity());
+}
+
+void
+VcNetwork::commitGeneration(Shard &sh, std::uint32_t s)
+{
+    const double now = static_cast<double>(cycle_);
+    PacketId id = sh.id_base;
+    for (const StagedPacket &sp : sh.staged) {
+        const PacketSlot slot = packets_.allocate(s);
+        PacketState &pkt = packets_[slot];
+        pkt.id = id++;
+        pkt.src = sp.src;
+        pkt.dest = sp.dest;
+        pkt.length = sp.length;
+        pkt.created = now;
+        source_queues_[sp.src].push_back(slot);
+        source_pending_[sp.src] = 1;
+        ++sh.counters.packets_generated;
+        sh.counters.flits_generated += sp.length;
+        sh.counters.source_queue_flits += sp.length;
+    }
+}
+
+void
+VcNetwork::applyCreditReturns(Shard &sh)
+{
+    auto &bucket = sh.credit_ring[cycle_ % sh.credit_ring.size()];
     for (const CreditEvent &e : bucket) {
         ++credits_[e.out_port];
         TM_ASSERT(credits_[e.out_port] <=
@@ -281,14 +382,24 @@ VcNetwork::applyCreditReturns()
 }
 
 void
-VcNetwork::scheduleCredit(std::uint32_t out_port, bool vc_free)
+VcNetwork::scheduleCredit(std::uint32_t s, std::uint32_t out_port,
+                          bool vc_free)
 {
-    credit_ring_[(cycle_ + credit_delay_) % credit_ring_.size()]
-        .push_back({out_port, static_cast<std::uint8_t>(vc_free)});
+    const CreditEvent e{out_port,
+                        static_cast<std::uint8_t>(vc_free)};
+    const std::uint32_t owner = plan_.shardOfPort(out_port);
+    if (owner == s) {
+        Shard &sh = shards_[s];
+        sh.credit_ring[(cycle_ + credit_delay_) %
+                       sh.credit_ring.size()]
+            .push_back(e);
+    } else {
+        credit_mail_.box(s, owner).push_back(e);
+    }
 }
 
 void
-VcNetwork::gatherBid(std::uint32_t port)
+VcNetwork::gatherBid(Shard &sh, std::uint32_t port)
 {
     const InPort &in = in_ports_[port];
     const Flit &flit = fifoFront(port);
@@ -325,41 +436,40 @@ VcNetwork::gatherBid(std::uint32_t port)
             router_rng_);
         preferred = inPortId(here, pick.id());
     }
-    bids_.push_back({preferred, {port, in.header_arrival}});
+    sh.bids.push_back({preferred, {port, in.header_arrival}});
 }
 
 void
-VcNetwork::allocateVcs()
+VcNetwork::allocateVcs(Shard &sh)
 {
     // VC allocation: every route-computed header bids for the single
     // free output VC its output-selection policy prefers; the
     // input-selection policy picks one winner per output VC. Bids are
     // sorted before use, so the compact waiting list's order is
     // unobservable under deterministic policies (Random policies
-    // consume router_rng_ in list order, which is still a pure
-    // function of the configuration and seed).
-    bids_.clear();
-    for (std::uint32_t port : waiting_list_) {
+    // consume router_rng_ in list order, which forces one shard).
+    sh.bids.clear();
+    for (std::uint32_t port : sh.waiting_list) {
         if (cycle_ >= va_ready_at_[port])
-            gatherBid(port);
+            gatherBid(sh, port);
     }
 
-    std::sort(bids_.begin(), bids_.end(),
+    std::sort(sh.bids.begin(), sh.bids.end(),
               [](const Bid &a, const Bid &b) {
                   if (a.out_port != b.out_port)
                       return a.out_port < b.out_port;
                   return a.request.in_port < b.request.in_port;
               });
     std::size_t i = 0;
-    while (i < bids_.size()) {
-        bid_group_.clear();
-        const std::uint32_t out = bids_[i].out_port;
-        while (i < bids_.size() && bids_[i].out_port == out)
-            bid_group_.push_back(bids_[i++].request);
+    while (i < sh.bids.size()) {
+        sh.bid_group.clear();
+        const std::uint32_t out = sh.bids[i].out_port;
+        while (i < sh.bids.size() && sh.bids[i].out_port == out)
+            sh.bid_group.push_back(sh.bids[i++].request);
         const std::size_t win =
-            selectInput(config_.input_selection, bid_group_,
+            selectInput(config_.input_selection, sh.bid_group,
                         router_rng_);
-        const std::uint32_t in_port = bid_group_[win].in_port;
+        const std::uint32_t in_port = sh.bid_group[win].in_port;
         InPort &in = in_ports_[in_port];
         out_ports_[out].owner = fifoFront(in_port).slot;
         in.granted_out = localOf(out);
@@ -372,22 +482,22 @@ VcNetwork::allocateVcs()
         sa_ready_at_[in_port] = cycle_ + (pipelined_ ? 1 : 0);
         head_waiting_[in_port] = 0;
         const std::uint32_t pos = waiting_pos_[in_port];
-        const std::uint32_t last = waiting_list_.back();
-        waiting_list_[pos] = last;
+        const std::uint32_t last = sh.waiting_list.back();
+        sh.waiting_list[pos] = last;
         waiting_pos_[last] = pos;
-        waiting_list_.pop_back();
+        sh.waiting_list.pop_back();
     }
 }
 
 bool
-VcNetwork::headCanMoveCompute(std::uint32_t port)
+VcNetwork::headCanMoveCompute(Shard &sh, std::uint32_t port)
 {
     // Ideal-credit movability, replicated from the classic engine so
     // the degenerate configuration is semantics-identical: instant
     // occupancy checks with same-cycle chained refills, and a
     // dependency cycle resolving to "cannot move" through the
-    // on-stack memo state.
-    move_memo_[port] = (cycle_ << 2) | 1;
+    // on-stack memo state. The memo is the exploring shard's own.
+    sh.move_memo[port] = (cycle_ << 2) | 1;
 
     bool result = false;
     const InPort &in = in_ports_[port];
@@ -404,41 +514,41 @@ VcNetwork::headCanMoveCompute(std::uint32_t port)
             if (next.fifo_size < buffer_depth_) {
                 result = next.cur_slot == kNoSlot
                     || next.cur_slot == flit.slot;
-            } else if (headCanMove(target_port)) {
+            } else if (headCanMove(sh, target_port)) {
                 result = next.cur_slot == flit.slot
                     || next.fifo_size == 1;
             }
         }
     }
-    move_memo_[port] = (cycle_ << 2) | (result ? 2u : 3u);
+    sh.move_memo[port] = (cycle_ << 2) | (result ? 2u : 3u);
     return result;
 }
 
 void
-VcNetwork::decideMovesIdeal()
+VcNetwork::decideMovesIdeal(Shard &sh)
 {
-    for (std::uint32_t port : active_ports_) {
+    for (std::uint32_t port : sh.active_ports) {
         if (!granted_[port])
             continue;
-        if (!headCanMove(port))
+        if (!headCanMove(sh, port))
             continue;
-        moves_.push_back({port, granted_target_[port],
-                          granted_out_port_[port]});
+        sh.moves.push_back({port, granted_target_[port],
+                            granted_out_port_[port]});
     }
-    if (topo_.hasSharedPhysicalChannels())
-        arbitratePhysicalChannels();
 }
 
 void
-VcNetwork::decideMovesCredit()
+VcNetwork::decideMovesCredit(Shard &sh)
 {
     // Gather switch-allocation requests: granted VCs with a buffered
     // flit, past their VA pipeline stage, holding a credit (ejection
     // needs none — the destination consumes immediately). A flit-ready
     // VC without a credit charges the credit-stall counter, the
-    // backpressure signal the per-VC observability exports.
-    sa_reqs_.clear();
-    for (std::uint32_t port : active_ports_) {
+    // backpressure signal the per-VC observability exports. The whole
+    // allocation is router-local: crossbar resources, arbiters, and
+    // credit counters all belong to the input port's router.
+    sh.sa_reqs.clear();
+    for (std::uint32_t port : sh.active_ports) {
         if (!granted_[port])
             continue;
         const InPort &in = in_ports_[port];
@@ -451,9 +561,9 @@ VcNetwork::decideMovesCredit()
             ++credit_stall_[out];
             continue;
         }
-        sa_reqs_.push_back({port, out});
+        sh.sa_reqs.push_back({port, out});
     }
-    if (sa_reqs_.empty())
+    if (sh.sa_reqs.empty())
         return;
 
     // Separable two-stage allocation. Each stage keeps one request
@@ -461,9 +571,9 @@ VcNetwork::decideMovesCredit()
     // arbiter; a request must survive both stages. Requests are
     // unique per input VC (one granted output each) and per output VC
     // (one owner each), so a stage winner is unambiguous.
-    const auto filterStage = [this](std::vector<SaRequest> &from,
-                                    std::vector<SaRequest> &to,
-                                    bool by_input) {
+    const auto filterStage = [this, &sh](std::vector<SaRequest> &from,
+                                         std::vector<SaRequest> &to,
+                                         bool by_input) {
         const auto key = [this, by_input](const SaRequest &r) {
             return by_input ? in_group_[r.in_port]
                             : out_wire_[r.out_port];
@@ -482,9 +592,9 @@ VcNetwork::decideMovesCredit()
         while (i < from.size()) {
             const std::uint32_t k = key(from[i]);
             std::size_t j = i;
-            sa_members_.clear();
+            sh.sa_members.clear();
             while (j < from.size() && key(from[j]) == k) {
-                sa_members_.push_back(member(from[j]));
+                sh.sa_members.push_back(member(from[j]));
                 ++j;
             }
             if (j - i == 1) {
@@ -493,7 +603,7 @@ VcNetwork::decideMovesCredit()
                 const RoundRobinArbiter &arb =
                     by_input ? in_arb_[k] : out_arb_[k];
                 const std::uint32_t w = arb.select(
-                    sa_members_.data(), sa_members_.size());
+                    sh.sa_members.data(), sh.sa_members.size());
                 for (std::size_t m = i; m < j; ++m) {
                     if (member(from[m]) == w) {
                         to.push_back(from[m]);
@@ -506,210 +616,54 @@ VcNetwork::decideMovesCredit()
     };
 
     if (sa_arbiter_ == SwitchArbiter::InputFirst) {
-        filterStage(sa_reqs_, sa_stage_, true);
-        filterStage(sa_stage_, sa_reqs_, false);
+        filterStage(sh.sa_reqs, sh.sa_stage, true);
+        filterStage(sh.sa_stage, sh.sa_reqs, false);
     } else {
-        filterStage(sa_reqs_, sa_stage_, false);
-        filterStage(sa_stage_, sa_reqs_, true);
+        filterStage(sh.sa_reqs, sh.sa_stage, false);
+        filterStage(sh.sa_stage, sh.sa_reqs, true);
     }
 
     // Priority pointers advance only on confirmed grants, so a stage
     // winner that loses the other stage keeps its priority.
-    for (const SaRequest &r : sa_reqs_) {
+    for (const SaRequest &r : sh.sa_reqs) {
         in_arb_[in_group_[r.in_port]].confirm(r.in_port);
         out_arb_[out_wire_[r.out_port]].confirm(r.out_port);
-        moves_.push_back({r.in_port, granted_target_[r.in_port],
-                          r.out_port});
-    }
-}
-
-void
-VcNetwork::traverseFlits()
-{
-    // Decide all moves against the cycle-start state, then apply.
-    moves_.clear();
-    if (ideal_)
-        decideMovesIdeal();
-    else
-        decideMovesCredit();
-
-    // Pop all moving flits first so same-cycle chained refills (ideal
-    // mode) see consistent state, then push them downstream.
-    in_flight_.clear();
-    freed_candidates_ = 0;
-    for (const Move &m : moves_) {
-        InPort &in = in_ports_[m.from];
-        const Flit flit = fifoPop(m.from);
-        if (!ideal_) {
-            if (m.to >= 0) {
-                TM_ASSERT(credits_[m.out] > 0,
-                          "flit sent without a credit");
-                --credits_[m.out];
-            }
-            // This pop freed one slot of m.from's buffer: return a
-            // credit to the upstream output VC feeding it (none for
-            // the injection port — its upstream is the source queue).
-            const std::int32_t up = in_to_out_[m.from];
-            if (up >= 0)
-                scheduleCredit(static_cast<std::uint32_t>(up),
-                               flit.tail);
-        }
-        if (flit.tail) {
-            // The tail releases the buffer binding; the output VC is
-            // released now under ideal credits (and for ejection,
-            // which has no downstream buffer), otherwise by the
-            // downstream tail pop's VC-free signal.
-            if (ideal_ || m.to < 0)
-                out_ports_[m.out].owner = kNoSlot;
-            in.cur_slot = kNoSlot;
-            in.granted_out = -1;
-            granted_[m.from] = 0;
-            if (in.fifo_size == 0 && !maybe_free_[m.from]) {
-                maybe_free_[m.from] = 1;
-                ++freed_candidates_;
-            }
-        }
-        in_flight_.push_back({flit, m.from, m.to, m.out});
-    }
-
-    for (const InFlight &f : in_flight_) {
-        moved_this_cycle_ = true;
-        ++counters_.flit_moves;
-        progress_[f.flit.slot] = cycle_;
-        if (chan_stats_)
-            chan_stats_->recordForward(f.out, cycle_);
-        if (f.to < 0) {
-            // Consumed at the destination.
-            PacketState &pkt = packets_[f.flit.slot];
-            ++pkt.flits_delivered;
-            ++counters_.flits_delivered;
-            --counters_.flits_in_network;
-            if (f.flit.tail) {
-                ++counters_.packets_delivered;
-                if (trace_sink_)
-                    trace_sink_->record({cycle_, pkt.id,
-                                         pkt.dest, 0,
-                                         TraceEventKind::Deliver});
-                completions_.push_back({pkt.id, pkt.src, pkt.dest,
-                                        pkt.length, pkt.hops, pkt.created,
-                                        pkt.injected,
-                                        static_cast<double>(cycle_)});
-                packets_.release(f.flit.slot);
-            }
-            continue;
-        }
-        const auto to = static_cast<std::uint32_t>(f.to);
-        InPort &next = in_ports_[to];
-        TM_ASSERT(next.fifo_size < buffer_depth_,
-                  "flit pushed into a full buffer");
-        TM_ASSERT(next.cur_slot == kNoSlot ||
-                      next.cur_slot == f.flit.slot,
-                  "two packets interleaved in one VC buffer");
-        fifoPush(to, f.flit);
-        if (chan_stats_)
-            chan_stats_->recordOccupancy(to, next.fifo_size);
-        if (f.flit.head) {
-            PacketState &pkt = packets_[f.flit.slot];
-            next.cur_slot = f.flit.slot;
-            next.header_arrival = cycle_;
-            // Charge the route-compute stage: the header may bid in
-            // VA the cycle after arrival (classic timing), one later
-            // when pipelined.
-            va_ready_at_[to] = cycle_ + 1 + (pipelined_ ? 1 : 0);
-            ++pkt.hops;
-            ++counters_.header_hops;
-            if (trace_sink_)
-                trace_sink_->record({cycle_, pkt.id,
-                                     routerOf(f.from),
-                                     static_cast<DirId>(localOf(to)),
-                                     TraceEventKind::Route});
-        }
-        markActive(to);
-    }
-
-    // Compact the active list (identical to the classic engine).
-    if (freed_candidates_ > 0) {
-        std::size_t keep = 0;
-        for (std::uint32_t port : active_ports_) {
-            if (!maybe_free_[port]) {
-                active_ports_[keep++] = port;
-                continue;
-            }
-            maybe_free_[port] = 0;
-            const InPort &in = in_ports_[port];
-            if (in.fifo_size > 0 || in.cur_slot != kNoSlot) {
-                active_ports_[keep++] = port;
-            } else {
-                is_active_[port] = 0;
-            }
-        }
-        active_ports_.resize(keep);
-    }
-}
-
-void
-VcNetwork::injectFlits()
-{
-    // Runs after traversal so a single-flit injection buffer sustains
-    // one flit per cycle, the injection channel's full bandwidth.
-    for (NodeId v = 0; v < topo_.numNodes(); ++v) {
-        if (!source_pending_[v])
-            continue;
-        auto &queue = source_queues_[v];
-        const std::uint32_t port = inPortId(v, localPort());
-        InPort &in = in_ports_[port];
-        if (in.fifo_size >= buffer_depth_)
-            continue;
-        const PacketSlot slot = queue.front();
-        PacketState &pkt = packets_[slot];
-        if (in.cur_slot != kNoSlot && in.cur_slot != slot)
-            continue;   // Previous packet's tail still in the buffer.
-        Flit flit;
-        flit.slot = slot;
-        flit.head = pkt.flits_injected == 0;
-        flit.tail = pkt.flits_injected + 1 == pkt.length;
-        fifoPush(port, flit);
-        ++pkt.flits_injected;
-        progress_[slot] = cycle_;
-        --counters_.source_queue_flits;
-        ++counters_.flits_in_network;
-        ++counters_.flit_moves;
-        moved_this_cycle_ = true;
-        if (flit.head) {
-            in.cur_slot = slot;
-            in.header_arrival = cycle_;
-            va_ready_at_[port] = cycle_ + 1 + (pipelined_ ? 1 : 0);
-            pkt.injected = static_cast<double>(cycle_);
-            if (trace_sink_)
-                trace_sink_->record({cycle_, pkt.id, v, 0,
-                                     TraceEventKind::Inject});
-        }
-        if (flit.tail) {
-            queue.pop_front();
-            if (queue.empty())
-                source_pending_[v] = 0;
-        }
-        markActive(port);
+        sh.moves.push_back({r.in_port, granted_target_[r.in_port],
+                            r.out_port});
     }
 }
 
 void
 VcNetwork::arbitratePhysicalChannels()
 {
-    // Ideal-credit mode on shared wires: identical to the classic
-    // engine's rotating-priority wire arbitration with transitive
-    // cancellation of dependent chained refills. (Credit mode routes
-    // wire contention through the separable switch allocator instead.)
+    // Ideal-credit mode on shared wires: the classic engine's
+    // rotating-priority wire arbitration with transitive cancellation
+    // of dependent chained refills, run serially over the
+    // concatenation of every shard's moves with group members in
+    // canonical (wire, from-port) order. (Credit mode routes wire
+    // contention through the separable switch allocator instead.)
+    all_moves_.clear();
+    arb_shard_base_.clear();
+    for (Shard &sh : shards_) {
+        arb_shard_base_.push_back(all_moves_.size());
+        all_moves_.insert(all_moves_.end(), sh.moves.begin(),
+                          sh.moves.end());
+    }
+    arb_shard_base_.push_back(all_moves_.size());
+
     arb_groups_.clear();
     for (std::uint32_t i = 0;
-         i < static_cast<std::uint32_t>(moves_.size()); ++i) {
-        if (moves_[i].to < 0)
+         i < static_cast<std::uint32_t>(all_moves_.size()); ++i) {
+        if (all_moves_[i].to < 0)
             continue;   // Delivery channels are not multiplexed.
-        arb_groups_.emplace_back(arb_key_[moves_[i].out], i);
+        arb_groups_.emplace_back(
+            arb_key_[all_moves_[i].out],
+            (static_cast<std::uint64_t>(all_moves_[i].from) << 32) |
+                i);
     }
     std::sort(arb_groups_.begin(), arb_groups_.end());
 
-    arb_cancelled_.assign(moves_.size(), 0);
+    arb_cancelled_.assign(all_moves_.size(), 0);
     arb_worklist_.clear();
     std::size_t i = 0;
     while (i < arb_groups_.size()) {
@@ -725,44 +679,319 @@ VcNetwork::arbitratePhysicalChannels()
             for (std::size_t k = 0; k < members; ++k) {
                 if (k == keep)
                     continue;
-                arb_cancelled_[arb_groups_[i + k].second] = 1;
-                arb_worklist_.push_back(arb_groups_[i + k].second);
+                const auto idx = static_cast<std::uint32_t>(
+                    arb_groups_[i + k].second & 0xffffffffu);
+                arb_cancelled_[idx] = 1;
+                arb_worklist_.push_back(idx);
             }
         }
         i = j;
     }
 
-    if (!arb_worklist_.empty()) {
-        for (const Move &m : moves_) {
-            if (m.to >= 0)
-                arb_move_into_[m.to] = static_cast<std::int32_t>(
-                    &m - moves_.data());
-        }
-        for (std::size_t head = 0; head < arb_worklist_.size();
-             ++head) {
-            const std::uint32_t dead = arb_worklist_[head];
-            const std::uint32_t buffer = moves_[dead].from;
-            if (in_ports_[buffer].fifo_size < buffer_depth_)
-                continue;   // The incoming move still has room.
-            const std::int32_t feeder = arb_move_into_[buffer];
-            if (feeder < 0 || arb_cancelled_[feeder])
-                continue;
-            arb_cancelled_[feeder] = 1;
-            arb_worklist_.push_back(
-                static_cast<std::uint32_t>(feeder));
-        }
-        for (const Move &m : moves_) {
-            if (m.to >= 0)
-                arb_move_into_[m.to] = -1;
-        }
+    if (arb_worklist_.empty())
+        return;
 
-        std::size_t keep = 0;
-        for (std::size_t m = 0; m < moves_.size(); ++m) {
-            if (!arb_cancelled_[m])
-                moves_[keep++] = moves_[m];
-        }
-        moves_.resize(keep);
+    for (const Move &m : all_moves_) {
+        if (m.to >= 0)
+            arb_move_into_[m.to] = static_cast<std::int32_t>(
+                &m - all_moves_.data());
     }
+    for (std::size_t head = 0; head < arb_worklist_.size(); ++head) {
+        const std::uint32_t dead = arb_worklist_[head];
+        const std::uint32_t buffer = all_moves_[dead].from;
+        if (in_ports_[buffer].fifo_size < buffer_depth_)
+            continue;   // The incoming move still has room.
+        const std::int32_t feeder = arb_move_into_[buffer];
+        if (feeder < 0 || arb_cancelled_[feeder])
+            continue;
+        arb_cancelled_[feeder] = 1;
+        arb_worklist_.push_back(static_cast<std::uint32_t>(feeder));
+    }
+    for (const Move &m : all_moves_) {
+        if (m.to >= 0)
+            arb_move_into_[m.to] = -1;
+    }
+
+    for (std::uint32_t s = 0; s < num_shards_; ++s) {
+        Shard &sh = shards_[s];
+        sh.moves.clear();
+        for (std::size_t m = arb_shard_base_[s];
+             m < arb_shard_base_[s + 1]; ++m) {
+            if (!arb_cancelled_[m])
+                sh.moves.push_back(all_moves_[m]);
+        }
+    }
+}
+
+void
+VcNetwork::popMoves(Shard &sh, std::uint32_t s)
+{
+    // Pop all moving flits first so same-cycle chained refills (ideal
+    // mode) see consistent state, then push them downstream (next
+    // phase). Credits are consumed here (m.out is at m.from's router)
+    // and returned upstream — by mailbox when the upstream output VC
+    // lives in another shard.
+    sh.in_flight.clear();
+    for (const Move &m : sh.moves) {
+        InPort &in = in_ports_[m.from];
+        const Flit flit = fifoPop(m.from);
+        if (chan_stats_)
+            chan_stats_->recordForward(m.out, cycle_);
+        if (!ideal_) {
+            if (m.to >= 0) {
+                TM_ASSERT(credits_[m.out] > 0,
+                          "flit sent without a credit");
+                --credits_[m.out];
+            }
+            // This pop freed one slot of m.from's buffer: return a
+            // credit to the upstream output VC feeding it (none for
+            // the injection port — its upstream is the source queue).
+            const std::int32_t up = in_to_out_[m.from];
+            if (up >= 0)
+                scheduleCredit(s, static_cast<std::uint32_t>(up),
+                               flit.tail);
+        }
+        if (flit.tail) {
+            // The tail releases the buffer binding; the output VC is
+            // released now under ideal credits (and for ejection,
+            // which has no downstream buffer), otherwise by the
+            // downstream tail pop's VC-free signal.
+            if (ideal_ || m.to < 0)
+                out_ports_[m.out].owner = kNoSlot;
+            in.cur_slot = kNoSlot;
+            in.granted_out = -1;
+            granted_[m.from] = 0;
+            if (in.fifo_size == 0 && !maybe_free_[m.from]) {
+                maybe_free_[m.from] = 1;
+                ++sh.freed_candidates;
+            }
+        }
+        if (m.to >= 0) {
+            const std::uint32_t owner =
+                plan_.shardOfPort(static_cast<std::uint32_t>(m.to));
+            if (owner != s) {
+                flit_mail_.box(s, owner).push_back(
+                    {flit, m.from, m.to, m.out});
+                continue;
+            }
+        }
+        sh.in_flight.push_back({flit, m.from, m.to, m.out});
+    }
+}
+
+void
+VcNetwork::pushOne(Shard &sh, std::uint32_t s, const InFlight &f)
+{
+    sh.moved = true;
+    ++sh.counters.flit_moves;
+    stampProgress(f.flit.slot);
+    if (f.to < 0) {
+        // Consumed at the destination.
+        PacketState &pkt = packets_[f.flit.slot];
+        ++pkt.flits_delivered;
+        ++sh.counters.flits_delivered;
+        --sh.counters.flits_in_network;
+        if (f.flit.tail) {
+            ++sh.counters.packets_delivered;
+            if (trace_sink_)
+                trace_sink_->record({cycle_, pkt.id, pkt.dest, 0,
+                                     TraceEventKind::Deliver});
+            sh.completions.push_back({pkt.id, pkt.src, pkt.dest,
+                                      pkt.length, pkt.hops, pkt.created,
+                                      pkt.injected,
+                                      static_cast<double>(cycle_)});
+            const std::uint32_t arena = packets_.arenaOf(f.flit.slot);
+            if (arena == s)
+                packets_.release(f.flit.slot);
+            else
+                release_mail_.box(s, arena).push_back(f.flit.slot);
+        }
+        return;
+    }
+    const auto to = static_cast<std::uint32_t>(f.to);
+    InPort &next = in_ports_[to];
+    TM_ASSERT(next.fifo_size < buffer_depth_,
+              "flit pushed into a full buffer");
+    TM_ASSERT(next.cur_slot == kNoSlot ||
+                  next.cur_slot == f.flit.slot,
+              "two packets interleaved in one VC buffer");
+    fifoPush(sh, to, f.flit);
+    if (chan_stats_)
+        chan_stats_->recordOccupancy(to, next.fifo_size);
+    if (f.flit.head) {
+        PacketState &pkt = packets_[f.flit.slot];
+        next.cur_slot = f.flit.slot;
+        next.header_arrival = cycle_;
+        // Charge the route-compute stage: the header may bid in VA
+        // the cycle after arrival (classic timing), one later when
+        // pipelined.
+        va_ready_at_[to] = cycle_ + 1 + (pipelined_ ? 1 : 0);
+        ++pkt.hops;
+        ++sh.counters.header_hops;
+        if (trace_sink_)
+            trace_sink_->record({cycle_, pkt.id, routerOf(f.from),
+                                 static_cast<DirId>(localOf(to)),
+                                 TraceEventKind::Route});
+    }
+    markActive(sh, to);
+}
+
+void
+VcNetwork::pushMoves(Shard &sh, std::uint32_t s)
+{
+    for (const InFlight &f : sh.in_flight)
+        pushOne(sh, s, f);
+    sh.in_flight.clear();
+    if (num_shards_ > 1) {
+        flit_mail_.drainTo(
+            s, [&](const InFlight &f) { pushOne(sh, s, f); });
+    }
+}
+
+void
+VcNetwork::compactActive(Shard &sh)
+{
+    // Compact the active list (identical to the classic engine).
+    if (sh.freed_candidates == 0)
+        return;
+    sh.freed_candidates = 0;
+    std::size_t keep = 0;
+    for (std::uint32_t port : sh.active_ports) {
+        if (!maybe_free_[port]) {
+            sh.active_ports[keep++] = port;
+            continue;
+        }
+        maybe_free_[port] = 0;
+        const InPort &in = in_ports_[port];
+        if (in.fifo_size > 0 || in.cur_slot != kNoSlot) {
+            sh.active_ports[keep++] = port;
+        } else {
+            is_active_[port] = 0;
+        }
+    }
+    sh.active_ports.resize(keep);
+}
+
+void
+VcNetwork::injectFlits(Shard &sh)
+{
+    // Runs after traversal so a single-flit injection buffer sustains
+    // one flit per cycle, the injection channel's full bandwidth.
+    for (NodeId v = sh.node_begin; v < sh.node_end; ++v) {
+        if (!source_pending_[v])
+            continue;
+        auto &queue = source_queues_[v];
+        const std::uint32_t port = inPortId(v, localPort());
+        InPort &in = in_ports_[port];
+        if (in.fifo_size >= buffer_depth_)
+            continue;
+        const PacketSlot slot = queue.front();
+        PacketState &pkt = packets_[slot];
+        if (in.cur_slot != kNoSlot && in.cur_slot != slot)
+            continue;   // Previous packet's tail still in the buffer.
+        Flit flit;
+        flit.slot = slot;
+        flit.head = pkt.flits_injected == 0;
+        flit.tail = pkt.flits_injected + 1 == pkt.length;
+        fifoPush(sh, port, flit);
+        ++pkt.flits_injected;
+        stampProgress(slot);
+        --sh.counters.source_queue_flits;
+        ++sh.counters.flits_in_network;
+        ++sh.counters.flit_moves;
+        sh.moved = true;
+        if (flit.head) {
+            in.cur_slot = slot;
+            in.header_arrival = cycle_;
+            va_ready_at_[port] = cycle_ + 1 + (pipelined_ ? 1 : 0);
+            pkt.injected = static_cast<double>(cycle_);
+            if (trace_sink_)
+                trace_sink_->record({cycle_, pkt.id, v, 0,
+                                     TraceEventKind::Inject});
+        }
+        if (flit.tail) {
+            queue.pop_front();
+            if (queue.empty())
+                source_pending_[v] = 0;
+        }
+        markActive(sh, port);
+    }
+}
+
+void
+VcNetwork::recordHeldPorts(Shard &sh)
+{
+    if (!chan_stats_)
+        return;
+    for (std::uint32_t p = sh.port_begin; p < sh.port_end; ++p) {
+        if (out_ports_[p].owner != kNoSlot)
+            chan_stats_->recordHeld(p, cycle_);
+    }
+}
+
+void
+VcNetwork::drainMailboxes(std::uint32_t s)
+{
+    if (num_shards_ == 1)
+        return;
+    release_mail_.drainTo(
+        s, [this](PacketSlot slot) { packets_.release(slot); });
+    // Mailboxed credits were scheduled this cycle, so they file into
+    // the same landing bucket the owner's local schedules used.
+    Shard &sh = shards_[s];
+    auto &bucket = sh.credit_ring[(cycle_ + credit_delay_) %
+                                  sh.credit_ring.size()];
+    credit_mail_.drainTo(
+        s, [&](const CreditEvent &e) { bucket.push_back(e); });
+}
+
+void
+VcNetwork::mergeCounters()
+{
+    NetworkCounters total;
+    for (const Shard &sh : shards_) {
+        const NetworkCounters &c = sh.counters;
+        total.packets_generated += c.packets_generated;
+        total.packets_delivered += c.packets_delivered;
+        total.flits_generated += c.flits_generated;
+        total.flits_delivered += c.flits_delivered;
+        total.header_hops += c.header_hops;
+        total.source_queue_flits += c.source_queue_flits;
+        total.flits_in_network += c.flits_in_network;
+        total.flit_moves += c.flit_moves;
+    }
+    counters_ = total;
+}
+
+void
+VcNetwork::serialTail()
+{
+    mergeCounters();
+    moved_this_cycle_ = false;
+    for (Shard &sh : shards_) {
+        if (sh.moved)
+            moved_this_cycle_ = true;
+        if (!sh.completions.empty()) {
+            completions_.insert(completions_.end(),
+                                sh.completions.begin(),
+                                sh.completions.end());
+            sh.completions.clear();
+        }
+    }
+
+    if (chan_stats_)
+        chan_stats_->tick();
+
+    // Deadlock watchdog: packets in the network but nothing moved.
+    if (!moved_this_cycle_ && counters_.flits_in_network > 0)
+        ++stall_cycles_;
+    else
+        stall_cycles_ = 0;
+    if ((cycle_ & 0x3ff) == 0) {
+        packet_stall_flag_ = packet_stall_flag_
+            || oldestPacketStall() >= config_.deadlock_threshold;
+    }
+    ++cycle_;
 }
 
 PacketId
@@ -772,7 +1001,8 @@ VcNetwork::post(NodeId src, NodeId dest, std::uint32_t length)
               "post() endpoints out of range");
     TM_ASSERT(src != dest, "post() requires distinct endpoints");
     TM_ASSERT(length >= 1, "a packet has at least one flit");
-    const PacketSlot slot = packets_.allocate();
+    const std::uint32_t s = plan_.shardOfNode(src);
+    const PacketSlot slot = packets_.allocate(s);
     if (slot >= progress_.size())
         progress_.resize(slot + 1);
     PacketState &pkt = packets_[slot];
@@ -784,9 +1014,11 @@ VcNetwork::post(NodeId src, NodeId dest, std::uint32_t length)
     progress_[slot] = cycle_;
     source_queues_[src].push_back(slot);
     source_pending_[src] = 1;
-    ++counters_.packets_generated;
-    counters_.flits_generated += length;
-    counters_.source_queue_flits += length;
+    NetworkCounters &c = shards_[s].counters;
+    ++c.packets_generated;
+    c.flits_generated += length;
+    c.source_queue_flits += length;
+    mergeCounters();   // Keep the merged view current between steps.
     return pkt.id;
 }
 
@@ -795,6 +1027,13 @@ VcNetwork::drainCompletions(std::vector<Completion> &out)
 {
     out.clear();
     out.swap(completions_);
+    // Completions are recorded in delivery-scan order, which depends
+    // on the shard layout; ascending id order is the canonical,
+    // shard-count-invariant presentation.
+    std::sort(out.begin(), out.end(),
+              [](const Completion &a, const Completion &b) {
+                  return a.id < b.id;
+              });
 }
 
 bool
@@ -845,9 +1084,11 @@ VcNetwork::auditCredits() const
     if (ideal_)
         return true;
     std::vector<std::int64_t> pending(credits_.size(), 0);
-    for (const auto &bucket : credit_ring_) {
-        for (const CreditEvent &e : bucket)
-            ++pending[e.out_port];
+    for (const Shard &sh : shards_) {
+        for (const auto &bucket : sh.credit_ring) {
+            for (const CreditEvent &e : bucket)
+                ++pending[e.out_port];
+        }
     }
     for (std::uint32_t out = 0;
          out < static_cast<std::uint32_t>(credits_.size()); ++out) {

@@ -37,6 +37,17 @@
  * escape-VC routing algorithm (core/routing/escape_vc.hpp) sees and
  * restricts individual VCs. On a plain mesh the engine degenerates
  * to one VC per wire.
+ *
+ * Sharded stepping (SimConfig::sim_threads) mirrors the classic
+ * engine: contiguous router shards, barrier-separated gather/commit
+ * phases on a persistent WorkerTeam, cross-shard flit handoffs and
+ * packet-slot releases by mailbox. Two engine-specific pieces join
+ * them: VA and SA are router-local by construction, so they need no
+ * cross-shard traffic at all, and each shard owns the credit-return
+ * ring of its routers' output VCs — a pop whose upstream output VC
+ * lives in another shard mails the credit to that shard, which files
+ * it into its own ring for the same landing cycle. Every observable
+ * is bit-identical at any shard count.
  */
 
 #ifndef TURNMODEL_ROUTER_VC_NETWORK_HPP
@@ -48,6 +59,7 @@
 
 #include "core/routing.hpp"
 #include "core/routing/compiled.hpp"
+#include "exec/thread_pool.hpp"
 #include "obs/observer.hpp"
 #include "router/arbiter.hpp"
 #include "sim/config.hpp"
@@ -56,6 +68,7 @@
 #include "sim/packet.hpp"
 #include "sim/packet_pool.hpp"
 #include "sim/selection.hpp"
+#include "sim/shard.hpp"
 #include "traffic/pattern.hpp"
 #include "traffic/workload.hpp"
 
@@ -102,6 +115,7 @@ class VcNetwork : public NetworkEngine
         return obs_.get();
     }
     void fillObsReport(ObsReport &report) const override;
+    unsigned shardCount() const override { return num_shards_; }
 
     // ----- credit introspection (tests and audits) -------------------
     /** Credits the output VC leaving @p router in @p dir holds now. */
@@ -181,6 +195,49 @@ class VcNetwork : public NetworkEngine
         std::uint8_t vc_free;
     };
 
+    /** One sampled arrival awaiting its slot, id, and queue entry. */
+    struct StagedPacket
+    {
+        NodeId src;
+        NodeId dest;
+        std::uint32_t length;
+    };
+
+    /** One shard's owned lists, counters, credit ring, and per-cycle
+     * scratch (see sim/network.hpp — this mirrors the classic
+     * engine's Shard, plus the credit-return ring). */
+    struct Shard
+    {
+        NodeId node_begin = 0;
+        NodeId node_end = 0;
+        std::uint32_t port_begin = 0;
+        std::uint32_t port_end = 0;
+
+        std::vector<std::uint32_t> active_ports;
+        std::vector<std::uint32_t> waiting_list;
+        std::vector<std::uint64_t> move_memo;
+        /** Credit-return pipeline for this shard's output VCs: bucket
+         * (cycle % (delay+1)) holds the events that land at the start
+         * of that cycle. */
+        std::vector<std::vector<CreditEvent>> credit_ring;
+
+        // Per-cycle scratch.
+        std::vector<Bid> bids;
+        std::vector<InputRequest> bid_group;
+        std::vector<Move> moves;
+        std::vector<InFlight> in_flight;
+        std::vector<SaRequest> sa_reqs;
+        std::vector<SaRequest> sa_stage;
+        std::vector<std::uint32_t> sa_members;
+        std::vector<StagedPacket> staged;
+        PacketId id_base = 0;
+
+        NetworkCounters counters;
+        std::vector<Completion> completions;
+        std::uint32_t freed_candidates = 0;
+        bool moved = false;
+    };
+
     // ----- per-port flit rings (shared slab) -------------------------
     std::uint32_t fifoSize(std::uint32_t port) const
     {
@@ -191,33 +248,53 @@ class VcNetwork : public NetworkEngine
         return flit_slab_[port * buffer_depth_
                           + in_ports_[port].fifo_head];
     }
-    void fifoPush(std::uint32_t port, const Flit &flit);
+    void fifoPush(Shard &sh, std::uint32_t port, const Flit &flit);
     Flit fifoPop(std::uint32_t port);
 
-    // ----- cycle phases ----------------------------------------------
-    void generateMessages();
-    void applyCreditReturns();
-    void allocateVcs();
-    void gatherBid(std::uint32_t port);
-    void traverseFlits();
-    /** Classic-engine movability semantics (ideal_credits). */
-    void decideMovesIdeal();
-    /** Credit-gated separable switch allocation. */
-    void decideMovesCredit();
-    void arbitratePhysicalChannels();
-    void injectFlits();
-    void scheduleCredit(std::uint32_t out_port, bool vc_free);
-
-    bool headCanMove(std::uint32_t port)
+    // ----- cycle phases (see step()) ----------------------------------
+    void stepShard(std::uint32_t s);
+    void sync()
     {
-        const std::uint64_t memo = move_memo_[port];
+        if (team_)
+            team_->barrier();
+    }
+    void generateSample(Shard &sh);
+    void prepareGeneration();   // Serial.
+    void commitGeneration(Shard &sh, std::uint32_t s);
+    void applyCreditReturns(Shard &sh);
+    void allocateVcs(Shard &sh);
+    void gatherBid(Shard &sh, std::uint32_t port);
+    /** Classic-engine movability semantics (ideal_credits). */
+    void decideMovesIdeal(Shard &sh);
+    /** Credit-gated separable switch allocation (router-local). */
+    void decideMovesCredit(Shard &sh);
+    void arbitratePhysicalChannels();   // Serial (ideal mode).
+    void popMoves(Shard &sh, std::uint32_t s);
+    void pushMoves(Shard &sh, std::uint32_t s);
+    void pushOne(Shard &sh, std::uint32_t s, const InFlight &f);
+    void injectFlits(Shard &sh);
+    void compactActive(Shard &sh);
+    void recordHeldPorts(Shard &sh);
+    void drainMailboxes(std::uint32_t s);
+    void serialTail();
+    void mergeCounters();
+    /** File a credit for @p out_port to land credit_delay_ cycles
+     * from now — into shard @p s's own ring when it owns the port,
+     * else into the owner's mailbox. */
+    void scheduleCredit(std::uint32_t s, std::uint32_t out_port,
+                        bool vc_free);
+
+    bool headCanMove(Shard &sh, std::uint32_t port)
+    {
+        const std::uint64_t memo = sh.move_memo[port];
         if ((memo >> 2) == cycle_)
             return (memo & 3) == 2;
-        return headCanMoveCompute(port);
+        return headCanMoveCompute(sh, port);
     }
-    bool headCanMoveCompute(std::uint32_t port);
+    bool headCanMoveCompute(Shard &sh, std::uint32_t port);
 
-    void markActive(std::uint32_t port);
+    void markActive(Shard &sh, std::uint32_t port);
+    void stampProgress(PacketSlot slot);
 
     // ----- state -------------------------------------------------------
     struct InPort
@@ -273,9 +350,6 @@ class VcNetwork : public NetworkEngine
     // ----- credit flow control ---------------------------------------
     /** Free downstream buffer slots per output VC. */
     std::vector<std::int64_t> credits_;
-    /** Credit-return pipeline: bucket (cycle % (delay+1)) holds the
-     * events that land at the start of that cycle. */
-    std::vector<std::vector<CreditEvent>> credit_ring_;
     /** Cycles each output VC's queued flits waited on credits. */
     std::vector<std::uint64_t> credit_stall_;
 
@@ -297,29 +371,30 @@ class VcNetwork : public NetworkEngine
     PacketId next_packet_id_ = 0;
     std::vector<std::uint64_t> progress_;
 
-    std::vector<std::uint32_t> active_ports_;
     std::vector<std::uint8_t> is_active_;
     std::vector<std::uint8_t> head_waiting_;
-    std::vector<std::uint32_t> waiting_list_;
     std::vector<std::uint32_t> waiting_pos_;
     std::vector<std::uint8_t> granted_;
     std::vector<std::uint32_t> granted_out_port_;
     std::vector<std::int32_t> granted_target_;
     std::vector<std::uint8_t> maybe_free_;
-    std::uint32_t freed_candidates_ = 0;
     /** Physical-wire arbitration key (ideal mode, shared wires). */
     std::vector<std::uint64_t> arb_key_;
-    std::vector<std::uint64_t> move_memo_;
 
-    // ----- per-cycle scratch (persistent; cleared in place) ----------
-    std::vector<Bid> bids_;
-    std::vector<InputRequest> bid_group_;
-    std::vector<Move> moves_;
-    std::vector<InFlight> in_flight_;
-    std::vector<SaRequest> sa_reqs_;
-    std::vector<SaRequest> sa_stage_;
-    std::vector<std::uint32_t> sa_members_;
-    std::vector<std::pair<std::uint64_t, std::uint32_t>> arb_groups_;
+    // ----- sharding ----------------------------------------------------
+    ShardPlan plan_;
+    std::uint32_t num_shards_ = 1;
+    std::vector<Shard> shards_;
+    std::unique_ptr<WorkerTeam> team_;
+    ShardMailboxes<InFlight> flit_mail_;
+    ShardMailboxes<PacketSlot> release_mail_;
+    /** Credits crossing shard boundaries on their way upstream. */
+    ShardMailboxes<CreditEvent> credit_mail_;
+
+    // ----- wire-arbitration scratch (serial phase; persistent) -------
+    std::vector<Move> all_moves_;
+    std::vector<std::size_t> arb_shard_base_;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> arb_groups_;
     std::vector<std::uint8_t> arb_cancelled_;
     std::vector<std::uint32_t> arb_worklist_;
     std::vector<std::int32_t> arb_move_into_;

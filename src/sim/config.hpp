@@ -166,6 +166,20 @@ struct SimConfig
     VcRouterConfig vc_router;
 
     /**
+     * Worker threads stepping one network: the engine partitions the
+     * router array into that many contiguous shards and runs each
+     * cycle as barrier-separated gather/commit phases across a
+     * persistent worker team. 1 (the default) steps serially on the
+     * calling thread; 0 selects the hardware concurrency. Output is
+     * bit-identical at every value — the engines force a single
+     * shard for the configurations whose behavior depends on a
+     * global visit order (Random input/output selection, which
+     * consumes one shared RNG stream, and the bounded packet trace,
+     * whose overwrite order is global).
+     */
+    unsigned sim_threads = 1;
+
+    /**
      * Observability collection (per-channel counters, time-series
      * sampler, packet trace). All off by default; purely passive, so
      * enabling it never changes a run's SimResult.

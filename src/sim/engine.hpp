@@ -59,12 +59,25 @@ struct Completion
  * Abstract cycle-accurate network engine.
  *
  * Contract shared by all implementations: step() advances exactly one
- * flit cycle; completions accumulate until drained; the stall
- * watchdog reports deadlock once no flit has moved for the configured
- * threshold while packets are in flight; and a fixed configuration
- * plus seed fully determines every observable, so runs are
- * bit-reproducible regardless of scheduling (the execution layer
- * relies on this for --jobs determinism).
+ * flit cycle; completions accumulate until drained and are reported
+ * in ascending PacketId order; the stall watchdog reports deadlock
+ * once no flit has moved for the configured threshold while packets
+ * are in flight; and a fixed configuration plus seed fully determines
+ * every observable, so runs are bit-reproducible regardless of
+ * scheduling (the execution layer relies on this for --jobs
+ * determinism).
+ *
+ * Sharded stepping: an engine may execute step() across
+ * SimConfig::sim_threads worker threads by partitioning the router
+ * array into shardCount() contiguous shards, each cycle running as
+ * barrier-separated phases — gather phases may read any shard's
+ * cycle-start state but write only shard-owned state; commit phases
+ * hand flits, credits, and packet-slot releases across shard
+ * boundaries through per-boundary mailboxes drained in canonical
+ * sender order. The determinism clause above extends over the shard
+ * count: every observable (counters, completions, stall state, obs
+ * reports) is bit-identical at any sim_threads value, so callers may
+ * treat the knob purely as a throughput lever.
  */
 class NetworkEngine
 {
@@ -124,6 +137,13 @@ class NetworkEngine
 
     /** Append collected observability data to @p report. */
     virtual void fillObsReport(ObsReport &report) const = 0;
+
+    /**
+     * Shards step() actually executes across — sim_threads after the
+     * engine's serialization gates (see SimConfig::sim_threads) and
+     * clamping to the router count. 1 means fully serial stepping.
+     */
+    virtual unsigned shardCount() const { return 1; }
 };
 
 /**

@@ -21,14 +21,31 @@
  * wait — true deadlock — is detected and reported by the stall
  * watchdog.
  *
+ * Sharded stepping (SimConfig::sim_threads): the router array is
+ * partitioned into contiguous shards (sim/shard.hpp), each owning
+ * its routers' ports, buffers, source queues, and one packet arena.
+ * Every cycle runs as barrier-separated phases on a persistent
+ * WorkerTeam: arrival sampling; a serial slot/id reservation; VC-free
+ * generation commit plus output allocation (router-local by
+ * construction); move decision (reads any shard's cycle-start state,
+ * each shard memoizing privately — the granted-target graph is
+ * functional, so movability is order-independent); an optional
+ * serial physical-wire arbitration; a pop commit (writes shard-owned
+ * state, exporting boundary-crossing flits and slot releases to
+ * mailboxes); and a push commit draining inbound mailboxes in
+ * canonical sender order. Every observable is bit-identical at any
+ * shard count; with one shard the same phase code runs inline on the
+ * caller with no team and no barriers.
+ *
  * Hot-loop storage discipline: steady-state step() performs zero
  * heap allocations. Packet state lives in a dense slot-recycling
  * pool (PacketPool) indexed by the slot each Flit carries; all input
  * buffers share one flat flit slab (per-port ring spans); source
  * queues are flat ring FIFOs; and every per-cycle working set
- * (bids, moves, in-flight flits, arbitration bookkeeping) is a
- * persistent member cleared and refilled in place each cycle.
- * Containers grow only while a new high-water mark is being set.
+ * (bids, moves, in-flight flits, staged arrivals, mailboxes,
+ * arbitration bookkeeping) is a persistent member cleared and
+ * refilled in place each cycle. Containers grow only while a new
+ * high-water mark is being set.
  */
 
 #ifndef TURNMODEL_SIM_NETWORK_HPP
@@ -41,6 +58,7 @@
 
 #include "core/routing.hpp"
 #include "core/routing/compiled.hpp"
+#include "exec/thread_pool.hpp"
 #include "obs/observer.hpp"
 #include "sim/config.hpp"
 #include "sim/engine.hpp"
@@ -48,6 +66,7 @@
 #include "sim/packet.hpp"
 #include "sim/packet_pool.hpp"
 #include "sim/selection.hpp"
+#include "sim/shard.hpp"
 #include "traffic/pattern.hpp"
 #include "traffic/workload.hpp"
 
@@ -80,16 +99,17 @@ class Network : public NetworkEngine
     }
 
     /**
-     * Completions recorded since the last drain; the driver takes
-     * ownership and the internal list is cleared.
+     * Completions recorded since the last drain, in ascending
+     * PacketId order; the driver takes ownership and the internal
+     * list is cleared.
      */
     std::vector<Completion> drainCompletions();
 
     /**
-     * Allocation-free drain: clear @p out and swap it with the
-     * internal completion list. A caller that drains every cycle into
-     * the same buffer ping-pongs two allocations forever instead of
-     * making one per cycle.
+     * Allocation-free drain: clear @p out, swap it with the internal
+     * completion list, and sort by packet id. A caller that drains
+     * every cycle into the same buffer ping-pongs two allocations
+     * forever instead of making one per cycle.
      */
     void drainCompletions(std::vector<Completion> &out) override;
 
@@ -151,6 +171,9 @@ class Network : public NetworkEngine
      */
     void fillObsReport(ObsReport &report) const override;
 
+    /** Shards step() executes across (after serialization gates). */
+    unsigned shardCount() const override { return num_shards_; }
+
   private:
     // ----- port indexing ---------------------------------------------
     /** Ports per router: 2n channel ports plus the local port. */
@@ -188,6 +211,55 @@ class Network : public NetworkEngine
         std::uint32_t out;   ///< Output port the flit crossed.
     };
 
+    /** One sampled arrival awaiting its slot, id, and queue entry. */
+    struct StagedPacket
+    {
+        NodeId src;
+        NodeId dest;
+        std::uint32_t length;
+    };
+
+    /**
+     * Everything one shard owns or scribbles on during a cycle. The
+     * persistent lists (active, waiting) and the counters partition
+     * the global state by owner; the rest is per-cycle scratch that
+     * would be write-contended if shared. With one shard this is
+     * simply the engine's former global working set.
+     */
+    struct Shard
+    {
+        NodeId node_begin = 0;
+        NodeId node_end = 0;
+        std::uint32_t port_begin = 0;
+        std::uint32_t port_end = 0;
+
+        /** Ports holding flits or bound to a packet (own ports). */
+        std::vector<std::uint32_t> active_ports;
+        /** Own head-waiting ports, compact (see waiting_pos_). */
+        std::vector<std::uint32_t> waiting_list;
+        /** Private movability memo over ALL ports: the decide phase
+         * reads other shards' frozen state, so each shard memoizes
+         * the closure it explores without sharing stamps. */
+        std::vector<std::uint64_t> move_memo;
+
+        // Per-cycle scratch.
+        std::vector<Bid> bids;
+        std::vector<InputRequest> bid_group;
+        std::vector<Move> moves;
+        std::vector<InFlight> in_flight;
+        std::vector<StagedPacket> staged;
+        PacketId id_base = 0;
+
+        /** Cumulative, owner-written; merged into the engine totals
+         * in the serial tail. Fields may wrap individually (a shard
+         * can eject more than it injects); unsigned modular addition
+         * makes the merged sums exact. */
+        NetworkCounters counters;
+        std::vector<Completion> completions;
+        std::uint32_t freed_candidates = 0;
+        bool moved = false;
+    };
+
     // ----- per-port flit rings (shared slab) -------------------------
     std::uint32_t fifoSize(std::uint32_t port) const
     {
@@ -198,38 +270,65 @@ class Network : public NetworkEngine
         return flit_slab_[port * buffer_depth_
                           + in_ports_[port].fifo_head];
     }
-    void fifoPush(std::uint32_t port, const Flit &flit);
+    void fifoPush(Shard &sh, std::uint32_t port, const Flit &flit);
     Flit fifoPop(std::uint32_t port);
 
-    // ----- cycle phases ----------------------------------------------
-    void generateMessages();
-    void allocateOutputs();
-    /** Append @p port's output-channel request (if any) to bids_. */
-    void gatherBid(std::uint32_t port);
-    void traverseFlits();
-    void injectFlits();
+    // ----- cycle phases (see step()) ----------------------------------
+    void stepShard(std::uint32_t s);
+    /** Barrier between phases; no-op with one shard. */
+    void sync()
+    {
+        if (team_)
+            team_->barrier();
+    }
+    void generateSample(Shard &sh);
+    /** Serial: packet-id bases, arena pre-growth, progress_ sizing. */
+    void prepareGeneration();
+    void commitGeneration(Shard &sh, std::uint32_t s);
+    void allocateOutputs(Shard &sh);
+    /** Append @p port's output-channel request (if any) to sh.bids. */
+    void gatherBid(Shard &sh, std::uint32_t port);
+    void decideMoves(Shard &sh);
+    void popMoves(Shard &sh, std::uint32_t s);
+    void pushMoves(Shard &sh, std::uint32_t s);
+    void pushOne(Shard &sh, std::uint32_t s, const InFlight &f);
+    void injectFlits(Shard &sh);
+    void compactActive(Shard &sh);
+    void recordHeldPorts(Shard &sh);
+    void drainReleases(std::uint32_t s);
+    void serialTail();
+    void mergeCounters();
 
     /**
      * Enforce one flit per physical channel per cycle when virtual
      * channels share wires, cancelling losing moves and any chained
-     * refills that depended on them. Operates on moves_ in place.
+     * refills that depended on them. Serial phase: operates on the
+     * concatenation of every shard's moves, with group members in
+     * canonical (wire, from-port) order so the rotating priority is
+     * shard-count-invariant, then compacts each shard's list.
      */
     void arbitratePhysicalChannels();
 
-    /** Movability of the head flit of @p port this cycle (memoized).
-     * The memo hit is the hot case — blocked wormhole chains query
-     * the same ports over and over — so it stays inline; the actual
-     * evaluation lives in headCanMoveCompute(). */
-    bool headCanMove(std::uint32_t port)
+    /** Movability of the head flit of @p port this cycle (memoized
+     * privately per shard). The memo hit is the hot case — blocked
+     * wormhole chains query the same ports over and over — so it
+     * stays inline; the actual evaluation lives in
+     * headCanMoveCompute(). */
+    bool headCanMove(Shard &sh, std::uint32_t port)
     {
-        const std::uint64_t memo = move_memo_[port];
+        const std::uint64_t memo = sh.move_memo[port];
         if ((memo >> 2) == cycle_)
             return (memo & 3) == 2;   // 1 (cyclic) and 3: no.
-        return headCanMoveCompute(port);
+        return headCanMoveCompute(sh, port);
     }
-    bool headCanMoveCompute(std::uint32_t port);
+    bool headCanMoveCompute(Shard &sh, std::uint32_t port);
 
-    void markActive(std::uint32_t port);
+    void markActive(Shard &sh, std::uint32_t port);
+
+    /** Last-move stamp; relaxed atomic store because several shards
+     * may stamp different flits of one packet in the same cycle (all
+     * writing the same value). */
+    void stampProgress(PacketSlot slot);
 
     // ----- state -------------------------------------------------------
     struct InPort
@@ -287,18 +386,17 @@ class Network : public NetworkEngine
      * of magnitude smaller than the full packet records. */
     std::vector<std::uint64_t> progress_;
 
-    std::vector<std::uint32_t> active_ports_;
+    /** active_ports membership, one byte per port (owner-written). */
     std::vector<std::uint8_t> is_active_;
     /** 1 while the port's front flit is an ungranted header — the
      * only ports the allocation scan must actually inspect. Set when
      * a head flit is buffered, cleared when its bid wins a grant. */
     std::vector<std::uint8_t> head_waiting_;
-    /** The head-waiting ports as a compact list (arbitrary order),
-     * with each port's position for O(1) removal. Used instead of
-     * scanning active_ports_ whenever the output-selection policy is
+    /** Each head-waiting port's position in its owning shard's
+     * waiting_list, for O(1) removal. The lists replace scanning
+     * active ports whenever the output-selection policy is
      * deterministic: bids are sorted before use, so gather order is
      * only observable through RNG consumption. */
-    std::vector<std::uint32_t> waiting_list_;
     std::vector<std::uint32_t> waiting_pos_;
     bool ordered_bid_scan_ = false;  ///< Random policy: exact order.
     /** Cycle of the port's last bid attempt that found every usable
@@ -322,24 +420,28 @@ class Network : public NetworkEngine
     /** Ports whose buffer may have emptied this cycle (tail popped);
      * the only candidates the active-list compaction must inspect. */
     std::vector<std::uint8_t> maybe_free_;
-    std::uint32_t freed_candidates_ = 0;
     /** Physical-wire arbitration key of each non-local output port:
      * router * 256 + physical channel group (hoists the virtual
      * physicalChannelGroup() call out of the arbitration loop). */
     std::vector<std::uint64_t> arb_key_;
 
-    /** Per-cycle movability memo, packed as (cycle << 2) | state so
-     * the hit path is one load: state 1 = on the recursion stack,
-     * 2 = can move, 3 = cannot. Stale stamps read as unknown. */
-    std::vector<std::uint64_t> move_memo_;
+    // ----- sharding ----------------------------------------------------
+    ShardPlan plan_;
+    std::uint32_t num_shards_ = 1;
+    std::vector<Shard> shards_;
+    /** Gang team (null when num_shards_ == 1). */
+    std::unique_ptr<WorkerTeam> team_;
+    /** Boundary-crossing flit handoffs, drained in sender order. */
+    ShardMailboxes<InFlight> flit_mail_;
+    /** Delivered packets' slots going home to their arenas. */
+    ShardMailboxes<PacketSlot> release_mail_;
 
-    // ----- per-cycle scratch (persistent; cleared in place) ----------
-    std::vector<Bid> bids_;
-    std::vector<InputRequest> bid_group_;
-    std::vector<Move> moves_;
-    std::vector<InFlight> in_flight_;
-    /** (physical-wire key, move index), sorted to form groups. */
-    std::vector<std::pair<std::uint64_t, std::uint32_t>> arb_groups_;
+    // ----- wire-arbitration scratch (serial phase; persistent) -------
+    std::vector<Move> all_moves_;
+    std::vector<std::size_t> arb_shard_base_;
+    /** (wire key, (from port << 32) | move index): sorting forms the
+     * per-wire groups with members in canonical from-port order. */
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> arb_groups_;
     std::vector<std::uint8_t> arb_cancelled_;
     std::vector<std::uint32_t> arb_worklist_;
     /** Move index entering each input port this cycle, or -1; only
@@ -352,6 +454,7 @@ class Network : public NetworkEngine
     std::uint64_t stall_cycles_ = 0;
     bool packet_stall_flag_ = false;
 
+    /** Merged view of the per-shard counters (serial tail). */
     NetworkCounters counters_;
     std::vector<Completion> completions_;
 

@@ -4,21 +4,58 @@
 
 namespace turnmodel {
 
-PacketSlot
-PacketPool::allocate()
+void
+PacketPool::configureArenas(std::uint32_t count)
 {
+    TM_ASSERT(count >= 1, "the pool needs at least one arena");
+    TM_ASSERT(slots_.empty(),
+              "arenas must be configured before any allocation");
+    arenas_.assign(count, Arena{});
+}
+
+void
+PacketPool::reserveExtra(std::uint32_t arena, std::size_t count)
+{
+    if (count == 0)
+        return;
+    Arena &a = arenas_[arena];
+    const std::size_t from_free = a.free.size();
+    if (count <= from_free)
+        return;
+    const std::size_t fresh_needed = count - from_free;
+    // Highest slot value the arena would mint: interleaved encoding
+    // index * numArenas() + arena.
+    const std::size_t top =
+        (static_cast<std::size_t>(a.fresh) + fresh_needed - 1) *
+            numArenas() +
+        arena;
+    if (top >= slots_.size()) {
+        slots_.resize(top + 1);
+        live_.resize(top + 1, 0);
+    }
+}
+
+PacketSlot
+PacketPool::allocate(std::uint32_t arena)
+{
+    Arena &a = arenas_[arena];
     PacketSlot slot;
-    if (!free_.empty()) {
-        slot = free_.back();
-        free_.pop_back();
+    if (!a.free.empty()) {
+        slot = a.free.back();
+        a.free.pop_back();
         slots_[slot] = PacketState{};
     } else {
-        slot = static_cast<PacketSlot>(slots_.size());
-        slots_.emplace_back();
-        live_.push_back(0);
+        slot = a.fresh++ * numArenas() + arena;
+        if (slot >= slots_.size()) {
+            // Serial-context growth (post(), un-reserved paths).
+            slots_.resize(slot + 1);
+            live_.resize(slot + 1, 0);
+        } else {
+            slots_[slot] = PacketState{};
+        }
     }
     live_[slot] = 1;
-    ++live_count_;
+    ++a.live;
     return slot;
 }
 
@@ -26,9 +63,10 @@ void
 PacketPool::release(PacketSlot slot)
 {
     TM_ASSERT(isLive(slot), "releasing a dead packet slot");
+    Arena &a = arenas_[arenaOf(slot)];
     live_[slot] = 0;
-    --live_count_;
-    free_.push_back(slot);
+    --a.live;
+    a.free.push_back(slot);
 }
 
 } // namespace turnmodel

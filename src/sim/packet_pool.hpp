@@ -8,6 +8,18 @@
  * delivered packet's slot — still cache-warm — is the next one
  * reused. Steady state allocates nothing: the backing vector grows
  * only while the live population sets a new high-water mark.
+ *
+ * Sharded stepping partitions the slot space into arenas, one per
+ * shard: arena a owns the slots congruent to a modulo the arena
+ * count, so slot % numArenas() names the owner without a lookup.
+ * Each arena has a private free list and fresh-slot counter — during
+ * a parallel phase every shard allocates from its own arena with no
+ * shared state, provided the backing vectors were pre-grown by
+ * reserveExtra() in a serial phase (the one place the shared vectors
+ * may reallocate). With one arena (the default) the slot sequence is
+ * exactly the classic dense pool's. Slot values never influence
+ * simulation output — every observable is keyed by PacketId — so
+ * the interleaved numbering is invisible outside the pool.
  */
 
 #ifndef TURNMODEL_SIM_PACKET_POOL_HPP
@@ -20,17 +32,51 @@
 
 namespace turnmodel {
 
-/** Flat vector of PacketStates plus a free list. */
+/** Flat vector of PacketStates plus per-arena free lists. */
 class PacketPool
 {
   public:
-    /**
-     * Claim a slot holding a default-constructed PacketState (stale
-     * state from the slot's previous tenant is fully reset).
-     */
-    PacketSlot allocate();
+    PacketPool() : arenas_(1) {}
 
-    /** Return @p slot to the free list; it must be live. */
+    /**
+     * Partition the slot space into @p count arenas. Must be called
+     * before any slot is allocated (the modulus bakes into every
+     * outstanding slot value).
+     */
+    void configureArenas(std::uint32_t count);
+
+    std::uint32_t numArenas() const
+    {
+        return static_cast<std::uint32_t>(arenas_.size());
+    }
+
+    /** Owning arena of @p slot. */
+    std::uint32_t arenaOf(PacketSlot slot) const
+    {
+        return slot % numArenas();
+    }
+
+    /**
+     * Grow the backing vectors so @p arena can allocate() @p count
+     * slots without touching shared state. Serial phases only (may
+     * reallocate the vectors every arena indexes).
+     */
+    void reserveExtra(std::uint32_t arena, std::size_t count);
+
+    /**
+     * Claim a slot of @p arena holding a default-constructed
+     * PacketState (stale state from the slot's previous tenant is
+     * fully reset). Safe to call concurrently from distinct arenas
+     * once reserveExtra() has pre-grown the backing; an un-reserved
+     * allocation grows the shared vectors and is serial-only.
+     */
+    PacketSlot allocate(std::uint32_t arena = 0);
+
+    /**
+     * Return @p slot to its owning arena's free list; it must be
+     * live. Only the owner may call this concurrently (cross-shard
+     * releases travel through a mailbox to the owner).
+     */
     void release(PacketSlot slot);
 
     PacketState &operator[](PacketSlot slot) { return slots_[slot]; }
@@ -40,9 +86,15 @@ class PacketPool
     }
 
     /** Packets currently live (allocated and not released). */
-    std::size_t liveCount() const { return live_count_; }
+    std::size_t liveCount() const
+    {
+        std::size_t total = 0;
+        for (const Arena &a : arenas_)
+            total += a.live;
+        return total;
+    }
 
-    /** High-water slot count (live plus free). */
+    /** High-water slot count (live plus free plus never-used). */
     std::size_t capacity() const { return slots_.size(); }
 
     bool isLive(PacketSlot slot) const
@@ -66,10 +118,16 @@ class PacketPool
     }
 
   private:
+    struct Arena
+    {
+        std::vector<PacketSlot> free;  ///< LIFO: reuse warm slots.
+        PacketSlot fresh = 0;   ///< Next never-used index.
+        std::size_t live = 0;
+    };
+
+    std::vector<Arena> arenas_;
     std::vector<PacketState> slots_;
     std::vector<std::uint8_t> live_;
-    std::vector<PacketSlot> free_;  ///< LIFO: reuse cache-warm slots.
-    std::size_t live_count_ = 0;
 };
 
 } // namespace turnmodel

@@ -107,5 +107,76 @@ TEST(ThreadPool, PropagatesTaskExceptions)
     EXPECT_EQ(ran.load(), 8);
 }
 
+TEST(ThreadPoolWorkerTeam, RunsEveryRankOnce)
+{
+    for (unsigned ranks : {1u, 2u, 4u, 8u}) {
+        WorkerTeam team(ranks);
+        EXPECT_EQ(team.ranks(), ranks);
+        std::vector<std::atomic<int>> hits(ranks);
+        team.run([&](unsigned rank) { hits[rank].fetch_add(1); });
+        for (unsigned r = 0; r < ranks; ++r)
+            EXPECT_EQ(hits[r].load(), 1) << "rank " << r;
+    }
+}
+
+TEST(ThreadPoolWorkerTeam, BarrierSeparatesPhases)
+{
+    // Every rank writes its slot in phase 1, then reads all slots in
+    // phase 2; without a working barrier some rank would observe a
+    // stale zero.
+    constexpr unsigned kRanks = 8;
+    WorkerTeam team(kRanks);
+    for (int iter = 0; iter < 200; ++iter) {
+        std::vector<int> slots(kRanks, 0);
+        std::atomic<int> sum_errors{0};
+        team.run([&](unsigned rank) {
+            slots[rank] = static_cast<int>(rank) + 1;
+            team.barrier();
+            int sum = 0;
+            for (unsigned r = 0; r < kRanks; ++r)
+                sum += slots[r];
+            if (sum != kRanks * (kRanks + 1) / 2)
+                sum_errors.fetch_add(1);
+        });
+        ASSERT_EQ(sum_errors.load(), 0) << "iteration " << iter;
+    }
+}
+
+TEST(ThreadPoolWorkerTeam, ReusableAcrossRuns)
+{
+    WorkerTeam team(4);
+    std::atomic<int> total{0};
+    for (int run = 0; run < 50; ++run)
+        team.run([&](unsigned) { total.fetch_add(1); });
+    EXPECT_EQ(total.load(), 200);
+}
+
+TEST(ThreadPoolWorkerTeam, SingleRankRunsInline)
+{
+    WorkerTeam team(1);
+    const auto caller = std::this_thread::get_id();
+    std::thread::id ran_on;
+    team.run([&](unsigned rank) {
+        EXPECT_EQ(rank, 0u);
+        ran_on = std::this_thread::get_id();
+        team.barrier();   // Degenerates to a no-op rendezvous.
+    });
+    EXPECT_EQ(ran_on, caller);
+}
+
+TEST(ThreadPoolWorkerTeam, PropagatesExceptions)
+{
+    WorkerTeam team(4);
+    EXPECT_THROW(team.run([](unsigned rank) {
+        if (rank == 2)
+            throw std::runtime_error("rank failed");
+    }),
+                 std::runtime_error);
+    // The team stays usable after a failed run.
+    std::atomic<int> ran{0};
+    team.run([&](unsigned) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 4);
+}
+
 } // namespace
 } // namespace turnmodel

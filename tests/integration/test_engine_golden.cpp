@@ -265,5 +265,43 @@ TEST(EngineGolden, ObservedRunsMatchAndObserverStaysPassive)
     }
 }
 
+TEST(EngineGolden, ShardedSteppingMatchesTheGoldenBytes)
+{
+    // The sharded two-phase core must produce the serial engine's
+    // exact bytes at every shard count, for both engines. jobs=1
+    // keeps the runner from clamping sim_threads.
+    NDMesh mesh = NDMesh::mesh2D(16, 16);
+    ExperimentSpec spec;
+    spec.name = "golden-sharded";
+    spec.topology = &mesh;
+    spec.pattern = "uniform";
+    spec.algorithms = {"xy", "negative-first"};
+    spec.injection_rates = {0.08, 0.16};
+    spec.sim.warmup_cycles = 1000;
+    spec.sim.measure_cycles = 3000;
+
+    for (RouterModel model :
+         {RouterModel::Classic, RouterModel::VcCredit}) {
+        spec.sim.router_model = model;
+        spec.sim.buffer_depth =
+            model == RouterModel::VcCredit ? 4 : 1;
+        std::string first;
+        for (unsigned threads : {1u, 2u, 4u, 8u}) {
+            spec.sim.sim_threads = threads;
+            Runner runner(1);
+            const std::string bytes = seriesJson(runner.run(spec));
+            if (first.empty())
+                first = bytes;
+            else
+                EXPECT_EQ(first, bytes)
+                    << "series diverged at --sim-threads=" << threads;
+        }
+        checkGolden(model == RouterModel::VcCredit
+                        ? "golden_sharded_vc.json"
+                        : "golden_sharded.json",
+                    first);
+    }
+}
+
 } // namespace
 } // namespace turnmodel

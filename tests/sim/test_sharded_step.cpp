@@ -1,0 +1,431 @@
+/**
+ * @file
+ * Shard-count invariance suite: the sharded two-phase stepping core
+ * must be bit-identical to the serial engine at any --sim-threads
+ * value, for both engines. Every test runs the same configuration at
+ * several shard counts and compares completions (every field),
+ * counters, deadlock state, and stuck-packet reports with exact
+ * equality — the doubles are cycle stamps, so == is the right
+ * comparison. Shard-boundary pressure comes from a 1-wide chain
+ * where every hop crosses a shard edge at 8 shards.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/routing/factory.hpp"
+#include "core/routing/turn_table.hpp"
+#include "exec/result_sink.hpp"
+#include "exec/runner.hpp"
+#include "router/vc_network.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+#include "topology/mesh.hpp"
+#include "topology/virtual_channels.hpp"
+#include "traffic/permutation.hpp"
+
+namespace turnmodel {
+namespace {
+
+/** Everything observable from one stepped run. */
+struct RunLog
+{
+    std::vector<Completion> completions;
+    NetworkCounters counters;
+    std::uint64_t cycles = 0;
+    bool deadlocked = false;
+    std::vector<PacketId> stuck;
+    unsigned shards = 0;
+};
+
+/** Step @p cycles cycles, draining completions every cycle. */
+RunLog
+runEngine(const RoutingAlgorithm &routing,
+          const TrafficPattern &pattern, const SimConfig &cfg,
+          std::uint64_t cycles)
+{
+    const auto net = makeEngine(routing, pattern, cfg);
+    RunLog log;
+    log.shards = net->shardCount();
+    std::vector<Completion> batch;
+    for (std::uint64_t c = 0; c < cycles; ++c) {
+        net->step();
+        net->drainCompletions(batch);
+        log.completions.insert(log.completions.end(), batch.begin(),
+                               batch.end());
+    }
+    log.counters = net->counters();
+    log.cycles = net->now();
+    log.deadlocked = net->deadlockDetected();
+    log.stuck = net->stuckPackets(200);
+    return log;
+}
+
+void
+expectSameCounters(const NetworkCounters &a, const NetworkCounters &b,
+                   const std::string &what)
+{
+    EXPECT_EQ(a.packets_generated, b.packets_generated) << what;
+    EXPECT_EQ(a.packets_delivered, b.packets_delivered) << what;
+    EXPECT_EQ(a.flits_generated, b.flits_generated) << what;
+    EXPECT_EQ(a.flits_delivered, b.flits_delivered) << what;
+    EXPECT_EQ(a.header_hops, b.header_hops) << what;
+    EXPECT_EQ(a.source_queue_flits, b.source_queue_flits) << what;
+    EXPECT_EQ(a.flits_in_network, b.flits_in_network) << what;
+    EXPECT_EQ(a.flit_moves, b.flit_moves) << what;
+}
+
+void
+expectSameLog(const RunLog &serial, const RunLog &sharded,
+              const std::string &what)
+{
+    ASSERT_EQ(serial.completions.size(), sharded.completions.size())
+        << what;
+    for (std::size_t i = 0; i < serial.completions.size(); ++i) {
+        const Completion &a = serial.completions[i];
+        const Completion &b = sharded.completions[i];
+        EXPECT_EQ(a.id, b.id) << what << " completion " << i;
+        EXPECT_EQ(a.src, b.src) << what << " completion " << i;
+        EXPECT_EQ(a.dest, b.dest) << what << " completion " << i;
+        EXPECT_EQ(a.length, b.length) << what << " completion " << i;
+        EXPECT_EQ(a.hops, b.hops) << what << " completion " << i;
+        EXPECT_EQ(a.created, b.created) << what << " completion " << i;
+        EXPECT_EQ(a.injected, b.injected)
+            << what << " completion " << i;
+        EXPECT_EQ(a.delivered, b.delivered)
+            << what << " completion " << i;
+    }
+    expectSameCounters(serial.counters, sharded.counters, what);
+    EXPECT_EQ(serial.cycles, sharded.cycles) << what;
+    EXPECT_EQ(serial.deadlocked, sharded.deadlocked) << what;
+    EXPECT_EQ(serial.stuck, sharded.stuck) << what;
+}
+
+/** Run @p cfg serially and at several shard counts; compare. */
+void
+expectShardInvariant(const Topology &topo, const char *algo,
+                     const char *pattern_name, SimConfig cfg,
+                     std::uint64_t cycles)
+{
+    const RoutingPtr routing = makeRouting(algo, topo);
+    ASSERT_NE(routing, nullptr) << algo;
+    const PatternPtr pattern = makePattern(pattern_name, topo);
+    cfg.sim_threads = 1;
+    const RunLog serial = runEngine(*routing, *pattern, cfg, cycles);
+    EXPECT_EQ(serial.shards, 1u);
+    for (unsigned threads : {2u, 4u, 8u}) {
+        cfg.sim_threads = threads;
+        const RunLog sharded =
+            runEngine(*routing, *pattern, cfg, cycles);
+        std::ostringstream what;
+        what << algo << "/" << pattern_name << " at sim_threads="
+             << threads;
+        EXPECT_EQ(sharded.shards,
+                  std::min<unsigned>(threads, topo.numNodes()))
+            << what.str();
+        expectSameLog(serial, sharded, what.str());
+    }
+}
+
+TEST(ShardedStep, UniformMeshMatchesSerial)
+{
+    SimConfig cfg;
+    cfg.injection_rate = 0.12;
+    expectShardInvariant(NDMesh::mesh2D(16, 16), "xy", "uniform",
+                         cfg, 1500);
+}
+
+TEST(ShardedStep, AdaptiveTransposeMatchesSerial)
+{
+    SimConfig cfg;
+    cfg.injection_rate = 0.10;
+    cfg.buffer_depth = 2;
+    expectShardInvariant(NDMesh::mesh2D(12, 12), "west-first",
+                         "transpose", cfg, 1500);
+}
+
+TEST(ShardedStep, ChainStressesShardBoundaries)
+{
+    // A 2-wide ribbon (the thinnest legal mesh): at 8 shards every
+    // shard owns a short strip and nearly all traffic repeatedly
+    // crosses shard edges in both directions.
+    SimConfig cfg;
+    cfg.injection_rate = 0.08;
+    expectShardInvariant(NDMesh::mesh2D(32, 2), "xy", "uniform",
+                         cfg, 2000);
+}
+
+TEST(ShardedStep, SharedWiresUseTheSerialArbPhase)
+{
+    // A virtualized mesh multiplexes VCs onto physical wires; the
+    // classic engine resolves that contention in a serial
+    // arbitration mini-phase whose outcome must not depend on the
+    // shard layout.
+    SimConfig cfg;
+    cfg.injection_rate = 0.10;
+    expectShardInvariant(VirtualizedMesh::uniform({6, 6}, 2),
+                         "vc:west-first", "uniform", cfg, 1500);
+}
+
+TEST(ShardedStep, PostedPacketsMatchSerial)
+{
+    // post() allocates from the source's shard arena; a drain-only
+    // run (generation off) must land the same completions.
+    const NDMesh mesh = NDMesh::mesh2D(8, 8);
+    const RoutingPtr routing = makeRouting("xy", mesh);
+    const PatternPtr pattern = makePattern("uniform", mesh);
+    SimConfig cfg;
+
+    const auto drive = [&](unsigned threads) {
+        cfg.sim_threads = threads;
+        const auto net = makeEngine(*routing, *pattern, cfg);
+        net->setGenerationEnabled(false);
+        for (NodeId src = 0; src < mesh.numNodes(); ++src)
+            net->post(src, mesh.numNodes() - 1 - src, 4 + src % 7);
+        RunLog log;
+        log.shards = net->shardCount();
+        std::vector<Completion> batch;
+        while (net->counters().packets_delivered <
+                   mesh.numNodes() &&
+               net->now() < 5000) {
+            net->step();
+            net->drainCompletions(batch);
+            log.completions.insert(log.completions.end(),
+                                   batch.begin(), batch.end());
+        }
+        log.counters = net->counters();
+        log.cycles = net->now();
+        return log;
+    };
+
+    const RunLog serial = drive(1);
+    EXPECT_EQ(serial.completions.size(),
+              static_cast<std::size_t>(NDMesh::mesh2D(8, 8)
+                                           .numNodes()));
+    for (unsigned threads : {2u, 8u}) {
+        const RunLog sharded = drive(threads);
+        expectSameLog(serial, sharded,
+                      "posted drain at sim_threads=" +
+                          std::to_string(threads));
+    }
+}
+
+/** Quarter-rotation permutation (as in the deadlock goldens). */
+class RotationPattern : public PermutationTraffic
+{
+  public:
+    explicit RotationPattern(const Topology &topo)
+        : PermutationTraffic(topo)
+    {
+    }
+
+    NodeId map(NodeId src) const override
+    {
+        const Coords c = topo_.coords(src);
+        const int m = topo_.radix(0);
+        return topo_.node({c[1], m - 1 - c[0]});
+    }
+
+    std::string name() const override { return "rotation"; }
+};
+
+TEST(ShardedStep, WatchdogDrainMatchesSerial)
+{
+    // A fully adaptive minimal turn table deadlocks under rotation
+    // overload; the watchdog trip cycle and the completions drained
+    // up to (and on) that cycle must be shard-count-invariant.
+    const NDMesh mesh = NDMesh::mesh2D(8, 8);
+    TurnSet all(2);
+    all.allowAll90();
+    all.allowAllStraight();
+    const TurnTableRouting routing(mesh, all, true,
+                                   "fully-adaptive");
+    const RotationPattern pattern(mesh);
+    SimConfig cfg;
+    cfg.injection_rate = 0.9;
+    cfg.deadlock_threshold = 1200;
+
+    cfg.sim_threads = 1;
+    const RunLog serial = runEngine(routing, pattern, cfg, 6000);
+    EXPECT_TRUE(serial.deadlocked)
+        << "the scenario no longer trips the watchdog";
+    for (unsigned threads : {2u, 4u, 8u}) {
+        cfg.sim_threads = threads;
+        const RunLog sharded = runEngine(routing, pattern, cfg, 6000);
+        expectSameLog(serial, sharded,
+                      "watchdog at sim_threads=" +
+                          std::to_string(threads));
+    }
+}
+
+TEST(ShardedStep, RandomPoliciesAndTracingForceOneShard)
+{
+    // The Random selection policies consume the single router RNG
+    // stream in visit order, and the packet trace logs in event
+    // order; both are serial artifacts, so the engine must fall back
+    // to one shard no matter what sim_threads asks for.
+    const NDMesh mesh = NDMesh::mesh2D(8, 8);
+    const RoutingPtr routing = makeRouting("west-first", mesh);
+    const PatternPtr pattern = makePattern("uniform", mesh);
+
+    SimConfig cfg;
+    cfg.sim_threads = 8;
+    cfg.output_selection = OutputSelection::Random;
+    EXPECT_EQ(makeEngine(*routing, *pattern, cfg)->shardCount(), 1u);
+
+    cfg = SimConfig{};
+    cfg.sim_threads = 8;
+    cfg.input_selection = InputSelection::Random;
+    EXPECT_EQ(makeEngine(*routing, *pattern, cfg)->shardCount(), 1u);
+
+    cfg = SimConfig{};
+    cfg.sim_threads = 8;
+    cfg.obs.trace_capacity = 64;
+    EXPECT_EQ(makeEngine(*routing, *pattern, cfg)->shardCount(), 1u);
+
+    cfg = SimConfig{};
+    cfg.sim_threads = 8;
+    cfg.obs.channel_counters = true;   // Counters alone are fine.
+    EXPECT_EQ(makeEngine(*routing, *pattern, cfg)->shardCount(), 8u);
+}
+
+TEST(ShardedStep, ObsStudyBytesMatchSerial)
+{
+    // Channel counters, time series, and the full obs JSON must be
+    // byte-identical at any shard count (jobs=1 keeps the runner
+    // from clamping sim_threads).
+    NDMesh mesh = NDMesh::mesh2D(12, 12);
+    ExperimentSpec spec;
+    spec.name = "sharded-obs";
+    spec.topology = &mesh;
+    spec.pattern = "uniform";
+    spec.algorithms = {"xy", "west-first"};
+    spec.sim.warmup_cycles = 400;
+    spec.sim.measure_cycles = 1200;
+
+    ObsConfig obs;
+    obs.channel_counters = true;
+    obs.sample_stride = 200;
+
+    std::string first;
+    for (unsigned threads : {1u, 2u, 8u}) {
+        spec.sim.sim_threads = threads;
+        Runner runner(1);
+        std::ostringstream os;
+        ResultSink::writeObsJson(os, runner.runObs(spec, 0.12, obs));
+        if (first.empty())
+            first = os.str();
+        else
+            EXPECT_EQ(first, os.str())
+                << "obs bytes diverged at sim_threads=" << threads;
+    }
+}
+
+// ----- VC engine ----------------------------------------------------
+
+void
+expectVcShardInvariant(const Topology &topo, const char *algo,
+                       const char *pattern_name, SimConfig cfg,
+                       std::uint64_t cycles)
+{
+    cfg.router_model = RouterModel::VcCredit;
+    const RoutingPtr routing = makeRouting(algo, topo);
+    ASSERT_NE(routing, nullptr) << algo;
+    const PatternPtr pattern = makePattern(pattern_name, topo);
+
+    cfg.sim_threads = 1;
+    const RunLog serial = runEngine(*routing, *pattern, cfg, cycles);
+    EXPECT_EQ(serial.shards, 1u);
+    for (unsigned threads : {2u, 4u, 8u}) {
+        cfg.sim_threads = threads;
+        const RunLog sharded =
+            runEngine(*routing, *pattern, cfg, cycles);
+        std::ostringstream what;
+        what << "vc " << algo << "/" << pattern_name
+             << " at sim_threads=" << threads;
+        expectSameLog(serial, sharded, what.str());
+    }
+}
+
+TEST(VcNetworkSharded, CreditFlowMatchesSerial)
+{
+    // Real credits: the cross-shard credit mailboxes must land every
+    // credit in the owner's ring for the same cycle the serial
+    // engine would have used.
+    SimConfig cfg;
+    cfg.injection_rate = 0.15;
+    cfg.buffer_depth = 4;
+    expectVcShardInvariant(NDMesh::mesh2D(8, 8), "xy", "uniform",
+                           cfg, 1500);
+}
+
+TEST(VcNetworkSharded, CreditAuditHoldsAtEveryShardCount)
+{
+    const NDMesh mesh = NDMesh::mesh2D(8, 8);
+    const RoutingPtr routing = makeRouting("west-first", mesh);
+    const PatternPtr pattern = makePattern("transpose", mesh);
+    SimConfig cfg;
+    cfg.router_model = RouterModel::VcCredit;
+    cfg.injection_rate = 0.2;
+    cfg.buffer_depth = 4;
+    cfg.vc_router.credit_delay = 2;
+    for (unsigned threads : {1u, 4u}) {
+        cfg.sim_threads = threads;
+        VcNetwork net(*routing, *pattern, cfg);
+        for (int c = 0; c < 800; ++c) {
+            net.step();
+            ASSERT_TRUE(net.auditCredits())
+                << "credit conservation broke at cycle " << c
+                << " with sim_threads=" << threads;
+        }
+    }
+}
+
+TEST(VcNetworkSharded, EscapeVcMeshMatchesSerial)
+{
+    // Virtual channels + escape-style restricted routing over a
+    // virtualized mesh: VC allocation stays router-local, wire
+    // contention goes through the separable switch allocator.
+    SimConfig cfg;
+    cfg.injection_rate = 0.12;
+    cfg.buffer_depth = 2;
+    expectVcShardInvariant(VirtualizedMesh::uniform({6, 6}, 2),
+                           "vc:west-first", "uniform", cfg, 1500);
+}
+
+TEST(VcNetworkSharded, IdealCreditsSharedWiresMatchSerial)
+{
+    // ideal_credits on shared wires takes the serial wire-arb
+    // mini-phase (the only global step in the VC cycle).
+    SimConfig cfg;
+    cfg.injection_rate = 0.12;
+    cfg.buffer_depth = 2;
+    cfg.vc_router.ideal_credits = true;
+    expectVcShardInvariant(VirtualizedMesh::uniform({6, 6}, 2),
+                           "vc:dimension-order", "uniform", cfg,
+                           1500);
+}
+
+TEST(VcNetworkSharded, PipelinedRouterMatchesSerial)
+{
+    SimConfig cfg;
+    cfg.injection_rate = 0.15;
+    cfg.buffer_depth = 4;
+    cfg.vc_router.pipelined = true;
+    cfg.vc_router.credit_delay = 3;
+    expectVcShardInvariant(NDMesh::mesh2D(8, 8), "north-last",
+                           "uniform", cfg, 1500);
+}
+
+TEST(VcNetworkSharded, ChainStressesShardBoundaries)
+{
+    SimConfig cfg;
+    cfg.injection_rate = 0.08;
+    cfg.buffer_depth = 2;
+    expectVcShardInvariant(NDMesh::mesh2D(32, 2), "xy", "uniform",
+                           cfg, 2000);
+}
+
+} // namespace
+} // namespace turnmodel

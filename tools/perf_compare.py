@@ -9,17 +9,31 @@ run-to-run noise — the gate exists to catch order-of-magnitude
 mistakes (an accidentally quadratic scan, a lost fast path), not
 single-digit drift.
 
+Two thread-aware rules refine the plain keep-tolerance gate:
+
+* The keep-tolerance gate applies only to single-thread scenarios.
+  Multi-thread numbers depend on how many CPUs the measuring host
+  actually has, so comparing them across hosts is noise, not signal.
+* Scaling gate: for every scenario family measured at several thread
+  counts (names ending in _t1/_t4/_t8), the candidate's 4-thread run
+  must reach at least --min-scaling x its own 1-thread run — but only
+  when the candidate host has >= 4 CPUs (the JSON's host_cpus field;
+  older baselines without it skip the check). A sharded engine that
+  stops scaling is as much a regression as a slow serial loop.
+
 Usage: perf_compare.py BASELINE CANDIDATE [--threshold FRACTION]
+                       [--min-scaling RATIO]
 Exit status: 0 when no scenario regresses past the threshold,
 1 on regression, 2 on malformed input.
 """
 
 import argparse
 import json
+import re
 import sys
 
 
-def load_cases(path):
+def load_doc(path):
     try:
         with open(path) as fh:
             doc = json.load(fh)
@@ -28,14 +42,53 @@ def load_cases(path):
     if doc.get("benchmark") != "micro_sim":
         sys.exit(f"perf_compare: {path} is not a micro_sim result")
     cases = {}
+    threads = {}
     for case in doc.get("cases", []):
         try:
             cases[case["name"]] = float(case["cycles_per_sec"])
+            threads[case["name"]] = int(case.get("threads", 1))
         except (KeyError, TypeError, ValueError):
             sys.exit(f"perf_compare: malformed case in {path}: {case}")
     if not cases:
         sys.exit(f"perf_compare: {path} contains no cases")
-    return cases
+    host_cpus = doc.get("host_cpus")
+    return cases, threads, host_cpus
+
+
+def scaling_failures(cand, cand_threads, host_cpus, min_scaling):
+    """4-thread runs must beat 1-thread runs by min_scaling, when the
+    candidate host can actually run 4 threads in parallel."""
+    if host_cpus is None or host_cpus < 4:
+        reason = (
+            "host_cpus missing" if host_cpus is None
+            else f"host has {host_cpus} CPU(s)"
+        )
+        print(f"scaling gate skipped: {reason}")
+        return []
+    failures = []
+    checked = 0
+    for name, speed in sorted(cand.items()):
+        m = re.fullmatch(r"(.+)_t1", name)
+        if not m or cand_threads.get(name, 1) != 1:
+            continue
+        sibling = f"{m.group(1)}_t4"
+        if sibling not in cand:
+            continue
+        checked += 1
+        ratio = cand[sibling] / speed
+        status = "ok" if ratio >= min_scaling else "<< NO SCALING"
+        print(
+            f"scaling {m.group(1)}: t4/t1 = {ratio:.2f}x "
+            f"(need {min_scaling:.1f}x)  {status}"
+        )
+        if ratio < min_scaling:
+            failures.append(
+                f"{m.group(1)}: 4 threads only {ratio:.2f}x the "
+                f"1-thread rate (need {min_scaling:.1f}x)"
+            )
+    if checked == 0:
+        print("scaling gate: no _t1/_t4 scenario pairs found")
+    return failures
 
 
 def main():
@@ -50,12 +103,21 @@ def main():
         default=0.30,
         help="maximum tolerated fractional slowdown (default 0.30)",
     )
+    parser.add_argument(
+        "--min-scaling",
+        type=float,
+        default=2.0,
+        help="required 4-thread speedup over 1 thread on hosts with "
+        ">= 4 CPUs (default 2.0)",
+    )
     args = parser.parse_args()
     if not 0.0 < args.threshold < 1.0:
         parser.error("--threshold must be in (0, 1)")
+    if args.min_scaling <= 0.0:
+        parser.error("--min-scaling must be positive")
 
-    base = load_cases(args.baseline)
-    cand = load_cases(args.candidate)
+    base, base_threads, _ = load_doc(args.baseline)
+    cand, cand_threads, cand_cpus = load_doc(args.candidate)
 
     width = max(len(n) for n in base) + 2
     print(
@@ -70,7 +132,12 @@ def main():
             continue
         ratio = cand[name] / base[name]
         flag = ""
-        if ratio < 1.0 - args.threshold:
+        if max(base_threads.get(name, 1), cand_threads.get(name, 1)) > 1:
+            # Multi-thread rates are a property of the measuring
+            # host's CPU count; the scaling gate below judges them
+            # against the candidate's own single-thread rate instead.
+            flag = "  (threads>1: informational)"
+        elif ratio < 1.0 - args.threshold:
             failures.append(
                 f"{name}: {base[name]:.0f} -> {cand[name]:.0f} "
                 f"cycles/sec ({(1.0 - ratio) * 100.0:.1f}% slower)"
@@ -83,11 +150,13 @@ def main():
     for name in sorted(set(cand) - set(base)):
         print(f"{name:<{width}}{'absent':>14}{cand[name]:>15.0f}")
 
+    print()
+    failures += scaling_failures(
+        cand, cand_threads, cand_cpus, args.min_scaling
+    )
+
     if failures:
-        print(
-            f"\nFAIL: {len(failures)} scenario(s) regressed past "
-            f"{args.threshold * 100:.0f}%:"
-        )
+        print(f"\nFAIL: {len(failures)} gate violation(s):")
         for line in failures:
             print(f"  {line}")
         return 1
