@@ -1,88 +1,170 @@
 /**
  * @file
- * Ablation: input and output selection policies (the knob the
- * paper's companion study [19] investigates and Section 7 flags as
- * future work). Negative-first on 16x16 mesh transpose at a
- * moderately high load, across all policy combinations.
+ * Selection-policy ablation: the full policies x algorithms x
+ * traffic-patterns grid on the paper's 16x16 mesh, at one saturated
+ * operating point per pattern — the regime where output selection
+ * among the legal DirectionSet decides whether partially adaptive
+ * routing earns its adaptiveness (the knob the paper's companion
+ * study [19] investigates and Section 7 flags as future work). xy
+ * rides along as the deterministic control: its DirectionSet is
+ * always a singleton, so every policy must produce the same numbers.
+ *
+ * Every cell runs through the thread-parallel exec runner, so the
+ * grid is bit-identical at any --jobs; --sel=NAME restricts it to
+ * one policy. The JSON document ("turnmodel-sel-ablation-v1",
+ * validated by tools/validate_selection_schema.py) declares the grid
+ * axes and carries one row per cell.
  */
 
+#include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <sstream>
+#include <utility>
 
 #include "bench_common.hpp"
-#include "exec/thread_pool.hpp"
-#include "sim/simulator.hpp"
 #include "topology/mesh.hpp"
-#include "traffic/pattern.hpp"
-#include "util/csv.hpp"
+#include "util/json.hpp"
 
 using namespace turnmodel;
+
+namespace {
+
+struct Cell
+{
+    std::string pattern;
+    std::string algorithm;
+    std::string policy;
+    double injection_rate = 0.0;
+    SimResult result;
+};
+
+void
+writeNameList(std::ostream &os, const std::vector<std::string> &names)
+{
+    for (std::size_t i = 0; i < names.size(); ++i)
+        os << (i ? ", " : "") << '"' << jsonEscape(names[i]) << '"';
+}
+
+void
+writeGridJson(std::ostream &os,
+              const std::vector<std::string> &patterns,
+              const std::vector<std::string> &algorithms,
+              const std::vector<std::string> &policies,
+              const std::vector<Cell> &cells)
+{
+    os << "{\"schema\": \"turnmodel-sel-ablation-v1\", "
+          "\"topology\": \"mesh-16x16\", \"patterns\": [";
+    writeNameList(os, patterns);
+    os << "], \"algorithms\": [";
+    writeNameList(os, algorithms);
+    os << "], \"policies\": [";
+    writeNameList(os, policies);
+    os << "], \"rows\": [";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const Cell &c = cells[i];
+        if (i)
+            os << ", ";
+        os << "{\"pattern\": \"" << jsonEscape(c.pattern)
+           << "\", \"algorithm\": \"" << jsonEscape(c.algorithm)
+           << "\", \"selection_policy\": \"" << jsonEscape(c.policy)
+           << "\", \"injection_rate\": ";
+        writeJsonNumber(os, c.injection_rate);
+        os << ", \"throughput_flits_per_us\": ";
+        writeJsonNumber(os, c.result.throughput_flits_per_us);
+        os << ", \"avg_latency_us\": ";
+        writeJsonNumber(os, c.result.avg_latency_us);
+        os << ", \"delivered_ratio\": ";
+        writeJsonNumber(os, c.result.delivered_ratio);
+        os << ", \"saturated\": "
+           << (c.result.saturated ? "true" : "false") << "}";
+    }
+    os << "]}\n";
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
-    const auto fidelity = bench::parseFidelity(argc, argv);
-    NDMesh mesh = NDMesh::mesh2D(16, 16);
-    PatternPtr pattern = makePattern("transpose", mesh);
+    const bench::Fidelity fidelity = bench::parseFidelity(argc, argv);
+    const NDMesh mesh = NDMesh::mesh2D(16, 16);
 
-    const std::vector<InputSelection> inputs{
-        InputSelection::Fcfs, InputSelection::Random,
-        InputSelection::FixedPriority};
-    const std::vector<OutputSelection> outputs{
-        OutputSelection::LowestDim, OutputSelection::HighestDim,
-        OutputSelection::Random, OutputSelection::StraightFirst};
-
-    struct Row
-    {
-        InputSelection in;
-        OutputSelection out;
-        SimResult result;
+    // One operating point per pattern, past the adaptive algorithms'
+    // saturation knee: under saturation the delivered throughput
+    // separates the policies instead of echoing the offered load.
+    const std::vector<std::pair<std::string, double>> patterns = {
+        {"uniform", 0.30},
+        {"transpose", 0.20},
     };
-    // Each policy combination is an independent simulation: fan the
-    // grid out over the pool, one slot per cell, with a private
-    // routing instance per job.
-    std::vector<Row> rows(inputs.size() * outputs.size());
-    ThreadPool pool(fidelity.jobs);
-    pool.parallelFor(rows.size(), [&](std::size_t i) {
-        const InputSelection in_sel = inputs[i / outputs.size()];
-        const OutputSelection out_sel = outputs[i % outputs.size()];
-        RoutingPtr routing = makeRouting("negative-first", mesh);
-        SimConfig cfg;
-        cfg.injection_rate = 0.12;
-        cfg.warmup_cycles = fidelity.warmup;
-        cfg.measure_cycles = fidelity.measure;
-        cfg.input_selection = in_sel;
-        cfg.output_selection = out_sel;
-        Simulator sim(*routing, *pattern, cfg);
-        rows[i] = {in_sel, out_sel, sim.run()};
-    });
+    const std::vector<std::string> algorithms = {
+        "xy", "west-first", "negative-first"};
+    std::vector<std::string> policies = {
+        "lowest-dim",       "straight-first", "hashed",
+        "local-congestion", "regional",       "lookahead"};
+    if (!fidelity.sel.empty())
+        policies = {fidelity.sel};
 
-    std::cout << "== ablation: selection policies (negative-first, "
-                 "16x16 mesh, transpose) ==\n";
-    std::cout << std::setw(16) << "input" << std::setw(16) << "output"
-              << std::setw(14) << "thruput" << std::setw(13)
-              << "latency(us)" << std::setw(6) << "sat" << '\n';
-    for (const Row &row : rows) {
-        const SimResult &r = row.result;
-        std::cout << std::setw(16) << toString(row.in) << std::setw(16)
-                  << toString(row.out) << std::setw(14) << std::fixed
-                  << std::setprecision(2) << r.throughput_flits_per_us
-                  << std::setw(13) << r.avg_latency_us << std::setw(6)
-                  << (r.saturated ? "yes" : "no") << '\n';
+    std::vector<Cell> cells;
+    Runner runner(fidelity.jobs);
+    for (const auto &[pattern, rate] : patterns) {
+        for (const std::string &policy : policies) {
+            ExperimentSpec spec;
+            spec.name = "ablation-selection/" + pattern + "/" + policy;
+            spec.topology = &mesh;
+            spec.pattern = pattern;
+            spec.algorithms = algorithms;
+            spec.injection_rates = {rate};
+            spec.stop_after_saturated = 0;
+            spec.sim.warmup_cycles = fidelity.warmup;
+            spec.sim.measure_cycles = fidelity.measure;
+            spec.sim.sim_threads = fidelity.sim_threads;
+            spec.sim.selection_policy = policy;
+            const ExperimentResult result = runner.run(spec);
+            for (std::size_t a = 0; a < result.series.size(); ++a) {
+                for (const SweepPoint &p : result.series[a].points) {
+                    cells.push_back({pattern, spec.algorithms[a],
+                                     policy, p.injection_rate,
+                                     p.result});
+                }
+            }
+        }
     }
 
-    std::cout << "\n-- csv --\n";
-    CsvWriter csv(std::cout);
-    csv.header({"input_selection", "output_selection",
-                "throughput_flits_per_us", "latency_us", "saturated"});
-    for (const Row &row : rows) {
-        csv.beginRow()
-            .field(toString(row.in))
-            .field(toString(row.out))
-            .field(row.result.throughput_flits_per_us)
-            .field(row.result.avg_latency_us)
-            .field(row.result.saturated ? 1 : 0);
-        csv.endRow();
+    std::cout << "== ablation: selection policies (16x16 mesh) ==\n"
+              << std::left << std::setw(11) << "pattern"
+              << std::setw(16) << "algorithm" << std::setw(18)
+              << "policy" << std::right << std::setw(9) << "thruput"
+              << std::setw(11) << "lat(us)" << std::setw(11)
+              << "delivered" << std::setw(5) << "sat" << '\n';
+    for (const Cell &c : cells) {
+        std::cout << std::left << std::setw(11) << c.pattern
+                  << std::setw(16) << c.algorithm << std::setw(18)
+                  << c.policy << std::right << std::fixed
+                  << std::setprecision(1) << std::setw(9)
+                  << c.result.throughput_flits_per_us
+                  << std::setprecision(2) << std::setw(11)
+                  << c.result.avg_latency_us << std::setw(11)
+                  << c.result.delivered_ratio << std::setw(5)
+                  << (c.result.saturated ? "yes" : "no") << '\n';
+    }
+
+    std::ostringstream doc;
+    std::vector<std::string> pattern_names;
+    pattern_names.reserve(patterns.size());
+    for (const auto &[pattern, rate] : patterns)
+        pattern_names.push_back(pattern);
+    writeGridJson(doc, pattern_names, algorithms, policies, cells);
+    if (fidelity.json_path.empty()) {
+        std::cout << "\n-- json --\n" << doc.str();
+    } else {
+        std::ofstream out(fidelity.json_path);
+        if (!out) {
+            std::cerr << "cannot open " << fidelity.json_path << '\n';
+            return 1;
+        }
+        out << doc.str();
+        std::cout << "wrote " << fidelity.json_path << '\n';
     }
     return 0;
 }

@@ -20,6 +20,7 @@
 #include "exec/experiment.hpp"
 #include "exec/result_sink.hpp"
 #include "exec/runner.hpp"
+#include "select/factory.hpp"
 
 namespace turnmodel {
 namespace bench {
@@ -46,7 +47,30 @@ struct Fidelity
     /** --obs-rate=R: injection rate of the obs study; 0 picks the
      * middle of the figure's rate ladder. */
     double obs_rate = 0.0;
+    /** --sel=NAME: output-selection policy (select/factory.hpp);
+     * empty keeps each benchmark's configured default. */
+    std::string sel;
 };
+
+/**
+ * Exit with a strict unknown-name error unless @p name is a
+ * registered selection policy (same idiom as the routing factory,
+ * but diagnosable before any engine is built).
+ */
+inline void
+requireSelectionPolicy(const std::string &name, const char *argv0)
+{
+    const std::vector<std::string> names =
+        availableSelectionPolicyNames();
+    if (std::find(names.begin(), names.end(), name) != names.end())
+        return;
+    std::cerr << argv0 << ": unknown selection policy '" << name
+              << "' (available:";
+    for (const std::string &n : names)
+        std::cerr << ' ' << n;
+    std::cerr << ")\n";
+    std::exit(2);
+}
 
 /**
  * Parse the standard benchmark flags. Unknown flags are an error:
@@ -94,12 +118,15 @@ parseFidelity(int argc, char **argv)
             f.obs_rate = std::strtod(
                 arg.c_str() + std::string("--obs-rate=").size(),
                 nullptr);
+        } else if (arg.rfind("--sel=", 0) == 0) {
+            f.sel = arg.substr(std::string("--sel=").size());
+            requireSelectionPolicy(f.sel, argv[0]);
         } else {
             std::cerr << "unknown option '" << arg << "'\n"
                       << "usage: " << argv[0]
                       << " [--quick|--full] [--json=PATH] [--jobs=N]"
-                         " [--sim-threads=N] [--obs=PATH]"
-                         " [--obs-rate=R] [--trace=N]\n";
+                         " [--sim-threads=N] [--sel=NAME]"
+                         " [--obs=PATH] [--obs-rate=R] [--trace=N]\n";
             std::exit(2);
         }
     }
@@ -128,6 +155,7 @@ figureSpec(const std::string &title, const Topology &topo,
     spec.sim.warmup_cycles = fidelity.warmup;
     spec.sim.measure_cycles = fidelity.measure;
     spec.sim.sim_threads = fidelity.sim_threads;
+    spec.sim.selection_policy = fidelity.sel;
     return spec;
 }
 

@@ -17,6 +17,7 @@
  * perf smoke job gates on the committed BENCH_sim.json baseline.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
@@ -30,6 +31,7 @@
 #include <thread>
 
 #include "core/routing/factory.hpp"
+#include "select/factory.hpp"
 #include "sim/config.hpp"
 #include "sim/engine.hpp"
 #include "topology/mesh.hpp"
@@ -55,11 +57,14 @@ struct Scenario
     RouterModel model = RouterModel::Classic;
     /** Shards stepping the network (SimConfig::sim_threads). */
     unsigned threads = 1;
+    /** Output-selection policy; empty = engine default. */
+    std::string sel;
 };
 
 struct Timing
 {
     std::string name;
+    std::string sel;                 ///< Effective selection policy.
     unsigned threads = 1;            ///< Shards stepping the net.
     std::uint64_t cycles = 0;        ///< Timed cycles.
     std::uint64_t flit_moves = 0;    ///< Traversals in the window.
@@ -86,6 +91,7 @@ benchScenario(const Scenario &s, std::uint64_t warmup,
     cfg.injection_rate = s.rate;
     cfg.router_model = s.model;
     cfg.sim_threads = s.threads;
+    cfg.selection_policy = s.sel;
     const std::unique_ptr<NetworkEngine> net =
         makeEngine(*routing, *pattern, cfg);
     std::vector<Completion> done;
@@ -98,6 +104,7 @@ benchScenario(const Scenario &s, std::uint64_t warmup,
     const std::uint64_t moves_before = net->counters().flit_moves;
     Timing t;
     t.name = s.name;
+    t.sel = s.sel.empty() ? toString(cfg.output_selection) : s.sel;
     t.threads = s.threads;
     auto elapsed = Clock::duration::zero();
     while (elapsed < std::chrono::duration<double>(min_seconds)) {
@@ -149,6 +156,7 @@ writeJson(std::ostream &os, const std::vector<Timing> &rows)
     for (std::size_t i = 0; i < rows.size(); ++i) {
         const Timing &t = rows[i];
         os << "    {\"name\": \"" << jsonEscape(t.name)
+           << "\", \"selection_policy\": \"" << jsonEscape(t.sel)
            << "\", \"threads\": " << t.threads
            << ", \"cycles\": " << t.cycles
            << ", \"flit_moves\": " << t.flit_moves
@@ -171,6 +179,7 @@ main(int argc, char **argv)
     bool json = false;
     std::string json_path;
     std::string only;
+    std::string sel_override;
     std::uint64_t warmup = 3000;
     double min_seconds = 1.0;
     int sim_threads_override = -1;
@@ -197,10 +206,22 @@ main(int argc, char **argv)
                 return 2;
             }
             sim_threads_override = static_cast<int>(n);
+        } else if (arg.rfind("--sel=", 0) == 0) {
+            sel_override = arg.substr(std::string("--sel=").size());
+            const auto names = availableSelectionPolicyNames();
+            if (std::find(names.begin(), names.end(),
+                          sel_override) == names.end()) {
+                std::cerr << "unknown selection policy '"
+                          << sel_override << "' (available:";
+                for (const std::string &n : names)
+                    std::cerr << ' ' << n;
+                std::cerr << ")\n";
+                return 2;
+            }
         } else {
             std::cerr << "usage: micro_sim [--quick] "
                          "[--only=NAME] [--sim-threads=N] "
-                         "[--json[=PATH]]\n";
+                         "[--sel=NAME] [--json[=PATH]]\n";
             return 2;
         }
     }
@@ -242,6 +263,13 @@ main(int argc, char **argv)
          RouterModel::VcCredit, 4},
         {"vc32_escape_t8", &vmesh32, "vc:xy", "uniform", 0.12,
          RouterModel::VcCredit, 8},
+        // Selection-policy dispatch overhead on the hot path: the
+        // free-slot snapshot under saturated uniform traffic, and
+        // the regional EWMA pipeline under adaptive transpose.
+        {"sel_uniform", &mesh16, "negative-first", "uniform", 0.22,
+         RouterModel::Classic, 1, "local-congestion"},
+        {"sel_transpose", &mesh16, "negative-first", "transpose",
+         0.12, RouterModel::Classic, 1, "regional"},
     };
 
     std::vector<Timing> rows;
@@ -251,6 +279,8 @@ main(int argc, char **argv)
             continue;
         if (sim_threads_override > 0)
             s.threads = static_cast<unsigned>(sim_threads_override);
+        if (!sel_override.empty())
+            s.sel = sel_override;
         rows.push_back(benchScenario(s, warmup, min_seconds));
     }
     if (rows.empty()) {

@@ -26,6 +26,8 @@ ResultSink::writeJson(std::ostream &os, const ExperimentResult &result)
     os.precision(6);
 
     os << "{\"experiment\": \"" << jsonEscape(result.experiment)
+       << "\", \"selection_policy\": \""
+       << jsonEscape(result.selection_policy)
        << "\", \"jobs\": " << result.jobs
        << ", \"wall_clock_seconds\": ";
     writeJsonNumber(os, result.wall_seconds);

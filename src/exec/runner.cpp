@@ -92,6 +92,9 @@ Runner::run(const ExperimentSpec &spec)
 
     ExperimentResult result;
     result.experiment = spec.name;
+    result.selection_policy = spec.sim.selection_policy.empty()
+        ? toString(spec.sim.output_selection)
+        : spec.sim.selection_policy;
     result.jobs = pool_->size();
     result.series.resize(num_series);
     for (std::size_t a = 0; a < num_series; ++a) {

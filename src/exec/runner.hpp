@@ -33,6 +33,9 @@ namespace turnmodel {
 struct ExperimentResult
 {
     std::string experiment;
+    /** Effective output-selection policy name (the spec's
+     * selection_policy, or the adapter for its enum). */
+    std::string selection_policy;
     /** One series per spec algorithm, in spec order; points in rate
      * order, truncated at saturation like the serial sweep. */
     std::vector<SweepSeries> series;

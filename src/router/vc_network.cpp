@@ -142,14 +142,32 @@ VcNetwork::VcNetwork(const RoutingAlgorithm &routing,
         trace_sink_ = obs_->trace();
     }
 
-    // Shard plan; gates identical to the classic engine (the Random
-    // policies and the packet trace are serial artifacts).
+    // Output-selection policy, built like the classic engine's
+    // against the active route decider; congestion snapshots are
+    // sized only on demand.
+    sel_ = makeSelectionPolicy(config_.selection_policy.empty()
+                                   ? toString(config_.output_selection)
+                                   : config_.selection_policy,
+                               *decider_);
+    sel_needs_ = sel_->needs();
+    if (sel_needs_.free_slots)
+        free_snap_.assign(total_ports, 0);
+    if (sel_needs_.regional) {
+        regional_snap_.assign(total_ports, 0);
+        blocked_ewma_.assign(total_ports, 0);
+        router_blocked_.assign(topo_.numNodes(), 0);
+        fwd_stamp_.assign(total_ports, ~0ULL);
+    }
+
+    // Shard plan; gates identical to the classic engine (an
+    // RNG-consuming policy and the packet trace are serial
+    // artifacts).
     unsigned requested = config_.sim_threads != 0
         ? config_.sim_threads
         : std::thread::hardware_concurrency();
     if (requested == 0)
         requested = 1;
-    if (config_.output_selection == OutputSelection::Random ||
+    if (sel_->consumesGlobalRng() ||
         config_.input_selection == InputSelection::Random) {
         requested = 1;
     }
@@ -252,6 +270,13 @@ VcNetwork::stepShard(std::uint32_t s)
     Shard &sh = shards_[s];
     sh.moved = false;
 
+    // Snapshot cycle-start congestion for the selection policy,
+    // before this shard's own credit returns mutate the counters.
+    // Sources are frozen until phases several barriers away and the
+    // snapshot arrays are owner-local, so no extra barrier needed.
+    if (sel_needs_.free_slots || sel_needs_.regional)
+        snapshotCongestion(sh);
+
     // Phase: sample arrivals, then the serial slot/id reservation.
     if (generate_) {
         generateSample(sh);
@@ -297,6 +322,8 @@ VcNetwork::stepShard(std::uint32_t s)
     compactActive(sh);
     injectFlits(sh);
     recordHeldPorts(sh);
+    if (sel_needs_.regional)
+        updateCongestion(sh);
     sync();
 
     // Phase: mailboxed slot releases and upstream credits go home.
@@ -431,10 +458,19 @@ VcNetwork::gatherBid(Shard &sh, std::uint32_t port)
         }
         if (candidates.empty())
             return;
-        const Direction pick = selectOutput(
-            config_.output_selection, candidates, in_dir,
-            router_rng_);
-        preferred = inPortId(here, pick.id());
+        SelectionQuery q;
+        q.candidates = candidates;
+        q.in_dir = in_dir;
+        q.here = here;
+        q.dest = pkt.dest;
+        q.packet = static_cast<std::uint64_t>(pkt.id);
+        q.port_base = inPortId(here, 0);
+        q.free_slots =
+            free_snap_.empty() ? nullptr : free_snap_.data();
+        q.congestion =
+            regional_snap_.empty() ? nullptr : regional_snap_.data();
+        q.rng = &router_rng_;
+        preferred = inPortId(here, sel_->pick(q).id());
     }
     sh.bids.push_back({preferred, {port, in.header_arrival}});
 }
@@ -737,6 +773,8 @@ VcNetwork::popMoves(Shard &sh, std::uint32_t s)
         const Flit flit = fifoPop(m.from);
         if (chan_stats_)
             chan_stats_->recordForward(m.out, cycle_);
+        if (!fwd_stamp_.empty())
+            fwd_stamp_[m.out] = cycle_;
         if (!ideal_) {
             if (m.to >= 0) {
                 TM_ASSERT(credits_[m.out] > 0,
@@ -926,6 +964,62 @@ VcNetwork::recordHeldPorts(Shard &sh)
     for (std::uint32_t p = sh.port_begin; p < sh.port_end; ++p) {
         if (out_ports_[p].owner != kNoSlot)
             chan_stats_->recordHeld(p, cycle_);
+    }
+}
+
+void
+VcNetwork::snapshotCongestion(Shard &sh)
+{
+    // Own output ports only (a bid's candidate outputs sit at the
+    // bidding port's own router). Under real credit flow the credit
+    // counters are already owner-local; ideal mode reads the
+    // downstream buffers directly, like the classic engine.
+    for (std::uint32_t p = sh.port_begin; p < sh.port_end; ++p) {
+        const std::int32_t down = out_to_in_[p];
+        if (!free_snap_.empty()) {
+            std::int64_t free = static_cast<std::int64_t>(
+                buffer_depth_);
+            if (down >= 0) {
+                free = ideal_
+                    ? static_cast<std::int64_t>(buffer_depth_) -
+                        in_ports_[static_cast<std::uint32_t>(down)]
+                            .fifo_size
+                    : credits_[p];
+            }
+            free_snap_[p] =
+                static_cast<std::uint16_t>(free < 0 ? 0 : free);
+        }
+        if (!regional_snap_.empty()) {
+            std::uint32_t r =
+                static_cast<std::uint32_t>(blocked_ewma_[p]);
+            if (down >= 0)
+                r += router_blocked_[port_router_[
+                    static_cast<std::uint32_t>(down)]];
+            regional_snap_[p] = r;
+        }
+    }
+}
+
+void
+VcNetwork::updateCongestion(Shard &sh)
+{
+    // Same Q16 blocked EWMA as the classic engine: an owned output
+    // VC either forwarded this cycle or sat blocked (no credits, an
+    // upstream bubble, or a lost switch allocation).
+    constexpr std::int32_t kOne = 1 << 16;
+    constexpr int kShift = 6;
+    for (std::uint32_t p = sh.port_begin; p < sh.port_end; ++p) {
+        const bool blocked = out_ports_[p].owner != kNoSlot &&
+            fwd_stamp_[p] != cycle_;
+        blocked_ewma_[p] +=
+            ((blocked ? kOne : 0) - blocked_ewma_[p]) >> kShift;
+    }
+    for (NodeId v = sh.node_begin; v < sh.node_end; ++v) {
+        std::uint32_t sum = 0;
+        for (int d = 0; d < topo_.numDirs(); ++d)
+            sum += static_cast<std::uint32_t>(
+                blocked_ewma_[inPortId(v, d)]);
+        router_blocked_[v] = sum;
     }
 }
 

@@ -67,6 +67,7 @@
 #include "sim/flat_queue.hpp"
 #include "sim/packet.hpp"
 #include "sim/packet_pool.hpp"
+#include "select/factory.hpp"
 #include "sim/selection.hpp"
 #include "sim/shard.hpp"
 #include "traffic/pattern.hpp"
@@ -276,6 +277,10 @@ class VcNetwork : public NetworkEngine
     void compactActive(Shard &sh);
     void recordHeldPorts(Shard &sh);
     void drainMailboxes(std::uint32_t s);
+    /** Publish cycle-start congestion snapshots for the policy. */
+    void snapshotCongestion(Shard &sh);
+    /** Fold this cycle's channel outcomes into the blocked EWMAs. */
+    void updateCongestion(Shard &sh);
     void serialTail();
     void mergeCounters();
     /** File a credit for @p out_port to land credit_delay_ cycles
@@ -366,6 +371,22 @@ class VcNetwork : public NetworkEngine
     std::vector<ArrivalProcess> arrivals_;
     std::vector<double> arrival_due_;
     Rng router_rng_;
+
+    // ----- output-selection policy -----------------------------------
+    /** Policy consulted by gatherBid (RC/VA stage). */
+    SelectionPolicyPtr sel_;
+    SelectionNeeds sel_needs_;   ///< Which snapshots to maintain.
+    /** Cycle-start credits (free downstream slots) per output VC. */
+    std::vector<std::uint16_t> free_snap_;
+    /** Cycle-start regional congestion per output: own blocked EWMA
+     * plus the downstream router's EWMA total. */
+    std::vector<std::uint32_t> regional_snap_;
+    /** Q16 fixed-point blocked EWMA per output VC. */
+    std::vector<std::int32_t> blocked_ewma_;
+    /** Per-router sum of its network outputs' blocked EWMAs. */
+    std::vector<std::uint32_t> router_blocked_;
+    /** Last cycle each output VC forwarded a flit. */
+    std::vector<std::uint64_t> fwd_stamp_;
 
     PacketPool packets_;
     PacketId next_packet_id_ = 0;

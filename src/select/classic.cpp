@@ -1,3 +1,12 @@
+/**
+ * @file
+ * The classic enum-based selection kernels (declared in
+ * sim/selection.hpp). They live in the select library so the adapter
+ * policies can delegate to them for exact behavioral equivalence;
+ * input selection stays enum-based — the policy layer governs output
+ * selection only, where the adaptiveness lives.
+ */
+
 #include "sim/selection.hpp"
 
 #include "util/logging.hpp"
@@ -21,6 +30,11 @@ selectOutput(OutputSelection policy, DirectionSet candidates,
             rng.nextBounded(static_cast<std::size_t>(
                 candidates.size()))));
       case OutputSelection::StraightFirst:
+        // "Straight" is only defined relative to an arrival
+        // direction. At the injection port (in_dir == nullopt) —
+        // and whenever continuing straight is illegal or busy —
+        // the policy degrades to LowestDim: the lowest direction
+        // id among the candidates.
         if (in_dir && candidates.contains(*in_dir))
             return *in_dir;
         return candidates.first();

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Construct selection policies by name (SimConfig::selection_policy,
+ * bench --sel=<name>), mirroring the routing-algorithm factory.
+ *
+ * Registered names:
+ *   lowest-dim, highest-dim, random, straight-first
+ *       — adapters for the classic OutputSelection enums (exact
+ *         behavioral no-ops; `random` draws the shared router RNG
+ *         and therefore pins the engine to one shard)
+ *   hashed
+ *       — deterministic "random-like" spread via the VTR
+ *         hash_combine scheme; shards freely
+ *   local-congestion
+ *       — most free buffer slots / credits on the candidate outputs
+ *   regional
+ *       — lowest blocked-EWMA congestion over the output channel
+ *         plus its 1-hop downstream neighborhood
+ *   lookahead
+ *       — smallest precompiled residual cost at the downstream
+ *         router (select/lookahead.hpp)
+ */
+
+#ifndef TURNMODEL_SELECT_FACTORY_HPP
+#define TURNMODEL_SELECT_FACTORY_HPP
+
+#include <string>
+#include <vector>
+
+#include "core/routing.hpp"
+#include "select/policy.hpp"
+
+namespace turnmodel {
+
+/**
+ * Build the named policy. @p routing is the engine's route decider
+ * (the lookahead table is compiled against it); adapters ignore it.
+ * Unknown names are fatal, listing every registered policy.
+ */
+SelectionPolicyPtr makeSelectionPolicy(const std::string &name,
+                                       const RoutingAlgorithm &routing);
+
+/** Every name makeSelectionPolicy accepts, in listing order. */
+std::vector<std::string> availableSelectionPolicyNames();
+
+} // namespace turnmodel
+
+#endif // TURNMODEL_SELECT_FACTORY_HPP

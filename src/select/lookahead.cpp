@@ -1,0 +1,78 @@
+#include "select/lookahead.hpp"
+
+#include "topology/topology.hpp"
+
+namespace turnmodel {
+
+LookaheadCostTable::LookaheadCostTable(const RoutingAlgorithm &routing)
+    : nodes_(routing.topology().numNodes()),
+      cost_(nodes_ * nodes_, kUnreachable)
+{
+    const Topology &topo = routing.topology();
+    const NodeId n = static_cast<NodeId>(nodes_);
+
+    // Per destination: collect the reverse adjacency of the legal
+    // route edges (v -> neighbor(v, d) for d in the injection-state
+    // routeSet), then BFS outward from the destination. All edges
+    // cost one hop, so BFS levels are exact minima.
+    std::vector<std::vector<NodeId>> preds(nodes_);
+    std::vector<NodeId> queue;
+    queue.reserve(nodes_);
+    for (NodeId dest = 0; dest < n; ++dest) {
+        for (std::vector<NodeId> &p : preds)
+            p.clear();
+        for (NodeId v = 0; v < n; ++v) {
+            if (v == dest)
+                continue;
+            for (Direction d :
+                 routing.routeSet(v, std::nullopt, dest)) {
+                const auto w = topo.neighbor(v, d);
+                if (w)
+                    preds[*w].push_back(v);
+            }
+        }
+        std::uint16_t *row =
+            &cost_[static_cast<std::size_t>(dest) * nodes_];
+        row[dest] = 0;
+        queue.clear();
+        queue.push_back(dest);
+        for (std::size_t head = 0; head < queue.size(); ++head) {
+            const NodeId w = queue[head];
+            const std::uint16_t c = row[w];
+            for (const NodeId v : preds[w]) {
+                if (row[v] == kUnreachable) {
+                    row[v] = static_cast<std::uint16_t>(c + 1);
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+}
+
+LookaheadPolicy::LookaheadPolicy(const RoutingAlgorithm &routing)
+    : topo_(routing.topology()), table_(routing)
+{
+}
+
+Direction
+LookaheadPolicy::pick(const SelectionQuery &q) const
+{
+    std::uint32_t best = 0xffffffffu;
+    DirectionSet tied;
+    for (Direction d : q.candidates) {
+        const auto w = topo_.neighbor(q.here, d);
+        const std::uint32_t c = w
+            ? table_.cost(*w, q.dest)
+            : LookaheadCostTable::kUnreachable;
+        if (c < best) {
+            best = c;
+            tied = DirectionSet{};
+            tied.insert(d);
+        } else if (c == best) {
+            tied.insert(d);
+        }
+    }
+    return pickHashed(tied, q);
+}
+
+} // namespace turnmodel

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Precompiled per-(node, dest) residual-cost table for the
+ * `lookahead` selection policy — the VTR NoC router's cost-map idiom
+ * applied to turn-model routing. Like CompiledRoutingTable, the
+ * table is a dense immutable snapshot built once per engine: entry
+ * (v, dest) is the minimum hop count from v to dest along moves the
+ * routing algorithm actually permits (injection-state routeSet
+ * edges), so the policy steers headers toward the shortest remaining
+ * legal path rather than the raw geometric distance.
+ */
+
+#ifndef TURNMODEL_SELECT_LOOKAHEAD_HPP
+#define TURNMODEL_SELECT_LOOKAHEAD_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "core/routing.hpp"
+#include "select/policy.hpp"
+
+namespace turnmodel {
+
+/** Dense residual-cost snapshot: cost(node, dest) in hops. */
+class LookaheadCostTable
+{
+  public:
+    /** Cost marker for (node, dest) pairs no legal path connects. */
+    static constexpr std::uint16_t kUnreachable = 0xffff;
+
+    /**
+     * Build by reverse BFS per destination over the algorithm's
+     * injection-state route edges: O(nodes^2 * dirs) once, O(1)
+     * lookups forever after.
+     */
+    explicit LookaheadCostTable(const RoutingAlgorithm &routing);
+
+    /** Minimum legal hops from @p node to @p dest. */
+    std::uint16_t
+    cost(NodeId node, NodeId dest) const
+    {
+        return cost_[static_cast<std::size_t>(dest) * nodes_ + node];
+    }
+
+    std::size_t numNodes() const { return nodes_; }
+
+  private:
+    std::size_t nodes_;
+    std::vector<std::uint16_t> cost_;
+};
+
+/**
+ * Selection policy minimizing the residual cost at the downstream
+ * router: for each candidate direction d, score the neighbor's
+ * cost-to-dest and take the minimum; hashed tie-break.
+ */
+class LookaheadPolicy : public SelectionPolicy
+{
+  public:
+    explicit LookaheadPolicy(const RoutingAlgorithm &routing);
+
+    std::string name() const override { return "lookahead"; }
+    Direction pick(const SelectionQuery &q) const override;
+
+  private:
+    const Topology &topo_;
+    LookaheadCostTable table_;
+};
+
+} // namespace turnmodel
+
+#endif // TURNMODEL_SELECT_LOOKAHEAD_HPP

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * The built-in selection policies and their factory. The enum
+ * adapters delegate to the classic selectOutput kernel so their
+ * behavior (including RNG consumption order) is bit-identical to the
+ * pre-policy-layer engines; the congestion policies read only the
+ * cycle-start snapshots the engines publish, so they stay
+ * deterministic at any shard or job count.
+ */
+
+#include "select/factory.hpp"
+
+#include <sstream>
+
+#include "select/lookahead.hpp"
+#include "sim/selection.hpp"
+#include "util/logging.hpp"
+
+namespace turnmodel {
+namespace {
+
+/** Exact adapter for one classic OutputSelection enum. */
+class EnumAdapterPolicy : public SelectionPolicy
+{
+  public:
+    explicit EnumAdapterPolicy(OutputSelection policy)
+        : policy_(policy)
+    {
+    }
+
+    std::string
+    name() const override
+    {
+        // Mirrors toString(OutputSelection) without pulling the sim
+        // library into select (sim links select, not the reverse).
+        switch (policy_) {
+          case OutputSelection::LowestDim:
+            return "lowest-dim";
+          case OutputSelection::HighestDim:
+            return "highest-dim";
+          case OutputSelection::Random:
+            return "random";
+          case OutputSelection::StraightFirst:
+            return "straight-first";
+        }
+        return "lowest-dim";
+    }
+
+    bool
+    consumesGlobalRng() const override
+    {
+        return policy_ == OutputSelection::Random;
+    }
+
+    Direction
+    pick(const SelectionQuery &q) const override
+    {
+        return selectOutput(policy_, q.candidates, q.in_dir, *q.rng);
+    }
+
+  private:
+    OutputSelection policy_;
+};
+
+/** Hashed tie-break over the whole candidate set: pure, shardable. */
+class HashedPolicy : public SelectionPolicy
+{
+  public:
+    std::string name() const override { return "hashed"; }
+
+    Direction
+    pick(const SelectionQuery &q) const override
+    {
+        return pickHashed(q.candidates, q);
+    }
+};
+
+/** Most free downstream slots (credits) wins; hashed tie-break. */
+class LocalCongestionPolicy : public SelectionPolicy
+{
+  public:
+    std::string name() const override { return "local-congestion"; }
+
+    SelectionNeeds
+    needs() const override
+    {
+        SelectionNeeds n;
+        n.free_slots = true;
+        return n;
+    }
+
+    Direction
+    pick(const SelectionQuery &q) const override
+    {
+        int best = -1;
+        DirectionSet tied;
+        for (Direction d : q.candidates) {
+            const int free = q.free_slots[q.port_base + d.id()];
+            if (free > best) {
+                best = free;
+                tied = DirectionSet{};
+                tied.insert(d);
+            } else if (free == best) {
+                tied.insert(d);
+            }
+        }
+        return pickHashed(tied, q);
+    }
+};
+
+/**
+ * Lowest regional congestion (own channel's blocked EWMA plus the
+ * 1-hop downstream router's total) wins; ties fall back to the most
+ * free slots, then to the hash.
+ */
+class RegionalPolicy : public SelectionPolicy
+{
+  public:
+    std::string name() const override { return "regional"; }
+
+    SelectionNeeds
+    needs() const override
+    {
+        SelectionNeeds n;
+        n.free_slots = true;
+        n.regional = true;
+        return n;
+    }
+
+    Direction
+    pick(const SelectionQuery &q) const override
+    {
+        std::uint32_t best_c = 0xffffffffu;
+        int best_f = -1;
+        DirectionSet tied;
+        for (Direction d : q.candidates) {
+            const std::uint32_t idx = q.port_base + d.id();
+            const std::uint32_t c = q.congestion[idx];
+            const int f = q.free_slots[idx];
+            if (c < best_c || (c == best_c && f > best_f)) {
+                best_c = c;
+                best_f = f;
+                tied = DirectionSet{};
+                tied.insert(d);
+            } else if (c == best_c && f == best_f) {
+                tied.insert(d);
+            }
+        }
+        return pickHashed(tied, q);
+    }
+};
+
+} // namespace
+
+SelectionPolicyPtr
+makeSelectionPolicy(const std::string &name,
+                    const RoutingAlgorithm &routing)
+{
+    if (name == "lowest-dim" || name == "highest-dim" ||
+        name == "random" || name == "straight-first") {
+        const OutputSelection policy = name == "lowest-dim"
+            ? OutputSelection::LowestDim
+            : name == "highest-dim" ? OutputSelection::HighestDim
+            : name == "random"      ? OutputSelection::Random
+                                    : OutputSelection::StraightFirst;
+        return std::make_unique<EnumAdapterPolicy>(policy);
+    }
+    if (name == "hashed")
+        return std::make_unique<HashedPolicy>();
+    if (name == "local-congestion")
+        return std::make_unique<LocalCongestionPolicy>();
+    if (name == "regional")
+        return std::make_unique<RegionalPolicy>();
+    if (name == "lookahead")
+        return std::make_unique<LookaheadPolicy>(routing);
+
+    std::ostringstream known;
+    for (const std::string &n : availableSelectionPolicyNames())
+        known << (known.tellp() > 0 ? ", " : "") << n;
+    TM_FATAL("unknown selection policy '", name,
+             "' (available: ", known.str(), ")");
+}
+
+std::vector<std::string>
+availableSelectionPolicyNames()
+{
+    return {"lowest-dim",      "highest-dim", "random",
+            "straight-first",  "hashed",      "local-congestion",
+            "regional",        "lookahead"};
+}
+
+} // namespace turnmodel

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * The output-selection policy layer: a virtual policy object both
+ * engines consult when a routed header has more than one free legal
+ * output. Policies are pure functions of the query plus cycle-start
+ * congestion snapshots the engines maintain, so every policy except
+ * the `random` adapter is deterministic at any --jobs and any
+ * --sim-threads shard count.
+ *
+ * Tie-breaking borrows VTR's NoC router idiom: a hash_combine fold
+ * over the selection identity (router, destination, packet id),
+ * scrambled murmur-style, picks among equal-score candidates. That
+ * gives a "random-like" spread without consuming the shared router
+ * RNG stream — the property that lets congestion policies run
+ * sharded where OutputSelection::Random must serialize.
+ */
+
+#ifndef TURNMODEL_SELECT_POLICY_HPP
+#define TURNMODEL_SELECT_POLICY_HPP
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/direction_set.hpp"
+#include "topology/coordinates.hpp"
+#include "topology/direction.hpp"
+#include "util/rng.hpp"
+
+namespace turnmodel {
+
+/**
+ * What engine-maintained congestion state a policy reads. The
+ * engines size and fill the snapshot arrays only when asked, so the
+ * adapter policies keep the hot loop exactly as cheap as the enums
+ * they replace.
+ */
+struct SelectionNeeds
+{
+    /** Cycle-start free buffer slots / credits per output port. */
+    bool free_slots = false;
+
+    /** Blocked-EWMA regional congestion per output port. */
+    bool regional = false;
+};
+
+/**
+ * One selection decision. The engines fill every field they have;
+ * snapshot pointers are null unless the policy's needs() asked for
+ * them. Output port ids are router-local: the output for direction d
+ * at the query's router is `port_base + d.id()`.
+ */
+struct SelectionQuery
+{
+    /** Legal outputs whose channel is free. Never empty. */
+    DirectionSet candidates;
+
+    /** Arrival direction; nullopt at the injection port. */
+    std::optional<Direction> in_dir;
+
+    NodeId here = 0;   ///< Router making the decision.
+    NodeId dest = 0;   ///< Packet destination.
+
+    /** Deterministic packet id (hash salt for tie-breaking). */
+    std::uint64_t packet = 0;
+
+    /** Output port id of direction 0 at `here`. */
+    std::uint32_t port_base = 0;
+
+    /** Cycle-start free slots per port, or null (needs.free_slots). */
+    const std::uint16_t *free_slots = nullptr;
+
+    /** Cycle-start regional congestion, or null (needs.regional). */
+    const std::uint32_t *congestion = nullptr;
+
+    /** Shared router RNG; only the `random` adapter may draw. */
+    Rng *rng = nullptr;
+};
+
+/** A named output-selection policy, built by makeSelectionPolicy. */
+class SelectionPolicy
+{
+  public:
+    virtual ~SelectionPolicy() = default;
+
+    /** Factory name (matches makeSelectionPolicy's argument). */
+    virtual std::string name() const = 0;
+
+    /** Which engine-maintained snapshots pick() reads. */
+    virtual SelectionNeeds needs() const { return {}; }
+
+    /**
+     * True when pick() draws from the shared router RNG stream in
+     * visit order — a serial artifact that pins the engine to one
+     * shard (only the `random` adapter does).
+     */
+    virtual bool consumesGlobalRng() const { return false; }
+
+    /** Choose one direction from q.candidates. */
+    virtual Direction pick(const SelectionQuery &q) const = 0;
+};
+
+using SelectionPolicyPtr = std::unique_ptr<SelectionPolicy>;
+
+/** hash_combine fold step (boost/VTR scheme, 64-bit golden ratio). */
+constexpr std::uint64_t
+selectionHashCombine(std::uint64_t seed, std::uint64_t value)
+{
+    return seed ^
+        (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+/** Murmur-style finalizer so nearby identities spread apart. */
+constexpr std::uint32_t
+selectionHashScramble(std::uint32_t k)
+{
+    k *= 0xcc9e2d51u;
+    k = (k << 15) | (k >> 17);
+    k *= 0x1b873593u;
+    return k;
+}
+
+/**
+ * Deterministic tie-break hash over the selection identity: same
+ * (here, dest, packet) always hashes the same, independent of shard
+ * layout, job count, or visit order.
+ */
+constexpr std::uint32_t
+selectionHash(std::uint64_t here, std::uint64_t dest,
+              std::uint64_t packet)
+{
+    std::uint64_t seed = 0;
+    seed = selectionHashCombine(seed, here);
+    seed = selectionHashCombine(seed, dest);
+    seed = selectionHashCombine(seed, packet);
+    return selectionHashScramble(
+        static_cast<std::uint32_t>(seed ^ (seed >> 32)));
+}
+
+/** Hashed pick among @p set (used by every tie-breaking policy). */
+inline Direction
+pickHashed(DirectionSet set, const SelectionQuery &q)
+{
+    if (set.size() == 1)
+        return set.first();
+    const std::uint32_t h = selectionHash(q.here, q.dest, q.packet);
+    return set.nth(static_cast<int>(
+        h % static_cast<std::uint32_t>(set.size())));
+}
+
+} // namespace turnmodel
+
+#endif // TURNMODEL_SELECT_POLICY_HPP

@@ -13,6 +13,7 @@
 #define TURNMODEL_SIM_CONFIG_HPP
 
 #include <cstdint>
+#include <string>
 
 #include "obs/config.hpp"
 #include "traffic/workload.hpp"
@@ -121,6 +122,15 @@ struct SimConfig
 
     InputSelection input_selection = InputSelection::Fcfs;
     OutputSelection output_selection = OutputSelection::LowestDim;
+
+    /**
+     * Output-selection policy by factory name (see
+     * select/factory.hpp): adapters for the classic enums plus the
+     * congestion-aware policies (hashed, local-congestion, regional,
+     * lookahead). Empty (the default) derives the adapter matching
+     * output_selection, so existing configurations are untouched.
+     */
+    std::string selection_policy;
 
     /** Packet length distribution. */
     PacketLengthDist lengths = PacketLengthDist::paperBimodal();

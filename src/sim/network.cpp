@@ -44,8 +44,6 @@ Network::Network(const RoutingAlgorithm &routing,
     bid_blocked_at_.assign(total_ports, 0);
     out_freed_at_.assign(topo_.numNodes(), 0);
     arb_move_into_.assign(total_ports, -1);
-    ordered_bid_scan_ =
-        config_.output_selection == OutputSelection::Random;
 
     port_router_.resize(total_ports);
     port_local_.resize(total_ports);
@@ -88,17 +86,37 @@ Network::Network(const RoutingAlgorithm &routing,
         trace_sink_ = obs_->trace();
     }
 
-    // Shard plan. Serialization gates: the Random selection policies
-    // draw from the single router_rng_ stream in gather order, and
-    // the packet trace records events in global push order — both
-    // are serial artifacts by definition, so they pin the engine to
-    // one shard rather than weaken the determinism contract.
+    // Output-selection policy: explicit name, or the adapter for the
+    // classic enum. Built against the active route decider so the
+    // lookahead table compiles from the same snapshot the hot loop
+    // routes with. The congestion snapshots are sized only on
+    // demand, keeping the adapter path free of extra state.
+    sel_ = makeSelectionPolicy(config_.selection_policy.empty()
+                                   ? toString(config_.output_selection)
+                                   : config_.selection_policy,
+                               *decider_);
+    sel_needs_ = sel_->needs();
+    ordered_bid_scan_ = sel_->consumesGlobalRng();
+    if (sel_needs_.free_slots)
+        free_snap_.assign(total_ports, 0);
+    if (sel_needs_.regional) {
+        regional_snap_.assign(total_ports, 0);
+        blocked_ewma_.assign(total_ports, 0);
+        router_blocked_.assign(topo_.numNodes(), 0);
+        fwd_stamp_.assign(total_ports, ~0ULL);
+    }
+
+    // Shard plan. Serialization gates: a policy drawing from the
+    // single router_rng_ stream does so in gather order, and the
+    // packet trace records events in global push order — both are
+    // serial artifacts by definition, so they pin the engine to one
+    // shard rather than weaken the determinism contract.
     unsigned requested = config_.sim_threads != 0
         ? config_.sim_threads
         : std::thread::hardware_concurrency();
     if (requested == 0)
         requested = 1;
-    if (config_.output_selection == OutputSelection::Random ||
+    if (sel_->consumesGlobalRng() ||
         config_.input_selection == InputSelection::Random) {
         requested = 1;
     }
@@ -206,6 +224,14 @@ Network::stepShard(std::uint32_t s)
     Shard &sh = shards_[s];
     sh.moved = false;
 
+    // Snapshot cycle-start congestion for the selection policy. The
+    // sources (downstream buffer sizes, last cycle's EWMA totals)
+    // are frozen until the pop/push phases several barriers away,
+    // and the snapshot arrays are written and read by the owning
+    // shard only, so no extra barrier is needed.
+    if (sel_needs_.free_slots || sel_needs_.regional)
+        snapshotCongestion(sh);
+
     // Phase: sample arrivals (own RNG streams, staged locally).
     if (generate_) {
         generateSample(sh);
@@ -248,6 +274,8 @@ Network::stepShard(std::uint32_t s)
     compactActive(sh);
     injectFlits(sh);
     recordHeldPorts(sh);
+    if (sel_needs_.regional)
+        updateCongestion(sh);
     sync();
 
     // Phase: slot releases. Ejections during the push commit mail
@@ -362,10 +390,19 @@ Network::gatherBid(Shard &sh, std::uint32_t port)
             bid_blocked_at_[port] = cycle_ + 1;
             return;
         }
-        const Direction pick = selectOutput(
-            config_.output_selection, candidates, in_dir,
-            router_rng_);
-        preferred = inPortId(here, pick.id());
+        SelectionQuery q;
+        q.candidates = candidates;
+        q.in_dir = in_dir;
+        q.here = here;
+        q.dest = pkt.dest;
+        q.packet = static_cast<std::uint64_t>(pkt.id);
+        q.port_base = inPortId(here, 0);
+        q.free_slots =
+            free_snap_.empty() ? nullptr : free_snap_.data();
+        q.congestion =
+            regional_snap_.empty() ? nullptr : regional_snap_.data();
+        q.rng = &router_rng_;
+        preferred = inPortId(here, sel_->pick(q).id());
     }
     sh.bids.push_back({preferred, {port, in.header_arrival}});
 }
@@ -608,6 +645,8 @@ Network::popMoves(Shard &sh, std::uint32_t s)
         const Flit flit = fifoPop(m.from);
         if (chan_stats_)
             chan_stats_->recordForward(m.out, cycle_);
+        if (!fwd_stamp_.empty())
+            fwd_stamp_[m.out] = cycle_;
         if (flit.tail) {
             // The tail releases the channel and the buffer binding.
             out_ports_[m.out].owner = kNoSlot;
@@ -797,6 +836,56 @@ Network::recordHeldPorts(Shard &sh)
     for (std::uint32_t p = sh.port_begin; p < sh.port_end; ++p) {
         if (out_ports_[p].owner != kNoSlot)
             chan_stats_->recordHeld(p, cycle_);
+    }
+}
+
+void
+Network::snapshotCongestion(Shard &sh)
+{
+    // Own output ports only — the policy is consulted exclusively
+    // for bids at this shard's routers, and a bid's candidate
+    // outputs sit at the bidding port's own router.
+    for (std::uint32_t p = sh.port_begin; p < sh.port_end; ++p) {
+        const std::int32_t down = out_to_in_[p];
+        if (!free_snap_.empty()) {
+            free_snap_[p] = static_cast<std::uint16_t>(
+                down >= 0 ? buffer_depth_ -
+                        in_ports_[static_cast<std::uint32_t>(down)]
+                            .fifo_size
+                          : buffer_depth_);
+        }
+        if (!regional_snap_.empty()) {
+            std::uint32_t r =
+                static_cast<std::uint32_t>(blocked_ewma_[p]);
+            if (down >= 0)
+                r += router_blocked_[port_router_[
+                    static_cast<std::uint32_t>(down)]];
+            regional_snap_[p] = r;
+        }
+    }
+}
+
+void
+Network::updateCongestion(Shard &sh)
+{
+    // Mirror the observer's held-channel accounting: an owned output
+    // either forwarded a flit this cycle or sat blocked. The EWMA is
+    // Q16 fixed point with a 1/64 step; the arithmetic right shift
+    // keeps the decay exact for negative deltas.
+    constexpr std::int32_t kOne = 1 << 16;
+    constexpr int kShift = 6;
+    for (std::uint32_t p = sh.port_begin; p < sh.port_end; ++p) {
+        const bool blocked = out_ports_[p].owner != kNoSlot &&
+            fwd_stamp_[p] != cycle_;
+        blocked_ewma_[p] +=
+            ((blocked ? kOne : 0) - blocked_ewma_[p]) >> kShift;
+    }
+    for (NodeId v = sh.node_begin; v < sh.node_end; ++v) {
+        std::uint32_t sum = 0;
+        for (int d = 0; d < topo_.numDirs(); ++d)
+            sum += static_cast<std::uint32_t>(
+                blocked_ewma_[inPortId(v, d)]);
+        router_blocked_[v] = sum;
     }
 }
 

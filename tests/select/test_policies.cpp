@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Unit tests for the selection-policy layer: the enum adapters must
+ * be exact stand-ins for the classic selectOutput kernel (including
+ * RNG consumption), the congestion policies must score candidates as
+ * documented with the hashed tie-break, and the factory must accept
+ * exactly the registered names.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+
+#include "core/routing/factory.hpp"
+#include "select/factory.hpp"
+#include "select/lookahead.hpp"
+#include "sim/selection.hpp"
+#include "topology/mesh.hpp"
+
+namespace turnmodel {
+namespace {
+
+/** Fixture providing a routing instance the factory can compile
+ * lookahead tables against. */
+class SelectionPolicies : public ::testing::Test
+{
+  protected:
+    NDMesh mesh_ = NDMesh::mesh2D(4, 4);
+    RoutingPtr routing_ = makeRouting("xy", mesh_);
+
+    SelectionPolicyPtr
+    make(const std::string &name) const
+    {
+        return makeSelectionPolicy(name, *routing_);
+    }
+};
+
+using SelectionFactory = SelectionPolicies;
+using LookaheadTable = SelectionPolicies;
+
+/** A query with no congestion state, for the stateless policies. */
+SelectionQuery
+query(DirectionSet candidates, std::optional<Direction> in_dir,
+      Rng *rng = nullptr)
+{
+    SelectionQuery q;
+    q.candidates = candidates;
+    q.in_dir = in_dir;
+    q.here = 5;
+    q.dest = 10;
+    q.packet = 42;
+    q.rng = rng;
+    return q;
+}
+
+TEST_F(SelectionPolicies, AdaptersMatchSelectOutputExhaustively)
+{
+    // Every non-empty candidate subset of the four 2D directions,
+    // with every possible arrival direction (and none): the adapter
+    // must return exactly what the classic kernel returns, drawing
+    // from an identically seeded RNG in the same order.
+    const struct
+    {
+        const char *name;
+        OutputSelection policy;
+    } adapters[] = {
+        {"lowest-dim", OutputSelection::LowestDim},
+        {"highest-dim", OutputSelection::HighestDim},
+        {"random", OutputSelection::Random},
+        {"straight-first", OutputSelection::StraightFirst},
+    };
+    for (const auto &[name, policy] : adapters) {
+        const SelectionPolicyPtr sel = make(name);
+        EXPECT_EQ(sel->name(), name);
+        Rng rng_policy(99);
+        Rng rng_kernel(99);
+        for (DirectionSet::Bits bits = 1; bits < 16; ++bits) {
+            const DirectionSet c = DirectionSet::fromBits(bits);
+            for (int in = -1; in < 4; ++in) {
+                const std::optional<Direction> in_dir = in < 0
+                    ? std::nullopt
+                    : std::optional<Direction>(Direction::fromId(
+                          static_cast<DirId>(in)));
+                const Direction got =
+                    sel->pick(query(c, in_dir, &rng_policy));
+                const Direction want =
+                    selectOutput(policy, c, in_dir, rng_kernel);
+                EXPECT_EQ(got, want)
+                    << name << " candidates=" << toString(c);
+            }
+        }
+        // The two streams stayed in lockstep, so the adapter drew
+        // exactly as often as the kernel did.
+        EXPECT_EQ(rng_policy(), rng_kernel()) << name;
+    }
+}
+
+TEST_F(SelectionPolicies, StraightFirstInjectionFallsBackToLowestDim)
+{
+    // "Straight" is undefined at the injection port (no arrival
+    // direction) — the documented fallback is the lowest direction
+    // id, not an arbitrary or uninitialized pick.
+    const SelectionPolicyPtr sel = make("straight-first");
+    Rng rng(1);
+    const DirectionSet c{dir2d::North, dir2d::East};
+    EXPECT_EQ(sel->pick(query(c, std::nullopt, &rng)), dir2d::East);
+    // Same fallback when continuing straight is illegal or busy.
+    EXPECT_EQ(sel->pick(query(c, dir2d::South, &rng)), dir2d::East);
+    // With a straight candidate it still goes straight.
+    EXPECT_EQ(sel->pick(query(c, dir2d::North, &rng)), dir2d::North);
+}
+
+TEST_F(SelectionPolicies, HashedIsPureAndCoversCandidates)
+{
+    const SelectionPolicyPtr sel = make("hashed");
+    const DirectionSet c{dir2d::East, dir2d::North, dir2d::South};
+
+    // Pure: no RNG, and the same identity always picks the same
+    // direction.
+    SelectionQuery q = query(c, std::nullopt, nullptr);
+    const Direction first = sel->pick(q);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(sel->pick(q), first);
+
+    // Varying the packet id spreads picks over every candidate, and
+    // never outside the set.
+    std::set<DirId> seen;
+    for (std::uint64_t packet = 0; packet < 64; ++packet) {
+        q.packet = packet;
+        const Direction d = sel->pick(q);
+        EXPECT_TRUE(c.contains(d));
+        seen.insert(d.id());
+    }
+    EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST_F(SelectionPolicies, LocalCongestionPicksMostFreeSlots)
+{
+    const SelectionPolicyPtr sel = make("local-congestion");
+    EXPECT_TRUE(sel->needs().free_slots);
+    EXPECT_FALSE(sel->needs().regional);
+    EXPECT_FALSE(sel->consumesGlobalRng());
+
+    const DirectionSet c{dir2d::East, dir2d::North, dir2d::South};
+    SelectionQuery q = query(c, std::nullopt);
+    // Ports indexed east=1, south=2, north=3 (dense direction ids).
+    const std::uint16_t free[] = {0, 2, 7, 5};
+    q.port_base = 0;
+    q.free_slots = free;
+    EXPECT_EQ(sel->pick(q), dir2d::South);
+
+    // A tie goes to the hashed pick over the tied set only.
+    const std::uint16_t tied_free[] = {0, 6, 6, 1};
+    q.free_slots = tied_free;
+    const DirectionSet tied{dir2d::East, dir2d::South};
+    EXPECT_EQ(sel->pick(q), pickHashed(tied, q));
+}
+
+TEST_F(SelectionPolicies, RegionalPrefersLowCongestionThenFreeSlots)
+{
+    const SelectionPolicyPtr sel = make("regional");
+    EXPECT_TRUE(sel->needs().free_slots);
+    EXPECT_TRUE(sel->needs().regional);
+
+    const DirectionSet c{dir2d::East, dir2d::North, dir2d::South};
+    SelectionQuery q = query(c, std::nullopt);
+    q.port_base = 0;
+    const std::uint16_t free[] = {0, 1, 9, 9};
+    const std::uint32_t congestion[] = {0, 100, 900, 900};
+    q.free_slots = free;
+    q.congestion = congestion;
+    // East is the least congested despite having the fewest slots.
+    EXPECT_EQ(sel->pick(q), dir2d::East);
+
+    // Equal congestion: free slots break the tie.
+    const std::uint32_t flat[] = {0, 500, 500, 500};
+    const std::uint16_t slots[] = {0, 1, 3, 2};
+    q.congestion = flat;
+    q.free_slots = slots;
+    EXPECT_EQ(sel->pick(q), dir2d::South);
+
+    // Fully tied: the hashed pick, over the whole candidate set.
+    const std::uint16_t even[] = {0, 4, 4, 4};
+    q.free_slots = even;
+    EXPECT_EQ(sel->pick(q), pickHashed(c, q));
+}
+
+TEST_F(SelectionPolicies, HashedTieBreakIsShardLayoutFree)
+{
+    // The hash depends only on (here, dest, packet) — nothing about
+    // ports, shard ids, or visit order — so any engine layout
+    // produces the same tie-break.
+    const std::uint32_t h = selectionHash(7, 13, 1000);
+    EXPECT_EQ(h, selectionHash(7, 13, 1000));
+    EXPECT_NE(h, selectionHash(8, 13, 1000));
+    EXPECT_NE(h, selectionHash(7, 14, 1000));
+    EXPECT_NE(h, selectionHash(7, 13, 1001));
+}
+
+TEST_F(LookaheadTable, XyCostsAreManhattanDistances)
+{
+    // Dimension-order routing permits exactly the minimal paths, so
+    // the residual cost from any node is the Manhattan distance.
+    const LookaheadCostTable table(*routing_);
+    ASSERT_EQ(table.numNodes(), 16u);
+    for (NodeId v = 0; v < 16; ++v) {
+        for (NodeId dest = 0; dest < 16; ++dest) {
+            const Coords a = mesh_.coords(v);
+            const Coords b = mesh_.coords(dest);
+            const int manhattan = std::abs(a[0] - b[0]) +
+                std::abs(a[1] - b[1]);
+            EXPECT_EQ(table.cost(v, dest), manhattan)
+                << "v=" << v << " dest=" << dest;
+        }
+    }
+}
+
+TEST_F(LookaheadTable, PolicyMovesTowardTheDestination)
+{
+    // From (0,0) to (3,0): stepping east leaves 2 hops, stepping
+    // north leaves 4 — lookahead must pick east even though both
+    // are offered.
+    const SelectionPolicyPtr sel = make("lookahead");
+    SelectionQuery q;
+    q.candidates = DirectionSet{dir2d::East, dir2d::North};
+    q.here = mesh_.node({0, 0});
+    q.dest = mesh_.node({3, 0});
+    q.packet = 7;
+    EXPECT_EQ(sel->pick(q), dir2d::East);
+
+    // Equidistant neighbors fall back to the hashed tie-break.
+    q.dest = mesh_.node({2, 2});
+    EXPECT_EQ(sel->pick(q), pickHashed(q.candidates, q));
+}
+
+TEST_F(SelectionFactory, RegisteredNamesConstructAndRoundTrip)
+{
+    const std::vector<std::string> names =
+        availableSelectionPolicyNames();
+    ASSERT_EQ(names.size(), 8u);
+    for (const std::string &name : names) {
+        const SelectionPolicyPtr sel = make(name);
+        ASSERT_NE(sel, nullptr) << name;
+        EXPECT_EQ(sel->name(), name);
+    }
+}
+
+TEST_F(SelectionFactory, OnlyRandomConsumesGlobalRng)
+{
+    for (const std::string &name : availableSelectionPolicyNames()) {
+        EXPECT_EQ(make(name)->consumesGlobalRng(), name == "random")
+            << name;
+    }
+}
+
+TEST_F(SelectionFactory, OnlyCongestionPoliciesDeclareNeeds)
+{
+    for (const std::string &name : availableSelectionPolicyNames()) {
+        const SelectionNeeds needs = make(name)->needs();
+        EXPECT_EQ(needs.free_slots,
+                  name == "local-congestion" || name == "regional")
+            << name;
+        EXPECT_EQ(needs.regional, name == "regional") << name;
+    }
+}
+
+TEST_F(SelectionFactory, UnknownNameDiesListingPolicies)
+{
+    EXPECT_DEATH({ (void)make("bogus"); },
+                 "unknown selection policy 'bogus'");
+    EXPECT_DEATH({ (void)make("bogus"); }, "lookahead");
+}
+
+} // namespace
+} // namespace turnmodel

@@ -21,8 +21,15 @@ Two thread-aware rules refine the plain keep-tolerance gate:
   older baselines without it skip the check). A sharded engine that
   stops scaling is as much a regression as a slow serial loop.
 
+Repeatable --require NAME turns a scenario's presence into part of
+the gate: the run fails when the named scenario is missing from
+either file. The comparison otherwise tolerates asymmetric scenario
+sets (a candidate measured with --only, a baseline predating a new
+scenario), so without --require a gated scenario could silently
+drop out of the measurement.
+
 Usage: perf_compare.py BASELINE CANDIDATE [--threshold FRACTION]
-                       [--min-scaling RATIO]
+                       [--min-scaling RATIO] [--require NAME]...
 Exit status: 0 when no scenario regresses past the threshold,
 1 on regression, 2 on malformed input.
 """
@@ -110,6 +117,14 @@ def main():
         help="required 4-thread speedup over 1 thread on hosts with "
         ">= 4 CPUs (default 2.0)",
     )
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="fail unless this scenario is present in both files "
+        "(repeatable)",
+    )
     args = parser.parse_args()
     if not 0.0 < args.threshold < 1.0:
         parser.error("--threshold must be in (0, 1)")
@@ -118,6 +133,19 @@ def main():
 
     base, base_threads, _ = load_doc(args.baseline)
     cand, cand_threads, cand_cpus = load_doc(args.candidate)
+
+    required_failures = []
+    for name in args.require:
+        missing = [
+            label
+            for label, doc in (("baseline", base), ("candidate", cand))
+            if name not in doc
+        ]
+        if missing:
+            required_failures.append(
+                f"{name}: required scenario missing from "
+                f"{' and '.join(missing)}"
+            )
 
     width = max(len(n) for n in base) + 2
     print(
@@ -154,6 +182,7 @@ def main():
     failures += scaling_failures(
         cand, cand_threads, cand_cpus, args.min_scaling
     )
+    failures += required_failures
 
     if failures:
         print(f"\nFAIL: {len(failures)} gate violation(s):")

@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Validate a turnmodel selection-ablation JSON document.
+
+Checks a "turnmodel-sel-ablation-v1" document (bench/ablation_selection
+--json=PATH): required keys and types, non-empty declared grid axes,
+per-row fields and value ranges, every row's (pattern, algorithm,
+selection_policy) drawn from the declared axes, and grid completeness —
+exactly one row per declared (pattern, algorithm, policy) cell, so a
+silently dropped cell fails CI instead of shrinking the grid.
+
+Deterministic-control check: the "xy" algorithm routes with singleton
+candidate sets, so (when present in the grid) its rows must be
+identical across selection policies within each pattern — a cheap
+end-to-end proof that the policy layer only acts on real choices.
+
+Usage: validate_selection_schema.py FILE
+Exit status 0 on success; 1 with a message on the first violation.
+"""
+
+import argparse
+import json
+import sys
+
+
+class Invalid(Exception):
+    pass
+
+
+def require(cond, msg):
+    if not cond:
+        raise Invalid(msg)
+
+
+def check_keys(obj, spec, where):
+    require(isinstance(obj, dict), f"{where}: expected object")
+    for key, types in spec.items():
+        require(key in obj, f"{where}: missing key '{key}'")
+        require(
+            isinstance(obj[key], types),
+            f"{where}: '{key}' has type {type(obj[key]).__name__}",
+        )
+
+
+def check_axis(doc, key):
+    axis = doc[key]
+    require(axis, f"{key}: empty axis")
+    for name in axis:
+        require(isinstance(name, str) and name,
+                f"{key}: bad entry {name!r}")
+    require(len(set(axis)) == len(axis), f"{key}: duplicate entries")
+    return axis
+
+
+def check_row(row, i, patterns, algorithms, policies):
+    where = f"rows[{i}]"
+    check_keys(
+        row,
+        {
+            "pattern": str,
+            "algorithm": str,
+            "selection_policy": str,
+            "injection_rate": (int, float),
+            "throughput_flits_per_us": (int, float),
+            "avg_latency_us": (int, float),
+            "delivered_ratio": (int, float),
+            "saturated": bool,
+        },
+        where,
+    )
+    require(row["pattern"] in patterns,
+            f"{where}: undeclared pattern '{row['pattern']}'")
+    require(row["algorithm"] in algorithms,
+            f"{where}: undeclared algorithm '{row['algorithm']}'")
+    require(row["selection_policy"] in policies,
+            f"{where}: undeclared policy '{row['selection_policy']}'")
+    require(row["injection_rate"] > 0.0,
+            f"{where}: non-positive injection_rate")
+    require(row["throughput_flits_per_us"] >= 0.0,
+            f"{where}: negative throughput")
+    require(row["avg_latency_us"] >= 0.0, f"{where}: negative latency")
+    require(0.0 <= row["delivered_ratio"] <= 1.0 + 1e-9,
+            f"{where}: delivered_ratio {row['delivered_ratio']} "
+            "outside [0, 1]")
+
+
+def check_control_rows(rows, patterns, policies):
+    """xy rows must not vary with the selection policy."""
+    for pattern in patterns:
+        reference = None
+        for row in rows:
+            if row["algorithm"] != "xy" or row["pattern"] != pattern:
+                continue
+            signature = (
+                row["injection_rate"],
+                row["throughput_flits_per_us"],
+                row["avg_latency_us"],
+                row["delivered_ratio"],
+                row["saturated"],
+            )
+            if reference is None:
+                reference = (row["selection_policy"], signature)
+            else:
+                require(
+                    signature == reference[1],
+                    f"xy/{pattern}: policy "
+                    f"'{row['selection_policy']}' differs from "
+                    f"'{reference[0]}' despite singleton candidate "
+                    "sets",
+                )
+
+
+def check_doc(doc):
+    check_keys(
+        doc,
+        {
+            "schema": str,
+            "topology": str,
+            "patterns": list,
+            "algorithms": list,
+            "policies": list,
+            "rows": list,
+        },
+        "doc",
+    )
+    require(doc["schema"] == "turnmodel-sel-ablation-v1",
+            f"doc: schema is '{doc['schema']}'")
+    patterns = check_axis(doc, "patterns")
+    algorithms = check_axis(doc, "algorithms")
+    policies = check_axis(doc, "policies")
+
+    seen = {}
+    for i, row in enumerate(doc["rows"]):
+        check_row(row, i, patterns, algorithms, policies)
+        cell = (row["pattern"], row["algorithm"],
+                row["selection_policy"])
+        require(cell not in seen,
+                f"rows[{i}]: duplicate cell {cell} "
+                f"(first at rows[{seen.get(cell)}])")
+        seen[cell] = i
+
+    for pattern in patterns:
+        for algorithm in algorithms:
+            for policy in policies:
+                cell = (pattern, algorithm, policy)
+                require(cell in seen, f"grid incomplete: no row for "
+                        f"{cell}")
+
+    check_control_rows(doc["rows"], patterns, policies)
+    return len(doc["rows"])
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("file")
+    args = parser.parse_args()
+
+    with open(args.file) as fh:
+        doc = json.load(fh)
+
+    try:
+        rows = check_doc(doc)
+    except Invalid as err:
+        print(f"{args.file}: INVALID: {err}", file=sys.stderr)
+        return 1
+
+    print(f"{args.file}: OK ({rows} row(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
