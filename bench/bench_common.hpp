@@ -50,6 +50,11 @@ struct Fidelity
     /** --sel=NAME: output-selection policy (select/factory.hpp);
      * empty keeps each benchmark's configured default. */
     std::string sel;
+    /** Workload shape (traffic/workload.hpp): --reqreply,
+     * --reply-len=N, --think=N, --mmpp=ON,OFF and
+     * --storm=PERIOD,DUTY,FRAC[,HOTSPOT] fill this in; defaults keep
+     * the classic open-loop Poisson workload. */
+    WorkloadConfig workload;
 };
 
 /**
@@ -121,12 +126,68 @@ parseFidelity(int argc, char **argv)
         } else if (arg.rfind("--sel=", 0) == 0) {
             f.sel = arg.substr(std::string("--sel=").size());
             requireSelectionPolicy(f.sel, argv[0]);
+        } else if (arg == "--reqreply") {
+            f.workload.request_reply = true;
+        } else if (arg.rfind("--reply-len=", 0) == 0) {
+            const unsigned long n = std::strtoul(
+                arg.c_str() + std::string("--reply-len=").size(),
+                nullptr, 10);
+            if (n == 0) {
+                std::cerr << "--reply-len needs a positive integer\n";
+                std::exit(2);
+            }
+            f.workload.reply_length = static_cast<std::uint32_t>(n);
+        } else if (arg.rfind("--think=", 0) == 0) {
+            f.workload.think_cycles = std::strtoull(
+                arg.c_str() + std::string("--think=").size(),
+                nullptr, 10);
+        } else if (arg.rfind("--mmpp=", 0) == 0) {
+            const char *val =
+                arg.c_str() + std::string("--mmpp=").size();
+            char *end = nullptr;
+            f.workload.burst_on_cycles = std::strtod(val, &end);
+            if (end == val || *end != ',') {
+                std::cerr << "--mmpp needs ON,OFF mean dwell cycles\n";
+                std::exit(2);
+            }
+            f.workload.burst_off_cycles = std::strtod(end + 1, nullptr);
+            if (f.workload.burst_on_cycles <= 0.0 ||
+                f.workload.burst_off_cycles <= 0.0) {
+                std::cerr << "--mmpp dwell times must be positive\n";
+                std::exit(2);
+            }
+        } else if (arg.rfind("--storm=", 0) == 0) {
+            const char *val =
+                arg.c_str() + std::string("--storm=").size();
+            char *end = nullptr;
+            f.workload.storm_period_cycles = std::strtoull(val, &end, 10);
+            if (end == val || *end != ',' ||
+                f.workload.storm_period_cycles == 0) {
+                std::cerr << "--storm needs PERIOD,DUTY,FRAC"
+                             "[,HOTSPOT]\n";
+                std::exit(2);
+            }
+            val = end + 1;
+            f.workload.storm_duty = std::strtod(val, &end);
+            if (end == val || *end != ',') {
+                std::cerr << "--storm needs PERIOD,DUTY,FRAC"
+                             "[,HOTSPOT]\n";
+                std::exit(2);
+            }
+            val = end + 1;
+            f.workload.storm_fraction = std::strtod(val, &end);
+            if (*end == ',')
+                f.workload.storm_hotspot =
+                    std::strtoll(end + 1, nullptr, 10);
         } else {
             std::cerr << "unknown option '" << arg << "'\n"
                       << "usage: " << argv[0]
                       << " [--quick|--full] [--json=PATH] [--jobs=N]"
                          " [--sim-threads=N] [--sel=NAME]"
-                         " [--obs=PATH] [--obs-rate=R] [--trace=N]\n";
+                         " [--obs=PATH] [--obs-rate=R] [--trace=N]"
+                         " [--reqreply] [--reply-len=N] [--think=N]"
+                         " [--mmpp=ON,OFF]"
+                         " [--storm=PERIOD,DUTY,FRAC[,HOTSPOT]]\n";
             std::exit(2);
         }
     }
@@ -156,6 +217,7 @@ figureSpec(const std::string &title, const Topology &topo,
     spec.sim.measure_cycles = fidelity.measure;
     spec.sim.sim_threads = fidelity.sim_threads;
     spec.sim.selection_policy = fidelity.sel;
+    spec.sim.workload = fidelity.workload;
     return spec;
 }
 

@@ -59,6 +59,9 @@ struct Scenario
     unsigned threads = 1;
     /** Output-selection policy; empty = engine default. */
     std::string sel;
+    /** Closed-loop request/reply workload (traffic/workload.hpp):
+     * exercises the reply-scheduling path in the delivery hot loop. */
+    bool reqreply = false;
 };
 
 struct Timing
@@ -92,6 +95,7 @@ benchScenario(const Scenario &s, std::uint64_t warmup,
     cfg.router_model = s.model;
     cfg.sim_threads = s.threads;
     cfg.selection_policy = s.sel;
+    cfg.workload.request_reply = s.reqreply;
     const std::unique_ptr<NetworkEngine> net =
         makeEngine(*routing, *pattern, cfg);
     std::vector<Completion> done;
@@ -270,6 +274,12 @@ main(int argc, char **argv)
          RouterModel::Classic, 1, "local-congestion"},
         {"sel_transpose", &mesh16, "negative-first", "transpose",
          0.12, RouterModel::Classic, 1, "regional"},
+        // Closed-loop request/reply: every delivery schedules a reply
+        // at its destination's source, doubling generation work and
+        // exercising the reply queue in the delivery path. Offered
+        // rate is kept moderate since replies add their own load.
+        {"reqreply_16x16", &mesh16, "xy", "uniform", 0.08,
+         RouterModel::Classic, 1, "", true},
     };
 
     std::vector<Timing> rows;

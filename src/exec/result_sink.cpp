@@ -87,7 +87,7 @@ ResultSink::writeObsJson(std::ostream &os, const ObsStudy &study)
     const std::ios::fmtflags flags = os.flags(std::ios::dec);
     const std::streamsize precision = os.precision();
 
-    os << "{\"schema\": \"turnmodel-obs-study-v2\", \"experiment\": \""
+    os << "{\"schema\": \"turnmodel-obs-study-v3\", \"experiment\": \""
        << jsonEscape(study.experiment)
        << "\", \"topology\": \"" << jsonEscape(study.topology)
        << "\", \"pattern\": \"" << jsonEscape(study.pattern)
@@ -103,7 +103,12 @@ ResultSink::writeObsJson(std::ostream &os, const ObsStudy &study)
         writeJsonNumber(os, run.injection_rate);
         os << ", \"result\": {";
         writeSimResultJson(os, run.result);
-        os << "}, \"obs\": ";
+        // Surfaced at run level (v3): a nonzero drop count means the
+        // bounded trace ring overwrote events, so the retained trace
+        // is the tail of the run, not the whole story — consumers
+        // must be able to see that without digging into the report.
+        os << "}, \"trace_dropped\": " << run.report.trace_dropped
+           << ", \"obs\": ";
         run.report.writeJson(os);
         os << "}";
     }
@@ -135,7 +140,7 @@ ResultSink::writeObsCsv(std::ostream &os, const ObsStudy &study)
     CsvWriter csv(os);
     csv.header({"experiment", "algorithm", "node", "coords", "dir",
                 "flits_forwarded", "busy_cycles", "blocked_cycles",
-                "peak_occupancy", "utilization"});
+                "peak_occupancy", "utilization", "trace_dropped"});
     for (const ObsRun &run : study.runs) {
         for (const ChannelUtilRow &row : run.report.channels) {
             std::ostringstream coords;
@@ -154,7 +159,8 @@ ResultSink::writeObsCsv(std::ostream &os, const ObsStudy &study)
                 .field(row.busy_cycles)
                 .field(row.blocked_cycles)
                 .field(static_cast<std::uint64_t>(row.peak_occupancy))
-                .field(row.utilization);
+                .field(row.utilization)
+                .field(run.report.trace_dropped);
             csv.endRow();
         }
     }

@@ -54,10 +54,12 @@ class ResultSink
 
     /**
      * JSON document for an observability study
-     * ("turnmodel-obs-study-v2"): the study header plus one entry per
-     * run carrying its SimResult and full ObsReport
-     * ("turnmodel-obs-v1" or "turnmodel-obs-v2" depending on the
-     * engine, see DESIGN.md).
+     * ("turnmodel-obs-study-v3"): the study header plus one entry per
+     * run carrying its SimResult, the run-level "trace_dropped"
+     * count (v3: events the bounded trace ring overwrote — nonzero
+     * means the retained trace is only the tail of the run), and the
+     * full ObsReport ("turnmodel-obs-v1" or "turnmodel-obs-v2"
+     * depending on the engine, see DESIGN.md).
      */
     static void writeObsJson(std::ostream &os, const ObsStudy &study);
 

@@ -40,10 +40,21 @@ struct ObsConfig
      */
     std::size_t trace_capacity = 0;
 
+    /**
+     * Record every packet enqueued at a source — stochastic
+     * arrivals, closed-loop replies, and post()ed packets — into an
+     * unbounded injection log (traffic/trace.hpp) for binary trace
+     * capture and deterministic replay. Capture order is the global
+     * generation order, a serial artifact, so enabling this pins the
+     * engine to one shard (like the packet trace).
+     */
+    bool capture_injections = false;
+
     /** Whether the network needs an observer at all. */
     bool networkEnabled() const
     {
-        return channel_counters || trace_capacity > 0;
+        return channel_counters || trace_capacity > 0
+            || capture_injections;
     }
 
     /** Whether any collection (network or driver side) is on. */

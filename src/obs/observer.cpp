@@ -9,6 +9,8 @@ NetworkObserver::NetworkObserver(const ObsConfig &config,
         channels_.emplace(num_ports);
     if (config.trace_capacity > 0)
         trace_.emplace(config.trace_capacity);
+    if (config.capture_injections)
+        injections_.emplace();
 }
 
 } // namespace turnmodel

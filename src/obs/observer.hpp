@@ -1,7 +1,8 @@
 /**
  * @file
  * The network-side observer: owns whichever collectors the ObsConfig
- * enables (per-channel counters, packet event trace). A Network with
+ * enables (per-channel counters, packet event trace, injection
+ * capture log). A Network with
  * observability off holds no observer at all, so the default hot
  * path pays only null pointer checks and allocates nothing.
  */
@@ -14,6 +15,7 @@
 #include "obs/channel_stats.hpp"
 #include "obs/config.hpp"
 #include "obs/trace.hpp"
+#include "traffic/trace.hpp"
 
 namespace turnmodel {
 
@@ -42,9 +44,20 @@ class NetworkObserver
         return trace_ ? &*trace_ : nullptr;
     }
 
+    /** The injection capture log, or nullptr when capture is off. */
+    InjectionTrace *injections()
+    {
+        return injections_ ? &*injections_ : nullptr;
+    }
+    const InjectionTrace *injections() const
+    {
+        return injections_ ? &*injections_ : nullptr;
+    }
+
   private:
     std::optional<ChannelStats> channels_;
     std::optional<PacketTrace> trace_;
+    std::optional<InjectionTrace> injections_;
 };
 
 } // namespace turnmodel

@@ -140,7 +140,12 @@ VcNetwork::VcNetwork(const RoutingAlgorithm &routing,
                                                  total_ports);
         chan_stats_ = obs_->channels();
         trace_sink_ = obs_->trace();
+        inj_log_ = obs_->injections();
     }
+
+    closed_loop_ = config_.workload.closedLoop();
+    reply_length_ = config_.workload.reply_length;
+    reply_delay_ = 1 + config_.workload.think_cycles;
 
     // Output-selection policy, built like the classic engine's
     // against the active route decider; congestion snapshots are
@@ -160,8 +165,8 @@ VcNetwork::VcNetwork(const RoutingAlgorithm &routing,
     }
 
     // Shard plan; gates identical to the classic engine (an
-    // RNG-consuming policy and the packet trace are serial
-    // artifacts).
+    // RNG-consuming policy, the packet trace, and the injection
+    // capture log are serial artifacts).
     unsigned requested = config_.sim_threads != 0
         ? config_.sim_threads
         : std::thread::hardware_concurrency();
@@ -171,7 +176,7 @@ VcNetwork::VcNetwork(const RoutingAlgorithm &routing,
         config_.input_selection == InputSelection::Random) {
         requested = 1;
     }
-    if (trace_sink_)
+    if (trace_sink_ || inj_log_)
         requested = 1;
     plan_ = ShardPlan::build(topo_.numNodes(), ports_per_router_,
                              requested);
@@ -195,14 +200,13 @@ VcNetwork::VcNetwork(const RoutingAlgorithm &routing,
 
     source_queues_.resize(topo_.numNodes());
     source_pending_.assign(topo_.numNodes(), 0);
-    arrivals_.reserve(topo_.numNodes());
+    sources_ = buildNodeSources(topo_.numNodes(),
+                                config_.injection_rate,
+                                config_.lengths, pattern_,
+                                config_.workload, config_.seed);
     arrival_due_.reserve(topo_.numNodes());
-    for (NodeId v = 0; v < topo_.numNodes(); ++v) {
-        arrivals_.emplace_back(config_.injection_rate,
-                               config_.lengths.mean(),
-                               Rng::forStream(config_.seed, v + 1));
-        arrival_due_.push_back(arrivals_.back().nextDue());
-    }
+    for (NodeId v = 0; v < topo_.numNodes(); ++v)
+        arrival_due_.push_back(sources_[v].nextDue(generate_));
 }
 
 void
@@ -278,7 +282,10 @@ VcNetwork::stepShard(std::uint32_t s)
         snapshotCongestion(sh);
 
     // Phase: sample arrivals, then the serial slot/id reservation.
-    if (generate_) {
+    // With a closed loop, matured replies must be staged even while
+    // stochastic generation is off (drain phases honor the
+    // message-dependency chain).
+    if (generate_ || closed_loop_) {
         generateSample(sh);
         sync();
         if (s == 0)
@@ -291,7 +298,7 @@ VcNetwork::stepShard(std::uint32_t s)
     // VA bid always targets an output VC of the bidder's router).
     if (!ideal_)
         applyCreditReturns(sh);
-    if (generate_)
+    if (generate_ || closed_loop_)
         commitGeneration(sh, s);
     allocateVcs(sh);
     sync();
@@ -338,17 +345,8 @@ VcNetwork::generateSample(Shard &sh)
     for (NodeId v = sh.node_begin; v < sh.node_end; ++v) {
         if (arrival_due_[v] > now)
             continue;
-        ArrivalProcess &proc = arrivals_[v];
-        do {
-            proc.advance();
-            const auto dest = pattern_.destination(v, proc.rng());
-            if (!dest)
-                continue;   // Self-directed; never enters the network.
-            const std::uint32_t length =
-                config_.lengths.sample(proc.rng());
-            sh.staged.push_back({v, *dest, length});
-        } while (proc.due(now));
-        arrival_due_[v] = proc.nextDue();
+        sources_[v].emit(cycle_, generate_, sh.staged);
+        arrival_due_[v] = sources_[v].nextDue(generate_);
     }
 }
 
@@ -374,7 +372,7 @@ VcNetwork::commitGeneration(Shard &sh, std::uint32_t s)
 {
     const double now = static_cast<double>(cycle_);
     PacketId id = sh.id_base;
-    for (const StagedPacket &sp : sh.staged) {
+    for (const SourcedPacket &sp : sh.staged) {
         const PacketSlot slot = packets_.allocate(s);
         PacketState &pkt = packets_[slot];
         pkt.id = id++;
@@ -382,11 +380,14 @@ VcNetwork::commitGeneration(Shard &sh, std::uint32_t s)
         pkt.dest = sp.dest;
         pkt.length = sp.length;
         pkt.created = now;
+        pkt.reply = sp.reply;
         source_queues_[sp.src].push_back(slot);
         source_pending_[sp.src] = 1;
         ++sh.counters.packets_generated;
         sh.counters.flits_generated += sp.length;
         sh.counters.source_queue_flits += sp.length;
+        if (inj_log_)
+            inj_log_->append({cycle_, sp.src, sp.dest, sp.length});
     }
 }
 
@@ -838,6 +839,17 @@ VcNetwork::pushOne(Shard &sh, std::uint32_t s, const InFlight &f)
                                       pkt.length, pkt.hops, pkt.created,
                                       pkt.injected,
                                       static_cast<double>(cycle_)});
+            // Closed loop: a delivered request schedules its reply at
+            // the destination node. Shard-safe without a mailbox —
+            // ejections are never mailboxed, so pkt.dest's source
+            // belongs to this shard, and one ejection channel per
+            // node means at most one reply per node per cycle.
+            if (closed_loop_ && !pkt.reply) {
+                sources_[pkt.dest].scheduleReply(
+                    cycle_ + reply_delay_, pkt.src, reply_length_);
+                arrival_due_[pkt.dest] =
+                    sources_[pkt.dest].nextDue(generate_);
+            }
             const std::uint32_t arena = packets_.arenaOf(f.flit.slot);
             if (arena == s)
                 packets_.release(f.flit.slot);
@@ -1088,6 +1100,19 @@ VcNetwork::serialTail()
     ++cycle_;
 }
 
+void
+VcNetwork::setGenerationEnabled(bool enabled)
+{
+    if (generate_ == enabled)
+        return;
+    generate_ = enabled;
+    // The due-time cache answers "when can this source emit?", which
+    // depends on the mode: with generation off only pending replies
+    // count, and turning it back on must re-expose the arrival clock.
+    for (NodeId v = 0; v < topo_.numNodes(); ++v)
+        arrival_due_[v] = sources_[v].nextDue(generate_);
+}
+
 PacketId
 VcNetwork::post(NodeId src, NodeId dest, std::uint32_t length)
 {
@@ -1112,6 +1137,8 @@ VcNetwork::post(NodeId src, NodeId dest, std::uint32_t length)
     ++c.packets_generated;
     c.flits_generated += length;
     c.source_queue_flits += length;
+    if (inj_log_)
+        inj_log_->append({cycle_, src, dest, length});
     mergeCounters();   // Keep the merged view current between steps.
     return pkt.id;
 }

@@ -71,6 +71,7 @@
 #include "sim/selection.hpp"
 #include "sim/shard.hpp"
 #include "traffic/pattern.hpp"
+#include "traffic/source.hpp"
 #include "traffic/workload.hpp"
 
 namespace turnmodel {
@@ -103,10 +104,9 @@ class VcNetwork : public NetworkEngine
     std::vector<PacketId> stuckPackets(std::uint64_t age)
         const override;
     std::uint64_t oldestPacketStall() const override;
-    void setGenerationEnabled(bool enabled) override
-    {
-        generate_ = enabled;
-    }
+    /** See Network::setGenerationEnabled: replies keep flowing while
+     * stochastic generation is off, so the due cache is refreshed. */
+    void setGenerationEnabled(bool enabled) override;
     PacketId post(NodeId src, NodeId dest,
                   std::uint32_t length) override;
     std::uint64_t sourceQueuePackets() const override;
@@ -117,6 +117,12 @@ class VcNetwork : public NetworkEngine
     }
     void fillObsReport(ObsReport &report) const override;
     unsigned shardCount() const override { return num_shards_; }
+
+    /** In-flight packet pool capacity (soak memory high-water mark). */
+    std::size_t packetPoolCapacity() const override
+    {
+        return packets_.capacity();
+    }
 
     // ----- credit introspection (tests and audits) -------------------
     /** Credits the output VC leaving @p router in @p dir holds now. */
@@ -196,14 +202,6 @@ class VcNetwork : public NetworkEngine
         std::uint8_t vc_free;
     };
 
-    /** One sampled arrival awaiting its slot, id, and queue entry. */
-    struct StagedPacket
-    {
-        NodeId src;
-        NodeId dest;
-        std::uint32_t length;
-    };
-
     /** One shard's owned lists, counters, credit ring, and per-cycle
      * scratch (see sim/network.hpp — this mirrors the classic
      * engine's Shard, plus the credit-return ring). */
@@ -230,7 +228,7 @@ class VcNetwork : public NetworkEngine
         std::vector<SaRequest> sa_reqs;
         std::vector<SaRequest> sa_stage;
         std::vector<std::uint32_t> sa_members;
-        std::vector<StagedPacket> staged;
+        std::vector<SourcedPacket> staged;
         PacketId id_base = 0;
 
         NetworkCounters counters;
@@ -368,7 +366,7 @@ class VcNetwork : public NetworkEngine
 
     std::vector<FlatQueue<PacketSlot>> source_queues_;
     std::vector<std::uint8_t> source_pending_;
-    std::vector<ArrivalProcess> arrivals_;
+    std::vector<NodeSource> sources_;
     std::vector<double> arrival_due_;
     Rng router_rng_;
 
@@ -422,6 +420,10 @@ class VcNetwork : public NetworkEngine
 
     std::uint64_t cycle_ = 0;
     bool generate_ = true;
+    /** Hoisted workload knobs (see sim/network.hpp). */
+    bool closed_loop_ = false;
+    std::uint32_t reply_length_ = 0;
+    std::uint64_t reply_delay_ = 1;
     bool moved_this_cycle_ = false;
     std::uint64_t stall_cycles_ = 0;
     bool packet_stall_flag_ = false;
@@ -432,6 +434,7 @@ class VcNetwork : public NetworkEngine
     std::unique_ptr<NetworkObserver> obs_;
     ChannelStats *chan_stats_ = nullptr;
     PacketTrace *trace_sink_ = nullptr;
+    InjectionTrace *inj_log_ = nullptr;
 };
 
 } // namespace turnmodel

@@ -176,6 +176,14 @@ struct SimConfig
     VcRouterConfig vc_router;
 
     /**
+     * Workload shape beyond open-loop Poisson: closed-loop
+     * request/reply, MMPP bursts, hotspot storms, and trace replay
+     * (see traffic/workload.hpp). Defaults leave the classic
+     * open-loop path bit-identical to earlier versions.
+     */
+    WorkloadConfig workload;
+
+    /**
      * Worker threads stepping one network: the engine partitions the
      * router array into that many contiguous shards and runs each
      * cycle as barrier-separated gather/commit phases across a

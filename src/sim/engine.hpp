@@ -144,6 +144,14 @@ class NetworkEngine
      * clamping to the router count. 1 means fully serial stepping.
      */
     virtual unsigned shardCount() const { return 1; }
+
+    /**
+     * Capacity (slots) of the in-flight packet pool — the engine's
+     * memory high-water mark for packet state. Long-horizon soak
+     * tests assert this stays constant once the network reaches
+     * steady state.
+     */
+    virtual std::size_t packetPoolCapacity() const = 0;
 };
 
 /**

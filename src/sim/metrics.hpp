@@ -21,11 +21,18 @@ struct SimResult
     double throughput_flits_per_us = 0.0;///< Delivered during window.
     double avg_latency_us = 0.0;         ///< Creation to tail delivery.
     double avg_network_latency_us = 0.0; ///< Injection to tail delivery.
-    double p99_latency_us = 0.0;         ///< Tail of the distribution.
     /**
-     * True when the p99 fell in the latency histogram's overflow bin:
-     * the reported p99_latency_us is only the measurement-window
-     * bound, not a measurement, and must not be plotted as one.
+     * Tail of the latency distribution, estimated by a streaming P²
+     * quantile (util/stats.hpp) — constant memory at any window
+     * length, so 10^8-cycle soak runs report a real p99 instead of a
+     * histogram whose range must be guessed up front.
+     */
+    double p99_latency_us = 0.0;
+    /**
+     * Retired: the fixed-range histogram the P² estimator replaced
+     * could clamp its p99 into the overflow bin; the streaming
+     * estimator never clamps, so this stays false. Kept so downstream
+     * schema consumers (sweep JSON) see an unchanged shape.
      */
     bool latency_p99_clamped = false;
     double avg_hops = 0.0;               ///< Header channel crossings.
@@ -33,8 +40,12 @@ struct SimResult
     bool saturated = false;              ///< Load not sustainable.
     bool deadlocked = false;             ///< Stall watchdog tripped.
     double queue_growth_packets = 0.0;   ///< Per node over the window.
-    /** Delivered / offered load over the window; well below 1.0 means
-     * the network could not accept the offered traffic. */
+    /** Delivered / offered load over the window, clamped to [0, 1]:
+     * warmup backlog draining inside the window (and closed-loop
+     * replies, which are delivered but never offered) can push the
+     * raw quotient above 1.0, which is measurement spillover, not
+     * super-unit throughput. Well below 1.0 means the network could
+     * not accept the offered traffic. */
     double delivered_ratio = 0.0;
 };
 

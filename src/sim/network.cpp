@@ -84,7 +84,12 @@ Network::Network(const RoutingAlgorithm &routing,
                                                  total_ports);
         chan_stats_ = obs_->channels();
         trace_sink_ = obs_->trace();
+        inj_log_ = obs_->injections();
     }
+
+    closed_loop_ = config_.workload.closedLoop();
+    reply_length_ = config_.workload.reply_length;
+    reply_delay_ = 1 + config_.workload.think_cycles;
 
     // Output-selection policy: explicit name, or the adapter for the
     // classic enum. Built against the active route decider so the
@@ -107,10 +112,11 @@ Network::Network(const RoutingAlgorithm &routing,
     }
 
     // Shard plan. Serialization gates: a policy drawing from the
-    // single router_rng_ stream does so in gather order, and the
-    // packet trace records events in global push order — both are
-    // serial artifacts by definition, so they pin the engine to one
-    // shard rather than weaken the determinism contract.
+    // single router_rng_ stream does so in gather order, the packet
+    // trace records events in global push order, and the injection
+    // capture log records the global generation order — all serial
+    // artifacts by definition, so they pin the engine to one shard
+    // rather than weaken the determinism contract.
     unsigned requested = config_.sim_threads != 0
         ? config_.sim_threads
         : std::thread::hardware_concurrency();
@@ -120,7 +126,7 @@ Network::Network(const RoutingAlgorithm &routing,
         config_.input_selection == InputSelection::Random) {
         requested = 1;
     }
-    if (trace_sink_)
+    if (trace_sink_ || inj_log_)
         requested = 1;
     plan_ = ShardPlan::build(topo_.numNodes(), ports_per_router_,
                              requested);
@@ -142,14 +148,13 @@ Network::Network(const RoutingAlgorithm &routing,
 
     source_queues_.resize(topo_.numNodes());
     source_pending_.assign(topo_.numNodes(), 0);
-    arrivals_.reserve(topo_.numNodes());
+    sources_ = buildNodeSources(topo_.numNodes(),
+                                config_.injection_rate,
+                                config_.lengths, pattern_,
+                                config_.workload, config_.seed);
     arrival_due_.reserve(topo_.numNodes());
-    for (NodeId v = 0; v < topo_.numNodes(); ++v) {
-        arrivals_.emplace_back(config_.injection_rate,
-                               config_.lengths.mean(),
-                               Rng::forStream(config_.seed, v + 1));
-        arrival_due_.push_back(arrivals_.back().nextDue());
-    }
+    for (NodeId v = 0; v < topo_.numNodes(); ++v)
+        arrival_due_.push_back(sources_[v].nextDue(generate_));
 }
 
 std::uint32_t
@@ -232,8 +237,11 @@ Network::stepShard(std::uint32_t s)
     if (sel_needs_.free_slots || sel_needs_.regional)
         snapshotCongestion(sh);
 
-    // Phase: sample arrivals (own RNG streams, staged locally).
-    if (generate_) {
+    // Phase: sample arrivals (own RNG streams, staged locally). With
+    // a closed loop, matured replies must be staged even while
+    // stochastic generation is off (drain phases honor the
+    // message-dependency chain).
+    if (generate_ || closed_loop_) {
         generateSample(sh);
         sync();
         // Serial slot/id reservation so the commit below allocates
@@ -291,20 +299,11 @@ Network::generateSample(Shard &sh)
     const double now = static_cast<double>(cycle_);
     for (NodeId v = sh.node_begin; v < sh.node_end; ++v) {
         // The flat due-time mirror keeps the every-cycle scan off
-        // the (much larger) ArrivalProcess records.
+        // the (much larger) NodeSource records.
         if (arrival_due_[v] > now)
             continue;
-        ArrivalProcess &proc = arrivals_[v];
-        do {
-            proc.advance();
-            const auto dest = pattern_.destination(v, proc.rng());
-            if (!dest)
-                continue;   // Self-directed; never enters the network.
-            const std::uint32_t length =
-                config_.lengths.sample(proc.rng());
-            sh.staged.push_back({v, *dest, length});
-        } while (proc.due(now));
-        arrival_due_[v] = proc.nextDue();
+        sources_[v].emit(cycle_, generate_, sh.staged);
+        arrival_due_[v] = sources_[v].nextDue(generate_);
     }
 }
 
@@ -331,7 +330,7 @@ Network::commitGeneration(Shard &sh, std::uint32_t s)
 {
     const double now = static_cast<double>(cycle_);
     PacketId id = sh.id_base;
-    for (const StagedPacket &sp : sh.staged) {
+    for (const SourcedPacket &sp : sh.staged) {
         const PacketSlot slot = packets_.allocate(s);
         PacketState &pkt = packets_[slot];
         pkt.id = id++;
@@ -339,11 +338,14 @@ Network::commitGeneration(Shard &sh, std::uint32_t s)
         pkt.dest = sp.dest;
         pkt.length = sp.length;
         pkt.created = now;
+        pkt.reply = sp.reply;
         source_queues_[sp.src].push_back(slot);
         source_pending_[sp.src] = 1;
         ++sh.counters.packets_generated;
         sh.counters.flits_generated += sp.length;
         sh.counters.source_queue_flits += sp.length;
+        if (inj_log_)
+            inj_log_->append({cycle_, sp.src, sp.dest, sp.length});
     }
 }
 
@@ -697,6 +699,17 @@ Network::pushOne(Shard &sh, std::uint32_t s, const InFlight &f)
                                       pkt.length, pkt.hops, pkt.created,
                                       pkt.injected,
                                       static_cast<double>(cycle_)});
+            // Closed loop: a delivered request schedules its reply at
+            // the destination node. Shard-safe without a mailbox —
+            // ejections are never mailboxed, so pkt.dest's source
+            // belongs to this shard, and one ejection channel per
+            // node means at most one reply per node per cycle.
+            if (closed_loop_ && !pkt.reply) {
+                sources_[pkt.dest].scheduleReply(
+                    cycle_ + reply_delay_, pkt.src, reply_length_);
+                arrival_due_[pkt.dest] =
+                    sources_[pkt.dest].nextDue(generate_);
+            }
             // The slot goes home to its arena's free list; a foreign
             // slot travels by mailbox so only the owner touches it.
             const std::uint32_t arena = packets_.arenaOf(f.flit.slot);
@@ -944,6 +957,19 @@ Network::serialTail()
     ++cycle_;
 }
 
+void
+Network::setGenerationEnabled(bool enabled)
+{
+    if (generate_ == enabled)
+        return;
+    generate_ = enabled;
+    // The due-time cache answers "when can this source emit?", which
+    // depends on the mode: with generation off only pending replies
+    // count, and turning it back on must re-expose the arrival clock.
+    for (NodeId v = 0; v < topo_.numNodes(); ++v)
+        arrival_due_[v] = sources_[v].nextDue(generate_);
+}
+
 PacketId
 Network::post(NodeId src, NodeId dest, std::uint32_t length)
 {
@@ -968,6 +994,8 @@ Network::post(NodeId src, NodeId dest, std::uint32_t length)
     ++c.packets_generated;
     c.flits_generated += length;
     c.source_queue_flits += length;
+    if (inj_log_)
+        inj_log_->append({cycle_, src, dest, length});
     mergeCounters();   // Keep the merged view current between steps.
     return pkt.id;
 }

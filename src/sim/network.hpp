@@ -69,6 +69,7 @@
 #include "sim/selection.hpp"
 #include "sim/shard.hpp"
 #include "traffic/pattern.hpp"
+#include "traffic/source.hpp"
 #include "traffic/workload.hpp"
 
 namespace turnmodel {
@@ -137,11 +138,13 @@ class Network : public NetworkEngine
     /** Age in cycles of the longest-stalled in-network packet. */
     std::uint64_t oldestPacketStall() const override;
 
-    /** Turn message generation on or off (for drain phases). */
-    void setGenerationEnabled(bool enabled) override
-    {
-        generate_ = enabled;
-    }
+    /**
+     * Turn stochastic message generation on or off (for drain
+     * phases). Closed-loop replies keep flowing while generation is
+     * off — a drain must honor the message-dependency chain — so the
+     * per-node due-time cache is refreshed for the new mode.
+     */
+    void setGenerationEnabled(bool enabled) override;
 
     /**
      * Queue one packet directly at a source, bypassing the stochastic
@@ -174,6 +177,12 @@ class Network : public NetworkEngine
 
     /** Shards step() executes across (after serialization gates). */
     unsigned shardCount() const override { return num_shards_; }
+
+    /** In-flight packet pool capacity (soak memory high-water mark). */
+    std::size_t packetPoolCapacity() const override
+    {
+        return packets_.capacity();
+    }
 
   private:
     // ----- port indexing ---------------------------------------------
@@ -212,14 +221,6 @@ class Network : public NetworkEngine
         std::uint32_t out;   ///< Output port the flit crossed.
     };
 
-    /** One sampled arrival awaiting its slot, id, and queue entry. */
-    struct StagedPacket
-    {
-        NodeId src;
-        NodeId dest;
-        std::uint32_t length;
-    };
-
     /**
      * Everything one shard owns or scribbles on during a cycle. The
      * persistent lists (active, waiting) and the counters partition
@@ -248,7 +249,7 @@ class Network : public NetworkEngine
         std::vector<InputRequest> bid_group;
         std::vector<Move> moves;
         std::vector<InFlight> in_flight;
-        std::vector<StagedPacket> staged;
+        std::vector<SourcedPacket> staged;
         PacketId id_base = 0;
 
         /** Cumulative, owner-written; merged into the engine totals
@@ -377,9 +378,9 @@ class Network : public NetworkEngine
     /** 1 when source_queues_[v] is non-empty: the injection scan
      * reads 1 byte per idle node instead of a FlatQueue record. */
     std::vector<std::uint8_t> source_pending_;
-    std::vector<ArrivalProcess> arrivals_;
-    /** Flat mirror of each arrival process's next due time, so the
-     * generation scan touches 8 contiguous bytes per idle node. */
+    std::vector<NodeSource> sources_;
+    /** Flat mirror of each source's next due time, so the generation
+     * scan touches 8 contiguous bytes per idle node. */
     std::vector<double> arrival_due_;
     Rng router_rng_;
 
@@ -470,6 +471,12 @@ class Network : public NetworkEngine
 
     std::uint64_t cycle_ = 0;
     bool generate_ = true;
+    /** Hoisted workload knobs: closed loop active, reply length, and
+     * delivery-to-reply-due offset (1 + think_cycles: a reply is
+     * never due before the cycle after its request's delivery). */
+    bool closed_loop_ = false;
+    std::uint32_t reply_length_ = 0;
+    std::uint64_t reply_delay_ = 1;
     bool moved_this_cycle_ = false;
     std::uint64_t stall_cycles_ = 0;
     bool packet_stall_flag_ = false;
@@ -484,6 +491,7 @@ class Network : public NetworkEngine
     std::unique_ptr<NetworkObserver> obs_;
     ChannelStats *chan_stats_ = nullptr;
     PacketTrace *trace_sink_ = nullptr;
+    InjectionTrace *inj_log_ = nullptr;
 };
 
 } // namespace turnmodel

@@ -55,6 +55,7 @@ struct PacketState
     std::uint32_t flits_injected = 0;  ///< Left the source queue.
     std::uint32_t flits_delivered = 0; ///< Consumed at the destination.
     std::uint32_t hops = 0;            ///< Channels the header crossed.
+    bool reply = false;                ///< Closed-loop reply (no re-reply).
 };
 
 } // namespace turnmodel

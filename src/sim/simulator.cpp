@@ -1,5 +1,7 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
+
 #include "util/stats.hpp"
 
 namespace turnmodel {
@@ -30,6 +32,19 @@ Simulator::run()
     }
     network_->drainCompletions(batch);
 
+    // A deadlock during warmup means there is no steady state to
+    // measure: entering the measurement loop anyway would report a
+    // window of frozen-network cycles as if it were data. Report a
+    // zero-width window instead.
+    if (network_->deadlockDetected()) {
+        result.offered_flits_per_us = config_.injection_rate
+            * static_cast<double>(network_->topology().numNodes())
+            * config_.channel_flits_per_us;
+        result.deadlocked = true;
+        result.saturated = true;
+        return result;
+    }
+
     const double measure_start = static_cast<double>(network_->now());
     const std::uint64_t flits_delivered_before =
         network_->counters().flits_delivered;
@@ -38,9 +53,10 @@ Simulator::run()
     RunningStats latency;
     RunningStats net_latency;
     RunningStats hops;
-    Histogram latency_hist(0.0,
-                           static_cast<double>(config_.measure_cycles),
-                           2048);
+    // Streaming P² estimator: constant memory at any window length
+    // (the fixed-range histogram it replaced clamped long-horizon
+    // soak runs into its overflow bin).
+    P2Quantile latency_p99(0.99);
 
     if (config_.obs.sample_stride > 0) {
         sampler_.emplace(network_->now(), config_.obs.sample_stride,
@@ -55,7 +71,7 @@ Simulator::run()
                 continue;
             const double lat = done.delivered - done.created;
             latency.add(lat);
-            latency_hist.add(lat);
+            latency_p99.add(lat);
             net_latency.add(done.delivered - done.injected);
             hops.add(static_cast<double>(done.hops));
             if (sampler_)
@@ -99,8 +115,7 @@ Simulator::run()
         window_us > 0.0 ? static_cast<double>(delivered) / window_us : 0.0;
     result.avg_latency_us = latency.mean() * cycle_us;
     result.avg_network_latency_us = net_latency.mean() * cycle_us;
-    result.p99_latency_us =
-        latency_hist.quantile(0.99, &result.latency_p99_clamped) * cycle_us;
+    result.p99_latency_us = latency_p99.value() * cycle_us;
     result.avg_hops = hops.mean();
     result.packets_measured = latency.count();
     result.deadlocked = network_->deadlockDetected();
@@ -115,8 +130,15 @@ Simulator::run()
         static_cast<double>(network_->topology().numNodes());
     const double offered_flits =
         config_.injection_rate * num_nodes * measured_cycles;
+    // Clamp to 1.0: the window's delivered count includes flits
+    // injected during warmup (backlog draining inside the window) and
+    // closed-loop replies, neither of which the offered-load
+    // denominator counts, so the raw quotient can exceed 1.0 without
+    // the network ever delivering more than was sent. The saturation
+    // criterion below uses the unclamped shortfall, which is immune:
+    // spillover only makes the shortfall negative, never saturated.
     result.delivered_ratio = offered_flits > 0.0
-        ? static_cast<double>(delivered) / offered_flits
+        ? std::min(static_cast<double>(delivered) / offered_flits, 1.0)
         : 1.0;
     // Sustainable while the backlog stays small and bounded: flag
     // saturation when the average source queue grew by more than two

@@ -1,0 +1,215 @@
+#include "traffic/source.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hpp"
+
+namespace turnmodel {
+
+namespace {
+constexpr double kNever = std::numeric_limits<double>::infinity();
+}
+
+NodeSource::NodeSource(NodeId node, double rate,
+                       const PacketLengthDist &lengths,
+                       const TrafficPattern &pattern,
+                       const WorkloadConfig &workload, NodeId hotspot,
+                       std::vector<InjectionRecord> replay, Rng rng)
+    : node_(node), lengths_(lengths), pattern_(pattern),
+      workload_(workload), rng_(rng), hotspot_(hotspot),
+      replay_(std::move(replay))
+{
+    if (workload_.replay != nullptr) {
+        // Replay replaces stochastic generation wholesale; the RNG
+        // stream stays untouched.
+        return;
+    }
+    storm_applies_ = workload_.storms() && hotspot_ != node_;
+    if (storm_applies_) {
+        const double duty =
+            std::min(std::max(workload_.storm_duty, 0.0), 1.0);
+        storm_window_ = static_cast<std::uint64_t>(
+            duty
+            * static_cast<double>(workload_.storm_period_cycles)
+            + 0.5);
+    }
+    has_arrivals_ = rate > 0.0;
+    if (!has_arrivals_) {
+        next_arrival_ = kNever;
+        return;
+    }
+    mmpp_ = workload_.bursty();
+    if (mmpp_) {
+        // ON-phase rate scaled so the long-run mean offered load
+        // still equals the configured rate.
+        const double on = workload_.burst_on_cycles;
+        const double off = workload_.burst_off_cycles;
+        mean_ia_ = lengths_.mean() / (rate * (on + off) / on);
+        // Randomize the initial phase so nodes do not burst in
+        // lockstep; steady-state occupancy is on/(on+off).
+        on_ = rng_.nextDouble() < on / (on + off);
+        phase_end_ = rng_.nextExponential(on_ ? on : off);
+        next_arrival_ = (on_ ? 0.0 : phase_end_)
+            + rng_.nextExponential(mean_ia_);
+    } else {
+        // Plain Poisson: bit-identical to the classic ArrivalProcess
+        // (randomized first arrival, then one exponential per
+        // message).
+        mean_ia_ = lengths_.mean() / rate;
+        next_arrival_ = rng_.nextExponential(mean_ia_);
+    }
+}
+
+double
+NodeSource::nextDue(bool arrivals_enabled) const
+{
+    double due = replies_.empty()
+        ? kNever
+        : static_cast<double>(replies_.front().due);
+    if (!arrivals_enabled)
+        return due;
+    if (workload_.replay != nullptr) {
+        if (replay_cursor_ < replay_.size()) {
+            due = std::min(
+                due, static_cast<double>(
+                         replay_[replay_cursor_].cycle));
+        }
+        return due;
+    }
+    if (has_arrivals_)
+        due = std::min(due, next_arrival_);
+    return due;
+}
+
+bool
+NodeSource::stormActive(std::uint64_t now) const
+{
+    return now % workload_.storm_period_cycles < storm_window_;
+}
+
+void
+NodeSource::stageArrival(std::uint64_t now,
+                         std::vector<SourcedPacket> &out)
+{
+    const auto dest = pattern_.destination(node_, rng_);
+    if (!dest)
+        return;   // Self-directed; never enters the network.
+    NodeId target = *dest;
+    if (storm_applies_ && stormActive(now)
+        && rng_.nextDouble() < workload_.storm_fraction) {
+        target = hotspot_;
+    }
+    const std::uint32_t length = lengths_.sample(rng_);
+    out.push_back({node_, target, length, false});
+}
+
+void
+NodeSource::emit(std::uint64_t now, bool arrivals_enabled,
+                 std::vector<SourcedPacket> &out)
+{
+    // Matured replies first: they are responses to older traffic.
+    while (!replies_.empty() && replies_.front().due <= now) {
+        const PendingReply &r = replies_.front();
+        out.push_back({node_, r.dest, r.length, true});
+        replies_.pop_front();
+    }
+    if (!arrivals_enabled)
+        return;
+
+    if (workload_.replay != nullptr) {
+        while (replay_cursor_ < replay_.size()
+               && replay_[replay_cursor_].cycle <= now) {
+            const InjectionRecord &rec = replay_[replay_cursor_++];
+            out.push_back({node_, rec.dest, rec.length, false});
+        }
+        return;
+    }
+    if (!has_arrivals_)
+        return;
+
+    const double dnow = static_cast<double>(now);
+    if (!mmpp_) {
+        // The classic loop shape: schedule the next arrival, then
+        // draw destination and length, while arrivals remain due.
+        while (next_arrival_ <= dnow) {
+            next_arrival_ += rng_.nextExponential(mean_ia_);
+            stageArrival(now, out);
+        }
+        return;
+    }
+
+    // MMPP: process arrival and phase-transition events in time
+    // order. Entering OFF freezes the residual inter-arrival time
+    // (both clocks shift by the OFF dwell), so next_arrival_ is
+    // always a lower bound on the next emission and only ever moves
+    // later — exactly what the flat due-time cache requires.
+    while (true) {
+        if (!on_) {
+            if (phase_end_ > dnow)
+                break;
+            phase_end_ += rng_.nextExponential(
+                workload_.burst_on_cycles);
+            on_ = true;
+            continue;
+        }
+        if (next_arrival_ <= phase_end_) {
+            if (next_arrival_ > dnow)
+                break;
+            next_arrival_ += rng_.nextExponential(mean_ia_);
+            stageArrival(now, out);
+        } else {
+            if (phase_end_ > dnow)
+                break;
+            const double off = rng_.nextExponential(
+                workload_.burst_off_cycles);
+            next_arrival_ += off;
+            phase_end_ += off;
+            on_ = false;
+        }
+    }
+}
+
+void
+NodeSource::scheduleReply(std::uint64_t due, NodeId dest,
+                          std::uint32_t length)
+{
+    TM_ASSERT(replies_.empty() || due >= replies_.back().due,
+              "reply due cycles must be non-decreasing");
+    replies_.push_back({due, dest, length});
+}
+
+std::vector<NodeSource>
+buildNodeSources(NodeId num_nodes, double rate,
+                 const PacketLengthDist &lengths,
+                 const TrafficPattern &pattern,
+                 const WorkloadConfig &workload, std::uint64_t seed)
+{
+    const NodeId hotspot = workload.storm_hotspot >= 0
+        ? static_cast<NodeId>(workload.storm_hotspot)
+        : num_nodes / 2;
+    TM_ASSERT(hotspot < num_nodes, "storm hotspot out of range");
+    std::vector<std::vector<InjectionRecord>> per_node;
+    if (workload.replay != nullptr) {
+        per_node.resize(num_nodes);
+        for (const InjectionRecord &rec : workload.replay->records()) {
+            TM_ASSERT(rec.src < num_nodes && rec.dest < num_nodes,
+                      "replay record endpoint out of range");
+            per_node[rec.src].push_back(rec);
+        }
+    }
+    std::vector<NodeSource> sources;
+    sources.reserve(num_nodes);
+    for (NodeId v = 0; v < num_nodes; ++v) {
+        sources.emplace_back(
+            v, rate, lengths, pattern, workload, hotspot,
+            workload.replay != nullptr
+                ? std::move(per_node[v])
+                : std::vector<InjectionRecord>{},
+            Rng::forStream(seed, v + 1));
+    }
+    return sources;
+}
+
+} // namespace turnmodel

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Per-node workload source: one object owning everything a node
+ * needs to decide which packets enter its source queue on a given
+ * cycle — the node-private RNG stream, the Poisson (or MMPP-
+ * modulated) arrival clock, flash-crowd storm redirection, the
+ * deterministic replay cursor, and the closed-loop pending-reply
+ * queue. Both engines drive it identically: a flat due-time mirror
+ * (nextDue) keeps the every-cycle scan cheap, and emit() appends the
+ * cycle's packets in a deterministic per-node order (replies first,
+ * then replayed or sampled arrivals).
+ *
+ * Determinism contract: with every WorkloadConfig feature off, the
+ * RNG consumption sequence is bit-identical to the classic inline
+ * ArrivalProcess loop (advance; destination draw; length draw —
+ * self-directed destinations skip the length draw), so default
+ * open-loop runs are unchanged. Every feature's extra draws come
+ * from the same node-private stream, and the pending-reply queue is
+ * filled by at most one delivery per node per cycle (a node has one
+ * ejection channel), so emission order is invariant over the shard
+ * count.
+ */
+
+#ifndef TURNMODEL_TRAFFIC_SOURCE_HPP
+#define TURNMODEL_TRAFFIC_SOURCE_HPP
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "topology/coordinates.hpp"
+#include "traffic/pattern.hpp"
+#include "traffic/trace.hpp"
+#include "traffic/workload.hpp"
+#include "util/rng.hpp"
+
+namespace turnmodel {
+
+/** One packet a source wants queued this cycle. */
+struct SourcedPacket
+{
+    NodeId src = 0;
+    NodeId dest = 0;
+    std::uint32_t length = 0;
+    bool reply = false;   ///< Closed-loop reply (never re-replied).
+};
+
+/** The workload generator of one node. */
+class NodeSource
+{
+  public:
+    /**
+     * @param node     This source's node id.
+     * @param rate     Offered load in flits per node per cycle;
+     *                 <= 0 disables stochastic arrivals (replies
+     *                 and replay still flow).
+     * @param lengths  Packet length distribution; must outlive this.
+     * @param pattern  Destination pattern; must outlive this.
+     * @param workload Production-traffic knobs; must outlive this.
+     * @param hotspot  Resolved storm target node.
+     * @param replay   This node's replay records, chronological
+     *                 (empty unless workload.replay is set).
+     * @param rng      Node-private generator (moved in).
+     */
+    NodeSource(NodeId node, double rate, const PacketLengthDist &lengths,
+               const TrafficPattern &pattern,
+               const WorkloadConfig &workload, NodeId hotspot,
+               std::vector<InjectionRecord> replay, Rng rng);
+
+    /**
+     * Earliest cycle this source can emit anything: the pending
+     * reply head, and — only when @p arrivals_enabled — the arrival
+     * clock or replay cursor. Infinity when idle; suitable for a
+     * flat due-time cache (emissions are never due earlier than the
+     * last reported value).
+     */
+    double nextDue(bool arrivals_enabled) const;
+
+    /**
+     * Append every packet due at or before @p now to @p out:
+     * matured replies first, then replayed records or sampled
+     * arrivals (the latter only when @p arrivals_enabled).
+     */
+    void emit(std::uint64_t now, bool arrivals_enabled,
+              std::vector<SourcedPacket> &out);
+
+    /**
+     * Queue a closed-loop reply due at cycle @p due (callers pass
+     * delivery cycle + 1 + think time, so due cycles are
+     * non-decreasing).
+     */
+    void scheduleReply(std::uint64_t due, NodeId dest,
+                       std::uint32_t length);
+
+    /** Replies scheduled but not yet emitted. */
+    std::size_t pendingReplies() const { return replies_.size(); }
+
+    /** Whether the MMPP phase is currently ON (testing hook). */
+    bool burstOn() const { return on_; }
+
+  private:
+    /** Draw destination (and storm redirect, and length) for one
+     * arrival at cycle @p now; appends unless self-directed. */
+    void stageArrival(std::uint64_t now,
+                      std::vector<SourcedPacket> &out);
+    /** Whether cycle @p now falls inside a storm window. */
+    bool stormActive(std::uint64_t now) const;
+
+    struct PendingReply
+    {
+        std::uint64_t due;
+        NodeId dest;
+        std::uint32_t length;
+    };
+
+    NodeId node_;
+    const PacketLengthDist &lengths_;
+    const TrafficPattern &pattern_;
+    const WorkloadConfig &workload_;
+    Rng rng_;
+
+    // Arrival clock (plain Poisson or MMPP-modulated).
+    bool has_arrivals_ = false;
+    double mean_ia_ = 0.0;        ///< Mean inter-arrival while ON.
+    double next_arrival_ = 0.0;
+    bool mmpp_ = false;
+    bool on_ = true;              ///< Current MMPP phase.
+    double phase_end_ = 0.0;      ///< When the current phase ends.
+
+    // Storms.
+    bool storm_applies_ = false;  ///< Storms on and node != hotspot.
+    NodeId hotspot_ = 0;
+    std::uint64_t storm_window_ = 0;  ///< Active prefix of a period.
+
+    // Replay.
+    std::vector<InjectionRecord> replay_;
+    std::size_t replay_cursor_ = 0;
+
+    std::deque<PendingReply> replies_;
+};
+
+/**
+ * Build one NodeSource per node — the construction path both engines
+ * share. Resolves the storm hotspot (negative = the center node
+ * num_nodes / 2), splits the replay trace into per-node record lists,
+ * and derives each node's RNG from the master @p seed with the same
+ * stream ids (v + 1) the classic ArrivalProcess loop used.
+ */
+std::vector<NodeSource> buildNodeSources(NodeId num_nodes, double rate,
+                                         const PacketLengthDist &lengths,
+                                         const TrafficPattern &pattern,
+                                         const WorkloadConfig &workload,
+                                         std::uint64_t seed);
+
+} // namespace turnmodel
+
+#endif // TURNMODEL_TRAFFIC_SOURCE_HPP

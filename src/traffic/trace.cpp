@@ -1,0 +1,140 @@
+#include "traffic/trace.hpp"
+
+#include <algorithm>
+#include <array>
+#include <fstream>
+#include <iterator>
+#include <istream>
+#include <ostream>
+
+#include "util/logging.hpp"
+
+namespace turnmodel {
+
+namespace {
+
+constexpr char kMagic[8] = {'T', 'M', 'T', 'R', 'A', 'C', 'E', '1'};
+constexpr std::size_t kRecordBytes = 8 + 4 + 4 + 4;
+
+void
+putU64(char *out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+}
+
+void
+putU32(char *out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+}
+
+std::uint64_t
+getU64(const char *in)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(
+                 static_cast<unsigned char>(in[i]))
+            << (8 * i);
+    return v;
+}
+
+std::uint32_t
+getU32(const char *in)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(
+                 static_cast<unsigned char>(in[i]))
+            << (8 * i);
+    return v;
+}
+
+} // namespace
+
+void
+InjectionTrace::append(const InjectionRecord &rec)
+{
+    TM_ASSERT(records_.empty() || rec.cycle >= records_.back().cycle,
+              "injection trace must be chronological");
+    records_.push_back(rec);
+}
+
+bool
+InjectionTrace::save(std::ostream &os) const
+{
+    os.write(kMagic, sizeof(kMagic));
+    std::array<char, kRecordBytes> buf;
+    putU64(buf.data(), static_cast<std::uint64_t>(records_.size()));
+    os.write(buf.data(), 8);
+    for (const InjectionRecord &rec : records_) {
+        putU64(buf.data(), rec.cycle);
+        putU32(buf.data() + 8, rec.src);
+        putU32(buf.data() + 12, rec.dest);
+        putU32(buf.data() + 16, rec.length);
+        os.write(buf.data(), kRecordBytes);
+    }
+    return static_cast<bool>(os);
+}
+
+bool
+InjectionTrace::saveFile(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+        TM_WARN("cannot write ", path);
+        return false;
+    }
+    return save(out);
+}
+
+bool
+InjectionTrace::load(std::istream &is)
+{
+    records_.clear();
+    char magic[sizeof(kMagic)];
+    if (!is.read(magic, sizeof(magic))
+        || !std::equal(std::begin(magic), std::end(magic),
+                       std::begin(kMagic))) {
+        return false;
+    }
+    std::array<char, kRecordBytes> buf;
+    if (!is.read(buf.data(), 8))
+        return false;
+    const std::uint64_t count = getU64(buf.data());
+    records_.reserve(count);
+    std::uint64_t prev_cycle = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        if (!is.read(buf.data(), kRecordBytes)) {
+            records_.clear();
+            return false;
+        }
+        InjectionRecord rec;
+        rec.cycle = getU64(buf.data());
+        rec.src = getU32(buf.data() + 8);
+        rec.dest = getU32(buf.data() + 12);
+        rec.length = getU32(buf.data() + 16);
+        if (rec.cycle < prev_cycle || rec.length == 0) {
+            records_.clear();
+            return false;
+        }
+        prev_cycle = rec.cycle;
+        records_.push_back(rec);
+    }
+    return true;
+}
+
+bool
+InjectionTrace::loadFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        TM_WARN("cannot read ", path);
+        return false;
+    }
+    return load(in);
+}
+
+} // namespace turnmodel

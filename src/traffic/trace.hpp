@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Compact binary injection trace: the packets a run enqueued at its
+ * sources, in generation order, as (cycle, src, dest, length)
+ * records. A trace captured from one run (ObsConfig::
+ * capture_injections) replays through the replay workload source
+ * (WorkloadConfig::replay) as a deterministic TrafficPattern-level
+ * workload: the same packets enter the same source queues on the
+ * same cycles, so under a deterministic selection policy the replay
+ * reproduces the original run's metrics byte for byte.
+ *
+ * On-disk format (little-endian, fixed width, validated by
+ * tools/validate_trace_format.py):
+ *
+ *   offset 0   8 bytes   magic "TMTRACE1"
+ *   offset 8   8 bytes   u64 record count
+ *   offset 16  20 bytes  per record: u64 cycle, u32 src, u32 dest,
+ *                        u32 length
+ *
+ * Records are ordered by (cycle, generation order within the cycle);
+ * generation order is node-ascending, matching the engines' staging
+ * order, so loading never needs to sort.
+ */
+
+#ifndef TURNMODEL_TRAFFIC_TRACE_HPP
+#define TURNMODEL_TRAFFIC_TRACE_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "topology/coordinates.hpp"
+
+namespace turnmodel {
+
+/** One captured packet injection. */
+struct InjectionRecord
+{
+    std::uint64_t cycle = 0;    ///< Cycle the packet was enqueued.
+    NodeId src = 0;
+    NodeId dest = 0;
+    std::uint32_t length = 0;   ///< Flits.
+};
+
+/** An append-only sequence of injections with binary round-trip IO. */
+class InjectionTrace
+{
+  public:
+    /** Append one record; cycles must be non-decreasing. */
+    void append(const InjectionRecord &rec);
+
+    const std::vector<InjectionRecord> &records() const
+    {
+        return records_;
+    }
+    std::size_t size() const { return records_.size(); }
+    bool empty() const { return records_.empty(); }
+
+    /** Serialize in the on-disk format. @return false on IO error. */
+    bool save(std::ostream &os) const;
+    bool saveFile(const std::string &path) const;
+
+    /**
+     * Parse the on-disk format, replacing this trace's contents.
+     * @return false (leaving the trace empty) on a bad magic,
+     * truncated stream, or non-chronological records.
+     */
+    bool load(std::istream &is);
+    bool loadFile(const std::string &path);
+
+  private:
+    std::vector<InjectionRecord> records_;
+};
+
+} // namespace turnmodel
+
+#endif // TURNMODEL_TRAFFIC_TRACE_HPP

@@ -10,12 +10,15 @@
 #define TURNMODEL_TRAFFIC_WORKLOAD_HPP
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "util/rng.hpp"
 
 namespace turnmodel {
+
+class InjectionTrace;
 
 /** Discrete distribution over packet lengths in flits. */
 class PacketLengthDist
@@ -81,6 +84,88 @@ class ArrivalProcess
     double mean_interarrival_;
     double next_arrival_;
     Rng rng_;
+};
+
+/**
+ * Production-traffic knobs layered on top of the base Poisson
+ * workload (all off by default, in which case generation is
+ * bit-identical to the plain open-loop setup). Consumed by the
+ * engines through the per-node NodeSource (traffic/source.hpp).
+ */
+struct WorkloadConfig
+{
+    /**
+     * Closed-loop request/reply: delivery of a (non-reply) packet at
+     * its destination enqueues a reply back to the source after
+     * think_cycles, making traffic message-dependent — reply
+     * generation adds dependency edges the turn-prohibition argument
+     * alone does not cover (the arbitrary-dependency-graph setting
+     * of Mendlovic & Matias). Replies keep flowing while stochastic
+     * generation is disabled, so drain phases model the dependency
+     * chain faithfully.
+     */
+    bool request_reply = false;
+
+    /** Reply packet length in flits. */
+    std::uint32_t reply_length = 10;
+
+    /** Cycles between a request's delivery and its reply entering
+     * the source queue (0 = the reply is staged the next cycle). */
+    std::uint64_t think_cycles = 0;
+
+    /**
+     * MMPP (Markov-modulated Poisson) ON/OFF burst modulation: mean
+     * dwell times, in cycles, of the per-node ON and OFF phases
+     * (both exponentially distributed). During ON the node injects
+     * at rate * (on + off) / on so the long-run offered load still
+     * equals injection_rate; during OFF the arrival clock freezes
+     * (residual inter-arrival time carried across the gap). Zero
+     * (either field) keeps plain Poisson arrivals.
+     */
+    double burst_on_cycles = 0.0;
+    double burst_off_cycles = 0.0;
+
+    /**
+     * Flash-crowd hotspot storms: for storm_duty of every
+     * storm_period_cycles window (deterministic cycle arithmetic,
+     * aligned at cycle 0), each freshly drawn destination is
+     * redirected to the storm hotspot with probability
+     * storm_fraction. Zero period disables storms.
+     */
+    std::uint64_t storm_period_cycles = 0;
+    double storm_duty = 0.5;
+    double storm_fraction = 0.0;
+
+    /** Storm target node; -1 picks the topology's center node. */
+    std::int64_t storm_hotspot = -1;
+
+    /**
+     * Deterministic trace replay: when set, stochastic generation is
+     * replaced entirely by the captured records (traffic/trace.hpp)
+     * — each record enters its source queue on its recorded cycle,
+     * consuming no RNG. Request/reply, MMPP, and storms are ignored
+     * in replay (a captured closed-loop run already contains its
+     * replies as records).
+     */
+    std::shared_ptr<const InjectionTrace> replay;
+
+    /** Whether deliveries must be routed back to the sources. */
+    bool closedLoop() const
+    {
+        return request_reply && replay == nullptr;
+    }
+
+    /** Whether the MMPP modulation is active. */
+    bool bursty() const
+    {
+        return burst_on_cycles > 0.0 && burst_off_cycles > 0.0;
+    }
+
+    /** Whether storm windows are active. */
+    bool storms() const
+    {
+        return storm_period_cycles > 0 && storm_fraction > 0.0;
+    }
 };
 
 } // namespace turnmodel

@@ -150,4 +150,127 @@ Histogram::quantile(double q, bool *clamped) const
     return hi_;
 }
 
+P2Quantile::P2Quantile(double q)
+    : q_(q)
+{
+    TM_ASSERT(q > 0.0 && q < 1.0, "quantile must be in (0,1)");
+    // Markers at 0, three quarters below q, q itself, three quarters
+    // inside the tail above q, and 1.
+    target_[0] = 0.0;
+    for (std::size_t i = 1; i <= 3; ++i)
+        target_[i] = q * static_cast<double>(i) / 4.0;
+    target_[4] = q;
+    for (std::size_t i = 5; i <= 7; ++i)
+        target_[i] =
+            q + (1.0 - q) * static_cast<double>(i - 4) / 4.0;
+    target_[kMarkers - 1] = 1.0;
+    reset();
+}
+
+void
+P2Quantile::reset()
+{
+    count_ = 0;
+    for (std::size_t i = 0; i < kMarkers; ++i) {
+        height_[i] = 0.0;
+        pos_[i] = static_cast<double>(i + 1);
+        desired_[i] = static_cast<double>(i + 1);
+    }
+}
+
+void
+P2Quantile::add(double x)
+{
+    if (count_ < kMarkers) {
+        // Warm-up: buffer the first kMarkers samples in the height
+        // array, kept sorted by insertion.
+        std::size_t i = count_;
+        while (i > 0 && height_[i - 1] > x) {
+            height_[i] = height_[i - 1];
+            --i;
+        }
+        height_[i] = x;
+        ++count_;
+        if (count_ == kMarkers) {
+            // Warm-up complete: markers sit at ranks 1..kMarkers;
+            // anchor the desired positions to the classic formula
+            // n'_i = 1 + t_i (n - 1) so the non-uniform targets
+            // start consistent with their long-run trajectory.
+            for (std::size_t j = 0; j < kMarkers; ++j)
+                desired_[j] = 1.0
+                    + target_[j] * static_cast<double>(kMarkers - 1);
+        }
+        return;
+    }
+
+    // Locate the cell [height_[k], height_[k+1]) containing x,
+    // extending the extreme markers when x falls outside.
+    std::size_t k;
+    if (x < height_[0]) {
+        height_[0] = x;
+        k = 0;
+    } else if (x >= height_[kMarkers - 1]) {
+        height_[kMarkers - 1] = std::max(height_[kMarkers - 1], x);
+        k = kMarkers - 2;
+    } else {
+        k = 0;
+        while (k + 1 < kMarkers - 1 && x >= height_[k + 1])
+            ++k;
+    }
+    for (std::size_t i = k + 1; i < kMarkers; ++i)
+        pos_[i] += 1.0;
+    for (std::size_t i = 0; i < kMarkers; ++i)
+        desired_[i] += target_[i];
+    ++count_;
+
+    // Adjust the interior markers toward their desired positions,
+    // moving each by at most one rank per sample: parabolic (P²)
+    // interpolation when the result stays strictly between the
+    // neighboring heights, linear otherwise.
+    for (std::size_t i = 1; i + 1 < kMarkers; ++i) {
+        const double d = desired_[i] - pos_[i];
+        const bool up = d >= 1.0 && pos_[i + 1] - pos_[i] > 1.0;
+        const bool down = d <= -1.0 && pos_[i - 1] - pos_[i] < -1.0;
+        if (!up && !down)
+            continue;
+        const double s = up ? 1.0 : -1.0;
+        const double np = pos_[i + 1];
+        const double pp = pos_[i - 1];
+        const double cp = pos_[i];
+        double h = height_[i]
+            + s / (np - pp)
+                * ((cp - pp + s) * (height_[i + 1] - height_[i])
+                       / (np - cp)
+                   + (np - cp - s) * (height_[i] - height_[i - 1])
+                       / (cp - pp));
+        if (h <= height_[i - 1] || h >= height_[i + 1]) {
+            // Parabolic prediction left the bracket: fall back to
+            // linear interpolation toward the neighbor in s's
+            // direction.
+            const std::size_t j = up ? i + 1 : i - 1;
+            h = height_[i]
+                + s * (height_[j] - height_[i]) / (pos_[j] - cp);
+        }
+        height_[i] = h;
+        pos_[i] += s;
+    }
+}
+
+double
+P2Quantile::value() const
+{
+    if (count_ == 0)
+        return 0.0;
+    if (count_ <= kMarkers) {
+        // Exact nearest-rank order statistic of the warm-up buffer.
+        const auto n = static_cast<double>(count_);
+        auto rank = static_cast<std::size_t>(
+            std::ceil(q_ * n));
+        if (rank == 0)
+            rank = 1;
+        return height_[rank - 1];
+    }
+    return height_[4];   // The marker tracking q itself.
+}
+
 } // namespace turnmodel

@@ -1,8 +1,11 @@
 /**
  * @file
  * Lightweight statistics accumulators used by the simulator's metrics
- * layer: running mean/variance (Welford), min/max tracking, and a
- * fixed-width histogram for latency distributions.
+ * layer: running mean/variance (Welford), min/max tracking, a
+ * fixed-width histogram for latency distributions, and a streaming
+ * constant-memory quantile estimator (extended P²) for long-horizon
+ * soak runs where a fixed-range histogram would either overflow or
+ * report meaningless bin widths.
  */
 
 #ifndef TURNMODEL_UTIL_STATS_HPP
@@ -93,6 +96,50 @@ class Histogram
     std::uint64_t underflow_ = 0;
     std::uint64_t overflow_ = 0;
     std::uint64_t total_ = 0;
+};
+
+/**
+ * Streaming quantile estimator: the P² algorithm (Jain & Chlamtac,
+ * CACM 1985) extended with extra markers clustered around the target
+ * quantile for tail resolution. Memory and per-sample cost are
+ * constant regardless of the sample count — the property a 10^8-cycle
+ * soak run needs — and the estimate is a pure function of the sample
+ * sequence, so it preserves the simulator's bit-reproducibility.
+ *
+ * Nine markers track the quantiles {0, q/4, q/2, 3q/4, q,
+ * q+(1-q)/4, q+(1-q)/2, q+3(1-q)/4, 1}: the four inner markers above
+ * q sit inside the tail, which keeps the parabolic interpolation
+ * local to the region that matters for a p99. Until the marker array
+ * is filled the exact nearest-rank order statistic of the buffered
+ * samples is returned, so small runs lose no accuracy.
+ */
+class P2Quantile
+{
+  public:
+    /** @param q Target quantile in (0, 1), e.g. 0.99. */
+    explicit P2Quantile(double q);
+
+    void add(double x);
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+
+    /** Current estimate of the q-quantile; 0 with no samples. */
+    double value() const;
+
+  private:
+    static constexpr std::size_t kMarkers = 9;
+
+    double q_;
+    /** Quantile each marker tracks (kMarkers entries, 0 .. 1). */
+    double target_[kMarkers];
+    /** Marker heights (sample-value estimates), ascending. */
+    double height_[kMarkers];
+    /** Actual marker positions (1-based sample ranks). */
+    double pos_[kMarkers];
+    /** Desired marker positions, advanced by target_ per sample. */
+    double desired_[kMarkers];
+    std::uint64_t count_ = 0;
 };
 
 } // namespace turnmodel

@@ -128,10 +128,11 @@ TEST(ObsIntegration, StudyJsonCarriesSchemaAndRuns)
 
     const ObsStudy study = Runner(2).runObs(spec, 0.05, obs);
     const std::string json = obsJson(study);
-    EXPECT_NE(json.find("\"schema\": \"turnmodel-obs-study-v2\""),
+    EXPECT_NE(json.find("\"schema\": \"turnmodel-obs-study-v3\""),
               std::string::npos);
     EXPECT_NE(json.find("\"schema\": \"turnmodel-obs-v1\""),
               std::string::npos);
+    EXPECT_NE(json.find("\"trace_dropped\""), std::string::npos);
     EXPECT_NE(json.find("\"algorithm\": \"xy\""), std::string::npos);
     EXPECT_NE(json.find("\"algorithm\": \"west-first\""),
               std::string::npos);

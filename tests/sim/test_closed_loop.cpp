@@ -1,0 +1,351 @@
+/**
+ * @file
+ * Closed-loop request/reply and workload-feature tests across both
+ * engines: replies are generated and delivered, keep flowing through
+ * drain phases (message-dependent chains), stay bit-identical at any
+ * shard count, and a captured injection trace replays to identical
+ * metrics. Also the soak-class regression tests: a warmup deadlock
+ * must skip the measurement window, delivered_ratio is clamped to
+ * 1.0, and long bursty runs hold a constant packet-pool high-water
+ * mark.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "core/routing/factory.hpp"
+#include "core/routing/turn_table.hpp"
+#include "sim/simulator.hpp"
+#include "topology/mesh.hpp"
+#include "traffic/pattern.hpp"
+#include "traffic/permutation.hpp"
+#include "traffic/trace.hpp"
+
+namespace turnmodel {
+namespace {
+
+/** Quarter-rotation permutation: every packet turns the same way. */
+class RotationPattern : public PermutationTraffic
+{
+  public:
+    explicit RotationPattern(const Topology &topo)
+        : PermutationTraffic(topo)
+    {
+    }
+
+    NodeId map(NodeId src) const override
+    {
+        const Coords c = topo_.coords(src);
+        const int m = topo_.radix(0);
+        return topo_.node({c[1], m - 1 - c[0]});
+    }
+
+    std::string name() const override { return "rotation"; }
+};
+
+SimConfig
+closedLoopConfig(RouterModel model)
+{
+    SimConfig cfg;
+    cfg.router_model = model;
+    cfg.injection_rate = 0.05;
+    // Requests and replies get distinct lengths so completions can
+    // be told apart.
+    cfg.lengths = PacketLengthDist::fixed(16);
+    cfg.workload.request_reply = true;
+    cfg.workload.reply_length = 4;
+    cfg.workload.think_cycles = 3;
+    return cfg;
+}
+
+/** Step @p cycles cycles collecting every completion. */
+std::vector<Completion>
+stepAndCollect(NetworkEngine &net, std::uint64_t cycles)
+{
+    std::vector<Completion> all, batch;
+    for (std::uint64_t c = 0; c < cycles; ++c) {
+        net.step();
+        net.drainCompletions(batch);
+        all.insert(all.end(), batch.begin(), batch.end());
+    }
+    return all;
+}
+
+/** Exact (bitwise) digest of a completion stream plus counters. */
+std::string
+digest(const std::vector<Completion> &completions,
+       const NetworkCounters &counters)
+{
+    std::ostringstream os;
+    os << std::hexfloat;
+    for (const Completion &c : completions) {
+        os << c.id << ',' << c.src << ',' << c.dest << ',' << c.length
+           << ',' << c.hops << ',' << c.created << ',' << c.injected
+           << ',' << c.delivered << '\n';
+    }
+    os << counters.packets_generated << ' ' << counters.flits_delivered
+       << ' ' << counters.flit_moves << ' '
+       << counters.flits_in_network;
+    return os.str();
+}
+
+class ClosedLoopEngines : public ::testing::TestWithParam<RouterModel>
+{
+};
+
+TEST_P(ClosedLoopEngines, RepliesAreGeneratedAndDelivered)
+{
+    NDMesh mesh = NDMesh::mesh2D(8, 8);
+    const RoutingPtr routing = makeRouting("xy", mesh);
+    const PatternPtr pattern = makePattern("uniform", mesh);
+    const SimConfig cfg = closedLoopConfig(GetParam());
+
+    const auto net = makeEngine(*routing, *pattern, cfg);
+    const std::vector<Completion> done = stepAndCollect(*net, 6000);
+
+    std::size_t requests = 0, replies = 0;
+    for (const Completion &c : done) {
+        if (c.length == 16)
+            ++requests;
+        else if (c.length == 4)
+            ++replies;
+        else
+            FAIL() << "unexpected packet length " << c.length;
+    }
+    EXPECT_GT(requests, 100u);
+    EXPECT_GT(replies, 100u);
+    // Every reply answers a delivered request; with think time the
+    // tail can still be pending, so replies never lead.
+    EXPECT_LE(replies, requests);
+}
+
+TEST_P(ClosedLoopEngines, RepliesKeepFlowingThroughDrain)
+{
+    // Message-dependent chains must survive the drain phase: with
+    // stochastic generation disabled, deliveries of in-flight
+    // requests still enqueue replies, and a deadlock-free algorithm
+    // must drain the whole dependency chain to empty.
+    NDMesh mesh = NDMesh::mesh2D(8, 8);
+    const RoutingPtr routing = makeRouting("west-first", mesh);
+    const PatternPtr pattern = makePattern("transpose", mesh);
+    SimConfig cfg = closedLoopConfig(GetParam());
+    cfg.injection_rate = 0.1;
+
+    const auto net = makeEngine(*routing, *pattern, cfg);
+    (void)stepAndCollect(*net, 3000);
+    net->setGenerationEnabled(false);
+
+    std::vector<Completion> batch;
+    std::size_t drained_replies = 0;
+    while (net->now() < 100000
+           && (net->counters().flits_in_network > 0
+               || net->sourceQueuePackets() > 0)) {
+        net->step();
+        net->drainCompletions(batch);
+        for (const Completion &c : batch)
+            drained_replies += c.length == 4 ? 1 : 0;
+    }
+    EXPECT_GT(drained_replies, 0u)
+        << "drain phase delivered no replies";
+    EXPECT_EQ(net->counters().flits_in_network, 0u);
+    EXPECT_FALSE(net->deadlockDetected());
+}
+
+TEST_P(ClosedLoopEngines, BitIdenticalAcrossShardCounts)
+{
+    NDMesh mesh = NDMesh::mesh2D(8, 8);
+    const RoutingPtr routing = makeRouting("xy", mesh);
+    const PatternPtr pattern = makePattern("uniform", mesh);
+    SimConfig cfg = closedLoopConfig(GetParam());
+    cfg.sim_threads = 1;
+
+    const auto serial = makeEngine(*routing, *pattern, cfg);
+    const std::string expected =
+        digest(stepAndCollect(*serial, 4000), serial->counters());
+
+    for (unsigned threads : {2u, 4u}) {
+        cfg.sim_threads = threads;
+        const auto sharded = makeEngine(*routing, *pattern, cfg);
+        EXPECT_EQ(digest(stepAndCollect(*sharded, 4000),
+                         sharded->counters()),
+                  expected)
+            << threads << " shards";
+    }
+}
+
+TEST_P(ClosedLoopEngines, BurstyStormBitIdenticalAcrossShardCounts)
+{
+    NDMesh mesh = NDMesh::mesh2D(8, 8);
+    const RoutingPtr routing = makeRouting("xy", mesh);
+    const PatternPtr pattern = makePattern("uniform", mesh);
+    SimConfig cfg;
+    cfg.router_model = GetParam();
+    cfg.injection_rate = 0.08;
+    cfg.workload.burst_on_cycles = 80.0;
+    cfg.workload.burst_off_cycles = 240.0;
+    cfg.workload.storm_period_cycles = 1000;
+    cfg.workload.storm_duty = 0.25;
+    cfg.workload.storm_fraction = 0.3;
+    cfg.sim_threads = 1;
+
+    const auto serial = makeEngine(*routing, *pattern, cfg);
+    const std::string expected =
+        digest(stepAndCollect(*serial, 4000), serial->counters());
+
+    cfg.sim_threads = 4;
+    const auto sharded = makeEngine(*routing, *pattern, cfg);
+    EXPECT_EQ(digest(stepAndCollect(*sharded, 4000),
+                     sharded->counters()),
+              expected);
+}
+
+/** Every SimResult field, bitwise. */
+std::string
+fingerprint(const SimResult &r)
+{
+    std::ostringstream os;
+    os << std::hexfloat << r.offered_flits_per_us << ' '
+       << r.throughput_flits_per_us << ' ' << r.avg_latency_us << ' '
+       << r.avg_network_latency_us << ' ' << r.p99_latency_us << ' '
+       << r.avg_hops << ' ' << r.packets_measured << ' '
+       << r.saturated << ' ' << r.deadlocked << ' '
+       << r.queue_growth_packets << ' ' << r.delivered_ratio;
+    return os.str();
+}
+
+TEST_P(ClosedLoopEngines, CapturedTraceReplaysToIdenticalMetrics)
+{
+    NDMesh mesh = NDMesh::mesh2D(6, 6);
+    const RoutingPtr routing = makeRouting("xy", mesh);
+    const PatternPtr pattern = makePattern("uniform", mesh);
+
+    SimConfig cfg = closedLoopConfig(GetParam());
+    cfg.warmup_cycles = 1000;
+    cfg.measure_cycles = 4000;
+    cfg.obs.capture_injections = true;
+
+    Simulator capture_sim(*routing, *pattern, cfg);
+    const SimResult captured = capture_sim.run();
+    const InjectionTrace *log =
+        capture_sim.network().observer()->injections();
+    ASSERT_NE(log, nullptr);
+    ASSERT_FALSE(log->empty());
+
+    // Round-trip through the binary format, then replay: the same
+    // packets enter the same source queues on the same cycles, so
+    // every metric matches bit for bit.
+    std::stringstream bytes;
+    ASSERT_TRUE(log->save(bytes));
+    auto replay = std::make_shared<InjectionTrace>();
+    ASSERT_TRUE(replay->load(bytes));
+    ASSERT_EQ(replay->size(), log->size());
+
+    SimConfig replay_cfg = closedLoopConfig(GetParam());
+    replay_cfg.warmup_cycles = cfg.warmup_cycles;
+    replay_cfg.measure_cycles = cfg.measure_cycles;
+    replay_cfg.workload.replay = replay;
+    Simulator replay_sim(*routing, *pattern, replay_cfg);
+    EXPECT_EQ(fingerprint(replay_sim.run()), fingerprint(captured));
+}
+
+TEST_P(ClosedLoopEngines, DeliveredRatioClampedWithReplyTraffic)
+{
+    // Replies are delivered but never offered, so the raw
+    // delivered/offered quotient of a closed-loop run exceeds 1.0;
+    // the reported ratio must be clamped (S3) and the spillover must
+    // not be misread as saturation headroom.
+    NDMesh mesh = NDMesh::mesh2D(8, 8);
+    const RoutingPtr routing = makeRouting("xy", mesh);
+    const PatternPtr pattern = makePattern("uniform", mesh);
+    SimConfig cfg = closedLoopConfig(GetParam());
+    cfg.workload.reply_length = 16;   // Replies double the flits.
+    // Keep the total (request + reply) load light enough that even
+    // the VC engine's tighter buffers sustain it: the test is about
+    // the clamp, not the saturation point.
+    cfg.injection_rate = 0.025;
+    cfg.warmup_cycles = 2000;
+    cfg.measure_cycles = 6000;
+
+    Simulator sim(*routing, *pattern, cfg);
+    const SimResult r = sim.run();
+    EXPECT_FALSE(r.deadlocked);
+    EXPECT_LE(r.delivered_ratio, 1.0);
+    EXPECT_DOUBLE_EQ(r.delivered_ratio, 1.0)
+        << "reply spillover should pin the clamped ratio at 1.0";
+    EXPECT_FALSE(r.saturated);
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, ClosedLoopEngines,
+                         ::testing::Values(RouterModel::Classic,
+                                           RouterModel::VcCredit));
+
+TEST(ClosedLoop, WarmupDeadlockSkipsMeasurementWindow)
+{
+    // S1 regression: a deadlock tripped during warmup used to fall
+    // through into the measurement loop and report a window of
+    // frozen-network cycles as data. The run must instead return a
+    // zero-width window flagged deadlocked and saturated.
+    NDMesh mesh = NDMesh::mesh2D(8, 8);
+    TurnSet all(2);
+    all.allowAll90();
+    all.allowAllStraight();
+    TurnTableRouting routing(mesh, all, true, "fully-adaptive");
+    RotationPattern rotation(mesh);
+
+    SimConfig cfg;
+    cfg.injection_rate = 0.9;
+    cfg.output_selection = OutputSelection::Random;
+    cfg.deadlock_threshold = 1500;
+    cfg.warmup_cycles = 60000;
+    cfg.measure_cycles = 5000;
+    cfg.seed = 11;
+
+    Simulator sim(routing, rotation, cfg);
+    const SimResult r = sim.run();
+    EXPECT_TRUE(r.deadlocked);
+    EXPECT_TRUE(r.saturated);
+    EXPECT_EQ(r.packets_measured, 0u);
+    EXPECT_DOUBLE_EQ(r.throughput_flits_per_us, 0.0);
+    EXPECT_DOUBLE_EQ(r.avg_latency_us, 0.0);
+    EXPECT_GT(r.offered_flits_per_us, 0.0);
+}
+
+TEST(ClosedLoop, SoakHoldsConstantPacketPoolHighWaterMark)
+{
+    // Long-horizon bursty soak smoke: the packet pool may grow while
+    // the network fills, but a leaky steady state would keep doubling
+    // the arena. The high-water mark over the second half must stay
+    // below twice the midpoint mark (rare storm bursts may add a few
+    // slots; a leak grows linearly in cycles).
+    NDMesh mesh = NDMesh::mesh2D(8, 8);
+    const RoutingPtr routing = makeRouting("west-first", mesh);
+    const PatternPtr pattern = makePattern("uniform", mesh);
+    SimConfig cfg;
+    cfg.injection_rate = 0.06;
+    cfg.workload.burst_on_cycles = 100.0;
+    cfg.workload.burst_off_cycles = 300.0;
+    cfg.workload.storm_period_cycles = 2000;
+    cfg.workload.storm_duty = 0.2;
+    cfg.workload.storm_fraction = 0.4;
+
+    const auto net = makeEngine(*routing, *pattern, cfg);
+    std::vector<Completion> batch;
+    constexpr std::uint64_t kChunk = 30000;
+    std::size_t mid_cap = 0;
+    for (int checkpoint = 0; checkpoint < 10; ++checkpoint) {
+        for (std::uint64_t c = 0; c < kChunk; ++c)
+            net->step();
+        net->drainCompletions(batch);
+        if (checkpoint == 4)
+            mid_cap = net->packetPoolCapacity();
+    }
+    EXPECT_GT(mid_cap, 0u);
+    EXPECT_LT(net->packetPoolCapacity(), 2 * mid_cap);
+    EXPECT_FALSE(net->deadlockDetected());
+}
+
+} // namespace
+} // namespace turnmodel

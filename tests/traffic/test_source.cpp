@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Unit tests for the per-node workload source (traffic/source.hpp):
+ * the open-loop determinism contract against the classic
+ * ArrivalProcess loop, MMPP burst modulation, flash-crowd storms,
+ * closed-loop reply queuing, and deterministic trace replay.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "topology/mesh.hpp"
+#include "traffic/pattern.hpp"
+#include "traffic/source.hpp"
+#include "traffic/trace.hpp"
+#include "traffic/workload.hpp"
+
+namespace turnmodel {
+namespace {
+
+/** Emit every cycle in [0, cycles) into one flat list. */
+std::vector<SourcedPacket>
+emitAll(NodeSource &source, std::uint64_t cycles,
+        bool arrivals_enabled = true)
+{
+    std::vector<SourcedPacket> out;
+    for (std::uint64_t now = 0; now < cycles; ++now)
+        source.emit(now, arrivals_enabled, out);
+    return out;
+}
+
+TEST(NodeSource, OpenLoopMatchesClassicArrivalProcess)
+{
+    // The determinism contract: with every workload feature off, the
+    // RNG consumption sequence is bit-identical to the inline
+    // ArrivalProcess loop the engines used before (advance, then
+    // destination draw, then length draw; self-directed destinations
+    // skip the length draw).
+    NDMesh mesh = NDMesh::mesh2D(4, 4);
+    const PatternPtr pattern = makePattern("uniform", mesh);
+    const auto lengths = PacketLengthDist::paperBimodal();
+    const WorkloadConfig workload;
+    constexpr double kRate = 0.3;
+    constexpr std::uint64_t kSeed = 99;
+    constexpr std::uint64_t kCycles = 5000;
+
+    std::vector<NodeSource> sources = buildNodeSources(
+        mesh.numNodes(), kRate, lengths, *pattern, workload, kSeed);
+
+    for (NodeId v = 0; v < mesh.numNodes(); ++v) {
+        std::vector<SourcedPacket> expected;
+        ArrivalProcess classic(kRate, lengths.mean(),
+                               Rng::forStream(kSeed, v + 1));
+        for (std::uint64_t now = 0; now < kCycles; ++now) {
+            while (classic.due(static_cast<double>(now))) {
+                classic.advance();
+                const auto dest =
+                    pattern->destination(v, classic.rng());
+                if (!dest)
+                    continue;
+                expected.push_back(
+                    {v, *dest, lengths.sample(classic.rng()), false});
+            }
+        }
+
+        const std::vector<SourcedPacket> got =
+            emitAll(sources[v], kCycles);
+        ASSERT_EQ(got.size(), expected.size()) << "node " << v;
+        for (std::size_t i = 0; i < got.size(); ++i) {
+            EXPECT_EQ(got[i].src, expected[i].src);
+            EXPECT_EQ(got[i].dest, expected[i].dest);
+            EXPECT_EQ(got[i].length, expected[i].length);
+            EXPECT_FALSE(got[i].reply);
+        }
+    }
+}
+
+TEST(NodeSource, MmppLongRunRateMatchesConfigured)
+{
+    // ON-phase scaling keeps the long-run offered load equal to the
+    // configured rate even though injection happens in bursts.
+    NDMesh mesh = NDMesh::mesh2D(4, 4);
+    const PatternPtr pattern = makePattern("uniform", mesh);
+    const auto lengths = PacketLengthDist::fixed(4);
+    WorkloadConfig workload;
+    workload.burst_on_cycles = 100.0;
+    workload.burst_off_cycles = 300.0;
+    constexpr double kRate = 0.2;
+    constexpr std::uint64_t kCycles = 400000;
+
+    std::vector<NodeSource> sources = buildNodeSources(
+        mesh.numNodes(), kRate, lengths, *pattern, workload, 5);
+
+    // Aggregate over all 16 nodes to shrink burst variance.
+    std::uint64_t flits = 0;
+    for (NodeSource &s : sources) {
+        for (const SourcedPacket &p : emitAll(s, kCycles))
+            flits += p.length;
+    }
+    const double offered = static_cast<double>(flits)
+        / static_cast<double>(kCycles * mesh.numNodes());
+    EXPECT_NEAR(offered, kRate, kRate * 0.05);
+}
+
+TEST(NodeSource, MmppDueCacheNeverMovesEarlier)
+{
+    // The engines mirror nextDue() into a flat cache refreshed only
+    // on emission, so a due time that moved earlier between refreshes
+    // would make the cache skip arrivals. Entering an OFF phase
+    // shifts both clocks later; the reported due must be monotone.
+    NDMesh mesh = NDMesh::mesh2D(4, 4);
+    const PatternPtr pattern = makePattern("uniform", mesh);
+    const auto lengths = PacketLengthDist::fixed(8);
+    WorkloadConfig workload;
+    workload.burst_on_cycles = 50.0;
+    workload.burst_off_cycles = 200.0;
+
+    std::vector<NodeSource> sources = buildNodeSources(
+        mesh.numNodes(), 0.25, lengths, *pattern, workload, 21);
+    NodeSource &source = sources[3];
+
+    std::vector<SourcedPacket> out;
+    double last_due = source.nextDue(true);
+    for (std::uint64_t now = 0; now < 100000; ++now) {
+        if (static_cast<double>(now) < last_due)
+            continue;   // Cache says nothing is due: skip the scan.
+        out.clear();
+        source.emit(now, true, out);
+        const double due = source.nextDue(true);
+        EXPECT_GE(due, last_due) << "at cycle " << now;
+        EXPECT_GT(due, static_cast<double>(now));
+        last_due = due;
+    }
+}
+
+TEST(NodeSource, StormWindowRedirectsToHotspot)
+{
+    // fraction 1.0 and duty 1.0: every arrival drawn by every node
+    // other than the hotspot is redirected at the hotspot.
+    NDMesh mesh = NDMesh::mesh2D(4, 4);
+    const PatternPtr pattern = makePattern("uniform", mesh);
+    const auto lengths = PacketLengthDist::fixed(2);
+    WorkloadConfig workload;
+    workload.storm_period_cycles = 100;
+    workload.storm_duty = 1.0;
+    workload.storm_fraction = 1.0;
+    workload.storm_hotspot = 5;
+
+    std::vector<NodeSource> sources = buildNodeSources(
+        mesh.numNodes(), 0.3, lengths, *pattern, workload, 17);
+
+    for (NodeId v = 0; v < mesh.numNodes(); ++v) {
+        const std::vector<SourcedPacket> got =
+            emitAll(sources[v], 20000);
+        ASSERT_FALSE(got.empty()) << "node " << v;
+        for (const SourcedPacket &p : got) {
+            if (v == 5)
+                EXPECT_NE(p.dest, v);   // Hotspot keeps its pattern.
+            else
+                EXPECT_EQ(p.dest, 5u) << "node " << v;
+        }
+    }
+}
+
+TEST(NodeSource, StormOutsideWindowLeavesPatternAlone)
+{
+    // duty 0: the window is empty, so storms never fire even with
+    // fraction 1.0.
+    NDMesh mesh = NDMesh::mesh2D(4, 4);
+    const PatternPtr pattern = makePattern("transpose", mesh);
+    const auto lengths = PacketLengthDist::fixed(2);
+    WorkloadConfig workload;
+    workload.storm_period_cycles = 100;
+    workload.storm_duty = 0.0;
+    workload.storm_fraction = 1.0;
+    workload.storm_hotspot = 0;
+
+    std::vector<NodeSource> sources = buildNodeSources(
+        mesh.numNodes(), 0.3, lengths, *pattern, workload, 17);
+    // Transpose is a fixed permutation: every emission must keep the
+    // pattern's destination, never the hotspot's.
+    Rng probe(0);
+    const NodeId expected = *pattern->destination(7, probe);
+    ASSERT_NE(expected, 0u);
+    for (const SourcedPacket &p : emitAll(sources[7], 20000))
+        EXPECT_EQ(p.dest, expected);
+}
+
+TEST(NodeSource, RepliesEmitFirstAndSurviveDrain)
+{
+    // Replies mature at their due cycle, come before same-cycle
+    // arrivals, and keep flowing when stochastic arrivals are
+    // disabled — the drain-phase behavior closed-loop runs need.
+    NDMesh mesh = NDMesh::mesh2D(4, 4);
+    const PatternPtr pattern = makePattern("uniform", mesh);
+    const auto lengths = PacketLengthDist::fixed(6);
+    WorkloadConfig workload;
+    workload.request_reply = true;
+
+    std::vector<NodeSource> sources = buildNodeSources(
+        mesh.numNodes(), 0.5, lengths, *pattern, workload, 31);
+    NodeSource &source = sources[2];
+
+    source.scheduleReply(10, 9, 3);
+    source.scheduleReply(12, 11, 3);
+    EXPECT_EQ(source.pendingReplies(), 2u);
+    EXPECT_DOUBLE_EQ(source.nextDue(false), 10.0);
+
+    std::vector<SourcedPacket> out;
+    source.emit(9, false, out);
+    EXPECT_TRUE(out.empty());
+    source.emit(10, true, out);
+    ASSERT_FALSE(out.empty());
+    EXPECT_TRUE(out.front().reply);
+    EXPECT_EQ(out.front().dest, 9u);
+    EXPECT_EQ(out.front().length, 3u);
+
+    out.clear();
+    source.emit(12, false, out);   // Arrivals off: replies still flow.
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_TRUE(out.front().reply);
+    EXPECT_EQ(out.front().dest, 11u);
+    EXPECT_EQ(source.pendingReplies(), 0u);
+}
+
+TEST(NodeSource, ReplayEmitsRecordsVerbatim)
+{
+    NDMesh mesh = NDMesh::mesh2D(4, 4);
+    const PatternPtr pattern = makePattern("uniform", mesh);
+    const auto lengths = PacketLengthDist::paperBimodal();
+
+    auto trace = std::make_shared<InjectionTrace>();
+    trace->append({5, 1, 14, 10});
+    trace->append({5, 3, 0, 200});
+    trace->append({8, 1, 2, 10});
+    WorkloadConfig workload;
+    workload.replay = trace;
+
+    std::vector<NodeSource> sources = buildNodeSources(
+        mesh.numNodes(), 0.3, lengths, *pattern, workload, 77);
+
+    const std::vector<SourcedPacket> node1 = emitAll(sources[1], 20);
+    ASSERT_EQ(node1.size(), 2u);
+    EXPECT_EQ(node1[0].dest, 14u);
+    EXPECT_EQ(node1[0].length, 10u);
+    EXPECT_EQ(node1[1].dest, 2u);
+    EXPECT_EQ(node1[1].length, 10u);
+    const std::vector<SourcedPacket> node3 = emitAll(sources[3], 20);
+    ASSERT_EQ(node3.size(), 1u);
+    EXPECT_EQ(node3[0].dest, 0u);
+    EXPECT_EQ(node3[0].length, 200u);
+    // Nodes without records stay silent: replay replaces stochastic
+    // generation wholesale.
+    EXPECT_TRUE(emitAll(sources[2], 20).empty());
+}
+
+} // namespace
+} // namespace turnmodel

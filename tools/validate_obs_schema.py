@@ -1,14 +1,16 @@
 #!/usr/bin/env python3
 """Validate a turnmodel observability JSON document against its schema.
 
-Checks a "turnmodel-obs-study-v1"/"-v2" document
+Checks a "turnmodel-obs-study-v1"/"-v2"/"-v3" document
 (ResultSink::writeObsJson) or a bare "turnmodel-obs-v1"/"-v2" report
 (ObsReport::writeJson): required keys and types, channel-row
 coordinate bounds, utilization ranges, monotonic non-overlapping
 sample windows, and chronological traces. Version 2 channel rows (the
 VC-credit router) additionally carry a "vc" index and a
 "credit_stall_cycles" counter; rows stay keyed by physical direction,
-one row per (channel, VC). With --mesh WxH it additionally checks the
+one row per (channel, VC). Study v3 additionally requires a run-level
+"trace_dropped" count (events the bounded trace ring overwrote).
+With --mesh WxH it additionally checks the
 channel-row count: for v1 every interior edge in both directions plus
 one eject row per node; for v2 one eject row per node and a positive
 multiple (the VC count) of the directed physical edge count.
@@ -189,22 +191,28 @@ def check_study(study, mesh):
     )
     require(
         study["schema"] in ("turnmodel-obs-study-v1",
-                            "turnmodel-obs-study-v2"),
+                            "turnmodel-obs-study-v2",
+                            "turnmodel-obs-study-v3"),
         f"study: schema is '{study['schema']}'",
     )
+    study_v3 = study["schema"] == "turnmodel-obs-study-v3"
     require(study["runs"], "study: no runs")
     for i, run in enumerate(study["runs"]):
         where = f"runs[{i}]"
-        check_keys(
-            run,
-            {
-                "algorithm": str,
-                "injection_rate": (int, float),
-                "result": dict,
-                "obs": dict,
-            },
-            where,
-        )
+        run_keys = {
+            "algorithm": str,
+            "injection_rate": (int, float),
+            "result": dict,
+            "obs": dict,
+        }
+        if study_v3:
+            # v3 surfaces the trace ring's drop count per run: nonzero
+            # means the retained trace is only the tail of the run.
+            run_keys["trace_dropped"] = int
+        check_keys(run, run_keys, where)
+        if study_v3:
+            require(run["trace_dropped"] >= 0,
+                    f"{where}: negative trace_dropped")
         check_keys(
             run["result"],
             {
@@ -241,7 +249,8 @@ def main():
     try:
         schema = doc.get("schema") if isinstance(doc, dict) else None
         if schema in ("turnmodel-obs-study-v1",
-                      "turnmodel-obs-study-v2"):
+                      "turnmodel-obs-study-v2",
+                      "turnmodel-obs-study-v3"):
             check_study(doc, mesh)
         elif schema in ("turnmodel-obs-v1", "turnmodel-obs-v2"):
             check_report(doc, mesh)

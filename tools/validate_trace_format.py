@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Validate a turnmodel binary injection trace (traffic/trace.hpp).
+
+Checks the on-disk format written by InjectionTrace::save:
+
+  offset 0   8 bytes   magic "TMTRACE1"
+  offset 8   8 bytes   u64 record count (little-endian)
+  offset 16  20 bytes  per record: u64 cycle, u32 src, u32 dest,
+                       u32 length (all little-endian)
+
+Verified properties: magic, exact file size (header + count * 20, no
+trailing bytes), chronological cycles, positive packet lengths, and —
+the round-trip guarantee the replay workload relies on — that
+re-encoding the parsed records reproduces the input byte for byte.
+With --nodes N, src/dest must also be < N and src != dest.
+
+Usage: validate_trace_format.py FILE [--nodes N]
+Exit status 0 on success; 1 with a message on the first violation.
+"""
+
+import argparse
+import struct
+import sys
+
+MAGIC = b"TMTRACE1"
+HEADER = struct.Struct("<8sQ")
+RECORD = struct.Struct("<QIII")
+
+
+class Invalid(Exception):
+    pass
+
+
+def parse(data):
+    if len(data) < HEADER.size:
+        raise Invalid(f"file too short for header ({len(data)} bytes)")
+    magic, count = HEADER.unpack_from(data, 0)
+    if magic != MAGIC:
+        raise Invalid(f"bad magic {magic!r}")
+    expected = HEADER.size + count * RECORD.size
+    if len(data) != expected:
+        raise Invalid(
+            f"size mismatch: {len(data)} bytes for {count} records "
+            f"(expected {expected})"
+        )
+    records = []
+    prev_cycle = 0
+    for i in range(count):
+        cycle, src, dest, length = RECORD.unpack_from(
+            data, HEADER.size + i * RECORD.size
+        )
+        if cycle < prev_cycle:
+            raise Invalid(f"record {i}: cycle {cycle} < {prev_cycle} "
+                          "(not chronological)")
+        if length == 0:
+            raise Invalid(f"record {i}: zero-length packet")
+        prev_cycle = cycle
+        records.append((cycle, src, dest, length))
+    return records
+
+
+def encode(records):
+    out = bytearray(HEADER.pack(MAGIC, len(records)))
+    for rec in records:
+        out += RECORD.pack(*rec)
+    return bytes(out)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("file")
+    parser.add_argument("--nodes", type=int, metavar="N",
+                        help="check endpoints against a node count")
+    args = parser.parse_args()
+
+    with open(args.file, "rb") as fh:
+        data = fh.read()
+
+    try:
+        records = parse(data)
+        if args.nodes is not None:
+            for i, (cycle, src, dest, length) in enumerate(records):
+                if src >= args.nodes or dest >= args.nodes:
+                    raise Invalid(
+                        f"record {i}: endpoint ({src}, {dest}) outside "
+                        f"{args.nodes} nodes"
+                    )
+                if src == dest:
+                    raise Invalid(f"record {i}: self-directed packet")
+        if encode(records) != data:
+            raise Invalid("re-encoded bytes differ from input "
+                          "(round trip not exact)")
+    except Invalid as err:
+        print(f"{args.file}: INVALID: {err}", file=sys.stderr)
+        return 1
+
+    print(f"{args.file}: OK ({len(records)} record(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
